@@ -1,0 +1,72 @@
+// Reproduces the Section 7.2 row-aggregation ablation: NDCG@10 with
+// maximal vs average row-score aggregation (Algorithm 1 line 13), with
+// types and embeddings, with and without informativeness weighting.
+//
+// Expected shape (paper): max aggregation clearly better — it amplifies
+// the relevance signal of the matching tuples instead of diluting it over
+// the table's other rows (paper reports up to ~5x).
+
+#include <benchmark/benchmark.h>
+
+#include "common.h"
+
+namespace thetis::bench {
+namespace {
+
+const World& TheWorld() {
+  return GetWorld(benchgen::PresetKind::kWt2015Like, BenchScale());
+}
+
+void AggregationBench(benchmark::State& state, bool five_tuple,
+                      bool embeddings, RowAggregation aggregation,
+                      bool informativeness) {
+  const World& w = TheWorld();
+  SearchOptions options;
+  options.aggregation = aggregation;
+  options.use_informativeness = informativeness;
+  SearchEngine engine(w.lake.get(),
+                      embeddings
+                          ? static_cast<const EntitySimilarity*>(w.emb_sim.get())
+                          : w.type_sim.get(),
+                      options);
+  const auto& queries = five_tuple ? w.queries5 : w.queries1;
+  const auto& gt = five_tuple ? w.gt5 : w.gt1;
+  for (auto _ : state) {
+    double ndcg = MeanNdcg(queries, gt, 10, [&](const Query& query) {
+      return benchgen::HitTables(engine.Search(query));
+    });
+    state.counters["ndcg_at_10"] = ndcg;
+  }
+}
+
+void RegisterAll() {
+  for (bool five : {false, true}) {
+    for (bool emb : {false, true}) {
+      for (bool info : {true, false}) {
+        for (RowAggregation agg :
+             {RowAggregation::kMax, RowAggregation::kAvg}) {
+          std::string name =
+              std::string("AblationAggregation/") +
+              (agg == RowAggregation::kMax ? "max" : "avg") + "/" +
+              (emb ? "embeddings" : "types") + "/" +
+              (info ? "weighted" : "unweighted") + "/" +
+              (five ? "5tuple" : "1tuple");
+          benchmark::RegisterBenchmark(name.c_str(), AggregationBench, five, emb, agg,
+                                       info)
+              ->Iterations(1)
+              ->Unit(benchmark::kMillisecond);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace thetis::bench
+
+int main(int argc, char** argv) {
+  thetis::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

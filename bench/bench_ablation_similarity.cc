@@ -1,0 +1,101 @@
+// Ablation over the entity similarity σ, covering the paper's evaluated
+// measures and its named future-work extensions (Sections 5.3 and 8):
+// type Jaccard*, embedding cosine, predicate Jaccard*, and convex
+// combinations (types+embeddings and all three).
+//
+// Expected shape: types and embeddings are the strong single signals;
+// predicates alone are weaker (our generator's predicate vocabulary is
+// domain-level); combinations land between their components or above them
+// when the signals complement each other.
+
+#include <benchmark/benchmark.h>
+
+#include "common.h"
+#include "core/extended_similarity.h"
+
+namespace thetis::bench {
+namespace {
+
+const World& TheWorld() {
+  return GetWorld(benchgen::PresetKind::kWt2015Like, BenchScale());
+}
+
+enum class Sim {
+  kTypes,
+  kEmbeddings,
+  kPredicates,
+  kWuPalmer,
+  kTypesPlusEmb,
+  kAllThree,
+};
+
+void SimilarityBench(benchmark::State& state, bool five_tuple, Sim which) {
+  const World& w = TheWorld();
+  PredicateJaccardSimilarity predicates(&w.kg());
+  WuPalmerSimilarity wu_palmer(&w.kg());
+  CombinedSimilarity types_emb(
+      {{w.type_sim.get(), 0.5}, {w.emb_sim.get(), 0.5}});
+  CombinedSimilarity all_three(
+      {{w.type_sim.get(), 1.0}, {w.emb_sim.get(), 1.0}, {&predicates, 1.0}});
+  const EntitySimilarity* sim = nullptr;
+  switch (which) {
+    case Sim::kTypes:
+      sim = w.type_sim.get();
+      break;
+    case Sim::kEmbeddings:
+      sim = w.emb_sim.get();
+      break;
+    case Sim::kPredicates:
+      sim = &predicates;
+      break;
+    case Sim::kWuPalmer:
+      sim = &wu_palmer;
+      break;
+    case Sim::kTypesPlusEmb:
+      sim = &types_emb;
+      break;
+    case Sim::kAllThree:
+      sim = &all_three;
+      break;
+  }
+  SearchEngine engine(w.lake.get(), sim);
+  const auto& queries = five_tuple ? w.queries5 : w.queries1;
+  const auto& gt = five_tuple ? w.gt5 : w.gt1;
+  for (auto _ : state) {
+    double ndcg = MeanNdcg(queries, gt, 10, [&](const Query& query) {
+      return benchgen::HitTables(engine.Search(query));
+    });
+    state.counters["ndcg_at_10"] = ndcg;
+  }
+}
+
+void RegisterAll() {
+  struct Variant {
+    Sim sim;
+    const char* label;
+  };
+  for (bool five : {false, true}) {
+    for (const Variant& v :
+         {Variant{Sim::kTypes, "types"}, Variant{Sim::kEmbeddings, "embeddings"},
+          Variant{Sim::kPredicates, "predicates"},
+          Variant{Sim::kWuPalmer, "wu_palmer"},
+          Variant{Sim::kTypesPlusEmb, "types_plus_embeddings"},
+          Variant{Sim::kAllThree, "types_emb_predicates"}}) {
+      std::string name = std::string("AblationSimilarity/") + v.label + "/" +
+                         (five ? "5tuple" : "1tuple");
+      benchmark::RegisterBenchmark(name.c_str(), SimilarityBench, five, v.sim)
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace thetis::bench
+
+int main(int argc, char** argv) {
+  thetis::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,124 @@
+// Reproduces Figure 5: recall at top-100 and top-200 on the WT2015-like
+// corpus for BM25 text queries, semantic search with types (STST) and
+// embeddings (STSE), and the complemented configurations STSTC/STSEC that
+// merge the top half of the semantic ranking with the top half of BM25's.
+// Also reports the Section 7.2 result-set difference between the semantic
+// and keyword top-100 lists.
+//
+// Expected shape (paper): STSTC/STSEC clearly above BM25 alone (up to 5.4x
+// on 5-tuple queries at top-200), and a large result-set difference (the
+// two methods retrieve mostly different tables).
+
+#include <benchmark/benchmark.h>
+
+#include <functional>
+
+#include "common.h"
+
+namespace thetis::bench {
+namespace {
+
+using RankFn = std::function<std::vector<TableId>(const Query&)>;
+
+const World& TheWorld() {
+  return GetWorld(benchgen::PresetKind::kWt2015Like, BenchScale());
+}
+
+void RecallBench(benchmark::State& state, bool five_tuple, size_t k,
+                 RankFn rank) {
+  const World& w = TheWorld();
+  const auto& queries = five_tuple ? w.queries5 : w.queries1;
+  const auto& gt = five_tuple ? w.gt5 : w.gt1;
+  for (auto _ : state) {
+    double recall = MeanRecall(queries, gt, k, rank);
+    state.counters["recall"] = recall;
+    benchmark::DoNotOptimize(recall);
+  }
+}
+
+void DiffBench(benchmark::State& state, bool five_tuple) {
+  const World& w = TheWorld();
+  const auto& queries = five_tuple ? w.queries5 : w.queries1;
+  SearchOptions options;
+  options.top_k = 100;
+  SearchEngine stst(w.lake.get(), w.type_sim.get(), options);
+  Bm25TableSearch bm25(&w.corpus());
+  for (auto _ : state) {
+    std::vector<double> diffs;
+    for (const auto& gq : queries) {
+      auto thetis_tables = benchgen::HitTables(stst.Search(gq.query));
+      auto bm25_tables = benchgen::HitTables(bm25.Search(
+          Bm25TableSearch::QueryToTokens(gq.query, w.kg()), 100));
+      diffs.push_back(static_cast<double>(
+          benchgen::ResultSetDifference(thetis_tables, bm25_tables, 100)));
+    }
+    benchgen::Summary s = benchgen::Summarize(diffs);
+    state.counters["median_diff_at_100"] = s.median;
+    state.counters["mean_diff_at_100"] = s.mean;
+  }
+}
+
+void RegisterAll(bool five_tuple, size_t k) {
+  const World& w = TheWorld();
+  std::string suffix = std::string(five_tuple ? "5tuple" : "1tuple") +
+                       "/top" + std::to_string(k);
+  auto reg = [&](const std::string& method, RankFn rank) {
+    benchmark::RegisterBenchmark(("Fig5/" + method + "/" + suffix).c_str(), RecallBench,
+                                 five_tuple, k, std::move(rank))
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  };
+
+  SearchOptions wide;
+  wide.top_k = k;
+  static auto* engines = new std::vector<std::unique_ptr<SearchEngine>>();
+  auto* stst = new SearchEngine(w.lake.get(), w.type_sim.get(), wide);
+  auto* stse = new SearchEngine(w.lake.get(), w.emb_sim.get(), wide);
+  engines->emplace_back(stst);
+  engines->emplace_back(stse);
+  static auto* bm25 = new Bm25TableSearch(&w.corpus());
+
+  auto bm25_rank = [&w, k](const Query& query) {
+    return benchgen::HitTables(
+        bm25->Search(Bm25TableSearch::QueryToTokens(query, w.kg()), k));
+  };
+  reg("BM25_text", bm25_rank);
+  reg("STST", [stst](const Query& query) {
+    return benchgen::HitTables(stst->Search(query));
+  });
+  reg("STSE", [stse](const Query& query) {
+    return benchgen::HitTables(stse->Search(query));
+  });
+  // Complemented: top half semantic + top half BM25 (Section 7.2).
+  reg("STSTC", [stst, &w, k](const Query& query) {
+    auto semantic = stst->Search(query);
+    auto keyword =
+        bm25->Search(Bm25TableSearch::QueryToTokens(query, w.kg()), k);
+    return benchgen::HitTables(MergeTopHalves(semantic, keyword, k));
+  });
+  reg("STSEC", [stse, &w, k](const Query& query) {
+    auto semantic = stse->Search(query);
+    auto keyword =
+        bm25->Search(Bm25TableSearch::QueryToTokens(query, w.kg()), k);
+    return benchgen::HitTables(MergeTopHalves(semantic, keyword, k));
+  });
+}
+
+}  // namespace
+}  // namespace thetis::bench
+
+int main(int argc, char** argv) {
+  for (bool five : {false, true}) {
+    for (size_t k : {100, 200}) {
+      thetis::bench::RegisterAll(five, k);
+    }
+    benchmark::RegisterBenchmark(
+        five ? "Fig5/ResultSetDiff/5tuple" : "Fig5/ResultSetDiff/1tuple",
+        thetis::bench::DiffBench, five)
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

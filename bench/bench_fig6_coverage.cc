@@ -1,0 +1,71 @@
+// Reproduces Figure 6: NDCG@10 as entity-link coverage decreases. The
+// corpus's links are capped at 100/80/60/40/20% per table; the semantic
+// lake and engines are rebuilt on each degraded copy and evaluated against
+// the unchanged (link-independent) ground truth.
+//
+// Expected shape (paper): quality degrades gracefully down to ~40-60%
+// coverage and drops sharply below ~40%, yet stays non-zero — the engine
+// capitalizes on whatever links remain.
+
+#include <benchmark/benchmark.h>
+
+#include "benchgen/synthetic_lake.h"
+#include "common.h"
+#include "linking/noise.h"
+
+namespace thetis::bench {
+namespace {
+
+const World& TheWorld() {
+  return GetWorld(benchgen::PresetKind::kWt2015Like, BenchScale());
+}
+
+void CoverageBench(benchmark::State& state, bool five_tuple, bool embeddings,
+                   double cap) {
+  const World& w = TheWorld();
+  // Degrade a copy of the corpus (keeping `cap` of each table's links) and
+  // rebuild the semantic structures.
+  benchgen::SyntheticLake degraded = benchgen::CloneLake(w.bench.lake);
+  RetainLinkFraction(&degraded.corpus, cap, /*seed=*/5);
+  SemanticDataLake lake(&degraded.corpus, &w.kg());
+  SearchEngine engine(&lake,
+                      embeddings
+                          ? static_cast<const EntitySimilarity*>(w.emb_sim.get())
+                          : w.type_sim.get());
+  const auto& queries = five_tuple ? w.queries5 : w.queries1;
+  const auto& gt = five_tuple ? w.gt5 : w.gt1;
+  for (auto _ : state) {
+    double ndcg = MeanNdcg(queries, gt, 10, [&](const Query& query) {
+      return benchgen::HitTables(engine.Search(query));
+    });
+    state.counters["ndcg_at_10"] = ndcg;
+    state.counters["coverage_cap_pct"] = 100.0 * cap;
+    CorpusStats stats = degraded.corpus.ComputeStats();
+    state.counters["actual_coverage_pct"] = 100.0 * stats.mean_link_coverage;
+  }
+}
+
+void RegisterAll() {
+  for (bool five : {false, true}) {
+    for (bool emb : {false, true}) {
+      for (double cap : {1.0, 0.8, 0.6, 0.4, 0.2}) {
+        std::string name = std::string("Fig6/") + (emb ? "STSE" : "STST") +
+                           "/cap" + std::to_string(static_cast<int>(cap * 100)) +
+                           "/" + (five ? "5tuple" : "1tuple");
+        benchmark::RegisterBenchmark(name.c_str(), CoverageBench, five, emb, cap)
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace thetis::bench
+
+int main(int argc, char** argv) {
+  thetis::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

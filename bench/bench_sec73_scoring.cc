@@ -1,0 +1,82 @@
+// Reproduces the Section 7.3 "Table scoring" analysis: the cost of scoring
+// a single table with Algorithm 1, and the fraction of that time spent in
+// the Hungarian column mapping μ, on WT2015-like and GitTables-like tables
+// with 1- and 5-tuple queries.
+//
+// Expected shape (paper): single-table scoring in the low milliseconds;
+// GitTables-like tables (more rows/columns) cost more; the mapping accounts
+// for the majority of the time (~60-80%), growing with query size.
+
+#include <benchmark/benchmark.h>
+
+#include "common.h"
+#include "util/stopwatch.h"
+
+namespace thetis::bench {
+namespace {
+
+void ScoreTableBench(benchmark::State& state, benchgen::PresetKind kind,
+                     bool five_tuple, bool embeddings) {
+  // GitTables-like tables are larger; scale its corpus down further so the
+  // setup stays fast — per-table cost is what is measured.
+  double scale =
+      kind == benchgen::PresetKind::kGitTablesLike ? 0.1 : BenchScale();
+  const World& w = GetWorld(kind, scale);
+  SearchEngine engine(w.lake.get(),
+                      embeddings
+                          ? static_cast<const EntitySimilarity*>(w.emb_sim.get())
+                          : w.type_sim.get());
+  const auto& queries = five_tuple ? w.queries5 : w.queries1;
+  double mapping_seconds = 0.0;
+  double total_seconds = 0.0;
+  size_t scored = 0;
+  size_t qi = 0;
+  TableId table = 0;
+  for (auto _ : state) {
+    Stopwatch watch;
+    double score = engine.ScoreTable(queries[qi].query, table,
+                                     &mapping_seconds);
+    total_seconds += watch.ElapsedSeconds();
+    benchmark::DoNotOptimize(score);
+    ++scored;
+    qi = (qi + 1) % queries.size();
+    table = static_cast<TableId>((table + 1) % w.corpus().size());
+  }
+  if (scored > 0 && total_seconds > 0.0) {
+    state.counters["score_ms_per_table"] =
+        1e3 * total_seconds / static_cast<double>(scored);
+    // Fraction of scoring time spent computing the column mapping μ.
+    state.counters["mapping_time_pct"] =
+        100.0 * mapping_seconds / total_seconds;
+  }
+}
+
+void RegisterAll() {
+  struct Variant {
+    benchgen::PresetKind kind;
+    const char* corpus;
+  };
+  for (const Variant& v :
+       {Variant{benchgen::PresetKind::kWt2015Like, "WT2015_like"},
+        Variant{benchgen::PresetKind::kGitTablesLike, "GitTables_like"}}) {
+    for (bool five : {false, true}) {
+      for (bool emb : {false, true}) {
+        std::string name = std::string("Sec73/ScoreTable/") + v.corpus + "/" +
+                           (five ? "5tuple" : "1tuple") + "/" +
+                           (emb ? "embeddings" : "types");
+        benchmark::RegisterBenchmark(name.c_str(), ScoreTableBench, v.kind, five, emb)
+            ->Unit(benchmark::kMillisecond);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace thetis::bench
+
+int main(int argc, char** argv) {
+  thetis::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

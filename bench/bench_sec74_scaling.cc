@@ -1,0 +1,107 @@
+// Reproduces the Section 7.4 synthetic-corpus scaling experiment: search
+// runtime on row-resampled corpora of increasing size (the paper's 0.7M /
+// 1.2M / 1.7M tables, scaled down proportionally), with LSH prefiltering
+// T(30,10) and E(30,10) at 3 votes.
+//
+// Expected shape (paper): runtime grows roughly linearly with corpus size
+// (the search-space reduction percentage is stable across sizes), and
+// type-prefiltered search is faster than embedding-prefiltered search.
+
+#include <benchmark/benchmark.h>
+
+#include "benchgen/synthetic_lake.h"
+#include "common.h"
+#include "util/stopwatch.h"
+
+namespace thetis::bench {
+namespace {
+
+// The resampled corpus sizes, as multiples of the base WT2015-like corpus
+// (the paper grows 238k to 738k/1.238M/1.732M, i.e. ~3.1x/5.2x/7.3x).
+constexpr double kGrowth[] = {3.1, 5.2, 7.3};
+
+struct ScaledWorld {
+  benchgen::SyntheticLake lake;
+  std::unique_ptr<SemanticDataLake> sem;
+};
+
+const ScaledWorld& GetScaled(size_t growth_index) {
+  static std::map<size_t, std::unique_ptr<ScaledWorld>>* cache =
+      new std::map<size_t, std::unique_ptr<ScaledWorld>>();
+  auto it = cache->find(growth_index);
+  if (it != cache->end()) return *it->second;
+  const World& base = GetWorld(benchgen::PresetKind::kWt2015Like,
+                               BenchScale());
+  auto scaled = std::make_unique<ScaledWorld>();
+  size_t target = static_cast<size_t>(kGrowth[growth_index] *
+                                      static_cast<double>(base.corpus().size()));
+  std::fprintf(stderr, "[setup] resampling corpus to %zu tables ...\n",
+               target);
+  scaled->lake = benchgen::ResampleToSize(base.bench.lake, target,
+                                          /*seed=*/31 + growth_index);
+  scaled->sem = std::make_unique<SemanticDataLake>(&scaled->lake.corpus,
+                                                   &base.kg());
+  const ScaledWorld& ref = *scaled;
+  cache->emplace(growth_index, std::move(scaled));
+  return ref;
+}
+
+void ScalingBench(benchmark::State& state, size_t growth_index,
+                  bool five_tuple, bool embeddings) {
+  const World& base =
+      GetWorld(benchgen::PresetKind::kWt2015Like, BenchScale());
+  const ScaledWorld& scaled = GetScaled(growth_index);
+  SearchEngine engine(
+      scaled.sem.get(),
+      embeddings ? static_cast<const EntitySimilarity*>(base.emb_sim.get())
+                 : base.type_sim.get());
+  LseiOptions options;
+  options.mode = embeddings ? LseiMode::kEmbeddings : LseiMode::kTypes;
+  options.num_functions = 30;
+  options.band_size = 10;
+  Lsei lsei(scaled.sem.get(), base.embeddings.get(), options);
+  PrefilteredSearchEngine pre(&engine, &lsei, /*votes=*/3);
+
+  const auto& queries = five_tuple ? base.queries5 : base.queries1;
+  for (auto _ : state) {
+    Stopwatch watch;
+    double reduction = 0.0;
+    for (const auto& gq : queries) {
+      SearchStats stats;
+      auto hits = pre.Search(gq.query, &stats);
+      reduction += stats.search_space_reduction;
+      benchmark::DoNotOptimize(hits);
+    }
+    double n = static_cast<double>(queries.size());
+    state.counters["ms_per_query"] = 1e3 * watch.ElapsedSeconds() / n;
+    state.counters["reduction_pct"] = 100.0 * reduction / n;
+    state.counters["corpus_tables"] =
+        static_cast<double>(scaled.lake.corpus.size());
+  }
+}
+
+void RegisterAll() {
+  for (size_t g = 0; g < 3; ++g) {
+    for (bool five : {false, true}) {
+      for (bool emb : {false, true}) {
+        std::string name = std::string("Sec74Scaling/") +
+                           (emb ? "embeddings" : "types") + "/growth" +
+                           std::to_string(g) + "/" +
+                           (five ? "5tuple" : "1tuple");
+        benchmark::RegisterBenchmark(name.c_str(), ScalingBench, g, five, emb)
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace thetis::bench
+
+int main(int argc, char** argv) {
+  thetis::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Reproduces Table 2: benchmark statistics — number of tables, mean rows,
+// mean columns, and mean entity-link coverage for the four corpora.
+// Absolute table counts are scaled (THETIS_BENCH_SCALE); the row/column
+// shapes and coverage percentages are the reproduced quantities.
+
+#include <benchmark/benchmark.h>
+
+#include "benchgen/benchmark_factory.h"
+#include "common.h"
+
+namespace thetis::bench {
+namespace {
+
+void CorpusStatsBench(benchmark::State& state, benchgen::PresetKind kind) {
+  double scale = BenchScale();
+  for (auto _ : state) {
+    benchgen::Benchmark bench = benchgen::MakeBenchmark(kind, scale);
+    CorpusStats stats = bench.lake.corpus.ComputeStats();
+    state.counters["tables"] = static_cast<double>(stats.num_tables);
+    state.counters["mean_rows"] = stats.mean_rows;
+    state.counters["mean_cols"] = stats.mean_columns;
+    state.counters["coverage_pct"] = 100.0 * stats.mean_link_coverage;
+    state.counters["distinct_entities"] =
+        static_cast<double>(stats.distinct_entities);
+    benchmark::DoNotOptimize(stats);
+  }
+}
+
+}  // namespace
+}  // namespace thetis::bench
+
+int main(int argc, char** argv) {
+  using thetis::bench::CorpusStatsBench;
+  using thetis::benchgen::PresetKind;
+  benchmark::RegisterBenchmark("Table2/WT2015_like", CorpusStatsBench,
+                               PresetKind::kWt2015Like)
+      ->Iterations(1)
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark("Table2/WT2019_like", CorpusStatsBench,
+                               PresetKind::kWt2019Like)
+      ->Iterations(1)
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark("Table2/GitTables_like", CorpusStatsBench,
+                               PresetKind::kGitTablesLike)
+      ->Iterations(1)
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark("Table2/Synthetic_like", CorpusStatsBench,
+                               PresetKind::kSyntheticLike)
+      ->Iterations(1)
+      ->Unit(benchmark::kMillisecond);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Reproduces Table 3: per-query search runtime with LSH prefiltering, for
+// the six LSEI configurations x {1, 3} votes, on 1- and 5-tuple queries,
+// plus the brute-force STST/STSE reference columns.
+//
+// Expected shape (paper): prefiltered search is several times faster than
+// brute force; T(30,10) is the best configuration; 3 votes never slower
+// than 1 vote; type-based prefiltering faster than embedding-based.
+
+#include <benchmark/benchmark.h>
+
+#include "common.h"
+#include "util/stopwatch.h"
+
+namespace thetis::bench {
+namespace {
+
+const World& TheWorld() {
+  return GetWorld(benchgen::PresetKind::kWt2015Like, BenchScale());
+}
+
+// Measures mean per-query wall time of `search` over the query set.
+template <typename SearchFn>
+void TimedQueries(benchmark::State& state, bool five_tuple, SearchFn&& search) {
+  const World& w = TheWorld();
+  const auto& queries = five_tuple ? w.queries5 : w.queries1;
+  for (auto _ : state) {
+    Stopwatch watch;
+    for (const auto& gq : queries) {
+      auto hits = search(gq.query);
+      benchmark::DoNotOptimize(hits);
+    }
+    double total = watch.ElapsedSeconds();
+    state.counters["ms_per_query"] =
+        1e3 * total / static_cast<double>(queries.size());
+  }
+}
+
+void BruteBench(benchmark::State& state, bool five_tuple, bool embeddings) {
+  const World& w = TheWorld();
+  SearchEngine engine(w.lake.get(),
+                      embeddings
+                          ? static_cast<const EntitySimilarity*>(w.emb_sim.get())
+                          : w.type_sim.get());
+  TimedQueries(state, five_tuple,
+               [&](const Query& query) { return engine.Search(query); });
+}
+
+void PrefilteredBench(benchmark::State& state, bool five_tuple, LseiMode mode,
+                      size_t nf, size_t bs, size_t votes) {
+  const World& w = TheWorld();
+  SearchEngine engine(w.lake.get(),
+                      mode == LseiMode::kEmbeddings
+                          ? static_cast<const EntitySimilarity*>(w.emb_sim.get())
+                          : w.type_sim.get());
+  LseiOptions options;
+  options.mode = mode;
+  options.num_functions = nf;
+  options.band_size = bs;
+  Lsei lsei(w.lake.get(), w.embeddings.get(), options);
+  PrefilteredSearchEngine pre(&engine, &lsei, votes);
+  TimedQueries(state, five_tuple,
+               [&](const Query& query) { return pre.Search(query); });
+}
+
+void RegisterAll() {
+  for (bool five : {false, true}) {
+    const char* q = five ? "5tuple" : "1tuple";
+    benchmark::RegisterBenchmark((std::string("Table3/STST_bruteforce/") + q).c_str(),
+                                 BruteBench, five, false)
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark((std::string("Table3/STSE_bruteforce/") + q).c_str(),
+                                 BruteBench, five, true)
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+    struct Cfg {
+      LseiMode mode;
+      size_t nf, bs;
+      const char* label;
+    };
+    for (const Cfg& cfg : {Cfg{LseiMode::kTypes, 32, 8, "T_32_8"},
+                           Cfg{LseiMode::kTypes, 128, 8, "T_128_8"},
+                           Cfg{LseiMode::kTypes, 30, 10, "T_30_10"},
+                           Cfg{LseiMode::kEmbeddings, 32, 8, "E_32_8"},
+                           Cfg{LseiMode::kEmbeddings, 128, 8, "E_128_8"},
+                           Cfg{LseiMode::kEmbeddings, 30, 10, "E_30_10"}}) {
+      for (size_t votes : {1, 3}) {
+        std::string name = std::string("Table3/") + cfg.label + "/votes" +
+                           std::to_string(votes) + "/" + q;
+        benchmark::RegisterBenchmark(name.c_str(), PrefilteredBench, five, cfg.mode,
+                                     cfg.nf, cfg.bs, votes)
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace thetis::bench
+
+int main(int argc, char** argv) {
+  thetis::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Reproduces Table 4: search-space reduction achieved by LSH prefiltering,
+// per LSEI configuration x {1, 3} votes, on 1- and 5-tuple queries.
+//
+// Expected shape (paper): type-based configurations prune most of the
+// corpus (~60-90%); embedding-based pruning is configuration-sensitive,
+// with E(128,8) pruning almost nothing (its 16 bands of 8 bits make a
+// collision near-certain somewhere) and E(30,10) the most selective;
+// 3 votes always prunes at least as much as 1 vote.
+
+#include <benchmark/benchmark.h>
+
+#include "common.h"
+
+namespace thetis::bench {
+namespace {
+
+const World& TheWorld() {
+  return GetWorld(benchgen::PresetKind::kWt2015Like, BenchScale());
+}
+
+void ReductionBench(benchmark::State& state, bool five_tuple, LseiMode mode,
+                    size_t nf, size_t bs, size_t votes) {
+  const World& w = TheWorld();
+  const auto& queries = five_tuple ? w.queries5 : w.queries1;
+  LseiOptions options;
+  options.mode = mode;
+  options.num_functions = nf;
+  options.band_size = bs;
+  Lsei lsei(w.lake.get(), w.embeddings.get(), options);
+  for (auto _ : state) {
+    double reduction = 0.0;
+    double candidates = 0.0;
+    for (const auto& gq : queries) {
+      auto cand = lsei.CandidateTablesForQuery(gq.query.tuples, votes);
+      reduction += lsei.ReductionRatio(cand.size());
+      candidates += static_cast<double>(cand.size());
+    }
+    double n = static_cast<double>(queries.size());
+    state.counters["reduction_pct"] = 100.0 * reduction / n;
+    state.counters["mean_candidates"] = candidates / n;
+  }
+}
+
+void RegisterAll() {
+  struct Cfg {
+    LseiMode mode;
+    size_t nf, bs;
+    const char* label;
+  };
+  for (bool five : {false, true}) {
+    const char* q = five ? "5tuple" : "1tuple";
+    for (const Cfg& cfg : {Cfg{LseiMode::kTypes, 32, 8, "T_32_8"},
+                           Cfg{LseiMode::kTypes, 128, 8, "T_128_8"},
+                           Cfg{LseiMode::kTypes, 30, 10, "T_30_10"},
+                           Cfg{LseiMode::kEmbeddings, 32, 8, "E_32_8"},
+                           Cfg{LseiMode::kEmbeddings, 128, 8, "E_128_8"},
+                           Cfg{LseiMode::kEmbeddings, 30, 10, "E_30_10"}}) {
+      for (size_t votes : {1, 3}) {
+        std::string name = std::string("Table4/") + cfg.label + "/votes" +
+                           std::to_string(votes) + "/" + q;
+        benchmark::RegisterBenchmark(name.c_str(), ReductionBench, five, cfg.mode,
+                                     cfg.nf, cfg.bs, votes)
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace thetis::bench
+
+int main(int argc, char** argv) {
+  thetis::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,55 @@
+#include "common.h"
+
+#include <cstdlib>
+#include <string>
+
+namespace thetis::bench {
+
+double BenchScale() {
+  const char* env = std::getenv("THETIS_BENCH_SCALE");
+  if (env != nullptr) {
+    double v = std::atof(env);
+    if (v > 0.0) return v;
+  }
+  return 0.5;
+}
+
+const World& GetWorld(benchgen::PresetKind kind, double scale,
+                      size_t num_queries) {
+  // One cached world per (preset, scale-ish) pair within a binary.
+  static std::map<std::pair<int, int>, std::unique_ptr<World>>* cache =
+      new std::map<std::pair<int, int>, std::unique_ptr<World>>();
+  auto key = std::make_pair(static_cast<int>(kind),
+                            static_cast<int>(scale * 1000.0));
+  auto it = cache->find(key);
+  if (it != cache->end()) return *it->second;
+
+  std::fprintf(stderr, "[setup] building %s at scale %.3f ...\n",
+               benchgen::PresetName(kind), scale);
+  auto world = std::make_unique<World>();
+  world->bench = benchgen::MakeBenchmark(kind, scale);
+  world->lake = std::make_unique<SemanticDataLake>(&world->bench.lake.corpus,
+                                                   &world->bench.kg.kg);
+  std::fprintf(stderr, "[setup] training embeddings ...\n");
+  world->embeddings = std::make_unique<EmbeddingStore>(
+      benchgen::TrainBenchmarkEmbeddings(world->bench.kg));
+  world->type_sim =
+      std::make_unique<TypeJaccardSimilarity>(&world->bench.kg.kg);
+  world->emb_sim =
+      std::make_unique<EmbeddingCosineSimilarity>(world->embeddings.get());
+  world->queries5 = benchgen::MakeQueries(world->bench.kg, num_queries);
+  world->queries1 = benchgen::TruncateQueries(world->queries5, 1);
+  for (size_t i = 0; i < world->queries5.size(); ++i) {
+    world->gt5.push_back(benchgen::ComputeGroundTruth(
+        world->bench.kg, world->bench.lake, world->queries5[i].query));
+    world->gt1.push_back(benchgen::ComputeGroundTruth(
+        world->bench.kg, world->bench.lake, world->queries1[i].query));
+  }
+  std::fprintf(stderr, "[setup] done (%zu tables, %zu queries)\n",
+               world->bench.lake.corpus.size(), world->queries5.size());
+  const World& ref = *world;
+  cache->emplace(key, std::move(world));
+  return ref;
+}
+
+}  // namespace thetis::bench

@@ -1,0 +1,87 @@
+#ifndef THETIS_BENCH_COMMON_H_
+#define THETIS_BENCH_COMMON_H_
+
+// Shared fixture for the benchmark binaries: one lazily-built, cached
+// benchmark world (corpus + KG + embeddings + semantic lake + queries +
+// ground truth) per preset. Each bench binary reproduces one table/figure
+// of the paper's Section 7 (see DESIGN.md's experiment index); scales are
+// laptop-sized, shapes — who wins and by how much — are the deliverable.
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "baselines/bm25_table_search.h"
+#include "baselines/structural_search.h"
+#include "benchgen/benchmark_factory.h"
+#include "benchgen/ground_truth.h"
+#include "benchgen/metrics.h"
+#include "core/search_engine.h"
+#include "core/similarity.h"
+#include "lsh/lsei.h"
+#include "semantic/semantic_data_lake.h"
+
+namespace thetis::bench {
+
+using benchgen::GeneratedQuery;
+using benchgen::RelevanceJudgments;
+
+// Default experiment scale: WT2015-like at 0.5 is ~1000 tables. Override
+// with the THETIS_BENCH_SCALE environment variable.
+double BenchScale();
+
+struct World {
+  benchgen::Benchmark bench;
+  std::unique_ptr<SemanticDataLake> lake;
+  std::unique_ptr<EmbeddingStore> embeddings;
+  std::unique_ptr<TypeJaccardSimilarity> type_sim;
+  std::unique_ptr<EmbeddingCosineSimilarity> emb_sim;
+  // 50 generated 5-tuple queries and their 1-tuple prefixes.
+  std::vector<GeneratedQuery> queries5;
+  std::vector<GeneratedQuery> queries1;
+  // Ground-truth judgments per query (same order as queries5/queries1 —
+  // identical, as truncation does not change the query topic's judgments
+  // materially; computed per variant).
+  std::vector<RelevanceJudgments> gt5;
+  std::vector<RelevanceJudgments> gt1;
+
+  const Corpus& corpus() const { return bench.lake.corpus; }
+  const KnowledgeGraph& kg() const { return bench.kg.kg; }
+};
+
+// Returns the cached world for a preset, building it on first use (this
+// includes embedding training, so the first benchmark in a binary pays the
+// setup cost).
+const World& GetWorld(benchgen::PresetKind kind, double scale,
+                      size_t num_queries = 20);
+
+// Mean NDCG@k of a per-query ranking function.
+template <typename SearchFn>
+double MeanNdcg(const std::vector<GeneratedQuery>& queries,
+                const std::vector<RelevanceJudgments>& gt, size_t k,
+                SearchFn&& search) {
+  double total = 0.0;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    total += benchgen::NdcgAtK(search(queries[i].query), gt[i].relevance, k);
+  }
+  return queries.empty() ? 0.0 : total / static_cast<double>(queries.size());
+}
+
+// Mean recall@k against the ground-truth top-k set.
+template <typename SearchFn>
+double MeanRecall(const std::vector<GeneratedQuery>& queries,
+                  const std::vector<RelevanceJudgments>& gt, size_t k,
+                  SearchFn&& search) {
+  double total = 0.0;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto relevant = benchgen::TopKRelevant(gt[i], k);
+    total +=
+        benchgen::RecallAtK(search(queries[i].query), relevant, k);
+  }
+  return queries.empty() ? 0.0 : total / static_cast<double>(queries.size());
+}
+
+}  // namespace thetis::bench
+
+#endif  // THETIS_BENCH_COMMON_H_

@@ -1,0 +1,97 @@
+// Quickstart: the minimal end-to-end Thetis flow.
+//
+//  1. Build a knowledge graph (entities, types, relations).
+//  2. Build a data lake of tables and link cells to the KG automatically.
+//  3. Run semantic table search for a set of query entities.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/search_engine.h"
+#include "core/similarity.h"
+#include "kg/knowledge_graph.h"
+#include "linking/entity_linker.h"
+#include "semantic/semantic_data_lake.h"
+#include "table/corpus.h"
+
+using namespace thetis;  // NOLINT: example brevity
+
+int main() {
+  // --- 1. A small knowledge graph -----------------------------------------
+  KnowledgeGraph kg;
+  Taxonomy* tax = kg.mutable_taxonomy();
+  TypeId thing = tax->AddType("Thing").value();
+  TypeId person = tax->AddType("Person", thing).value();
+  TypeId player = tax->AddType("BaseballPlayer", person).value();
+  TypeId org = tax->AddType("Organisation", thing).value();
+  TypeId team = tax->AddType("BaseballTeam", org).value();
+
+  EntityId santo = kg.AddEntity("Ron Santo").value();
+  EntityId cubs = kg.AddEntity("Chicago Cubs").value();
+  EntityId stetter = kg.AddEntity("Mitch Stetter").value();
+  EntityId brewers = kg.AddEntity("Milwaukee Brewers").value();
+  kg.AddEntityType(santo, player);
+  kg.AddEntityType(stetter, player);
+  kg.AddEntityType(cubs, team);
+  kg.AddEntityType(brewers, team);
+  PredicateId plays_for = kg.InternPredicate("playsFor");
+  kg.AddEdge(santo, plays_for, cubs);
+  kg.AddEdge(stetter, plays_for, brewers);
+
+  // --- 2. A data lake with automatic entity linking -------------------------
+  Corpus corpus;
+  {
+    Table t("cubs_roster", {"Player", "Team"});
+    t.AppendRow({Value::String("Ron Santo"), Value::String("Chicago Cubs")});
+    corpus.AddTable(std::move(t));
+  }
+  {
+    Table t("brewers_roster", {"Player", "Team"});
+    t.AppendRow(
+        {Value::String("Mitch Stetter"), Value::String("Milwaukee Brewers")});
+    corpus.AddTable(std::move(t));
+  }
+  {
+    Table t("weather", {"City", "Temp"});
+    t.AppendRow({Value::String("Springfield"), Value::Number(21.5)});
+    corpus.AddTable(std::move(t));
+  }
+
+  EntityLinker linker(&kg);
+  LinkingStats linking = linker.LinkCorpus(&corpus);
+  std::printf("linked %zu of %zu candidate cells (%.0f%% coverage)\n",
+              linking.cells_linked, linking.cells_considered,
+              100.0 * linking.coverage());
+
+  // --- 3. Semantic table search ---------------------------------------------
+  SemanticDataLake lake(&corpus, &kg);
+  TypeJaccardSimilarity similarity(&kg);
+  SearchEngine engine(&lake, &similarity);
+
+  // "Find tables about baseball players and their teams, like (Ron Santo,
+  // Chicago Cubs)". Note the Brewers roster contains NO query entity, yet
+  // it is semantically relevant and ranked; the weather table is not.
+  Query query{{{santo, cubs}}};
+  std::printf("\nquery: (Ron Santo, Chicago Cubs)\n");
+  auto hits = engine.Search(query);
+  for (const SearchHit& hit : hits) {
+    std::printf("  %-16s SemRel = %.3f\n",
+                corpus.table(hit.table).name().c_str(), hit.score);
+  }
+
+  // Explain why the second hit is relevant despite containing no query
+  // entity.
+  if (hits.size() > 1) {
+    Explanation why = engine.Explain(query, hits[1].table);
+    std::printf("\nwhy is %s relevant?\n",
+                corpus.table(why.table).name().c_str());
+    for (const EntityExplanation& ee : why.tuples[0].entities) {
+      std::printf("  %-16s -> column %d, similarity %.2f (best match: %s)\n",
+                  kg.label(ee.entity).c_str(), ee.column, ee.coordinate,
+                  ee.best_match == kNoEntity ? "-"
+                                             : kg.label(ee.best_match).c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,249 @@
+// thetis_cli — a small command line around the library, the shape a
+// downstream user would operate:
+//
+//   thetis_cli generate <dir> [--scale S] [--preset wt2015|wt2019|gittables]
+//       Generate a synthetic benchmark and persist it: KG (triples),
+//       corpus (CSVs + links), embeddings (text).
+//
+//   thetis_cli stats <dir>
+//       Print corpus and KG statistics of a persisted lake.
+//
+//   thetis_cli search <dir> [--sim types|embeddings] [--k N]
+//              [--lsh] <entity label> [<entity label> ...]
+//       Semantic table search for one entity tuple; labels must exist in
+//       the persisted KG.
+//
+// Exit code 0 on success, 1 on user error, 2 on IO/internal error.
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "benchgen/benchmark_factory.h"
+#include "core/search_engine.h"
+#include "core/similarity.h"
+#include "embedding/embedding_store.h"
+#include "kg/triple_io.h"
+#include "lsh/lsei.h"
+#include "semantic/corpus_io.h"
+#include "semantic/semantic_data_lake.h"
+#include "util/stopwatch.h"
+
+using namespace thetis;  // NOLINT: example brevity
+namespace fs = std::filesystem;
+
+namespace {
+
+int Fail(const std::string& message, int code = 1) {
+  std::fprintf(stderr, "thetis_cli: %s\n", message.c_str());
+  return code;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  thetis_cli generate <dir> [--scale S] [--preset "
+               "wt2015|wt2019|gittables]\n"
+               "  thetis_cli stats <dir>\n"
+               "  thetis_cli search <dir> [--sim types|embeddings] [--k N] "
+               "[--lsh] <label> [...]\n");
+  return 1;
+}
+
+int RunGenerate(const std::vector<std::string>& args) {
+  if (args.empty()) return Usage();
+  std::string dir = args[0];
+  double scale = 0.1;
+  benchgen::PresetKind preset = benchgen::PresetKind::kWt2015Like;
+  for (size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "--scale" && i + 1 < args.size()) {
+      scale = std::atof(args[++i].c_str());
+    } else if (args[i] == "--preset" && i + 1 < args.size()) {
+      const std::string& p = args[++i];
+      if (p == "wt2015") {
+        preset = benchgen::PresetKind::kWt2015Like;
+      } else if (p == "wt2019") {
+        preset = benchgen::PresetKind::kWt2019Like;
+      } else if (p == "gittables") {
+        preset = benchgen::PresetKind::kGitTablesLike;
+      } else {
+        return Fail("unknown preset '" + p + "'");
+      }
+    } else {
+      return Fail("unknown argument '" + args[i] + "'");
+    }
+  }
+  if (scale <= 0.0) return Fail("--scale must be positive");
+
+  std::printf("generating %s at scale %.3f ...\n",
+              benchgen::PresetName(preset), scale);
+  benchgen::Benchmark bench = benchgen::MakeBenchmark(preset, scale);
+  std::printf("training embeddings ...\n");
+  EmbeddingStore embeddings = benchgen::TrainBenchmarkEmbeddings(bench.kg);
+
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) return Fail("cannot create " + dir, 2);
+  Status s = WriteTriplesFile(bench.kg.kg, (fs::path(dir) / "kg.triples").string());
+  if (!s.ok()) return Fail(s.ToString(), 2);
+  s = SaveCorpus(bench.lake.corpus, bench.kg.kg,
+                 (fs::path(dir) / "corpus").string());
+  if (!s.ok()) return Fail(s.ToString(), 2);
+  s = embeddings.SaveToFile((fs::path(dir) / "embeddings.txt").string());
+  if (!s.ok()) return Fail(s.ToString(), 2);
+  std::printf("wrote %zu tables, %zu entities to %s\n",
+              bench.lake.corpus.size(), bench.kg.kg.num_entities(),
+              dir.c_str());
+  return 0;
+}
+
+struct LoadedLake {
+  KnowledgeGraph kg;
+  Corpus corpus;
+  std::unique_ptr<EmbeddingStore> embeddings;  // may be null
+};
+
+int LoadLake(const std::string& dir, LoadedLake* out) {
+  auto kg = ReadTriplesFile((fs::path(dir) / "kg.triples").string());
+  if (!kg.ok()) {
+    Fail("loading KG: " + kg.status().ToString(), 2);
+    return 2;
+  }
+  out->kg = std::move(kg).value();
+  auto corpus = LoadCorpus((fs::path(dir) / "corpus").string(), out->kg);
+  if (!corpus.ok()) {
+    Fail("loading corpus: " + corpus.status().ToString(), 2);
+    return 2;
+  }
+  out->corpus = std::move(corpus).value();
+  auto emb =
+      EmbeddingStore::LoadFromFile((fs::path(dir) / "embeddings.txt").string());
+  if (emb.ok()) {
+    out->embeddings =
+        std::make_unique<EmbeddingStore>(std::move(emb).value());
+  }
+  return 0;
+}
+
+int RunStats(const std::vector<std::string>& args) {
+  if (args.empty()) return Usage();
+  LoadedLake lake;
+  if (int rc = LoadLake(args[0], &lake); rc != 0) return rc;
+  CorpusStats cs = lake.corpus.ComputeStats();
+  KgStats ks = lake.kg.ComputeStats();
+  std::printf("corpus: %zu tables | %.1f rows x %.1f cols | %.1f%% linked | "
+              "%zu distinct entities mentioned\n",
+              cs.num_tables, cs.mean_rows, cs.mean_columns,
+              100.0 * cs.mean_link_coverage, cs.distinct_entities);
+  std::printf("kg:     %zu entities | %zu edges | %zu types | %zu predicates"
+              " | %.2f types/entity\n",
+              ks.num_entities, ks.num_edges, ks.num_types, ks.num_predicates,
+              ks.mean_types_per_entity);
+  std::printf("embeddings: %s\n",
+              lake.embeddings ? (std::to_string(lake.embeddings->size()) +
+                                 " x " + std::to_string(lake.embeddings->dim()))
+                                    .c_str()
+                              : "(none)");
+  return 0;
+}
+
+int RunSearch(const std::vector<std::string>& args) {
+  if (args.size() < 2) return Usage();
+  std::string dir = args[0];
+  bool use_embeddings = false;
+  bool use_lsh = false;
+  size_t k = 10;
+  std::vector<std::string> labels;
+  for (size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "--sim" && i + 1 < args.size()) {
+      const std::string& s = args[++i];
+      if (s == "embeddings") {
+        use_embeddings = true;
+      } else if (s != "types") {
+        return Fail("unknown similarity '" + s + "'");
+      }
+    } else if (args[i] == "--k" && i + 1 < args.size()) {
+      k = static_cast<size_t>(std::atoi(args[++i].c_str()));
+      if (k == 0) return Fail("--k must be positive");
+    } else if (args[i] == "--lsh") {
+      use_lsh = true;
+    } else {
+      labels.push_back(args[i]);
+    }
+  }
+  if (labels.empty()) return Fail("no query entity labels given");
+
+  LoadedLake lake;
+  if (int rc = LoadLake(dir, &lake); rc != 0) return rc;
+  if (use_embeddings && !lake.embeddings) {
+    return Fail("no embeddings.txt in " + dir + "; use --sim types");
+  }
+
+  Query query;
+  query.tuples.emplace_back();
+  for (const std::string& label : labels) {
+    auto e = lake.kg.FindByLabel(label);
+    if (!e.ok()) return Fail("entity '" + label + "' not in the KG");
+    query.tuples[0].push_back(e.value());
+  }
+
+  SemanticDataLake sem(&lake.corpus, &lake.kg);
+  TypeJaccardSimilarity types(&lake.kg);
+  std::unique_ptr<EmbeddingCosineSimilarity> cosine;
+  if (lake.embeddings) {
+    cosine = std::make_unique<EmbeddingCosineSimilarity>(lake.embeddings.get());
+  }
+  SearchOptions options;
+  options.top_k = k;
+  SearchEngine engine(&sem,
+                      use_embeddings
+                          ? static_cast<const EntitySimilarity*>(cosine.get())
+                          : &types,
+                      options);
+
+  Stopwatch watch;
+  std::vector<SearchHit> hits;
+  SearchStats stats;
+  if (use_lsh) {
+    LseiOptions lsh;
+    lsh.mode = use_embeddings ? LseiMode::kEmbeddings : LseiMode::kTypes;
+    lsh.num_functions = 30;
+    lsh.band_size = 10;
+    Lsei lsei(&sem, lake.embeddings.get(), lsh);
+    PrefilteredSearchEngine fast(&engine, &lsei, /*votes=*/3);
+    hits = fast.Search(query, &stats);
+  } else {
+    hits = engine.Search(query, &stats);
+  }
+  double ms = watch.ElapsedMillis();
+
+  std::printf("top-%zu of %zu scored tables (%.1f ms%s):\n", k,
+              stats.tables_scored, ms,
+              use_lsh ? (", " +
+                         std::to_string(
+                             static_cast<int>(100.0 *
+                                              stats.search_space_reduction)) +
+                         "% pruned by LSH")
+                            .c_str()
+                      : "");
+  for (const SearchHit& hit : hits) {
+    std::printf("  %8.4f  %s\n", hit.score,
+                lake.corpus.table(hit.table).name().c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string command = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  if (command == "generate") return RunGenerate(args);
+  if (command == "stats") return RunStats(args);
+  if (command == "search") return RunSearch(args);
+  return Usage();
+}

@@ -1,0 +1,89 @@
+#include "assignment/hungarian.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace thetis {
+
+AssignmentResult SolveMaxAssignment(
+    const std::vector<std::vector<double>>& scores) {
+  AssignmentResult result;
+  size_t k = scores.size();
+  if (k == 0) return result;
+  size_t n = scores[0].size();
+  for (const auto& row : scores) {
+    THETIS_CHECK(row.size() == n) << "score matrix must be rectangular";
+  }
+  if (n == 0) {
+    result.column_of_row.assign(k, -1);
+    return result;
+  }
+
+  // Pad to a square m x m minimization problem: cost = -score, padding 0.
+  size_t m = std::max(k, n);
+  auto cost = [&](size_t i, size_t j) -> double {
+    if (i < k && j < n) return -scores[i][j];
+    return 0.0;
+  };
+
+  // Shortest-augmenting-path Hungarian algorithm (1-indexed potentials).
+  const double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> u(m + 1, 0.0);   // row potentials
+  std::vector<double> v(m + 1, 0.0);   // column potentials
+  std::vector<size_t> match(m + 1, 0);  // match[j] = row matched to column j
+  std::vector<size_t> way(m + 1, 0);
+
+  for (size_t i = 1; i <= m; ++i) {
+    match[0] = i;
+    size_t j0 = 0;
+    std::vector<double> minv(m + 1, kInf);
+    std::vector<bool> used(m + 1, false);
+    do {
+      used[j0] = true;
+      size_t i0 = match[j0];
+      double delta = kInf;
+      size_t j1 = 0;
+      for (size_t j = 1; j <= m; ++j) {
+        if (used[j]) continue;
+        double cur = cost(i0 - 1, j - 1) - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (size_t j = 0; j <= m; ++j) {
+        if (used[j]) {
+          u[match[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (match[j0] != 0);
+    // Augment along the found path.
+    do {
+      size_t j1 = way[j0];
+      match[j0] = match[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  result.column_of_row.assign(k, -1);
+  for (size_t j = 1; j <= m; ++j) {
+    size_t i = match[j];
+    if (i >= 1 && i <= k && j <= n) {
+      result.column_of_row[i - 1] = static_cast<int>(j - 1);
+      result.total_score += scores[i - 1][j - 1];
+    }
+  }
+  return result;
+}
+
+}  // namespace thetis

@@ -1,0 +1,29 @@
+#ifndef THETIS_ASSIGNMENT_HUNGARIAN_H_
+#define THETIS_ASSIGNMENT_HUNGARIAN_H_
+
+#include <vector>
+
+namespace thetis {
+
+// Result of a maximum-score assignment: for each row (query entity) the
+// selected column index, or -1 when the row is unassigned (possible only
+// when there are more rows than columns).
+struct AssignmentResult {
+  std::vector<int> column_of_row;
+  double total_score = 0.0;
+};
+
+// Solves the maximum-score assignment problem on a dense k x n score matrix
+// with the Hungarian method (Kuhn–Munkres, O(m^3) shortest-augmenting-path
+// formulation). This is the solver behind the query-entity → table-column
+// mapping τ of Section 5.1: each query entity must map to a distinct column
+// so that the summed column-relevance score is maximal.
+//
+// The matrix may be rectangular; rows and columns beyond min(k, n) stay
+// unmatched. Scores may be any finite doubles.
+AssignmentResult SolveMaxAssignment(
+    const std::vector<std::vector<double>>& scores);
+
+}  // namespace thetis
+
+#endif  // THETIS_ASSIGNMENT_HUNGARIAN_H_

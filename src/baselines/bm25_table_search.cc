@@ -1,0 +1,79 @@
+#include "baselines/bm25_table_search.h"
+
+#include <unordered_set>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace thetis {
+
+Bm25TableSearch::Bm25TableSearch(const Corpus* corpus, Bm25Params params)
+    : corpus_(corpus), scorer_(&index_, params) {
+  THETIS_CHECK(corpus != nullptr);
+  for (TableId id = 0; id < corpus->size(); ++id) {
+    const Table& t = corpus->table(id);
+    std::vector<std::string> tokens;
+    for (size_t c = 0; c < t.num_columns(); ++c) {
+      for (const std::string& tok : TokenizeNormalized(t.column_name(c))) {
+        tokens.push_back(tok);
+      }
+    }
+    for (size_t r = 0; r < t.num_rows(); ++r) {
+      for (size_t c = 0; c < t.num_columns(); ++c) {
+        for (const std::string& tok : TokenizeNormalized(t.cell(r, c).ToText())) {
+          tokens.push_back(tok);
+        }
+      }
+    }
+    DocId doc = index_.AddDocument(tokens);
+    THETIS_CHECK(doc == id);
+  }
+}
+
+std::vector<SearchHit> Bm25TableSearch::Search(
+    const std::vector<std::string>& query_tokens, size_t k) const {
+  std::vector<SearchHit> hits;
+  for (const auto& [doc, score] : scorer_.Search(query_tokens, k)) {
+    hits.push_back(SearchHit{static_cast<TableId>(doc), score});
+  }
+  return hits;
+}
+
+std::vector<std::string> Bm25TableSearch::QueryToTokens(
+    const Query& query, const KnowledgeGraph& kg) {
+  std::vector<std::string> tokens;
+  for (const auto& tuple : query.tuples) {
+    for (EntityId e : tuple) {
+      if (e == kNoEntity) continue;
+      for (const std::string& tok : TokenizeNormalized(kg.label(e))) {
+        tokens.push_back(tok);
+      }
+    }
+  }
+  return tokens;
+}
+
+std::vector<SearchHit> MergeTopHalves(const std::vector<SearchHit>& a,
+                                      const std::vector<SearchHit>& b,
+                                      size_t k) {
+  size_t half = k / 2;
+  std::vector<SearchHit> merged;
+  std::unordered_set<TableId> seen;
+  auto take = [&](const std::vector<SearchHit>& src, size_t limit) {
+    size_t taken = 0;
+    for (const SearchHit& h : src) {
+      if (taken >= limit || merged.size() >= k) break;
+      if (seen.insert(h.table).second) {
+        merged.push_back(h);
+        ++taken;
+      }
+    }
+  };
+  take(a, half);
+  take(b, k - merged.size());
+  // Backfill from a's tail if b was short.
+  if (merged.size() < k) take(a, k - merged.size());
+  return merged;
+}
+
+}  // namespace thetis

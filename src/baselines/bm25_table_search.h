@@ -1,0 +1,49 @@
+#ifndef THETIS_BASELINES_BM25_TABLE_SEARCH_H_
+#define THETIS_BASELINES_BM25_TABLE_SEARCH_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/search_engine.h"
+#include "kg/knowledge_graph.h"
+#include "table/corpus.h"
+#include "text/bm25.h"
+#include "text/inverted_index.h"
+
+namespace thetis {
+
+// The paper's keyword-search baseline: each table becomes one BM25 document
+// whose tokens are the text of all its cells (plus column names), and the
+// query tuples are flattened into keywords ("text queries", Section 7.1).
+class Bm25TableSearch {
+ public:
+  // Indexes the whole corpus; the corpus must outlive this object.
+  explicit Bm25TableSearch(const Corpus* corpus, Bm25Params params = {});
+
+  // Keyword search over table documents; doc ids equal table ids.
+  std::vector<SearchHit> Search(const std::vector<std::string>& query_tokens,
+                                size_t k) const;
+
+  // Converts an entity-tuple query into keywords using the KG labels of the
+  // query entities (the cell texts of the query table).
+  static std::vector<std::string> QueryToTokens(const Query& query,
+                                                const KnowledgeGraph& kg);
+
+ private:
+  const Corpus* corpus_;
+  InvertedIndex index_;
+  Bm25Scorer scorer_;
+};
+
+// Merges two ranked lists by taking the top half of each, used for the
+// STSTC/STSEC "complemented" configurations of Section 7.2: the top 50% of
+// the semantic ranking and the top 50% of the BM25 ranking are unioned
+// (first-seen rank wins) and truncated to k.
+std::vector<SearchHit> MergeTopHalves(const std::vector<SearchHit>& a,
+                                      const std::vector<SearchHit>& b,
+                                      size_t k);
+
+}  // namespace thetis
+
+#endif  // THETIS_BASELINES_BM25_TABLE_SEARCH_H_

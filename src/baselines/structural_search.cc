@@ -1,0 +1,218 @@
+#include "baselines/structural_search.h"
+
+#include <algorithm>
+
+#include "core/similarity.h"
+#include "embedding/vector_ops.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+#include "util/top_k.h"
+
+namespace thetis {
+
+// ---------------------------------------------------------------------------
+// OverlapJoinSearch
+
+OverlapJoinSearch::OverlapJoinSearch(const Corpus* corpus) : corpus_(corpus) {
+  THETIS_CHECK(corpus != nullptr);
+  column_values_.resize(corpus->size());
+  for (TableId id = 0; id < corpus->size(); ++id) {
+    const Table& t = corpus->table(id);
+    column_values_[id].resize(t.num_columns());
+    for (size_t c = 0; c < t.num_columns(); ++c) {
+      for (size_t r = 0; r < t.num_rows(); ++r) {
+        std::string text = NormalizeForMatch(t.cell(r, c).ToText());
+        if (!text.empty()) column_values_[id][c].insert(std::move(text));
+      }
+    }
+  }
+}
+
+std::vector<SearchHit> OverlapJoinSearch::Search(
+    const std::vector<std::string>& query_texts, size_t k) const {
+  std::unordered_set<std::string> query_set;
+  for (const std::string& s : query_texts) {
+    std::string norm = NormalizeForMatch(s);
+    if (!norm.empty()) query_set.insert(std::move(norm));
+  }
+  if (query_set.empty()) return {};
+  TopK<TableId> top(std::max<size_t>(1, k));
+  for (TableId id = 0; id < corpus_->size(); ++id) {
+    double best = 0.0;
+    for (const auto& column : column_values_[id]) {
+      size_t inter = 0;
+      for (const std::string& q : query_set) {
+        if (column.count(q) > 0) ++inter;
+      }
+      double score =
+          static_cast<double>(inter) / static_cast<double>(query_set.size());
+      best = std::max(best, score);
+    }
+    if (best > 0.0) top.Push(id, best);
+  }
+  std::vector<SearchHit> hits;
+  for (const auto& [id, score] : top.Extract()) {
+    hits.push_back(SearchHit{id, score});
+  }
+  return hits;
+}
+
+std::vector<std::string> OverlapJoinSearch::QueryTexts(
+    const Query& query, const KnowledgeGraph& kg) {
+  std::vector<std::string> out;
+  for (const auto& tuple : query.tuples) {
+    for (EntityId e : tuple) {
+      if (e != kNoEntity) out.push_back(kg.label(e));
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// UnionSearch
+
+UnionSearch::UnionSearch(const Corpus* corpus, const KnowledgeGraph* kg)
+    : corpus_(corpus), kg_(kg) {
+  THETIS_CHECK(corpus != nullptr && kg != nullptr);
+  column_types_.resize(corpus->size());
+  for (TableId id = 0; id < corpus->size(); ++id) {
+    const Table& t = corpus->table(id);
+    column_types_[id].resize(t.num_columns());
+    for (size_t c = 0; c < t.num_columns(); ++c) {
+      column_types_[id][c] = ColumnTypeSignature(t.ColumnEntities(c));
+    }
+  }
+}
+
+std::vector<TypeId> UnionSearch::ColumnTypeSignature(
+    const std::vector<EntityId>& entities) const {
+  std::unordered_set<TypeId> types;
+  for (EntityId e : entities) {
+    for (TypeId t : kg_->TypeSet(e, /*include_ancestors=*/true)) {
+      types.insert(t);
+    }
+  }
+  std::vector<TypeId> out(types.begin(), types.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<SearchHit> UnionSearch::Search(const Query& query,
+                                           size_t k) const {
+  // Query column signatures: entities grouped by tuple position.
+  size_t width = 0;
+  for (const auto& t : query.tuples) width = std::max(width, t.size());
+  std::vector<std::vector<TypeId>> query_columns;
+  for (size_t c = 0; c < width; ++c) {
+    std::vector<EntityId> entities;
+    for (const auto& t : query.tuples) {
+      if (c < t.size() && t[c] != kNoEntity) entities.push_back(t[c]);
+    }
+    std::vector<TypeId> sig = ColumnTypeSignature(entities);
+    if (!sig.empty()) query_columns.push_back(std::move(sig));
+  }
+  if (query_columns.empty()) return {};
+
+  TopK<TableId> top(std::max<size_t>(1, k));
+  for (TableId id = 0; id < corpus_->size(); ++id) {
+    double total = 0.0;
+    for (const auto& qsig : query_columns) {
+      double best = 0.0;
+      for (const auto& tsig : column_types_[id]) {
+        best = std::max(best, JaccardOfSorted(qsig, tsig));
+      }
+      total += best;
+    }
+    double score = total / static_cast<double>(query_columns.size());
+    if (score > 0.0) top.Push(id, score);
+  }
+  std::vector<SearchHit> hits;
+  for (const auto& [id, score] : top.Extract()) {
+    hits.push_back(SearchHit{id, score});
+  }
+  return hits;
+}
+
+// ---------------------------------------------------------------------------
+// TableEmbeddingSearch
+
+namespace {
+
+// Deterministic unit pseudo-vector for a non-entity token, standing in for
+// the word embedding a table encoder would assign to it.
+std::vector<float> WordPseudoVector(const std::string& word, size_t dim) {
+  std::vector<float> v(dim);
+  uint64_t h = 0x9E3779B97F4A7C15ULL;
+  for (char c : word) h = MixHash64(h ^ static_cast<unsigned char>(c));
+  Rng rng(h);
+  for (float& x : v) x = static_cast<float>(rng.NextGaussian());
+  float norm = L2Norm(v.data(), dim);
+  if (norm > 0.0f) {
+    for (float& x : v) x /= norm;
+  }
+  return v;
+}
+
+}  // namespace
+
+TableEmbeddingSearch::TableEmbeddingSearch(const Corpus* corpus,
+                                           const EmbeddingStore* store,
+                                           TableEmbeddingOptions options)
+    : corpus_(corpus), store_(store), options_(options) {
+  THETIS_CHECK(corpus != nullptr && store != nullptr);
+  table_vectors_.resize(corpus->size());
+  for (TableId id = 0; id < corpus->size(); ++id) {
+    const Table& t = corpus->table(id);
+    // Pool every cell: entity vectors where linked, word pseudo-vectors for
+    // all other textual content (a table encoder sees all tokens).
+    std::vector<std::vector<float>> owned;
+    std::vector<const float*> vecs;
+    for (size_t r = 0; r < t.num_rows(); ++r) {
+      for (size_t c = 0; c < t.num_columns(); ++c) {
+        EntityId e = t.link(r, c);
+        if (e != kNoEntity) {
+          vecs.push_back(store->vector(e));
+        } else if (t.cell(r, c).is_string()) {
+          owned.push_back(
+              WordPseudoVector(NormalizeForMatch(t.cell(r, c).ToText()),
+                               store->dim()));
+          vecs.push_back(owned.back().data());
+        }
+      }
+    }
+    table_vectors_[id] = MeanPool(vecs, store->dim());
+  }
+}
+
+std::vector<SearchHit> TableEmbeddingSearch::Search(const Query& query,
+                                                    size_t k) const {
+  std::vector<const float*> vecs;
+  for (EntityId e : query.DistinctEntities()) {
+    vecs.push_back(store_->vector(e));
+  }
+  std::vector<float> qvec = MeanPool(vecs, store_->dim());
+  if (options_.query_noise > 0.0 && !vecs.empty()) {
+    // Small inputs yield unreliable learned representations; perturb the
+    // query vector with noise shrinking in the input size.
+    double sigma =
+        options_.query_noise / std::sqrt(static_cast<double>(vecs.size()));
+    Rng rng(options_.seed ^ MixHash64(vecs.size()));
+    for (float& x : qvec) {
+      x += static_cast<float>(sigma * rng.NextGaussian());
+    }
+  }
+  TopK<TableId> top(std::max<size_t>(1, k));
+  for (TableId id = 0; id < corpus_->size(); ++id) {
+    float c = CosineSimilarity(qvec.data(), table_vectors_[id].data(),
+                               store_->dim());
+    if (c > 0.0f) top.Push(id, static_cast<double>(c));
+  }
+  std::vector<SearchHit> hits;
+  for (const auto& [id, score] : top.Extract()) {
+    hits.push_back(SearchHit{id, score});
+  }
+  return hits;
+}
+
+}  // namespace thetis

@@ -1,0 +1,102 @@
+#ifndef THETIS_BASELINES_STRUCTURAL_SEARCH_H_
+#define THETIS_BASELINES_STRUCTURAL_SEARCH_H_
+
+#include <cstddef>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "core/search_engine.h"
+#include "kg/knowledge_graph.h"
+#include "table/corpus.h"
+
+namespace thetis {
+
+// Simplified stand-ins for the structural table-search baselines the paper
+// compares against (Section 7.1). They reproduce the ranking *signals* of
+// those systems — syntactic value overlap for join search (D³L/JOSIE-style)
+// and column-domain similarity for union search (SANTOS/Starmie-style) —
+// which is what makes their NDCG collapse on topical-relevance ground
+// truth: neither signal tracks semantic relatedness of the entities.
+
+// Join-style search: ranks tables by the best syntactic overlap between the
+// query's cell texts and any single table column (joinability), normalized
+// by the query set size.
+class OverlapJoinSearch {
+ public:
+  explicit OverlapJoinSearch(const Corpus* corpus);
+
+  // `query_texts` are the normalized cell texts of the query table.
+  std::vector<SearchHit> Search(const std::vector<std::string>& query_texts,
+                                size_t k) const;
+
+  // Normalized label texts of the query's entities.
+  static std::vector<std::string> QueryTexts(const Query& query,
+                                             const KnowledgeGraph& kg);
+
+ private:
+  const Corpus* corpus_;
+  // Per table, per column: the distinct normalized cell texts.
+  std::vector<std::vector<std::unordered_set<std::string>>> column_values_;
+};
+
+// Union-style search: ranks tables by how unionable their schema is with
+// the query table. Each query column (position across tuples) and each
+// table column is summarized by its set of entity types; column-to-column
+// similarity is the Jaccard of those type signatures, and the table score
+// averages the best match per query column. Structural similarity only —
+// a table of *different* baseball teams in the same schema scores the same
+// as the queried teams' table.
+class UnionSearch {
+ public:
+  UnionSearch(const Corpus* corpus, const KnowledgeGraph* kg);
+
+  std::vector<SearchHit> Search(const Query& query, size_t k) const;
+
+ private:
+  std::vector<TypeId> ColumnTypeSignature(
+      const std::vector<EntityId>& entities) const;
+
+  const Corpus* corpus_;
+  const KnowledgeGraph* kg_;
+  // Per table, per column: sorted type signature.
+  std::vector<std::vector<std::vector<TypeId>>> column_types_;
+};
+
+// TURL-like representation search: every table is embedded as the mean
+// vector of ALL its cell contents — linked entities contribute their KG
+// vectors, every other textual cell contributes a deterministic
+// pseudo-random "word vector" (a table encoder embeds all tokens, not just
+// entity mentions). Queries are embedded the same way from their entities;
+// tables are ranked by cosine. Pooling whole tables is what the paper
+// identifies as TURL's weakness: the table vector mixes every topic and
+// every non-entity token the table contains, so small entity queries match
+// it poorly.
+struct TableEmbeddingOptions {
+  // Simulates the brittleness of learned representations for small inputs
+  // (the paper: "tables must be large enough to achieve high-quality vector
+  // representations, limiting the effectiveness of small queries"): the
+  // pooled query vector is perturbed with Gaussian noise of scale
+  // query_noise / sqrt(#query entities). 0 disables the simulation and
+  // yields the clean best-case pooling proxy.
+  double query_noise = 0.0;
+  uint64_t seed = 11;
+};
+
+class TableEmbeddingSearch {
+ public:
+  TableEmbeddingSearch(const Corpus* corpus, const EmbeddingStore* store,
+                       TableEmbeddingOptions options = {});
+
+  std::vector<SearchHit> Search(const Query& query, size_t k) const;
+
+ private:
+  const Corpus* corpus_;
+  const EmbeddingStore* store_;
+  TableEmbeddingOptions options_;
+  std::vector<std::vector<float>> table_vectors_;
+};
+
+}  // namespace thetis
+
+#endif  // THETIS_BASELINES_STRUCTURAL_SEARCH_H_

@@ -1,0 +1,56 @@
+#ifndef THETIS_BENCHGEN_BENCHMARK_FACTORY_H_
+#define THETIS_BENCHGEN_BENCHMARK_FACTORY_H_
+
+#include <cstddef>
+#include <string>
+
+#include "benchgen/query_gen.h"
+#include "benchgen/synthetic_kg.h"
+#include "benchgen/synthetic_lake.h"
+#include "embedding/embedding_store.h"
+
+namespace thetis::benchgen {
+
+// The four corpora of the paper's Table 2, as generator presets. Absolute
+// table counts are scaled to laptop size; the *relative* characteristics
+// the experiments depend on are preserved:
+//   Wt2015-like:    baseline corpus, ~35 rows, ~6 cols, ~28% coverage
+//   Wt2019-like:    ~2x more tables, ~24 rows, lower coverage (~18%)
+//   GitTables-like: much larger tables (~140 rows, 12 cols), richer KG,
+//                   no ground-truth links in the paper (re-linked by
+//                   keyword search in bench_sec74_gittables)
+//   Synthetic:      Wt2015-like grown by row resampling (runtime scaling)
+enum class PresetKind {
+  kWt2015Like,
+  kWt2019Like,
+  kGitTablesLike,
+  kSyntheticLike,
+};
+
+const char* PresetName(PresetKind kind);
+
+// A fully generated benchmark: KG + corpus + metadata.
+struct Benchmark {
+  std::string name;
+  SyntheticKg kg;
+  SyntheticLake lake;
+};
+
+// Builds a benchmark. `scale` multiplies the preset's table count
+// (scale 1.0 ~= a few thousand tables); the KG size is preset-specific.
+Benchmark MakeBenchmark(PresetKind kind, double scale = 1.0,
+                        uint64_t seed = 101);
+
+// Trains RDF2Vec-style embeddings for a benchmark's KG with settings sized
+// for the synthetic graphs (walks 10 x depth 4, dim 32, 5 epochs).
+EmbeddingStore TrainBenchmarkEmbeddings(const SyntheticKg& kg,
+                                        uint64_t seed = 202);
+
+// Standard query workload: `num` 5-tuple queries of width 3 (1-tuple
+// queries are derived via TruncateQueries).
+std::vector<GeneratedQuery> MakeQueries(const SyntheticKg& kg, size_t num = 50,
+                                        uint64_t seed = 303);
+
+}  // namespace thetis::benchgen
+
+#endif  // THETIS_BENCHGEN_BENCHMARK_FACTORY_H_

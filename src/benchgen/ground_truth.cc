@@ -1,0 +1,100 @@
+#include "benchgen/ground_truth.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/logging.h"
+
+namespace thetis::benchgen {
+
+namespace {
+
+using CategorySet = std::set<uint32_t>;
+
+double SetJaccard(const CategorySet& a, const CategorySet& b) {
+  if (a.empty() && b.empty()) return 0.0;
+  size_t inter = 0;
+  for (uint32_t x : a) inter += b.count(x);
+  size_t uni = a.size() + b.size() - inter;
+  return uni == 0 ? 0.0
+                  : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+CategorySet DomainsOf(const CategorySet& topics, const SyntheticKg& kg) {
+  CategorySet domains;
+  for (uint32_t t : topics) domains.insert(kg.topic_domain[t]);
+  return domains;
+}
+
+}  // namespace
+
+RelevanceJudgments ComputeGroundTruth(const SyntheticKg& kg,
+                                      const SyntheticLake& lake,
+                                      const Query& query) {
+  CategorySet query_topics;
+  for (const auto& tuple : query.tuples) {
+    for (EntityId e : tuple) {
+      if (e != kNoEntity) query_topics.insert(kg.TopicOf(e));
+    }
+  }
+
+  std::set<EntityId> query_entities;
+  for (const auto& tuple : query.tuples) {
+    for (EntityId e : tuple) {
+      if (e != kNoEntity) query_entities.insert(e);
+    }
+  }
+
+  RelevanceJudgments judgments;
+  judgments.relevance.resize(lake.corpus.size(), 0.0);
+  if (query_topics.empty()) return judgments;
+  CategorySet query_domains = DomainsOf(query_topics, kg);
+
+  for (TableId id = 0; id < lake.corpus.size(); ++id) {
+    if (lake.table_categories[id].empty()) continue;
+    // The table's page categories are generation-time metadata, independent
+    // of the table's realized row mix (noise rows do not change what a page
+    // is "about").
+    CategorySet table_topics(lake.table_categories[id].begin(),
+                             lake.table_categories[id].end());
+    CategorySet table_domains = DomainsOf(table_topics, kg);
+    // Navigational-link component: the fraction of query entities the table
+    // actually mentions. Tables containing the queried entities themselves
+    // outrank merely same-category tables, as Wikipedia navigational links
+    // encode.
+    size_t present = 0;
+    for (EntityId e : query_entities) {
+      if (std::binary_search(lake.table_entities[id].begin(),
+                             lake.table_entities[id].end(), e)) {
+        ++present;
+      }
+    }
+    double presence =
+        query_entities.empty()
+            ? 0.0
+            : static_cast<double>(present) /
+                  static_cast<double>(query_entities.size());
+    judgments.relevance[id] = 0.5 * SetJaccard(query_topics, table_topics) +
+                              0.2 * SetJaccard(query_domains, table_domains) +
+                              0.3 * presence;
+  }
+  return judgments;
+}
+
+std::vector<TableId> TopKRelevant(const RelevanceJudgments& judgments,
+                                  size_t k) {
+  std::vector<TableId> ids;
+  for (TableId id = 0; id < judgments.relevance.size(); ++id) {
+    if (judgments.relevance[id] > 0.0) ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end(), [&](TableId a, TableId b) {
+    if (judgments.relevance[a] != judgments.relevance[b]) {
+      return judgments.relevance[a] > judgments.relevance[b];
+    }
+    return a < b;
+  });
+  if (ids.size() > k) ids.resize(k);
+  return ids;
+}
+
+}  // namespace thetis::benchgen

@@ -1,0 +1,50 @@
+#ifndef THETIS_BENCHGEN_GROUND_TRUTH_H_
+#define THETIS_BENCHGEN_GROUND_TRUTH_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "benchgen/synthetic_kg.h"
+#include "benchgen/synthetic_lake.h"
+#include "core/search_engine.h"
+
+namespace thetis::benchgen {
+
+// Graded relevance of every corpus table to one query, in [0, 1].
+struct RelevanceJudgments {
+  std::vector<double> relevance;  // indexed by TableId
+};
+
+// Builds the paper-style ground truth: the WT benchmarks derive relevance
+// from Wikipedia categories and navigational links; here topics play the
+// category role. A table's categories are the topics that own a
+// non-negligible share (>= ~10%) of its entity cells; the query's
+// categories are its entities' topics. Relevance is
+//
+//   0.5 * Jaccard(categories of Q, categories of T)
+// + 0.2 * Jaccard(domains of Q, domains of T)
+// + 0.3 * (fraction of Q's entities the table mentions)
+//
+// The last term is the navigational-link analogue: pages that mention the
+// queried entities outrank merely same-category pages.
+//
+// Category membership is presence-based, like Wikipedia's: a results table
+// mixing three teams is fully "about" each of them, regardless of row
+// proportions. The domain term grants partial credit to same-domain tables
+// — semantically related results that keyword search cannot reach.
+// Categories come from generation-time metadata (all entity cells, linked
+// or not), so the judgments are independent of entity-linking quality, as
+// category annotations are.
+RelevanceJudgments ComputeGroundTruth(const SyntheticKg& kg,
+                                      const SyntheticLake& lake,
+                                      const Query& query);
+
+// Tables with positive relevance, sorted by descending relevance (ties:
+// id ascending), truncated to k. This is the "top-k ground truth relevant
+// tables" set recall is measured against.
+std::vector<TableId> TopKRelevant(const RelevanceJudgments& judgments,
+                                  size_t k);
+
+}  // namespace thetis::benchgen
+
+#endif  // THETIS_BENCHGEN_GROUND_TRUTH_H_

@@ -1,0 +1,81 @@
+#include "benchgen/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace thetis::benchgen {
+
+namespace {
+
+double Dcg(const std::vector<double>& gains) {
+  double dcg = 0.0;
+  for (size_t i = 0; i < gains.size(); ++i) {
+    dcg += (std::pow(2.0, gains[i]) - 1.0) /
+           std::log2(static_cast<double>(i) + 2.0);
+  }
+  return dcg;
+}
+
+}  // namespace
+
+double NdcgAtK(const std::vector<TableId>& ranked,
+               const std::vector<double>& relevance, size_t k) {
+  std::vector<double> gains;
+  for (size_t i = 0; i < ranked.size() && i < k; ++i) {
+    TableId id = ranked[i];
+    gains.push_back(id < relevance.size() ? relevance[id] : 0.0);
+  }
+  std::vector<double> ideal = relevance;
+  std::sort(ideal.begin(), ideal.end(), std::greater<double>());
+  if (ideal.size() > k) ideal.resize(k);
+  double idcg = Dcg(ideal);
+  if (idcg <= 0.0) return 0.0;
+  return Dcg(gains) / idcg;
+}
+
+double RecallAtK(const std::vector<TableId>& ranked,
+                 const std::vector<TableId>& relevant, size_t k) {
+  if (relevant.empty()) return 0.0;
+  std::unordered_set<TableId> relevant_set(relevant.begin(), relevant.end());
+  size_t found = 0;
+  for (size_t i = 0; i < ranked.size() && i < k; ++i) {
+    if (relevant_set.count(ranked[i]) > 0) ++found;
+  }
+  return static_cast<double>(found) / static_cast<double>(relevant.size());
+}
+
+size_t ResultSetDifference(const std::vector<TableId>& a,
+                           const std::vector<TableId>& b, size_t k) {
+  std::unordered_set<TableId> in_b;
+  for (size_t i = 0; i < b.size() && i < k; ++i) in_b.insert(b[i]);
+  size_t diff = 0;
+  for (size_t i = 0; i < a.size() && i < k; ++i) {
+    if (in_b.count(a[i]) == 0) ++diff;
+  }
+  return diff;
+}
+
+std::vector<TableId> HitTables(const std::vector<SearchHit>& hits) {
+  std::vector<TableId> out;
+  out.reserve(hits.size());
+  for (const SearchHit& h : hits) out.push_back(h.table);
+  return out;
+}
+
+Summary Summarize(std::vector<double> values) {
+  Summary s;
+  if (values.empty()) return s;
+  std::sort(values.begin(), values.end());
+  s.min = values.front();
+  s.max = values.back();
+  double total = 0.0;
+  for (double v : values) total += v;
+  s.mean = total / static_cast<double>(values.size());
+  size_t n = values.size();
+  s.median = n % 2 == 1 ? values[n / 2]
+                        : 0.5 * (values[n / 2 - 1] + values[n / 2]);
+  return s;
+}
+
+}  // namespace thetis::benchgen

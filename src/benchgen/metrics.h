@@ -1,0 +1,43 @@
+#ifndef THETIS_BENCHGEN_METRICS_H_
+#define THETIS_BENCHGEN_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/search_engine.h"
+
+namespace thetis::benchgen {
+
+// Ranking-quality metrics used throughout Section 7.
+
+// NDCG@k with graded gains (2^rel - 1) and log2 discounting; the ideal
+// ranking is the relevance vector sorted descending. Returns 0 when the
+// ideal DCG is 0. `ranked` are table ids in rank order.
+double NdcgAtK(const std::vector<TableId>& ranked,
+               const std::vector<double>& relevance, size_t k);
+
+// Fraction of `relevant` (the ground-truth top-k set) present in the first
+// k entries of `ranked`. Returns 0 when `relevant` is empty.
+double RecallAtK(const std::vector<TableId>& ranked,
+                 const std::vector<TableId>& relevant, size_t k);
+
+// |first k of a \ first k of b|: how many of a's top-k results b does not
+// return (the result-set difference analysis of Section 7.2).
+size_t ResultSetDifference(const std::vector<TableId>& a,
+                           const std::vector<TableId>& b, size_t k);
+
+// Extracts the table ids of a hit list in rank order.
+std::vector<TableId> HitTables(const std::vector<SearchHit>& hits);
+
+// Simple summary statistics over a sample.
+struct Summary {
+  double mean = 0.0;
+  double median = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+Summary Summarize(std::vector<double> values);
+
+}  // namespace thetis::benchgen
+
+#endif  // THETIS_BENCHGEN_METRICS_H_

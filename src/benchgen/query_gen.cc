@@ -1,0 +1,78 @@
+#include "benchgen/query_gen.h"
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace thetis::benchgen {
+
+namespace {
+
+EntityId RandomNeighborOrTopicMember(const SyntheticKg& kg, EntityId e,
+                                     Rng* rng) {
+  const auto& out = kg.kg.OutEdges(e);
+  const auto& in = kg.kg.InEdges(e);
+  size_t degree = out.size() + in.size();
+  if (degree > 0 && rng->NextBernoulli(0.7)) {
+    // Users pose topically coherent queries (a player and their team, not a
+    // player and a random other-domain entity); retry a few times to stay
+    // inside the anchor's domain.
+    for (int attempt = 0; attempt < 4; ++attempt) {
+      size_t pick = rng->NextBounded(static_cast<uint32_t>(degree));
+      EntityId cand =
+          pick < out.size() ? out[pick].dst : in[pick - out.size()].dst;
+      if (kg.DomainOf(cand) == kg.DomainOf(e)) return cand;
+    }
+  }
+  const auto& members = kg.topic_members[kg.TopicOf(e)];
+  return members[rng->NextBounded(static_cast<uint32_t>(members.size()))];
+}
+
+}  // namespace
+
+std::vector<GeneratedQuery> GenerateQueries(const SyntheticKg& kg,
+                                            const QueryGenOptions& options) {
+  THETIS_CHECK(options.tuple_width >= 1);
+  THETIS_CHECK(options.tuples_per_query >= 1);
+  Rng rng(options.seed);
+  std::vector<GeneratedQuery> out;
+  out.reserve(options.num_queries);
+
+  for (size_t q = 0; q < options.num_queries; ++q) {
+    uint32_t topic = static_cast<uint32_t>(q % kg.num_topics);
+    GeneratedQuery gq;
+    gq.topic = topic;
+    for (size_t t = 0; t < options.tuples_per_query; ++t) {
+      std::vector<EntityId> tuple;
+      const auto& members = kg.topic_members[topic];
+      EntityId anchor =
+          members[rng.NextBounded(static_cast<uint32_t>(members.size()))];
+      tuple.push_back(anchor);
+      EntityId prev = anchor;
+      for (size_t w = 1; w < options.tuple_width; ++w) {
+        EntityId next = RandomNeighborOrTopicMember(kg, prev, &rng);
+        tuple.push_back(next);
+        prev = next;
+      }
+      gq.query.tuples.push_back(std::move(tuple));
+    }
+    out.push_back(std::move(gq));
+  }
+  return out;
+}
+
+std::vector<GeneratedQuery> TruncateQueries(
+    const std::vector<GeneratedQuery>& queries, size_t tuples) {
+  std::vector<GeneratedQuery> out;
+  out.reserve(queries.size());
+  for (const GeneratedQuery& gq : queries) {
+    GeneratedQuery trimmed;
+    trimmed.topic = gq.topic;
+    size_t take = std::min(tuples, gq.query.tuples.size());
+    trimmed.query.tuples.assign(gq.query.tuples.begin(),
+                                gq.query.tuples.begin() + take);
+    out.push_back(std::move(trimmed));
+  }
+  return out;
+}
+
+}  // namespace thetis::benchgen

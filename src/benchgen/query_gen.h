@@ -1,0 +1,44 @@
+#ifndef THETIS_BENCHGEN_QUERY_GEN_H_
+#define THETIS_BENCHGEN_QUERY_GEN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "benchgen/synthetic_kg.h"
+#include "core/search_engine.h"
+
+namespace thetis::benchgen {
+
+// Options for generating entity-tuple queries over a SyntheticKg, matching
+// the paper's query workload (Section 7.1): heterogeneous 1- and 5-tuple
+// queries of width >= 3, where the 1-tuple queries are contained in the
+// 5-tuple ones.
+struct QueryGenOptions {
+  size_t num_queries = 50;
+  size_t tuples_per_query = 5;
+  size_t tuple_width = 3;
+  uint64_t seed = 31;
+};
+
+// A generated query plus the topic it was drawn from (used by ground truth
+// and diagnostics).
+struct GeneratedQuery {
+  Query query;
+  uint32_t topic = 0;
+};
+
+// Generates queries whose tuples mimic table rows: an anchor entity from
+// the query's topic followed by graph neighbours (e.g. (player, team,
+// teammate)). Topics rotate round-robin for heterogeneity.
+std::vector<GeneratedQuery> GenerateQueries(const SyntheticKg& kg,
+                                            const QueryGenOptions& options);
+
+// The k-tuple prefix of each query (e.g. the paper's 1-tuple queries are
+// the first tuple of the 5-tuple ones).
+std::vector<GeneratedQuery> TruncateQueries(
+    const std::vector<GeneratedQuery>& queries, size_t tuples);
+
+}  // namespace thetis::benchgen
+
+#endif  // THETIS_BENCHGEN_QUERY_GEN_H_

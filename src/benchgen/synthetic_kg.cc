@@ -1,0 +1,199 @@
+#include "benchgen/synthetic_kg.h"
+
+#include <array>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace thetis::benchgen {
+
+namespace {
+
+// Readable domain vocabulary; wraps around when options ask for more.
+constexpr std::array<const char*, 12> kDomainNames = {
+    "sports",  "music",    "film",    "geography", "politics", "science",
+    "company", "literature", "food", "aviation",  "history",  "art"};
+
+std::string DomainName(size_t d) {
+  std::string base = kDomainNames[d % kDomainNames.size()];
+  if (d >= kDomainNames.size()) base += std::to_string(d / kDomainNames.size());
+  return base;
+}
+
+
+// Name-like entity labels drawn from shared first-name/surname pools.
+// Two properties matter for realism:
+//  * labels share no tokens with their topic or domain — the name "Mitch
+//    Stetter" does not contain "baseball", so keyword search cannot do
+//    topic search through entity names; and
+//  * name *tokens* are shared across unrelated entities (different people
+//    named "Ron"), so keyword search has realistic false positives instead
+//    of perfect precision.
+std::string SyllableWord(uint32_t index) {
+  constexpr std::array<const char*, 16> kOnsets = {
+      "b", "d", "f", "g", "k", "l", "m", "n",
+      "p", "r", "s", "t", "v", "z", "ch", "th"};
+  constexpr std::array<const char*, 8> kVowels = {"a", "e",  "i",  "o",
+                                                  "u", "ai", "ou", "ea"};
+  std::string w;
+  // Two or three syllables decoded deterministically from the index.
+  size_t syllables = 2 + (index % 2);
+  uint64_t x = MixHash64(index);
+  for (size_t s = 0; s < syllables; ++s) {
+    w += kOnsets[x % kOnsets.size()];
+    x /= kOnsets.size();
+    w += kVowels[x % kVowels.size()];
+    x /= kVowels.size();
+  }
+  w[0] = static_cast<char>(w[0] - 'a' + 'A');
+  return w;
+}
+
+std::string EntityName(Rng* rng) {
+  // 48 first names x 160 surnames: plenty of token sharing at our entity
+  // counts; full-label collisions are deduplicated by the caller.
+  uint32_t first = rng->NextBounded(48);
+  uint32_t last = 48 + rng->NextBounded(160);
+  return SyllableWord(first) + " " + SyllableWord(last);
+}
+
+}  // namespace
+
+SyntheticKg GenerateSyntheticKg(const SyntheticKgOptions& options) {
+  THETIS_CHECK(options.num_domains > 0);
+  THETIS_CHECK(options.topics_per_domain > 0);
+  THETIS_CHECK(options.entities_per_topic > 0);
+  Rng rng(options.seed);
+
+  SyntheticKg out;
+  KnowledgeGraph& kg = out.kg;
+  Taxonomy* tax = kg.mutable_taxonomy();
+
+  // --- Taxonomy ------------------------------------------------------------
+  TypeId thing = tax->AddType("Thing").value();
+  std::vector<TypeId> shared_types;
+  for (size_t s = 0; s < options.num_shared_types; ++s) {
+    shared_types.push_back(
+        tax->AddType("Shared" + std::to_string(s), thing).value());
+  }
+  // Thing > domain > class > subclass; one class pool per domain, shared by
+  // all of the domain's topics.
+  std::vector<TypeId> domain_types(options.num_domains);
+  size_t total_topics = options.num_domains * options.topics_per_domain;
+  // All subclasses of one domain, flattened (Zipf-sampled per entity).
+  std::vector<std::vector<TypeId>> domain_subclasses(options.num_domains);
+
+  for (size_t d = 0; d < options.num_domains; ++d) {
+    domain_types[d] = tax->AddType(DomainName(d) + " domain", thing).value();
+    for (size_t c = 0; c < options.classes_per_domain; ++c) {
+      TypeId cls = tax->AddType(
+                          DomainName(d) + " class " + std::to_string(c),
+                          domain_types[d])
+                       .value();
+      for (size_t s = 0; s < options.subclasses_per_class; ++s) {
+        domain_subclasses[d].push_back(
+            tax->AddType(DomainName(d) + " kind " + std::to_string(c) + "-" +
+                             std::to_string(s),
+                         cls)
+                .value());
+      }
+    }
+  }
+
+  // --- Entities --------------------------------------------------------------
+  out.num_domains = options.num_domains;
+  out.num_topics = total_topics;
+  out.topic_members.resize(total_topics);
+  out.topic_domain.resize(total_topics);
+  for (size_t topic = 0; topic < total_topics; ++topic) {
+    out.topic_domain[topic] =
+        static_cast<uint32_t>(topic / options.topics_per_domain);
+  }
+
+  for (size_t d = 0; d < options.num_domains; ++d) {
+    for (size_t t = 0; t < options.topics_per_domain; ++t) {
+      size_t topic = d * options.topics_per_domain + t;
+      for (size_t i = 0; i < options.entities_per_topic; ++i) {
+        std::string label = EntityName(&rng);
+        // Deduplicate collisions with a numeric suffix.
+        while (kg.FindByLabel(label).ok()) {
+          label += " " + std::to_string(rng.NextBounded(1000));
+        }
+        EntityId e = kg.AddEntity(label).value();
+        out.entity_topic.push_back(static_cast<uint32_t>(topic));
+        out.entity_domain.push_back(static_cast<uint32_t>(d));
+        out.topic_members[topic].push_back(e);
+
+        // Every entity: Thing + a subclass from its DOMAIN's pool (picked
+        // Zipf-style so some kinds dominate, as in real KGs). Same-topic
+        // entities are not distinguishable by type alone.
+        THETIS_CHECK(kg.AddEntityType(e, thing).ok());
+        const auto& subs = domain_subclasses[d];
+        TypeId sub = subs[rng.NextZipf(subs.size(), 1.0)];
+        THETIS_CHECK(kg.AddEntityType(e, sub).ok());
+        // Optionally one or two extra subclasses (multi-typed entities
+        // diversify type sets, as in DBpedia).
+        while (rng.NextBernoulli(options.extra_type_probability)) {
+          TypeId extra = subs[rng.NextBounded(
+              static_cast<uint32_t>(subs.size()))];
+          THETIS_CHECK(kg.AddEntityType(e, extra).ok());
+        }
+        if (!shared_types.empty() &&
+            rng.NextBernoulli(options.shared_type_probability)) {
+          TypeId shared = shared_types[rng.NextBounded(
+              static_cast<uint32_t>(shared_types.size()))];
+          THETIS_CHECK(kg.AddEntityType(e, shared).ok());
+        }
+      }
+    }
+  }
+
+  // --- Edges -----------------------------------------------------------------
+  // A few predicates per domain plus generic ones.
+  std::vector<PredicateId> generic_preds = {
+      kg.InternPredicate("relatedTo"), kg.InternPredicate("memberOf"),
+      kg.InternPredicate("locatedIn")};
+  std::vector<std::vector<PredicateId>> domain_preds(options.num_domains);
+  for (size_t d = 0; d < options.num_domains; ++d) {
+    domain_preds[d].push_back(kg.InternPredicate(DomainName(d) + "/playsFor"));
+    domain_preds[d].push_back(kg.InternPredicate(DomainName(d) + "/partOf"));
+  }
+
+  size_t n = kg.num_entities();
+  for (EntityId e = 0; e < n; ++e) {
+    uint32_t topic = out.entity_topic[e];
+    uint32_t domain = out.entity_domain[e];
+    for (size_t k = 0; k < options.edges_per_entity; ++k) {
+      double r = rng.NextDouble();
+      EntityId dst;
+      PredicateId pred;
+      if (r < options.same_topic_edge_fraction) {
+        const auto& members = out.topic_members[topic];
+        dst = members[rng.NextBounded(static_cast<uint32_t>(members.size()))];
+        pred = domain_preds[domain][rng.NextBounded(
+            static_cast<uint32_t>(domain_preds[domain].size()))];
+      } else if (r < options.same_topic_edge_fraction +
+                         options.same_domain_edge_fraction) {
+        size_t topic2 = out.topic_domain.size();
+        // Pick a random topic in the same domain.
+        size_t base = domain * options.topics_per_domain;
+        topic2 = base + rng.NextBounded(
+                            static_cast<uint32_t>(options.topics_per_domain));
+        const auto& members = out.topic_members[topic2];
+        dst = members[rng.NextBounded(static_cast<uint32_t>(members.size()))];
+        pred = generic_preds[rng.NextBounded(
+            static_cast<uint32_t>(generic_preds.size()))];
+      } else {
+        dst = rng.NextBounded(static_cast<uint32_t>(n));
+        pred = generic_preds[rng.NextBounded(
+            static_cast<uint32_t>(generic_preds.size()))];
+      }
+      if (dst == e) continue;
+      THETIS_CHECK(kg.AddEdge(e, pred, dst).ok());
+    }
+  }
+
+  return out;
+}
+
+}  // namespace thetis::benchgen

@@ -1,0 +1,74 @@
+#ifndef THETIS_BENCHGEN_SYNTHETIC_KG_H_
+#define THETIS_BENCHGEN_SYNTHETIC_KG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kg/knowledge_graph.h"
+
+namespace thetis::benchgen {
+
+// Options for the synthetic knowledge graph standing in for DBpedia.
+//
+// The generated graph has the two signals Thetis consumes:
+//  * a three-level type taxonomy (Thing > domain > class > subclass) with
+//    entities annotated at the subclass level, so ancestor expansion yields
+//    multi-granularity type sets like DBpedia's;
+//  * topically clustered relation edges (dense within a topic, sparse within
+//    a domain, rare across domains), so random-walk embeddings place
+//    same-topic entities close together.
+//
+// Topics model Wikipedia categories ("baseball players of team X"); they
+// drive both table generation and ground-truth relevance.
+struct SyntheticKgOptions {
+  size_t num_domains = 8;
+  size_t topics_per_domain = 6;
+  size_t entities_per_topic = 40;
+  // Classes under each domain (like player/team/venue/event under sports).
+  // Classes are shared by all topics of the domain: types identify WHAT an
+  // entity is, not WHICH topic it belongs to, exactly as in DBpedia where
+  // every baseball player is a BaseballPlayer regardless of team. Topic
+  // identity lives only in the relation structure and in table categories.
+  size_t classes_per_domain = 6;
+  // Subclasses under each class.
+  size_t subclasses_per_class = 4;
+  // Probability that an entity carries an extra direct type from a sibling
+  // subclass (multi-type entities).
+  double extra_type_probability = 0.45;
+  // Probability that an entity also carries one of the shared cross-domain
+  // types ("Agent"-like), making type sets overlap across domains.
+  double shared_type_probability = 0.25;
+  size_t num_shared_types = 3;
+  // Relation edges per entity, split by locality.
+  size_t edges_per_entity = 4;
+  double same_topic_edge_fraction = 0.7;
+  double same_domain_edge_fraction = 0.25;  // remainder is cross-domain
+  uint64_t seed = 17;
+};
+
+// The generated graph plus the topic/domain metadata the lake generator and
+// the ground-truth builder need.
+struct SyntheticKg {
+  KnowledgeGraph kg;
+  size_t num_domains = 0;
+  size_t num_topics = 0;
+  // Per entity: its topic (globally numbered) and domain.
+  std::vector<uint32_t> entity_topic;
+  std::vector<uint32_t> entity_domain;
+  // Per topic: member entities in id order.
+  std::vector<std::vector<EntityId>> topic_members;
+  // Per topic: its domain.
+  std::vector<uint32_t> topic_domain;
+
+  uint32_t TopicOf(EntityId e) const { return entity_topic[e]; }
+  uint32_t DomainOf(EntityId e) const { return entity_domain[e]; }
+};
+
+// Deterministically generates the graph described by `options`.
+SyntheticKg GenerateSyntheticKg(const SyntheticKgOptions& options);
+
+}  // namespace thetis::benchgen
+
+#endif  // THETIS_BENCHGEN_SYNTHETIC_KG_H_

@@ -1,0 +1,210 @@
+#include "benchgen/synthetic_lake.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace thetis::benchgen {
+
+namespace {
+
+// Attribute vocabulary for unlinked string cells.
+constexpr const char* kAttrWords[] = {"north", "south", "east",  "west",
+                                      "red",   "blue",  "green", "gold",
+                                      "home",  "away",  "final", "open"};
+
+std::vector<std::string> MakeColumnNames(const SyntheticLakeOptions& options) {
+  std::vector<std::string> names;
+  for (size_t c = 0; c < options.entity_columns; ++c) {
+    names.push_back(c == 0 ? "name" : "related" + std::to_string(c));
+  }
+  for (size_t c = 0; c < options.attribute_columns; ++c) {
+    names.push_back("attr" + std::to_string(c));
+  }
+  return names;
+}
+
+// Picks an anchor entity from the table's pool, with occasional topical
+// noise drawn from the full KG.
+EntityId PickEntity(const SyntheticKg& kg, const std::vector<EntityId>& pool,
+                    double noise_p, Rng* rng) {
+  if (rng->NextBernoulli(noise_p)) {
+    uint32_t topic = rng->NextBounded(static_cast<uint32_t>(kg.num_topics));
+    const auto& members = kg.topic_members[topic];
+    return members[rng->NextBounded(static_cast<uint32_t>(members.size()))];
+  }
+  return pool[rng->NextBounded(static_cast<uint32_t>(pool.size()))];
+}
+
+// Builds the table's entity pool: a random slice of each chosen topic.
+std::vector<EntityId> BuildPool(const SyntheticKg& kg,
+                                const std::vector<uint32_t>& topics,
+                                double slice_fraction, Rng* rng) {
+  std::vector<EntityId> pool;
+  for (uint32_t topic : topics) {
+    const auto& members = kg.topic_members[topic];
+    size_t take = std::max<size_t>(
+        2, static_cast<size_t>(slice_fraction *
+                               static_cast<double>(members.size())));
+    take = std::min(take, members.size());
+    for (size_t idx : rng->SampleWithoutReplacement(members.size(), take)) {
+      pool.push_back(members[idx]);
+    }
+  }
+  return pool;
+}
+
+// Follows a random edge from `e`; falls back to a same-topic entity.
+EntityId PickNeighbor(const SyntheticKg& kg, EntityId e, Rng* rng) {
+  const auto& out = kg.kg.OutEdges(e);
+  const auto& in = kg.kg.InEdges(e);
+  size_t degree = out.size() + in.size();
+  if (degree == 0) {
+    const auto& members = kg.topic_members[kg.TopicOf(e)];
+    return members[rng->NextBounded(static_cast<uint32_t>(members.size()))];
+  }
+  size_t pick = rng->NextBounded(static_cast<uint32_t>(degree));
+  return pick < out.size() ? out[pick].dst : in[pick - out.size()].dst;
+}
+
+std::vector<std::pair<uint32_t, uint32_t>> SortedCounts(
+    const std::map<uint32_t, uint32_t>& counts) {
+  return {counts.begin(), counts.end()};
+}
+
+}  // namespace
+
+SyntheticLake GenerateSyntheticLake(const SyntheticKg& kg,
+                                    const SyntheticLakeOptions& options) {
+  THETIS_CHECK(options.entity_columns >= 1);
+  THETIS_CHECK(options.max_rows >= options.min_rows &&
+               options.min_rows >= 1);
+  Rng rng(options.seed);
+  SyntheticLake lake;
+  std::vector<std::string> column_names = MakeColumnNames(options);
+
+  for (size_t i = 0; i < options.num_tables; ++i) {
+    uint32_t topic = static_cast<uint32_t>(
+        rng.NextZipf(kg.num_topics, options.topic_zipf_exponent));
+    // Mixed "context" tables additionally draw from 1-2 sibling topics of
+    // the same domain.
+    std::vector<uint32_t> topics = {topic};
+    if (rng.NextBernoulli(options.mixed_table_fraction)) {
+      uint32_t domain = kg.topic_domain[topic];
+      size_t extra = 1 + rng.NextBounded(2);
+      size_t per_domain = kg.num_topics / kg.num_domains;
+      for (size_t x = 0; x < extra; ++x) {
+        uint32_t sibling = static_cast<uint32_t>(
+            domain * per_domain + rng.NextBounded(
+                                      static_cast<uint32_t>(per_domain)));
+        topics.push_back(sibling);
+      }
+    }
+    std::vector<EntityId> pool =
+        BuildPool(kg, topics, options.topic_slice_fraction, &rng);
+
+    Table table("table_" + std::to_string(i), column_names);
+    size_t rows =
+        options.min_rows +
+        rng.NextBounded(
+            static_cast<uint32_t>(options.max_rows - options.min_rows + 1));
+    std::map<uint32_t, uint32_t> topic_counts;
+    std::set<EntityId> entities;
+
+    for (size_t r = 0; r < rows; ++r) {
+      std::vector<Value> row;
+      std::vector<EntityId> links;
+      EntityId anchor = kNoEntity;
+      for (size_t c = 0; c < options.entity_columns; ++c) {
+        EntityId e;
+        if (c == 0) {
+          e = PickEntity(kg, pool, options.noise_entity_probability, &rng);
+          anchor = e;
+        } else {
+          e = PickNeighbor(kg, anchor, &rng);
+        }
+        ++topic_counts[kg.TopicOf(e)];
+        entities.insert(e);
+        row.push_back(Value::String(kg.kg.label(e)));
+        links.push_back(rng.NextBernoulli(options.link_probability) ? e
+                                                                    : kNoEntity);
+      }
+      for (size_t c = 0; c < options.attribute_columns; ++c) {
+        if (c % 2 == 0) {
+          row.push_back(Value::Number(
+              static_cast<double>(rng.NextBounded(10000)) / 10.0));
+        } else {
+          row.push_back(Value::String(
+              kAttrWords[rng.NextBounded(static_cast<uint32_t>(
+                  std::size(kAttrWords)))]));
+        }
+        links.push_back(kNoEntity);
+      }
+      THETIS_CHECK(table.AppendRow(std::move(row), std::move(links)).ok());
+    }
+
+    THETIS_CHECK(lake.corpus.AddTable(std::move(table)).ok());
+    lake.table_topic.push_back(topic);
+    std::sort(topics.begin(), topics.end());
+    topics.erase(std::unique(topics.begin(), topics.end()), topics.end());
+    lake.table_categories.push_back(std::move(topics));
+    lake.table_topic_counts.push_back(SortedCounts(topic_counts));
+    lake.table_entities.emplace_back(entities.begin(), entities.end());
+  }
+  return lake;
+}
+
+SyntheticLake CloneLake(const SyntheticLake& source) {
+  SyntheticLake out;
+  for (TableId id = 0; id < source.corpus.size(); ++id) {
+    THETIS_CHECK(out.corpus.AddTable(source.corpus.table(id)).ok());
+  }
+  out.table_topic = source.table_topic;
+  out.table_categories = source.table_categories;
+  out.table_topic_counts = source.table_topic_counts;
+  out.table_entities = source.table_entities;
+  return out;
+}
+
+SyntheticLake ResampleToSize(const SyntheticLake& source, size_t total_tables,
+                             uint64_t seed) {
+  THETIS_CHECK(source.corpus.size() > 0);
+  Rng rng(seed);
+  SyntheticLake out;
+  // Copy the original tables.
+  for (TableId id = 0; id < source.corpus.size(); ++id) {
+    THETIS_CHECK(out.corpus.AddTable(source.corpus.table(id)).ok());
+    out.table_topic.push_back(source.table_topic[id]);
+    out.table_categories.push_back(source.table_categories[id]);
+    out.table_topic_counts.push_back(source.table_topic_counts[id]);
+    out.table_entities.push_back(source.table_entities[id]);
+  }
+  // Generate resampled tables until the requested size.
+  size_t next_id = 0;
+  while (out.corpus.size() < total_tables) {
+    TableId src_id =
+        rng.NextBounded(static_cast<uint32_t>(source.corpus.size()));
+    const Table& src = source.corpus.table(src_id);
+    if (src.num_rows() == 0) continue;
+    size_t take = 1 + rng.NextBounded(static_cast<uint32_t>(src.num_rows()));
+    std::vector<size_t> rows =
+        rng.SampleWithoutReplacement(src.num_rows(), take);
+    Table copy("resampled_" + std::to_string(next_id++), src.column_names());
+    for (size_t r : rows) {
+      std::vector<Value> row = src.row(r);
+      std::vector<EntityId> links = src.row_links(r);
+      THETIS_CHECK(copy.AppendRow(std::move(row), std::move(links)).ok());
+    }
+    THETIS_CHECK(out.corpus.AddTable(std::move(copy)).ok());
+    out.table_topic.push_back(source.table_topic[src_id]);
+    out.table_categories.push_back(source.table_categories[src_id]);
+    out.table_topic_counts.push_back(source.table_topic_counts[src_id]);
+    out.table_entities.push_back(source.table_entities[src_id]);
+  }
+  return out;
+}
+
+}  // namespace thetis::benchgen

@@ -1,0 +1,89 @@
+#ifndef THETIS_BENCHGEN_SYNTHETIC_LAKE_H_
+#define THETIS_BENCHGEN_SYNTHETIC_LAKE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "benchgen/synthetic_kg.h"
+#include "table/corpus.h"
+
+namespace thetis::benchgen {
+
+// Options for generating a topic-driven table corpus over a SyntheticKg.
+// Each table gets a primary topic (a Wikipedia-category stand-in); its
+// entity columns hold members of that topic and their graph neighbours,
+// plus attribute columns and topical noise. Coverage (the fraction of cells
+// linked to the KG) is tuned by the column mix and link_probability,
+// letting presets match the paper's Table 2 corpora.
+struct SyntheticLakeOptions {
+  size_t num_tables = 2000;
+  // Rows per table: uniform in [min_rows, max_rows].
+  size_t min_rows = 4;
+  size_t max_rows = 60;
+  // Entity-bearing columns (first is the topic column, second is filled via
+  // graph edges from the first, remainder with same-topic entities).
+  size_t entity_columns = 2;
+  // Unlinked attribute columns (numbers and plain strings).
+  size_t attribute_columns = 4;
+  // Probability an entity cell receives its ground-truth link (partial Φ).
+  double link_probability = 0.85;
+  // Probability an entity cell is drawn from a random other topic.
+  double noise_entity_probability = 0.1;
+  // Zipf exponent over topics (popular topics get more tables).
+  double topic_zipf_exponent = 0.6;
+  // Each table draws its anchor entities from a random slice of this
+  // fraction of its topic's members. Real corpora behave this way: most
+  // tables about a topic do NOT contain any given entity of that topic,
+  // which is exactly why exact-match search misses semantically relevant
+  // tables.
+  double topic_slice_fraction = 0.15;
+  // Fraction of tables that mix rows from 2-3 topics of the same domain
+  // ("context" tables like game results between teams). Their category set
+  // spans all mixed topics while only a share of their rows matches any one
+  // of them — the case where max row-aggregation beats avg.
+  double mixed_table_fraction = 0.3;
+  uint64_t seed = 23;
+};
+
+// A generated corpus plus the metadata ground truth is built from. The
+// categories are the topics a table was *generated about* (primary plus any
+// mixed-in siblings) — the analogue of a Wikipedia page's categories, which
+// exist independently of the table's row composition and of entity-linking
+// quality. The topic counts additionally record the realized per-cell
+// composition for diagnostics.
+struct SyntheticLake {
+  Corpus corpus;
+  // Primary topic per table.
+  std::vector<uint32_t> table_topic;
+  // Page-category stand-in: the distinct topics the table draws from,
+  // sorted ascending (primary first is NOT guaranteed).
+  std::vector<std::vector<uint32_t>> table_categories;
+  // Per table: (topic, count) pairs sorted by topic, over all entity cells.
+  std::vector<std::vector<std::pair<uint32_t, uint32_t>>> table_topic_counts;
+  // Per table: distinct entities placed in its cells at generation time
+  // (linked or not), sorted ascending. The navigational-link stand-in for
+  // ground truth: a page mentioning an entity links to it regardless of
+  // whether the automatic entity linker caught the mention.
+  std::vector<std::vector<EntityId>> table_entities;
+};
+
+// Deterministically generates a corpus over `kg`.
+SyntheticLake GenerateSyntheticLake(const SyntheticKg& kg,
+                                    const SyntheticLakeOptions& options);
+
+// Deep copy (Corpus itself is move-only; experiments that degrade links —
+// coverage capping, noisy linking — work on a clone).
+SyntheticLake CloneLake(const SyntheticLake& source);
+
+// Grows a lake to `total_tables` by the paper's synthetic-corpus
+// construction (Section 7.1): new tables are built by sampling random rows
+// of existing tables in random order. Original tables are retained, new
+// tables inherit their source's topic metadata.
+SyntheticLake ResampleToSize(const SyntheticLake& source, size_t total_tables,
+                             uint64_t seed);
+
+}  // namespace thetis::benchgen
+
+#endif  // THETIS_BENCHGEN_SYNTHETIC_LAKE_H_

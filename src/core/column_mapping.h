@@ -1,0 +1,34 @@
+#ifndef THETIS_CORE_COLUMN_MAPPING_H_
+#define THETIS_CORE_COLUMN_MAPPING_H_
+
+#include <vector>
+
+#include "core/similarity.h"
+#include "table/table.h"
+
+namespace thetis {
+
+// The query-tuple → table-column mapping τ of Section 5.1: each query
+// entity is assigned to a distinct table column so that the summed
+// column-relevance score Σ_i score(e_i, τ(e_i)) is maximal, where
+// score(e, C) = Σ_{ē ∈ C} σ(e, ē) over the column's linked entities.
+struct ColumnMapping {
+  // column_of_entity[i] is the column assigned to query entity i, or -1 when
+  // no column carries any positive similarity for it (or there are fewer
+  // columns than query entities).
+  std::vector<int> column_of_entity;
+  // The maximized cumulative score.
+  double total_score = 0.0;
+};
+
+// Computes τ for one query tuple against one table via the Hungarian
+// method. Columns with zero cumulative similarity are never assigned
+// (mapping stays -1 for entities whose best column scores 0), matching the
+// σ > 0 requirement on relevant mappings.
+ColumnMapping MapQueryTupleToColumns(const std::vector<EntityId>& query_tuple,
+                                     const Table& table,
+                                     const EntitySimilarity& sim);
+
+}  // namespace thetis
+
+#endif  // THETIS_CORE_COLUMN_MAPPING_H_

@@ -1,0 +1,85 @@
+#include "core/extended_similarity.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace thetis {
+
+PredicateJaccardSimilarity::PredicateJaccardSimilarity(
+    const KnowledgeGraph* kg, double cap)
+    : cap_(cap) {
+  THETIS_CHECK(kg != nullptr);
+  predicate_sets_.reserve(kg->num_entities());
+  for (EntityId e = 0; e < kg->num_entities(); ++e) {
+    predicate_sets_.push_back(kg->PredicateSet(e));
+  }
+}
+
+double PredicateJaccardSimilarity::Score(EntityId a, EntityId b) const {
+  if (a == b) return 1.0;
+  return std::min(cap_, JaccardOfSorted(predicate_sets_[a],
+                                        predicate_sets_[b]));
+}
+
+WuPalmerSimilarity::WuPalmerSimilarity(const KnowledgeGraph* kg, double cap)
+    : kg_(kg), cap_(cap) {
+  THETIS_CHECK(kg != nullptr);
+  direct_types_.reserve(kg->num_entities());
+  for (EntityId e = 0; e < kg->num_entities(); ++e) {
+    direct_types_.push_back(kg->DirectTypes(e));
+  }
+  type_depth_.reserve(kg->taxonomy().size());
+  for (TypeId t = 0; t < kg->taxonomy().size(); ++t) {
+    type_depth_.push_back(kg->taxonomy().Depth(t));
+  }
+}
+
+double WuPalmerSimilarity::Score(EntityId a, EntityId b) const {
+  if (a == b) return 1.0;
+  const Taxonomy& tax = kg_->taxonomy();
+  double best = 0.0;
+  for (TypeId ta : direct_types_[a]) {
+    for (TypeId tb : direct_types_[b]) {
+      TypeId lca = tax.LowestCommonAncestor(ta, tb);
+      if (lca == kNoType) continue;
+      double score =
+          2.0 * static_cast<double>(type_depth_[lca] + 1) /
+          static_cast<double>(type_depth_[ta] + type_depth_[tb] + 2);
+      best = std::max(best, score);
+    }
+  }
+  return std::min(cap_, best);
+}
+
+CombinedSimilarity::CombinedSimilarity(std::vector<Component> components)
+    : components_(std::move(components)) {
+  THETIS_CHECK(!components_.empty());
+  double total = 0.0;
+  for (const Component& c : components_) {
+    THETIS_CHECK(c.similarity != nullptr);
+    THETIS_CHECK(c.weight > 0.0) << "component weights must be positive";
+    total += c.weight;
+  }
+  for (Component& c : components_) c.weight /= total;
+}
+
+double CombinedSimilarity::Score(EntityId a, EntityId b) const {
+  double score = 0.0;
+  for (const Component& c : components_) {
+    score += c.weight * c.similarity->Score(a, b);
+  }
+  return score;
+}
+
+std::string CombinedSimilarity::name() const {
+  std::string out = "combined(";
+  for (size_t i = 0; i < components_.size(); ++i) {
+    if (i > 0) out += "+";
+    out += components_[i].similarity->name();
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace thetis

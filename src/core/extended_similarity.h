@@ -1,0 +1,82 @@
+#ifndef THETIS_CORE_EXTENDED_SIMILARITY_H_
+#define THETIS_CORE_EXTENDED_SIMILARITY_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/similarity.h"
+
+namespace thetis {
+
+// Extensions beyond the two similarities the paper evaluates, implementing
+// the directions its Sections 5.3 and 8 name as future work: similarity
+// from the predicates around an entity, and combinations of measures. Both
+// plug into SearchEngine and Lsei unchanged (the framework is σ-agnostic).
+
+// Jaccard* similarity of the sets of predicates incident to two entities
+// (Mottin et al.'s exemplar-query signal): two entities are similar when
+// they participate in the same kinds of relationships, regardless of their
+// type annotations. Like Eq. (4), identical entities score 1 and distinct
+// entities are capped below 1.
+class PredicateJaccardSimilarity : public EntitySimilarity {
+ public:
+  explicit PredicateJaccardSimilarity(const KnowledgeGraph* kg,
+                                      double cap = 0.95);
+
+  double Score(EntityId a, EntityId b) const override;
+  std::string name() const override { return "predicates"; }
+
+  const std::vector<PredicateId>& PredicateSetOf(EntityId e) const {
+    return predicate_sets_[e];
+  }
+
+ private:
+  double cap_;
+  std::vector<std::vector<PredicateId>> predicate_sets_;
+};
+
+// Taxonomy-depth similarity in the Wu-Palmer style: for each pair of direct
+// types the score is 2·depth(LCA) / (depth(t1) + depth(t2) + 2), and two
+// entities score by the best pair across their direct type sets, capped
+// below 1 for distinct entities. Unlike Jaccard* of expanded type sets,
+// this weighs *where* in the hierarchy two types meet: siblings deep in the
+// taxonomy are much closer than types sharing only the root.
+class WuPalmerSimilarity : public EntitySimilarity {
+ public:
+  explicit WuPalmerSimilarity(const KnowledgeGraph* kg, double cap = 0.95);
+
+  double Score(EntityId a, EntityId b) const override;
+  std::string name() const override { return "wu-palmer"; }
+
+ private:
+  const KnowledgeGraph* kg_;
+  double cap_;
+  std::vector<std::vector<TypeId>> direct_types_;
+  std::vector<size_t> type_depth_;
+};
+
+// Convex combination of similarity measures: σ(a,b) = Σ w_i σ_i(a,b) with
+// Σ w_i = 1. Children are borrowed and must outlive this object. The
+// combined measure still satisfies σ(e,e) = 1 and stays within [0,1].
+class CombinedSimilarity : public EntitySimilarity {
+ public:
+  struct Component {
+    const EntitySimilarity* similarity;
+    double weight;
+  };
+
+  // Weights must be positive; they are normalized to sum to 1.
+  explicit CombinedSimilarity(std::vector<Component> components);
+
+  double Score(EntityId a, EntityId b) const override;
+  std::string name() const override;
+
+ private:
+  std::vector<Component> components_;
+};
+
+}  // namespace thetis
+
+#endif  // THETIS_CORE_EXTENDED_SIMILARITY_H_

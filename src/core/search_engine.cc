@@ -1,0 +1,275 @@
+#include "core/search_engine.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "core/column_mapping.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+#include "util/top_k.h"
+
+namespace thetis {
+
+std::vector<EntityId> Query::DistinctEntities() const {
+  std::unordered_set<EntityId> seen;
+  for (const auto& t : tuples) {
+    for (EntityId e : t) {
+      if (e != kNoEntity) seen.insert(e);
+    }
+  }
+  std::vector<EntityId> out(seen.begin(), seen.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Query QueryFromTable(const Table& table, size_t max_tuples) {
+  Query query;
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    if (max_tuples > 0 && query.tuples.size() >= max_tuples) break;
+    std::vector<EntityId> tuple;
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      if (table.link(r, c) != kNoEntity) tuple.push_back(table.link(r, c));
+    }
+    if (!tuple.empty()) query.tuples.push_back(std::move(tuple));
+  }
+  return query;
+}
+
+SearchEngine::SearchEngine(const SemanticDataLake* lake,
+                           const EntitySimilarity* sim, SearchOptions options)
+    : lake_(lake), sim_(sim), options_(options) {
+  THETIS_CHECK(lake != nullptr && sim != nullptr);
+}
+
+double SearchEngine::ScoreTable(const Query& query, TableId table_id,
+                                double* mapping_seconds) const {
+  return ScoreTableImpl(query, table_id, mapping_seconds, nullptr);
+}
+
+Explanation SearchEngine::Explain(const Query& query, TableId table_id) const {
+  Explanation explanation;
+  explanation.table = table_id;
+  explanation.score = ScoreTableImpl(query, table_id, nullptr, &explanation);
+  return explanation;
+}
+
+double SearchEngine::ScoreTableImpl(const Query& query, TableId table_id,
+                                    double* mapping_seconds,
+                                    Explanation* explanation) const {
+  const Table& table = lake_->corpus().table(table_id);
+  if (query.tuples.empty() || table.num_rows() == 0) return 0.0;
+
+  double tuple_score_sum = 0.0;
+  size_t counted_tuples = 0;
+  bool any_relevant = false;
+
+  for (const auto& tq : query.tuples) {
+    if (tq.empty()) continue;
+    ++counted_tuples;
+
+    // Line 5: Hungarian column mapping for this query tuple.
+    Stopwatch mapping_watch;
+    ColumnMapping mapping = MapQueryTupleToColumns(tq, table, *sim_);
+    if (mapping_seconds != nullptr) {
+      *mapping_seconds += mapping_watch.ElapsedSeconds();
+    }
+
+    // Lines 7-13: per-row σ scores for each query entity against its mapped
+    // column, aggregated across rows.
+    size_t m = tq.size();
+    std::vector<double> agg(m, 0.0);
+    std::vector<double> sums(m, 0.0);
+    std::vector<EntityId> best_match(m, kNoEntity);
+    for (size_t r = 0; r < table.num_rows(); ++r) {
+      for (size_t i = 0; i < m; ++i) {
+        int c = mapping.column_of_entity[i];
+        if (c < 0 || tq[i] == kNoEntity) continue;
+        EntityId cell = table.link(r, static_cast<size_t>(c));
+        if (cell == kNoEntity) continue;
+        double s = sim_->Score(tq[i], cell);
+        sums[i] += s;
+        if (s > agg[i]) {
+          agg[i] = s;
+          best_match[i] = cell;
+        }
+      }
+    }
+    if (options_.aggregation == RowAggregation::kAvg) {
+      for (size_t i = 0; i < m; ++i) {
+        agg[i] = sums[i] / static_cast<double>(table.num_rows());
+      }
+    }
+    for (size_t i = 0; i < m; ++i) {
+      if (agg[i] > 0.0) any_relevant = true;
+    }
+
+    // Line 14: weighted Euclidean distance converted to a similarity.
+    std::vector<double> weights(m, 1.0);
+    if (options_.use_informativeness) {
+      for (size_t i = 0; i < m; ++i) {
+        weights[i] =
+            tq[i] == kNoEntity ? 1.0 : lake_->Informativeness(tq[i]);
+      }
+    }
+    double tuple_score = DistanceSimilarity(agg, weights);
+    tuple_score_sum += tuple_score;
+
+    if (explanation != nullptr) {
+      TupleExplanation te;
+      te.score = tuple_score;
+      for (size_t i = 0; i < m; ++i) {
+        EntityExplanation ee;
+        ee.entity = tq[i];
+        ee.column = mapping.column_of_entity[i];
+        ee.coordinate = agg[i];
+        ee.weight = weights[i];
+        ee.best_match = best_match[i];
+        te.entities.push_back(ee);
+      }
+      explanation->tuples.push_back(std::move(te));
+    }
+  }
+
+  if (counted_tuples == 0 || !any_relevant) return 0.0;
+  // Line 15: average across query tuples.
+  return tuple_score_sum / static_cast<double>(counted_tuples);
+}
+
+std::vector<SearchHit> SearchEngine::SearchCandidates(
+    const Query& query, const std::vector<TableId>& candidates,
+    SearchStats* stats) const {
+  Stopwatch watch;
+  double mapping_seconds = 0.0;
+  TopK<TableId> top(std::max<size_t>(1, options_.top_k));
+  size_t nonzero = 0;
+  for (TableId id : candidates) {
+    double score = ScoreTable(query, id, &mapping_seconds);
+    if (score > 0.0) {
+      ++nonzero;
+      top.Push(id, score);
+    }
+  }
+  std::vector<SearchHit> hits;
+  for (const auto& [id, score] : top.Extract()) {
+    hits.push_back(SearchHit{id, score});
+  }
+  if (stats != nullptr) {
+    stats->tables_scored = candidates.size();
+    stats->tables_nonzero = nonzero;
+    stats->total_seconds = watch.ElapsedSeconds();
+    stats->mapping_seconds = mapping_seconds;
+    stats->candidate_count = candidates.size();
+    size_t corpus_size = lake_->corpus().size();
+    stats->search_space_reduction =
+        corpus_size == 0
+            ? 0.0
+            : 1.0 - static_cast<double>(candidates.size()) /
+                        static_cast<double>(corpus_size);
+  }
+  return hits;
+}
+
+std::vector<SearchHit> SearchEngine::SearchCandidatesParallel(
+    const Query& query, const std::vector<TableId>& candidates,
+    ThreadPool* pool, SearchStats* stats) const {
+  THETIS_CHECK(pool != nullptr);
+  Stopwatch watch;
+  size_t workers = pool->num_threads();
+  struct Local {
+    TopK<TableId> top;
+    double mapping_seconds = 0.0;
+    size_t nonzero = 0;
+    explicit Local(size_t k) : top(k) {}
+  };
+  std::vector<Local> locals;
+  locals.reserve(workers + 1);
+  for (size_t i = 0; i <= workers; ++i) {
+    locals.emplace_back(std::max<size_t>(1, options_.top_k));
+  }
+  // Stripe candidates over slots; each ParallelFor index owns one stripe so
+  // no synchronization is needed inside the scoring loop.
+  size_t stripes = locals.size();
+  pool->ParallelFor(stripes, [&](size_t stripe) {
+    Local& local = locals[stripe];
+    for (size_t i = stripe; i < candidates.size(); i += stripes) {
+      double score =
+          ScoreTable(query, candidates[i], &local.mapping_seconds);
+      if (score > 0.0) {
+        ++local.nonzero;
+        local.top.Push(candidates[i], score);
+      }
+    }
+  });
+  // Deterministic merge: the TopK tie-breaking is id-based, so pushing all
+  // local results into one heap reproduces the serial ranking.
+  TopK<TableId> merged(std::max<size_t>(1, options_.top_k));
+  double mapping_seconds = 0.0;
+  size_t nonzero = 0;
+  for (Local& local : locals) {
+    mapping_seconds += local.mapping_seconds;
+    nonzero += local.nonzero;
+    for (const auto& [id, score] : local.top.Extract()) {
+      merged.Push(id, score);
+    }
+  }
+  std::vector<SearchHit> hits;
+  for (const auto& [id, score] : merged.Extract()) {
+    hits.push_back(SearchHit{id, score});
+  }
+  if (stats != nullptr) {
+    stats->tables_scored = candidates.size();
+    stats->tables_nonzero = nonzero;
+    stats->total_seconds = watch.ElapsedSeconds();
+    stats->mapping_seconds = mapping_seconds;
+    stats->candidate_count = candidates.size();
+    size_t corpus_size = lake_->corpus().size();
+    stats->search_space_reduction =
+        corpus_size == 0
+            ? 0.0
+            : 1.0 - static_cast<double>(candidates.size()) /
+                        static_cast<double>(corpus_size);
+  }
+  return hits;
+}
+
+std::vector<SearchHit> SearchEngine::SearchParallel(const Query& query,
+                                                    ThreadPool* pool,
+                                                    SearchStats* stats) const {
+  std::vector<TableId> all(lake_->corpus().size());
+  for (TableId id = 0; id < all.size(); ++id) all[id] = id;
+  auto hits = SearchCandidatesParallel(query, all, pool, stats);
+  if (stats != nullptr) stats->search_space_reduction = 0.0;
+  return hits;
+}
+
+std::vector<SearchHit> SearchEngine::Search(const Query& query,
+                                            SearchStats* stats) const {
+  std::vector<TableId> all(lake_->corpus().size());
+  for (TableId id = 0; id < all.size(); ++id) all[id] = id;
+  auto hits = SearchCandidates(query, all, stats);
+  if (stats != nullptr) stats->search_space_reduction = 0.0;
+  return hits;
+}
+
+PrefilteredSearchEngine::PrefilteredSearchEngine(const SearchEngine* engine,
+                                                 const Lsei* lsei,
+                                                 size_t votes)
+    : engine_(engine), lsei_(lsei), votes_(votes) {
+  THETIS_CHECK(engine != nullptr && lsei != nullptr);
+  THETIS_CHECK(votes >= 1);
+}
+
+std::vector<SearchHit> PrefilteredSearchEngine::Search(
+    const Query& query, SearchStats* stats) const {
+  Stopwatch watch;
+  std::vector<TableId> candidates =
+      lsei_->CandidateTablesForQuery(query.tuples, votes_);
+  auto hits = engine_->SearchCandidates(query, candidates, stats);
+  if (stats != nullptr) {
+    // Include the LSH lookup in the total time.
+    stats->total_seconds = watch.ElapsedSeconds();
+  }
+  return hits;
+}
+
+}  // namespace thetis

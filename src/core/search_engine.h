@@ -1,0 +1,165 @@
+#ifndef THETIS_CORE_SEARCH_ENGINE_H_
+#define THETIS_CORE_SEARCH_ENGINE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/semrel.h"
+#include "core/similarity.h"
+#include "lsh/lsei.h"
+#include "semantic/semantic_data_lake.h"
+#include "util/thread_pool.h"
+
+namespace thetis {
+
+// A semantic table search query: a set of entity tuples
+// Q = {t_1, ..., t_k}, each tuple a list of KG entities (Section 2.4).
+// kNoEntity elements (query values absent from the KG) are ignored.
+struct Query {
+  std::vector<std::vector<EntityId>> tuples;
+
+  // Flat distinct entities across all tuples (kNoEntity skipped).
+  std::vector<EntityId> DistinctEntities() const;
+};
+
+// Builds a query from an (entity-linked) table: each row's linked entities
+// become one query tuple; rows without any link are skipped, and at most
+// `max_tuples` rows are taken (0 = all). This is the query-by-example-table
+// entry point: a user drops in a small table instead of naming entities.
+Query QueryFromTable(const Table& table, size_t max_tuples = 0);
+
+struct SearchOptions {
+  size_t top_k = 10;
+  RowAggregation aggregation = RowAggregation::kMax;
+  // Weight query entities by corpus informativeness I(e) (Eq. 2); when
+  // false all weights are 1.
+  bool use_informativeness = true;
+};
+
+// One ranked result.
+struct SearchHit {
+  TableId table;
+  double score;
+};
+
+// Why one query entity contributed what it did to a table's score.
+struct EntityExplanation {
+  EntityId entity = kNoEntity;
+  // Table column the entity was assigned to by τ, or -1 if unmappable.
+  int column = -1;
+  // Aggregated similarity coordinate x_i in [0, 1].
+  double coordinate = 0.0;
+  // Informativeness weight I(e) applied in the distance (1 when weighting
+  // is disabled).
+  double weight = 1.0;
+  // The table entity realizing the best per-row similarity (kNoEntity when
+  // the coordinate is 0).
+  EntityId best_match = kNoEntity;
+};
+
+// Per-tuple breakdown of a table's SemRel score.
+struct TupleExplanation {
+  std::vector<EntityExplanation> entities;
+  // SemRel(t_q, T) for this tuple (Eq. 3 over the coordinates above).
+  double score = 0.0;
+};
+
+// Full explanation of SemRel(Q, T).
+struct Explanation {
+  TableId table = kNoTable;
+  double score = 0.0;  // == ScoreTable(query, table)
+  std::vector<TupleExplanation> tuples;
+};
+
+// Per-query execution statistics, feeding Tables 3-4 and the §7.3
+// table-scoring analysis.
+struct SearchStats {
+  size_t tables_scored = 0;
+  size_t tables_nonzero = 0;
+  double total_seconds = 0.0;
+  // Time spent inside the Hungarian column mapping μ/τ.
+  double mapping_seconds = 0.0;
+  // Size of the candidate set when a prefilter ran (== corpus size
+  // otherwise).
+  size_t candidate_count = 0;
+  // 1 - candidates/corpus when a prefilter ran, else 0.
+  double search_space_reduction = 0.0;
+};
+
+// The exact semantic table search engine of Algorithm 1. Scores every
+// table (or every candidate table) against the query and returns the top-k
+// by SemRel. Borrowed pointers must outlive the engine.
+class SearchEngine {
+ public:
+  SearchEngine(const SemanticDataLake* lake, const EntitySimilarity* sim,
+               SearchOptions options = {});
+
+  const SearchOptions& options() const { return options_; }
+  void set_options(const SearchOptions& options) { options_ = options; }
+
+  // Brute-force search over the whole corpus.
+  std::vector<SearchHit> Search(const Query& query,
+                                SearchStats* stats = nullptr) const;
+
+  // Search restricted to `candidates` (e.g. an LSEI prefilter output).
+  std::vector<SearchHit> SearchCandidates(const Query& query,
+                                          const std::vector<TableId>& candidates,
+                                          SearchStats* stats = nullptr) const;
+
+  // Parallel variants: per-table scoring is embarrassingly parallel (the
+  // paper evaluates on a 64-core server); each worker keeps a local top-k
+  // that is merged deterministically at the end, so results are identical
+  // to the serial engine. The pool is borrowed.
+  std::vector<SearchHit> SearchParallel(const Query& query, ThreadPool* pool,
+                                        SearchStats* stats = nullptr) const;
+  std::vector<SearchHit> SearchCandidatesParallel(
+      const Query& query, const std::vector<TableId>& candidates,
+      ThreadPool* pool, SearchStats* stats = nullptr) const;
+
+  // SemRel(Q, T) for a single table: per-tuple Hungarian column mapping,
+  // per-row σ scores, row aggregation, weighted distance similarity,
+  // averaged over query tuples (Algorithm 1 lines 3-15). Returns 0 when no
+  // query entity has any relevant mapping into the table. When
+  // `mapping_seconds` is non-null it accumulates the time spent computing
+  // the column mapping.
+  double ScoreTable(const Query& query, TableId table,
+                    double* mapping_seconds = nullptr) const;
+
+  // Scores one table and explains the result: per query tuple, the column
+  // each query entity mapped to, its aggregated similarity coordinate, its
+  // informativeness weight, and the best-matching row entity. Useful for
+  // search UIs and debugging relevance ("why is this table ranked here?").
+  Explanation Explain(const Query& query, TableId table) const;
+
+ private:
+  // Shared implementation of ScoreTable/Explain; `explanation` may be null.
+  double ScoreTableImpl(const Query& query, TableId table,
+                        double* mapping_seconds,
+                        Explanation* explanation) const;
+
+  const SemanticDataLake* lake_;
+  const EntitySimilarity* sim_;
+  SearchOptions options_;
+};
+
+// Thetis with LSEI prefiltering (Section 6): runs the LSH lookup to shrink
+// the search space, then the exact engine over the candidates.
+class PrefilteredSearchEngine {
+ public:
+  // All borrowed; the Lsei must be built over the same lake.
+  PrefilteredSearchEngine(const SearchEngine* engine, const Lsei* lsei,
+                          size_t votes);
+
+  std::vector<SearchHit> Search(const Query& query,
+                                SearchStats* stats = nullptr) const;
+
+ private:
+  const SearchEngine* engine_;
+  const Lsei* lsei_;
+  size_t votes_;
+};
+
+}  // namespace thetis
+
+#endif  // THETIS_CORE_SEARCH_ENGINE_H_

@@ -1,0 +1,54 @@
+#include "core/semrel.h"
+
+#include <cmath>
+
+#include "assignment/hungarian.h"
+#include "util/logging.h"
+
+namespace thetis {
+
+double DistanceSimilarity(const std::vector<double>& x,
+                          const std::vector<double>& weights) {
+  THETIS_CHECK(!x.empty());
+  THETIS_CHECK(x.size() == weights.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    double miss = 1.0 - x[i];
+    sum += weights[i] * miss * miss;
+  }
+  return 1.0 / (std::sqrt(sum) + 1.0);
+}
+
+double TupleSemRel(const std::vector<EntityId>& query_tuple,
+                   const std::vector<EntityId>& target_tuple,
+                   const EntitySimilarity& sim,
+                   const std::vector<double>& weights) {
+  THETIS_CHECK(!query_tuple.empty());
+  THETIS_CHECK(weights.size() == query_tuple.size());
+  // Build the σ matrix and find the injective mapping maximizing the
+  // cumulative similarity.
+  std::vector<std::vector<double>> scores(
+      query_tuple.size(), std::vector<double>(target_tuple.size(), 0.0));
+  for (size_t i = 0; i < query_tuple.size(); ++i) {
+    for (size_t j = 0; j < target_tuple.size(); ++j) {
+      if (target_tuple[j] == kNoEntity || query_tuple[i] == kNoEntity) continue;
+      scores[i][j] = sim.Score(query_tuple[i], target_tuple[j]);
+    }
+  }
+  AssignmentResult assignment = SolveMaxAssignment(scores);
+  std::vector<double> x(query_tuple.size(), 0.0);
+  for (size_t i = 0; i < query_tuple.size(); ++i) {
+    int j = assignment.column_of_row[i];
+    if (j >= 0) x[i] = scores[i][static_cast<size_t>(j)];
+  }
+  return DistanceSimilarity(x, weights);
+}
+
+double TupleSemRel(const std::vector<EntityId>& query_tuple,
+                   const std::vector<EntityId>& target_tuple,
+                   const EntitySimilarity& sim) {
+  return TupleSemRel(query_tuple, target_tuple, sim,
+                     std::vector<double>(query_tuple.size(), 1.0));
+}
+
+}  // namespace thetis

@@ -1,0 +1,50 @@
+#ifndef THETIS_CORE_SEMREL_H_
+#define THETIS_CORE_SEMREL_H_
+
+#include <vector>
+
+#include "core/similarity.h"
+#include "table/value.h"
+
+namespace thetis {
+
+// How per-row entity scores are folded into one score per query entity
+// (Algorithm 1, line 13). The paper finds kMax up to ~5x better on NDCG
+// because it amplifies the signal of the best-matching tuples (§7.2).
+enum class RowAggregation {
+  kMax,
+  kAvg,
+};
+
+// Converts the per-query-entity aggregated similarities x_i (coordinates of
+// the target point in the query's Euclidean space, Region 2-3 of Figure 3)
+// into the SemRel similarity of Eqs. (2)+(3):
+//
+//   D_I = sqrt( Σ_i w_i (1 - x_i)^2 ),   SemRel = 1 / (D_I + 1)
+//
+// `weights` are the informativeness values I(e_Q^i); pass all-ones to
+// disable weighting. Sizes must match and be non-zero.
+double DistanceSimilarity(const std::vector<double>& x,
+                          const std::vector<double>& weights);
+
+// Tuple-level semantic relevance SemRel(t_q, t_t) between a query entity
+// tuple and a target entity tuple: computes the relevant mapping μ that
+// maximizes the cumulative σ via the Hungarian method (injective, per
+// Section 4.2), then applies DistanceSimilarity. Entities without a
+// positive-σ partner get coordinate 0. kNoEntity elements in the target are
+// unmatchable. This is the scoring primitive the relevance axioms
+// (Axioms 1-3) constrain; the table-level Algorithm 1 uses the same
+// machinery with a per-column mapping.
+double TupleSemRel(const std::vector<EntityId>& query_tuple,
+                   const std::vector<EntityId>& target_tuple,
+                   const EntitySimilarity& sim,
+                   const std::vector<double>& weights);
+
+// Unweighted variant (all informativeness = 1).
+double TupleSemRel(const std::vector<EntityId>& query_tuple,
+                   const std::vector<EntityId>& target_tuple,
+                   const EntitySimilarity& sim);
+
+}  // namespace thetis
+
+#endif  // THETIS_CORE_SEMREL_H_

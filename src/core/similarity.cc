@@ -1,0 +1,60 @@
+#include "core/similarity.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace thetis {
+
+double JaccardOfSorted(const std::vector<uint32_t>& a,
+                       const std::vector<uint32_t>& b) {
+  if (a.empty() && b.empty()) return 0.0;
+  size_t i = 0;
+  size_t j = 0;
+  size_t inter = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      ++inter;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  size_t uni = a.size() + b.size() - inter;
+  return uni == 0 ? 0.0 : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+TypeJaccardSimilarity::TypeJaccardSimilarity(const KnowledgeGraph* kg,
+                                             bool include_ancestors,
+                                             double cap)
+    : kg_(kg), cap_(cap) {
+  THETIS_CHECK(kg != nullptr);
+  type_sets_.reserve(kg->num_entities());
+  for (EntityId e = 0; e < kg->num_entities(); ++e) {
+    type_sets_.push_back(kg->TypeSet(e, include_ancestors));
+  }
+}
+
+double TypeJaccardSimilarity::Score(EntityId a, EntityId b) const {
+  if (a == b) return 1.0;
+  return std::min(cap_, JaccardOfSorted(type_sets_[a], type_sets_[b]));
+}
+
+EmbeddingCosineSimilarity::EmbeddingCosineSimilarity(
+    const EmbeddingStore* store)
+    : store_(store) {
+  THETIS_CHECK(store != nullptr);
+}
+
+double EmbeddingCosineSimilarity::Score(EntityId a, EntityId b) const {
+  if (a == b) return 1.0;
+  float c = store_->Cosine(a, b);
+  if (c < 0.0f) return 0.0;
+  if (c > 1.0f) return 1.0;
+  return static_cast<double>(c);
+}
+
+}  // namespace thetis

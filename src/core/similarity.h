@@ -1,0 +1,74 @@
+#ifndef THETIS_CORE_SIMILARITY_H_
+#define THETIS_CORE_SIMILARITY_H_
+
+#include <string>
+#include <vector>
+
+#include "embedding/embedding_store.h"
+#include "kg/knowledge_graph.h"
+
+namespace thetis {
+
+// The entity semantic similarity σ : N x N -> [0, 1] of Section 4.1, with
+// σ(e, e) = 1. The search framework is deliberately agnostic to the
+// concrete instantiation (Section 3.3); this repo ships the two the paper
+// evaluates: Jaccard* of type sets and cosine of entity embeddings.
+class EntitySimilarity {
+ public:
+  virtual ~EntitySimilarity() = default;
+
+  // Similarity in [0, 1]; must return 1 for identical entities.
+  virtual double Score(EntityId a, EntityId b) const = 0;
+
+  // Short name used in benchmark output ("types", "embeddings").
+  virtual std::string name() const = 0;
+};
+
+// The adjusted Jaccard similarity of Eq. (4): 1 for identical entities,
+// otherwise the Jaccard similarity of the two (ancestor-expanded) type sets
+// capped at 0.95 so that no two distinct entities tie with an exact match.
+class TypeJaccardSimilarity : public EntitySimilarity {
+ public:
+  // Precomputes every entity's expanded type set. The graph must outlive
+  // this object.
+  explicit TypeJaccardSimilarity(const KnowledgeGraph* kg,
+                                 bool include_ancestors = true,
+                                 double cap = 0.95);
+
+  double Score(EntityId a, EntityId b) const override;
+  std::string name() const override { return "types"; }
+
+  // Exposed for tests: the expanded, sorted type set of `e`.
+  const std::vector<TypeId>& TypeSetOf(EntityId e) const {
+    return type_sets_[e];
+  }
+
+ private:
+  const KnowledgeGraph* kg_;
+  double cap_;
+  std::vector<std::vector<TypeId>> type_sets_;
+};
+
+// Cosine similarity of entity embedding vectors, clamped to [0, 1]
+// (negative cosine means "unrelated", not "anti-relevant"). σ(e, e) = 1
+// even for zero vectors.
+class EmbeddingCosineSimilarity : public EntitySimilarity {
+ public:
+  // The store must outlive this object and cover all scored entities.
+  explicit EmbeddingCosineSimilarity(const EmbeddingStore* store);
+
+  double Score(EntityId a, EntityId b) const override;
+  std::string name() const override { return "embeddings"; }
+
+ private:
+  const EmbeddingStore* store_;
+};
+
+// Jaccard similarity of two sorted id vectors (shared helper; 0 when both
+// are empty).
+double JaccardOfSorted(const std::vector<uint32_t>& a,
+                       const std::vector<uint32_t>& b);
+
+}  // namespace thetis
+
+#endif  // THETIS_CORE_SIMILARITY_H_

@@ -1,0 +1,77 @@
+#include "embedding/embedding_store.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "embedding/vector_ops.h"
+#include "util/logging.h"
+
+namespace thetis {
+
+float EmbeddingStore::Cosine(EntityId a, EntityId b) const {
+  THETIS_CHECK(a < size() && b < size());
+  return CosineSimilarity(vector(a), vector(b), dim_);
+}
+
+void EmbeddingStore::NormalizeAll() {
+  for (size_t e = 0; e < size(); ++e) {
+    float* v = mutable_vector(static_cast<EntityId>(e));
+    float norm = L2Norm(v, dim_);
+    if (norm > 0.0f) {
+      for (size_t i = 0; i < dim_; ++i) v[i] /= norm;
+    }
+  }
+}
+
+std::string EmbeddingStore::ToText() const {
+  std::ostringstream out;
+  out << size() << ' ' << dim_ << '\n';
+  for (size_t e = 0; e < size(); ++e) {
+    const float* v = vector(static_cast<EntityId>(e));
+    for (size_t i = 0; i < dim_; ++i) {
+      if (i > 0) out << ' ';
+      out << v[i];
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+Result<EmbeddingStore> EmbeddingStore::FromText(const std::string& text) {
+  std::istringstream in(text);
+  size_t count = 0;
+  size_t dim = 0;
+  if (!(in >> count >> dim)) {
+    return Status::InvalidArgument("embedding text missing header");
+  }
+  EmbeddingStore store(count, dim);
+  for (size_t e = 0; e < count; ++e) {
+    float* v = store.mutable_vector(static_cast<EntityId>(e));
+    for (size_t i = 0; i < dim; ++i) {
+      if (!(in >> v[i])) {
+        return Status::InvalidArgument("embedding text truncated at row " +
+                                       std::to_string(e));
+      }
+    }
+  }
+  return store;
+}
+
+Status EmbeddingStore::SaveToFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out << ToText();
+  if (!out) return Status::IoError("write to " + path + " failed");
+  return Status::Ok();
+}
+
+Result<EmbeddingStore> EmbeddingStore::LoadFromFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return FromText(buf.str());
+}
+
+}  // namespace thetis

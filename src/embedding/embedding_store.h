@@ -1,0 +1,50 @@
+#ifndef THETIS_EMBEDDING_EMBEDDING_STORE_H_
+#define THETIS_EMBEDDING_EMBEDDING_STORE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "table/value.h"
+#include "util/status.h"
+
+namespace thetis {
+
+// A dense entity → vector map with fixed dimension; row i is the embedding
+// of entity id i. This is the "entity embedding" input of Section 5.3 — in
+// the paper RDF2Vec vectors over DBpedia, here vectors produced by our own
+// walks + skip-gram pipeline (or any other source: the store is agnostic).
+class EmbeddingStore {
+ public:
+  EmbeddingStore() : dim_(0) {}
+  EmbeddingStore(size_t num_entities, size_t dim)
+      : dim_(dim), data_(num_entities * dim, 0.0f) {}
+
+  size_t dim() const { return dim_; }
+  size_t size() const { return dim_ == 0 ? 0 : data_.size() / dim_; }
+
+  const float* vector(EntityId e) const { return data_.data() + e * dim_; }
+  float* mutable_vector(EntityId e) { return data_.data() + e * dim_; }
+
+  // Cosine similarity between two entity vectors, in [-1, 1].
+  float Cosine(EntityId a, EntityId b) const;
+
+  // Scales every vector to unit L2 norm (zero vectors stay zero).
+  void NormalizeAll();
+
+  // Text serialization: first line "<count> <dim>", then one
+  // space-separated row per entity.
+  std::string ToText() const;
+  static Result<EmbeddingStore> FromText(const std::string& text);
+
+  Status SaveToFile(const std::string& path) const;
+  static Result<EmbeddingStore> LoadFromFile(const std::string& path);
+
+ private:
+  size_t dim_;
+  std::vector<float> data_;
+};
+
+}  // namespace thetis
+
+#endif  // THETIS_EMBEDDING_EMBEDDING_STORE_H_

@@ -1,0 +1,46 @@
+#include "embedding/random_walks.h"
+
+#include "util/rng.h"
+
+namespace thetis {
+
+std::vector<std::vector<WalkToken>> GenerateWalks(const KnowledgeGraph& kg,
+                                                  const WalkOptions& options) {
+  Rng rng(options.seed);
+  std::vector<std::vector<WalkToken>> walks;
+  walks.reserve(kg.num_entities() * options.walks_per_entity);
+  const WalkToken predicate_base =
+      static_cast<WalkToken>(kg.num_entities());
+
+  for (EntityId start = 0; start < kg.num_entities(); ++start) {
+    for (size_t w = 0; w < options.walks_per_entity; ++w) {
+      std::vector<WalkToken> walk;
+      walk.reserve(options.depth + 1);
+      EntityId current = start;
+      walk.push_back(current);
+      for (size_t step = 0; step < options.depth; ++step) {
+        const auto& out = kg.OutEdges(current);
+        const auto& in = kg.InEdges(current);
+        size_t degree = out.size() + (options.undirected ? in.size() : 0);
+        if (degree == 0) break;
+        size_t pick = rng.NextBounded(static_cast<uint32_t>(degree));
+        const Edge& edge = pick < out.size() ? out[pick] : in[pick - out.size()];
+        if (options.emit_predicates) {
+          walk.push_back(predicate_base + edge.predicate);
+        }
+        current = edge.dst;
+        walk.push_back(current);
+      }
+      walks.push_back(std::move(walk));
+    }
+  }
+  return walks;
+}
+
+size_t WalkVocabularySize(const KnowledgeGraph& kg,
+                          const WalkOptions& options) {
+  return kg.num_entities() +
+         (options.emit_predicates ? kg.num_predicates() : 0);
+}
+
+}  // namespace thetis

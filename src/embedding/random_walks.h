@@ -1,0 +1,42 @@
+#ifndef THETIS_EMBEDDING_RANDOM_WALKS_H_
+#define THETIS_EMBEDDING_RANDOM_WALKS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "kg/knowledge_graph.h"
+
+namespace thetis {
+
+// Token ids fed to the skip-gram trainer. Entities map to their own id;
+// predicates (when emitted) map to num_entities + predicate id, the RDF2Vec
+// convention of treating edge labels as corpus words.
+using WalkToken = uint32_t;
+
+struct WalkOptions {
+  // Number of walks started from every entity.
+  size_t walks_per_entity = 10;
+  // Number of edges traversed per walk (so a walk visits depth+1 nodes).
+  size_t depth = 4;
+  // Traverse in-edges as well as out-edges; keeps walks long on graphs whose
+  // directed structure has sinks.
+  bool undirected = true;
+  // Emit predicate tokens between node tokens (full RDF2Vec sequences).
+  bool emit_predicates = false;
+  uint64_t seed = 42;
+};
+
+// Generates uniform random walks over the KG, the first half of the RDF2Vec
+// pipeline [Ristoski & Paulheim 2016]. Each walk is a token sequence; walks
+// from isolated entities contain just the start token.
+std::vector<std::vector<WalkToken>> GenerateWalks(const KnowledgeGraph& kg,
+                                                  const WalkOptions& options);
+
+// Vocabulary size implied by the options: entities only, or entities plus
+// predicates when emit_predicates is set.
+size_t WalkVocabularySize(const KnowledgeGraph& kg, const WalkOptions& options);
+
+}  // namespace thetis
+
+#endif  // THETIS_EMBEDDING_RANDOM_WALKS_H_

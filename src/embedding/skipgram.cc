@@ -1,0 +1,183 @@
+#include "embedding/skipgram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "embedding/vector_ops.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace thetis {
+
+namespace {
+
+// Precomputed sigmoid table, the classic word2vec trick.
+class SigmoidTable {
+ public:
+  SigmoidTable() {
+    for (size_t i = 0; i < kSize; ++i) {
+      double x = (static_cast<double>(i) / kSize * 2.0 - 1.0) * kMaxExp;
+      table_[i] = 1.0 / (1.0 + std::exp(-x));
+    }
+  }
+  double operator()(double x) const {
+    if (x >= kMaxExp) return 1.0;
+    if (x <= -kMaxExp) return 0.0;
+    size_t idx =
+        static_cast<size_t>((x + kMaxExp) / (2.0 * kMaxExp) * (kSize - 1));
+    return table_[idx];
+  }
+
+ private:
+  static constexpr size_t kSize = 1024;
+  static constexpr double kMaxExp = 6.0;
+  double table_[kSize];
+};
+
+// Cumulative unigram^power sampler for negatives; O(log V) per draw.
+class NegativeSampler {
+ public:
+  NegativeSampler(const std::vector<uint64_t>& counts, double power) {
+    cumulative_.reserve(counts.size());
+    double acc = 0.0;
+    for (uint64_t c : counts) {
+      acc += std::pow(static_cast<double>(c), power);
+      cumulative_.push_back(acc);
+    }
+    total_ = acc;
+  }
+
+  WalkToken Sample(Rng* rng) const {
+    double r = rng->NextDouble() * total_;
+    size_t lo = 0;
+    size_t hi = cumulative_.size();
+    while (lo < hi) {
+      size_t mid = (lo + hi) / 2;
+      if (cumulative_[mid] <= r) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return static_cast<WalkToken>(lo < cumulative_.size() ? lo
+                                                          : cumulative_.size() - 1);
+  }
+
+ private:
+  std::vector<double> cumulative_;
+  double total_ = 0.0;
+};
+
+}  // namespace
+
+SkipGramTrainer::SkipGramTrainer(SkipGramOptions options)
+    : options_(options) {}
+
+EmbeddingStore SkipGramTrainer::Train(
+    const std::vector<std::vector<WalkToken>>& walks,
+    size_t vocab_size) const {
+  THETIS_CHECK(vocab_size > 0);
+  const size_t dim = options_.dim;
+  Rng rng(options_.seed);
+  SigmoidTable sigmoid;
+
+  // Token counts for the negative-sampling distribution.
+  std::vector<uint64_t> counts(vocab_size, 0);
+  uint64_t total_tokens = 0;
+  for (const auto& walk : walks) {
+    for (WalkToken t : walk) {
+      THETIS_CHECK(t < vocab_size) << "token " << t << " out of vocab";
+      ++counts[t];
+      ++total_tokens;
+    }
+  }
+  // Avoid zero-probability tokens (isolated vocabulary entries).
+  for (uint64_t& c : counts) {
+    if (c == 0) c = 1;
+  }
+  NegativeSampler sampler(counts, options_.unigram_power);
+
+  // Input (syn0) initialized uniformly, output (syn1neg) at zero, as in
+  // word2vec.
+  EmbeddingStore input(vocab_size, dim);
+  std::vector<float> output(vocab_size * dim, 0.0f);
+  for (size_t i = 0; i < vocab_size; ++i) {
+    float* v = input.mutable_vector(static_cast<EntityId>(i));
+    for (size_t d = 0; d < dim; ++d) {
+      v[d] = static_cast<float>((rng.NextDouble() - 0.5) / dim);
+    }
+  }
+
+  const uint64_t total_steps =
+      std::max<uint64_t>(1, total_tokens * options_.epochs);
+  uint64_t step = 0;
+  std::vector<float> grad(dim);
+
+  for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    for (const auto& walk : walks) {
+      for (size_t pos = 0; pos < walk.size(); ++pos) {
+        ++step;
+        double progress =
+            static_cast<double>(step) / static_cast<double>(total_steps);
+        double lr = options_.initial_learning_rate * (1.0 - progress);
+        if (lr < options_.min_learning_rate) lr = options_.min_learning_rate;
+
+        // Dynamic window, as in word2vec: uniform in [1, window].
+        size_t reduced =
+            1 + rng.NextBounded(static_cast<uint32_t>(options_.window));
+        size_t lo = pos >= reduced ? pos - reduced : 0;
+        size_t hi = std::min(walk.size() - 1, pos + reduced);
+        WalkToken center = walk[pos];
+        float* v_in = input.mutable_vector(center);
+
+        for (size_t ctx = lo; ctx <= hi; ++ctx) {
+          if (ctx == pos) continue;
+          WalkToken context = walk[ctx];
+          std::fill(grad.begin(), grad.end(), 0.0f);
+          // One positive plus `negatives` negative samples.
+          for (size_t n = 0; n <= options_.negatives; ++n) {
+            WalkToken target;
+            double label;
+            if (n == 0) {
+              target = context;
+              label = 1.0;
+            } else {
+              target = sampler.Sample(&rng);
+              if (target == context) continue;
+              label = 0.0;
+            }
+            float* v_out = output.data() + static_cast<size_t>(target) * dim;
+            double dot = DotProduct(v_in, v_out, dim);
+            double g = (label - sigmoid(dot)) * lr;
+            for (size_t d = 0; d < dim; ++d) {
+              grad[d] += static_cast<float>(g) * v_out[d];
+              v_out[d] += static_cast<float>(g) * v_in[d];
+            }
+          }
+          for (size_t d = 0; d < dim; ++d) v_in[d] += grad[d];
+        }
+      }
+    }
+  }
+  return input;
+}
+
+EmbeddingStore TrainEntityEmbeddings(const KnowledgeGraph& kg,
+                                     const WalkOptions& walk_options,
+                                     const SkipGramOptions& sg_options) {
+  auto walks = GenerateWalks(kg, walk_options);
+  size_t vocab = WalkVocabularySize(kg, walk_options);
+  SkipGramTrainer trainer(sg_options);
+  EmbeddingStore full = trainer.Train(walks, vocab);
+  // Keep only entity rows (predicates, if any, occupy the tail of the vocab).
+  EmbeddingStore entities(kg.num_entities(), full.dim());
+  for (EntityId e = 0; e < kg.num_entities(); ++e) {
+    const float* src = full.vector(e);
+    float* dst = entities.mutable_vector(e);
+    for (size_t d = 0; d < full.dim(); ++d) dst[d] = src[d];
+  }
+  entities.NormalizeAll();
+  return entities;
+}
+
+}  // namespace thetis

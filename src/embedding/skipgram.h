@@ -1,0 +1,53 @@
+#ifndef THETIS_EMBEDDING_SKIPGRAM_H_
+#define THETIS_EMBEDDING_SKIPGRAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "embedding/embedding_store.h"
+#include "embedding/random_walks.h"
+#include "kg/knowledge_graph.h"
+
+namespace thetis {
+
+struct SkipGramOptions {
+  size_t dim = 32;
+  size_t window = 3;
+  size_t negatives = 5;
+  size_t epochs = 3;
+  double initial_learning_rate = 0.05;
+  double min_learning_rate = 0.0001;
+  // Exponent of the unigram distribution used for negative sampling (0.75 in
+  // word2vec).
+  double unigram_power = 0.75;
+  uint64_t seed = 1234;
+};
+
+// Skip-gram with negative sampling (word2vec SGNS), trained on token
+// sequences. Combined with GenerateWalks this reproduces the RDF2Vec
+// pipeline the paper uses to embed DBpedia entities: entities co-occurring
+// on walks (i.e. with similar graph neighbourhoods) receive cosine-close
+// vectors. Single-threaded and deterministic under the seed.
+class SkipGramTrainer {
+ public:
+  explicit SkipGramTrainer(SkipGramOptions options = {});
+
+  // Trains over the walk corpus; token ids must be < vocab_size. Returns the
+  // input-embedding matrix, one row per token id.
+  EmbeddingStore Train(const std::vector<std::vector<WalkToken>>& walks,
+                       size_t vocab_size) const;
+
+ private:
+  SkipGramOptions options_;
+};
+
+// Convenience: walks + skip-gram + truncation to entity rows + L2
+// normalization, i.e. "RDF2Vec on this KG".
+EmbeddingStore TrainEntityEmbeddings(const KnowledgeGraph& kg,
+                                     const WalkOptions& walk_options,
+                                     const SkipGramOptions& sg_options);
+
+}  // namespace thetis
+
+#endif  // THETIS_EMBEDDING_SKIPGRAM_H_

@@ -1,0 +1,38 @@
+#ifndef THETIS_EMBEDDING_VECTOR_OPS_H_
+#define THETIS_EMBEDDING_VECTOR_OPS_H_
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace thetis {
+
+// Dense float vector helpers shared by the embedding trainer, the cosine
+// similarity, random-projection LSH and the TURL-like pooled-table baseline.
+
+inline float DotProduct(const float* a, const float* b, size_t n) {
+  float acc = 0.0f;
+  for (size_t i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+inline float L2Norm(const float* a, size_t n) {
+  return std::sqrt(DotProduct(a, a, n));
+}
+
+// Cosine similarity in [-1, 1]; 0 when either vector is all-zero.
+inline float CosineSimilarity(const float* a, const float* b, size_t n) {
+  float na = L2Norm(a, n);
+  float nb = L2Norm(b, n);
+  if (na <= 0.0f || nb <= 0.0f) return 0.0f;
+  return DotProduct(a, b, n) / (na * nb);
+}
+
+// Element-wise mean of `vectors` (each of length `dim`); empty input yields
+// the zero vector.
+std::vector<float> MeanPool(const std::vector<const float*>& vectors,
+                            size_t dim);
+
+}  // namespace thetis
+
+#endif  // THETIS_EMBEDDING_VECTOR_OPS_H_

@@ -1,0 +1,108 @@
+#ifndef THETIS_KG_KNOWLEDGE_GRAPH_H_
+#define THETIS_KG_KNOWLEDGE_GRAPH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "kg/taxonomy.h"
+#include "table/value.h"
+#include "util/status.h"
+
+namespace thetis {
+
+using PredicateId = uint32_t;
+
+// A labeled directed edge to `dst` via predicate `predicate`.
+struct Edge {
+  PredicateId predicate;
+  EntityId dst;
+};
+
+// Basic size statistics of a knowledge graph.
+struct KgStats {
+  size_t num_entities = 0;
+  size_t num_edges = 0;
+  size_t num_types = 0;
+  size_t num_predicates = 0;
+  double mean_types_per_entity = 0.0;
+  double mean_out_degree = 0.0;
+};
+
+// The knowledge graph G = <N, E, λ> of Section 2.2: entities as nodes,
+// labeled directed edges, and a label map λ. The type taxonomy is owned by
+// the graph; entity type annotations are stored as the *closure* over the
+// taxonomy is NOT applied automatically — use TypeSet(e, true) to expand,
+// mirroring how DBpedia annotates entities at multiple granularities.
+class KnowledgeGraph {
+ public:
+  KnowledgeGraph() = default;
+
+  KnowledgeGraph(const KnowledgeGraph&) = delete;
+  KnowledgeGraph& operator=(const KnowledgeGraph&) = delete;
+  KnowledgeGraph(KnowledgeGraph&&) = default;
+  KnowledgeGraph& operator=(KnowledgeGraph&&) = default;
+
+  // --- Construction -------------------------------------------------------
+
+  // Adds an entity with a (unique) human-readable label λ(e).
+  Result<EntityId> AddEntity(const std::string& label);
+
+  // Adds (or finds) a predicate by label.
+  PredicateId InternPredicate(const std::string& label);
+
+  // Adds a directed labeled edge src --pred--> dst.
+  Status AddEdge(EntityId src, PredicateId predicate, EntityId dst);
+
+  // Annotates `e` with a direct type from the taxonomy. Idempotent.
+  Status AddEntityType(EntityId e, TypeId type);
+
+  Taxonomy* mutable_taxonomy() { return &taxonomy_; }
+  const Taxonomy& taxonomy() const { return taxonomy_; }
+
+  // --- Lookup --------------------------------------------------------------
+
+  size_t num_entities() const { return labels_.size(); }
+  size_t num_edges() const { return num_edges_; }
+  size_t num_predicates() const { return predicate_labels_.size(); }
+
+  const std::string& label(EntityId e) const { return labels_[e]; }
+  const std::string& predicate_label(PredicateId p) const {
+    return predicate_labels_[p];
+  }
+  Result<EntityId> FindByLabel(const std::string& label) const;
+
+  const std::vector<Edge>& OutEdges(EntityId e) const { return out_edges_[e]; }
+  const std::vector<Edge>& InEdges(EntityId e) const { return in_edges_[e]; }
+
+  // Direct types of `e`, sorted ascending.
+  const std::vector<TypeId>& DirectTypes(EntityId e) const {
+    return entity_types_[e];
+  }
+
+  // Type set of `e`: direct types, optionally expanded with all taxonomy
+  // ancestors. Sorted ascending, deduplicated. This is the T_i of Eq. (4).
+  std::vector<TypeId> TypeSet(EntityId e, bool include_ancestors) const;
+
+  // Distinct predicate ids on edges incident to `e` (both directions).
+  std::vector<PredicateId> PredicateSet(EntityId e) const;
+
+  KgStats ComputeStats() const;
+
+ private:
+  Taxonomy taxonomy_;
+  std::vector<std::string> labels_;
+  std::unordered_map<std::string, EntityId> by_label_;
+  std::vector<std::string> predicate_labels_;
+  std::unordered_map<std::string, PredicateId> predicate_by_label_;
+  std::vector<std::vector<Edge>> out_edges_;
+  std::vector<std::vector<Edge>> in_edges_;
+  std::vector<std::vector<TypeId>> entity_types_;
+  size_t num_edges_ = 0;
+};
+
+}  // namespace thetis
+
+#endif  // THETIS_KG_KNOWLEDGE_GRAPH_H_

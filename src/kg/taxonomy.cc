@@ -1,0 +1,80 @@
+#include "kg/taxonomy.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace thetis {
+
+Result<TypeId> Taxonomy::AddType(const std::string& label, TypeId parent) {
+  if (parent != kNoType && parent >= labels_.size()) {
+    return Status::InvalidArgument("parent type id out of range");
+  }
+  auto [it, inserted] =
+      by_label_.emplace(label, static_cast<TypeId>(labels_.size()));
+  if (!inserted) {
+    return Status::AlreadyExists("type '" + label + "' already exists");
+  }
+  labels_.push_back(label);
+  parents_.push_back(parent);
+  return it->second;
+}
+
+Result<TypeId> Taxonomy::FindByLabel(const std::string& label) const {
+  auto it = by_label_.find(label);
+  if (it == by_label_.end()) return Status::NotFound("type '" + label + "'");
+  return it->second;
+}
+
+size_t Taxonomy::Depth(TypeId t) const {
+  THETIS_CHECK(t < labels_.size());
+  size_t d = 0;
+  while (parents_[t] != kNoType) {
+    t = parents_[t];
+    ++d;
+  }
+  return d;
+}
+
+std::vector<TypeId> Taxonomy::SelfAndAncestors(TypeId t) const {
+  THETIS_CHECK(t < labels_.size());
+  std::vector<TypeId> out;
+  while (t != kNoType) {
+    out.push_back(t);
+    t = parents_[t];
+  }
+  return out;
+}
+
+bool Taxonomy::IsAncestorOrSelf(TypeId ancestor, TypeId t) const {
+  THETIS_CHECK(t < labels_.size());
+  while (t != kNoType) {
+    if (t == ancestor) return true;
+    t = parents_[t];
+  }
+  return false;
+}
+
+TypeId Taxonomy::LowestCommonAncestor(TypeId a, TypeId b) const {
+  std::vector<TypeId> pa = SelfAndAncestors(a);
+  std::vector<TypeId> pb = SelfAndAncestors(b);
+  // Compare the chains from the root downward; the last equal node is the LCA.
+  std::reverse(pa.begin(), pa.end());
+  std::reverse(pb.begin(), pb.end());
+  TypeId lca = kNoType;
+  for (size_t i = 0; i < std::min(pa.size(), pb.size()); ++i) {
+    if (pa[i] != pb[i]) break;
+    lca = pa[i];
+  }
+  return lca;
+}
+
+std::vector<TypeId> Taxonomy::Children(TypeId t) const {
+  std::vector<TypeId> out;
+  for (TypeId i = 0; i < parents_.size(); ++i) {
+    if (parents_[i] == t) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace thetis

@@ -1,0 +1,57 @@
+#ifndef THETIS_KG_TAXONOMY_H_
+#define THETIS_KG_TAXONOMY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace thetis {
+
+using TypeId = uint32_t;
+inline constexpr TypeId kNoType = static_cast<TypeId>(-1);
+
+// The KG's type hierarchy (a forest): each type has a label and an optional
+// parent. Rich KGs annotate entities with types at several granularities
+// (e.g. DBpedia's BaseballTeam < SportsTeam < Organisation < Thing); the
+// taxonomy lets us expand a direct type into its ancestor closure, which is
+// what makes Jaccard-of-types a graded similarity rather than exact matching.
+class Taxonomy {
+ public:
+  Taxonomy() = default;
+
+  // Adds a type under `parent` (kNoType for a root). Labels must be unique.
+  Result<TypeId> AddType(const std::string& label, TypeId parent = kNoType);
+
+  size_t size() const { return labels_.size(); }
+  const std::string& label(TypeId t) const { return labels_[t]; }
+  TypeId parent(TypeId t) const { return parents_[t]; }
+  Result<TypeId> FindByLabel(const std::string& label) const;
+
+  // Root distance; roots have depth 0.
+  size_t Depth(TypeId t) const;
+
+  // The type itself plus all its ancestors, ordered from `t` up to the root.
+  std::vector<TypeId> SelfAndAncestors(TypeId t) const;
+
+  // True if `ancestor` is `t` or lies on t's path to the root.
+  bool IsAncestorOrSelf(TypeId ancestor, TypeId t) const;
+
+  // Lowest common ancestor; kNoType when the types are in different trees.
+  TypeId LowestCommonAncestor(TypeId a, TypeId b) const;
+
+  // All direct children of `t`.
+  std::vector<TypeId> Children(TypeId t) const;
+
+ private:
+  std::vector<std::string> labels_;
+  std::vector<TypeId> parents_;
+  std::unordered_map<std::string, TypeId> by_label_;
+};
+
+}  // namespace thetis
+
+#endif  // THETIS_KG_TAXONOMY_H_

@@ -1,0 +1,190 @@
+#include "kg/triple_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace thetis {
+
+namespace {
+
+bool NeedsQuotes(const std::string& s) {
+  if (s.empty()) return true;
+  for (char c : s) {
+    if (c == ' ' || c == '\t' || c == '"' || c == '\\') return true;
+  }
+  return false;
+}
+
+void AppendToken(const std::string& s, std::string* out) {
+  if (!NeedsQuotes(s)) {
+    out->append(s);
+    return;
+  }
+  out->push_back('"');
+  for (char c : s) {
+    if (c == '"' || c == '\\') out->push_back('\\');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+// Splits a line into whitespace-separated tokens with quote support.
+Result<std::vector<std::string>> TokenizeLine(std::string_view line) {
+  std::vector<std::string> tokens;
+  size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    if (i >= line.size()) break;
+    std::string token;
+    if (line[i] == '"') {
+      ++i;
+      bool closed = false;
+      while (i < line.size()) {
+        char c = line[i++];
+        if (c == '\\' && i < line.size()) {
+          token.push_back(line[i++]);
+        } else if (c == '"') {
+          closed = true;
+          break;
+        } else {
+          token.push_back(c);
+        }
+      }
+      if (!closed) return Status::InvalidArgument("unterminated quote");
+    } else {
+      while (i < line.size() && line[i] != ' ' && line[i] != '\t') {
+        token.push_back(line[i++]);
+      }
+    }
+    tokens.push_back(std::move(token));
+  }
+  return tokens;
+}
+
+}  // namespace
+
+std::string WriteTriples(const KnowledgeGraph& kg) {
+  std::string out;
+  const Taxonomy& tax = kg.taxonomy();
+  // Taxonomy ids ascend with insertion order, so parents precede children if
+  // they did at construction; emit in id order which preserves validity
+  // because AddType requires the parent to already exist.
+  for (TypeId t = 0; t < tax.size(); ++t) {
+    out += "type ";
+    AppendToken(tax.label(t), &out);
+    if (tax.parent(t) != kNoType) {
+      out.push_back(' ');
+      AppendToken(tax.label(tax.parent(t)), &out);
+    }
+    out.push_back('\n');
+  }
+  for (EntityId e = 0; e < kg.num_entities(); ++e) {
+    out += "entity ";
+    AppendToken(kg.label(e), &out);
+    out.push_back('\n');
+  }
+  for (EntityId e = 0; e < kg.num_entities(); ++e) {
+    for (TypeId t : kg.DirectTypes(e)) {
+      out += "istype ";
+      AppendToken(kg.label(e), &out);
+      out.push_back(' ');
+      AppendToken(tax.label(t), &out);
+      out.push_back('\n');
+    }
+  }
+  for (EntityId e = 0; e < kg.num_entities(); ++e) {
+    for (const Edge& edge : kg.OutEdges(e)) {
+      out += "edge ";
+      AppendToken(kg.label(e), &out);
+      out.push_back(' ');
+      AppendToken(kg.predicate_label(edge.predicate), &out);
+      out.push_back(' ');
+      AppendToken(kg.label(edge.dst), &out);
+      out.push_back('\n');
+    }
+  }
+  return out;
+}
+
+Result<KnowledgeGraph> ParseTriples(std::string_view text) {
+  KnowledgeGraph kg;
+  size_t line_no = 0;
+  size_t start = 0;
+  auto fail = [&](const std::string& msg) {
+    return Status::InvalidArgument("line " + std::to_string(line_no) + ": " +
+                                   msg);
+  };
+  while (start <= text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view line = text.substr(start, end - start);
+    start = end + 1;
+    ++line_no;
+    std::string_view trimmed = TrimAscii(line);
+    if (trimmed.empty() || trimmed[0] == '#') {
+      if (end == text.size()) break;
+      continue;
+    }
+    auto tokens_result = TokenizeLine(trimmed);
+    if (!tokens_result.ok()) return fail(tokens_result.status().message());
+    const auto& tokens = tokens_result.value();
+    const std::string& kind = tokens[0];
+    if (kind == "type") {
+      if (tokens.size() != 2 && tokens.size() != 3) {
+        return fail("'type' takes 1 or 2 arguments");
+      }
+      TypeId parent = kNoType;
+      if (tokens.size() == 3) {
+        auto p = kg.taxonomy().FindByLabel(tokens[2]);
+        if (!p.ok()) return fail("unknown parent type '" + tokens[2] + "'");
+        parent = p.value();
+      }
+      auto added = kg.mutable_taxonomy()->AddType(tokens[1], parent);
+      if (!added.ok()) return fail(added.status().message());
+    } else if (kind == "entity") {
+      if (tokens.size() != 2) return fail("'entity' takes 1 argument");
+      auto added = kg.AddEntity(tokens[1]);
+      if (!added.ok()) return fail(added.status().message());
+    } else if (kind == "istype") {
+      if (tokens.size() != 3) return fail("'istype' takes 2 arguments");
+      auto e = kg.FindByLabel(tokens[1]);
+      if (!e.ok()) return fail("unknown entity '" + tokens[1] + "'");
+      auto t = kg.taxonomy().FindByLabel(tokens[2]);
+      if (!t.ok()) return fail("unknown type '" + tokens[2] + "'");
+      THETIS_RETURN_NOT_OK(kg.AddEntityType(e.value(), t.value()));
+    } else if (kind == "edge") {
+      if (tokens.size() != 4) return fail("'edge' takes 3 arguments");
+      auto s = kg.FindByLabel(tokens[1]);
+      if (!s.ok()) return fail("unknown entity '" + tokens[1] + "'");
+      auto o = kg.FindByLabel(tokens[3]);
+      if (!o.ok()) return fail("unknown entity '" + tokens[3] + "'");
+      PredicateId p = kg.InternPredicate(tokens[2]);
+      THETIS_RETURN_NOT_OK(kg.AddEdge(s.value(), p, o.value()));
+    } else {
+      return fail("unknown statement kind '" + kind + "'");
+    }
+    if (end == text.size()) break;
+  }
+  return kg;
+}
+
+Status WriteTriplesFile(const KnowledgeGraph& kg, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out << WriteTriples(kg);
+  if (!out) return Status::IoError("write to " + path + " failed");
+  return Status::Ok();
+}
+
+Result<KnowledgeGraph> ReadTriplesFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseTriples(buf.str());
+}
+
+}  // namespace thetis

@@ -1,0 +1,37 @@
+#ifndef THETIS_KG_TRIPLE_IO_H_
+#define THETIS_KG_TRIPLE_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "kg/knowledge_graph.h"
+#include "util/status.h"
+
+namespace thetis {
+
+// Text serialization for knowledge graphs, one statement per line. The
+// format is a simplified N-Triples-like syntax so that example KGs can be
+// checked into the repo and graphs round-trip through files:
+//
+//   type <label> [<parent-label>]        -- taxonomy node
+//   entity <label>                        -- entity node
+//   istype <entity-label> <type-label>    -- direct type annotation
+//   edge <src-label> <predicate> <dst-label>
+//
+// Labels containing whitespace are double-quoted with backslash escapes.
+// Lines starting with '#' and blank lines are ignored. Statements may appear
+// in any order as long as referenced nodes are declared first.
+
+// Serializes a graph to the text format.
+std::string WriteTriples(const KnowledgeGraph& kg);
+
+// Parses the text format into a graph.
+Result<KnowledgeGraph> ParseTriples(std::string_view text);
+
+// File variants.
+Status WriteTriplesFile(const KnowledgeGraph& kg, const std::string& path);
+Result<KnowledgeGraph> ReadTriplesFile(const std::string& path);
+
+}  // namespace thetis
+
+#endif  // THETIS_KG_TRIPLE_IO_H_

@@ -1,0 +1,43 @@
+#include "linking/entity_linker.h"
+
+namespace thetis {
+
+EntityLinker::EntityLinker(const KnowledgeGraph* kg, LinkerOptions options)
+    : kg_(kg), options_(options), index_(kg) {}
+
+EntityId EntityLinker::LinkMention(std::string_view mention) const {
+  EntityId e = index_.ExactLookup(mention);
+  if (e != kNoEntity) return e;
+  if (options_.mode == LinkingMode::kExactThenKeyword) {
+    return index_.KeywordLookup(mention, options_.min_keyword_score);
+  }
+  return kNoEntity;
+}
+
+LinkingStats EntityLinker::LinkTable(Table* table) const {
+  LinkingStats stats;
+  for (size_t r = 0; r < table->num_rows(); ++r) {
+    for (size_t c = 0; c < table->num_columns(); ++c) {
+      const Value& v = table->cell(r, c);
+      if (v.is_null()) continue;
+      if (options_.skip_numeric_cells && v.is_number()) continue;
+      ++stats.cells_considered;
+      EntityId e = LinkMention(v.ToText());
+      table->set_link(r, c, e);
+      if (e != kNoEntity) ++stats.cells_linked;
+    }
+  }
+  return stats;
+}
+
+LinkingStats EntityLinker::LinkCorpus(Corpus* corpus) const {
+  LinkingStats total;
+  for (TableId id = 0; id < corpus->size(); ++id) {
+    LinkingStats s = LinkTable(corpus->mutable_table(id));
+    total.cells_considered += s.cells_considered;
+    total.cells_linked += s.cells_linked;
+  }
+  return total;
+}
+
+}  // namespace thetis

@@ -1,0 +1,62 @@
+#ifndef THETIS_LINKING_ENTITY_LINKER_H_
+#define THETIS_LINKING_ENTITY_LINKER_H_
+
+#include "kg/knowledge_graph.h"
+#include "linking/label_index.h"
+#include "table/corpus.h"
+
+namespace thetis {
+
+// How cell mentions are matched against KG labels.
+enum class LinkingMode {
+  // Normalized exact label match only (high precision).
+  kExact,
+  // Exact match first, BM25 keyword match as fallback (the GitTables path).
+  kExactThenKeyword,
+};
+
+struct LinkerOptions {
+  LinkingMode mode = LinkingMode::kExact;
+  // Minimum BM25 score for a keyword match to count.
+  double min_keyword_score = 1.0;
+  // Numeric cells never denote KG entities in our corpora; skip them.
+  bool skip_numeric_cells = true;
+};
+
+struct LinkingStats {
+  size_t cells_considered = 0;
+  size_t cells_linked = 0;
+  double coverage() const {
+    return cells_considered == 0
+               ? 0.0
+               : static_cast<double>(cells_linked) /
+                     static_cast<double>(cells_considered);
+  }
+};
+
+// Materializes the partial mapping Φ: annotates every string cell of every
+// table in the corpus with the matching KG entity (or leaves it unlinked).
+// This is the automatic entity-linking step that turns a plain data lake
+// into a semantic data lake (Definition 2.1).
+class EntityLinker {
+ public:
+  EntityLinker(const KnowledgeGraph* kg, LinkerOptions options = {});
+
+  // Links all cells in-place; existing links are overwritten.
+  LinkingStats LinkCorpus(Corpus* corpus) const;
+
+  // Links a single table in-place.
+  LinkingStats LinkTable(Table* table) const;
+
+  // Resolves one mention (kNoEntity if no match).
+  EntityId LinkMention(std::string_view mention) const;
+
+ private:
+  const KnowledgeGraph* kg_;
+  LinkerOptions options_;
+  LabelIndex index_;
+};
+
+}  // namespace thetis
+
+#endif  // THETIS_LINKING_ENTITY_LINKER_H_

@@ -1,0 +1,42 @@
+#include "linking/label_index.h"
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace thetis {
+
+LabelIndex::LabelIndex(const KnowledgeGraph* kg)
+    : kg_(kg), scorer_(&token_index_) {
+  THETIS_CHECK(kg != nullptr);
+  for (EntityId e = 0; e < kg->num_entities(); ++e) {
+    const std::string& label = kg->label(e);
+    exact_.emplace(NormalizeForMatch(label), e);
+    DocId doc = token_index_.AddDocument(TokenizeNormalized(label));
+    THETIS_CHECK(doc == e) << "label index doc ids must equal entity ids";
+  }
+}
+
+EntityId LabelIndex::ExactLookup(std::string_view mention) const {
+  auto it = exact_.find(NormalizeForMatch(mention));
+  return it == exact_.end() ? kNoEntity : it->second;
+}
+
+EntityId LabelIndex::KeywordLookup(std::string_view mention,
+                                   double min_score) const {
+  auto top = KeywordTopK(mention, 1);
+  if (top.empty() || top[0].second < min_score) return kNoEntity;
+  return top[0].first;
+}
+
+std::vector<std::pair<EntityId, double>> LabelIndex::KeywordTopK(
+    std::string_view mention, size_t k) const {
+  auto hits = scorer_.Search(TokenizeNormalized(mention), k);
+  std::vector<std::pair<EntityId, double>> out;
+  out.reserve(hits.size());
+  for (const auto& [doc, score] : hits) {
+    out.emplace_back(static_cast<EntityId>(doc), score);
+  }
+  return out;
+}
+
+}  // namespace thetis

@@ -1,0 +1,51 @@
+#ifndef THETIS_LINKING_LABEL_INDEX_H_
+#define THETIS_LINKING_LABEL_INDEX_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "kg/knowledge_graph.h"
+#include "text/bm25.h"
+#include "text/inverted_index.h"
+
+namespace thetis {
+
+// An index from entity labels to entity ids supporting two lookup modes:
+//
+//  * exact lookup on the normalized label (lowercased, punctuation folded),
+//    matching how the WT benchmarks ship ground-truth links; and
+//  * keyword lookup, ranking entities by BM25 over label tokens — the
+//    equivalent of the Lucene label index the paper builds to link GitTables
+//    mentions (Section 7.4).
+class LabelIndex {
+ public:
+  // Builds the index over all entities of `kg`; the graph must outlive the
+  // index.
+  explicit LabelIndex(const KnowledgeGraph* kg);
+
+  // Entity whose normalized label equals the normalized mention, or
+  // kNoEntity. When several entities normalize identically the first added
+  // wins (deterministic).
+  EntityId ExactLookup(std::string_view mention) const;
+
+  // Best entity by BM25 score over label tokens, or kNoEntity when no token
+  // matches or the top score is below `min_score`.
+  EntityId KeywordLookup(std::string_view mention, double min_score) const;
+
+  // Top-k entities by BM25 score over label tokens.
+  std::vector<std::pair<EntityId, double>> KeywordTopK(
+      std::string_view mention, size_t k) const;
+
+ private:
+  const KnowledgeGraph* kg_;
+  std::unordered_map<std::string, EntityId> exact_;
+  InvertedIndex token_index_;  // doc id == entity id by construction
+  Bm25Scorer scorer_;
+};
+
+}  // namespace thetis
+
+#endif  // THETIS_LINKING_LABEL_INDEX_H_

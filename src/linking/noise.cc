@@ -1,0 +1,110 @@
+#include "linking/noise.h"
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace thetis {
+
+void CapLinkCoverage(Corpus* corpus, double max_coverage, uint64_t seed) {
+  Rng rng(seed);
+  for (TableId id = 0; id < corpus->size(); ++id) {
+    Table* t = corpus->mutable_table(id);
+    size_t cells = t->num_rows() * t->num_columns();
+    if (cells == 0) continue;
+    // Collect linked cell positions.
+    std::vector<std::pair<size_t, size_t>> linked;
+    for (size_t r = 0; r < t->num_rows(); ++r) {
+      for (size_t c = 0; c < t->num_columns(); ++c) {
+        if (t->link(r, c) != kNoEntity) linked.emplace_back(r, c);
+      }
+    }
+    size_t max_links =
+        static_cast<size_t>(max_coverage * static_cast<double>(cells));
+    if (linked.size() <= max_links) continue;
+    size_t to_remove = linked.size() - max_links;
+    for (size_t i = 0; i < to_remove; ++i) {
+      size_t j = i + rng.NextBounded(static_cast<uint32_t>(linked.size() - i));
+      std::swap(linked[i], linked[j]);
+      t->set_link(linked[i].first, linked[i].second, kNoEntity);
+    }
+  }
+}
+
+void RetainLinkFraction(Corpus* corpus, double fraction, uint64_t seed) {
+  Rng rng(seed);
+  for (TableId id = 0; id < corpus->size(); ++id) {
+    Table* t = corpus->mutable_table(id);
+    std::vector<std::pair<size_t, size_t>> linked;
+    for (size_t r = 0; r < t->num_rows(); ++r) {
+      for (size_t c = 0; c < t->num_columns(); ++c) {
+        if (t->link(r, c) != kNoEntity) linked.emplace_back(r, c);
+      }
+    }
+    size_t keep = static_cast<size_t>(
+        fraction * static_cast<double>(linked.size()) + 0.999999);
+    if (keep >= linked.size()) continue;
+    size_t to_remove = linked.size() - keep;
+    for (size_t i = 0; i < to_remove; ++i) {
+      size_t j = i + rng.NextBounded(static_cast<uint32_t>(linked.size() - i));
+      std::swap(linked[i], linked[j]);
+      t->set_link(linked[i].first, linked[i].second, kNoEntity);
+    }
+  }
+}
+
+double NoisyLinkingReport::Precision() const {
+  size_t predicted = kept_correct + corrupted + spurious;
+  if (predicted == 0) return 0.0;
+  return static_cast<double>(kept_correct) / static_cast<double>(predicted);
+}
+
+double NoisyLinkingReport::Recall() const {
+  if (original_links == 0) return 0.0;
+  return static_cast<double>(kept_correct) /
+         static_cast<double>(original_links);
+}
+
+double NoisyLinkingReport::F1() const {
+  double p = Precision();
+  double r = Recall();
+  if (p + r <= 0.0) return 0.0;
+  return 2.0 * p * r / (p + r);
+}
+
+NoisyLinkingReport SimulateNoisyLinker(Corpus* corpus,
+                                       const KnowledgeGraph& kg,
+                                       const NoisyLinkerOptions& options) {
+  Rng rng(options.seed);
+  NoisyLinkingReport report;
+  uint32_t n = static_cast<uint32_t>(kg.num_entities());
+  for (TableId id = 0; id < corpus->size(); ++id) {
+    Table* t = corpus->mutable_table(id);
+    for (size_t r = 0; r < t->num_rows(); ++r) {
+      for (size_t c = 0; c < t->num_columns(); ++c) {
+        EntityId original = t->link(r, c);
+        if (original != kNoEntity) {
+          ++report.original_links;
+          if (rng.NextBernoulli(options.keep_probability)) {
+            ++report.kept_correct;
+          } else if (n > 0 && rng.NextBernoulli(options.corrupt_probability)) {
+            EntityId wrong = rng.NextBounded(n);
+            if (wrong == original) wrong = (wrong + 1) % n;
+            t->set_link(r, c, wrong);
+            ++report.corrupted;
+          } else {
+            t->set_link(r, c, kNoEntity);
+            ++report.dropped;
+          }
+        } else if (n > 0 && t->cell(r, c).is_string() &&
+                   rng.NextBernoulli(options.spurious_probability)) {
+          t->set_link(r, c, rng.NextBounded(n));
+          ++report.spurious;
+        }
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace thetis

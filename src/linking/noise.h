@@ -1,0 +1,58 @@
+#ifndef THETIS_LINKING_NOISE_H_
+#define THETIS_LINKING_NOISE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "kg/knowledge_graph.h"
+#include "table/corpus.h"
+
+namespace thetis {
+
+// Tools that degrade entity links to study robustness (Section 7.5). They
+// operate in-place on an already-linked corpus.
+
+// Randomly removes links until each table's link coverage is at most
+// `max_coverage` (in [0,1]). Deterministic under `seed`.
+void CapLinkCoverage(Corpus* corpus, double max_coverage, uint64_t seed);
+
+// Keeps exactly ⌈fraction * links⌉ randomly-chosen links per table and
+// removes the rest; `fraction` in [0,1]. The relative variant of coverage
+// degradation used by the Figure 6 experiment.
+void RetainLinkFraction(Corpus* corpus, double fraction, uint64_t seed);
+
+// Result of simulating an imperfect entity linker.
+struct NoisyLinkingReport {
+  size_t original_links = 0;
+  size_t kept_correct = 0;   // links preserved as-is (true positives)
+  size_t corrupted = 0;      // links rewritten to a wrong entity (FP + FN)
+  size_t dropped = 0;        // links removed (false negatives)
+  size_t spurious = 0;       // links added on previously-unlinked cells (FP)
+
+  double Precision() const;
+  double Recall() const;
+  double F1() const;
+};
+
+struct NoisyLinkerOptions {
+  // Probability a correct link survives untouched.
+  double keep_probability = 0.35;
+  // Probability a surviving-candidate link is rewritten to a random entity
+  // (conditioned on not being kept). The remainder is dropped.
+  double corrupt_probability = 0.3;
+  // Probability an unlinked (string) cell receives a spurious random link.
+  double spurious_probability = 0.02;
+  uint64_t seed = 7;
+};
+
+// Replaces the corpus's ground-truth links with the output of a simulated
+// low-quality linker and reports precision/recall/F1 against the original
+// links. The defaults land near the paper's EMBLOOKUP setting (F1 ≈ 0.21,
+// coverage ≈ 20%).
+NoisyLinkingReport SimulateNoisyLinker(Corpus* corpus,
+                                       const KnowledgeGraph& kg,
+                                       const NoisyLinkerOptions& options);
+
+}  // namespace thetis
+
+#endif  // THETIS_LINKING_NOISE_H_

@@ -1,0 +1,60 @@
+#include "lsh/band_index.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace thetis {
+
+BandedIndex::BandedIndex(size_t num_bands, size_t band_size)
+    : num_bands_(num_bands), band_size_(band_size), groups_(num_bands) {
+  THETIS_CHECK(num_bands > 0 && band_size > 0);
+}
+
+uint64_t BandedIndex::BandKey(const std::vector<uint32_t>& signature,
+                              size_t band) const {
+  THETIS_CHECK(signature.size() >= num_bands_ * band_size_)
+      << "signature too short for banding";
+  uint64_t h = 0x9E3779B97F4A7C15ULL * (band + 1);
+  for (size_t i = 0; i < band_size_; ++i) {
+    h = MixHash64(h ^ signature[band * band_size_ + i]);
+  }
+  return h;
+}
+
+void BandedIndex::Insert(uint32_t item,
+                         const std::vector<uint32_t>& signature) {
+  for (size_t b = 0; b < num_bands_; ++b) {
+    groups_[b][BandKey(signature, b)].push_back(item);
+  }
+  ++num_items_;
+}
+
+std::vector<uint32_t> BandedIndex::QueryWithMultiplicity(
+    const std::vector<uint32_t>& signature) const {
+  std::vector<uint32_t> out;
+  for (size_t b = 0; b < num_bands_; ++b) {
+    auto it = groups_[b].find(BandKey(signature, b));
+    if (it != groups_[b].end()) {
+      out.insert(out.end(), it->second.begin(), it->second.end());
+    }
+  }
+  return out;
+}
+
+std::vector<uint32_t> BandedIndex::Query(
+    const std::vector<uint32_t>& signature) const {
+  std::vector<uint32_t> out = QueryWithMultiplicity(signature);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+size_t BandedIndex::NumBuckets() const {
+  size_t total = 0;
+  for (const auto& g : groups_) total += g.size();
+  return total;
+}
+
+}  // namespace thetis

@@ -1,0 +1,52 @@
+#ifndef THETIS_LSH_BAND_INDEX_H_
+#define THETIS_LSH_BAND_INDEX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace thetis {
+
+// The banded bucket structure of Section 6.1: a signature is split into
+// `num_bands` bands of `band_size` elements; each band is hashed into that
+// band's own bucket group. An item lands in exactly one bucket per group,
+// and two items collide in a group iff their band slices are identical.
+class BandedIndex {
+ public:
+  // signature length must be >= num_bands * band_size; trailing elements are
+  // ignored (as when 32 functions are split into 3 bands of 10).
+  BandedIndex(size_t num_bands, size_t band_size);
+
+  size_t num_bands() const { return num_bands_; }
+  size_t band_size() const { return band_size_; }
+  size_t num_items() const { return num_items_; }
+
+  // Inserts an item with its signature.
+  void Insert(uint32_t item, const std::vector<uint32_t>& signature);
+
+  // Items sharing at least one bucket with `signature`, including
+  // multiplicity: an item colliding in k bands appears k times. Callers that
+  // need the distinct set deduplicate.
+  std::vector<uint32_t> QueryWithMultiplicity(
+      const std::vector<uint32_t>& signature) const;
+
+  // Distinct colliding items, sorted ascending.
+  std::vector<uint32_t> Query(const std::vector<uint32_t>& signature) const;
+
+  // Number of non-empty buckets across all groups (diagnostics).
+  size_t NumBuckets() const;
+
+ private:
+  uint64_t BandKey(const std::vector<uint32_t>& signature, size_t band) const;
+
+  size_t num_bands_;
+  size_t band_size_;
+  size_t num_items_ = 0;
+  // One bucket map per band group.
+  std::vector<std::unordered_map<uint64_t, std::vector<uint32_t>>> groups_;
+};
+
+}  // namespace thetis
+
+#endif  // THETIS_LSH_BAND_INDEX_H_

@@ -1,0 +1,27 @@
+#include "lsh/hyperplane.h"
+
+#include "embedding/vector_ops.h"
+#include "util/rng.h"
+
+namespace thetis {
+
+HyperplaneHasher::HyperplaneHasher(size_t num_projections, size_t dim,
+                                   uint64_t seed)
+    : num_projections_(num_projections), dim_(dim) {
+  Rng rng(seed);
+  projections_.resize(num_projections * dim);
+  for (float& x : projections_) {
+    x = static_cast<float>(rng.NextGaussian());
+  }
+}
+
+std::vector<uint32_t> HyperplaneHasher::Signature(const float* v) const {
+  std::vector<uint32_t> sig(num_projections_);
+  for (size_t p = 0; p < num_projections_; ++p) {
+    float dot = DotProduct(projections_.data() + p * dim_, v, dim_);
+    sig[p] = dot > 0.0f ? 1u : 0u;
+  }
+  return sig;
+}
+
+}  // namespace thetis

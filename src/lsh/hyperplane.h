@@ -1,0 +1,33 @@
+#ifndef THETIS_LSH_HYPERPLANE_H_
+#define THETIS_LSH_HYPERPLANE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace thetis {
+
+// Random-hyperplane (sign-random-projection) signatures for embedding
+// vectors (Section 6.1: each projection vector splits the space into a
+// positive and a negative sub-space; the signature records the side). Two
+// vectors agree at a position with probability 1 - angle/π, so banding the
+// bits yields an LSH family for cosine similarity.
+class HyperplaneHasher {
+ public:
+  HyperplaneHasher(size_t num_projections, size_t dim, uint64_t seed);
+
+  size_t num_projections() const { return num_projections_; }
+  size_t dim() const { return dim_; }
+
+  // One 0/1 element per projection. `v` must have length dim().
+  std::vector<uint32_t> Signature(const float* v) const;
+
+ private:
+  size_t num_projections_;
+  size_t dim_;
+  std::vector<float> projections_;  // row-major num_projections_ x dim_
+};
+
+}  // namespace thetis
+
+#endif  // THETIS_LSH_HYPERPLANE_H_

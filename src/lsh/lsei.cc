@@ -1,0 +1,222 @@
+#include "lsh/lsei.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "embedding/vector_ops.h"
+#include "util/logging.h"
+
+namespace thetis {
+
+Lsei::Lsei(const SemanticDataLake* lake, const EmbeddingStore* embeddings,
+           const LseiOptions& options)
+    : lake_(lake),
+      embeddings_(embeddings),
+      options_(options),
+      min_hasher_(options.num_functions, options.seed),
+      hyperplane_(options.num_functions,
+                  embeddings != nullptr ? embeddings->dim() : 1,
+                  options.seed),
+      index_(std::max<size_t>(1, options.num_functions / options.band_size),
+             options.band_size) {
+  THETIS_CHECK(lake != nullptr);
+  THETIS_CHECK(options.band_size <= options.num_functions)
+      << "band size exceeds signature length";
+  if (options_.mode == LseiMode::kEmbeddings) {
+    THETIS_CHECK(embeddings != nullptr)
+        << "embeddings mode requires an EmbeddingStore";
+  }
+  if (options_.column_aggregation) {
+    BuildColumnIndex();
+  } else {
+    BuildEntityIndex();
+  }
+}
+
+std::vector<TypeId> Lsei::FilteredTypes(EntityId e) const {
+  std::vector<TypeId> types =
+      lake_->kg().TypeSet(e, options_.include_type_ancestors);
+  std::vector<TypeId> kept;
+  kept.reserve(types.size());
+  for (TypeId t : types) {
+    if (lake_->TypeTableFraction(t) <= options_.max_type_table_fraction) {
+      kept.push_back(t);
+    }
+  }
+  return kept;
+}
+
+std::vector<uint64_t> Lsei::EntityShingles(EntityId e) const {
+  return TypePairShingles(FilteredTypes(e));
+}
+
+std::vector<uint32_t> Lsei::EntitySignature(EntityId e) const {
+  if (options_.mode == LseiMode::kTypes) {
+    return min_hasher_.Signature(EntityShingles(e));
+  }
+  return hyperplane_.Signature(embeddings_->vector(e));
+}
+
+size_t Lsei::BuildEntityIndex() {
+  size_t inserted = 0;
+  for (EntityId e : lake_->MentionedEntities()) {
+    if (!indexed_entity_set_.insert(e).second) continue;
+    uint32_t item = static_cast<uint32_t>(indexed_entities_.size());
+    indexed_entities_.push_back(e);
+    index_.Insert(item, EntitySignature(e));
+    ++inserted;
+  }
+  indexed_tables_ = lake_->corpus().size();
+  return inserted;
+}
+
+size_t Lsei::BuildColumnIndex() {
+  size_t inserted = 0;
+  const Corpus& corpus = lake_->corpus();
+  for (TableId id = static_cast<TableId>(indexed_tables_); id < corpus.size();
+       ++id) {
+    const Table& t = corpus.table(id);
+    for (size_t c = 0; c < t.num_columns(); ++c) {
+      std::vector<EntityId> entities = t.ColumnEntities(c);
+      if (entities.empty()) continue;
+      std::vector<uint32_t> sig;
+      if (options_.mode == LseiMode::kTypes) {
+        // Merge all entity type sets of the column into one set (§6.2).
+        std::unordered_set<TypeId> merged;
+        for (EntityId e : entities) {
+          for (TypeId ty : FilteredTypes(e)) merged.insert(ty);
+        }
+        std::vector<TypeId> types(merged.begin(), merged.end());
+        std::sort(types.begin(), types.end());
+        sig = min_hasher_.Signature(TypePairShingles(types));
+      } else {
+        // Average the column's entity vectors.
+        std::vector<const float*> vecs;
+        vecs.reserve(entities.size());
+        for (EntityId e : entities) vecs.push_back(embeddings_->vector(e));
+        std::vector<float> mean = MeanPool(vecs, embeddings_->dim());
+        sig = hyperplane_.Signature(mean.data());
+      }
+      uint32_t item = static_cast<uint32_t>(indexed_columns_.size());
+      indexed_columns_.emplace_back(id, static_cast<uint32_t>(c));
+      index_.Insert(item, sig);
+      ++inserted;
+    }
+  }
+  indexed_tables_ = corpus.size();
+  return inserted;
+}
+
+size_t Lsei::IngestNewContent() {
+  return options_.column_aggregation ? BuildColumnIndex() : BuildEntityIndex();
+}
+
+std::vector<TableId> Lsei::FilterByVotes(std::vector<TableId> bag,
+                                         size_t votes) {
+  std::sort(bag.begin(), bag.end());
+  std::vector<TableId> out;
+  size_t i = 0;
+  while (i < bag.size()) {
+    size_t j = i;
+    while (j < bag.size() && bag[j] == bag[i]) ++j;
+    if (j - i >= votes) out.push_back(bag[i]);
+    i = j;
+  }
+  return out;
+}
+
+std::vector<TableId> Lsei::EntityModeCandidates(
+    const std::vector<EntityId>& entities, size_t votes) const {
+  std::vector<TableId> result;
+  for (EntityId q : entities) {
+    // Merge all matching buckets into one SET of entities, then collect the
+    // bag of their tables (Section 6.2): a table's vote count equals the
+    // number of distinct colliding entities it mentions, so tables sharing
+    // several similar entities with the query survive higher thresholds
+    // while incidental single-entity matches are pruned.
+    std::vector<TableId> bag;
+    for (uint32_t item : index_.Query(EntitySignature(q))) {
+      EntityId hit = indexed_entities_[item];
+      const auto& tables = lake_->TablesWithEntity(hit);
+      bag.insert(bag.end(), tables.begin(), tables.end());
+    }
+    std::vector<TableId> kept = FilterByVotes(std::move(bag), votes);
+    result.insert(result.end(), kept.begin(), kept.end());
+  }
+  std::sort(result.begin(), result.end());
+  result.erase(std::unique(result.begin(), result.end()), result.end());
+  return result;
+}
+
+std::vector<TableId> Lsei::ColumnModeCandidates(
+    const std::vector<std::vector<EntityId>>& tuples, size_t votes) const {
+  // Collapse the query per column position: all entities appearing at
+  // position c across tuples form one aggregated lookup (§6.2).
+  size_t width = 0;
+  for (const auto& t : tuples) width = std::max(width, t.size());
+  std::vector<TableId> result;
+  for (size_t c = 0; c < width; ++c) {
+    std::vector<EntityId> position_entities;
+    for (const auto& t : tuples) {
+      if (c < t.size() && t[c] != kNoEntity) position_entities.push_back(t[c]);
+    }
+    if (position_entities.empty()) continue;
+    std::vector<uint32_t> sig;
+    if (options_.mode == LseiMode::kTypes) {
+      std::unordered_set<TypeId> merged;
+      for (EntityId e : position_entities) {
+        for (TypeId ty : FilteredTypes(e)) merged.insert(ty);
+      }
+      std::vector<TypeId> types(merged.begin(), merged.end());
+      std::sort(types.begin(), types.end());
+      sig = min_hasher_.Signature(TypePairShingles(types));
+    } else {
+      std::vector<const float*> vecs;
+      for (EntityId e : position_entities) {
+        vecs.push_back(embeddings_->vector(e));
+      }
+      std::vector<float> mean = MeanPool(vecs, embeddings_->dim());
+      sig = hyperplane_.Signature(mean.data());
+    }
+    std::vector<TableId> bag;
+    for (uint32_t item : index_.Query(sig)) {
+      bag.push_back(indexed_columns_[item].first);
+    }
+    std::vector<TableId> kept = FilterByVotes(std::move(bag), votes);
+    result.insert(result.end(), kept.begin(), kept.end());
+  }
+  std::sort(result.begin(), result.end());
+  result.erase(std::unique(result.begin(), result.end()), result.end());
+  return result;
+}
+
+std::vector<TableId> Lsei::CandidateTablesForQuery(
+    const std::vector<std::vector<EntityId>>& tuples, size_t votes) const {
+  THETIS_CHECK(votes >= 1);
+  if (options_.column_aggregation) {
+    return ColumnModeCandidates(tuples, votes);
+  }
+  std::vector<EntityId> flat;
+  for (const auto& t : tuples) {
+    for (EntityId e : t) {
+      if (e != kNoEntity) flat.push_back(e);
+    }
+  }
+  std::sort(flat.begin(), flat.end());
+  flat.erase(std::unique(flat.begin(), flat.end()), flat.end());
+  return EntityModeCandidates(flat, votes);
+}
+
+std::vector<TableId> Lsei::CandidateTablesForEntity(EntityId e,
+                                                    size_t votes) const {
+  return EntityModeCandidates({e}, votes);
+}
+
+double Lsei::ReductionRatio(size_t num_candidates) const {
+  size_t n = lake_->corpus().size();
+  if (n == 0) return 0.0;
+  return 1.0 - static_cast<double>(num_candidates) / static_cast<double>(n);
+}
+
+}  // namespace thetis

@@ -1,0 +1,117 @@
+#ifndef THETIS_LSH_LSEI_H_
+#define THETIS_LSH_LSEI_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+#include <unordered_set>
+
+#include "embedding/embedding_store.h"
+#include "lsh/band_index.h"
+#include "lsh/hyperplane.h"
+#include "lsh/minhash.h"
+#include "semantic/semantic_data_lake.h"
+
+namespace thetis {
+
+// Which semantic signal the index hashes (Section 6.1).
+enum class LseiMode {
+  kTypes,       // MinHash over type-pair shingles
+  kEmbeddings,  // random hyperplane projections over entity vectors
+};
+
+struct LseiOptions {
+  LseiMode mode = LseiMode::kTypes;
+  // Number of permutation/projection vectors (the X of the paper's (X, Y)
+  // configurations).
+  size_t num_functions = 30;
+  // Band size (the Y); num_functions / band_size bucket groups are used.
+  size_t band_size = 10;
+  // Types present in more than this fraction of tables are dropped before
+  // shingling; "a type that describes more than half of the entities cannot
+  // be really informative" (Section 6.1).
+  double max_type_table_fraction = 0.5;
+  // Expand direct types with taxonomy ancestors before shingling.
+  bool include_type_ancestors = true;
+  // Aggregate signatures per table column instead of per entity, and
+  // likewise collapse the query per column position (Section 6.2).
+  bool column_aggregation = false;
+  uint64_t seed = 99;
+};
+
+// The Locality-Sensitive Entity Index: prefilters the corpus before the
+// exact search algorithm runs, by looking up each query entity, merging the
+// bucket contents into a bag of tables and keeping tables with at least
+// `votes` occurrences (Section 6.2).
+class Lsei {
+ public:
+  // `lake` must outlive the index. `embeddings` is required (and borrowed)
+  // in kEmbeddings mode, ignored otherwise.
+  Lsei(const SemanticDataLake* lake, const EmbeddingStore* embeddings,
+       const LseiOptions& options);
+
+  const LseiOptions& options() const { return options_; }
+
+  // Candidate tables for a full query (a set of entity tuples), sorted
+  // ascending and deduplicated. `votes` >= 1.
+  std::vector<TableId> CandidateTablesForQuery(
+      const std::vector<std::vector<EntityId>>& tuples, size_t votes) const;
+
+  // Candidate tables for a single entity (entity-level lookup + voting).
+  std::vector<TableId> CandidateTablesForEntity(EntityId e,
+                                                size_t votes) const;
+
+  // Indexes content added to the lake after this index was built (call
+  // SemanticDataLake::IngestNewTables first). In entity mode, signatures of
+  // newly-mentioned entities are inserted (tables of already-indexed
+  // entities are found through the lake's updated postings); in column
+  // mode, the new tables' columns are inserted. Returns the number of new
+  // items inserted.
+  size_t IngestNewContent();
+
+  // Fraction of the corpus removed by a candidate set of the given size.
+  double ReductionRatio(size_t num_candidates) const;
+
+  // Diagnostics: non-empty buckets across all groups.
+  size_t NumBuckets() const { return index_.NumBuckets(); }
+
+ private:
+  // Signature of one entity under the configured mode.
+  std::vector<uint32_t> EntitySignature(EntityId e) const;
+  // Shingle set of an entity's (filtered) type set.
+  std::vector<uint64_t> EntityShingles(EntityId e) const;
+  // Type set with the frequent-type filter applied.
+  std::vector<TypeId> FilteredTypes(EntityId e) const;
+
+  // Votes semantics over a bag of tables.
+  static std::vector<TableId> FilterByVotes(std::vector<TableId> bag,
+                                            size_t votes);
+
+  size_t BuildEntityIndex();
+  size_t BuildColumnIndex();
+
+  std::vector<TableId> EntityModeCandidates(
+      const std::vector<EntityId>& entities, size_t votes) const;
+  std::vector<TableId> ColumnModeCandidates(
+      const std::vector<std::vector<EntityId>>& tuples, size_t votes) const;
+
+  const SemanticDataLake* lake_;
+  const EmbeddingStore* embeddings_;
+  LseiOptions options_;
+  MinHasher min_hasher_;
+  HyperplaneHasher hyperplane_;
+  BandedIndex index_;
+
+  // Entity mode: item ids index into indexed_entities_; the set mirrors the
+  // vector for O(1) duplicate checks during incremental ingest.
+  std::vector<EntityId> indexed_entities_;
+  std::unordered_set<EntityId> indexed_entity_set_;
+  // Column mode: item ids index into indexed_columns_ (table, column);
+  // tables below indexed_tables_ are already inserted.
+  std::vector<std::pair<TableId, uint32_t>> indexed_columns_;
+  size_t indexed_tables_ = 0;
+};
+
+}  // namespace thetis
+
+#endif  // THETIS_LSH_LSEI_H_

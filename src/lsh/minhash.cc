@@ -1,0 +1,39 @@
+#include "lsh/minhash.h"
+
+#include <limits>
+
+#include "util/rng.h"
+
+namespace thetis {
+
+MinHasher::MinHasher(size_t num_functions, uint64_t seed) {
+  Rng rng(seed);
+  seeds_.reserve(num_functions);
+  for (size_t i = 0; i < num_functions; ++i) seeds_.push_back(rng.NextU64());
+}
+
+std::vector<uint32_t> MinHasher::Signature(
+    const std::vector<uint64_t>& shingles) const {
+  std::vector<uint32_t> sig(seeds_.size(),
+                            std::numeric_limits<uint32_t>::max());
+  for (uint64_t sh : shingles) {
+    for (size_t i = 0; i < seeds_.size(); ++i) {
+      uint32_t h = static_cast<uint32_t>(MixHash64(sh ^ seeds_[i]));
+      if (h < sig[i]) sig[i] = h;
+    }
+  }
+  return sig;
+}
+
+std::vector<uint64_t> TypePairShingles(const std::vector<uint32_t>& types) {
+  std::vector<uint64_t> shingles;
+  shingles.reserve(types.size() * (types.size() + 1) / 2);
+  for (size_t i = 0; i < types.size(); ++i) {
+    for (size_t j = i; j < types.size(); ++j) {
+      shingles.push_back((static_cast<uint64_t>(types[i]) << 32) | types[j]);
+    }
+  }
+  return shingles;
+}
+
+}  // namespace thetis

@@ -1,0 +1,37 @@
+#ifndef THETIS_LSH_MINHASH_H_
+#define THETIS_LSH_MINHASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace thetis {
+
+// A MinHash signature generator over sets of 64-bit shingles. Each of the
+// `num_functions` hash functions plays the role of one random permutation of
+// the shingle universe (Section 6.1: "the signature dimension equals the
+// number of permutation vectors"). Two sets' signatures agree at position i
+// with probability equal to their Jaccard similarity.
+class MinHasher {
+ public:
+  MinHasher(size_t num_functions, uint64_t seed);
+
+  size_t num_functions() const { return seeds_.size(); }
+
+  // Signature of a shingle set; the empty set maps to a fixed sentinel
+  // signature (all-max), which only collides with other empty sets.
+  std::vector<uint32_t> Signature(const std::vector<uint64_t>& shingles) const;
+
+ private:
+  std::vector<uint64_t> seeds_;
+};
+
+// Expands a sorted set of type ids into the paper's pair shingles: one
+// 64-bit shingle per unordered pair (including the (t, t) diagonal so
+// single-type entities still produce a shingle). Mimics the |T|x|T| bit
+// vector of Section 6.1 sparsely.
+std::vector<uint64_t> TypePairShingles(const std::vector<uint32_t>& types);
+
+}  // namespace thetis
+
+#endif  // THETIS_LSH_MINHASH_H_

@@ -1,0 +1,166 @@
+#include "semantic/corpus_io.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "table/csv.h"
+#include "util/string_util.h"
+
+namespace thetis {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// File-system-safe file name for a table: alphanumerics kept, everything
+// else folded to '_', disambiguated with the table id.
+std::string TableFileName(TableId id, const std::string& name) {
+  std::string safe;
+  for (char c : name) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      safe.push_back(c);
+    } else {
+      safe.push_back('_');
+    }
+  }
+  if (safe.size() > 64) safe.resize(64);
+  return std::to_string(id) + "_" + safe + ".csv";
+}
+
+void AppendQuoted(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    if (c == '"' || c == '\\') out->push_back('\\');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+// Parses a quoted token starting at text[*pos]; advances *pos past it.
+Result<std::string> ParseQuoted(const std::string& text, size_t* pos) {
+  if (*pos >= text.size() || text[*pos] != '"') {
+    return Status::InvalidArgument("expected opening quote");
+  }
+  ++*pos;
+  std::string out;
+  while (*pos < text.size()) {
+    char c = text[(*pos)++];
+    if (c == '\\' && *pos < text.size()) {
+      out.push_back(text[(*pos)++]);
+    } else if (c == '"') {
+      return out;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return Status::InvalidArgument("unterminated quote");
+}
+
+}  // namespace
+
+Status SaveCorpus(const Corpus& corpus, const KnowledgeGraph& kg,
+                  const std::string& dir) {
+  std::error_code ec;
+  fs::create_directories(fs::path(dir) / "tables", ec);
+  if (ec) return Status::IoError("cannot create " + dir + ": " + ec.message());
+
+  std::string manifest;
+  std::string links;
+  for (TableId id = 0; id < corpus.size(); ++id) {
+    const Table& t = corpus.table(id);
+    std::string file = TableFileName(id, t.name());
+    manifest += file;
+    manifest.push_back('\t');
+    AppendQuoted(t.name(), &manifest);
+    manifest.push_back('\n');
+    THETIS_RETURN_NOT_OK(
+        WriteCsvFile(t, (fs::path(dir) / "tables" / file).string()));
+    for (size_t r = 0; r < t.num_rows(); ++r) {
+      for (size_t c = 0; c < t.num_columns(); ++c) {
+        EntityId e = t.link(r, c);
+        if (e == kNoEntity) continue;
+        links += std::to_string(id);
+        links.push_back(' ');
+        links += std::to_string(r);
+        links.push_back(' ');
+        links += std::to_string(c);
+        links.push_back(' ');
+        AppendQuoted(kg.label(e), &links);
+        links.push_back('\n');
+      }
+    }
+  }
+
+  std::ofstream mf((fs::path(dir) / "manifest.txt").string(),
+                   std::ios::binary);
+  if (!mf) return Status::IoError("cannot write manifest");
+  mf << manifest;
+  std::ofstream lf((fs::path(dir) / "links.txt").string(), std::ios::binary);
+  if (!lf) return Status::IoError("cannot write links");
+  lf << links;
+  return Status::Ok();
+}
+
+Result<Corpus> LoadCorpus(const std::string& dir, const KnowledgeGraph& kg) {
+  std::ifstream mf((fs::path(dir) / "manifest.txt").string(),
+                   std::ios::binary);
+  if (!mf) return Status::IoError("cannot open " + dir + "/manifest.txt");
+
+  Corpus corpus;
+  std::string line;
+  while (std::getline(mf, line)) {
+    if (TrimAscii(line).empty()) continue;
+    size_t tab = line.find('\t');
+    if (tab == std::string::npos) {
+      return Status::InvalidArgument("malformed manifest line: " + line);
+    }
+    std::string file = line.substr(0, tab);
+    size_t pos = tab + 1;
+    auto name = ParseQuoted(line, &pos);
+    if (!name.ok()) return name.status();
+    auto table = ReadCsvFile((fs::path(dir) / "tables" / file).string());
+    if (!table.ok()) return table.status();
+    table.value().set_name(name.value());
+    THETIS_RETURN_NOT_OK(corpus.AddTable(std::move(table).value()).status());
+  }
+
+  std::ifstream lf((fs::path(dir) / "links.txt").string(), std::ios::binary);
+  if (!lf) return Status::IoError("cannot open " + dir + "/links.txt");
+  size_t line_no = 0;
+  while (std::getline(lf, line)) {
+    ++line_no;
+    if (TrimAscii(line).empty()) continue;
+    std::istringstream in(line);
+    TableId table = 0;
+    size_t row = 0;
+    size_t col = 0;
+    if (!(in >> table >> row >> col)) {
+      return Status::InvalidArgument("malformed links line " +
+                                     std::to_string(line_no));
+    }
+    // The remainder is the quoted label.
+    size_t pos = line.find('"');
+    if (pos == std::string::npos) {
+      return Status::InvalidArgument("links line " + std::to_string(line_no) +
+                                     " missing label");
+    }
+    auto label = ParseQuoted(line, &pos);
+    if (!label.ok()) return label.status();
+    if (table >= corpus.size()) {
+      return Status::OutOfRange("links line " + std::to_string(line_no) +
+                                ": table id out of range");
+    }
+    Table* t = corpus.mutable_table(table);
+    if (row >= t->num_rows() || col >= t->num_columns()) {
+      return Status::OutOfRange("links line " + std::to_string(line_no) +
+                                ": cell out of range");
+    }
+    // Drop links whose entity is unknown to this KG (Φ is partial).
+    auto entity = kg.FindByLabel(label.value());
+    if (entity.ok()) t->set_link(row, col, entity.value());
+  }
+  return corpus;
+}
+
+}  // namespace thetis

@@ -1,0 +1,35 @@
+#ifndef THETIS_SEMANTIC_CORPUS_IO_H_
+#define THETIS_SEMANTIC_CORPUS_IO_H_
+
+#include <string>
+
+#include "kg/knowledge_graph.h"
+#include "table/corpus.h"
+#include "util/status.h"
+
+namespace thetis {
+
+// On-disk persistence for a corpus with entity links, so a semantic data
+// lake can be built once and reloaded. Layout under a directory:
+//
+//   <dir>/manifest.txt        table file names, one per line, in id order
+//   <dir>/tables/<file>.csv   one CSV per table (header + rows)
+//   <dir>/links.txt           one line per linked cell:
+//                             <table-id> <row> <col> <entity-label>
+//
+// Links are stored by entity *label* (quoted like the triple format) so a
+// saved corpus is portable across KG rebuilds: loading resolves labels
+// through the provided graph and silently drops links whose entity no
+// longer exists (the mapping Φ is partial by definition).
+
+// Saves the corpus; the directory is created if needed, existing files are
+// overwritten.
+Status SaveCorpus(const Corpus& corpus, const KnowledgeGraph& kg,
+                  const std::string& dir);
+
+// Loads a corpus saved by SaveCorpus, re-resolving links against `kg`.
+Result<Corpus> LoadCorpus(const std::string& dir, const KnowledgeGraph& kg);
+
+}  // namespace thetis
+
+#endif  // THETIS_SEMANTIC_CORPUS_IO_H_

@@ -1,0 +1,77 @@
+#include "semantic/semantic_data_lake.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace thetis {
+
+const std::vector<TableId> SemanticDataLake::kEmptyTables;
+
+SemanticDataLake::SemanticDataLake(const Corpus* corpus,
+                                   const KnowledgeGraph* kg)
+    : corpus_(corpus), kg_(kg) {
+  THETIS_CHECK(corpus != nullptr && kg != nullptr);
+  IngestNewTables();
+}
+
+size_t SemanticDataLake::IngestNewTables() {
+  size_t ingested = 0;
+  bool new_entities = false;
+  for (TableId id = static_cast<TableId>(indexed_tables_);
+       id < corpus_->size(); ++id) {
+    const Table& t = corpus_->table(id);
+    std::unordered_set<TypeId> table_types;
+    for (EntityId e : t.DistinctEntities()) {
+      auto [it, inserted] = entity_tables_.try_emplace(e);
+      it->second.push_back(id);
+      new_entities |= inserted;
+      for (TypeId ty : kg_->TypeSet(e, /*include_ancestors=*/true)) {
+        table_types.insert(ty);
+      }
+    }
+    for (TypeId ty : table_types) ++type_table_counts_[ty];
+    ++ingested;
+  }
+  indexed_tables_ = corpus_->size();
+  if (new_entities || mentioned_entities_.size() != entity_tables_.size()) {
+    mentioned_entities_.clear();
+    mentioned_entities_.reserve(entity_tables_.size());
+    for (const auto& [e, _] : entity_tables_) mentioned_entities_.push_back(e);
+    std::sort(mentioned_entities_.begin(), mentioned_entities_.end());
+  }
+  return ingested;
+}
+
+const std::vector<TableId>& SemanticDataLake::TablesWithEntity(
+    EntityId e) const {
+  auto it = entity_tables_.find(e);
+  return it == entity_tables_.end() ? kEmptyTables : it->second;
+}
+
+size_t SemanticDataLake::TableFrequency(EntityId e) const {
+  return TablesWithEntity(e).size();
+}
+
+double SemanticDataLake::Informativeness(EntityId e) const {
+  size_t n = corpus_->size();
+  if (n == 0) return 1.0;
+  size_t tf = TableFrequency(e);
+  if (tf == 0) return 1.0;
+  // Normalize by log(1 + 2N) so that even tf == 1 stays strictly below the
+  // unseen-entity weight of 1.
+  double num = std::log(1.0 + static_cast<double>(n) / static_cast<double>(tf));
+  double den = std::log(1.0 + 2.0 * static_cast<double>(n));
+  return den <= 0.0 ? 1.0 : num / den;
+}
+
+double SemanticDataLake::TypeTableFraction(TypeId t) const {
+  if (corpus_->size() == 0) return 0.0;
+  auto it = type_table_counts_.find(t);
+  size_t count = it == type_table_counts_.end() ? 0 : it->second;
+  return static_cast<double>(count) / static_cast<double>(corpus_->size());
+}
+
+}  // namespace thetis

@@ -1,0 +1,52 @@
+#include "table/corpus.h"
+
+#include <unordered_set>
+
+namespace thetis {
+
+Result<TableId> Corpus::AddTable(Table table) {
+  if (table.name().empty()) {
+    return Status::InvalidArgument("table must have a name");
+  }
+  auto [it, inserted] =
+      by_name_.emplace(table.name(), static_cast<TableId>(tables_.size()));
+  if (!inserted) {
+    return Status::AlreadyExists("table name '" + table.name() +
+                                 "' already in corpus");
+  }
+  tables_.push_back(std::move(table));
+  return it->second;
+}
+
+Result<TableId> Corpus::FindByName(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return Status::NotFound("no table named '" + name + "'");
+  }
+  return it->second;
+}
+
+CorpusStats Corpus::ComputeStats() const {
+  CorpusStats stats;
+  stats.num_tables = tables_.size();
+  if (tables_.empty()) return stats;
+  double rows = 0.0;
+  double cols = 0.0;
+  double cov = 0.0;
+  std::unordered_set<EntityId> entities;
+  for (const Table& t : tables_) {
+    rows += static_cast<double>(t.num_rows());
+    cols += static_cast<double>(t.num_columns());
+    cov += t.LinkCoverage();
+    stats.total_cells += t.num_rows() * t.num_columns();
+    for (EntityId e : t.DistinctEntities()) entities.insert(e);
+  }
+  double n = static_cast<double>(tables_.size());
+  stats.mean_rows = rows / n;
+  stats.mean_columns = cols / n;
+  stats.mean_link_coverage = cov / n;
+  stats.distinct_entities = entities.size();
+  return stats;
+}
+
+}  // namespace thetis

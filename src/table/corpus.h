@@ -1,0 +1,54 @@
+#ifndef THETIS_TABLE_CORPUS_H_
+#define THETIS_TABLE_CORPUS_H_
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "table/table.h"
+#include "util/status.h"
+
+namespace thetis {
+
+// Aggregate corpus statistics (the columns of the paper's Table 2).
+struct CorpusStats {
+  size_t num_tables = 0;
+  double mean_rows = 0.0;
+  double mean_columns = 0.0;
+  double mean_link_coverage = 0.0;
+  size_t total_cells = 0;
+  size_t distinct_entities = 0;
+};
+
+// The data lake D = {T1, ..., Tn}: an append-only collection of tables with
+// stable TableIds and name lookup.
+class Corpus {
+ public:
+  Corpus() = default;
+
+  // Tables are heavy; the corpus is move-only to prevent accidental copies.
+  Corpus(const Corpus&) = delete;
+  Corpus& operator=(const Corpus&) = delete;
+  Corpus(Corpus&&) = default;
+  Corpus& operator=(Corpus&&) = default;
+
+  // Adds a table; its name must be unique within the corpus.
+  Result<TableId> AddTable(Table table);
+
+  size_t size() const { return tables_.size(); }
+  const Table& table(TableId id) const { return tables_[id]; }
+  Table* mutable_table(TableId id) { return &tables_[id]; }
+
+  Result<TableId> FindByName(const std::string& name) const;
+
+  CorpusStats ComputeStats() const;
+
+ private:
+  std::vector<Table> tables_;
+  std::unordered_map<std::string, TableId> by_name_;
+};
+
+}  // namespace thetis
+
+#endif  // THETIS_TABLE_CORPUS_H_

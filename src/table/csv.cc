@@ -1,0 +1,184 @@
+#include "table/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace thetis {
+
+namespace {
+
+// Splits CSV text into records of raw string fields, honoring quotes.
+Result<std::vector<std::vector<std::string>>> SplitRecords(
+    std::string_view text, char delim) {
+  std::vector<std::vector<std::string>> records;
+  std::vector<std::string> record;
+  std::string field;
+  bool in_quotes = false;
+  bool field_was_quoted = false;
+  bool any_field = false;
+
+  auto end_field = [&]() {
+    record.push_back(field);
+    field.clear();
+    field_was_quoted = false;
+    any_field = true;
+  };
+  auto end_record = [&]() {
+    end_field();
+    records.push_back(std::move(record));
+    record.clear();
+    any_field = false;
+  };
+
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+      continue;
+    }
+    if (c == '"') {
+      if (!field.empty()) {
+        return Status::InvalidArgument(
+            "quote appears in the middle of an unquoted field");
+      }
+      in_quotes = true;
+      field_was_quoted = true;
+    } else if (c == delim) {
+      end_field();
+    } else if (c == '\r') {
+      // Swallow; the following '\n' (if any) terminates the record.
+      if (i + 1 < text.size() && text[i + 1] == '\n') continue;
+      end_record();
+    } else if (c == '\n') {
+      end_record();
+    } else {
+      field.push_back(c);
+    }
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("unterminated quoted field");
+  }
+  // Trailing record without a final newline.
+  if (any_field || !field.empty() || field_was_quoted) {
+    end_record();
+  }
+  return records;
+}
+
+Value FieldToValue(const std::string& raw, const CsvOptions& options) {
+  if (raw.empty()) return Value::Null();
+  if (options.detect_numbers && LooksNumeric(raw)) {
+    return Value::Number(std::strtod(raw.c_str(), nullptr));
+  }
+  return Value::String(raw);
+}
+
+bool NeedsQuoting(const std::string& s, char delim) {
+  for (char c : s) {
+    if (c == delim || c == '"' || c == '\n' || c == '\r') return true;
+  }
+  return false;
+}
+
+void AppendCsvField(const std::string& s, char delim, std::string* out) {
+  if (!NeedsQuoting(s, delim)) {
+    out->append(s);
+    return;
+  }
+  out->push_back('"');
+  for (char c : s) {
+    if (c == '"') out->push_back('"');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+Result<Table> ParseCsv(std::string_view text, const CsvOptions& options) {
+  auto records_result = SplitRecords(text, options.delimiter);
+  if (!records_result.ok()) return records_result.status();
+  const auto& records = records_result.value();
+  if (records.empty()) {
+    return Status::InvalidArgument("empty CSV input");
+  }
+
+  std::vector<std::string> columns;
+  size_t first_data = 0;
+  if (options.has_header) {
+    columns = records[0];
+    first_data = 1;
+  } else {
+    for (size_t c = 0; c < records[0].size(); ++c) {
+      columns.push_back("col" + std::to_string(c));
+    }
+  }
+
+  Table table("", std::move(columns));
+  for (size_t r = first_data; r < records.size(); ++r) {
+    if (records[r].size() != table.num_columns()) {
+      return Status::InvalidArgument(
+          "record " + std::to_string(r) + " has " +
+          std::to_string(records[r].size()) + " fields, expected " +
+          std::to_string(table.num_columns()));
+    }
+    std::vector<Value> row;
+    row.reserve(records[r].size());
+    for (const std::string& f : records[r]) {
+      row.push_back(FieldToValue(f, options));
+    }
+    THETIS_RETURN_NOT_OK(table.AppendRow(std::move(row)));
+  }
+  return table;
+}
+
+Result<Table> ReadCsvFile(const std::string& path, const CsvOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  auto result = ParseCsv(buf.str(), options);
+  if (result.ok()) result.value().set_name(path);
+  return result;
+}
+
+std::string WriteCsv(const Table& table, const CsvOptions& options) {
+  std::string out;
+  if (options.has_header) {
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      if (c > 0) out.push_back(options.delimiter);
+      AppendCsvField(table.column_name(c), options.delimiter, &out);
+    }
+    out.push_back('\n');
+  }
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      if (c > 0) out.push_back(options.delimiter);
+      AppendCsvField(table.cell(r, c).ToText(), options.delimiter, &out);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    const CsvOptions& options) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out << WriteCsv(table, options);
+  if (!out) return Status::IoError("write to " + path + " failed");
+  return Status::Ok();
+}
+
+}  // namespace thetis

@@ -1,0 +1,40 @@
+#ifndef THETIS_TABLE_CSV_H_
+#define THETIS_TABLE_CSV_H_
+
+#include <string>
+#include <string_view>
+
+#include "table/table.h"
+#include "util/status.h"
+
+namespace thetis {
+
+struct CsvOptions {
+  char delimiter = ',';
+  // When true, the first record provides column names; otherwise columns are
+  // named col0, col1, ...
+  bool has_header = true;
+  // When true, unquoted fields that parse fully as numbers become
+  // Value::Number; otherwise every field is a string.
+  bool detect_numbers = true;
+};
+
+// Parses RFC-4180-style CSV text (quoted fields, doubled quotes, CRLF or LF)
+// into a Table. Ragged rows are an error. Entity links are not part of CSV;
+// they come from the linking module.
+Result<Table> ParseCsv(std::string_view text, const CsvOptions& options = {});
+
+// Reads and parses a CSV file.
+Result<Table> ReadCsvFile(const std::string& path,
+                          const CsvOptions& options = {});
+
+// Serializes a table to CSV text (header + rows; fields quoted when needed).
+std::string WriteCsv(const Table& table, const CsvOptions& options = {});
+
+// Writes a table to a CSV file.
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    const CsvOptions& options = {});
+
+}  // namespace thetis
+
+#endif  // THETIS_TABLE_CSV_H_

@@ -1,0 +1,65 @@
+#include "table/table.h"
+
+#include <unordered_set>
+
+namespace thetis {
+
+Table::Table(std::string name, std::vector<std::string> column_names)
+    : name_(std::move(name)), column_names_(std::move(column_names)) {}
+
+Status Table::AppendRow(std::vector<Value> row) {
+  std::vector<EntityId> links(row.size(), kNoEntity);
+  return AppendRow(std::move(row), std::move(links));
+}
+
+Status Table::AppendRow(std::vector<Value> row, std::vector<EntityId> links) {
+  if (row.size() != column_names_.size()) {
+    return Status::InvalidArgument("row width " + std::to_string(row.size()) +
+                                   " does not match schema width " +
+                                   std::to_string(column_names_.size()));
+  }
+  if (links.size() != row.size()) {
+    return Status::InvalidArgument("links width does not match row width");
+  }
+  rows_.push_back(std::move(row));
+  links_.push_back(std::move(links));
+  return Status::Ok();
+}
+
+double Table::LinkCoverage() const {
+  size_t cells = num_rows() * num_columns();
+  if (cells == 0) return 0.0;
+  size_t linked = 0;
+  for (const auto& row : links_) {
+    for (EntityId e : row) {
+      if (e != kNoEntity) ++linked;
+    }
+  }
+  return static_cast<double>(linked) / static_cast<double>(cells);
+}
+
+std::vector<EntityId> Table::DistinctEntities() const {
+  std::unordered_set<EntityId> seen;
+  for (const auto& row : links_) {
+    for (EntityId e : row) {
+      if (e != kNoEntity) seen.insert(e);
+    }
+  }
+  return std::vector<EntityId>(seen.begin(), seen.end());
+}
+
+std::vector<EntityId> Table::ColumnEntities(size_t c) const {
+  std::vector<EntityId> out;
+  for (const auto& row : links_) {
+    if (row[c] != kNoEntity) out.push_back(row[c]);
+  }
+  return out;
+}
+
+void Table::ClearLinks() {
+  for (auto& row : links_) {
+    for (EntityId& e : row) e = kNoEntity;
+  }
+}
+
+}  // namespace thetis

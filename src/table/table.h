@@ -1,0 +1,64 @@
+#ifndef THETIS_TABLE_TABLE_H_
+#define THETIS_TABLE_TABLE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "table/value.h"
+#include "util/status.h"
+
+namespace thetis {
+
+// A data lake table: a named relation with a fixed set of attributes and a
+// bag of rows (Section 2.1). Each cell additionally carries an optional
+// entity link, the materialization of the partial mapping Φ restricted to
+// this table (Definition 2.1). Links are kNoEntity for unlinked cells.
+class Table {
+ public:
+  Table() = default;
+  Table(std::string name, std::vector<std::string> column_names);
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  size_t num_columns() const { return column_names_.size(); }
+  size_t num_rows() const { return rows_.size(); }
+  const std::vector<std::string>& column_names() const { return column_names_; }
+  const std::string& column_name(size_t c) const { return column_names_[c]; }
+
+  // Appends a row; its width must equal num_columns(). Links default to
+  // kNoEntity.
+  Status AppendRow(std::vector<Value> row);
+  Status AppendRow(std::vector<Value> row, std::vector<EntityId> links);
+
+  const Value& cell(size_t r, size_t c) const { return rows_[r][c]; }
+  Value* mutable_cell(size_t r, size_t c) { return &rows_[r][c]; }
+  const std::vector<Value>& row(size_t r) const { return rows_[r]; }
+
+  EntityId link(size_t r, size_t c) const { return links_[r][c]; }
+  void set_link(size_t r, size_t c, EntityId e) { links_[r][c] = e; }
+  const std::vector<EntityId>& row_links(size_t r) const { return links_[r]; }
+
+  // Fraction of cells carrying an entity link ("link coverage", Section 7.5).
+  double LinkCoverage() const;
+
+  // Distinct linked entities appearing anywhere in the table, unsorted.
+  std::vector<EntityId> DistinctEntities() const;
+
+  // Linked entities in one column, in row order, skipping unlinked cells.
+  std::vector<EntityId> ColumnEntities(size_t c) const;
+
+  // Removes all entity links (used by coverage-reduction experiments).
+  void ClearLinks();
+
+ private:
+  std::string name_;
+  std::vector<std::string> column_names_;
+  std::vector<std::vector<Value>> rows_;
+  std::vector<std::vector<EntityId>> links_;
+};
+
+}  // namespace thetis
+
+#endif  // THETIS_TABLE_TABLE_H_

@@ -1,0 +1,43 @@
+#include "table/value.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace thetis {
+
+std::string Value::ToText() const {
+  switch (kind_) {
+    case Kind::kNull:
+      return "";
+    case Kind::kString:
+      return string_;
+    case Kind::kNumber: {
+      // Integers render without a decimal point; other numbers with %g.
+      double rounded = std::round(number_);
+      if (rounded == number_ && std::fabs(number_) < 1e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.0f", number_);
+        return buf;
+      }
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), "%g", number_);
+      return buf;
+    }
+  }
+  return "";
+}
+
+bool Value::operator==(const Value& other) const {
+  if (kind_ != other.kind_) return false;
+  switch (kind_) {
+    case Kind::kNull:
+      return true;
+    case Kind::kString:
+      return string_ == other.string_;
+    case Kind::kNumber:
+      return number_ == other.number_;
+  }
+  return false;
+}
+
+}  // namespace thetis

@@ -1,0 +1,67 @@
+#ifndef THETIS_TABLE_VALUE_H_
+#define THETIS_TABLE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace thetis {
+
+// Identifier of a KG node (entity, type or literal node). Cell-to-entity
+// links (the partial mapping Φ of Definition 2.1) use kNoEntity for unlinked
+// cells.
+using EntityId = uint32_t;
+inline constexpr EntityId kNoEntity = static_cast<EntityId>(-1);
+
+// Identifier of a table within a Corpus.
+using TableId = uint32_t;
+inline constexpr TableId kNoTable = static_cast<TableId>(-1);
+
+// A cell value from the infinite value set V of Section 2.1: a string, a
+// number, or the special null value ⊥.
+class Value {
+ public:
+  enum class Kind : uint8_t { kNull = 0, kString = 1, kNumber = 2 };
+
+  Value() : kind_(Kind::kNull), number_(0.0) {}
+
+  static Value Null() { return Value(); }
+  static Value String(std::string s) {
+    Value v;
+    v.kind_ = Kind::kString;
+    v.string_ = std::move(s);
+    return v;
+  }
+  static Value Number(double d) {
+    Value v;
+    v.kind_ = Kind::kNumber;
+    v.number_ = d;
+    return v;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+
+  // Valid only for the matching kind.
+  const std::string& string_value() const { return string_; }
+  double number_value() const { return number_; }
+
+  // Textual rendering: strings verbatim, numbers via shortest round-trip-ish
+  // formatting, null as the empty string. This is what keyword search and
+  // entity linking operate on.
+  std::string ToText() const;
+
+  bool operator==(const Value& other) const;
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+ private:
+  Kind kind_;
+  std::string string_;
+  double number_;
+};
+
+}  // namespace thetis
+
+#endif  // THETIS_TABLE_VALUE_H_

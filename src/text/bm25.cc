@@ -1,0 +1,48 @@
+#include "text/bm25.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "util/logging.h"
+
+namespace thetis {
+
+Bm25Scorer::Bm25Scorer(const InvertedIndex* index, Bm25Params params)
+    : index_(index), params_(params) {
+  THETIS_CHECK(index != nullptr);
+}
+
+double Bm25Scorer::Idf(const std::string& term) const {
+  double n = static_cast<double>(index_->num_documents());
+  double df = static_cast<double>(index_->DocumentFrequency(term));
+  return std::log((n - df + 0.5) / (df + 0.5) + 1.0);
+}
+
+std::vector<std::pair<DocId, double>> Bm25Scorer::Search(
+    const std::vector<std::string>& query_tokens, size_t k) const {
+  std::unordered_map<DocId, double> scores;
+  double avgdl = index_->mean_document_length();
+  if (avgdl <= 0.0) return {};
+  for (const std::string& term : query_tokens) {
+    const auto& postings = index_->PostingsFor(term);
+    if (postings.empty()) continue;
+    double idf = Idf(term);
+    for (const Posting& p : postings) {
+      double tf = static_cast<double>(p.term_frequency);
+      double dl = static_cast<double>(index_->document_length(p.doc));
+      double denom =
+          tf + params_.k1 * (1.0 - params_.b + params_.b * dl / avgdl);
+      scores[p.doc] += idf * tf * (params_.k1 + 1.0) / denom;
+    }
+  }
+  std::vector<std::pair<DocId, double>> out(scores.begin(), scores.end());
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (k > 0 && out.size() > k) out.resize(k);
+  return out;
+}
+
+}  // namespace thetis

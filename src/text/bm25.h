@@ -1,0 +1,42 @@
+#ifndef THETIS_TEXT_BM25_H_
+#define THETIS_TEXT_BM25_H_
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "text/inverted_index.h"
+
+namespace thetis {
+
+struct Bm25Params {
+  double k1 = 1.2;
+  double b = 0.75;
+};
+
+// Okapi BM25 [Robertson & Zaragoza 2009] over an InvertedIndex. This is the
+// paper's keyword-search baseline ("BM25 on text queries") and also serves
+// as the naive prefilter evaluated in Section 7.3.
+class Bm25Scorer {
+ public:
+  // The index must outlive the scorer.
+  explicit Bm25Scorer(const InvertedIndex* index, Bm25Params params = {});
+
+  // Scores all documents matching at least one query token; returns
+  // (doc, score) pairs sorted by descending score (ties: doc asc), truncated
+  // to `k` results (k == 0 means no truncation).
+  std::vector<std::pair<DocId, double>> Search(
+      const std::vector<std::string>& query_tokens, size_t k) const;
+
+  // IDF of a term under the "plus one" BM25 variant (always positive).
+  double Idf(const std::string& term) const;
+
+ private:
+  const InvertedIndex* index_;
+  Bm25Params params_;
+};
+
+}  // namespace thetis
+
+#endif  // THETIS_TEXT_BM25_H_

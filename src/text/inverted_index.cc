@@ -1,0 +1,38 @@
+#include "text/inverted_index.h"
+
+#include <map>
+
+namespace thetis {
+
+const std::vector<Posting> InvertedIndex::kEmptyPostings;
+
+DocId InvertedIndex::AddDocument(const std::vector<std::string>& tokens) {
+  DocId id = static_cast<DocId>(doc_lengths_.size());
+  std::map<std::string, uint32_t> counts;
+  for (const std::string& t : tokens) ++counts[t];
+  for (const auto& [term, tf] : counts) {
+    postings_[term].push_back(Posting{id, tf});
+  }
+  doc_lengths_.push_back(static_cast<uint32_t>(tokens.size()));
+  total_length_ += tokens.size();
+  return id;
+}
+
+double InvertedIndex::mean_document_length() const {
+  if (doc_lengths_.empty()) return 0.0;
+  return static_cast<double>(total_length_) /
+         static_cast<double>(doc_lengths_.size());
+}
+
+size_t InvertedIndex::DocumentFrequency(const std::string& term) const {
+  auto it = postings_.find(term);
+  return it == postings_.end() ? 0 : it->second.size();
+}
+
+const std::vector<Posting>& InvertedIndex::PostingsFor(
+    const std::string& term) const {
+  auto it = postings_.find(term);
+  return it == postings_.end() ? kEmptyPostings : it->second;
+}
+
+}  // namespace thetis

@@ -1,0 +1,52 @@
+#ifndef THETIS_TEXT_INVERTED_INDEX_H_
+#define THETIS_TEXT_INVERTED_INDEX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace thetis {
+
+using DocId = uint32_t;
+
+// A single posting: document and within-document term frequency.
+struct Posting {
+  DocId doc;
+  uint32_t term_frequency;
+};
+
+// A classic in-memory inverted index over token multisets. Used for BM25
+// table search (the paper's keyword baseline) and for keyword-based entity
+// linking on corpora without ground-truth links (the paper links GitTables
+// mentions through a Lucene index over KG labels; this index plays that
+// role).
+class InvertedIndex {
+ public:
+  InvertedIndex() = default;
+
+  // Indexes a document given as a token multiset; returns its id.
+  DocId AddDocument(const std::vector<std::string>& tokens);
+
+  size_t num_documents() const { return doc_lengths_.size(); }
+  // Token count of `doc`.
+  uint32_t document_length(DocId doc) const { return doc_lengths_[doc]; }
+  double mean_document_length() const;
+
+  // Number of documents containing `term` (0 if absent).
+  size_t DocumentFrequency(const std::string& term) const;
+
+  // Postings list of `term`, ascending by doc id; empty if absent.
+  const std::vector<Posting>& PostingsFor(const std::string& term) const;
+
+ private:
+  std::unordered_map<std::string, std::vector<Posting>> postings_;
+  std::vector<uint32_t> doc_lengths_;
+  uint64_t total_length_ = 0;
+  static const std::vector<Posting> kEmptyPostings;
+};
+
+}  // namespace thetis
+
+#endif  // THETIS_TEXT_INVERTED_INDEX_H_

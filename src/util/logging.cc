@@ -1,0 +1,21 @@
+#include "util/logging.h"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace thetis {
+namespace internal_logging {
+
+FatalLogMessage::FatalLogMessage(const char* file, int line,
+                                 const char* condition) {
+  stream_ << "CHECK failed at " << file << ":" << line << ": " << condition
+          << " ";
+}
+
+FatalLogMessage::~FatalLogMessage() {
+  std::cerr << stream_.str() << std::endl;
+  std::abort();
+}
+
+}  // namespace internal_logging
+}  // namespace thetis

@@ -1,0 +1,49 @@
+#ifndef THETIS_UTIL_LOGGING_H_
+#define THETIS_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace thetis {
+namespace internal_logging {
+
+// Collects the streamed message and aborts on destruction. Used only by
+// THETIS_CHECK; invariant violations are programming errors, so abort (rather
+// than Status) is the right response.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalLogMessage();
+
+  template <typename T>
+  FatalLogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+  FatalLogMessage(const FatalLogMessage&) = delete;
+  FatalLogMessage& operator=(const FatalLogMessage&) = delete;
+
+ private:
+  std::ostringstream stream_;
+};
+
+// operator& binds looser than operator<< but tighter than ?:, letting the
+// CHECK macro discard the streamed chain's value in the passing branch.
+struct Voidify {
+  void operator&(const FatalLogMessage&) {}
+};
+
+}  // namespace internal_logging
+}  // namespace thetis
+
+// Aborts with a message when `cond` is false; supports streaming extra
+// context: THETIS_CHECK(x > 0) << "x=" << x;
+// For internal invariants only; user-facing failures must return Status.
+#define THETIS_CHECK(cond)                                   \
+  (cond) ? (void)0                                           \
+         : ::thetis::internal_logging::Voidify() &           \
+               ::thetis::internal_logging::FatalLogMessage(  \
+                   __FILE__, __LINE__, #cond)
+
+#endif  // THETIS_UTIL_LOGGING_H_

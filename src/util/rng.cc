@@ -1,0 +1,123 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace thetis {
+
+namespace {
+constexpr uint64_t kPcgMultiplier = 6364136223846793005ULL;
+constexpr uint64_t kPcgDefaultInc = 1442695040888963407ULL;
+}  // namespace
+
+Rng::Rng(uint64_t seed) : state_(0), inc_(kPcgDefaultInc | 1ULL) {
+  // Standard PCG seeding sequence.
+  NextU32();
+  state_ += seed;
+  NextU32();
+}
+
+uint32_t Rng::NextU32() {
+  uint64_t old = state_;
+  state_ = old * kPcgMultiplier + inc_;
+  uint32_t xorshifted = static_cast<uint32_t>(((old >> 18u) ^ old) >> 27u);
+  uint32_t rot = static_cast<uint32_t>(old >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+}
+
+uint64_t Rng::NextU64() {
+  return (static_cast<uint64_t>(NextU32()) << 32) | NextU32();
+}
+
+uint32_t Rng::NextBounded(uint32_t bound) {
+  THETIS_CHECK(bound > 0) << "NextBounded requires bound > 0";
+  // Rejection sampling to avoid modulo bias.
+  uint32_t threshold = (-bound) % bound;
+  while (true) {
+    uint32_t r = NextU32();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+double Rng::NextDouble() {
+  // 53 random bits -> [0, 1).
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::NextGaussian() {
+  if (has_gaussian_spare_) {
+    has_gaussian_spare_ = false;
+    return gaussian_spare_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 1e-300);
+  double u2 = NextDouble();
+  double mag = std::sqrt(-2.0 * std::log(u1));
+  gaussian_spare_ = mag * std::sin(2.0 * M_PI * u2);
+  has_gaussian_spare_ = true;
+  return mag * std::cos(2.0 * M_PI * u2);
+}
+
+bool Rng::NextBernoulli(double p) { return NextDouble() < p; }
+
+size_t Rng::NextWeighted(const std::vector<double>& weights) {
+  THETIS_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    THETIS_CHECK(w >= 0.0) << "negative weight";
+    total += w;
+  }
+  THETIS_CHECK(total > 0.0) << "weights sum to zero";
+  double r = NextDouble() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (r < acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+size_t Rng::NextZipf(size_t n, double s) {
+  THETIS_CHECK(n > 0);
+  if (s <= 0.0) return NextBounded(static_cast<uint32_t>(n));
+  // Inverse-CDF over the exact normalized distribution. n is small in all of
+  // our generator uses (topic and type counts), so a linear scan is fine.
+  double norm = 0.0;
+  for (size_t i = 1; i <= n; ++i) norm += 1.0 / std::pow(static_cast<double>(i), s);
+  double r = NextDouble() * norm;
+  double acc = 0.0;
+  for (size_t i = 1; i <= n; ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i), s);
+    if (r < acc) return i - 1;
+  }
+  return n - 1;
+}
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  THETIS_CHECK(k <= n);
+  // Partial Fisher-Yates over an index vector; O(n) memory, O(n + k) time.
+  std::vector<size_t> idx(n);
+  for (size_t i = 0; i < n; ++i) idx[i] = i;
+  std::vector<size_t> out;
+  out.reserve(k);
+  for (size_t i = 0; i < k; ++i) {
+    size_t j = i + NextBounded(static_cast<uint32_t>(n - i));
+    std::swap(idx[i], idx[j]);
+    out.push_back(idx[i]);
+  }
+  return out;
+}
+
+Rng Rng::Fork(uint64_t salt) { return Rng(MixHash64(NextU64() ^ MixHash64(salt))); }
+
+uint64_t MixHash64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace thetis

@@ -1,0 +1,70 @@
+#ifndef THETIS_UTIL_RNG_H_
+#define THETIS_UTIL_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace thetis {
+
+// Deterministic PCG32 random number generator (O'Neill 2014). Every
+// randomized component in the library takes an explicit seed so that corpora,
+// embeddings, LSH signatures and experiments are fully reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL);
+
+  // Uniform 32-bit value.
+  uint32_t NextU32();
+  // Uniform 64-bit value.
+  uint64_t NextU64();
+  // Uniform integer in [0, bound) using unbiased rejection sampling.
+  // bound must be > 0.
+  uint32_t NextBounded(uint32_t bound);
+  // Uniform double in [0, 1).
+  double NextDouble();
+  // Gaussian(0, 1) via Box-Muller.
+  double NextGaussian();
+  // True with probability p.
+  bool NextBernoulli(double p);
+
+  // Samples an index in [0, weights.size()) proportionally to weights.
+  // Weights must be non-negative with a positive sum.
+  size_t NextWeighted(const std::vector<double>& weights);
+
+  // Zipf-distributed value in [0, n) with exponent s (s >= 0; s == 0 is
+  // uniform). Uses a precomputation-free inverse-CDF-by-search for small n and
+  // rejection for larger n; always exact for the returned distribution.
+  size_t NextZipf(size_t n, double s);
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = NextBounded(static_cast<uint32_t>(i));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  // Samples k distinct indices from [0, n) (k <= n), in random order.
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+  // Derives an independent child generator; children with distinct salts
+  // produce independent streams from the same parent seed.
+  Rng Fork(uint64_t salt);
+
+ private:
+  uint64_t state_;
+  uint64_t inc_;
+  bool has_gaussian_spare_ = false;
+  double gaussian_spare_ = 0.0;
+};
+
+// Stateless 64-bit mix (SplitMix64 finalizer); used to derive per-item hash
+// seeds deterministically.
+uint64_t MixHash64(uint64_t x);
+
+}  // namespace thetis
+
+#endif  // THETIS_UTIL_RNG_H_

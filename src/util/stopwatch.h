@@ -1,0 +1,29 @@
+#ifndef THETIS_UTIL_STOPWATCH_H_
+#define THETIS_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace thetis {
+
+// Wall-clock stopwatch used by the benchmark harnesses and the search
+// engine's per-query timing stats.
+class Stopwatch {
+ public:
+  Stopwatch() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace thetis
+
+#endif  // THETIS_UTIL_STOPWATCH_H_

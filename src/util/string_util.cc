@@ -1,0 +1,93 @@
+#include "util/string_util.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace thetis {
+
+std::string ToLowerAscii(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  return out;
+}
+
+std::string_view TrimAscii(std::string_view s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::vector<std::string> SplitString(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out.append(sep);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+std::string NormalizeForMatch(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  bool pending_space = false;
+  for (char c : s) {
+    unsigned char uc = static_cast<unsigned char>(c);
+    if (std::isalnum(uc)) {
+      if (pending_space && !out.empty()) out.push_back(' ');
+      pending_space = false;
+      out.push_back(
+          static_cast<char>(std::tolower(uc)));
+    } else {
+      pending_space = true;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> TokenizeNormalized(std::string_view s) {
+  std::string norm = NormalizeForMatch(s);
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= norm.size(); ++i) {
+    if (i == norm.size() || norm[i] == ' ') {
+      if (i > start) out.emplace_back(norm.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+bool LooksNumeric(std::string_view s) {
+  std::string_view t = TrimAscii(s);
+  if (t.empty()) return false;
+  std::string buf(t);
+  char* end = nullptr;
+  std::strtod(buf.c_str(), &end);
+  return end != nullptr && *end == '\0';
+}
+
+std::string FormatDouble(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return std::string(buf);
+}
+
+}  // namespace thetis

@@ -1,0 +1,38 @@
+#ifndef THETIS_UTIL_STRING_UTIL_H_
+#define THETIS_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace thetis {
+
+// ASCII lowercase copy.
+std::string ToLowerAscii(std::string_view s);
+
+// Strips leading/trailing ASCII whitespace.
+std::string_view TrimAscii(std::string_view s);
+
+// Splits on a single character; empty fields are kept.
+std::vector<std::string> SplitString(std::string_view s, char sep);
+
+// Joins with a separator.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep);
+
+// Normalization applied before label matching and tokenization: lowercase,
+// non-alphanumeric runs collapsed to single spaces, trimmed.
+std::string NormalizeForMatch(std::string_view s);
+
+// Splits NormalizeForMatch(s) into whitespace-separated tokens.
+std::vector<std::string> TokenizeNormalized(std::string_view s);
+
+// True if `s` parses fully as a floating point number.
+bool LooksNumeric(std::string_view s);
+
+// Formats a double with `digits` decimal places (for benchmark tables).
+std::string FormatDouble(double v, int digits);
+
+}  // namespace thetis
+
+#endif  // THETIS_UTIL_STRING_UTIL_H_

@@ -1,0 +1,87 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+namespace thetis {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max<size_t>(1, std::thread::hardware_concurrency());
+  }
+  if (num_threads <= 1) return;  // inline mode
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::RunChunks() {
+  while (true) {
+    size_t begin;
+    size_t end;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (batch_.next >= batch_.n) return;
+      begin = batch_.next;
+      end = std::min(batch_.n, begin + batch_.chunk);
+      batch_.next = end;
+    }
+    for (size_t i = begin; i < end; ++i) (*batch_.fn)(i);
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_generation = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] {
+        return shutdown_ || (batch_.generation != seen_generation &&
+                             batch_.next < batch_.n);
+      });
+      if (shutdown_) return;
+      seen_generation = batch_.generation;
+      ++batch_.active_workers;
+    }
+    RunChunks();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --batch_.active_workers;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (threads_.empty()) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    batch_.n = n;
+    batch_.next = 0;
+    batch_.chunk = std::max<size_t>(1, n / (threads_.size() * 8));
+    batch_.fn = &fn;
+    ++batch_.generation;
+  }
+  work_cv_.notify_all();
+  // The caller participates too.
+  RunChunks();
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [&] {
+    return batch_.next >= batch_.n && batch_.active_workers == 0;
+  });
+}
+
+}  // namespace thetis

@@ -1,0 +1,57 @@
+#ifndef THETIS_UTIL_THREAD_POOL_H_
+#define THETIS_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace thetis {
+
+// A small fixed-size worker pool exposing a blocking parallel-for. Index
+// ranges are handed out in contiguous chunks to keep per-item overhead low
+// for the search engine's per-table scoring loop. With num_threads <= 1 the
+// loop runs inline, so callers need no special-casing on small machines.
+class ThreadPool {
+ public:
+  // num_threads == 0 picks the hardware concurrency.
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return threads_.empty() ? 1 : threads_.size(); }
+
+  // Invokes fn(i) for every i in [0, n), distributed over the pool; returns
+  // when all invocations completed. fn must be safe to call concurrently
+  // from different threads (each index is visited exactly once).
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  struct Batch {
+    size_t n = 0;
+    size_t next = 0;          // next chunk start, guarded by mutex_
+    size_t chunk = 1;
+    size_t active_workers = 0;
+    const std::function<void(size_t)>* fn = nullptr;
+    uint64_t generation = 0;  // bumped per ParallelFor
+  };
+
+  void WorkerLoop();
+  // Claims and runs chunks of the current batch until it is exhausted.
+  void RunChunks();
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  Batch batch_;
+  bool shutdown_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace thetis
+
+#endif  // THETIS_UTIL_THREAD_POOL_H_

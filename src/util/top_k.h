@@ -1,0 +1,75 @@
+#ifndef THETIS_UTIL_TOP_K_H_
+#define THETIS_UTIL_TOP_K_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace thetis {
+
+// Keeps the k items with the largest scores, breaking score ties by smaller
+// id for deterministic rankings. Push is O(log k); Extract returns items in
+// descending score order.
+template <typename Id>
+class TopK {
+ public:
+  explicit TopK(size_t k) : k_(k) { THETIS_CHECK(k > 0); }
+
+  void Push(Id id, double score) {
+    if (heap_.size() < k_) {
+      heap_.emplace(score, id);
+      return;
+    }
+    // The heap top is the current worst kept item.
+    const auto& worst = heap_.top();
+    if (score > worst.first || (score == worst.first && id < worst.second)) {
+      heap_.pop();
+      heap_.emplace(score, id);
+    }
+  }
+
+  size_t size() const { return heap_.size(); }
+
+  // Current minimum kept score (only valid when full).
+  double MinScore() const {
+    THETIS_CHECK(!heap_.empty());
+    return heap_.top().first;
+  }
+  bool Full() const { return heap_.size() == k_; }
+
+  // Destructively extracts results sorted by descending score (ties: id asc).
+  std::vector<std::pair<Id, double>> Extract() {
+    std::vector<std::pair<Id, double>> out;
+    out.reserve(heap_.size());
+    while (!heap_.empty()) {
+      out.emplace_back(heap_.top().second, heap_.top().first);
+      heap_.pop();
+    }
+    std::reverse(out.begin(), out.end());
+    return out;
+  }
+
+ private:
+  struct Worse {
+    // Orders so that the *worst* item is on top of the priority_queue:
+    // lower score first; on equal scores, larger id first (so it is evicted).
+    bool operator()(const std::pair<double, Id>& a,
+                    const std::pair<double, Id>& b) const {
+      if (a.first != b.first) return a.first > b.first;
+      return a.second < b.second;
+    }
+  };
+
+  size_t k_;
+  std::priority_queue<std::pair<double, Id>, std::vector<std::pair<double, Id>>,
+                      Worse>
+      heap_;
+};
+
+}  // namespace thetis
+
+#endif  // THETIS_UTIL_TOP_K_H_

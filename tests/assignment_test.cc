@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "assignment/hungarian.h"
+#include "util/rng.h"
+
+namespace thetis {
+namespace {
+
+// Brute-force optimal assignment by permutation enumeration over the padded
+// square problem, for cross-checks: row i takes padded column perm[i]; cells
+// outside the real k x n matrix contribute 0.
+double BruteForceBest(const std::vector<std::vector<double>>& scores) {
+  size_t k = scores.size();
+  size_t n = scores[0].size();
+  size_t m = std::max(k, n);
+  std::vector<size_t> cols(m);
+  for (size_t j = 0; j < m; ++j) cols[j] = j;
+  double best = -1e18;
+  do {
+    double total = 0.0;
+    for (size_t i = 0; i < k; ++i) {
+      if (cols[i] < n) total += scores[i][cols[i]];
+    }
+    best = std::max(best, total);
+  } while (std::next_permutation(cols.begin(), cols.end()));
+  return best;
+}
+
+TEST(HungarianTest, EmptyMatrix) {
+  AssignmentResult r = SolveMaxAssignment({});
+  EXPECT_TRUE(r.column_of_row.empty());
+  EXPECT_DOUBLE_EQ(r.total_score, 0.0);
+}
+
+TEST(HungarianTest, ZeroColumns) {
+  AssignmentResult r = SolveMaxAssignment({{}, {}});
+  EXPECT_EQ(r.column_of_row, (std::vector<int>{-1, -1}));
+}
+
+TEST(HungarianTest, SingleCell) {
+  AssignmentResult r = SolveMaxAssignment({{0.7}});
+  EXPECT_EQ(r.column_of_row, (std::vector<int>{0}));
+  EXPECT_DOUBLE_EQ(r.total_score, 0.7);
+}
+
+TEST(HungarianTest, PicksOffDiagonalWhenBetter) {
+  // Greedy would take (0,0)=0.9 then be stuck with (1,1)=0.0; optimum is
+  // 0.8 + 0.8.
+  AssignmentResult r = SolveMaxAssignment({{0.9, 0.8}, {0.8, 0.0}});
+  EXPECT_DOUBLE_EQ(r.total_score, 1.6);
+  EXPECT_EQ(r.column_of_row, (std::vector<int>{1, 0}));
+}
+
+TEST(HungarianTest, RectangularWide) {
+  // 2 rows, 4 columns.
+  AssignmentResult r = SolveMaxAssignment(
+      {{0.1, 0.2, 0.9, 0.3}, {0.8, 0.1, 0.9, 0.2}});
+  EXPECT_DOUBLE_EQ(r.total_score, 0.9 + 0.8);
+  std::set<int> used(r.column_of_row.begin(), r.column_of_row.end());
+  EXPECT_EQ(used.size(), 2u);  // distinct columns
+}
+
+TEST(HungarianTest, RectangularTallLeavesRowsUnassigned) {
+  // 3 rows, 1 column: only one row can be assigned.
+  AssignmentResult r = SolveMaxAssignment({{0.3}, {0.9}, {0.5}});
+  int assigned = 0;
+  for (int c : r.column_of_row) {
+    if (c >= 0) ++assigned;
+  }
+  EXPECT_EQ(assigned, 1);
+  EXPECT_DOUBLE_EQ(r.total_score, 0.9);
+  EXPECT_EQ(r.column_of_row[1], 0);
+}
+
+TEST(HungarianTest, InjectivityProperty) {
+  Rng rng(21);
+  for (int trial = 0; trial < 50; ++trial) {
+    size_t k = 1 + rng.NextBounded(5);
+    size_t n = 1 + rng.NextBounded(5);
+    std::vector<std::vector<double>> scores(k, std::vector<double>(n));
+    for (auto& row : scores) {
+      for (double& v : row) v = rng.NextDouble();
+    }
+    AssignmentResult r = SolveMaxAssignment(scores);
+    std::set<int> used;
+    for (int c : r.column_of_row) {
+      if (c >= 0) {
+        EXPECT_TRUE(used.insert(c).second) << "column assigned twice";
+        EXPECT_LT(static_cast<size_t>(c), n);
+      }
+    }
+  }
+}
+
+TEST(HungarianTest, MatchesBruteForceOnRandomMatrices) {
+  Rng rng(22);
+  for (int trial = 0; trial < 40; ++trial) {
+    size_t k = 1 + rng.NextBounded(4);
+    size_t n = 1 + rng.NextBounded(5);  // n <= 5 keeps 5! enumerations cheap
+    std::vector<std::vector<double>> scores(k, std::vector<double>(n));
+    for (auto& row : scores) {
+      for (double& v : row) v = rng.NextDouble();
+    }
+    AssignmentResult r = SolveMaxAssignment(scores);
+    EXPECT_NEAR(r.total_score, BruteForceBest(scores), 1e-9)
+        << "trial " << trial;
+  }
+}
+
+TEST(HungarianTest, TotalEqualsSumOfChosenCells) {
+  Rng rng(23);
+  std::vector<std::vector<double>> scores(4, std::vector<double>(6));
+  for (auto& row : scores) {
+    for (double& v : row) v = rng.NextDouble();
+  }
+  AssignmentResult r = SolveMaxAssignment(scores);
+  double total = 0.0;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    if (r.column_of_row[i] >= 0) total += scores[i][r.column_of_row[i]];
+  }
+  EXPECT_NEAR(r.total_score, total, 1e-12);
+}
+
+TEST(HungarianTest, AllZeroMatrix) {
+  AssignmentResult r =
+      SolveMaxAssignment({{0.0, 0.0}, {0.0, 0.0}});
+  EXPECT_DOUBLE_EQ(r.total_score, 0.0);
+}
+
+}  // namespace
+}  // namespace thetis

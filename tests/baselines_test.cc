@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include "baselines/bm25_table_search.h"
+#include "baselines/structural_search.h"
+#include "embedding/embedding_store.h"
+#include "kg/knowledge_graph.h"
+#include "table/corpus.h"
+
+namespace thetis {
+namespace {
+
+struct Fixture {
+  KnowledgeGraph kg;
+  Corpus corpus;
+  EntityId santo, cubs, volley_a, volley_team;
+  TableId baseball_id, volleyball_id, weather_id;
+
+  Fixture() {
+    Taxonomy* tax = kg.mutable_taxonomy();
+    TypeId thing = tax->AddType("Thing").value();
+    TypeId player = tax->AddType("Player", thing).value();
+    TypeId team = tax->AddType("Team", thing).value();
+
+    santo = kg.AddEntity("Ron Santo").value();
+    cubs = kg.AddEntity("Chicago Cubs").value();
+    volley_a = kg.AddEntity("Volley Player A").value();
+    volley_team = kg.AddEntity("Volley Team X").value();
+    EXPECT_TRUE(kg.AddEntityType(santo, player).ok());
+    EXPECT_TRUE(kg.AddEntityType(volley_a, player).ok());
+    EXPECT_TRUE(kg.AddEntityType(cubs, team).ok());
+    EXPECT_TRUE(kg.AddEntityType(volley_team, team).ok());
+
+    Table baseball("bb", {"Player", "Team"});
+    EXPECT_TRUE(baseball
+                    .AppendRow({Value::String("Ron Santo"),
+                                Value::String("Chicago Cubs")},
+                               {santo, cubs})
+                    .ok());
+    baseball_id = corpus.AddTable(std::move(baseball)).value();
+
+    Table volleyball("vb", {"Player", "Team"});
+    EXPECT_TRUE(volleyball
+                    .AppendRow({Value::String("Volley Player A"),
+                                Value::String("Volley Team X")},
+                               {volley_a, volley_team})
+                    .ok());
+    volleyball_id = corpus.AddTable(std::move(volleyball)).value();
+
+    Table weather("weather", {"City", "Temp"});
+    EXPECT_TRUE(weather
+                    .AppendRow({Value::String("Springfield"),
+                                Value::Number(21.5)},
+                               {kNoEntity, kNoEntity})
+                    .ok());
+    weather_id = corpus.AddTable(std::move(weather)).value();
+  }
+};
+
+// --- Bm25TableSearch ----------------------------------------------------------
+
+TEST(Bm25TableSearchTest, FindsExactMatches) {
+  Fixture f;
+  Bm25TableSearch bm25(&f.corpus);
+  auto hits = bm25.Search({"ron", "santo"}, 10);
+  ASSERT_FALSE(hits.empty());
+  EXPECT_EQ(hits[0].table, f.baseball_id);
+}
+
+TEST(Bm25TableSearchTest, NoMatchEmptyResult) {
+  Fixture f;
+  Bm25TableSearch bm25(&f.corpus);
+  EXPECT_TRUE(bm25.Search({"zebra"}, 10).empty());
+}
+
+TEST(Bm25TableSearchTest, ColumnNamesAreIndexed) {
+  Fixture f;
+  Bm25TableSearch bm25(&f.corpus);
+  auto hits = bm25.Search({"temp"}, 10);
+  ASSERT_FALSE(hits.empty());
+  EXPECT_EQ(hits[0].table, f.weather_id);
+}
+
+TEST(Bm25TableSearchTest, QueryToTokensUsesLabels) {
+  Fixture f;
+  Query q{{{f.santo, f.cubs}}};
+  auto tokens = Bm25TableSearch::QueryToTokens(q, f.kg);
+  EXPECT_EQ(tokens, (std::vector<std::string>{"ron", "santo", "chicago",
+                                              "cubs"}));
+}
+
+TEST(Bm25TableSearchTest, QueryToTokensSkipsUnlinked) {
+  Fixture f;
+  Query q{{{f.santo, kNoEntity}}};
+  EXPECT_EQ(Bm25TableSearch::QueryToTokens(q, f.kg).size(), 2u);
+}
+
+// --- MergeTopHalves --------------------------------------------------------------
+
+TEST(MergeTopHalvesTest, TakesHalfFromEach) {
+  std::vector<SearchHit> a = {{1, 0.9}, {2, 0.8}, {3, 0.7}, {4, 0.6}};
+  std::vector<SearchHit> b = {{10, 0.5}, {11, 0.4}, {12, 0.3}, {13, 0.2}};
+  auto merged = MergeTopHalves(a, b, 4);
+  ASSERT_EQ(merged.size(), 4u);
+  EXPECT_EQ(merged[0].table, 1u);
+  EXPECT_EQ(merged[1].table, 2u);
+  EXPECT_EQ(merged[2].table, 10u);
+  EXPECT_EQ(merged[3].table, 11u);
+}
+
+TEST(MergeTopHalvesTest, DeduplicatesAcrossLists) {
+  std::vector<SearchHit> a = {{1, 0.9}, {2, 0.8}};
+  std::vector<SearchHit> b = {{1, 0.5}, {3, 0.4}, {4, 0.3}};
+  auto merged = MergeTopHalves(a, b, 4);
+  ASSERT_EQ(merged.size(), 4u);
+  EXPECT_EQ(merged[0].table, 1u);
+  EXPECT_EQ(merged[1].table, 2u);
+  EXPECT_EQ(merged[2].table, 3u);
+  EXPECT_EQ(merged[3].table, 4u);
+}
+
+TEST(MergeTopHalvesTest, BackfillsWhenBShort) {
+  std::vector<SearchHit> a = {{1, 0.9}, {2, 0.8}, {3, 0.7}, {4, 0.6}};
+  std::vector<SearchHit> b = {{10, 0.5}};
+  auto merged = MergeTopHalves(a, b, 4);
+  ASSERT_EQ(merged.size(), 4u);
+  EXPECT_EQ(merged[3].table, 3u);
+}
+
+// --- OverlapJoinSearch -------------------------------------------------------------
+
+TEST(OverlapJoinSearchTest, RanksBySyntacticOverlap) {
+  Fixture f;
+  OverlapJoinSearch join(&f.corpus);
+  auto hits = join.Search({"Ron Santo", "Nobody Else"}, 10);
+  ASSERT_FALSE(hits.empty());
+  EXPECT_EQ(hits[0].table, f.baseball_id);
+  EXPECT_DOUBLE_EQ(hits[0].score, 0.5);  // 1 of 2 query values found
+}
+
+TEST(OverlapJoinSearchTest, NoOverlapNoHit) {
+  Fixture f;
+  OverlapJoinSearch join(&f.corpus);
+  EXPECT_TRUE(join.Search({"Absent Value"}, 10).empty());
+}
+
+TEST(OverlapJoinSearchTest, QueryTextsAreLabels) {
+  Fixture f;
+  Query q{{{f.santo}}};
+  EXPECT_EQ(OverlapJoinSearch::QueryTexts(q, f.kg),
+            (std::vector<std::string>{"Ron Santo"}));
+}
+
+// --- UnionSearch -----------------------------------------------------------------
+
+TEST(UnionSearchTest, StructurallySimilarTablesTie) {
+  // The decisive weakness of union search for semantic relevance: both
+  // player/team tables have identical type signatures, so they tie, even
+  // though only one is topically relevant.
+  Fixture f;
+  UnionSearch search(&f.corpus, &f.kg);
+  Query q{{{f.santo, f.cubs}}};
+  auto hits = search.Search(q, 10);
+  ASSERT_GE(hits.size(), 2u);
+  EXPECT_DOUBLE_EQ(hits[0].score, hits[1].score);
+}
+
+TEST(UnionSearchTest, UnlinkedTableScoresZero) {
+  Fixture f;
+  UnionSearch search(&f.corpus, &f.kg);
+  Query q{{{f.santo, f.cubs}}};
+  for (const auto& h : search.Search(q, 10)) {
+    EXPECT_NE(h.table, f.weather_id);
+  }
+}
+
+// --- TableEmbeddingSearch -----------------------------------------------------------
+
+TEST(TableEmbeddingSearchTest, RanksByPooledCosine) {
+  Fixture f;
+  EmbeddingStore store(f.kg.num_entities(), 2);
+  // Baseball entities near (1, 0); volleyball near (0, 1).
+  store.mutable_vector(f.santo)[0] = 1.0f;
+  store.mutable_vector(f.cubs)[0] = 1.0f;
+  store.mutable_vector(f.volley_a)[1] = 1.0f;
+  store.mutable_vector(f.volley_team)[1] = 1.0f;
+  TableEmbeddingSearch search(&f.corpus, &store);
+  Query q{{{f.santo}}};
+  auto hits = search.Search(q, 10);
+  ASSERT_FALSE(hits.empty());
+  EXPECT_EQ(hits[0].table, f.baseball_id);
+}
+
+TEST(TableEmbeddingSearchTest, ZeroVectorQueryReturnsNothing) {
+  Fixture f;
+  EmbeddingStore store(f.kg.num_entities(), 2);
+  TableEmbeddingSearch search(&f.corpus, &store);
+  Query q{{{f.santo}}};
+  EXPECT_TRUE(search.Search(q, 10).empty());
+}
+
+}  // namespace
+}  // namespace thetis

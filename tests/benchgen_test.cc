@@ -1,0 +1,345 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "benchgen/benchmark_factory.h"
+#include "benchgen/ground_truth.h"
+#include "benchgen/metrics.h"
+#include "benchgen/query_gen.h"
+#include "benchgen/synthetic_kg.h"
+#include "benchgen/synthetic_lake.h"
+
+namespace thetis::benchgen {
+namespace {
+
+SyntheticKg SmallKg() {
+  SyntheticKgOptions options;
+  options.num_domains = 3;
+  options.topics_per_domain = 3;
+  options.entities_per_topic = 15;
+  options.seed = 9;
+  return GenerateSyntheticKg(options);
+}
+
+// --- SyntheticKg ----------------------------------------------------------------
+
+TEST(SyntheticKgTest, ShapeMatchesOptions) {
+  SyntheticKg kg = SmallKg();
+  EXPECT_EQ(kg.num_domains, 3u);
+  EXPECT_EQ(kg.num_topics, 9u);
+  EXPECT_EQ(kg.kg.num_entities(), 9u * 15u);
+  EXPECT_EQ(kg.entity_topic.size(), kg.kg.num_entities());
+  for (size_t t = 0; t < kg.num_topics; ++t) {
+    EXPECT_EQ(kg.topic_members[t].size(), 15u);
+  }
+}
+
+TEST(SyntheticKgTest, EntitiesHaveMultiGranularTypes) {
+  SyntheticKg kg = SmallKg();
+  // Every entity: Thing + at least one subclass; expanded set adds the
+  // class and domain levels.
+  for (EntityId e = 0; e < kg.kg.num_entities(); ++e) {
+    EXPECT_GE(kg.kg.DirectTypes(e).size(), 2u);
+    EXPECT_GE(kg.kg.TypeSet(e, true).size(), 4u);
+  }
+}
+
+TEST(SyntheticKgTest, EdgesMostlyWithinTopic) {
+  SyntheticKg kg = SmallKg();
+  size_t same_topic = 0;
+  size_t total = 0;
+  for (EntityId e = 0; e < kg.kg.num_entities(); ++e) {
+    for (const Edge& edge : kg.kg.OutEdges(e)) {
+      ++total;
+      if (kg.TopicOf(e) == kg.TopicOf(edge.dst)) ++same_topic;
+    }
+  }
+  ASSERT_GT(total, 0u);
+  EXPECT_GT(static_cast<double>(same_topic) / total, 0.5);
+}
+
+TEST(SyntheticKgTest, Deterministic) {
+  SyntheticKg a = SmallKg();
+  SyntheticKg b = SmallKg();
+  EXPECT_EQ(a.kg.num_entities(), b.kg.num_entities());
+  EXPECT_EQ(a.kg.num_edges(), b.kg.num_edges());
+  EXPECT_EQ(a.entity_topic, b.entity_topic);
+}
+
+TEST(SyntheticKgTest, LabelsUnique) {
+  SyntheticKg kg = SmallKg();
+  std::set<std::string> labels;
+  for (EntityId e = 0; e < kg.kg.num_entities(); ++e) {
+    EXPECT_TRUE(labels.insert(kg.kg.label(e)).second);
+  }
+}
+
+// --- SyntheticLake ----------------------------------------------------------------
+
+TEST(SyntheticLakeTest, ShapeAndCoverage) {
+  SyntheticKg kg = SmallKg();
+  SyntheticLakeOptions options;
+  options.num_tables = 150;
+  options.link_probability = 0.83;
+  options.seed = 4;
+  SyntheticLake lake = GenerateSyntheticLake(kg, options);
+  EXPECT_EQ(lake.corpus.size(), 150u);
+  CorpusStats stats = lake.corpus.ComputeStats();
+  EXPECT_NEAR(stats.mean_columns, 6.0, 1e-9);
+  EXPECT_GT(stats.mean_rows, options.min_rows);
+  // Expected coverage = entity_cols/total_cols * link_prob = 2/6 * 0.83.
+  EXPECT_NEAR(stats.mean_link_coverage, 2.0 / 6.0 * 0.83, 0.02);
+}
+
+TEST(SyntheticLakeTest, TopicMetadataConsistent) {
+  SyntheticKg kg = SmallKg();
+  SyntheticLakeOptions options;
+  options.num_tables = 50;
+  SyntheticLake lake = GenerateSyntheticLake(kg, options);
+  ASSERT_EQ(lake.table_topic.size(), 50u);
+  ASSERT_EQ(lake.table_categories.size(), 50u);
+  ASSERT_EQ(lake.table_topic_counts.size(), 50u);
+  for (TableId id = 0; id < lake.corpus.size(); ++id) {
+    EXPECT_LT(lake.table_topic[id], kg.num_topics);
+    // The primary topic is one of the table's categories and its entities
+    // actually occur in the table.
+    uint32_t primary = lake.table_topic[id];
+    EXPECT_NE(std::find(lake.table_categories[id].begin(),
+                        lake.table_categories[id].end(), primary),
+              lake.table_categories[id].end());
+    uint32_t primary_count = 0;
+    uint32_t total = 0;
+    for (const auto& [topic, count] : lake.table_topic_counts[id]) {
+      total += count;
+      if (topic == primary) primary_count = count;
+    }
+    EXPECT_GT(total, 0u);
+    EXPECT_GT(primary_count, 0u);
+    // Categories stay within one domain plus rare noise topics are excluded.
+    EXPECT_LE(lake.table_categories[id].size(), 3u);
+  }
+}
+
+TEST(SyntheticLakeTest, LinksPointToCorrectEntities) {
+  SyntheticKg kg = SmallKg();
+  SyntheticLakeOptions options;
+  options.num_tables = 20;
+  SyntheticLake lake = GenerateSyntheticLake(kg, options);
+  for (TableId id = 0; id < lake.corpus.size(); ++id) {
+    const Table& t = lake.corpus.table(id);
+    for (size_t r = 0; r < t.num_rows(); ++r) {
+      for (size_t c = 0; c < t.num_columns(); ++c) {
+        EntityId e = t.link(r, c);
+        if (e == kNoEntity) continue;
+        // The linked cell's text is the entity's label.
+        EXPECT_EQ(t.cell(r, c).string_value(), kg.kg.label(e));
+      }
+    }
+  }
+}
+
+TEST(SyntheticLakeTest, ResampleGrowsCorpusKeepingOriginals) {
+  SyntheticKg kg = SmallKg();
+  SyntheticLakeOptions options;
+  options.num_tables = 30;
+  SyntheticLake lake = GenerateSyntheticLake(kg, options);
+  SyntheticLake grown = ResampleToSize(lake, 90, 11);
+  EXPECT_EQ(grown.corpus.size(), 90u);
+  EXPECT_EQ(grown.table_topic.size(), 90u);
+  // Originals preserved at the same ids.
+  for (TableId id = 0; id < 30; ++id) {
+    EXPECT_EQ(grown.corpus.table(id).name(), lake.corpus.table(id).name());
+  }
+  // Resampled tables are subsets of some source's rows.
+  const Table& t = grown.corpus.table(40);
+  EXPECT_GT(t.num_rows(), 0u);
+}
+
+// --- Queries -------------------------------------------------------------------------
+
+TEST(QueryGenTest, ShapeAndEntityValidity) {
+  SyntheticKg kg = SmallKg();
+  QueryGenOptions options;
+  options.num_queries = 12;
+  options.tuples_per_query = 5;
+  options.tuple_width = 3;
+  auto queries = GenerateQueries(kg, options);
+  ASSERT_EQ(queries.size(), 12u);
+  for (const auto& gq : queries) {
+    EXPECT_EQ(gq.query.tuples.size(), 5u);
+    for (const auto& tuple : gq.query.tuples) {
+      EXPECT_EQ(tuple.size(), 3u);
+      for (EntityId e : tuple) EXPECT_LT(e, kg.kg.num_entities());
+    }
+    // The anchor of every tuple comes from the query topic.
+    EXPECT_EQ(kg.TopicOf(gq.query.tuples[0][0]), gq.topic);
+  }
+}
+
+TEST(QueryGenTest, TopicsRotate) {
+  SyntheticKg kg = SmallKg();
+  QueryGenOptions options;
+  options.num_queries = 9;
+  auto queries = GenerateQueries(kg, options);
+  std::set<uint32_t> topics;
+  for (const auto& gq : queries) topics.insert(gq.topic);
+  EXPECT_EQ(topics.size(), 9u);
+}
+
+TEST(QueryGenTest, TruncateKeepsPrefix) {
+  SyntheticKg kg = SmallKg();
+  auto queries = GenerateQueries(kg, {});
+  auto truncated = TruncateQueries(queries, 1);
+  ASSERT_EQ(truncated.size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ASSERT_EQ(truncated[i].query.tuples.size(), 1u);
+    EXPECT_EQ(truncated[i].query.tuples[0], queries[i].query.tuples[0]);
+  }
+}
+
+// --- Ground truth ---------------------------------------------------------------------
+
+TEST(GroundTruthTest, SameTopicTablesMostRelevant) {
+  SyntheticKg kg = SmallKg();
+  SyntheticLakeOptions options;
+  options.num_tables = 120;
+  options.noise_entity_probability = 0.05;
+  SyntheticLake lake = GenerateSyntheticLake(kg, options);
+  auto queries = GenerateQueries(kg, {});
+  const auto& gq = queries[0];
+  RelevanceJudgments judgments = ComputeGroundTruth(kg, lake, gq.query);
+  ASSERT_EQ(judgments.relevance.size(), lake.corpus.size());
+
+  double same_topic_mean = 0.0;
+  double other_domain_mean = 0.0;
+  size_t same_n = 0;
+  size_t other_n = 0;
+  for (TableId id = 0; id < lake.corpus.size(); ++id) {
+    EXPECT_GE(judgments.relevance[id], 0.0);
+    EXPECT_LE(judgments.relevance[id], 1.0);
+    if (lake.table_topic[id] == gq.topic) {
+      same_topic_mean += judgments.relevance[id];
+      ++same_n;
+    } else if (kg.topic_domain[lake.table_topic[id]] !=
+               kg.topic_domain[gq.topic]) {
+      other_domain_mean += judgments.relevance[id];
+      ++other_n;
+    }
+  }
+  ASSERT_GT(same_n, 0u);
+  ASSERT_GT(other_n, 0u);
+  EXPECT_GT(same_topic_mean / same_n, other_domain_mean / other_n + 0.2);
+}
+
+TEST(GroundTruthTest, TopKRelevantSortedDescending) {
+  RelevanceJudgments j;
+  j.relevance = {0.2, 0.0, 0.9, 0.5};
+  auto top = TopKRelevant(j, 2);
+  EXPECT_EQ(top, (std::vector<TableId>{2, 3}));
+  auto all = TopKRelevant(j, 10);
+  EXPECT_EQ(all, (std::vector<TableId>{2, 3, 0}));  // zero excluded
+}
+
+TEST(GroundTruthTest, EmptyQueryAllZero) {
+  SyntheticKg kg = SmallKg();
+  SyntheticLakeOptions options;
+  options.num_tables = 10;
+  SyntheticLake lake = GenerateSyntheticLake(kg, options);
+  RelevanceJudgments j = ComputeGroundTruth(kg, lake, Query{});
+  for (double r : j.relevance) EXPECT_DOUBLE_EQ(r, 0.0);
+}
+
+// --- Metrics -----------------------------------------------------------------------------
+
+TEST(MetricsTest, NdcgPerfectRankingIsOne) {
+  std::vector<double> rel = {0.1, 0.9, 0.5};
+  EXPECT_DOUBLE_EQ(NdcgAtK({1, 2, 0}, rel, 3), 1.0);
+}
+
+TEST(MetricsTest, NdcgWorseRankingLower) {
+  std::vector<double> rel = {0.1, 0.9, 0.5};
+  double good = NdcgAtK({1, 2, 0}, rel, 3);
+  double bad = NdcgAtK({0, 2, 1}, rel, 3);
+  EXPECT_GT(good, bad);
+  EXPECT_GT(bad, 0.0);
+}
+
+TEST(MetricsTest, NdcgEmptyRankingZero) {
+  std::vector<double> rel = {0.5};
+  EXPECT_DOUBLE_EQ(NdcgAtK({}, rel, 10), 0.0);
+  EXPECT_DOUBLE_EQ(NdcgAtK({0}, {0.0}, 10), 0.0);  // no relevant tables
+}
+
+TEST(MetricsTest, NdcgRespectsCutoff) {
+  std::vector<double> rel = {0.9, 0.8};
+  // At k=1 only the first position counts.
+  EXPECT_DOUBLE_EQ(NdcgAtK({1, 0}, rel, 1),
+                   (std::pow(2.0, 0.8) - 1.0) / (std::pow(2.0, 0.9) - 1.0));
+}
+
+TEST(MetricsTest, RecallBasics) {
+  EXPECT_DOUBLE_EQ(RecallAtK({1, 2, 3}, {2, 9}, 3), 0.5);
+  EXPECT_DOUBLE_EQ(RecallAtK({1, 2}, {1, 2}, 2), 1.0);
+  EXPECT_DOUBLE_EQ(RecallAtK({1, 2}, {}, 2), 0.0);
+  EXPECT_DOUBLE_EQ(RecallAtK({}, {1}, 5), 0.0);
+}
+
+TEST(MetricsTest, RecallRespectsCutoff) {
+  EXPECT_DOUBLE_EQ(RecallAtK({9, 9, 1}, {1}, 2), 0.0);
+  EXPECT_DOUBLE_EQ(RecallAtK({9, 9, 1}, {1}, 3), 1.0);
+}
+
+TEST(MetricsTest, ResultSetDifference) {
+  EXPECT_EQ(ResultSetDifference({1, 2, 3}, {3, 4, 5}, 3), 2u);
+  EXPECT_EQ(ResultSetDifference({1, 2}, {1, 2}, 2), 0u);
+  EXPECT_EQ(ResultSetDifference({1, 2, 3}, {}, 3), 3u);
+}
+
+TEST(MetricsTest, Summarize) {
+  Summary s = Summarize({3.0, 1.0, 2.0, 4.0});
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  Summary odd = Summarize({5.0, 1.0, 3.0});
+  EXPECT_DOUBLE_EQ(odd.median, 3.0);
+}
+
+// --- Benchmark factory -------------------------------------------------------------------
+
+TEST(BenchmarkFactoryTest, Wt2015PresetMatchesTable2Shape) {
+  Benchmark b = MakeBenchmark(PresetKind::kWt2015Like, 0.05);
+  CorpusStats stats = b.lake.corpus.ComputeStats();
+  EXPECT_EQ(stats.num_tables, 100u);
+  EXPECT_NEAR(stats.mean_columns, 5.8, 0.5);
+  EXPECT_NEAR(stats.mean_rows, 35.0, 6.0);
+  EXPECT_NEAR(stats.mean_link_coverage, 0.277, 0.04);
+}
+
+TEST(BenchmarkFactoryTest, Wt2019HasLowerCoverage) {
+  Benchmark b15 = MakeBenchmark(PresetKind::kWt2015Like, 0.04);
+  Benchmark b19 = MakeBenchmark(PresetKind::kWt2019Like, 0.04);
+  EXPECT_GT(b19.lake.corpus.size(), b15.lake.corpus.size());
+  EXPECT_LT(b19.lake.corpus.ComputeStats().mean_link_coverage,
+            b15.lake.corpus.ComputeStats().mean_link_coverage);
+}
+
+TEST(BenchmarkFactoryTest, GitTablesHasLargerTables) {
+  Benchmark git = MakeBenchmark(PresetKind::kGitTablesLike, 0.04);
+  Benchmark wt = MakeBenchmark(PresetKind::kWt2015Like, 0.04);
+  CorpusStats git_stats = git.lake.corpus.ComputeStats();
+  CorpusStats wt_stats = wt.lake.corpus.ComputeStats();
+  EXPECT_GT(git_stats.mean_rows, 2.0 * wt_stats.mean_rows);
+  EXPECT_GT(git_stats.mean_columns, 1.5 * wt_stats.mean_columns);
+}
+
+TEST(BenchmarkFactoryTest, SyntheticIsLargerThanBase) {
+  Benchmark synth = MakeBenchmark(PresetKind::kSyntheticLike, 0.03);
+  Benchmark base = MakeBenchmark(PresetKind::kWt2015Like, 0.03);
+  EXPECT_EQ(synth.lake.corpus.size(), 3 * base.lake.corpus.size());
+}
+
+}  // namespace
+}  // namespace thetis::benchgen

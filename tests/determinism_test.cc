@@ -1,0 +1,185 @@
+// Determinism and invariant sweeps over the full generated pipeline: the
+// same seeds must produce bit-identical corpora, embeddings, indexes and
+// rankings (reproducibility is a core property of the benchmark harness),
+// and generated-world search results must satisfy structural invariants at
+// several scales.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "benchgen/benchmark_factory.h"
+#include "benchgen/ground_truth.h"
+#include "benchgen/metrics.h"
+#include "core/search_engine.h"
+#include "core/similarity.h"
+#include "lsh/lsei.h"
+#include "semantic/semantic_data_lake.h"
+
+namespace thetis {
+namespace {
+
+using benchgen::Benchmark;
+using benchgen::MakeBenchmark;
+using benchgen::PresetKind;
+
+// --- Generation determinism across presets ------------------------------------
+
+class PresetDeterminismSweep
+    : public ::testing::TestWithParam<PresetKind> {};
+
+TEST_P(PresetDeterminismSweep, SameSeedSameWorld) {
+  Benchmark a = MakeBenchmark(GetParam(), 0.03, 99);
+  Benchmark b = MakeBenchmark(GetParam(), 0.03, 99);
+  ASSERT_EQ(a.lake.corpus.size(), b.lake.corpus.size());
+  ASSERT_EQ(a.kg.kg.num_entities(), b.kg.kg.num_entities());
+  ASSERT_EQ(a.kg.kg.num_edges(), b.kg.kg.num_edges());
+  for (TableId id = 0; id < a.lake.corpus.size(); ++id) {
+    const Table& ta = a.lake.corpus.table(id);
+    const Table& tb = b.lake.corpus.table(id);
+    ASSERT_EQ(ta.num_rows(), tb.num_rows());
+    ASSERT_EQ(ta.num_columns(), tb.num_columns());
+    for (size_t r = 0; r < ta.num_rows(); ++r) {
+      for (size_t c = 0; c < ta.num_columns(); ++c) {
+        ASSERT_EQ(ta.cell(r, c), tb.cell(r, c));
+        ASSERT_EQ(ta.link(r, c), tb.link(r, c));
+      }
+    }
+  }
+  EXPECT_EQ(a.lake.table_topic, b.lake.table_topic);
+  EXPECT_EQ(a.lake.table_categories, b.lake.table_categories);
+  EXPECT_EQ(a.lake.table_entities, b.lake.table_entities);
+}
+
+TEST_P(PresetDeterminismSweep, DifferentSeedDifferentWorld) {
+  Benchmark a = MakeBenchmark(GetParam(), 0.03, 99);
+  Benchmark b = MakeBenchmark(GetParam(), 0.03, 100);
+  // Same shape, different contents.
+  ASSERT_EQ(a.lake.corpus.size(), b.lake.corpus.size());
+  bool any_difference = false;
+  for (TableId id = 0; id < a.lake.corpus.size() && !any_difference; ++id) {
+    const Table& ta = a.lake.corpus.table(id);
+    const Table& tb = b.lake.corpus.table(id);
+    if (ta.num_rows() != tb.num_rows()) {
+      any_difference = true;
+      break;
+    }
+    for (size_t r = 0; r < ta.num_rows() && !any_difference; ++r) {
+      any_difference = !(ta.cell(r, 0) == tb.cell(r, 0));
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+INSTANTIATE_TEST_SUITE_P(Presets, PresetDeterminismSweep,
+                         ::testing::Values(PresetKind::kWt2015Like,
+                                           PresetKind::kWt2019Like,
+                                           PresetKind::kGitTablesLike));
+
+// --- Embedding + index + ranking determinism -------------------------------------
+
+TEST(PipelineDeterminismTest, EmbeddingsBitIdentical) {
+  Benchmark bench = MakeBenchmark(PresetKind::kWt2015Like, 0.03, 7);
+  EmbeddingStore e1 = benchgen::TrainBenchmarkEmbeddings(bench.kg, 5);
+  EmbeddingStore e2 = benchgen::TrainBenchmarkEmbeddings(bench.kg, 5);
+  ASSERT_EQ(e1.size(), e2.size());
+  ASSERT_EQ(e1.dim(), e2.dim());
+  for (EntityId e = 0; e < e1.size(); ++e) {
+    ASSERT_EQ(std::memcmp(e1.vector(e), e2.vector(e),
+                          e1.dim() * sizeof(float)),
+              0)
+        << "entity " << e;
+  }
+}
+
+TEST(PipelineDeterminismTest, RankingsIdenticalAcrossRuns) {
+  auto run = [] {
+    Benchmark bench = MakeBenchmark(PresetKind::kWt2015Like, 0.05, 7);
+    SemanticDataLake lake(&bench.lake.corpus, &bench.kg.kg);
+    TypeJaccardSimilarity sim(&bench.kg.kg);
+    SearchEngine engine(&lake, &sim);
+    auto queries = benchgen::MakeQueries(bench.kg, 5);
+    std::vector<std::vector<SearchHit>> results;
+    for (const auto& gq : queries) results.push_back(engine.Search(gq.query));
+    return results;
+  };
+  auto r1 = run();
+  auto r2 = run();
+  ASSERT_EQ(r1.size(), r2.size());
+  for (size_t q = 0; q < r1.size(); ++q) {
+    ASSERT_EQ(r1[q].size(), r2[q].size());
+    for (size_t i = 0; i < r1[q].size(); ++i) {
+      EXPECT_EQ(r1[q][i].table, r2[q][i].table);
+      EXPECT_DOUBLE_EQ(r1[q][i].score, r2[q][i].score);
+    }
+  }
+}
+
+TEST(PipelineDeterminismTest, LseiCandidatesIdenticalAcrossRuns) {
+  Benchmark bench = MakeBenchmark(PresetKind::kWt2015Like, 0.05, 7);
+  SemanticDataLake lake(&bench.lake.corpus, &bench.kg.kg);
+  LseiOptions options;
+  Lsei l1(&lake, nullptr, options);
+  Lsei l2(&lake, nullptr, options);
+  auto queries = benchgen::MakeQueries(bench.kg, 5);
+  for (const auto& gq : queries) {
+    EXPECT_EQ(l1.CandidateTablesForQuery(gq.query.tuples, 1),
+              l2.CandidateTablesForQuery(gq.query.tuples, 1));
+  }
+}
+
+// --- Structural invariants of generated-world search at several scales ---------------
+
+class ScaleInvariantSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ScaleInvariantSweep, RankedOutputWellFormed) {
+  Benchmark bench = MakeBenchmark(PresetKind::kWt2015Like, GetParam(), 21);
+  SemanticDataLake lake(&bench.lake.corpus, &bench.kg.kg);
+  TypeJaccardSimilarity sim(&bench.kg.kg);
+  SearchOptions options;
+  options.top_k = 25;
+  SearchEngine engine(&lake, &sim, options);
+  auto queries = benchgen::MakeQueries(bench.kg, 5);
+  for (const auto& gq : queries) {
+    SearchStats stats;
+    auto hits = engine.Search(gq.query, &stats);
+    EXPECT_LE(hits.size(), 25u);
+    EXPECT_EQ(stats.tables_scored, bench.lake.corpus.size());
+    EXPECT_GE(stats.tables_nonzero, hits.size());
+    std::set<TableId> seen;
+    for (size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_GT(hits[i].score, 0.0);
+      EXPECT_LE(hits[i].score, 1.0 + 1e-12);
+      EXPECT_LT(hits[i].table, bench.lake.corpus.size());
+      EXPECT_TRUE(seen.insert(hits[i].table).second) << "duplicate table";
+      if (i > 0) EXPECT_GE(hits[i - 1].score, hits[i].score);
+    }
+  }
+}
+
+TEST_P(ScaleInvariantSweep, GroundTruthWellFormed) {
+  Benchmark bench = MakeBenchmark(PresetKind::kWt2015Like, GetParam(), 22);
+  auto queries = benchgen::MakeQueries(bench.kg, 5);
+  for (const auto& gq : queries) {
+    auto gt = benchgen::ComputeGroundTruth(bench.kg, bench.lake, gq.query);
+    ASSERT_EQ(gt.relevance.size(), bench.lake.corpus.size());
+    size_t positive = 0;
+    for (double r : gt.relevance) {
+      EXPECT_GE(r, 0.0);
+      EXPECT_LE(r, 1.0);
+      if (r > 0.0) ++positive;
+    }
+    // Some tables are relevant, but not all of them.
+    EXPECT_GT(positive, 0u);
+    EXPECT_LT(positive, bench.lake.corpus.size());
+    auto top = benchgen::TopKRelevant(gt, 10);
+    for (size_t i = 1; i < top.size(); ++i) {
+      EXPECT_GE(gt.relevance[top[i - 1]], gt.relevance[top[i]]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, ScaleInvariantSweep,
+                         ::testing::Values(0.02, 0.05, 0.1));
+
+}  // namespace
+}  // namespace thetis

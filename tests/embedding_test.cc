@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "benchgen/synthetic_kg.h"
+#include "embedding/embedding_store.h"
+#include "embedding/random_walks.h"
+#include "embedding/skipgram.h"
+#include "embedding/vector_ops.h"
+
+namespace thetis {
+namespace {
+
+// --- vector_ops ---------------------------------------------------------------
+
+TEST(VectorOpsTest, DotAndNorm) {
+  float a[] = {1.0f, 2.0f, 2.0f};
+  float b[] = {2.0f, 0.0f, 1.0f};
+  EXPECT_FLOAT_EQ(DotProduct(a, b, 3), 4.0f);
+  EXPECT_FLOAT_EQ(L2Norm(a, 3), 3.0f);
+}
+
+TEST(VectorOpsTest, CosineBounds) {
+  float a[] = {1.0f, 0.0f};
+  float b[] = {0.0f, 1.0f};
+  float c[] = {-1.0f, 0.0f};
+  float z[] = {0.0f, 0.0f};
+  EXPECT_FLOAT_EQ(CosineSimilarity(a, a, 2), 1.0f);
+  EXPECT_FLOAT_EQ(CosineSimilarity(a, b, 2), 0.0f);
+  EXPECT_FLOAT_EQ(CosineSimilarity(a, c, 2), -1.0f);
+  EXPECT_FLOAT_EQ(CosineSimilarity(a, z, 2), 0.0f);
+}
+
+TEST(VectorOpsTest, MeanPool) {
+  float a[] = {1.0f, 3.0f};
+  float b[] = {3.0f, 1.0f};
+  auto mean = MeanPool({a, b}, 2);
+  EXPECT_FLOAT_EQ(mean[0], 2.0f);
+  EXPECT_FLOAT_EQ(mean[1], 2.0f);
+  auto empty = MeanPool({}, 2);
+  EXPECT_FLOAT_EQ(empty[0], 0.0f);
+}
+
+// --- EmbeddingStore -------------------------------------------------------------
+
+TEST(EmbeddingStoreTest, ShapeAndAccess) {
+  EmbeddingStore store(3, 4);
+  EXPECT_EQ(store.size(), 3u);
+  EXPECT_EQ(store.dim(), 4u);
+  store.mutable_vector(1)[2] = 5.0f;
+  EXPECT_FLOAT_EQ(store.vector(1)[2], 5.0f);
+  EXPECT_FLOAT_EQ(store.vector(0)[2], 0.0f);
+}
+
+TEST(EmbeddingStoreTest, NormalizeAll) {
+  EmbeddingStore store(2, 2);
+  store.mutable_vector(0)[0] = 3.0f;
+  store.mutable_vector(0)[1] = 4.0f;
+  store.NormalizeAll();
+  EXPECT_NEAR(L2Norm(store.vector(0), 2), 1.0f, 1e-6);
+  // Zero vector stays zero.
+  EXPECT_FLOAT_EQ(L2Norm(store.vector(1), 2), 0.0f);
+}
+
+TEST(EmbeddingStoreTest, TextRoundTrip) {
+  EmbeddingStore store(2, 3);
+  for (size_t e = 0; e < 2; ++e) {
+    for (size_t d = 0; d < 3; ++d) {
+      store.mutable_vector(static_cast<EntityId>(e))[d] =
+          static_cast<float>(e * 10 + d) / 4.0f;
+    }
+  }
+  auto loaded = EmbeddingStore::FromText(store.ToText());
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().size(), 2u);
+  EXPECT_EQ(loaded.value().dim(), 3u);
+  EXPECT_FLOAT_EQ(loaded.value().vector(1)[2], store.vector(1)[2]);
+}
+
+TEST(EmbeddingStoreTest, TruncatedTextIsError) {
+  EXPECT_FALSE(EmbeddingStore::FromText("2 3\n1 2 3\n").ok());
+  EXPECT_FALSE(EmbeddingStore::FromText("").ok());
+}
+
+// --- Random walks ----------------------------------------------------------------
+
+benchgen::SyntheticKg SmallKg() {
+  benchgen::SyntheticKgOptions options;
+  options.num_domains = 2;
+  options.topics_per_domain = 2;
+  options.entities_per_topic = 10;
+  options.seed = 5;
+  return benchgen::GenerateSyntheticKg(options);
+}
+
+TEST(RandomWalksTest, CountAndLength) {
+  auto kg = SmallKg();
+  WalkOptions options;
+  options.walks_per_entity = 3;
+  options.depth = 4;
+  auto walks = GenerateWalks(kg.kg, options);
+  EXPECT_EQ(walks.size(), kg.kg.num_entities() * 3);
+  for (const auto& w : walks) {
+    EXPECT_GE(w.size(), 1u);
+    EXPECT_LE(w.size(), 5u);  // depth+1 nodes, no predicates
+    for (WalkToken t : w) EXPECT_LT(t, kg.kg.num_entities());
+  }
+}
+
+TEST(RandomWalksTest, PredicateTokensWhenRequested) {
+  auto kg = SmallKg();
+  WalkOptions options;
+  options.walks_per_entity = 2;
+  options.depth = 3;
+  options.emit_predicates = true;
+  auto walks = GenerateWalks(kg.kg, options);
+  size_t vocab = WalkVocabularySize(kg.kg, options);
+  EXPECT_EQ(vocab, kg.kg.num_entities() + kg.kg.num_predicates());
+  bool saw_predicate = false;
+  for (const auto& w : walks) {
+    for (WalkToken t : w) {
+      EXPECT_LT(t, vocab);
+      if (t >= kg.kg.num_entities()) saw_predicate = true;
+    }
+  }
+  EXPECT_TRUE(saw_predicate);
+}
+
+TEST(RandomWalksTest, Deterministic) {
+  auto kg = SmallKg();
+  WalkOptions options;
+  options.walks_per_entity = 2;
+  auto w1 = GenerateWalks(kg.kg, options);
+  auto w2 = GenerateWalks(kg.kg, options);
+  EXPECT_EQ(w1, w2);
+}
+
+TEST(RandomWalksTest, IsolatedEntityWalksAreSingletons) {
+  KnowledgeGraph kg;
+  kg.AddEntity("lonely").value();
+  WalkOptions options;
+  options.walks_per_entity = 2;
+  auto walks = GenerateWalks(kg, options);
+  ASSERT_EQ(walks.size(), 2u);
+  for (const auto& w : walks) {
+    EXPECT_EQ(w, std::vector<WalkToken>{0});
+  }
+}
+
+// --- Skip-gram -------------------------------------------------------------------
+
+TEST(SkipGramTest, EmbedsCooccurringTokensCloser) {
+  // Two "topics": tokens {0,1,2} always co-occur, tokens {3,4,5} always
+  // co-occur. After training, within-topic cosine must exceed cross-topic.
+  std::vector<std::vector<WalkToken>> walks;
+  for (int i = 0; i < 200; ++i) {
+    walks.push_back({0, 1, 2, 0, 1, 2});
+    walks.push_back({3, 4, 5, 3, 4, 5});
+  }
+  SkipGramOptions options;
+  options.dim = 16;
+  options.epochs = 3;
+  options.seed = 77;
+  SkipGramTrainer trainer(options);
+  EmbeddingStore store = trainer.Train(walks, 6);
+  store.NormalizeAll();
+  float within = store.Cosine(0, 1);
+  float across = store.Cosine(0, 4);
+  EXPECT_GT(within, across + 0.2f);
+}
+
+TEST(SkipGramTest, TrainingIsDeterministic) {
+  std::vector<std::vector<WalkToken>> walks = {{0, 1, 2}, {2, 1, 0}};
+  SkipGramOptions options;
+  options.dim = 8;
+  options.epochs = 2;
+  SkipGramTrainer trainer(options);
+  EmbeddingStore a = trainer.Train(walks, 3);
+  EmbeddingStore b = trainer.Train(walks, 3);
+  for (EntityId e = 0; e < 3; ++e) {
+    for (size_t d = 0; d < 8; ++d) {
+      EXPECT_FLOAT_EQ(a.vector(e)[d], b.vector(e)[d]);
+    }
+  }
+}
+
+TEST(SkipGramTest, EndToEndRdf2VecSeparatesTopics) {
+  // On a topically-clustered KG, same-topic entities should be closer in
+  // embedding space than cross-domain entities on average.
+  auto kg = SmallKg();
+  WalkOptions walk_options;
+  walk_options.walks_per_entity = 12;
+  walk_options.depth = 4;
+  SkipGramOptions sg;
+  sg.dim = 16;
+  sg.epochs = 5;
+  EmbeddingStore store = TrainEntityEmbeddings(kg.kg, walk_options, sg);
+  ASSERT_EQ(store.size(), kg.kg.num_entities());
+
+  double same_topic = 0.0;
+  double cross_domain = 0.0;
+  int same_n = 0;
+  int cross_n = 0;
+  for (EntityId a = 0; a < kg.kg.num_entities(); ++a) {
+    for (EntityId b = a + 1; b < kg.kg.num_entities(); ++b) {
+      if (kg.TopicOf(a) == kg.TopicOf(b)) {
+        same_topic += store.Cosine(a, b);
+        ++same_n;
+      } else if (kg.DomainOf(a) != kg.DomainOf(b)) {
+        cross_domain += store.Cosine(a, b);
+        ++cross_n;
+      }
+    }
+  }
+  ASSERT_GT(same_n, 0);
+  ASSERT_GT(cross_n, 0);
+  EXPECT_GT(same_topic / same_n, cross_domain / cross_n + 0.05);
+}
+
+}  // namespace
+}  // namespace thetis

@@ -1,0 +1,365 @@
+// Tests for the future-work extensions (predicate and combined similarity)
+// and for corpus persistence.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/extended_similarity.h"
+#include "core/search_engine.h"
+#include "lsh/lsei.h"
+#include "linking/entity_linker.h"
+#include "semantic/corpus_io.h"
+#include "semantic/semantic_data_lake.h"
+
+namespace thetis {
+namespace {
+
+struct Fixture {
+  KnowledgeGraph kg;
+  EntityId player_a, player_b, team, venue;
+
+  Fixture() {
+    Taxonomy* tax = kg.mutable_taxonomy();
+    TypeId thing = tax->AddType("Thing").value();
+    TypeId person = tax->AddType("Person", thing).value();
+    tax->AddType("Place", thing).value();
+
+    player_a = kg.AddEntity("Player A").value();
+    player_b = kg.AddEntity("Player B").value();
+    team = kg.AddEntity("Team X").value();
+    venue = kg.AddEntity("Venue V").value();
+    kg.AddEntityType(player_a, person);
+    kg.AddEntityType(player_b, person);
+
+    PredicateId plays = kg.InternPredicate("playsFor");
+    PredicateId located = kg.InternPredicate("locatedIn");
+    kg.AddEdge(player_a, plays, team);
+    kg.AddEdge(player_b, plays, team);
+    kg.AddEdge(venue, located, team);
+  }
+};
+
+// --- PredicateJaccardSimilarity ----------------------------------------------
+
+TEST(PredicateJaccardTest, IdentityIsOne) {
+  Fixture f;
+  PredicateJaccardSimilarity sim(&f.kg);
+  EXPECT_DOUBLE_EQ(sim.Score(f.player_a, f.player_a), 1.0);
+}
+
+TEST(PredicateJaccardTest, SharedPredicatesCapped) {
+  Fixture f;
+  PredicateJaccardSimilarity sim(&f.kg);
+  // Both players have exactly {playsFor}: identical sets, capped at 0.95.
+  EXPECT_DOUBLE_EQ(sim.Score(f.player_a, f.player_b), 0.95);
+}
+
+TEST(PredicateJaccardTest, PartialOverlap) {
+  Fixture f;
+  PredicateJaccardSimilarity sim(&f.kg);
+  // team participates in {playsFor, locatedIn}; players in {playsFor}.
+  EXPECT_DOUBLE_EQ(sim.Score(f.player_a, f.team), 0.5);
+  // venue only {locatedIn}: no overlap with players.
+  EXPECT_DOUBLE_EQ(sim.Score(f.player_a, f.venue), 0.0);
+}
+
+TEST(PredicateJaccardTest, Symmetric) {
+  Fixture f;
+  PredicateJaccardSimilarity sim(&f.kg);
+  EXPECT_DOUBLE_EQ(sim.Score(f.player_a, f.team),
+                   sim.Score(f.team, f.player_a));
+}
+
+// --- CombinedSimilarity ----------------------------------------------------------
+
+TEST(CombinedSimilarityTest, WeightsNormalized) {
+  Fixture f;
+  TypeJaccardSimilarity types(&f.kg);
+  PredicateJaccardSimilarity preds(&f.kg);
+  CombinedSimilarity combined({{&types, 2.0}, {&preds, 2.0}});
+  double expected = 0.5 * types.Score(f.player_a, f.team) +
+                    0.5 * preds.Score(f.player_a, f.team);
+  EXPECT_DOUBLE_EQ(combined.Score(f.player_a, f.team), expected);
+}
+
+TEST(CombinedSimilarityTest, IdentityStaysOne) {
+  Fixture f;
+  TypeJaccardSimilarity types(&f.kg);
+  PredicateJaccardSimilarity preds(&f.kg);
+  CombinedSimilarity combined({{&types, 1.0}, {&preds, 3.0}});
+  EXPECT_DOUBLE_EQ(combined.Score(f.team, f.team), 1.0);
+}
+
+TEST(CombinedSimilarityTest, BoundedByComponents) {
+  Fixture f;
+  TypeJaccardSimilarity types(&f.kg);
+  PredicateJaccardSimilarity preds(&f.kg);
+  CombinedSimilarity combined({{&types, 1.0}, {&preds, 1.0}});
+  for (EntityId a = 0; a < f.kg.num_entities(); ++a) {
+    for (EntityId b = 0; b < f.kg.num_entities(); ++b) {
+      double c = combined.Score(a, b);
+      double lo = std::min(types.Score(a, b), preds.Score(a, b));
+      double hi = std::max(types.Score(a, b), preds.Score(a, b));
+      EXPECT_GE(c, lo - 1e-12);
+      EXPECT_LE(c, hi + 1e-12);
+    }
+  }
+}
+
+TEST(CombinedSimilarityTest, NameListsComponents) {
+  Fixture f;
+  TypeJaccardSimilarity types(&f.kg);
+  PredicateJaccardSimilarity preds(&f.kg);
+  CombinedSimilarity combined({{&types, 1.0}, {&preds, 1.0}});
+  EXPECT_EQ(combined.name(), "combined(types+predicates)");
+}
+
+// --- Corpus persistence -----------------------------------------------------------
+
+Corpus MakeLinkedCorpus(const Fixture& f) {
+  Corpus corpus;
+  Table t("team, with/odd name", {"Player", "Team"});
+  EXPECT_TRUE(t.AppendRow({Value::String("Player A"), Value::String("Team X")},
+                          {f.player_a, f.team})
+                  .ok());
+  EXPECT_TRUE(
+      t.AppendRow({Value::String("Unknown"), Value::Number(3.5)}).ok());
+  EXPECT_TRUE(corpus.AddTable(std::move(t)).ok());
+  Table u("plain", {"x"});
+  EXPECT_TRUE(u.AppendRow({Value::String("nothing")}).ok());
+  EXPECT_TRUE(corpus.AddTable(std::move(u)).ok());
+  return corpus;
+}
+
+TEST(CorpusIoTest, RoundTripPreservesTablesAndLinks) {
+  Fixture f;
+  Corpus corpus = MakeLinkedCorpus(f);
+  std::string dir =
+      (std::filesystem::temp_directory_path() / "thetis_corpus_io").string();
+  ASSERT_TRUE(SaveCorpus(corpus, f.kg, dir).ok());
+  auto loaded = LoadCorpus(dir, f.kg);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const Corpus& c = loaded.value();
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.table(0).name(), "team, with/odd name");
+  EXPECT_EQ(c.table(0).num_rows(), 2u);
+  EXPECT_EQ(c.table(0).link(0, 0), f.player_a);
+  EXPECT_EQ(c.table(0).link(0, 1), f.team);
+  EXPECT_EQ(c.table(0).link(1, 0), kNoEntity);
+  EXPECT_EQ(c.table(1).link(0, 0), kNoEntity);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CorpusIoTest, LinksToUnknownEntitiesAreDropped) {
+  Fixture f;
+  Corpus corpus = MakeLinkedCorpus(f);
+  std::string dir =
+      (std::filesystem::temp_directory_path() / "thetis_corpus_io2").string();
+  ASSERT_TRUE(SaveCorpus(corpus, f.kg, dir).ok());
+  // Load against a smaller KG that lacks "Team X".
+  KnowledgeGraph small;
+  small.AddEntity("Player A").value();
+  auto loaded = LoadCorpus(dir, small);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().table(0).link(0, 0),
+            small.FindByLabel("Player A").value());
+  EXPECT_EQ(loaded.value().table(0).link(0, 1), kNoEntity);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CorpusIoTest, MissingDirectoryIsIoError) {
+  KnowledgeGraph kg;
+  auto loaded = LoadCorpus("/nonexistent/thetis", kg);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+TEST(CorpusIoTest, SearchAfterReloadMatches) {
+  // End-to-end: search results identical before and after a save/load
+  // round trip.
+  Fixture f;
+  Corpus corpus = MakeLinkedCorpus(f);
+  std::string dir =
+      (std::filesystem::temp_directory_path() / "thetis_corpus_io3").string();
+  ASSERT_TRUE(SaveCorpus(corpus, f.kg, dir).ok());
+  auto loaded = LoadCorpus(dir, f.kg);
+  ASSERT_TRUE(loaded.ok());
+
+  TypeJaccardSimilarity sim(&f.kg);
+  SemanticDataLake lake1(&corpus, &f.kg);
+  SemanticDataLake lake2(&loaded.value(), &f.kg);
+  SearchEngine engine1(&lake1, &sim);
+  SearchEngine engine2(&lake2, &sim);
+  Query q{{{f.player_a, f.team}}};
+  auto hits1 = engine1.Search(q);
+  auto hits2 = engine2.Search(q);
+  ASSERT_EQ(hits1.size(), hits2.size());
+  for (size_t i = 0; i < hits1.size(); ++i) {
+    EXPECT_EQ(hits1[i].table, hits2[i].table);
+    EXPECT_DOUBLE_EQ(hits1[i].score, hits2[i].score);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+// --- Wu-Palmer similarity ----------------------------------------------------------
+
+struct DeepFixture {
+  KnowledgeGraph kg;
+  EntityId deep_a, deep_b, shallow, other_root;
+
+  DeepFixture() {
+    Taxonomy* tax = kg.mutable_taxonomy();
+    TypeId thing = tax->AddType("Thing").value();
+    TypeId mid = tax->AddType("Mid", thing).value();
+    TypeId leaf1 = tax->AddType("Leaf1", mid).value();
+    TypeId leaf2 = tax->AddType("Leaf2", mid).value();
+    TypeId shallow_type = tax->AddType("Shallow", thing).value();
+    TypeId lonely_root = tax->AddType("LonelyRoot").value();
+
+    deep_a = kg.AddEntity("deep a").value();
+    deep_b = kg.AddEntity("deep b").value();
+    shallow = kg.AddEntity("shallow").value();
+    other_root = kg.AddEntity("other root").value();
+    kg.AddEntityType(deep_a, leaf1);
+    kg.AddEntityType(deep_b, leaf2);
+    kg.AddEntityType(shallow, shallow_type);
+    kg.AddEntityType(other_root, lonely_root);
+  }
+};
+
+TEST(WuPalmerTest, IdentityIsOne) {
+  DeepFixture f;
+  WuPalmerSimilarity sim(&f.kg);
+  EXPECT_DOUBLE_EQ(sim.Score(f.deep_a, f.deep_a), 1.0);
+}
+
+TEST(WuPalmerTest, DeepSiblingsCloserThanShallowRelatives) {
+  DeepFixture f;
+  WuPalmerSimilarity sim(&f.kg);
+  // Leaf1/Leaf2 meet at Mid (depth 1): 2*2/(2+2+2) = 0.667.
+  // Leaf1/Shallow meet at Thing (depth 0): 2*1/(2+1+2) = 0.4.
+  EXPECT_NEAR(sim.Score(f.deep_a, f.deep_b), 2.0 * 2.0 / 6.0, 1e-12);
+  EXPECT_NEAR(sim.Score(f.deep_a, f.shallow), 2.0 * 1.0 / 5.0, 1e-12);
+  EXPECT_GT(sim.Score(f.deep_a, f.deep_b), sim.Score(f.deep_a, f.shallow));
+}
+
+TEST(WuPalmerTest, DifferentTreesScoreZero) {
+  DeepFixture f;
+  WuPalmerSimilarity sim(&f.kg);
+  EXPECT_DOUBLE_EQ(sim.Score(f.deep_a, f.other_root), 0.0);
+}
+
+TEST(WuPalmerTest, SameLeafDistinctEntitiesCapped) {
+  DeepFixture f;
+  EntityId twin = f.kg.AddEntity("twin of deep a").value();
+  f.kg.AddEntityType(twin, f.kg.taxonomy().FindByLabel("Leaf1").value());
+  WuPalmerSimilarity sim(&f.kg);
+  EXPECT_DOUBLE_EQ(sim.Score(f.deep_a, twin), 0.95);
+}
+
+// --- QueryFromTable -----------------------------------------------------------------
+
+TEST(QueryFromTableTest, LinkedRowsBecomeTuples) {
+  Table t("q", {"a", "b", "c"});
+  ASSERT_TRUE(t.AppendRow({Value::String("x"), Value::String("y"),
+                           Value::Number(1)},
+                          {5, 7, kNoEntity})
+                  .ok());
+  ASSERT_TRUE(t.AppendRow({Value::String("p"), Value::Null(), Value::Null()})
+                  .ok());  // fully unlinked: skipped
+  ASSERT_TRUE(t.AppendRow({Value::String("z"), Value::String("w"),
+                           Value::Null()},
+                          {9, kNoEntity, kNoEntity})
+                  .ok());
+  Query q = QueryFromTable(t);
+  ASSERT_EQ(q.tuples.size(), 2u);
+  EXPECT_EQ(q.tuples[0], (std::vector<EntityId>{5, 7}));
+  EXPECT_EQ(q.tuples[1], (std::vector<EntityId>{9}));
+}
+
+TEST(QueryFromTableTest, MaxTuplesLimits) {
+  Table t("q", {"a"});
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(t.AppendRow({Value::String("x")},
+                            {static_cast<EntityId>(i)})
+                    .ok());
+  }
+  Query q = QueryFromTable(t, 2);
+  EXPECT_EQ(q.tuples.size(), 2u);
+}
+
+// --- Dynamic ingestion ---------------------------------------------------------------
+
+TEST(DynamicIngestTest, LakePicksUpAppendedTables) {
+  Fixture f;
+  Corpus corpus = MakeLinkedCorpus(f);
+  SemanticDataLake lake(&corpus, &f.kg);
+  size_t before_freq = lake.TableFrequency(f.player_a);
+
+  Table extra("extra", {"Player"});
+  ASSERT_TRUE(
+      extra.AppendRow({Value::String("Player A")}, {f.player_a}).ok());
+  TableId new_id = corpus.AddTable(std::move(extra)).value();
+
+  // Not visible until ingest.
+  EXPECT_EQ(lake.TableFrequency(f.player_a), before_freq);
+  EXPECT_EQ(lake.IngestNewTables(), 1u);
+  EXPECT_EQ(lake.TableFrequency(f.player_a), before_freq + 1);
+  auto tables = lake.TablesWithEntity(f.player_a);
+  EXPECT_NE(std::find(tables.begin(), tables.end(), new_id), tables.end());
+  // Idempotent.
+  EXPECT_EQ(lake.IngestNewTables(), 0u);
+}
+
+TEST(DynamicIngestTest, SearchFindsIngestedTable) {
+  Fixture f;
+  Corpus corpus = MakeLinkedCorpus(f);
+  SemanticDataLake lake(&corpus, &f.kg);
+  TypeJaccardSimilarity sim(&f.kg);
+  SearchEngine engine(&lake, &sim);
+
+  Table extra("extra", {"Player", "Team"});
+  ASSERT_TRUE(extra
+                  .AppendRow({Value::String("Player B"),
+                              Value::String("Team X")},
+                             {f.player_b, f.team})
+                  .ok());
+  TableId new_id = corpus.AddTable(std::move(extra)).value();
+  lake.IngestNewTables();
+
+  Query q{{{f.player_b, f.team}}};
+  auto hits = engine.Search(q);
+  ASSERT_FALSE(hits.empty());
+  bool found = false;
+  for (const auto& h : hits) found |= h.table == new_id;
+  EXPECT_TRUE(found);
+}
+
+TEST(DynamicIngestTest, LseiIngestsNewEntities) {
+  Fixture f;
+  Corpus corpus = MakeLinkedCorpus(f);
+  SemanticDataLake lake(&corpus, &f.kg);
+  LseiOptions options;
+  options.mode = LseiMode::kTypes;
+  options.num_functions = 16;
+  options.band_size = 4;
+  Lsei lsei(&lake, nullptr, options);
+
+  // player_b is mentioned nowhere yet; a new table introduces it.
+  ASSERT_TRUE(lake.TablesWithEntity(f.player_b).empty());
+  Table extra("extra", {"Player"});
+  ASSERT_TRUE(
+      extra.AppendRow({Value::String("Player B")}, {f.player_b}).ok());
+  TableId new_id = corpus.AddTable(std::move(extra)).value();
+  ASSERT_EQ(lake.IngestNewTables(), 1u);
+  EXPECT_GE(lsei.IngestNewContent(), 1u);
+
+  auto candidates = lsei.CandidateTablesForEntity(f.player_b, 1);
+  EXPECT_NE(std::find(candidates.begin(), candidates.end(), new_id),
+            candidates.end());
+  // Second ingest is a no-op.
+  EXPECT_EQ(lsei.IngestNewContent(), 0u);
+}
+
+}  // namespace
+}  // namespace thetis

@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include "kg/knowledge_graph.h"
+#include "linking/entity_linker.h"
+#include "linking/label_index.h"
+#include "linking/noise.h"
+#include "table/corpus.h"
+
+namespace thetis {
+namespace {
+
+KnowledgeGraph MakeKg() {
+  KnowledgeGraph kg;
+  kg.AddEntity("Ron Santo").value();
+  kg.AddEntity("Chicago Cubs").value();
+  kg.AddEntity("Milwaukee Brewers").value();
+  kg.AddEntity("Mitch Stetter").value();
+  return kg;
+}
+
+// --- LabelIndex -----------------------------------------------------------------
+
+TEST(LabelIndexTest, ExactLookupNormalizes) {
+  KnowledgeGraph kg = MakeKg();
+  LabelIndex index(&kg);
+  EXPECT_EQ(index.ExactLookup("Ron Santo"), kg.FindByLabel("Ron Santo").value());
+  EXPECT_EQ(index.ExactLookup("ron santo"), kg.FindByLabel("Ron Santo").value());
+  EXPECT_EQ(index.ExactLookup("RON-SANTO!"),
+            kg.FindByLabel("Ron Santo").value());
+  EXPECT_EQ(index.ExactLookup("Ron"), kNoEntity);
+}
+
+TEST(LabelIndexTest, KeywordLookupFindsPartialMatch) {
+  KnowledgeGraph kg = MakeKg();
+  LabelIndex index(&kg);
+  EntityId e = index.KeywordLookup("the Cubs of Chicago", 0.1);
+  EXPECT_EQ(e, kg.FindByLabel("Chicago Cubs").value());
+}
+
+TEST(LabelIndexTest, KeywordLookupRespectsMinScore) {
+  KnowledgeGraph kg = MakeKg();
+  LabelIndex index(&kg);
+  EXPECT_EQ(index.KeywordLookup("Cubs", 1e9), kNoEntity);
+  EXPECT_EQ(index.KeywordLookup("unrelated words", 0.1), kNoEntity);
+}
+
+TEST(LabelIndexTest, KeywordTopKRanksByOverlap) {
+  KnowledgeGraph kg = MakeKg();
+  LabelIndex index(&kg);
+  auto top = index.KeywordTopK("Milwaukee Brewers", 2);
+  ASSERT_FALSE(top.empty());
+  EXPECT_EQ(top[0].first, kg.FindByLabel("Milwaukee Brewers").value());
+}
+
+// --- EntityLinker ----------------------------------------------------------------
+
+Table MakeUnlinkedTable() {
+  Table t("players", {"Player", "Team", "Avg"});
+  EXPECT_TRUE(t.AppendRow({Value::String("Ron Santo"),
+                           Value::String("Chicago Cubs"), Value::Number(0.277)})
+                  .ok());
+  EXPECT_TRUE(t.AppendRow({Value::String("Mitch Stetter"),
+                           Value::String("Unknown Team"), Value::Number(0.1)})
+                  .ok());
+  return t;
+}
+
+TEST(EntityLinkerTest, ExactModeLinksKnownMentions) {
+  KnowledgeGraph kg = MakeKg();
+  EntityLinker linker(&kg);
+  Table t = MakeUnlinkedTable();
+  LinkingStats stats = linker.LinkTable(&t);
+  // 4 string cells considered (numbers skipped), 3 linkable.
+  EXPECT_EQ(stats.cells_considered, 4u);
+  EXPECT_EQ(stats.cells_linked, 3u);
+  EXPECT_EQ(t.link(0, 0), kg.FindByLabel("Ron Santo").value());
+  EXPECT_EQ(t.link(1, 1), kNoEntity);
+  EXPECT_EQ(t.link(0, 2), kNoEntity);  // numeric cell skipped
+}
+
+TEST(EntityLinkerTest, KeywordFallbackLinksMore) {
+  KnowledgeGraph kg = MakeKg();
+  LinkerOptions options;
+  options.mode = LinkingMode::kExactThenKeyword;
+  options.min_keyword_score = 0.1;
+  EntityLinker linker(&kg, options);
+  EXPECT_EQ(linker.LinkMention("Santo, Ron"), kg.FindByLabel("Ron Santo").value());
+}
+
+TEST(EntityLinkerTest, LinkCorpusAggregates) {
+  KnowledgeGraph kg = MakeKg();
+  EntityLinker linker(&kg);
+  Corpus corpus;
+  ASSERT_TRUE(corpus.AddTable(MakeUnlinkedTable()).ok());
+  Table t2 = MakeUnlinkedTable();
+  t2.set_name("players2");
+  ASSERT_TRUE(corpus.AddTable(std::move(t2)).ok());
+  LinkingStats stats = linker.LinkCorpus(&corpus);
+  EXPECT_EQ(stats.cells_considered, 8u);
+  EXPECT_EQ(stats.cells_linked, 6u);
+  EXPECT_NEAR(stats.coverage(), 0.75, 1e-12);
+}
+
+// --- Coverage capping ---------------------------------------------------------------
+
+Corpus MakeLinkedCorpus(const KnowledgeGraph& kg) {
+  Corpus corpus;
+  EntityLinker linker(&kg);
+  for (int i = 0; i < 5; ++i) {
+    Table t = MakeUnlinkedTable();
+    t.set_name("t" + std::to_string(i));
+    linker.LinkTable(&t);
+    EXPECT_TRUE(corpus.AddTable(std::move(t)).ok());
+  }
+  return corpus;
+}
+
+TEST(NoiseTest, CapLinkCoverageEnforcesCap) {
+  KnowledgeGraph kg = MakeKg();
+  Corpus corpus = MakeLinkedCorpus(kg);
+  CapLinkCoverage(&corpus, 0.2, 7);
+  for (TableId id = 0; id < corpus.size(); ++id) {
+    EXPECT_LE(corpus.table(id).LinkCoverage(), 0.2 + 1e-12);
+  }
+}
+
+TEST(NoiseTest, CapAboveCurrentCoverageIsNoOp) {
+  KnowledgeGraph kg = MakeKg();
+  Corpus corpus = MakeLinkedCorpus(kg);
+  double before = corpus.table(0).LinkCoverage();
+  CapLinkCoverage(&corpus, 1.0, 7);
+  EXPECT_DOUBLE_EQ(corpus.table(0).LinkCoverage(), before);
+}
+
+TEST(NoiseTest, CapZeroRemovesAllLinks) {
+  KnowledgeGraph kg = MakeKg();
+  Corpus corpus = MakeLinkedCorpus(kg);
+  CapLinkCoverage(&corpus, 0.0, 7);
+  for (TableId id = 0; id < corpus.size(); ++id) {
+    EXPECT_DOUBLE_EQ(corpus.table(id).LinkCoverage(), 0.0);
+  }
+}
+
+// --- Noisy linker -------------------------------------------------------------------
+
+TEST(NoiseTest, NoisyLinkerReportsConsistentCounts) {
+  KnowledgeGraph kg = MakeKg();
+  Corpus corpus = MakeLinkedCorpus(kg);
+  NoisyLinkerOptions options;
+  options.seed = 42;
+  NoisyLinkingReport report = SimulateNoisyLinker(&corpus, kg, options);
+  EXPECT_EQ(report.original_links, 15u);  // 3 links x 5 tables
+  EXPECT_EQ(report.kept_correct + report.corrupted + report.dropped,
+            report.original_links);
+}
+
+TEST(NoiseTest, NoisyLinkerDegradesF1) {
+  KnowledgeGraph kg = MakeKg();
+  Corpus corpus = MakeLinkedCorpus(kg);
+  NoisyLinkerOptions options;
+  options.keep_probability = 0.3;
+  options.seed = 43;
+  NoisyLinkingReport report = SimulateNoisyLinker(&corpus, kg, options);
+  EXPECT_LT(report.F1(), 0.7);
+  EXPECT_GE(report.F1(), 0.0);
+  EXPECT_LE(report.Precision(), 1.0);
+  EXPECT_LE(report.Recall(), 1.0);
+}
+
+TEST(NoiseTest, KeepAllIsLossless) {
+  KnowledgeGraph kg = MakeKg();
+  Corpus corpus = MakeLinkedCorpus(kg);
+  NoisyLinkerOptions options;
+  options.keep_probability = 1.0;
+  options.spurious_probability = 0.0;
+  NoisyLinkingReport report = SimulateNoisyLinker(&corpus, kg, options);
+  EXPECT_EQ(report.kept_correct, report.original_links);
+  EXPECT_DOUBLE_EQ(report.F1(), 1.0);
+}
+
+}  // namespace
+}  // namespace thetis

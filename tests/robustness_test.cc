@@ -1,0 +1,226 @@
+// Robustness sweeps: the parsers must never crash or corrupt state on
+// malformed input (they return Status), round-trips must be lossless over
+// randomized inputs, and the search stack must behave on degenerate
+// queries, tables and lakes.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/search_engine.h"
+#include "core/similarity.h"
+#include "kg/triple_io.h"
+#include "lsh/lsei.h"
+#include "semantic/semantic_data_lake.h"
+#include "table/csv.h"
+#include "util/rng.h"
+
+namespace thetis {
+namespace {
+
+// --- CSV round-trips over randomized tables ------------------------------------
+
+class CsvRoundTripSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CsvRoundTripSweep, RandomTablesRoundTrip) {
+  Rng rng(GetParam());
+  size_t cols = 1 + rng.NextBounded(6);
+  std::vector<std::string> names;
+  for (size_t c = 0; c < cols; ++c) {
+    names.push_back("col " + std::to_string(c) + (c % 2 ? ",x" : "\"q\""));
+  }
+  Table t("rt", names);
+  size_t rows = rng.NextBounded(20);
+  const char* nasty[] = {"plain", "with,comma", "with\"quote", "multi\nline",
+                         "", "  spaced  ", "\"", ","};
+  for (size_t r = 0; r < rows; ++r) {
+    std::vector<Value> row;
+    for (size_t c = 0; c < cols; ++c) {
+      switch (rng.NextBounded(3)) {
+        case 0:
+          row.push_back(Value::String(
+              nasty[rng.NextBounded(static_cast<uint32_t>(std::size(nasty)))]));
+          break;
+        case 1:
+          row.push_back(Value::Number(
+              static_cast<double>(rng.NextBounded(1000)) / 8.0));
+          break;
+        default:
+          row.push_back(Value::Null());
+      }
+    }
+    ASSERT_TRUE(t.AppendRow(std::move(row)).ok());
+  }
+
+  auto parsed = ParseCsv(WriteCsv(t));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const Table& u = parsed.value();
+  ASSERT_EQ(u.num_rows(), t.num_rows());
+  ASSERT_EQ(u.num_columns(), t.num_columns());
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    for (size_t c = 0; c < t.num_columns(); ++c) {
+      // Empty strings become nulls through CSV (both render as ""); all
+      // other values round-trip exactly.
+      const Value& orig = t.cell(r, c);
+      const Value& back = u.cell(r, c);
+      if (orig.is_string() && orig.string_value().empty()) {
+        EXPECT_TRUE(back.is_null());
+      } else {
+        EXPECT_EQ(back.ToText(), orig.ToText());
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CsvRoundTripSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// --- Parser fuzz-ish sweeps: random garbage never crashes ------------------------
+
+class ParserGarbageSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParserGarbageSweep, CsvAndTripleParsersReturnStatusOnGarbage) {
+  Rng rng(GetParam() * 131);
+  const char alphabet[] = "abc,\"\n\r\\ 0.#";
+  for (int trial = 0; trial < 50; ++trial) {
+    std::string garbage;
+    size_t len = rng.NextBounded(200);
+    for (size_t i = 0; i < len; ++i) {
+      garbage.push_back(alphabet[rng.NextBounded(sizeof(alphabet) - 1)]);
+    }
+    // Must not crash; any Status outcome is acceptable.
+    auto csv = ParseCsv(garbage);
+    if (csv.ok()) {
+      EXPECT_GE(csv.value().num_columns(), 1u);
+    }
+    auto triples = ParseTriples(garbage);
+    (void)triples;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserGarbageSweep,
+                         ::testing::Values(1, 2, 3, 4));
+
+// --- Triple IO round-trip over randomized graphs ---------------------------------
+
+class TripleRoundTripSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(TripleRoundTripSweep, RandomGraphsRoundTrip) {
+  Rng rng(GetParam() * 17);
+  KnowledgeGraph kg;
+  Taxonomy* tax = kg.mutable_taxonomy();
+  std::vector<TypeId> types;
+  types.push_back(tax->AddType("root with space").value());
+  for (int t = 0; t < 6; ++t) {
+    TypeId parent = types[rng.NextBounded(static_cast<uint32_t>(types.size()))];
+    types.push_back(
+        tax->AddType("type \"" + std::to_string(t) + "\"", parent).value());
+  }
+  size_t n = 5 + rng.NextBounded(20);
+  for (size_t i = 0; i < n; ++i) {
+    EntityId e = kg.AddEntity("entity, " + std::to_string(i)).value();
+    kg.AddEntityType(
+        e, types[rng.NextBounded(static_cast<uint32_t>(types.size()))]);
+  }
+  PredicateId p = kg.InternPredicate("rel \\ated");
+  for (size_t i = 0; i + 1 < n; ++i) {
+    kg.AddEdge(static_cast<EntityId>(i), p, static_cast<EntityId>(i + 1));
+  }
+
+  auto back = ParseTriples(WriteTriples(kg));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back.value().num_entities(), kg.num_entities());
+  EXPECT_EQ(back.value().num_edges(), kg.num_edges());
+  EXPECT_EQ(back.value().taxonomy().size(), kg.taxonomy().size());
+  for (EntityId e = 0; e < kg.num_entities(); ++e) {
+    EXPECT_EQ(back.value().label(e), kg.label(e));
+    EXPECT_EQ(back.value().TypeSet(e, true), kg.TypeSet(e, true));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TripleRoundTripSweep,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+// --- Degenerate search inputs ------------------------------------------------------
+
+struct TinyWorld {
+  KnowledgeGraph kg;
+  Corpus corpus;
+
+  TinyWorld() {
+    Taxonomy* tax = kg.mutable_taxonomy();
+    TypeId thing = tax->AddType("Thing").value();
+    EntityId e = kg.AddEntity("only entity").value();
+    kg.AddEntityType(e, thing);
+    Table t("only", {"c"});
+    EXPECT_TRUE(t.AppendRow({Value::String("only entity")}, {e}).ok());
+    EXPECT_TRUE(corpus.AddTable(std::move(t)).ok());
+  }
+};
+
+TEST(DegenerateSearchTest, QueryWithOnlyNoEntityTuplesReturnsNothing) {
+  TinyWorld w;
+  SemanticDataLake lake(&w.corpus, &w.kg);
+  TypeJaccardSimilarity sim(&w.kg);
+  SearchEngine engine(&lake, &sim);
+  Query q{{{kNoEntity, kNoEntity}}};
+  EXPECT_TRUE(engine.Search(q).empty());
+}
+
+TEST(DegenerateSearchTest, QueryWithEmptyTupleIgnored) {
+  TinyWorld w;
+  SemanticDataLake lake(&w.corpus, &w.kg);
+  TypeJaccardSimilarity sim(&w.kg);
+  SearchEngine engine(&lake, &sim);
+  Query q{{{}, {0}}};
+  auto hits = engine.Search(q);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_DOUBLE_EQ(hits[0].score, 1.0);
+}
+
+TEST(DegenerateSearchTest, EmptyCorpusSearch) {
+  KnowledgeGraph kg;
+  kg.AddEntity("x").value();
+  Corpus corpus;
+  SemanticDataLake lake(&corpus, &kg);
+  TypeJaccardSimilarity sim(&kg);
+  SearchEngine engine(&lake, &sim);
+  EXPECT_TRUE(engine.Search(Query{{{0}}}).empty());
+}
+
+TEST(DegenerateSearchTest, EmptyLakeLsei) {
+  KnowledgeGraph kg;
+  kg.AddEntity("x").value();
+  Corpus corpus;
+  SemanticDataLake lake(&corpus, &kg);
+  LseiOptions options;
+  Lsei lsei(&lake, nullptr, options);
+  EXPECT_TRUE(lsei.CandidateTablesForQuery({{0}}, 1).empty());
+  EXPECT_TRUE(lsei.CandidateTablesForEntity(0, 1).empty());
+}
+
+TEST(DegenerateSearchTest, TableWithZeroColumns) {
+  TinyWorld w;
+  Table empty("zero_cols", {});
+  ASSERT_TRUE(w.corpus.AddTable(std::move(empty)).ok());
+  SemanticDataLake lake(&w.corpus, &w.kg);
+  TypeJaccardSimilarity sim(&w.kg);
+  SearchEngine engine(&lake, &sim);
+  auto hits = engine.Search(Query{{{0}}});
+  ASSERT_EQ(hits.size(), 1u);  // only the real table scores
+}
+
+TEST(DegenerateSearchTest, QueryWiderThanAnyTable) {
+  TinyWorld w;
+  SemanticDataLake lake(&w.corpus, &w.kg);
+  TypeJaccardSimilarity sim(&w.kg);
+  SearchEngine engine(&lake, &sim);
+  // 4 query entities vs a 1-column table: only one can map.
+  Query q{{{0, 0, 0, 0}}};
+  auto hits = engine.Search(q);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_GT(hits[0].score, 0.0);
+  EXPECT_LT(hits[0].score, 1.0);
+}
+
+}  // namespace
+}  // namespace thetis

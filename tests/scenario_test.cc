@@ -1,0 +1,155 @@
+// Full-stack scenario: everything a production deployment chains together,
+// in one flow — generate, persist, reload, relink, index, search (serial,
+// prefiltered, parallel), ingest new data, search again. Verifies the
+// pieces compose, not just that each works alone.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+
+#include "benchgen/benchmark_factory.h"
+#include "benchgen/ground_truth.h"
+#include "benchgen/metrics.h"
+#include "core/search_engine.h"
+#include "core/similarity.h"
+#include "kg/triple_io.h"
+#include "linking/entity_linker.h"
+#include "lsh/lsei.h"
+#include "semantic/corpus_io.h"
+#include "semantic/semantic_data_lake.h"
+#include "util/thread_pool.h"
+
+namespace thetis {
+namespace {
+
+namespace fs = std::filesystem;
+
+class ScenarioTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::temp_directory_path() / "thetis_scenario").string();
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string dir_;
+};
+
+TEST_F(ScenarioTest, FullLifecycle) {
+  // --- Generate and persist -------------------------------------------------
+  auto bench =
+      benchgen::MakeBenchmark(benchgen::PresetKind::kWt2015Like, 0.06, 321);
+  EmbeddingStore embeddings = benchgen::TrainBenchmarkEmbeddings(bench.kg);
+  ASSERT_TRUE(
+      WriteTriplesFile(bench.kg.kg, dir_ + "/kg.triples").ok());
+  ASSERT_TRUE(
+      SaveCorpus(bench.lake.corpus, bench.kg.kg, dir_ + "/corpus").ok());
+  ASSERT_TRUE(embeddings.SaveToFile(dir_ + "/embeddings.txt").ok());
+
+  // --- Reload everything from disk -------------------------------------------
+  auto kg = ReadTriplesFile(dir_ + "/kg.triples");
+  ASSERT_TRUE(kg.ok());
+  auto corpus = LoadCorpus(dir_ + "/corpus", kg.value());
+  ASSERT_TRUE(corpus.ok());
+  auto emb = EmbeddingStore::LoadFromFile(dir_ + "/embeddings.txt");
+  ASSERT_TRUE(emb.ok());
+  ASSERT_EQ(corpus.value().size(), bench.lake.corpus.size());
+  ASSERT_EQ(kg.value().num_entities(), bench.kg.kg.num_entities());
+
+  // --- Build the semantic stack over the reloaded artifacts --------------------
+  Corpus lake_corpus = std::move(corpus).value();
+  KnowledgeGraph lake_kg = std::move(kg).value();
+  EmbeddingStore lake_emb = std::move(emb).value();
+  SemanticDataLake lake(&lake_corpus, &lake_kg);
+  TypeJaccardSimilarity type_sim(&lake_kg);
+  EmbeddingCosineSimilarity emb_sim(&lake_emb);
+  SearchEngine engine(&lake, &type_sim);
+  SearchEngine emb_engine(&lake, &emb_sim);
+  LseiOptions lsh;
+  Lsei lsei(&lake, &lake_emb, lsh);
+  PrefilteredSearchEngine fast(&engine, &lsei, /*votes=*/1);
+  ThreadPool pool(3);
+
+  auto queries = benchgen::MakeQueries(bench.kg, 5);
+  for (const auto& gq : queries) {
+    auto serial = engine.Search(gq.query);
+    ASSERT_FALSE(serial.empty());
+
+    // Parallel identical to serial.
+    auto parallel = engine.SearchParallel(gq.query, &pool);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(serial[i].table, parallel[i].table);
+    }
+
+    // Prefiltered results are a plausible subset ranking: every hit also
+    // scores identically under direct scoring.
+    SearchStats stats;
+    auto filtered = fast.Search(gq.query, &stats);
+    EXPECT_GT(stats.search_space_reduction, 0.0);
+    for (const auto& hit : filtered) {
+      EXPECT_DOUBLE_EQ(hit.score, engine.ScoreTable(gq.query, hit.table));
+    }
+
+    // Embedding engine also retrieves.
+    EXPECT_FALSE(emb_engine.Search(gq.query).empty());
+
+    // Every reported hit has a consistent explanation.
+    Explanation why = engine.Explain(gq.query, serial[0].table);
+    EXPECT_DOUBLE_EQ(why.score, serial[0].score);
+    ASSERT_FALSE(why.tuples.empty());
+  }
+
+  // --- Ingest fresh tables and search again --------------------------------------
+  benchgen::SyntheticLakeOptions fresh_options;
+  fresh_options.num_tables = 25;
+  fresh_options.seed = 777;
+  benchgen::SyntheticLake fresh =
+      benchgen::GenerateSyntheticLake(bench.kg, fresh_options);
+  // Relink the fresh tables against the reloaded KG (labels round-trip).
+  EntityLinker linker(&lake_kg);
+  for (TableId id = 0; id < fresh.corpus.size(); ++id) {
+    Table t = fresh.corpus.table(id);
+    t.set_name("fresh_" + std::to_string(id));
+    t.ClearLinks();
+    linker.LinkTable(&t);
+    ASSERT_TRUE(lake_corpus.AddTable(std::move(t)).ok());
+  }
+  EXPECT_EQ(lake.IngestNewTables(), 25u);
+  EXPECT_GT(lsei.IngestNewContent() + 1, 1u);  // >= 0 new entities
+
+  // New tables are now reachable through the prefiltered engine.
+  bool found_fresh = false;
+  for (const auto& gq : queries) {
+    SearchOptions wide;
+    wide.top_k = 50;
+    SearchEngine wide_engine(&lake, &type_sim, wide);
+    for (const auto& hit : wide_engine.Search(gq.query)) {
+      if (lake_corpus.table(hit.table).name().rfind("fresh_", 0) == 0) {
+        found_fresh = true;
+      }
+    }
+  }
+  EXPECT_TRUE(found_fresh);
+}
+
+TEST_F(ScenarioTest, QueryByTableEndToEnd) {
+  auto bench =
+      benchgen::MakeBenchmark(benchgen::PresetKind::kWt2015Like, 0.05, 654);
+  SemanticDataLake lake(&bench.lake.corpus, &bench.kg.kg);
+  TypeJaccardSimilarity sim(&bench.kg.kg);
+  SearchEngine engine(&lake, &sim);
+
+  // Use an existing table as the example; its own table must rank first
+  // (it is a total exact mapping for every one of its tuples).
+  TableId example_id = 7;
+  Query query = QueryFromTable(bench.lake.corpus.table(example_id), 3);
+  ASSERT_FALSE(query.tuples.empty());
+  auto hits = engine.Search(query);
+  ASSERT_FALSE(hits.empty());
+  EXPECT_EQ(hits[0].table, example_id);
+}
+
+}  // namespace
+}  // namespace thetis

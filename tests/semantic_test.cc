@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "kg/knowledge_graph.h"
+#include "semantic/semantic_data_lake.h"
+#include "table/corpus.h"
+
+namespace thetis {
+namespace {
+
+struct Fixture {
+  KnowledgeGraph kg;
+  Corpus corpus;
+
+  Fixture() {
+    Taxonomy* tax = kg.mutable_taxonomy();
+    TypeId thing = tax->AddType("Thing").value();
+    TypeId common = tax->AddType("Common", thing).value();
+    TypeId rare = tax->AddType("Rare", thing).value();
+
+    // e0 appears in every table, e1 in one, e2 never.
+    EntityId e0 = kg.AddEntity("everywhere").value();
+    EntityId e1 = kg.AddEntity("once").value();
+    kg.AddEntity("never").value();
+    EXPECT_TRUE(kg.AddEntityType(e0, common).ok());
+    EXPECT_TRUE(kg.AddEntityType(e1, rare).ok());
+
+    for (int i = 0; i < 4; ++i) {
+      Table t("t" + std::to_string(i), {"c"});
+      std::vector<EntityId> links = {e0};
+      if (i == 0) {
+        EXPECT_TRUE(t.AppendRow({Value::String("once")}, {e1}).ok());
+      }
+      EXPECT_TRUE(t.AppendRow({Value::String("everywhere")}, links).ok());
+      EXPECT_TRUE(corpus.AddTable(std::move(t)).ok());
+    }
+  }
+};
+
+TEST(SemanticDataLakeTest, EntityPostings) {
+  Fixture f;
+  SemanticDataLake lake(&f.corpus, &f.kg);
+  EXPECT_EQ(lake.TablesWithEntity(0).size(), 4u);
+  EXPECT_EQ(lake.TablesWithEntity(1), (std::vector<TableId>{0}));
+  EXPECT_TRUE(lake.TablesWithEntity(2).empty());
+  EXPECT_EQ(lake.TableFrequency(0), 4u);
+}
+
+TEST(SemanticDataLakeTest, MentionedEntitiesSorted) {
+  Fixture f;
+  SemanticDataLake lake(&f.corpus, &f.kg);
+  EXPECT_EQ(lake.MentionedEntities(), (std::vector<EntityId>{0, 1}));
+}
+
+TEST(SemanticDataLakeTest, InformativenessOrdering) {
+  Fixture f;
+  SemanticDataLake lake(&f.corpus, &f.kg);
+  double freq = lake.Informativeness(0);  // in all 4 tables
+  double rare = lake.Informativeness(1);  // in 1 table
+  double unseen = lake.Informativeness(2);
+  EXPECT_LT(freq, rare);
+  EXPECT_LT(rare, unseen);
+  EXPECT_DOUBLE_EQ(unseen, 1.0);
+  EXPECT_GT(freq, 0.0);
+}
+
+TEST(SemanticDataLakeTest, InformativenessInUnitInterval) {
+  Fixture f;
+  SemanticDataLake lake(&f.corpus, &f.kg);
+  for (EntityId e = 0; e < f.kg.num_entities(); ++e) {
+    double i = lake.Informativeness(e);
+    EXPECT_GE(i, 0.0);
+    EXPECT_LE(i, 1.0);
+  }
+}
+
+TEST(SemanticDataLakeTest, TypeTableFractions) {
+  Fixture f;
+  SemanticDataLake lake(&f.corpus, &f.kg);
+  TypeId thing = f.kg.taxonomy().FindByLabel("Thing").value();
+  TypeId common = f.kg.taxonomy().FindByLabel("Common").value();
+  TypeId rare = f.kg.taxonomy().FindByLabel("Rare").value();
+  // "Thing" is an ancestor of both entities' types -> in all tables.
+  EXPECT_DOUBLE_EQ(lake.TypeTableFraction(thing), 1.0);
+  EXPECT_DOUBLE_EQ(lake.TypeTableFraction(common), 1.0);
+  EXPECT_DOUBLE_EQ(lake.TypeTableFraction(rare), 0.25);
+}
+
+TEST(SemanticDataLakeTest, EmptyCorpus) {
+  KnowledgeGraph kg;
+  kg.AddEntity("x").value();
+  Corpus corpus;
+  SemanticDataLake lake(&corpus, &kg);
+  EXPECT_TRUE(lake.MentionedEntities().empty());
+  EXPECT_DOUBLE_EQ(lake.Informativeness(0), 1.0);
+  EXPECT_DOUBLE_EQ(lake.TypeTableFraction(0), 0.0);
+}
+
+}  // namespace
+}  // namespace thetis

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "text/bm25.h"
+#include "text/inverted_index.h"
+
+namespace thetis {
+namespace {
+
+// --- InvertedIndex ------------------------------------------------------------
+
+TEST(InvertedIndexTest, PostingsAndFrequencies) {
+  InvertedIndex index;
+  DocId d0 = index.AddDocument({"a", "b", "a"});
+  DocId d1 = index.AddDocument({"b", "c"});
+  EXPECT_EQ(d0, 0u);
+  EXPECT_EQ(d1, 1u);
+  EXPECT_EQ(index.num_documents(), 2u);
+  EXPECT_EQ(index.DocumentFrequency("a"), 1u);
+  EXPECT_EQ(index.DocumentFrequency("b"), 2u);
+  EXPECT_EQ(index.DocumentFrequency("zzz"), 0u);
+  ASSERT_EQ(index.PostingsFor("a").size(), 1u);
+  EXPECT_EQ(index.PostingsFor("a")[0].term_frequency, 2u);
+  EXPECT_TRUE(index.PostingsFor("zzz").empty());
+}
+
+TEST(InvertedIndexTest, DocumentLengths) {
+  InvertedIndex index;
+  index.AddDocument({"a", "b", "a"});
+  index.AddDocument({"b"});
+  EXPECT_EQ(index.document_length(0), 3u);
+  EXPECT_EQ(index.document_length(1), 1u);
+  EXPECT_DOUBLE_EQ(index.mean_document_length(), 2.0);
+}
+
+TEST(InvertedIndexTest, EmptyIndexMeanLengthZero) {
+  InvertedIndex index;
+  EXPECT_DOUBLE_EQ(index.mean_document_length(), 0.0);
+}
+
+TEST(InvertedIndexTest, PostingsAscendingByDoc) {
+  InvertedIndex index;
+  for (int i = 0; i < 10; ++i) index.AddDocument({"common"});
+  const auto& postings = index.PostingsFor("common");
+  ASSERT_EQ(postings.size(), 10u);
+  for (size_t i = 1; i < postings.size(); ++i) {
+    EXPECT_LT(postings[i - 1].doc, postings[i].doc);
+  }
+}
+
+// --- BM25 ----------------------------------------------------------------------
+
+class Bm25Test : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    index_.AddDocument({"baseball", "player", "cubs"});       // 0
+    index_.AddDocument({"baseball", "team", "cubs", "cubs"});  // 1
+    index_.AddDocument({"volleyball", "team"});                // 2
+    index_.AddDocument({"weather", "report"});                 // 3
+  }
+  InvertedIndex index_;
+};
+
+TEST_F(Bm25Test, MatchesOnlyDocsWithQueryTerms) {
+  Bm25Scorer scorer(&index_);
+  auto hits = scorer.Search({"baseball"}, 0);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_TRUE((hits[0].first == 0 && hits[1].first == 1) ||
+              (hits[0].first == 1 && hits[1].first == 0));
+}
+
+TEST_F(Bm25Test, HigherTfScoresHigher) {
+  Bm25Scorer scorer(&index_);
+  auto hits = scorer.Search({"cubs"}, 0);
+  ASSERT_EQ(hits.size(), 2u);
+  // Doc 1 has tf=2 for "cubs" (and is longer; k1/b keep tf dominant here).
+  EXPECT_EQ(hits[0].first, 1u);
+}
+
+TEST_F(Bm25Test, RareTermsWeighMore) {
+  Bm25Scorer scorer(&index_);
+  // "weather" is rarer than "team"; a doc matching the rare term should
+  // outrank a doc matching the common one.
+  auto hits = scorer.Search({"weather", "team"}, 0);
+  ASSERT_GE(hits.size(), 2u);
+  EXPECT_EQ(hits[0].first, 3u);
+}
+
+TEST_F(Bm25Test, TruncatesToK) {
+  Bm25Scorer scorer(&index_);
+  auto hits = scorer.Search({"team", "cubs", "baseball"}, 2);
+  EXPECT_EQ(hits.size(), 2u);
+}
+
+TEST_F(Bm25Test, NoMatchesEmptyResult) {
+  Bm25Scorer scorer(&index_);
+  EXPECT_TRUE(scorer.Search({"xylophone"}, 0).empty());
+  EXPECT_TRUE(scorer.Search({}, 0).empty());
+}
+
+TEST_F(Bm25Test, IdfPositiveAndMonotone) {
+  Bm25Scorer scorer(&index_);
+  double idf_rare = scorer.Idf("weather");
+  double idf_common = scorer.Idf("team");
+  EXPECT_GT(idf_rare, idf_common);
+  EXPECT_GT(idf_common, 0.0);
+}
+
+TEST_F(Bm25Test, ScoresDescending) {
+  Bm25Scorer scorer(&index_);
+  auto hits = scorer.Search({"baseball", "team", "cubs"}, 0);
+  for (size_t i = 1; i < hits.size(); ++i) {
+    EXPECT_GE(hits[i - 1].second, hits[i].second);
+  }
+}
+
+}  // namespace
+}  // namespace thetis

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "benchgen/benchmark_factory.h"
+#include "core/search_engine.h"
+#include "core/similarity.h"
+#include "semantic/semantic_data_lake.h"
+#include "util/thread_pool.h"
+
+namespace thetis {
+namespace {
+
+TEST(ThreadPoolTest, VisitsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> counts(1000);
+  pool.ParallelFor(1000, [&](size_t i) { counts[i].fetch_add(1); });
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ThreadPoolTest, InlineModeWithOneThread) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  int sum = 0;  // no atomics needed: inline execution
+  pool.ParallelFor(100, [&](size_t i) { sum += static_cast<int>(i); });
+  EXPECT_EQ(sum, 4950);
+}
+
+TEST(ThreadPoolTest, ZeroItemsIsNoOp) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.ParallelFor(0, [&](size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossBatches) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<size_t> total{0};
+    pool.ParallelFor(round + 1, [&](size_t) { total.fetch_add(1); });
+    EXPECT_EQ(total.load(), static_cast<size_t>(round + 1));
+  }
+}
+
+TEST(ThreadPoolTest, DefaultPicksHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.num_threads(), 1u);
+}
+
+TEST(ParallelSearchTest, MatchesSerialResultsExactly) {
+  auto bench = benchgen::MakeBenchmark(benchgen::PresetKind::kWt2015Like,
+                                       0.08, 55);
+  SemanticDataLake lake(&bench.lake.corpus, &bench.kg.kg);
+  TypeJaccardSimilarity sim(&bench.kg.kg);
+  SearchEngine engine(&lake, &sim);
+  ThreadPool pool(4);
+  auto queries = benchgen::MakeQueries(bench.kg, 6);
+  for (const auto& gq : queries) {
+    auto serial = engine.Search(gq.query);
+    auto parallel = engine.SearchParallel(gq.query, &pool);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(serial[i].table, parallel[i].table);
+      EXPECT_DOUBLE_EQ(serial[i].score, parallel[i].score);
+    }
+  }
+}
+
+TEST(ParallelSearchTest, StatsPopulated) {
+  auto bench = benchgen::MakeBenchmark(benchgen::PresetKind::kWt2015Like,
+                                       0.05, 56);
+  SemanticDataLake lake(&bench.lake.corpus, &bench.kg.kg);
+  TypeJaccardSimilarity sim(&bench.kg.kg);
+  SearchEngine engine(&lake, &sim);
+  ThreadPool pool(2);
+  auto queries = benchgen::MakeQueries(bench.kg, 1);
+  SearchStats stats;
+  engine.SearchParallel(queries[0].query, &pool, &stats);
+  EXPECT_EQ(stats.tables_scored, bench.lake.corpus.size());
+  EXPECT_GT(stats.tables_nonzero, 0u);
+  EXPECT_GT(stats.mapping_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace thetis

@@ -1,0 +1,277 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/string_util.h"
+#include "util/top_k.h"
+
+namespace thetis {
+namespace {
+
+// --- Status / Result --------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "NotFound: missing thing");
+}
+
+TEST(StatusTest, AllFactoryCodesRoundTrip) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::Internal("boom"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+// --- Rng ---------------------------------------------------------------------
+
+TEST(RngTest, Deterministic) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU32(), b.NextU32());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU32() == b.NextU32()) ++equal;
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(6);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, GaussianMomentsRoughlyStandard) {
+  Rng rng(7);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.NextGaussian();
+    sum += g;
+    sq += g * g;
+  }
+  double mean = sum / n;
+  double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(var, 1.0, 0.1);
+}
+
+TEST(RngTest, WeightedRespectsZeroWeight) {
+  Rng rng(8);
+  std::vector<double> weights = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.NextWeighted(weights), 1u);
+  }
+}
+
+TEST(RngTest, ZipfSkewsTowardSmallIndices) {
+  Rng rng(9);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 10000; ++i) {
+    ++counts[rng.NextZipf(10, 1.2)];
+  }
+  EXPECT_GT(counts[0], counts[5]);
+  EXPECT_GT(counts[0], counts[9]);
+}
+
+TEST(RngTest, ZipfZeroExponentIsUniformish) {
+  Rng rng(10);
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 8000; ++i) ++counts[rng.NextZipf(4, 0.0)];
+  for (int c : counts) {
+    EXPECT_GT(c, 1600);
+    EXPECT_LT(c, 2400);
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(11);
+  auto sample = rng.SampleWithoutReplacement(50, 20);
+  std::set<size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 20u);
+  for (size_t s : sample) EXPECT_LT(s, 50u);
+}
+
+TEST(RngTest, SampleAllReturnsPermutation) {
+  Rng rng(12);
+  auto sample = rng.SampleWithoutReplacement(10, 10);
+  std::set<size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(13);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto original = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(14);
+  Rng child = a.Fork(1);
+  Rng a2(14);
+  Rng child2 = a2.Fork(1);
+  EXPECT_EQ(child.NextU64(), child2.NextU64());
+  Rng other = a.Fork(2);
+  EXPECT_NE(child.NextU64(), other.NextU64());
+}
+
+// --- string_util --------------------------------------------------------------
+
+TEST(StringUtilTest, ToLowerAscii) {
+  EXPECT_EQ(ToLowerAscii("MiXeD Case 123"), "mixed case 123");
+}
+
+TEST(StringUtilTest, TrimAscii) {
+  EXPECT_EQ(TrimAscii("  hi \t\n"), "hi");
+  EXPECT_EQ(TrimAscii(""), "");
+  EXPECT_EQ(TrimAscii("   "), "");
+}
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  auto parts = SplitString("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringUtilTest, JoinRoundTrips) {
+  std::vector<std::string> parts = {"x", "y", "z"};
+  EXPECT_EQ(JoinStrings(parts, ", "), "x, y, z");
+  EXPECT_EQ(JoinStrings({}, ","), "");
+}
+
+TEST(StringUtilTest, NormalizeForMatchFoldsPunctuation) {
+  EXPECT_EQ(NormalizeForMatch("Tony  Giarratano!"), "tony giarratano");
+  EXPECT_EQ(NormalizeForMatch("A--B__c"), "a b c");
+  EXPECT_EQ(NormalizeForMatch("***"), "");
+}
+
+TEST(StringUtilTest, TokenizeNormalized) {
+  auto tokens = TokenizeNormalized("Milwaukee Brewers (MLB)");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0], "milwaukee");
+  EXPECT_EQ(tokens[1], "brewers");
+  EXPECT_EQ(tokens[2], "mlb");
+}
+
+TEST(StringUtilTest, LooksNumeric) {
+  EXPECT_TRUE(LooksNumeric("42"));
+  EXPECT_TRUE(LooksNumeric("-3.5e2"));
+  EXPECT_TRUE(LooksNumeric(" 7 "));
+  EXPECT_FALSE(LooksNumeric("42abc"));
+  EXPECT_FALSE(LooksNumeric(""));
+  EXPECT_FALSE(LooksNumeric("abc"));
+}
+
+TEST(StringUtilTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(2.0, 0), "2");
+}
+
+// --- TopK ----------------------------------------------------------------------
+
+TEST(TopKTest, KeepsLargest) {
+  TopK<int> top(3);
+  for (int i = 0; i < 10; ++i) top.Push(i, static_cast<double>(i));
+  auto out = top.Extract();
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].first, 9);
+  EXPECT_EQ(out[1].first, 8);
+  EXPECT_EQ(out[2].first, 7);
+}
+
+TEST(TopKTest, TieBreaksBySmallerId) {
+  TopK<int> top(2);
+  top.Push(5, 1.0);
+  top.Push(3, 1.0);
+  top.Push(9, 1.0);
+  auto out = top.Extract();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].first, 3);
+  EXPECT_EQ(out[1].first, 5);
+}
+
+TEST(TopKTest, FewerItemsThanK) {
+  TopK<int> top(10);
+  top.Push(1, 0.5);
+  top.Push(2, 0.9);
+  auto out = top.Extract();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].first, 2);
+}
+
+TEST(TopKTest, MinScoreTracksWorstKept) {
+  TopK<int> top(2);
+  top.Push(1, 0.2);
+  top.Push(2, 0.8);
+  EXPECT_TRUE(top.Full());
+  EXPECT_DOUBLE_EQ(top.MinScore(), 0.2);
+  top.Push(3, 0.5);
+  EXPECT_DOUBLE_EQ(top.MinScore(), 0.5);
+}
+
+TEST(TopKTest, DescendingOrderProperty) {
+  Rng rng(99);
+  TopK<int> top(16);
+  for (int i = 0; i < 500; ++i) top.Push(i, rng.NextDouble());
+  auto out = top.Extract();
+  ASSERT_EQ(out.size(), 16u);
+  for (size_t i = 1; i < out.size(); ++i) {
+    EXPECT_GE(out[i - 1].second, out[i].second);
+  }
+}
+
+}  // namespace
+}  // namespace thetis
