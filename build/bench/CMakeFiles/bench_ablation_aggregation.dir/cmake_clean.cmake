@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_aggregation.dir/bench_ablation_aggregation.cc.o"
+  "CMakeFiles/bench_ablation_aggregation.dir/bench_ablation_aggregation.cc.o.d"
+  "bench_ablation_aggregation"
+  "bench_ablation_aggregation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_aggregation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_bm25_prefilter.dir/bench_ablation_bm25_prefilter.cc.o"
+  "CMakeFiles/bench_ablation_bm25_prefilter.dir/bench_ablation_bm25_prefilter.cc.o.d"
+  "bench_ablation_bm25_prefilter"
+  "bench_ablation_bm25_prefilter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_bm25_prefilter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

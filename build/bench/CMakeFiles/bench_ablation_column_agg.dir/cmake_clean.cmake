@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_column_agg.dir/bench_ablation_column_agg.cc.o"
+  "CMakeFiles/bench_ablation_column_agg.dir/bench_ablation_column_agg.cc.o.d"
+  "bench_ablation_column_agg"
+  "bench_ablation_column_agg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_column_agg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

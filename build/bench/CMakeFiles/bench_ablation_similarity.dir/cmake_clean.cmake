@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_similarity.dir/bench_ablation_similarity.cc.o"
+  "CMakeFiles/bench_ablation_similarity.dir/bench_ablation_similarity.cc.o.d"
+  "bench_ablation_similarity"
+  "bench_ablation_similarity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_similarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_recall.dir/bench_fig5_recall.cc.o"
+  "CMakeFiles/bench_fig5_recall.dir/bench_fig5_recall.cc.o.d"
+  "bench_fig5_recall"
+  "bench_fig5_recall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_recall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_coverage.dir/bench_fig6_coverage.cc.o"
+  "CMakeFiles/bench_fig6_coverage.dir/bench_fig6_coverage.cc.o.d"
+  "bench_fig6_coverage"
+  "bench_fig6_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

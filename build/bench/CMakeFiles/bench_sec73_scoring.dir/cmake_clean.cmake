@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec73_scoring.dir/bench_sec73_scoring.cc.o"
+  "CMakeFiles/bench_sec73_scoring.dir/bench_sec73_scoring.cc.o.d"
+  "bench_sec73_scoring"
+  "bench_sec73_scoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec73_scoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

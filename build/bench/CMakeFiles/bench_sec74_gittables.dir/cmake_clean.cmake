@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec74_gittables.dir/bench_sec74_gittables.cc.o"
+  "CMakeFiles/bench_sec74_gittables.dir/bench_sec74_gittables.cc.o.d"
+  "bench_sec74_gittables"
+  "bench_sec74_gittables.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec74_gittables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec74_scaling.dir/bench_sec74_scaling.cc.o"
+  "CMakeFiles/bench_sec74_scaling.dir/bench_sec74_scaling.cc.o.d"
+  "bench_sec74_scaling"
+  "bench_sec74_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec74_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

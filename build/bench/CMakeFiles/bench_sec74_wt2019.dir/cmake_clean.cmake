@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec74_wt2019.dir/bench_sec74_wt2019.cc.o"
+  "CMakeFiles/bench_sec74_wt2019.dir/bench_sec74_wt2019.cc.o.d"
+  "bench_sec74_wt2019"
+  "bench_sec74_wt2019.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec74_wt2019.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_sec74_wt2019.
+# This may be replaced when dependencies are built.

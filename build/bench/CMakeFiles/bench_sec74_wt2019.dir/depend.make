@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_sec74_wt2019.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec75_noisy_linking.dir/bench_sec75_noisy_linking.cc.o"
+  "CMakeFiles/bench_sec75_noisy_linking.dir/bench_sec75_noisy_linking.cc.o.d"
+  "bench_sec75_noisy_linking"
+  "bench_sec75_noisy_linking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec75_noisy_linking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_sec75_noisy_linking.
+# This may be replaced when dependencies are built.

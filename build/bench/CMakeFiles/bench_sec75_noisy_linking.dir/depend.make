@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_sec75_noisy_linking.
+# This may be replaced when dependencies are built.

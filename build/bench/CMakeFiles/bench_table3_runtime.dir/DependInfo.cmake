@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table3_runtime.cc" "bench/CMakeFiles/bench_table3_runtime.dir/bench_table3_runtime.cc.o" "gcc" "bench/CMakeFiles/bench_table3_runtime.dir/bench_table3_runtime.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/thetis_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/thetis_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/benchgen/CMakeFiles/thetis_benchgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/thetis_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/assignment/CMakeFiles/thetis_assignment.dir/DependInfo.cmake"
+  "/root/repo/build/src/lsh/CMakeFiles/thetis_lsh.dir/DependInfo.cmake"
+  "/root/repo/build/src/embedding/CMakeFiles/thetis_embedding.dir/DependInfo.cmake"
+  "/root/repo/build/src/semantic/CMakeFiles/thetis_semantic.dir/DependInfo.cmake"
+  "/root/repo/build/src/linking/CMakeFiles/thetis_linking.dir/DependInfo.cmake"
+  "/root/repo/build/src/kg/CMakeFiles/thetis_kg.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/thetis_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/thetis_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/thetis_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_reduction.dir/bench_table4_reduction.cc.o"
+  "CMakeFiles/bench_table4_reduction.dir/bench_table4_reduction.cc.o.d"
+  "bench_table4_reduction"
+  "bench_table4_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libthetis_bench_common.a"
+  "../lib/libthetis_bench_common.pdb"
+  "CMakeFiles/thetis_bench_common.dir/common.cc.o"
+  "CMakeFiles/thetis_bench_common.dir/common.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thetis_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libthetis_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseball_discovery.dir/baseball_discovery.cpp.o"
+  "CMakeFiles/baseball_discovery.dir/baseball_discovery.cpp.o.d"
+  "baseball_discovery"
+  "baseball_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseball_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

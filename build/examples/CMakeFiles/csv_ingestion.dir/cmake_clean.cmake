@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csv_ingestion.dir/csv_ingestion.cpp.o"
+  "CMakeFiles/csv_ingestion.dir/csv_ingestion.cpp.o.d"
+  "csv_ingestion"
+  "csv_ingestion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csv_ingestion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_lake.dir/dynamic_lake.cpp.o"
+  "CMakeFiles/dynamic_lake.dir/dynamic_lake.cpp.o.d"
+  "dynamic_lake"
+  "dynamic_lake.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_lake.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsh_prefilter_tour.dir/lsh_prefilter_tour.cpp.o"
+  "CMakeFiles/lsh_prefilter_tour.dir/lsh_prefilter_tour.cpp.o.d"
+  "lsh_prefilter_tour"
+  "lsh_prefilter_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsh_prefilter_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for lsh_prefilter_tour.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thetis_cli.dir/thetis_cli.cpp.o"
+  "CMakeFiles/thetis_cli.dir/thetis_cli.cpp.o.d"
+  "thetis_cli"
+  "thetis_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thetis_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("table")
+subdirs("kg")
+subdirs("text")
+subdirs("linking")
+subdirs("semantic")
+subdirs("embedding")
+subdirs("lsh")
+subdirs("assignment")
+subdirs("core")
+subdirs("baselines")
+subdirs("benchgen")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thetis_assignment.dir/hungarian.cc.o"
+  "CMakeFiles/thetis_assignment.dir/hungarian.cc.o.d"
+  "libthetis_assignment.a"
+  "libthetis_assignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thetis_assignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libthetis_assignment.a"
+)

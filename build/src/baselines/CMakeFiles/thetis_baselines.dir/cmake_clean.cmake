@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thetis_baselines.dir/bm25_table_search.cc.o"
+  "CMakeFiles/thetis_baselines.dir/bm25_table_search.cc.o.d"
+  "CMakeFiles/thetis_baselines.dir/structural_search.cc.o"
+  "CMakeFiles/thetis_baselines.dir/structural_search.cc.o.d"
+  "libthetis_baselines.a"
+  "libthetis_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thetis_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/benchgen/benchmark_factory.cc" "src/benchgen/CMakeFiles/thetis_benchgen.dir/benchmark_factory.cc.o" "gcc" "src/benchgen/CMakeFiles/thetis_benchgen.dir/benchmark_factory.cc.o.d"
+  "/root/repo/src/benchgen/ground_truth.cc" "src/benchgen/CMakeFiles/thetis_benchgen.dir/ground_truth.cc.o" "gcc" "src/benchgen/CMakeFiles/thetis_benchgen.dir/ground_truth.cc.o.d"
+  "/root/repo/src/benchgen/metrics.cc" "src/benchgen/CMakeFiles/thetis_benchgen.dir/metrics.cc.o" "gcc" "src/benchgen/CMakeFiles/thetis_benchgen.dir/metrics.cc.o.d"
+  "/root/repo/src/benchgen/query_gen.cc" "src/benchgen/CMakeFiles/thetis_benchgen.dir/query_gen.cc.o" "gcc" "src/benchgen/CMakeFiles/thetis_benchgen.dir/query_gen.cc.o.d"
+  "/root/repo/src/benchgen/synthetic_kg.cc" "src/benchgen/CMakeFiles/thetis_benchgen.dir/synthetic_kg.cc.o" "gcc" "src/benchgen/CMakeFiles/thetis_benchgen.dir/synthetic_kg.cc.o.d"
+  "/root/repo/src/benchgen/synthetic_lake.cc" "src/benchgen/CMakeFiles/thetis_benchgen.dir/synthetic_lake.cc.o" "gcc" "src/benchgen/CMakeFiles/thetis_benchgen.dir/synthetic_lake.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/thetis_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/embedding/CMakeFiles/thetis_embedding.dir/DependInfo.cmake"
+  "/root/repo/build/src/kg/CMakeFiles/thetis_kg.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/thetis_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/thetis_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/assignment/CMakeFiles/thetis_assignment.dir/DependInfo.cmake"
+  "/root/repo/build/src/lsh/CMakeFiles/thetis_lsh.dir/DependInfo.cmake"
+  "/root/repo/build/src/semantic/CMakeFiles/thetis_semantic.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thetis_benchgen.dir/benchmark_factory.cc.o"
+  "CMakeFiles/thetis_benchgen.dir/benchmark_factory.cc.o.d"
+  "CMakeFiles/thetis_benchgen.dir/ground_truth.cc.o"
+  "CMakeFiles/thetis_benchgen.dir/ground_truth.cc.o.d"
+  "CMakeFiles/thetis_benchgen.dir/metrics.cc.o"
+  "CMakeFiles/thetis_benchgen.dir/metrics.cc.o.d"
+  "CMakeFiles/thetis_benchgen.dir/query_gen.cc.o"
+  "CMakeFiles/thetis_benchgen.dir/query_gen.cc.o.d"
+  "CMakeFiles/thetis_benchgen.dir/synthetic_kg.cc.o"
+  "CMakeFiles/thetis_benchgen.dir/synthetic_kg.cc.o.d"
+  "CMakeFiles/thetis_benchgen.dir/synthetic_lake.cc.o"
+  "CMakeFiles/thetis_benchgen.dir/synthetic_lake.cc.o.d"
+  "libthetis_benchgen.a"
+  "libthetis_benchgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thetis_benchgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

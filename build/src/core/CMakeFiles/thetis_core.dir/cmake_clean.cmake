@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thetis_core.dir/column_mapping.cc.o"
+  "CMakeFiles/thetis_core.dir/column_mapping.cc.o.d"
+  "CMakeFiles/thetis_core.dir/extended_similarity.cc.o"
+  "CMakeFiles/thetis_core.dir/extended_similarity.cc.o.d"
+  "CMakeFiles/thetis_core.dir/search_engine.cc.o"
+  "CMakeFiles/thetis_core.dir/search_engine.cc.o.d"
+  "CMakeFiles/thetis_core.dir/semrel.cc.o"
+  "CMakeFiles/thetis_core.dir/semrel.cc.o.d"
+  "CMakeFiles/thetis_core.dir/similarity.cc.o"
+  "CMakeFiles/thetis_core.dir/similarity.cc.o.d"
+  "libthetis_core.a"
+  "libthetis_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thetis_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

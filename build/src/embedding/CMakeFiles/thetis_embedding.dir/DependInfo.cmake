@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/embedding/embedding_store.cc" "src/embedding/CMakeFiles/thetis_embedding.dir/embedding_store.cc.o" "gcc" "src/embedding/CMakeFiles/thetis_embedding.dir/embedding_store.cc.o.d"
+  "/root/repo/src/embedding/random_walks.cc" "src/embedding/CMakeFiles/thetis_embedding.dir/random_walks.cc.o" "gcc" "src/embedding/CMakeFiles/thetis_embedding.dir/random_walks.cc.o.d"
+  "/root/repo/src/embedding/skipgram.cc" "src/embedding/CMakeFiles/thetis_embedding.dir/skipgram.cc.o" "gcc" "src/embedding/CMakeFiles/thetis_embedding.dir/skipgram.cc.o.d"
+  "/root/repo/src/embedding/vector_ops.cc" "src/embedding/CMakeFiles/thetis_embedding.dir/vector_ops.cc.o" "gcc" "src/embedding/CMakeFiles/thetis_embedding.dir/vector_ops.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kg/CMakeFiles/thetis_kg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/thetis_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/thetis_table.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thetis_embedding.dir/embedding_store.cc.o"
+  "CMakeFiles/thetis_embedding.dir/embedding_store.cc.o.d"
+  "CMakeFiles/thetis_embedding.dir/random_walks.cc.o"
+  "CMakeFiles/thetis_embedding.dir/random_walks.cc.o.d"
+  "CMakeFiles/thetis_embedding.dir/skipgram.cc.o"
+  "CMakeFiles/thetis_embedding.dir/skipgram.cc.o.d"
+  "CMakeFiles/thetis_embedding.dir/vector_ops.cc.o"
+  "CMakeFiles/thetis_embedding.dir/vector_ops.cc.o.d"
+  "libthetis_embedding.a"
+  "libthetis_embedding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thetis_embedding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kg/knowledge_graph.cc" "src/kg/CMakeFiles/thetis_kg.dir/knowledge_graph.cc.o" "gcc" "src/kg/CMakeFiles/thetis_kg.dir/knowledge_graph.cc.o.d"
+  "/root/repo/src/kg/taxonomy.cc" "src/kg/CMakeFiles/thetis_kg.dir/taxonomy.cc.o" "gcc" "src/kg/CMakeFiles/thetis_kg.dir/taxonomy.cc.o.d"
+  "/root/repo/src/kg/triple_io.cc" "src/kg/CMakeFiles/thetis_kg.dir/triple_io.cc.o" "gcc" "src/kg/CMakeFiles/thetis_kg.dir/triple_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/thetis_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/thetis_table.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

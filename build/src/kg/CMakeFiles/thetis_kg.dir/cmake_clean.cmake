@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thetis_kg.dir/knowledge_graph.cc.o"
+  "CMakeFiles/thetis_kg.dir/knowledge_graph.cc.o.d"
+  "CMakeFiles/thetis_kg.dir/taxonomy.cc.o"
+  "CMakeFiles/thetis_kg.dir/taxonomy.cc.o.d"
+  "CMakeFiles/thetis_kg.dir/triple_io.cc.o"
+  "CMakeFiles/thetis_kg.dir/triple_io.cc.o.d"
+  "libthetis_kg.a"
+  "libthetis_kg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thetis_kg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

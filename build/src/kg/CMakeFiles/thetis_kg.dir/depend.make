@@ -1,0 +1,2 @@
+# Empty dependencies file for thetis_kg.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linking/entity_linker.cc" "src/linking/CMakeFiles/thetis_linking.dir/entity_linker.cc.o" "gcc" "src/linking/CMakeFiles/thetis_linking.dir/entity_linker.cc.o.d"
+  "/root/repo/src/linking/label_index.cc" "src/linking/CMakeFiles/thetis_linking.dir/label_index.cc.o" "gcc" "src/linking/CMakeFiles/thetis_linking.dir/label_index.cc.o.d"
+  "/root/repo/src/linking/noise.cc" "src/linking/CMakeFiles/thetis_linking.dir/noise.cc.o" "gcc" "src/linking/CMakeFiles/thetis_linking.dir/noise.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kg/CMakeFiles/thetis_kg.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/thetis_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/thetis_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/thetis_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

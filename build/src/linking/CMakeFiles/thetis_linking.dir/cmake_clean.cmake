@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thetis_linking.dir/entity_linker.cc.o"
+  "CMakeFiles/thetis_linking.dir/entity_linker.cc.o.d"
+  "CMakeFiles/thetis_linking.dir/label_index.cc.o"
+  "CMakeFiles/thetis_linking.dir/label_index.cc.o.d"
+  "CMakeFiles/thetis_linking.dir/noise.cc.o"
+  "CMakeFiles/thetis_linking.dir/noise.cc.o.d"
+  "libthetis_linking.a"
+  "libthetis_linking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thetis_linking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

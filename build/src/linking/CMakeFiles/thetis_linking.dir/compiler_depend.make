@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for thetis_linking.
+# This may be replaced when dependencies are built.

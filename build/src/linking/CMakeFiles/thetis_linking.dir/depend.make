@@ -1,0 +1,2 @@
+# Empty dependencies file for thetis_linking.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lsh/band_index.cc" "src/lsh/CMakeFiles/thetis_lsh.dir/band_index.cc.o" "gcc" "src/lsh/CMakeFiles/thetis_lsh.dir/band_index.cc.o.d"
+  "/root/repo/src/lsh/hyperplane.cc" "src/lsh/CMakeFiles/thetis_lsh.dir/hyperplane.cc.o" "gcc" "src/lsh/CMakeFiles/thetis_lsh.dir/hyperplane.cc.o.d"
+  "/root/repo/src/lsh/lsei.cc" "src/lsh/CMakeFiles/thetis_lsh.dir/lsei.cc.o" "gcc" "src/lsh/CMakeFiles/thetis_lsh.dir/lsei.cc.o.d"
+  "/root/repo/src/lsh/minhash.cc" "src/lsh/CMakeFiles/thetis_lsh.dir/minhash.cc.o" "gcc" "src/lsh/CMakeFiles/thetis_lsh.dir/minhash.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/embedding/CMakeFiles/thetis_embedding.dir/DependInfo.cmake"
+  "/root/repo/build/src/semantic/CMakeFiles/thetis_semantic.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/thetis_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/kg/CMakeFiles/thetis_kg.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/thetis_table.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

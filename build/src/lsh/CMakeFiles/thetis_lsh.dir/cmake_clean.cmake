@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thetis_lsh.dir/band_index.cc.o"
+  "CMakeFiles/thetis_lsh.dir/band_index.cc.o.d"
+  "CMakeFiles/thetis_lsh.dir/hyperplane.cc.o"
+  "CMakeFiles/thetis_lsh.dir/hyperplane.cc.o.d"
+  "CMakeFiles/thetis_lsh.dir/lsei.cc.o"
+  "CMakeFiles/thetis_lsh.dir/lsei.cc.o.d"
+  "CMakeFiles/thetis_lsh.dir/minhash.cc.o"
+  "CMakeFiles/thetis_lsh.dir/minhash.cc.o.d"
+  "libthetis_lsh.a"
+  "libthetis_lsh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thetis_lsh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thetis_semantic.dir/corpus_io.cc.o"
+  "CMakeFiles/thetis_semantic.dir/corpus_io.cc.o.d"
+  "CMakeFiles/thetis_semantic.dir/semantic_data_lake.cc.o"
+  "CMakeFiles/thetis_semantic.dir/semantic_data_lake.cc.o.d"
+  "libthetis_semantic.a"
+  "libthetis_semantic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thetis_semantic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

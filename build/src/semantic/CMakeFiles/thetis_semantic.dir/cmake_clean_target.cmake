@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libthetis_semantic.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/table/corpus.cc" "src/table/CMakeFiles/thetis_table.dir/corpus.cc.o" "gcc" "src/table/CMakeFiles/thetis_table.dir/corpus.cc.o.d"
+  "/root/repo/src/table/csv.cc" "src/table/CMakeFiles/thetis_table.dir/csv.cc.o" "gcc" "src/table/CMakeFiles/thetis_table.dir/csv.cc.o.d"
+  "/root/repo/src/table/table.cc" "src/table/CMakeFiles/thetis_table.dir/table.cc.o" "gcc" "src/table/CMakeFiles/thetis_table.dir/table.cc.o.d"
+  "/root/repo/src/table/value.cc" "src/table/CMakeFiles/thetis_table.dir/value.cc.o" "gcc" "src/table/CMakeFiles/thetis_table.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/thetis_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

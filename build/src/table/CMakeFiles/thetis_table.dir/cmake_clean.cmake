@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thetis_table.dir/corpus.cc.o"
+  "CMakeFiles/thetis_table.dir/corpus.cc.o.d"
+  "CMakeFiles/thetis_table.dir/csv.cc.o"
+  "CMakeFiles/thetis_table.dir/csv.cc.o.d"
+  "CMakeFiles/thetis_table.dir/table.cc.o"
+  "CMakeFiles/thetis_table.dir/table.cc.o.d"
+  "CMakeFiles/thetis_table.dir/value.cc.o"
+  "CMakeFiles/thetis_table.dir/value.cc.o.d"
+  "libthetis_table.a"
+  "libthetis_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thetis_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

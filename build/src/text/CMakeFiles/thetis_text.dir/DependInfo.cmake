@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/text/bm25.cc" "src/text/CMakeFiles/thetis_text.dir/bm25.cc.o" "gcc" "src/text/CMakeFiles/thetis_text.dir/bm25.cc.o.d"
+  "/root/repo/src/text/inverted_index.cc" "src/text/CMakeFiles/thetis_text.dir/inverted_index.cc.o" "gcc" "src/text/CMakeFiles/thetis_text.dir/inverted_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/thetis_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thetis_text.dir/bm25.cc.o"
+  "CMakeFiles/thetis_text.dir/bm25.cc.o.d"
+  "CMakeFiles/thetis_text.dir/inverted_index.cc.o"
+  "CMakeFiles/thetis_text.dir/inverted_index.cc.o.d"
+  "libthetis_text.a"
+  "libthetis_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thetis_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

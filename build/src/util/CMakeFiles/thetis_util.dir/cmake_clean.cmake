@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thetis_util.dir/logging.cc.o"
+  "CMakeFiles/thetis_util.dir/logging.cc.o.d"
+  "CMakeFiles/thetis_util.dir/rng.cc.o"
+  "CMakeFiles/thetis_util.dir/rng.cc.o.d"
+  "CMakeFiles/thetis_util.dir/status.cc.o"
+  "CMakeFiles/thetis_util.dir/status.cc.o.d"
+  "CMakeFiles/thetis_util.dir/string_util.cc.o"
+  "CMakeFiles/thetis_util.dir/string_util.cc.o.d"
+  "CMakeFiles/thetis_util.dir/thread_pool.cc.o"
+  "CMakeFiles/thetis_util.dir/thread_pool.cc.o.d"
+  "libthetis_util.a"
+  "libthetis_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thetis_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/assignment_test.dir/assignment_test.cc.o"
+  "CMakeFiles/assignment_test.dir/assignment_test.cc.o.d"
+  "assignment_test"
+  "assignment_test.pdb"
+  "assignment_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/assignment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/benchgen_test.dir/benchgen_test.cc.o"
+  "CMakeFiles/benchgen_test.dir/benchgen_test.cc.o.d"
+  "benchgen_test"
+  "benchgen_test.pdb"
+  "benchgen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/benchgen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

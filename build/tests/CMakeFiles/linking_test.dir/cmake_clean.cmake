@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linking_test.dir/linking_test.cc.o"
+  "CMakeFiles/linking_test.dir/linking_test.cc.o.d"
+  "linking_test"
+  "linking_test.pdb"
+  "linking_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linking_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

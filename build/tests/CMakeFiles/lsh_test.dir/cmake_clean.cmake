@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsh_test.dir/lsh_test.cc.o"
+  "CMakeFiles/lsh_test.dir/lsh_test.cc.o.d"
+  "lsh_test"
+  "lsh_test.pdb"
+  "lsh_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsh_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
