@@ -9,9 +9,12 @@
 //       Print corpus and KG statistics of a persisted lake.
 //
 //   thetis_cli search <dir> [--sim types|embeddings] [--k N]
-//              [--lsh] <entity label> [<entity label> ...]
+//              [--lsh] [--no-cache] [--threads N]
+//              <entity label> [<entity label> ...]
 //       Semantic table search for one entity tuple; labels must exist in
-//       the persisted KG.
+//       the persisted KG. --no-cache disables the query-scoped scoring
+//       cache (for timing comparisons); --threads N routes the query
+//       through the batched QueryExecutor on an N-worker pool.
 //
 // Exit code 0 on success, 1 on user error, 2 on IO/internal error.
 
@@ -26,11 +29,13 @@
 #include "core/search_engine.h"
 #include "core/similarity.h"
 #include "embedding/embedding_store.h"
+#include "exec/query_executor.h"
 #include "kg/triple_io.h"
 #include "lsh/lsei.h"
 #include "semantic/corpus_io.h"
 #include "semantic/semantic_data_lake.h"
 #include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 using namespace thetis;  // NOLINT: example brevity
 namespace fs = std::filesystem;
@@ -49,7 +54,7 @@ int Usage() {
                "wt2015|wt2019|gittables]\n"
                "  thetis_cli stats <dir>\n"
                "  thetis_cli search <dir> [--sim types|embeddings] [--k N] "
-               "[--lsh] <label> [...]\n");
+               "[--lsh] [--no-cache] [--threads N] <label> [...]\n");
   return 1;
 }
 
@@ -155,6 +160,8 @@ int RunSearch(const std::vector<std::string>& args) {
   std::string dir = args[0];
   bool use_embeddings = false;
   bool use_lsh = false;
+  bool use_cache = true;
+  size_t threads = 0;  // 0: direct engine call, no executor
   size_t k = 10;
   std::vector<std::string> labels;
   for (size_t i = 1; i < args.size(); ++i) {
@@ -170,6 +177,11 @@ int RunSearch(const std::vector<std::string>& args) {
       if (k == 0) return Fail("--k must be positive");
     } else if (args[i] == "--lsh") {
       use_lsh = true;
+    } else if (args[i] == "--no-cache") {
+      use_cache = false;
+    } else if (args[i] == "--threads" && i + 1 < args.size()) {
+      threads = static_cast<size_t>(std::atoi(args[++i].c_str()));
+      if (threads == 0) return Fail("--threads must be positive");
     } else {
       labels.push_back(args[i]);
     }
@@ -198,22 +210,34 @@ int RunSearch(const std::vector<std::string>& args) {
   }
   SearchOptions options;
   options.top_k = k;
+  options.enable_cache = use_cache;
   SearchEngine engine(&sem,
                       use_embeddings
                           ? static_cast<const EntitySimilarity*>(cosine.get())
                           : &types,
                       options);
 
-  Stopwatch watch;
-  std::vector<SearchHit> hits;
-  SearchStats stats;
+  std::unique_ptr<Lsei> lsei;
   if (use_lsh) {
     LseiOptions lsh;
     lsh.mode = use_embeddings ? LseiMode::kEmbeddings : LseiMode::kTypes;
     lsh.num_functions = 30;
     lsh.band_size = 10;
-    Lsei lsei(&sem, lake.embeddings.get(), lsh);
-    PrefilteredSearchEngine fast(&engine, &lsei, /*votes=*/3);
+    lsei = std::make_unique<Lsei>(&sem, lake.embeddings.get(), lsh);
+  }
+
+  Stopwatch watch;
+  std::vector<SearchHit> hits;
+  SearchStats stats;
+  if (threads > 0) {
+    ThreadPool pool(threads);
+    QueryExecutor executor(&engine, &pool);
+    if (lsei) executor.EnablePrefilter(lsei.get(), /*votes=*/3);
+    QueryResult result = executor.Execute(query);
+    hits = std::move(result.hits);
+    stats = result.stats;
+  } else if (lsei) {
+    PrefilteredSearchEngine fast(&engine, lsei.get(), /*votes=*/3);
     hits = fast.Search(query, &stats);
   } else {
     hits = engine.Search(query, &stats);
@@ -229,6 +253,23 @@ int RunSearch(const std::vector<std::string>& args) {
                          "% pruned by LSH")
                             .c_str()
                       : "");
+  if (use_cache) {
+    size_t sim_lookups = stats.sim_cache_hits + stats.sim_cache_misses;
+    size_t map_lookups =
+        stats.mapping_cache_hits + stats.mapping_cache_misses;
+    std::printf("cache: sigma %zu/%zu hits (%.0f%%), mappings %zu/%zu reused"
+                " (%.0f%%)\n",
+                stats.sim_cache_hits, sim_lookups,
+                sim_lookups == 0 ? 0.0
+                                 : 100.0 * static_cast<double>(
+                                       stats.sim_cache_hits) /
+                                       static_cast<double>(sim_lookups),
+                stats.mapping_cache_hits, map_lookups,
+                map_lookups == 0 ? 0.0
+                                 : 100.0 * static_cast<double>(
+                                       stats.mapping_cache_hits) /
+                                       static_cast<double>(map_lookups));
+  }
   for (const SearchHit& hit : hits) {
     std::printf("  %8.4f  %s\n", hit.score,
                 lake.corpus.table(hit.table).name().c_str());

@@ -9,6 +9,13 @@ namespace thetis {
 
 AssignmentResult SolveMaxAssignment(
     const std::vector<std::vector<double>>& scores) {
+  HungarianScratch scratch;
+  return SolveMaxAssignment(scores, scratch);
+}
+
+AssignmentResult SolveMaxAssignment(
+    const std::vector<std::vector<double>>& scores,
+    HungarianScratch& scratch) {
   AssignmentResult result;
   size_t k = scores.size();
   if (k == 0) return result;
@@ -30,16 +37,22 @@ AssignmentResult SolveMaxAssignment(
 
   // Shortest-augmenting-path Hungarian algorithm (1-indexed potentials).
   const double kInf = std::numeric_limits<double>::infinity();
-  std::vector<double> u(m + 1, 0.0);   // row potentials
-  std::vector<double> v(m + 1, 0.0);   // column potentials
-  std::vector<size_t> match(m + 1, 0);  // match[j] = row matched to column j
-  std::vector<size_t> way(m + 1, 0);
+  std::vector<double>& u = scratch.u;       // row potentials
+  std::vector<double>& v = scratch.v;       // column potentials
+  std::vector<size_t>& match = scratch.match;  // match[j] = row at column j
+  std::vector<size_t>& way = scratch.way;
+  std::vector<double>& minv = scratch.minv;
+  std::vector<bool>& used = scratch.used;
+  u.assign(m + 1, 0.0);
+  v.assign(m + 1, 0.0);
+  match.assign(m + 1, 0);
+  way.assign(m + 1, 0);
 
   for (size_t i = 1; i <= m; ++i) {
     match[0] = i;
     size_t j0 = 0;
-    std::vector<double> minv(m + 1, kInf);
-    std::vector<bool> used(m + 1, false);
+    minv.assign(m + 1, kInf);
+    used.assign(m + 1, false);
     do {
       used[j0] = true;
       size_t i0 = match[j0];

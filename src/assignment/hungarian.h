@@ -19,10 +19,29 @@ struct AssignmentResult {
 // mapping τ of Section 5.1: each query entity must map to a distinct column
 // so that the summed column-relevance score is maximal.
 //
+// Reusable solver workspace. Every vector is fully re-assigned per solve;
+// passing the same instance to repeated calls only reuses capacity, so
+// results are identical to the scratch-free overload. Callers in the
+// scoring hot path (one solve per query tuple per table) use this to avoid
+// re-allocating six workspace vectors per solve.
+struct HungarianScratch {
+  std::vector<double> u;
+  std::vector<double> v;
+  std::vector<double> minv;
+  std::vector<std::size_t> match;
+  std::vector<std::size_t> way;
+  std::vector<bool> used;
+};
+
 // The matrix may be rectangular; rows and columns beyond min(k, n) stay
 // unmatched. Scores may be any finite doubles.
 AssignmentResult SolveMaxAssignment(
     const std::vector<std::vector<double>>& scores);
+
+// Identical result, caller-owned workspace.
+AssignmentResult SolveMaxAssignment(
+    const std::vector<std::vector<double>>& scores,
+    HungarianScratch& scratch);
 
 }  // namespace thetis
 

@@ -1,40 +1,11 @@
 #include "core/column_mapping.h"
 
-#include "assignment/hungarian.h"
-
 namespace thetis {
 
 ColumnMapping MapQueryTupleToColumns(const std::vector<EntityId>& query_tuple,
                                      const Table& table,
                                      const EntitySimilarity& sim) {
-  ColumnMapping mapping;
-  size_t k = query_tuple.size();
-  size_t n = table.num_columns();
-  mapping.column_of_entity.assign(k, -1);
-  if (k == 0 || n == 0) return mapping;
-
-  // Column-relevance score matrix S (Section 5.1).
-  std::vector<std::vector<double>> scores(k, std::vector<double>(n, 0.0));
-  for (size_t c = 0; c < n; ++c) {
-    for (size_t r = 0; r < table.num_rows(); ++r) {
-      EntityId cell_entity = table.link(r, c);
-      if (cell_entity == kNoEntity) continue;
-      for (size_t i = 0; i < k; ++i) {
-        if (query_tuple[i] == kNoEntity) continue;
-        scores[i][c] += sim.Score(query_tuple[i], cell_entity);
-      }
-    }
-  }
-
-  AssignmentResult assignment = SolveMaxAssignment(scores);
-  for (size_t i = 0; i < k; ++i) {
-    int c = assignment.column_of_row[i];
-    if (c >= 0 && scores[i][static_cast<size_t>(c)] > 0.0) {
-      mapping.column_of_entity[i] = c;
-      mapping.total_score += scores[i][static_cast<size_t>(c)];
-    }
-  }
-  return mapping;
+  return MapQueryTupleToColumnsWith(query_tuple, table, sim);
 }
 
 }  // namespace thetis

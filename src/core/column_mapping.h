@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "assignment/hungarian.h"
 #include "core/similarity.h"
 #include "table/table.h"
 
@@ -25,6 +26,67 @@ struct ColumnMapping {
 // method. Columns with zero cumulative similarity are never assigned
 // (mapping stays -1 for entities whose best column scores 0), matching the
 // σ > 0 requirement on relevant mappings.
+//
+// Caller-owned workspace for MapQueryTupleToColumnsScratch: the k x n
+// column-relevance matrix plus the Hungarian solver's internal vectors.
+// Fully overwritten on every call; reusing one instance across tables
+// avoids a per-(tuple, table) allocation storm on large lakes.
+struct MappingScratch {
+  std::vector<std::vector<double>> scores;
+  HungarianScratch hungarian;
+};
+
+// Templated over the concrete similarity type: passing a final class (e.g.
+// SimilarityMemo) devirtualizes and inlines the σ call in the innermost
+// matrix loop, which dominates the per-table cost once σ itself is cached.
+template <typename Sim>
+ColumnMapping MapQueryTupleToColumnsScratch(
+    const std::vector<EntityId>& query_tuple, const Table& table,
+    const Sim& sim, MappingScratch& scratch) {
+  std::vector<std::vector<double>>& scores = scratch.scores;
+  ColumnMapping mapping;
+  size_t k = query_tuple.size();
+  size_t n = table.num_columns();
+  mapping.column_of_entity.assign(k, -1);
+  if (k == 0 || n == 0) return mapping;
+
+  // Column-relevance score matrix S (Section 5.1). Rows outermost: links
+  // are stored row-major, so this walks each table row sequentially. For
+  // any fixed (i, c) the contributions still accumulate in ascending row
+  // order, so the sums are bit-identical to a column-outer walk.
+  scores.resize(k);
+  for (auto& row : scores) row.assign(n, 0.0);
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < n; ++c) {
+      EntityId cell_entity = table.link(r, c);
+      if (cell_entity == kNoEntity) continue;
+      for (size_t i = 0; i < k; ++i) {
+        if (query_tuple[i] == kNoEntity) continue;
+        scores[i][c] += sim.Score(query_tuple[i], cell_entity);
+      }
+    }
+  }
+
+  AssignmentResult assignment = SolveMaxAssignment(scores, scratch.hungarian);
+  for (size_t i = 0; i < k; ++i) {
+    int c = assignment.column_of_row[i];
+    if (c >= 0 && scores[i][static_cast<size_t>(c)] > 0.0) {
+      mapping.column_of_entity[i] = c;
+      mapping.total_score += scores[i][static_cast<size_t>(c)];
+    }
+  }
+  return mapping;
+}
+
+template <typename Sim>
+ColumnMapping MapQueryTupleToColumnsWith(
+    const std::vector<EntityId>& query_tuple, const Table& table,
+    const Sim& sim) {
+  MappingScratch scratch;
+  return MapQueryTupleToColumnsScratch(query_tuple, table, sim, scratch);
+}
+
+// Type-erased entry point (virtual σ dispatch per cell).
 ColumnMapping MapQueryTupleToColumns(const std::vector<EntityId>& query_tuple,
                                      const Table& table,
                                      const EntitySimilarity& sim);

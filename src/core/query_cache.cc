@@ -1,0 +1,65 @@
+#include "core/query_cache.h"
+
+#include <algorithm>
+
+namespace thetis {
+
+size_t QueryScopedCache::VectorHash::operator()(
+    const std::vector<EntityId>& v) const {
+  // FNV-1a over the entity ids; collisions only cost an equality check.
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (EntityId e : v) {
+    h ^= e;
+    h *= 0x100000001b3ull;
+  }
+  return static_cast<size_t>(h);
+}
+
+QueryScopedCache::QueryScopedCache(const EntitySimilarity* base)
+    : memo_(base) {}
+
+uint32_t QueryScopedCache::SignatureOf(const Table& table, TableId table_id) {
+  auto cached = table_signatures_.find(table_id);
+  if (cached != table_signatures_.end()) return cached->second;
+
+  // Flatten the per-column sorted entity multisets, kNoEntity-separated.
+  // Column order matters: mappings index columns positionally. Row order
+  // inside a column does not: the column-relevance matrix sums over cells.
+  // The column count leads the signature: without it, a 1-column 3-row
+  // table and a 2-column 1-row table can flatten to the same sequence.
+  std::vector<EntityId> flat;
+  flat.reserve(table.num_rows() * table.num_columns() + table.num_columns() +
+               1);
+  flat.push_back(static_cast<EntityId>(table.num_columns()));
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    std::vector<EntityId> column = table.ColumnEntities(c);
+    std::sort(column.begin(), column.end());
+    flat.insert(flat.end(), column.begin(), column.end());
+    flat.push_back(kNoEntity);
+  }
+  uint32_t id = static_cast<uint32_t>(signature_ids_.size());
+  auto [it, inserted] = signature_ids_.emplace(std::move(flat), id);
+  table_signatures_.emplace(table_id, it->second);
+  return it->second;
+}
+
+const ColumnMapping& QueryScopedCache::MappingFor(
+    size_t tuple_index, const std::vector<EntityId>& tuple, const Table& table,
+    TableId table_id) {
+  uint64_t key = (static_cast<uint64_t>(tuple_index) << 32) |
+                 static_cast<uint64_t>(SignatureOf(table, table_id));
+  auto it = mappings_.find(key);
+  if (it != mappings_.end()) {
+    ++mapping_hits_;
+    return it->second;
+  }
+  ++mapping_misses_;
+  // Concrete memo type: σ probes inline inside the matrix loop. The matrix
+  // scratch is reused across tables for the lifetime of the query.
+  return mappings_
+      .emplace(key, MapQueryTupleToColumnsScratch(tuple, table, memo_,
+                                                  mapping_scratch_))
+      .first->second;
+}
+
+}  // namespace thetis

@@ -1,6 +1,7 @@
 #include "core/search_engine.h"
 
 #include <algorithm>
+#include <memory>
 #include <unordered_set>
 
 #include "core/column_mapping.h"
@@ -43,56 +44,98 @@ SearchEngine::SearchEngine(const SemanticDataLake* lake,
 
 double SearchEngine::ScoreTable(const Query& query, TableId table_id,
                                 double* mapping_seconds) const {
-  return ScoreTableImpl(query, table_id, mapping_seconds, nullptr);
+  return ScoreTableImpl(query, table_id, mapping_seconds, nullptr, nullptr);
 }
 
 Explanation SearchEngine::Explain(const Query& query, TableId table_id) const {
   Explanation explanation;
   explanation.table = table_id;
-  explanation.score = ScoreTableImpl(query, table_id, nullptr, &explanation);
+  explanation.score =
+      ScoreTableImpl(query, table_id, nullptr, &explanation, nullptr);
   return explanation;
 }
 
+namespace {
+
+// Lines 7-13 of Algorithm 1: per-row σ of each query entity against its
+// mapped column, keeping both the running sum (kAvg) and max (kMax) plus the
+// best-matching cell entity. Templated on the concrete similarity type so
+// the cached path (SimilarityMemo, a final class) inlines the σ probe.
+template <typename Sim>
+void AggregateRows(const Table& table, const std::vector<EntityId>& tq,
+                   const ColumnMapping& mapping, const Sim& sim,
+                   std::vector<double>& agg, std::vector<double>& sums,
+                   std::vector<EntityId>& best_match) {
+  size_t m = tq.size();
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t i = 0; i < m; ++i) {
+      int c = mapping.column_of_entity[i];
+      if (c < 0 || tq[i] == kNoEntity) continue;
+      EntityId cell = table.link(r, static_cast<size_t>(c));
+      if (cell == kNoEntity) continue;
+      double s = sim.Score(tq[i], cell);
+      sums[i] += s;
+      if (s > agg[i]) {
+        agg[i] = s;
+        best_match[i] = cell;
+      }
+    }
+  }
+}
+
+}  // namespace
+
 double SearchEngine::ScoreTableImpl(const Query& query, TableId table_id,
                                     double* mapping_seconds,
-                                    Explanation* explanation) const {
+                                    Explanation* explanation,
+                                    QueryScopedCache* cache) const {
   const Table& table = lake_->corpus().table(table_id);
   if (query.tuples.empty() || table.num_rows() == 0) return 0.0;
+
+  // Aggregation buffers: query-scoped scratch when a cache is present (this
+  // function runs once per table, and fresh allocations here dominate the
+  // arithmetic on large lakes), locals otherwise.
+  QueryScopedCache::RowScratch local_scratch;
+  QueryScopedCache::RowScratch& scratch =
+      cache != nullptr ? cache->row_scratch() : local_scratch;
 
   double tuple_score_sum = 0.0;
   size_t counted_tuples = 0;
   bool any_relevant = false;
 
-  for (const auto& tq : query.tuples) {
+  for (size_t tuple_index = 0; tuple_index < query.tuples.size();
+       ++tuple_index) {
+    const auto& tq = query.tuples[tuple_index];
     if (tq.empty()) continue;
     ++counted_tuples;
 
-    // Line 5: Hungarian column mapping for this query tuple.
+    // Line 5: Hungarian column mapping for this query tuple, reused across
+    // tables with identical column signatures when a cache is present.
     Stopwatch mapping_watch;
-    ColumnMapping mapping = MapQueryTupleToColumns(tq, table, *sim_);
+    ColumnMapping local_mapping;
+    const ColumnMapping* mapping_ptr;
+    if (cache != nullptr) {
+      mapping_ptr = &cache->MappingFor(tuple_index, tq, table, table_id);
+    } else {
+      local_mapping = MapQueryTupleToColumns(tq, table, *sim_);
+      mapping_ptr = &local_mapping;
+    }
+    const ColumnMapping& mapping = *mapping_ptr;
     if (mapping_seconds != nullptr) {
       *mapping_seconds += mapping_watch.ElapsedSeconds();
     }
 
-    // Lines 7-13: per-row σ scores for each query entity against its mapped
-    // column, aggregated across rows.
     size_t m = tq.size();
-    std::vector<double> agg(m, 0.0);
-    std::vector<double> sums(m, 0.0);
-    std::vector<EntityId> best_match(m, kNoEntity);
-    for (size_t r = 0; r < table.num_rows(); ++r) {
-      for (size_t i = 0; i < m; ++i) {
-        int c = mapping.column_of_entity[i];
-        if (c < 0 || tq[i] == kNoEntity) continue;
-        EntityId cell = table.link(r, static_cast<size_t>(c));
-        if (cell == kNoEntity) continue;
-        double s = sim_->Score(tq[i], cell);
-        sums[i] += s;
-        if (s > agg[i]) {
-          agg[i] = s;
-          best_match[i] = cell;
-        }
-      }
+    std::vector<double>& agg = scratch.agg;
+    std::vector<double>& sums = scratch.sums;
+    std::vector<EntityId>& best_match = scratch.best_match;
+    agg.assign(m, 0.0);
+    sums.assign(m, 0.0);
+    best_match.assign(m, kNoEntity);
+    if (cache != nullptr) {
+      AggregateRows(table, tq, mapping, cache->sim(), agg, sums, best_match);
+    } else {
+      AggregateRows(table, tq, mapping, *sim_, agg, sums, best_match);
     }
     if (options_.aggregation == RowAggregation::kAvg) {
       for (size_t i = 0; i < m; ++i) {
@@ -104,7 +147,8 @@ double SearchEngine::ScoreTableImpl(const Query& query, TableId table_id,
     }
 
     // Line 14: weighted Euclidean distance converted to a similarity.
-    std::vector<double> weights(m, 1.0);
+    std::vector<double>& weights = scratch.weights;
+    weights.assign(m, 1.0);
     if (options_.use_informativeness) {
       for (size_t i = 0; i < m; ++i) {
         weights[i] =
@@ -135,15 +179,46 @@ double SearchEngine::ScoreTableImpl(const Query& query, TableId table_id,
   return tuple_score_sum / static_cast<double>(counted_tuples);
 }
 
+namespace {
+
+// Fills the prefilter-independent stats fields shared by the serial and
+// parallel candidate loops.
+void FillCandidateStats(const SemanticDataLake& lake, size_t num_candidates,
+                        size_t nonzero, double total_seconds,
+                        double mapping_seconds, SearchStats* stats) {
+  stats->tables_scored = num_candidates;
+  stats->tables_nonzero = nonzero;
+  stats->total_seconds = total_seconds;
+  stats->mapping_seconds = mapping_seconds;
+  stats->candidate_count = num_candidates;
+  size_t corpus_size = lake.corpus().size();
+  stats->search_space_reduction =
+      corpus_size == 0 ? 0.0
+                       : 1.0 - static_cast<double>(num_candidates) /
+                                   static_cast<double>(corpus_size);
+}
+
+void AddCacheStats(const QueryScopedCache& cache, SearchStats* stats) {
+  stats->sim_cache_hits += cache.sim_hits();
+  stats->sim_cache_misses += cache.sim_misses();
+  stats->mapping_cache_hits += cache.mapping_hits();
+  stats->mapping_cache_misses += cache.mapping_misses();
+}
+
+}  // namespace
+
 std::vector<SearchHit> SearchEngine::SearchCandidates(
     const Query& query, const std::vector<TableId>& candidates,
     SearchStats* stats) const {
   Stopwatch watch;
   double mapping_seconds = 0.0;
+  std::unique_ptr<QueryScopedCache> cache;
+  if (options_.enable_cache) cache = std::make_unique<QueryScopedCache>(sim_);
   TopK<TableId> top(std::max<size_t>(1, options_.top_k));
   size_t nonzero = 0;
   for (TableId id : candidates) {
-    double score = ScoreTable(query, id, &mapping_seconds);
+    double score =
+        ScoreTableImpl(query, id, &mapping_seconds, nullptr, cache.get());
     if (score > 0.0) {
       ++nonzero;
       top.Push(id, score);
@@ -154,17 +229,9 @@ std::vector<SearchHit> SearchEngine::SearchCandidates(
     hits.push_back(SearchHit{id, score});
   }
   if (stats != nullptr) {
-    stats->tables_scored = candidates.size();
-    stats->tables_nonzero = nonzero;
-    stats->total_seconds = watch.ElapsedSeconds();
-    stats->mapping_seconds = mapping_seconds;
-    stats->candidate_count = candidates.size();
-    size_t corpus_size = lake_->corpus().size();
-    stats->search_space_reduction =
-        corpus_size == 0
-            ? 0.0
-            : 1.0 - static_cast<double>(candidates.size()) /
-                        static_cast<double>(corpus_size);
+    FillCandidateStats(*lake_, candidates.size(), nonzero,
+                       watch.ElapsedSeconds(), mapping_seconds, stats);
+    if (cache != nullptr) AddCacheStats(*cache, stats);
   }
   return hits;
 }
@@ -177,6 +244,9 @@ std::vector<SearchHit> SearchEngine::SearchCandidatesParallel(
   size_t workers = pool->num_threads();
   struct Local {
     TopK<TableId> top;
+    // Worker-private cache: lock-free because each stripe is scored by
+    // exactly one ParallelFor index (null when caching is disabled).
+    std::unique_ptr<QueryScopedCache> cache;
     double mapping_seconds = 0.0;
     size_t nonzero = 0;
     explicit Local(size_t k) : top(k) {}
@@ -185,6 +255,9 @@ std::vector<SearchHit> SearchEngine::SearchCandidatesParallel(
   locals.reserve(workers + 1);
   for (size_t i = 0; i <= workers; ++i) {
     locals.emplace_back(std::max<size_t>(1, options_.top_k));
+    if (options_.enable_cache) {
+      locals.back().cache = std::make_unique<QueryScopedCache>(sim_);
+    }
   }
   // Stripe candidates over slots; each ParallelFor index owns one stripe so
   // no synchronization is needed inside the scoring loop.
@@ -192,8 +265,9 @@ std::vector<SearchHit> SearchEngine::SearchCandidatesParallel(
   pool->ParallelFor(stripes, [&](size_t stripe) {
     Local& local = locals[stripe];
     for (size_t i = stripe; i < candidates.size(); i += stripes) {
-      double score =
-          ScoreTable(query, candidates[i], &local.mapping_seconds);
+      double score = ScoreTableImpl(query, candidates[i],
+                                    &local.mapping_seconds, nullptr,
+                                    local.cache.get());
       if (score > 0.0) {
         ++local.nonzero;
         local.top.Push(candidates[i], score);
@@ -217,17 +291,11 @@ std::vector<SearchHit> SearchEngine::SearchCandidatesParallel(
     hits.push_back(SearchHit{id, score});
   }
   if (stats != nullptr) {
-    stats->tables_scored = candidates.size();
-    stats->tables_nonzero = nonzero;
-    stats->total_seconds = watch.ElapsedSeconds();
-    stats->mapping_seconds = mapping_seconds;
-    stats->candidate_count = candidates.size();
-    size_t corpus_size = lake_->corpus().size();
-    stats->search_space_reduction =
-        corpus_size == 0
-            ? 0.0
-            : 1.0 - static_cast<double>(candidates.size()) /
-                        static_cast<double>(corpus_size);
+    FillCandidateStats(*lake_, candidates.size(), nonzero,
+                       watch.ElapsedSeconds(), mapping_seconds, stats);
+    for (const Local& local : locals) {
+      if (local.cache != nullptr) AddCacheStats(*local.cache, stats);
+    }
   }
   return hits;
 }

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "core/query_cache.h"
 #include "core/semrel.h"
 #include "core/similarity.h"
 #include "lsh/lsei.h"
@@ -35,6 +36,11 @@ struct SearchOptions {
   // Weight query entities by corpus informativeness I(e) (Eq. 2); when
   // false all weights are 1.
   bool use_informativeness = true;
+  // Memoize σ pairs and Hungarian mappings for the lifetime of each query
+  // (one QueryScopedCache per worker). Caching is exact — rankings are
+  // bit-identical with it on or off — so this is on by default; turn it
+  // off to measure the uncached baseline.
+  bool enable_cache = true;
 };
 
 // One ranked result.
@@ -85,6 +91,13 @@ struct SearchStats {
   size_t candidate_count = 0;
   // 1 - candidates/corpus when a prefilter ran, else 0.
   double search_space_reduction = 0.0;
+  // Query-scoped cache effectiveness (all zero when caching is disabled).
+  // σ pair lookups served from / added to the SimilarityMemo:
+  size_t sim_cache_hits = 0;
+  size_t sim_cache_misses = 0;
+  // Hungarian mappings reused via the column-signature cache / solved fresh:
+  size_t mapping_cache_hits = 0;
+  size_t mapping_cache_misses = 0;
 };
 
 // The exact semantic table search engine of Algorithm 1. Scores every
@@ -133,10 +146,12 @@ class SearchEngine {
   Explanation Explain(const Query& query, TableId table) const;
 
  private:
-  // Shared implementation of ScoreTable/Explain; `explanation` may be null.
+  // Shared implementation of ScoreTable/Explain; `explanation` and `cache`
+  // may be null. With a cache, σ scores and Hungarian mappings are memoized
+  // query-wide; the results are bit-identical either way.
   double ScoreTableImpl(const Query& query, TableId table,
-                        double* mapping_seconds,
-                        Explanation* explanation) const;
+                        double* mapping_seconds, Explanation* explanation,
+                        QueryScopedCache* cache) const;
 
   const SemanticDataLake* lake_;
   const EntitySimilarity* sim_;

@@ -1,0 +1,56 @@
+#include "core/similarity_memo.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace thetis {
+namespace {
+
+// Next power of two >= n (n >= 1).
+size_t RoundUpPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+SimilarityMemo::SimilarityMemo(const EntitySimilarity* base,
+                               size_t expected_pairs)
+    : base_(base) {
+  THETIS_CHECK(base != nullptr);
+  // 2x headroom keeps the load factor under 50% at the expected size.
+  slots_.assign(RoundUpPow2(std::max<size_t>(16, expected_pairs * 2)),
+                Slot{kEmptySlot, 0.0});
+}
+
+void SimilarityMemo::Clear() {
+  for (Slot& slot : slots_) slot = Slot{kEmptySlot, 0.0};
+  size_ = 0;
+  hits_ = 0;
+  misses_ = 0;
+}
+
+void SimilarityMemo::Grow() const {
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(old.size() * 2, Slot{kEmptySlot, 0.0});
+  size_t mask = slots_.size() - 1;
+  for (const Slot& slot : old) {
+    if (slot.key == kEmptySlot) continue;
+    size_t i = SpreadKey(slot.key, mask);
+    while (slots_[i].key != kEmptySlot) i = (i + 1) & mask;
+    slots_[i] = slot;
+  }
+}
+
+double SimilarityMemo::Miss(uint64_t key, size_t i, EntityId a,
+                            EntityId b) const {
+  ++misses_;
+  double value = base_->Score(a, b);
+  slots_[i] = Slot{key, value};
+  if (++size_ * 2 > slots_.size()) Grow();
+  return value;
+}
+
+}  // namespace thetis

@@ -1,0 +1,96 @@
+#ifndef THETIS_CORE_SIMILARITY_MEMO_H_
+#define THETIS_CORE_SIMILARITY_MEMO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/similarity.h"
+
+namespace thetis {
+
+// Memoizing wrapper around any EntitySimilarity. σ is pure (TypeJaccard set
+// intersections and embedding dot products depend only on the entity pair),
+// so caching the (a, b) -> σ(a, b) map is exact: Score returns bit-identical
+// values to the wrapped similarity, first call and every call after.
+//
+// The table is a flat open-addressing hash keyed on the packed pair id —
+// no buckets, no allocation per insert, linear probing with a fibonacci
+// spread. It is deliberately NOT synchronized: the intended lifetime is one
+// query on one worker thread (the search engine creates one memo per worker
+// stripe), which keeps the hot path lock-free.
+class SimilarityMemo final : public EntitySimilarity {
+ public:
+  // `base` is borrowed and must outlive the memo. `expected_pairs` presizes
+  // the table (rounded up to a power of two); it grows as needed.
+  explicit SimilarityMemo(const EntitySimilarity* base,
+                          size_t expected_pairs = 1024);
+
+  // Defined inline (and the class is final) so callers holding a concrete
+  // SimilarityMemo get a devirtualized, fully inlined probe on the hit
+  // path — the common case once a query warms up.
+  double Score(EntityId a, EntityId b) const override {
+    uint64_t key = PackKey(a, b);
+    if (key == kEmptySlot) return base_->Score(a, b);
+    size_t mask = slots_.size() - 1;
+    size_t i = SpreadKey(key, mask);
+    while (slots_[i].key != kEmptySlot) {
+      if (slots_[i].key == key) {
+        ++hits_;
+        return slots_[i].value;
+      }
+      i = (i + 1) & mask;
+    }
+    return Miss(key, i, a, b);
+  }
+  std::string name() const override { return base_->name() + "+memo"; }
+
+  const EntitySimilarity& base() const { return *base_; }
+
+  // Cache effectiveness counters, feeding SearchStats.
+  size_t hits() const { return hits_; }
+  size_t misses() const { return misses_; }
+  // Number of distinct pairs currently cached.
+  size_t size() const { return size_; }
+
+  // Drops all cached pairs and counters (reuse across queries).
+  void Clear();
+
+ private:
+  struct Slot {
+    uint64_t key;
+    double value;
+  };
+  // (kNoEntity, kNoEntity) — the engine never scores kNoEntity, so this key
+  // marks an empty slot. Pairs that do collide with it bypass the cache.
+  static constexpr uint64_t kEmptySlot = ~0ull;
+
+  static uint64_t PackKey(EntityId a, EntityId b) {
+    return (static_cast<uint64_t>(a) << 32) | static_cast<uint64_t>(b);
+  }
+
+  // Fibonacci multiplicative spread: the packed pair key is sequential-ish
+  // in both halves, so multiply by 2^64/φ before masking to the table size.
+  static size_t SpreadKey(uint64_t key, size_t mask) {
+    return static_cast<size_t>((key * 0x9e3779b97f4a7c15ull) >> 17) & mask;
+  }
+
+  // Cold path: computes via the base similarity, inserts at the probed slot
+  // `i`, and grows the table when the load factor crosses 1/2.
+  double Miss(uint64_t key, size_t i, EntityId a, EntityId b) const;
+
+  // Doubles the table, rehashing all occupied slots.
+  void Grow() const;
+
+  const EntitySimilarity* base_;
+  // Score() is conceptually const (same observable values as base_), so the
+  // cache state is mutable.
+  mutable std::vector<Slot> slots_;
+  mutable size_t size_ = 0;
+  mutable size_t hits_ = 0;
+  mutable size_t misses_ = 0;
+};
+
+}  // namespace thetis
+
+#endif  // THETIS_CORE_SIMILARITY_MEMO_H_

@@ -1,0 +1,65 @@
+#include "exec/query_executor.h"
+
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace thetis {
+
+QueryExecutor::QueryExecutor(const SearchEngine* engine, ThreadPool* pool)
+    : engine_(engine), pool_(pool) {
+  THETIS_CHECK(engine != nullptr && pool != nullptr);
+}
+
+void QueryExecutor::EnablePrefilter(const Lsei* lsei, size_t votes) {
+  THETIS_CHECK(lsei != nullptr);
+  THETIS_CHECK(votes >= 1);
+  lsei_ = lsei;
+  votes_ = votes;
+}
+
+QueryResult QueryExecutor::Execute(const Query& query) const {
+  QueryResult result;
+  if (lsei_ != nullptr) {
+    Stopwatch watch;
+    std::vector<TableId> candidates =
+        lsei_->CandidateTablesForQuery(query.tuples, votes_);
+    result.hits = engine_->SearchCandidates(query, candidates, &result.stats);
+    // Include the LSH lookup in the total, as PrefilteredSearchEngine does.
+    result.stats.total_seconds = watch.ElapsedSeconds();
+  } else {
+    result.hits = engine_->Search(query, &result.stats);
+  }
+  return result;
+}
+
+std::vector<QueryResult> QueryExecutor::ExecuteBatch(
+    const std::vector<Query>& queries) const {
+  std::vector<QueryResult> results(queries.size());
+  // One index per query: whole queries never split across workers, so each
+  // query's cache stays worker-private and per-query stats are exact.
+  pool_->ParallelFor(queries.size(),
+                     [&](size_t i) { results[i] = Execute(queries[i]); });
+  return results;
+}
+
+SearchStats SumBatchStats(const std::vector<QueryResult>& results) {
+  SearchStats total;
+  for (const QueryResult& r : results) {
+    total.tables_scored += r.stats.tables_scored;
+    total.tables_nonzero += r.stats.tables_nonzero;
+    total.total_seconds += r.stats.total_seconds;
+    total.mapping_seconds += r.stats.mapping_seconds;
+    total.candidate_count += r.stats.candidate_count;
+    total.search_space_reduction += r.stats.search_space_reduction;
+    total.sim_cache_hits += r.stats.sim_cache_hits;
+    total.sim_cache_misses += r.stats.sim_cache_misses;
+    total.mapping_cache_hits += r.stats.mapping_cache_hits;
+    total.mapping_cache_misses += r.stats.mapping_cache_misses;
+  }
+  if (!results.empty()) {
+    total.search_space_reduction /= static_cast<double>(results.size());
+  }
+  return total;
+}
+
+}  // namespace thetis

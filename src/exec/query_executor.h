@@ -1,0 +1,60 @@
+#ifndef THETIS_EXEC_QUERY_EXECUTOR_H_
+#define THETIS_EXEC_QUERY_EXECUTOR_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/search_engine.h"
+#include "lsh/lsei.h"
+#include "util/thread_pool.h"
+
+namespace thetis {
+
+// One query's outcome within a batch.
+struct QueryResult {
+  std::vector<SearchHit> hits;
+  SearchStats stats;
+};
+
+// Batched query execution — the serving-side counterpart to the per-query
+// SearchEngine API. A production deployment answers many queries against
+// one lake, so the natural unit of parallelism is the query, not the table:
+// each query runs the serial engine path on one worker with its own
+// query-scoped cache (σ memo + mapping signature cache), which keeps caches
+// lock-free and results identical to SearchEngine::Search /
+// PrefilteredSearchEngine::Search query by query.
+//
+// All pointers are borrowed and must outlive the executor.
+class QueryExecutor {
+ public:
+  QueryExecutor(const SearchEngine* engine, ThreadPool* pool);
+
+  // Routes every query through the LSEI prefilter (Section 6) before exact
+  // scoring. The index must be built over the engine's lake.
+  void EnablePrefilter(const Lsei* lsei, size_t votes);
+  void DisablePrefilter() { lsei_ = nullptr; }
+  bool prefilter_enabled() const { return lsei_ != nullptr; }
+
+  // Executes all queries over the pool; results are index-aligned with the
+  // input. Identical to calling Execute on each query in order.
+  std::vector<QueryResult> ExecuteBatch(
+      const std::vector<Query>& queries) const;
+
+  // Executes one query inline through the same code path as ExecuteBatch.
+  QueryResult Execute(const Query& query) const;
+
+ private:
+  const SearchEngine* engine_;
+  ThreadPool* pool_;
+  const Lsei* lsei_ = nullptr;
+  size_t votes_ = 1;
+};
+
+// Element-wise sums of the per-query stats of a batch (timing fields are
+// summed too: total_seconds becomes aggregate worker-seconds, not
+// wall-clock; search_space_reduction is averaged).
+SearchStats SumBatchStats(const std::vector<QueryResult>& results);
+
+}  // namespace thetis
+
+#endif  // THETIS_EXEC_QUERY_EXECUTOR_H_

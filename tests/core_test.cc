@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "core/column_mapping.h"
+#include "core/query_cache.h"
 #include "core/search_engine.h"
 #include "core/semrel.h"
 #include "core/similarity.h"
@@ -438,6 +439,96 @@ TEST(SearchEngineTest, EmptyQueryScoresZero) {
 TEST(QueryTest, DistinctEntities) {
   Query q{{{1, 2, kNoEntity}, {2, 3}}};
   EXPECT_EQ(q.DistinctEntities(), (std::vector<EntityId>{1, 2, 3}));
+}
+
+// --- Query-scoped cache -----------------------------------------------------------
+
+TEST(QueryCacheTest, MappingForMatchesUncachedMapping) {
+  EngineFixture f;
+  TypeJaccardSimilarity sim(&f.kg);
+  QueryScopedCache cache(&sim);
+  std::vector<EntityId> tq = {f.stetter, f.brewers};
+  for (TableId id = 0; id < f.corpus.size(); ++id) {
+    const Table& t = f.corpus.table(id);
+    ColumnMapping want = MapQueryTupleToColumns(tq, t, sim);
+    const ColumnMapping& got = cache.MappingFor(0, tq, t, id);
+    EXPECT_EQ(got.column_of_entity, want.column_of_entity) << "table " << id;
+    EXPECT_EQ(got.total_score, want.total_score) << "table " << id;
+  }
+  // The four fixture tables all have distinct column contents.
+  EXPECT_EQ(cache.mapping_misses(), f.corpus.size());
+  EXPECT_EQ(cache.mapping_hits(), 0u);
+  // Asking again is pure cache hits.
+  for (TableId id = 0; id < f.corpus.size(); ++id) {
+    cache.MappingFor(0, tq, f.corpus.table(id), id);
+  }
+  EXPECT_EQ(cache.mapping_hits(), f.corpus.size());
+}
+
+TEST(QueryCacheTest, IdenticalContentTablesShareOneMapping) {
+  EngineFixture f;
+  // A clone of the baseball table under another name: same per-column
+  // entity multisets, so the Hungarian mapping is reused.
+  Table clone = MakeBaseballTable(f);
+  clone.set_name("bb_clone");
+  TableId clone_id = f.corpus.AddTable(std::move(clone)).value();
+  TypeJaccardSimilarity sim(&f.kg);
+  QueryScopedCache cache(&sim);
+  std::vector<EntityId> tq = {f.santo, f.cubs};
+  const ColumnMapping& first =
+      cache.MappingFor(0, tq, f.corpus.table(f.baseball_id), f.baseball_id);
+  const ColumnMapping& second =
+      cache.MappingFor(0, tq, f.corpus.table(clone_id), clone_id);
+  EXPECT_EQ(cache.mapping_misses(), 1u);
+  EXPECT_EQ(cache.mapping_hits(), 1u);
+  EXPECT_EQ(&first, &second);
+  // Different tuple index: solved separately even for the same signature.
+  cache.MappingFor(1, tq, f.corpus.table(clone_id), clone_id);
+  EXPECT_EQ(cache.mapping_misses(), 2u);
+}
+
+TEST(SearchEngineTest, CachedSearchIdenticalToUncached) {
+  EngineFixture f;
+  SemanticDataLake lake(&f.corpus, &f.kg);
+  TypeJaccardSimilarity sim(&f.kg);
+  SearchOptions cached_opts;
+  cached_opts.enable_cache = true;
+  SearchOptions uncached_opts;
+  uncached_opts.enable_cache = false;
+  SearchEngine cached(&lake, &sim, cached_opts);
+  SearchEngine uncached(&lake, &sim, uncached_opts);
+  for (const Query& q :
+       {Query{{{f.stetter, f.brewers}}}, Query{{{f.santo, f.cubs}}},
+        Query{{{f.stetter, f.brewers}, {f.volley_a, f.volley_team}}}}) {
+    auto want = uncached.Search(q);
+    auto got = cached.Search(q);
+    ASSERT_EQ(want.size(), got.size());
+    for (size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(want[i].table, got[i].table);
+      EXPECT_EQ(want[i].score, got[i].score);  // bit-identical
+    }
+  }
+}
+
+TEST(SearchEngineTest, CacheCountersReportedInStats) {
+  EngineFixture f;
+  SemanticDataLake lake(&f.corpus, &f.kg);
+  TypeJaccardSimilarity sim(&f.kg);
+  SearchEngine engine(&lake, &sim);  // cache on by default
+  SearchStats stats;
+  engine.Search(Query{{{f.stetter, f.brewers}}}, &stats);
+  EXPECT_GT(stats.sim_cache_misses, 0u);
+  EXPECT_GT(stats.mapping_cache_misses, 0u);
+
+  SearchOptions off;
+  off.enable_cache = false;
+  SearchEngine uncached(&lake, &sim, off);
+  SearchStats none;
+  uncached.Search(Query{{{f.stetter, f.brewers}}}, &none);
+  EXPECT_EQ(none.sim_cache_hits, 0u);
+  EXPECT_EQ(none.sim_cache_misses, 0u);
+  EXPECT_EQ(none.mapping_cache_hits, 0u);
+  EXPECT_EQ(none.mapping_cache_misses, 0u);
 }
 
 // --- Explain --------------------------------------------------------------------

@@ -1,0 +1,349 @@
+// Ranking-parity suite for the query-scoped caches and the batched
+// QueryExecutor: Search, SearchParallel (1, 2, 8 threads), and the
+// cache-enabled/disabled paths must all return identical hit lists —
+// table ids AND score bits — over several synthetic-lake seeds, plus
+// hand-built score-tie corpora that exercise the TopK id tie-break.
+#include "exec/query_executor.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "benchgen/benchmark_factory.h"
+#include "core/search_engine.h"
+#include "core/similarity.h"
+#include "semantic/semantic_data_lake.h"
+#include "util/thread_pool.h"
+
+namespace thetis {
+namespace {
+
+using benchgen::Benchmark;
+using benchgen::MakeBenchmark;
+using benchgen::PresetKind;
+
+// Exact comparison: parity means bit-identical, not approximately equal.
+void ExpectSameHits(const std::vector<SearchHit>& expected,
+                    const std::vector<SearchHit>& actual,
+                    const std::string& label) {
+  ASSERT_EQ(expected.size(), actual.size()) << label;
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(expected[i].table, actual[i].table)
+        << label << " position " << i;
+    EXPECT_EQ(expected[i].score, actual[i].score)
+        << label << " position " << i;
+  }
+}
+
+// --- Generated-lake parity across seeds ------------------------------------------
+
+class RankingParitySweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RankingParitySweep, SerialParallelCachedAllIdentical) {
+  Benchmark bench = MakeBenchmark(PresetKind::kWt2015Like, 0.05, GetParam());
+  SemanticDataLake lake(&bench.lake.corpus, &bench.kg.kg);
+  TypeJaccardSimilarity sim(&bench.kg.kg);
+
+  SearchOptions cached_opts;
+  cached_opts.enable_cache = true;
+  SearchOptions uncached_opts;
+  uncached_opts.enable_cache = false;
+  SearchEngine cached(&lake, &sim, cached_opts);
+  SearchEngine uncached(&lake, &sim, uncached_opts);
+
+  ThreadPool pool1(1);
+  ThreadPool pool2(2);
+  ThreadPool pool8(8);
+  std::vector<ThreadPool*> pools = {&pool1, &pool2, &pool8};
+
+  auto queries = benchgen::MakeQueries(bench.kg, 6, GetParam() * 7 + 1);
+  for (const auto& gq : queries) {
+    auto reference = uncached.Search(gq.query);
+    ASSERT_FALSE(reference.empty());
+    ExpectSameHits(reference, cached.Search(gq.query), "cached serial");
+    for (ThreadPool* pool : pools) {
+      std::string threads = std::to_string(pool->num_threads());
+      ExpectSameHits(reference, uncached.SearchParallel(gq.query, pool),
+                     "uncached parallel x" + threads);
+      ExpectSameHits(reference, cached.SearchParallel(gq.query, pool),
+                     "cached parallel x" + threads);
+    }
+  }
+}
+
+TEST_P(RankingParitySweep, ScoreTableBitIdenticalCachedVsUncached) {
+  // Table-level check, stronger than top-k parity: every single table's
+  // score must agree between a fresh uncached call and a cached sweep.
+  Benchmark bench = MakeBenchmark(PresetKind::kWt2015Like, 0.03, GetParam());
+  SemanticDataLake lake(&bench.lake.corpus, &bench.kg.kg);
+  TypeJaccardSimilarity sim(&bench.kg.kg);
+  SearchOptions opts;
+  opts.top_k = bench.lake.corpus.size();  // keep every nonzero table
+  opts.enable_cache = true;
+  SearchEngine cached(&lake, &sim, opts);
+  auto queries = benchgen::MakeQueries(bench.kg, 3, GetParam() * 13 + 5);
+  for (const auto& gq : queries) {
+    auto hits = cached.Search(gq.query);
+    for (const SearchHit& hit : hits) {
+      EXPECT_EQ(hit.score, cached.ScoreTable(gq.query, hit.table))
+          << "table " << hit.table;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RankingParitySweep,
+                         ::testing::Values(7, 21, 99, 1234));
+
+// --- Score-tie corpus: the TopK id tie-break under every execution mode -----------
+
+// A lake whose corpus is dominated by identical copies of one table: all
+// copies score exactly the same, so any ranking discrepancy between
+// serial/parallel/cached paths shows up as a permutation of the tie group.
+struct TieFixture {
+  KnowledgeGraph kg;
+  Corpus corpus;
+  EntityId player, team, other_player, other_team;
+  static constexpr size_t kCopies = 7;
+
+  TieFixture() {
+    Taxonomy* tax = kg.mutable_taxonomy();
+    TypeId thing = tax->AddType("Thing").value();
+    TypeId person = tax->AddType("Person", thing).value();
+    TypeId club = tax->AddType("Club", thing).value();
+    player = kg.AddEntity("player").value();
+    other_player = kg.AddEntity("other player").value();
+    team = kg.AddEntity("team").value();
+    other_team = kg.AddEntity("other team").value();
+    EXPECT_TRUE(kg.AddEntityType(player, person).ok());
+    EXPECT_TRUE(kg.AddEntityType(other_player, person).ok());
+    EXPECT_TRUE(kg.AddEntityType(team, club).ok());
+    EXPECT_TRUE(kg.AddEntityType(other_team, club).ok());
+
+    // Identical copies interleaved with distinct tables, so tie-group ids
+    // are not contiguous.
+    for (size_t i = 0; i < kCopies; ++i) {
+      Table copy("copy" + std::to_string(i), {"Player", "Team"});
+      EXPECT_TRUE(copy.AppendRow({Value::String("other player"),
+                                  Value::String("other team")},
+                                 {other_player, other_team})
+                      .ok());
+      EXPECT_TRUE(corpus.AddTable(std::move(copy)).ok());
+      Table exact("exact" + std::to_string(i), {"Player", "Team"});
+      EXPECT_TRUE(exact
+                      .AppendRow({Value::String("player"),
+                                  Value::String("team")},
+                                 {player, team})
+                      .ok());
+      EXPECT_TRUE(corpus.AddTable(std::move(exact)).ok());
+    }
+  }
+};
+
+class TieBreakSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(TieBreakSweep, TopKCutsTieGroupsByAscendingId) {
+  size_t top_k = GetParam();
+  TieFixture f;
+  SemanticDataLake lake(&f.corpus, &f.kg);
+  TypeJaccardSimilarity sim(&f.kg);
+  SearchOptions opts;
+  opts.top_k = top_k;
+  opts.use_informativeness = false;
+  ThreadPool pool2(2);
+  ThreadPool pool8(8);
+
+  Query q{{{f.player, f.team}}};
+  for (bool cache : {false, true}) {
+    opts.enable_cache = cache;
+    SearchEngine engine(&lake, &sim, opts);
+    auto hits = engine.Search(q);
+    ASSERT_EQ(hits.size(), std::min<size_t>(top_k, 2 * TieFixture::kCopies));
+    // The exact copies (odd ids 1, 3, 5, ...) all score 1.0 and must fill
+    // the prefix in ascending id order; the related copies (even ids)
+    // follow, again ascending.
+    for (size_t i = 0; i < hits.size(); ++i) {
+      if (i < TieFixture::kCopies) {
+        EXPECT_EQ(hits[i].table, 2 * i + 1) << "tie prefix position " << i;
+        EXPECT_EQ(hits[i].score, 1.0);
+      } else {
+        EXPECT_EQ(hits[i].table, 2 * (i - TieFixture::kCopies))
+            << "tie suffix position " << i;
+        EXPECT_LT(hits[i].score, 1.0);
+      }
+    }
+    ExpectSameHits(hits, engine.SearchParallel(q, &pool2), "parallel x2");
+    ExpectSameHits(hits, engine.SearchParallel(q, &pool8), "parallel x8");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Cutoffs, TieBreakSweep,
+                         ::testing::Values(1, 3, 7, 10, 14, 20));
+
+TEST(TieBreakTest, MappingCacheCollapsesDuplicateTables) {
+  // All kCopies exact tables share one column signature (and the related
+  // copies another), so per tuple the Hungarian mapping is solved once per
+  // signature, not once per table.
+  TieFixture f;
+  SemanticDataLake lake(&f.corpus, &f.kg);
+  TypeJaccardSimilarity sim(&f.kg);
+  SearchEngine engine(&lake, &sim);
+  SearchStats stats;
+  engine.Search(Query{{{f.player, f.team}}}, &stats);
+  EXPECT_EQ(stats.mapping_cache_misses, 2u);
+  EXPECT_EQ(stats.mapping_cache_hits, 2 * TieFixture::kCopies - 2);
+  EXPECT_GT(stats.sim_cache_hits, 0u);
+}
+
+// --- QueryExecutor ---------------------------------------------------------------
+
+struct ExecutorFixture {
+  Benchmark bench;
+  SemanticDataLake lake;
+  TypeJaccardSimilarity sim;
+  std::vector<Query> queries;
+
+  explicit ExecutorFixture(uint64_t seed = 42, size_t num_queries = 8)
+      : bench(MakeBenchmark(PresetKind::kWt2015Like, 0.05, seed)),
+        lake(&bench.lake.corpus, &bench.kg.kg),
+        sim(&bench.kg.kg) {
+    for (const auto& gq :
+         benchgen::MakeQueries(bench.kg, num_queries, seed + 1)) {
+      queries.push_back(gq.query);
+    }
+  }
+};
+
+class ExecutorThreadSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ExecutorThreadSweep, BatchMatchesPerQuerySearch) {
+  ExecutorFixture f;
+  SearchEngine engine(&f.lake, &f.sim);
+  ThreadPool pool(GetParam());
+  QueryExecutor executor(&engine, &pool);
+  auto results = executor.ExecuteBatch(f.queries);
+  ASSERT_EQ(results.size(), f.queries.size());
+  for (size_t i = 0; i < f.queries.size(); ++i) {
+    SearchStats want_stats;
+    auto want = engine.Search(f.queries[i], &want_stats);
+    ExpectSameHits(want, results[i].hits,
+                   "batch query " + std::to_string(i));
+    EXPECT_EQ(results[i].stats.tables_scored, want_stats.tables_scored);
+    EXPECT_EQ(results[i].stats.tables_nonzero, want_stats.tables_nonzero);
+  }
+}
+
+TEST_P(ExecutorThreadSweep, PrefilteredBatchMatchesPrefilteredEngine) {
+  ExecutorFixture f;
+  SearchEngine engine(&f.lake, &f.sim);
+  LseiOptions lsh;
+  Lsei lsei(&f.lake, nullptr, lsh);
+  PrefilteredSearchEngine reference(&engine, &lsei, /*votes=*/1);
+  ThreadPool pool(GetParam());
+  QueryExecutor executor(&engine, &pool);
+  executor.EnablePrefilter(&lsei, /*votes=*/1);
+  auto results = executor.ExecuteBatch(f.queries);
+  ASSERT_EQ(results.size(), f.queries.size());
+  for (size_t i = 0; i < f.queries.size(); ++i) {
+    SearchStats want_stats;
+    auto want = reference.Search(f.queries[i], &want_stats);
+    ExpectSameHits(want, results[i].hits,
+                   "prefiltered query " + std::to_string(i));
+    EXPECT_EQ(results[i].stats.candidate_count, want_stats.candidate_count);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ExecutorThreadSweep,
+                         ::testing::Values(1, 2, 8));
+
+TEST(QueryExecutorTest, CachedAndUncachedEnginesAgree) {
+  ExecutorFixture f;
+  SearchOptions cached_opts;
+  cached_opts.enable_cache = true;
+  SearchOptions uncached_opts;
+  uncached_opts.enable_cache = false;
+  SearchEngine cached(&f.lake, &f.sim, cached_opts);
+  SearchEngine uncached(&f.lake, &f.sim, uncached_opts);
+  ThreadPool pool(4);
+  QueryExecutor cached_exec(&cached, &pool);
+  QueryExecutor uncached_exec(&uncached, &pool);
+  auto a = cached_exec.ExecuteBatch(f.queries);
+  auto b = uncached_exec.ExecuteBatch(f.queries);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ExpectSameHits(b[i].hits, a[i].hits, "query " + std::to_string(i));
+  }
+}
+
+TEST(QueryExecutorTest, CacheCountersPopulatedOnlyWhenEnabled) {
+  ExecutorFixture f(42, 3);
+  SearchOptions cached_opts;
+  cached_opts.enable_cache = true;
+  SearchOptions uncached_opts;
+  uncached_opts.enable_cache = false;
+  SearchEngine cached(&f.lake, &f.sim, cached_opts);
+  SearchEngine uncached(&f.lake, &f.sim, uncached_opts);
+  ThreadPool pool(2);
+
+  auto cached_results = QueryExecutor(&cached, &pool).ExecuteBatch(f.queries);
+  SearchStats total = SumBatchStats(cached_results);
+  EXPECT_GT(total.sim_cache_hits, 0u);
+  EXPECT_GT(total.sim_cache_misses, 0u);
+  EXPECT_GT(total.mapping_cache_misses, 0u);
+  // Entities repeat across a lake's rows, so hits dominate misses.
+  EXPECT_GT(total.sim_cache_hits, total.sim_cache_misses);
+
+  auto uncached_results =
+      QueryExecutor(&uncached, &pool).ExecuteBatch(f.queries);
+  SearchStats none = SumBatchStats(uncached_results);
+  EXPECT_EQ(none.sim_cache_hits, 0u);
+  EXPECT_EQ(none.sim_cache_misses, 0u);
+  EXPECT_EQ(none.mapping_cache_hits, 0u);
+  EXPECT_EQ(none.mapping_cache_misses, 0u);
+}
+
+TEST(QueryExecutorTest, ExecuteSingleMatchesBatch) {
+  ExecutorFixture f(42, 3);
+  SearchEngine engine(&f.lake, &f.sim);
+  ThreadPool pool(2);
+  QueryExecutor executor(&engine, &pool);
+  auto batch = executor.ExecuteBatch(f.queries);
+  for (size_t i = 0; i < f.queries.size(); ++i) {
+    QueryResult single = executor.Execute(f.queries[i]);
+    ExpectSameHits(batch[i].hits, single.hits,
+                   "single vs batch " + std::to_string(i));
+  }
+}
+
+TEST(QueryExecutorTest, EmptyBatchAndEmptyQuery) {
+  ExecutorFixture f(42, 1);
+  SearchEngine engine(&f.lake, &f.sim);
+  ThreadPool pool(2);
+  QueryExecutor executor(&engine, &pool);
+  EXPECT_TRUE(executor.ExecuteBatch({}).empty());
+  auto results = executor.ExecuteBatch({Query{}});
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_TRUE(results[0].hits.empty());
+}
+
+TEST(QueryExecutorTest, SumBatchStatsAddsUp) {
+  ExecutorFixture f(42, 4);
+  SearchEngine engine(&f.lake, &f.sim);
+  ThreadPool pool(1);
+  QueryExecutor executor(&engine, &pool);
+  auto results = executor.ExecuteBatch(f.queries);
+  SearchStats total = SumBatchStats(results);
+  size_t scored = 0;
+  size_t sim_hits = 0;
+  for (const QueryResult& r : results) {
+    scored += r.stats.tables_scored;
+    sim_hits += r.stats.sim_cache_hits;
+  }
+  EXPECT_EQ(total.tables_scored, scored);
+  EXPECT_EQ(total.sim_cache_hits, sim_hits);
+  EXPECT_EQ(total.tables_scored,
+            f.queries.size() * f.bench.lake.corpus.size());
+}
+
+}  // namespace
+}  // namespace thetis

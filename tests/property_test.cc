@@ -13,6 +13,7 @@
 #include "benchgen/metrics.h"
 #include "core/semrel.h"
 #include "core/similarity.h"
+#include "core/similarity_memo.h"
 #include "lsh/band_index.h"
 #include "lsh/hyperplane.h"
 #include "lsh/minhash.h"
@@ -232,6 +233,65 @@ TEST_P(SemRelAxiomSweep, SigmaIsSymmetricBoundedIdentityOne) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SemRelAxiomSweep,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+// --- SimilarityMemo is exact, not approximate ---------------------------------------
+
+class SimilarityMemoSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimilarityMemoSweep, ScoreEqualsWrappedSimilarityExactly) {
+  KnowledgeGraph kg = RandomTypedKg(GetParam() + 500, 32);
+  TypeJaccardSimilarity base(&kg);
+  // Tiny initial capacity so random pairs force several table growths.
+  SimilarityMemo memo(&base, /*expected_pairs=*/4);
+  Rng rng(GetParam() * 53 + 3);
+  for (int trial = 0; trial < 500; ++trial) {
+    EntityId a = rng.NextBounded(32);
+    EntityId b = rng.NextBounded(32);
+    double want = base.Score(a, b);
+    // Bit-exact on the filling call and on the cached call.
+    EXPECT_EQ(memo.Score(a, b), want) << "pair (" << a << ", " << b << ")";
+    EXPECT_EQ(memo.Score(a, b), want) << "pair (" << a << ", " << b << ")";
+  }
+  EXPECT_GT(memo.hits(), 0u);
+  EXPECT_GT(memo.misses(), 0u);
+  EXPECT_EQ(memo.hits() + memo.misses(), 1000u);
+  // One stored slot per distinct pair ever missed.
+  EXPECT_EQ(memo.size(), memo.misses());
+  EXPECT_LE(memo.size(), 32u * 32u);
+}
+
+TEST_P(SimilarityMemoSweep, IdentityPreservedThroughCache) {
+  KnowledgeGraph kg = RandomTypedKg(GetParam() + 600, 32);
+  TypeJaccardSimilarity base(&kg);
+  SimilarityMemo memo(&base);
+  for (EntityId e = 0; e < 32; ++e) {
+    // σ(e, e) == 1 both when computed and when served from the cache.
+    EXPECT_DOUBLE_EQ(memo.Score(e, e), 1.0);
+    EXPECT_DOUBLE_EQ(memo.Score(e, e), 1.0);
+  }
+}
+
+TEST_P(SimilarityMemoSweep, ClearResetsStateButNotExactness) {
+  KnowledgeGraph kg = RandomTypedKg(GetParam() + 700, 16);
+  TypeJaccardSimilarity base(&kg);
+  SimilarityMemo memo(&base);
+  Rng rng(GetParam() * 59 + 9);
+  for (int trial = 0; trial < 50; ++trial) {
+    memo.Score(rng.NextBounded(16), rng.NextBounded(16));
+  }
+  memo.Clear();
+  EXPECT_EQ(memo.size(), 0u);
+  EXPECT_EQ(memo.hits(), 0u);
+  EXPECT_EQ(memo.misses(), 0u);
+  for (EntityId a = 0; a < 16; ++a) {
+    for (EntityId b = 0; b < 16; ++b) {
+      EXPECT_EQ(memo.Score(a, b), base.Score(a, b));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimilarityMemoSweep,
                          ::testing::Values(1, 2, 3, 4, 5));
 
 // --- DistanceSimilarity properties across dimensionality ---------------------------

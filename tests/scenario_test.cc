@@ -27,7 +27,13 @@ namespace fs = std::filesystem;
 class ScenarioTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = (fs::temp_directory_path() / "thetis_scenario").string();
+    // Unique per test: ctest runs the suite's tests as separate concurrent
+    // processes, so a shared directory would be deleted under a running
+    // sibling by its SetUp/TearDown.
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = (fs::temp_directory_path() /
+            (std::string("thetis_scenario_") + info->name()))
+               .string();
     fs::remove_all(dir_);
     fs::create_directories(dir_);
   }

@@ -1,0 +1,177 @@
+// Direct unit tests for util/top_k.h: the deterministic tie-break (smaller
+// id wins on equal scores) is what makes serial, parallel, and cached
+// search rankings identical, so it gets first-class coverage here rather
+// than only indirectly through the engine.
+#include "util/top_k.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace thetis {
+namespace {
+
+std::vector<std::pair<int, double>> Drain(TopK<int>* top) {
+  return top->Extract();
+}
+
+TEST(TopKTest, KeepsBestKInDescendingOrder) {
+  TopK<int> top(3);
+  top.Push(1, 0.5);
+  top.Push(2, 0.9);
+  top.Push(3, 0.1);
+  top.Push(4, 0.7);
+  top.Push(5, 0.3);
+  auto got = Drain(&top);
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0], (std::pair<int, double>{2, 0.9}));
+  EXPECT_EQ(got[1], (std::pair<int, double>{4, 0.7}));
+  EXPECT_EQ(got[2], (std::pair<int, double>{1, 0.5}));
+}
+
+TEST(TopKTest, FewerThanKItemsAllKept) {
+  TopK<int> top(10);
+  top.Push(7, 0.2);
+  top.Push(3, 0.8);
+  auto got = Drain(&top);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].first, 3);
+  EXPECT_EQ(got[1].first, 7);
+}
+
+// --- Tie handling --------------------------------------------------------------
+
+TEST(TopKTest, TiesOrderedByIdAscending) {
+  TopK<int> top(4);
+  top.Push(9, 0.5);
+  top.Push(2, 0.5);
+  top.Push(7, 0.5);
+  top.Push(4, 0.5);
+  auto got = Drain(&top);
+  ASSERT_EQ(got.size(), 4u);
+  EXPECT_EQ(got[0].first, 2);
+  EXPECT_EQ(got[1].first, 4);
+  EXPECT_EQ(got[2].first, 7);
+  EXPECT_EQ(got[3].first, 9);
+}
+
+TEST(TopKTest, TieEvictsLargestIdFirst) {
+  // Full heap of equal scores: a smaller id displaces the largest kept id.
+  TopK<int> top(2);
+  top.Push(5, 0.5);
+  top.Push(8, 0.5);
+  top.Push(1, 0.5);  // evicts 8
+  auto got = Drain(&top);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].first, 1);
+  EXPECT_EQ(got[1].first, 5);
+}
+
+TEST(TopKTest, TieWithLargerIdDoesNotDisplace) {
+  TopK<int> top(2);
+  top.Push(5, 0.5);
+  top.Push(3, 0.5);
+  top.Push(9, 0.5);  // larger id, same score: rejected
+  auto got = Drain(&top);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].first, 3);
+  EXPECT_EQ(got[1].first, 5);
+}
+
+TEST(TopKTest, PushOrderIrrelevantUnderTies) {
+  // The kept set and its order depend only on (score, id), not insertion
+  // order — the property the parallel merge relies on.
+  std::vector<std::pair<int, double>> items = {
+      {4, 0.5}, {1, 0.5}, {3, 0.7}, {2, 0.5}, {0, 0.3}, {5, 0.7}};
+  std::vector<std::vector<size_t>> orders = {
+      {0, 1, 2, 3, 4, 5}, {5, 4, 3, 2, 1, 0}, {2, 5, 0, 4, 1, 3}};
+  std::vector<std::vector<std::pair<int, double>>> results;
+  for (const auto& order : orders) {
+    TopK<int> top(3);
+    for (size_t i : order) top.Push(items[i].first, items[i].second);
+    results.push_back(top.Extract());
+  }
+  EXPECT_EQ(results[0], results[1]);
+  EXPECT_EQ(results[0], results[2]);
+  EXPECT_EQ(results[0][0].first, 3);  // 0.7, smaller id
+  EXPECT_EQ(results[0][1].first, 5);  // 0.7
+  EXPECT_EQ(results[0][2].first, 1);  // 0.5, smallest id among {1, 2, 4}
+}
+
+// --- MinScore / Full preconditions ----------------------------------------------
+
+TEST(TopKTest, FullFlipsExactlyAtK) {
+  TopK<int> top(2);
+  EXPECT_FALSE(top.Full());
+  top.Push(1, 0.1);
+  EXPECT_FALSE(top.Full());
+  top.Push(2, 0.2);
+  EXPECT_TRUE(top.Full());
+  top.Push(3, 0.3);  // still k items
+  EXPECT_TRUE(top.Full());
+  EXPECT_EQ(top.size(), 2u);
+}
+
+TEST(TopKTest, MinScoreTracksWorstKeptItem) {
+  TopK<int> top(2);
+  top.Push(1, 0.4);
+  EXPECT_DOUBLE_EQ(top.MinScore(), 0.4);  // valid when non-empty
+  top.Push(2, 0.9);
+  EXPECT_DOUBLE_EQ(top.MinScore(), 0.4);
+  top.Push(3, 0.6);  // evicts 0.4
+  EXPECT_DOUBLE_EQ(top.MinScore(), 0.6);
+  top.Push(4, 0.1);  // below min: no change
+  EXPECT_DOUBLE_EQ(top.MinScore(), 0.6);
+}
+
+TEST(TopKDeathTest, MinScoreOnEmptyAborts) {
+  TopK<int> top(3);
+  EXPECT_DEATH(top.MinScore(), "heap_");
+}
+
+TEST(TopKDeathTest, ZeroKAborts) { EXPECT_DEATH(TopK<int>(0), "k > 0"); }
+
+// --- k = 1 edge ----------------------------------------------------------------
+
+TEST(TopKTest, KOneKeepsSingleBest) {
+  TopK<int> top(1);
+  EXPECT_EQ(top.size(), 0u);
+  top.Push(4, 0.3);
+  EXPECT_TRUE(top.Full());
+  top.Push(2, 0.6);
+  top.Push(9, 0.6);  // tie, larger id: rejected
+  top.Push(1, 0.1);
+  EXPECT_EQ(top.size(), 1u);
+  EXPECT_DOUBLE_EQ(top.MinScore(), 0.6);
+  auto got = Drain(&top);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].first, 2);
+}
+
+TEST(TopKTest, KOneTieBreakPrefersSmallerId) {
+  TopK<int> top(1);
+  top.Push(9, 0.5);
+  top.Push(2, 0.5);
+  auto got = Drain(&top);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].first, 2);
+}
+
+TEST(TopKTest, ExtractOnEmptyIsEmpty) {
+  TopK<int> top(3);
+  EXPECT_TRUE(top.Extract().empty());
+}
+
+TEST(TopKTest, NegativeAndZeroScoresSupported) {
+  TopK<int> top(2);
+  top.Push(1, 0.0);
+  top.Push(2, -1.0);
+  top.Push(3, -0.5);
+  auto got = Drain(&top);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].first, 1);
+  EXPECT_EQ(got[1].first, 3);
+}
+
+}  // namespace
+}  // namespace thetis
