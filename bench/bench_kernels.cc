@@ -1,0 +1,121 @@
+// Microbenchmarks for the src/simd/ kernel layer: dot product, fused
+// norms+dot, batched one-vs-many dots (contiguous and gathered), and
+// sorted-u32 intersection, each measured at every tier compiled into the
+// binary and supported by this CPU. The interesting numbers are the
+// tier-over-scalar ratios at the dims the engine actually uses (embedding
+// dim 32, type sets of a handful to a few dozen ids) — these bound how much
+// of the kernel speedup can survive into end-to-end scoring.
+//
+// Run: ./bench_kernels [--benchmark_filter=...]
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "simd/kernels.h"
+#include "util/rng.h"
+
+namespace thetis::bench {
+namespace {
+
+std::vector<float> RandomVec(Rng* rng, size_t n) {
+  std::vector<float> v(n);
+  for (float& x : v) x = static_cast<float>(rng->NextGaussian());
+  return v;
+}
+
+std::vector<uint32_t> RandomSet(Rng* rng, size_t size, uint32_t stride) {
+  std::vector<uint32_t> s(size);
+  uint32_t cur = 0;
+  for (size_t i = 0; i < size; ++i) {
+    cur += 1 + rng->NextBounded(stride);
+    s[i] = cur;
+  }
+  return s;
+}
+
+void BenchDot(benchmark::State& state, simd::Tier tier) {
+  simd::SetTier(tier);
+  const size_t dim = static_cast<size_t>(state.range(0));
+  Rng rng(1);
+  auto a = RandomVec(&rng, dim);
+  auto b = RandomVec(&rng, dim);
+  for (auto _ : state) {
+    float d = simd::Dot(a.data(), b.data(), dim);
+    benchmark::DoNotOptimize(d);
+  }
+  state.SetItemsProcessed(state.iterations() * dim);
+}
+
+void BenchDotBatchGather(benchmark::State& state, simd::Tier tier) {
+  simd::SetTier(tier);
+  const size_t dim = static_cast<size_t>(state.range(0));
+  constexpr size_t kRows = 4096;
+  constexpr size_t kBatch = 64;  // typical column height in the score fill
+  Rng rng(2);
+  auto q = RandomVec(&rng, dim);
+  auto base = RandomVec(&rng, dim * kRows);
+  std::vector<uint32_t> ids(kBatch);
+  for (auto& id : ids) id = rng.NextBounded(kRows);
+  std::vector<float> out(kBatch);
+  for (auto _ : state) {
+    simd::DotBatchGather(q.data(), base.data(), dim, ids.data(), kBatch,
+                         out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch * dim);
+}
+
+void BenchIntersect(benchmark::State& state, simd::Tier tier) {
+  simd::SetTier(tier);
+  const size_t size = static_cast<size_t>(state.range(0));
+  Rng rng(3);
+  // Stride 2 gives ~50% overlap, the regime type-set Jaccard lives in.
+  auto a = RandomSet(&rng, size, 2);
+  auto b = RandomSet(&rng, size, 2);
+  for (auto _ : state) {
+    size_t n = simd::IntersectSortedU32(a.data(), a.size(), b.data(), b.size());
+    benchmark::DoNotOptimize(n);
+  }
+  state.SetItemsProcessed(state.iterations() * size * 2);
+}
+
+void RegisterAll() {
+  std::vector<simd::Tier> tiers = {simd::Tier::kScalar};
+  int best = static_cast<int>(simd::BestSupportedTier());
+  if (best >= static_cast<int>(simd::Tier::kSse2)) {
+    tiers.push_back(simd::Tier::kSse2);
+  }
+  if (best >= static_cast<int>(simd::Tier::kAvx2)) {
+    tiers.push_back(simd::Tier::kAvx2);
+  }
+  for (simd::Tier tier : tiers) {
+    std::string suffix = std::string("/") + simd::TierName(tier);
+    benchmark::RegisterBenchmark(("dot" + suffix).c_str(), BenchDot, tier)
+        ->Arg(32)
+        ->Arg(128)
+        ->Arg(300);
+    benchmark::RegisterBenchmark(("dot_batch_gather" + suffix).c_str(),
+                                 BenchDotBatchGather, tier)
+        ->Arg(32)
+        ->Arg(128);
+    benchmark::RegisterBenchmark(("intersect_sorted" + suffix).c_str(),
+                                 BenchIntersect, tier)
+        ->Arg(8)
+        ->Arg(64)
+        ->Arg(1024);
+  }
+}
+
+}  // namespace
+}  // namespace thetis::bench
+
+int main(int argc, char** argv) {
+  thetis::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

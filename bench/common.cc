@@ -1,7 +1,10 @@
 #include "common.h"
 
 #include <cstdlib>
+#include <filesystem>
 #include <string>
+
+#include "simd/kernels.h"
 
 namespace thetis::bench {
 
@@ -13,6 +16,54 @@ double BenchScale() {
   }
   return 0.5;
 }
+
+namespace {
+
+// On-disk cache of trained benchmark embeddings (binary format): training
+// is by far the slowest part of world setup and is deterministic per
+// (preset, scale, kernel tier), so each bench binary after the first
+// reloads instead of retraining. Opt out with THETIS_BENCH_EMB_CACHE=off,
+// or point the variable at a different directory.
+EmbeddingStore LoadOrTrainEmbeddings(benchgen::PresetKind kind, double scale,
+                                     const benchgen::SyntheticKg& kg) {
+  const char* env = std::getenv("THETIS_BENCH_EMB_CACHE");
+  if (env != nullptr && std::string(env) == "off") {
+    return benchgen::TrainBenchmarkEmbeddings(kg);
+  }
+  std::error_code ec;
+  std::filesystem::path dir =
+      env != nullptr ? std::filesystem::path(env)
+                     : std::filesystem::temp_directory_path(ec) /
+                           "thetis_bench_emb_cache";
+  std::filesystem::create_directories(dir, ec);
+  // The kernel tier is part of the key: training arithmetic (and thus the
+  // resulting vectors) differs across tiers by design.
+  std::string key = std::string("emb_v1_") + benchgen::PresetName(kind) + "_" +
+                    std::to_string(static_cast<int>(scale * 1000.0)) + "_" +
+                    std::to_string(kg.kg.num_entities()) + "_" +
+                    simd::TierName(simd::ActiveTier()) + ".bin";
+  std::filesystem::path path = dir / key;
+  if (std::filesystem::exists(path, ec)) {
+    auto loaded = EmbeddingStore::LoadBinary(path.string());
+    if (loaded.ok() && loaded.value().size() == kg.kg.num_entities()) {
+      std::fprintf(stderr, "[setup] loaded cached embeddings from %s\n",
+                   path.string().c_str());
+      return std::move(loaded).value();
+    }
+    std::fprintf(stderr, "[setup] stale embedding cache at %s, retraining\n",
+                 path.string().c_str());
+  }
+  std::fprintf(stderr, "[setup] training embeddings ...\n");
+  EmbeddingStore store = benchgen::TrainBenchmarkEmbeddings(kg);
+  Status saved = store.SaveBinary(path.string());
+  if (!saved.ok()) {
+    std::fprintf(stderr, "[setup] embedding cache write failed: %s\n",
+                 saved.message().c_str());
+  }
+  return store;
+}
+
+}  // namespace
 
 const World& GetWorld(benchgen::PresetKind kind, double scale,
                       size_t num_queries) {
@@ -30,9 +81,8 @@ const World& GetWorld(benchgen::PresetKind kind, double scale,
   world->bench = benchgen::MakeBenchmark(kind, scale);
   world->lake = std::make_unique<SemanticDataLake>(&world->bench.lake.corpus,
                                                    &world->bench.kg.kg);
-  std::fprintf(stderr, "[setup] training embeddings ...\n");
   world->embeddings = std::make_unique<EmbeddingStore>(
-      benchgen::TrainBenchmarkEmbeddings(world->bench.kg));
+      LoadOrTrainEmbeddings(kind, scale, world->bench.kg));
   world->type_sim =
       std::make_unique<TypeJaccardSimilarity>(&world->bench.kg.kg);
   world->emb_sim =

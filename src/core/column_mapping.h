@@ -1,6 +1,8 @@
 #ifndef THETIS_CORE_COLUMN_MAPPING_H_
 #define THETIS_CORE_COLUMN_MAPPING_H_
 
+#include <algorithm>
+#include <cstdint>
 #include <vector>
 
 #include "assignment/hungarian.h"
@@ -31,39 +33,115 @@ struct ColumnMapping {
 // column-relevance matrix plus the Hungarian solver's internal vectors.
 // Fully overwritten on every call; reusing one instance across tables
 // avoids a per-(tuple, table) allocation storm on large lakes.
+// Epoch-stamped membership table for O(1)-per-cell column dedup. `stamp`
+// and `slot` are indexed by entity id (grown on demand); an entity is "in
+// the current column" iff its stamp equals the current epoch, so clearing
+// between columns is a single epoch increment, not a table wipe.
+struct DedupScratch {
+  std::vector<uint32_t> stamp;
+  std::vector<uint32_t> slot;
+  uint32_t epoch = 0;
+};
+
+// A table's linked columns collapsed to distinct entities with
+// multiplicities, CSR-flattened (offsets + parallel distinct/counts pools).
+// Built once per (query, table) and shared by the mapping matrix fill and
+// the per-row aggregation — both only need "which distinct entities does
+// column c hold, how often" since σ is pure; gathering and dedup'ing cells
+// once instead of once per tuple (and again per mapped entity) keeps the
+// non-σ overhead flat in the tuple count.
+struct ColumnEntityIndex {
+  std::vector<uint32_t> offsets;   // num_columns + 1
+  std::vector<EntityId> distinct;  // first-occurrence order within a column
+  std::vector<double> counts;
+  size_t num_columns = 0;
+
+  void Build(const Table& table, DedupScratch& dedup) {
+    num_columns = table.num_columns();
+    offsets.assign(1, 0u);
+    distinct.clear();
+    counts.clear();
+    for (size_t c = 0; c < num_columns; ++c) {
+      ++dedup.epoch;
+      if (dedup.epoch == 0) {  // epoch wrapped: invalidate all stamps
+        std::fill(dedup.stamp.begin(), dedup.stamp.end(), 0u);
+        dedup.epoch = 1;
+      }
+      uint32_t base = offsets.back();
+      for (size_t r = 0; r < table.num_rows(); ++r) {
+        EntityId e = table.link(r, c);
+        if (e == kNoEntity) continue;
+        if (e >= dedup.stamp.size()) {
+          dedup.stamp.resize(static_cast<size_t>(e) + 1, 0u);
+          dedup.slot.resize(static_cast<size_t>(e) + 1, 0u);
+        }
+        if (dedup.stamp[e] != dedup.epoch) {
+          dedup.stamp[e] = dedup.epoch;
+          dedup.slot[e] = static_cast<uint32_t>(distinct.size() - base);
+          distinct.push_back(e);
+          counts.push_back(1.0);
+        } else {
+          counts[base + dedup.slot[e]] += 1.0;
+        }
+      }
+      offsets.push_back(static_cast<uint32_t>(distinct.size()));
+    }
+  }
+
+  size_t ColumnSize(size_t c) const { return offsets[c + 1] - offsets[c]; }
+};
+
 struct MappingScratch {
   std::vector<std::vector<double>> scores;
   HungarianScratch hungarian;
+  // Batched σ scores of one column's distinct list against one query
+  // entity, and the dedup table + index used by the compatibility wrapper
+  // that builds a ColumnEntityIndex on the fly.
+  std::vector<double> cell_scores;
+  DedupScratch dedup;
+  ColumnEntityIndex index;
 };
 
 // Templated over the concrete similarity type: passing a final class (e.g.
 // SimilarityMemo) devirtualizes and inlines the σ call in the innermost
 // matrix loop, which dominates the per-table cost once σ itself is cached.
+// Consumes a prebuilt ColumnEntityIndex so multi-tuple queries (and the
+// row aggregation) share one gather+dedup pass per table.
 template <typename Sim>
-ColumnMapping MapQueryTupleToColumnsScratch(
-    const std::vector<EntityId>& query_tuple, const Table& table,
+ColumnMapping MapQueryTupleToColumnsIndexed(
+    const std::vector<EntityId>& query_tuple, const ColumnEntityIndex& index,
     const Sim& sim, MappingScratch& scratch) {
   std::vector<std::vector<double>>& scores = scratch.scores;
   ColumnMapping mapping;
   size_t k = query_tuple.size();
-  size_t n = table.num_columns();
+  size_t n = index.num_columns;
   mapping.column_of_entity.assign(k, -1);
   if (k == 0 || n == 0) return mapping;
 
-  // Column-relevance score matrix S (Section 5.1). Rows outermost: links
-  // are stored row-major, so this walks each table row sequentially. For
-  // any fixed (i, c) the contributions still accumulate in ascending row
-  // order, so the sums are bit-identical to a column-outer walk.
+  // Column-relevance score matrix S (Section 5.1), filled column by
+  // column from the index's distinct entities with multiplicities: the
+  // column sum Σ_ē σ(e, ē) is Σ_d count_d · σ(e, d) since σ is pure, so
+  // this computes the same mathematical sum as the cell-at-a-time walk
+  // while evaluating each repeated entity once. Accumulation order
+  // (first-occurrence order) is fixed, so the fill is deterministic and
+  // identical across the cached/uncached and serial/parallel paths.
   scores.resize(k);
   for (auto& row : scores) row.assign(n, 0.0);
-  for (size_t r = 0; r < table.num_rows(); ++r) {
-    for (size_t c = 0; c < n; ++c) {
-      EntityId cell_entity = table.link(r, c);
-      if (cell_entity == kNoEntity) continue;
-      for (size_t i = 0; i < k; ++i) {
-        if (query_tuple[i] == kNoEntity) continue;
-        scores[i][c] += sim.Score(query_tuple[i], cell_entity);
+  std::vector<double>& cell_scores = scratch.cell_scores;
+  for (size_t c = 0; c < n; ++c) {
+    size_t count = index.ColumnSize(c);
+    if (count == 0) continue;
+    const EntityId* distinct = index.distinct.data() + index.offsets[c];
+    const double* counts = index.counts.data() + index.offsets[c];
+    cell_scores.resize(count);
+    for (size_t i = 0; i < k; ++i) {
+      if (query_tuple[i] == kNoEntity) continue;
+      sim.ScoreBatch(query_tuple[i], distinct, count, cell_scores.data());
+      double acc = 0.0;
+      for (size_t d = 0; d < count; ++d) {
+        acc += counts[d] * cell_scores[d];
       }
+      scores[i][c] = acc;
     }
   }
 
@@ -76,6 +154,15 @@ ColumnMapping MapQueryTupleToColumnsScratch(
     }
   }
   return mapping;
+}
+
+template <typename Sim>
+ColumnMapping MapQueryTupleToColumnsScratch(
+    const std::vector<EntityId>& query_tuple, const Table& table,
+    const Sim& sim, MappingScratch& scratch) {
+  scratch.index.Build(table, scratch.dedup);
+  return MapQueryTupleToColumnsIndexed(query_tuple, scratch.index, sim,
+                                       scratch);
 }
 
 template <typename Sim>

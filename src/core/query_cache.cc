@@ -4,29 +4,24 @@
 
 namespace thetis {
 
-size_t QueryScopedCache::VectorHash::operator()(
-    const std::vector<EntityId>& v) const {
-  // FNV-1a over the entity ids; collisions only cost an equality check.
+namespace {
+
+// FNV-1a over the entity ids; collisions only cost an equality check.
+uint64_t HashEntityVector(const std::vector<EntityId>& v) {
   uint64_t h = 0xcbf29ce484222325ull;
   for (EntityId e : v) {
     h ^= e;
     h *= 0x100000001b3ull;
   }
-  return static_cast<size_t>(h);
+  return h;
 }
 
-QueryScopedCache::QueryScopedCache(const EntitySimilarity* base)
-    : memo_(base) {}
-
-uint32_t QueryScopedCache::SignatureOf(const Table& table, TableId table_id) {
-  auto cached = table_signatures_.find(table_id);
-  if (cached != table_signatures_.end()) return cached->second;
-
-  // Flatten the per-column sorted entity multisets, kNoEntity-separated.
-  // Column order matters: mappings index columns positionally. Row order
-  // inside a column does not: the column-relevance matrix sums over cells.
-  // The column count leads the signature: without it, a 1-column 3-row
-  // table and a 2-column 1-row table can flatten to the same sequence.
+// Flattens the per-column sorted entity multisets, kNoEntity-separated.
+// Column order matters: mappings index columns positionally. Row order
+// inside a column does not: the column-relevance matrix sums over cells.
+// The column count leads the signature: without it, a 1-column 3-row
+// table and a 2-column 1-row table can flatten to the same sequence.
+std::vector<EntityId> FlattenSignature(const Table& table) {
   std::vector<EntityId> flat;
   flat.reserve(table.num_rows() * table.num_columns() + table.num_columns() +
                1);
@@ -37,8 +32,53 @@ uint32_t QueryScopedCache::SignatureOf(const Table& table, TableId table_id) {
     flat.insert(flat.end(), column.begin(), column.end());
     flat.push_back(kNoEntity);
   }
-  uint32_t id = static_cast<uint32_t>(signature_ids_.size());
-  auto [it, inserted] = signature_ids_.emplace(std::move(flat), id);
+  return flat;
+}
+
+struct FlatHash {
+  size_t operator()(const std::vector<EntityId>& v) const {
+    return static_cast<size_t>(HashEntityVector(v));
+  }
+};
+
+}  // namespace
+
+std::vector<uint32_t> ComputeTableSignatures(const Corpus& corpus) {
+  std::vector<uint32_t> signatures;
+  signatures.reserve(corpus.size());
+  std::unordered_map<std::vector<EntityId>, uint32_t, FlatHash> interned;
+  for (TableId id = 0; id < corpus.size(); ++id) {
+    std::vector<EntityId> flat = FlattenSignature(corpus.table(id));
+    uint32_t next = static_cast<uint32_t>(interned.size());
+    auto [it, inserted] = interned.emplace(std::move(flat), next);
+    signatures.push_back(it->second);
+  }
+  return signatures;
+}
+
+size_t QueryScopedCache::VectorHash::operator()(
+    const std::vector<EntityId>& v) const {
+  return static_cast<size_t>(HashEntityVector(v));
+}
+
+QueryScopedCache::QueryScopedCache(
+    const EntitySimilarity* base,
+    const std::vector<uint32_t>* precomputed_signatures)
+    : memo_(base), precomputed_signatures_(precomputed_signatures) {}
+
+uint32_t QueryScopedCache::SignatureOf(const Table& table, TableId table_id) {
+  if (precomputed_signatures_ != nullptr &&
+      table_id < precomputed_signatures_->size()) {
+    return (*precomputed_signatures_)[table_id];
+  }
+  auto cached = table_signatures_.find(table_id);
+  if (cached != table_signatures_.end()) return cached->second;
+
+  // High bit keeps per-query ids disjoint from the precomputed dense ids
+  // (a late-ingested table never aliases a precomputed signature; the miss
+  // only costs a recompute).
+  uint32_t id = 0x80000000u | static_cast<uint32_t>(signature_ids_.size());
+  auto [it, inserted] = signature_ids_.emplace(FlattenSignature(table), id);
   table_signatures_.emplace(table_id, it->second);
   return it->second;
 }
@@ -46,6 +86,14 @@ uint32_t QueryScopedCache::SignatureOf(const Table& table, TableId table_id) {
 const ColumnMapping& QueryScopedCache::MappingFor(
     size_t tuple_index, const std::vector<EntityId>& tuple, const Table& table,
     TableId table_id) {
+  mapping_scratch_.index.Build(table, mapping_scratch_.dedup);
+  return MappingFor(tuple_index, tuple, table, table_id,
+                    mapping_scratch_.index);
+}
+
+const ColumnMapping& QueryScopedCache::MappingFor(
+    size_t tuple_index, const std::vector<EntityId>& tuple, const Table& table,
+    TableId table_id, const ColumnEntityIndex& index) {
   uint64_t key = (static_cast<uint64_t>(tuple_index) << 32) |
                  static_cast<uint64_t>(SignatureOf(table, table_id));
   auto it = mappings_.find(key);
@@ -57,7 +105,7 @@ const ColumnMapping& QueryScopedCache::MappingFor(
   // Concrete memo type: σ probes inline inside the matrix loop. The matrix
   // scratch is reused across tables for the lifetime of the query.
   return mappings_
-      .emplace(key, MapQueryTupleToColumnsScratch(tuple, table, memo_,
+      .emplace(key, MapQueryTupleToColumnsIndexed(tuple, index, memo_,
                                                   mapping_scratch_))
       .first->second;
 }

@@ -8,9 +8,19 @@
 #include "core/column_mapping.h"
 #include "core/similarity.h"
 #include "core/similarity_memo.h"
+#include "table/corpus.h"
 #include "table/table.h"
 
 namespace thetis {
+
+// Content-interned column signatures for every table of `corpus`: two
+// tables get the same id iff their columns carry identical linked-entity
+// multisets, column for column. The engine computes this once at
+// construction and shares it with every QueryScopedCache, so the per-query
+// signature pass (sorting every column of every candidate table) is paid
+// once per engine instead of once per (query, worker). Tables ingested
+// after the engine was built fall back to per-query interning.
+std::vector<uint32_t> ComputeTableSignatures(const Corpus& corpus);
 
 // Query-scoped scoring cache: everything Algorithm 1 recomputes per table
 // that actually only depends on the query. Holds
@@ -28,15 +38,29 @@ namespace thetis {
 // thread for the lifetime of one query; the engine creates one per stripe.
 class QueryScopedCache {
  public:
-  // `base` is borrowed and must outlive the cache.
-  explicit QueryScopedCache(const EntitySimilarity* base);
+  // `base` and `precomputed_signatures` are borrowed and must outlive the
+  // cache. `precomputed_signatures` (may be null) maps TableId → interned
+  // signature id as computed by ComputeTableSignatures; table ids beyond
+  // its size (tables ingested after the engine was built) are interned per
+  // query in a disjoint id space.
+  explicit QueryScopedCache(
+      const EntitySimilarity* base,
+      const std::vector<uint32_t>* precomputed_signatures = nullptr);
 
   // The memoized σ; score through this instead of the engine's raw σ.
   const SimilarityMemo& sim() const { return memo_; }
 
   // The Hungarian mapping of query tuple `tuple_index` (content `tuple`)
-  // against `table`, computed at most once per distinct column signature.
-  // The returned reference is stable until the cache is destroyed.
+  // against `table` (whose prebuilt column-entity index is `index`),
+  // computed at most once per distinct column signature. The returned
+  // reference is stable until the cache is destroyed.
+  const ColumnMapping& MappingFor(size_t tuple_index,
+                                  const std::vector<EntityId>& tuple,
+                                  const Table& table, TableId table_id,
+                                  const ColumnEntityIndex& index);
+
+  // Convenience overload that builds the column-entity index internally;
+  // the engine's hot path passes the prebuilt per-table index instead.
   const ColumnMapping& MappingFor(size_t tuple_index,
                                   const std::vector<EntityId>& tuple,
                                   const Table& table, TableId table_id);
@@ -56,6 +80,12 @@ class QueryScopedCache {
     std::vector<double> sums;
     std::vector<double> weights;
     std::vector<EntityId> best_match;
+    // Batched σ scores of one column's distinct entities, plus the table's
+    // column-entity index (built once per table, shared by the mapping fill
+    // and the row aggregation) and its dedup table.
+    std::vector<double> cell_scores;
+    DedupScratch dedup;
+    ColumnEntityIndex index;
   };
   RowScratch& row_scratch() { return row_scratch_; }
 
@@ -69,8 +99,12 @@ class QueryScopedCache {
   uint32_t SignatureOf(const Table& table, TableId table_id);
 
   SimilarityMemo memo_;
-  // Signature interning: the flattened per-column sorted entity lists
-  // (kNoEntity-separated) map to a dense id; equality is on full content.
+  // Engine-precomputed TableId → signature id (null when unavailable).
+  const std::vector<uint32_t>* precomputed_signatures_;
+  // Per-query signature interning for tables the precomputed vector does
+  // not cover: the flattened per-column sorted entity lists
+  // (kNoEntity-separated) map to an id with the high bit set, disjoint
+  // from the precomputed dense ids; equality is on full content.
   std::unordered_map<std::vector<EntityId>, uint32_t, VectorHash>
       signature_ids_;
   std::unordered_map<TableId, uint32_t> table_signatures_;

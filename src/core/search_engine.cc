@@ -40,6 +40,9 @@ SearchEngine::SearchEngine(const SemanticDataLake* lake,
                            const EntitySimilarity* sim, SearchOptions options)
     : lake_(lake), sim_(sim), options_(options) {
   THETIS_CHECK(lake != nullptr && sim != nullptr);
+  if (options_.enable_cache) {
+    table_signatures_ = ComputeTableSignatures(lake->corpus());
+  }
 }
 
 double SearchEngine::ScoreTable(const Query& query, TableId table_id,
@@ -57,30 +60,62 @@ Explanation SearchEngine::Explain(const Query& query, TableId table_id) const {
 
 namespace {
 
-// Lines 7-13 of Algorithm 1: per-row σ of each query entity against its
-// mapped column, keeping both the running sum (kAvg) and max (kMax) plus the
-// best-matching cell entity. Templated on the concrete similarity type so
-// the cached path (SimilarityMemo, a final class) inlines the σ probe.
+// Lines 7-13 of Algorithm 1: σ of each query entity against its mapped
+// column, keeping both the running sum (kAvg) and max (kMax) plus the
+// best-matching cell entity. The table's column-entity index (built once
+// per table, shared with the mapping fill) already holds each column's
+// distinct entities with multiplicities, so each mapped entity costs one
+// batched σ call over the distinct slice; the row sum weights each σ by
+// its count. The max scan over distinct entities in first-occurrence
+// order with a strict > preserves the cell-at-a-time tie rule: among
+// equal-scoring entities the one whose first row appears earliest wins.
+// Templated on the concrete similarity type so the cached path
+// (SimilarityMemo, a final class) devirtualizes the batch probe.
 template <typename Sim>
-void AggregateRows(const Table& table, const std::vector<EntityId>& tq,
+void AggregateRows(const ColumnEntityIndex& index,
+                   const std::vector<EntityId>& tq,
                    const ColumnMapping& mapping, const Sim& sim,
-                   std::vector<double>& agg, std::vector<double>& sums,
-                   std::vector<EntityId>& best_match) {
+                   QueryScopedCache::RowScratch& scratch) {
   size_t m = tq.size();
-  for (size_t r = 0; r < table.num_rows(); ++r) {
-    for (size_t i = 0; i < m; ++i) {
-      int c = mapping.column_of_entity[i];
-      if (c < 0 || tq[i] == kNoEntity) continue;
-      EntityId cell = table.link(r, static_cast<size_t>(c));
-      if (cell == kNoEntity) continue;
-      double s = sim.Score(tq[i], cell);
-      sums[i] += s;
+  std::vector<double>& agg = scratch.agg;
+  std::vector<double>& sums = scratch.sums;
+  std::vector<EntityId>& best_match = scratch.best_match;
+  std::vector<double>& cell_scores = scratch.cell_scores;
+  for (size_t i = 0; i < m; ++i) {
+    int c = mapping.column_of_entity[i];
+    if (c < 0 || tq[i] == kNoEntity) continue;
+    size_t count = index.ColumnSize(static_cast<size_t>(c));
+    if (count == 0) continue;
+    const EntityId* distinct =
+        index.distinct.data() + index.offsets[static_cast<size_t>(c)];
+    const double* counts =
+        index.counts.data() + index.offsets[static_cast<size_t>(c)];
+    cell_scores.resize(count);
+    sim.ScoreBatch(tq[i], distinct, count, cell_scores.data());
+    for (size_t d = 0; d < count; ++d) {
+      double s = cell_scores[d];
+      sums[i] += counts[d] * s;
       if (s > agg[i]) {
         agg[i] = s;
-        best_match[i] = cell;
+        best_match[i] = distinct[d];
       }
     }
   }
+}
+
+// Scratch for uncached scoring, reused across calls within a thread: this
+// function runs once per (query, table), and with the batched kernels the
+// buffer/dedup-table allocations would otherwise rival the σ arithmetic
+// itself (especially for the cheap type-intersection σ). thread_local keeps
+// SearchCandidatesParallel race-free without locks.
+struct UncachedScoringScratch {
+  MappingScratch mapping;
+  QueryScopedCache::RowScratch rows;
+};
+
+UncachedScoringScratch& ThreadScratch() {
+  thread_local UncachedScoringScratch scratch;
+  return scratch;
 }
 
 }  // namespace
@@ -92,12 +127,14 @@ double SearchEngine::ScoreTableImpl(const Query& query, TableId table_id,
   const Table& table = lake_->corpus().table(table_id);
   if (query.tuples.empty() || table.num_rows() == 0) return 0.0;
 
-  // Aggregation buffers: query-scoped scratch when a cache is present (this
-  // function runs once per table, and fresh allocations here dominate the
-  // arithmetic on large lakes), locals otherwise.
-  QueryScopedCache::RowScratch local_scratch;
+  // Aggregation buffers: query-scoped scratch when a cache is present,
+  // thread-local scratch otherwise.
   QueryScopedCache::RowScratch& scratch =
-      cache != nullptr ? cache->row_scratch() : local_scratch;
+      cache != nullptr ? cache->row_scratch() : ThreadScratch().rows;
+
+  // Gather and dedup the table's columns once; every tuple's mapping fill
+  // and row aggregation reads the same index.
+  scratch.index.Build(table, scratch.dedup);
 
   double tuple_score_sum = 0.0;
   size_t counted_tuples = 0;
@@ -115,9 +152,11 @@ double SearchEngine::ScoreTableImpl(const Query& query, TableId table_id,
     ColumnMapping local_mapping;
     const ColumnMapping* mapping_ptr;
     if (cache != nullptr) {
-      mapping_ptr = &cache->MappingFor(tuple_index, tq, table, table_id);
+      mapping_ptr = &cache->MappingFor(tuple_index, tq, table, table_id,
+                                       scratch.index);
     } else {
-      local_mapping = MapQueryTupleToColumns(tq, table, *sim_);
+      local_mapping = MapQueryTupleToColumnsIndexed(tq, scratch.index, *sim_,
+                                                    ThreadScratch().mapping);
       mapping_ptr = &local_mapping;
     }
     const ColumnMapping& mapping = *mapping_ptr;
@@ -133,9 +172,9 @@ double SearchEngine::ScoreTableImpl(const Query& query, TableId table_id,
     sums.assign(m, 0.0);
     best_match.assign(m, kNoEntity);
     if (cache != nullptr) {
-      AggregateRows(table, tq, mapping, cache->sim(), agg, sums, best_match);
+      AggregateRows(scratch.index, tq, mapping, cache->sim(), scratch);
     } else {
-      AggregateRows(table, tq, mapping, *sim_, agg, sums, best_match);
+      AggregateRows(scratch.index, tq, mapping, *sim_, scratch);
     }
     if (options_.aggregation == RowAggregation::kAvg) {
       for (size_t i = 0; i < m; ++i) {
@@ -213,7 +252,9 @@ std::vector<SearchHit> SearchEngine::SearchCandidates(
   Stopwatch watch;
   double mapping_seconds = 0.0;
   std::unique_ptr<QueryScopedCache> cache;
-  if (options_.enable_cache) cache = std::make_unique<QueryScopedCache>(sim_);
+  if (options_.enable_cache) {
+    cache = std::make_unique<QueryScopedCache>(sim_, &table_signatures_);
+  }
   TopK<TableId> top(std::max<size_t>(1, options_.top_k));
   size_t nonzero = 0;
   for (TableId id : candidates) {
@@ -256,7 +297,8 @@ std::vector<SearchHit> SearchEngine::SearchCandidatesParallel(
   for (size_t i = 0; i <= workers; ++i) {
     locals.emplace_back(std::max<size_t>(1, options_.top_k));
     if (options_.enable_cache) {
-      locals.back().cache = std::make_unique<QueryScopedCache>(sim_);
+      locals.back().cache =
+          std::make_unique<QueryScopedCache>(sim_, &table_signatures_);
     }
   }
   // Stripe candidates over slots; each ParallelFor index owns one stripe so

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "simd/kernels.h"
 #include "util/logging.h"
 
 namespace thetis {
@@ -9,20 +10,8 @@ namespace thetis {
 double JaccardOfSorted(const std::vector<uint32_t>& a,
                        const std::vector<uint32_t>& b) {
   if (a.empty() && b.empty()) return 0.0;
-  size_t i = 0;
-  size_t j = 0;
-  size_t inter = 0;
-  while (i < a.size() && j < b.size()) {
-    if (a[i] == b[j]) {
-      ++inter;
-      ++i;
-      ++j;
-    } else if (a[i] < b[j]) {
-      ++i;
-    } else {
-      ++j;
-    }
-  }
+  size_t inter = simd::IntersectSortedU32(a.data(), a.size(), b.data(),
+                                          b.size());
   size_t uni = a.size() + b.size() - inter;
   return uni == 0 ? 0.0 : static_cast<double>(inter) / static_cast<double>(uni);
 }
@@ -32,15 +21,54 @@ TypeJaccardSimilarity::TypeJaccardSimilarity(const KnowledgeGraph* kg,
                                              double cap)
     : kg_(kg), cap_(cap) {
   THETIS_CHECK(kg != nullptr);
-  type_sets_.reserve(kg->num_entities());
-  for (EntityId e = 0; e < kg->num_entities(); ++e) {
-    type_sets_.push_back(kg->TypeSet(e, include_ancestors));
+  size_t n = kg->num_entities();
+  offsets_.reserve(n + 1);
+  offsets_.push_back(0);
+  for (EntityId e = 0; e < n; ++e) {
+    std::vector<TypeId> types = kg->TypeSet(e, include_ancestors);
+    pool_.insert(pool_.end(), types.begin(), types.end());
+    offsets_.push_back(static_cast<uint32_t>(pool_.size()));
   }
+  pool_.shrink_to_fit();
 }
 
 double TypeJaccardSimilarity::Score(EntityId a, EntityId b) const {
   if (a == b) return 1.0;
-  return std::min(cap_, JaccardOfSorted(type_sets_[a], type_sets_[b]));
+  size_t la = offsets_[a + 1] - offsets_[a];
+  size_t lb = offsets_[b + 1] - offsets_[b];
+  if (la == 0 && lb == 0) return 0.0;
+  size_t inter = simd::IntersectSortedU32(pool_.data() + offsets_[a], la,
+                                          pool_.data() + offsets_[b], lb);
+  size_t uni = la + lb - inter;
+  double j = uni == 0
+                 ? 0.0
+                 : static_cast<double>(inter) / static_cast<double>(uni);
+  return std::min(cap_, j);
+}
+
+void TypeJaccardSimilarity::ScoreBatch(EntityId q, const EntityId* targets,
+                                       size_t count, double* out) const {
+  const TypeId* qset = pool_.data() + offsets_[q];
+  size_t lq = offsets_[q + 1] - offsets_[q];
+  for (size_t k = 0; k < count; ++k) {
+    EntityId t = targets[k];
+    if (t == q) {
+      out[k] = 1.0;
+      continue;
+    }
+    size_t lt = offsets_[t + 1] - offsets_[t];
+    if (lq == 0 && lt == 0) {
+      out[k] = 0.0;
+      continue;
+    }
+    size_t inter =
+        simd::IntersectSortedU32(qset, lq, pool_.data() + offsets_[t], lt);
+    size_t uni = lq + lt - inter;
+    double j = uni == 0
+                   ? 0.0
+                   : static_cast<double>(inter) / static_cast<double>(uni);
+    out[k] = std::min(cap_, j);
+  }
 }
 
 EmbeddingCosineSimilarity::EmbeddingCosineSimilarity(
@@ -55,6 +83,23 @@ double EmbeddingCosineSimilarity::Score(EntityId a, EntityId b) const {
   if (c < 0.0f) return 0.0;
   if (c > 1.0f) return 1.0;
   return static_cast<double>(c);
+}
+
+void EmbeddingCosineSimilarity::ScoreBatch(EntityId q, const EntityId* targets,
+                                           size_t count, double* out) const {
+  // Per-worker kernel output buffer: the engine shares one similarity
+  // across query workers, so the scratch cannot be a plain member.
+  thread_local std::vector<float> dots;
+  dots.resize(count);
+  store_->CosineBatch(q, targets, count, dots.data());
+  for (size_t k = 0; k < count; ++k) {
+    if (targets[k] == q) {
+      out[k] = 1.0;
+      continue;
+    }
+    float c = dots[k];
+    out[k] = c < 0.0f ? 0.0 : (c > 1.0f ? 1.0 : static_cast<double>(c));
+  }
 }
 
 }  // namespace thetis

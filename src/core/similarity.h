@@ -1,6 +1,7 @@
 #ifndef THETIS_CORE_SIMILARITY_H_
 #define THETIS_CORE_SIMILARITY_H_
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -20,6 +21,28 @@ class EntitySimilarity {
   // Similarity in [0, 1]; must return 1 for identical entities.
   virtual double Score(EntityId a, EntityId b) const = 0;
 
+  // Batched σ: out[k] = Score(q, targets[k]). Implementations must produce
+  // bit-identical values to the one-shot Score (the engine relies on this
+  // for cached-vs-uncached and batched-vs-serial ranking parity). The
+  // default is a plain loop; concrete similarities override it with flat
+  // kernel calls.
+  virtual void ScoreBatch(EntityId q, const EntityId* targets, size_t count,
+                          double* out) const {
+    for (size_t k = 0; k < count; ++k) out[k] = Score(q, targets[k]);
+  }
+
+  // True when batched scoring through this similarity is cheaper than a
+  // memo probe per pair (e.g. one AVX2 dot over pre-normalized rows).
+  // SimilarityMemo forwards batches straight to the base similarity in
+  // that case instead of memoizing.
+  virtual bool PrefersDirectBatch() const { return false; }
+
+  // Exclusive upper bound of the dense entity-id space this σ can score
+  // (every id in [0, NumEntities()) must be a valid argument), or 0 when
+  // unknown. SimilarityMemo uses it to switch a hot query entity to a
+  // dense precomputed score row once enough pairs have been served.
+  virtual size_t NumEntities() const { return 0; }
+
   // Short name used in benchmark output ("types", "embeddings").
   virtual std::string name() const = 0;
 };
@@ -27,6 +50,11 @@ class EntitySimilarity {
 // The adjusted Jaccard similarity of Eq. (4): 1 for identical entities,
 // otherwise the Jaccard similarity of the two (ancestor-expanded) type sets
 // capped at 0.95 so that no two distinct entities tie with an exact match.
+//
+// The per-entity type sets are stored as one CSR arena (offsets + pool):
+// every set is a contiguous, strictly increasing span, so Jaccard* is one
+// sorted-set intersection kernel call over two flat spans instead of a
+// pointer chase through a ragged vector-of-vectors.
 class TypeJaccardSimilarity : public EntitySimilarity {
  public:
   // Precomputes every entity's expanded type set. The graph must outlive
@@ -36,17 +64,23 @@ class TypeJaccardSimilarity : public EntitySimilarity {
                                  double cap = 0.95);
 
   double Score(EntityId a, EntityId b) const override;
+  void ScoreBatch(EntityId q, const EntityId* targets, size_t count,
+                  double* out) const override;
+  size_t NumEntities() const override { return offsets_.size() - 1; }
   std::string name() const override { return "types"; }
 
-  // Exposed for tests: the expanded, sorted type set of `e`.
-  const std::vector<TypeId>& TypeSetOf(EntityId e) const {
-    return type_sets_[e];
+  // Exposed for tests: the expanded, sorted type set of `e` (a view into
+  // the CSR pool).
+  std::span<const TypeId> TypeSetOf(EntityId e) const {
+    return {pool_.data() + offsets_[e], offsets_[e + 1] - offsets_[e]};
   }
 
  private:
   const KnowledgeGraph* kg_;
   double cap_;
-  std::vector<std::vector<TypeId>> type_sets_;
+  // CSR arena: entity e's types live in pool_[offsets_[e], offsets_[e+1]).
+  std::vector<uint32_t> offsets_;
+  std::vector<TypeId> pool_;
 };
 
 // Cosine similarity of entity embedding vectors, clamped to [0, 1]
@@ -54,10 +88,17 @@ class TypeJaccardSimilarity : public EntitySimilarity {
 // even for zero vectors.
 class EmbeddingCosineSimilarity : public EntitySimilarity {
  public:
-  // The store must outlive this object and cover all scored entities.
+  // The store must outlive this object, cover all scored entities, and have
+  // no pending stale cache rows when scored from multiple threads (see the
+  // EmbeddingStore cache contract).
   explicit EmbeddingCosineSimilarity(const EmbeddingStore* store);
 
   double Score(EntityId a, EntityId b) const override;
+  void ScoreBatch(EntityId q, const EntityId* targets, size_t count,
+                  double* out) const override;
+  // A dim-length dot over pre-normalized rows beats a hash probe per pair.
+  bool PrefersDirectBatch() const override { return true; }
+  size_t NumEntities() const override { return store_->size(); }
   std::string name() const override { return "embeddings"; }
 
  private:
@@ -65,7 +106,7 @@ class EmbeddingCosineSimilarity : public EntitySimilarity {
 };
 
 // Jaccard similarity of two sorted id vectors (shared helper; 0 when both
-// are empty).
+// are empty). Inputs are sets: strictly increasing sequences.
 double JaccardOfSorted(const std::vector<uint32_t>& a,
                        const std::vector<uint32_t>& b);
 

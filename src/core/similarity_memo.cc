@@ -30,6 +30,27 @@ void SimilarityMemo::Clear() {
   size_ = 0;
   hits_ = 0;
   misses_ = 0;
+  dense_.clear();
+}
+
+SimilarityMemo::DenseRow& SimilarityMemo::DenseFor(EntityId q) const {
+  for (DenseRow& dr : dense_) {
+    if (dr.q == q) return dr;
+  }
+  dense_.emplace_back();
+  dense_.back().q = q;
+  return dense_.back();
+}
+
+void SimilarityMemo::BuildRow(DenseRow& dr, size_t n) const {
+  if (all_ids_.size() != n) {
+    all_ids_.resize(n);
+    for (size_t i = 0; i < n; ++i) all_ids_[i] = static_cast<EntityId>(i);
+  }
+  dr.row.resize(n);
+  base_->ScoreBatch(dr.q, all_ids_.data(), n, dr.row.data());
+  misses_ += n;
+  dr.built = true;
 }
 
 void SimilarityMemo::Grow() const {
@@ -51,6 +72,80 @@ double SimilarityMemo::Miss(uint64_t key, size_t i, EntityId a,
   slots_[i] = Slot{key, value};
   if (++size_ * 2 > slots_.size()) Grow();
   return value;
+}
+
+void SimilarityMemo::InsertIfAbsent(uint64_t key, double value) const {
+  size_t mask = slots_.size() - 1;
+  size_t i = SpreadKey(key, mask);
+  while (slots_[i].key != kEmptySlot) {
+    if (slots_[i].key == key) return;
+    i = (i + 1) & mask;
+  }
+  slots_[i] = Slot{key, value};
+  if (++size_ * 2 > slots_.size()) Grow();
+}
+
+void SimilarityMemo::ScoreBatch(EntityId q, const EntityId* targets,
+                                size_t count, double* out) const {
+  // Regime 1: dense row. Build it once the pairs already served for q
+  // would have paid for it (rent-to-buy keeps total work within 2x of
+  // optimal, so small candidate scans never overpay), then serve every
+  // batch as a flat gather.
+  size_t n = base_->NumEntities();
+  if (n > 0) {
+    DenseRow& dr = DenseFor(q);
+    if (!dr.built && dr.pairs_served >= n) BuildRow(dr, n);
+    if (dr.built) {
+      for (size_t k = 0; k < count; ++k) {
+        EntityId t = targets[k];
+        out[k] = t < n ? dr.row[t] : base_->Score(q, t);
+      }
+      hits_ += count;
+      return;
+    }
+    dr.pairs_served += count;
+  }
+  // Regime 2: a SIMD dot over pre-normalized rows is cheaper than a memo
+  // probe per pair: hand the whole batch to the base kernel (pure, so
+  // bit-identical).
+  if (base_->PrefersDirectBatch()) {
+    base_->ScoreBatch(q, targets, count, out);
+    return;
+  }
+  miss_idx_.clear();
+  miss_ids_.clear();
+  for (size_t k = 0; k < count; ++k) {
+    uint64_t key = PackKey(q, targets[k]);
+    if (key == kEmptySlot) {
+      out[k] = base_->Score(q, targets[k]);
+      continue;
+    }
+    size_t mask = slots_.size() - 1;
+    size_t i = SpreadKey(key, mask);
+    bool found = false;
+    while (slots_[i].key != kEmptySlot) {
+      if (slots_[i].key == key) {
+        ++hits_;
+        out[k] = slots_[i].value;
+        found = true;
+        break;
+      }
+      i = (i + 1) & mask;
+    }
+    if (!found) {
+      ++misses_;
+      miss_idx_.push_back(k);
+      miss_ids_.push_back(targets[k]);
+    }
+  }
+  if (miss_idx_.empty()) return;
+  // One sub-batch to the base similarity for all misses, then insert.
+  miss_out_.resize(miss_idx_.size());
+  base_->ScoreBatch(q, miss_ids_.data(), miss_ids_.size(), miss_out_.data());
+  for (size_t m = 0; m < miss_idx_.size(); ++m) {
+    out[miss_idx_[m]] = miss_out_[m];
+    InsertIfAbsent(PackKey(q, miss_ids_[m]), miss_out_[m]);
+  }
 }
 
 }  // namespace thetis

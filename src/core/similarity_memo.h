@@ -43,6 +43,24 @@ class SimilarityMemo final : public EntitySimilarity {
     }
     return Miss(key, i, a, b);
   }
+
+  // Batched probe with three regimes, all bit-identical to the base σ:
+  //
+  //  1. Dense row: once a query entity has been scored against as many
+  //     pairs as the base's dense entity-id space holds (rent-to-buy: the
+  //     precompute is then no more than half the total work), σ(q, ·) is
+  //     computed over ALL entities in one base batch and every later batch
+  //     is a flat gather — no probing, no σ arithmetic. This is what makes
+  //     full-corpus scans cheap: an entity appearing in hundreds of tables
+  //     is scored once per query, not once per table.
+  //  2. Direct batch: before the dense row pays for itself, a base that
+  //     prefers direct batching (a SIMD dot over pre-normalized rows beats
+  //     a hash probe per pair) gets the whole batch forwarded.
+  //  3. Hash memo: otherwise each pair probes the table and misses are
+  //     forwarded to the base's ScoreBatch in one sub-batch.
+  void ScoreBatch(EntityId q, const EntityId* targets, size_t count,
+                  double* out) const override;
+
   std::string name() const override { return base_->name() + "+memo"; }
 
   const EntitySimilarity& base() const { return *base_; }
@@ -82,6 +100,27 @@ class SimilarityMemo final : public EntitySimilarity {
   // Doubles the table, rehashing all occupied slots.
   void Grow() const;
 
+  // Inserts (key, value) unless the key is already present (a duplicate
+  // target inside one batch); σ is pure, so the existing value is
+  // identical and the insert can be skipped.
+  void InsertIfAbsent(uint64_t key, double value) const;
+
+  // Per-query-entity dense score row (regime 1 above). A query holds a
+  // handful of distinct entities, so the rows live in a linear-scanned
+  // vector.
+  struct DenseRow {
+    EntityId q = kNoEntity;
+    // Pairs served for q through any regime; the row is built when this
+    // reaches the base's NumEntities().
+    size_t pairs_served = 0;
+    bool built = false;
+    std::vector<double> row;
+  };
+  DenseRow& DenseFor(EntityId q) const;
+  // Fills dr.row with σ(q, e) for all e in [0, n) via one base batch
+  // (counted as n misses — they are real base evaluations).
+  void BuildRow(DenseRow& dr, size_t n) const;
+
   const EntitySimilarity* base_;
   // Score() is conceptually const (same observable values as base_), so the
   // cache state is mutable.
@@ -89,6 +128,13 @@ class SimilarityMemo final : public EntitySimilarity {
   mutable size_t size_ = 0;
   mutable size_t hits_ = 0;
   mutable size_t misses_ = 0;
+  // Batch scratch (the memo is per-worker, so plain members suffice).
+  mutable std::vector<size_t> miss_idx_;
+  mutable std::vector<EntityId> miss_ids_;
+  mutable std::vector<double> miss_out_;
+  mutable std::vector<DenseRow> dense_;
+  // Iota id list for dense row builds (shared across rows).
+  mutable std::vector<EntityId> all_ids_;
 };
 
 }  // namespace thetis

@@ -1,17 +1,84 @@
 #include "embedding/embedding_store.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
 #include "embedding/vector_ops.h"
+#include "simd/kernels.h"
 #include "util/logging.h"
 
 namespace thetis {
 
+EmbeddingStore::EmbeddingStore(size_t num_entities, size_t dim)
+    : dim_(dim),
+      data_(num_entities * dim, 0.0f),
+      normalized_(num_entities * dim, 0.0f),
+      norms_(num_entities, 0.0f),
+      stale_(num_entities, 0) {}
+
+float* EmbeddingStore::mutable_vector(EntityId e) {
+  if (e < stale_.size() && stale_[e] == 0) {
+    stale_[e] = 1;
+    ++num_stale_;
+  }
+  return data_.data() + e * dim_;
+}
+
+void EmbeddingStore::Refresh() const {
+  for (size_t e = 0; e < stale_.size(); ++e) {
+    if (stale_[e] == 0) continue;
+    const float* src = data_.data() + e * dim_;
+    float* dst = normalized_.data() + e * dim_;
+    float norm = simd::L2Norm(src, dim_);
+    norms_[e] = norm;
+    if (norm > 0.0f) {
+      float inv = 1.0f / norm;
+      for (size_t i = 0; i < dim_; ++i) dst[i] = src[i] * inv;
+    } else {
+      std::memset(dst, 0, dim_ * sizeof(float));
+    }
+    stale_[e] = 0;
+  }
+  num_stale_ = 0;
+}
+
+void EmbeddingStore::EnsureCaches() const {
+  if (num_stale_ != 0) Refresh();
+}
+
+float EmbeddingStore::Norm(EntityId e) const {
+  THETIS_CHECK(e < size());
+  EnsureCaches();
+  return norms_[e];
+}
+
+const float* EmbeddingStore::NormalizedRow(EntityId e) const {
+  THETIS_CHECK(e < size());
+  EnsureCaches();
+  return normalized_.data() + e * dim_;
+}
+
+const float* EmbeddingStore::NormalizedData() const {
+  EnsureCaches();
+  return normalized_.data();
+}
+
 float EmbeddingStore::Cosine(EntityId a, EntityId b) const {
   THETIS_CHECK(a < size() && b < size());
-  return CosineSimilarity(vector(a), vector(b), dim_);
+  EnsureCaches();
+  return simd::Dot(normalized_.data() + a * dim_, normalized_.data() + b * dim_,
+                   dim_);
+}
+
+void EmbeddingStore::CosineBatch(EntityId q, const EntityId* targets,
+                                 size_t count, float* out) const {
+  THETIS_CHECK(q < size());
+  EnsureCaches();
+  simd::DotBatchGather(normalized_.data() + q * dim_, normalized_.data(), dim_,
+                       targets, count, out);
 }
 
 void EmbeddingStore::NormalizeAll() {
@@ -22,6 +89,7 @@ void EmbeddingStore::NormalizeAll() {
       for (size_t i = 0; i < dim_; ++i) v[i] /= norm;
     }
   }
+  EnsureCaches();
 }
 
 std::string EmbeddingStore::ToText() const {
@@ -55,6 +123,7 @@ Result<EmbeddingStore> EmbeddingStore::FromText(const std::string& text) {
       }
     }
   }
+  store.EnsureCaches();
   return store;
 }
 
@@ -72,6 +141,66 @@ Result<EmbeddingStore> EmbeddingStore::LoadFromFile(const std::string& path) {
   std::ostringstream buf;
   buf << in.rdbuf();
   return FromText(buf.str());
+}
+
+namespace {
+
+constexpr char kBinaryMagic[4] = {'T', 'E', 'M', 'B'};
+constexpr uint32_t kBinaryVersion = 1;
+
+}  // namespace
+
+Status EmbeddingStore::SaveBinary(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  uint64_t count = size();
+  uint64_t dim = dim_;
+  out.write(kBinaryMagic, sizeof(kBinaryMagic));
+  out.write(reinterpret_cast<const char*>(&kBinaryVersion),
+            sizeof(kBinaryVersion));
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  out.write(reinterpret_cast<const char*>(&dim), sizeof(dim));
+  out.write(reinterpret_cast<const char*>(data_.data()),
+            static_cast<std::streamsize>(data_.size() * sizeof(float)));
+  if (!out) return Status::IoError("write to " + path + " failed");
+  return Status::Ok();
+}
+
+Result<EmbeddingStore> EmbeddingStore::LoadBinary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  char magic[4];
+  uint32_t version = 0;
+  uint64_t count = 0;
+  uint64_t dim = 0;
+  in.read(magic, sizeof(magic));
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  in.read(reinterpret_cast<char*>(&dim), sizeof(dim));
+  if (!in || std::memcmp(magic, kBinaryMagic, sizeof(magic)) != 0) {
+    return Status::InvalidArgument(path + " is not a binary embedding file");
+  }
+  if (version != kBinaryVersion) {
+    return Status::InvalidArgument("unsupported embedding binary version " +
+                                   std::to_string(version));
+  }
+  if (dim > (1ull << 24) || count > (1ull << 40) / (dim == 0 ? 1 : dim)) {
+    return Status::InvalidArgument(path + " has an implausible header");
+  }
+  EmbeddingStore store(count, dim);
+  in.read(reinterpret_cast<char*>(store.data_.data()),
+          static_cast<std::streamsize>(store.data_.size() * sizeof(float)));
+  if (!in || in.gcount() !=
+                 static_cast<std::streamsize>(store.data_.size() *
+                                              sizeof(float))) {
+    return Status::InvalidArgument(path + " truncated embedding data");
+  }
+  // Rows were written straight into data_, bypassing mutable_vector: mark
+  // everything stale, then rebuild.
+  std::fill(store.stale_.begin(), store.stale_.end(), 1);
+  store.num_stale_ = store.stale_.size();
+  store.EnsureCaches();
+  return store;
 }
 
 }  // namespace thetis

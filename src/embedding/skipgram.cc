@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "embedding/vector_ops.h"
+#include "simd/kernels.h"
 #include "util/logging.h"
 #include "util/rng.h"
 
@@ -149,12 +150,12 @@ EmbeddingStore SkipGramTrainer::Train(
             float* v_out = output.data() + static_cast<size_t>(target) * dim;
             double dot = DotProduct(v_in, v_out, dim);
             double g = (label - sigmoid(dot)) * lr;
-            for (size_t d = 0; d < dim; ++d) {
-              grad[d] += static_cast<float>(g) * v_out[d];
-              v_out[d] += static_cast<float>(g) * v_in[d];
-            }
+            // Two fused-multiply-add kernels; grad must read v_out before
+            // the v_out update, as in the original interleaved loop.
+            simd::Axpy(static_cast<float>(g), v_out, grad.data(), dim);
+            simd::Axpy(static_cast<float>(g), v_in, v_out, dim);
           }
-          for (size_t d = 0; d < dim; ++d) v_in[d] += grad[d];
+          simd::Add(v_in, grad.data(), dim);
         }
       }
     }

@@ -1,16 +1,15 @@
 #include "embedding/vector_ops.h"
 
+#include "simd/kernels.h"
+
 namespace thetis {
 
 std::vector<float> MeanPool(const std::vector<const float*>& vectors,
                             size_t dim) {
   std::vector<float> out(dim, 0.0f);
   if (vectors.empty()) return out;
-  for (const float* v : vectors) {
-    for (size_t i = 0; i < dim; ++i) out[i] += v[i];
-  }
-  float inv = 1.0f / static_cast<float>(vectors.size());
-  for (float& x : out) x *= inv;
+  for (const float* v : vectors) simd::Add(out.data(), v, dim);
+  simd::Scale(out.data(), 1.0f / static_cast<float>(vectors.size()), dim);
   return out;
 }
 

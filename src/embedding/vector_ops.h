@@ -5,27 +5,31 @@
 #include <cstddef>
 #include <vector>
 
+#include "simd/kernels.h"
+
 namespace thetis {
 
 // Dense float vector helpers shared by the embedding trainer, the cosine
-// similarity, random-projection LSH and the TURL-like pooled-table baseline.
+// similarity, random-projection LSH and the TURL-like pooled-table
+// baseline. These are thin wrappers over the runtime-dispatched kernels in
+// simd/kernels.h (the former hand-rolled scalar loops now live there, as
+// the scalar tier).
 
 inline float DotProduct(const float* a, const float* b, size_t n) {
-  float acc = 0.0f;
-  for (size_t i = 0; i < n; ++i) acc += a[i] * b[i];
-  return acc;
+  return simd::Dot(a, b, n);
 }
 
-inline float L2Norm(const float* a, size_t n) {
-  return std::sqrt(DotProduct(a, a, n));
-}
+inline float L2Norm(const float* a, size_t n) { return simd::L2Norm(a, n); }
 
-// Cosine similarity in [-1, 1]; 0 when either vector is all-zero.
+// Cosine similarity in [-1, 1]; 0 when either vector is all-zero. Single
+// fused pass over both vectors.
 inline float CosineSimilarity(const float* a, const float* b, size_t n) {
-  float na = L2Norm(a, n);
-  float nb = L2Norm(b, n);
-  if (na <= 0.0f || nb <= 0.0f) return 0.0f;
-  return DotProduct(a, b, n) / (na * nb);
+  float dot = 0.0f;
+  float na2 = 0.0f;
+  float nb2 = 0.0f;
+  simd::DotAndNorms2(a, b, n, &dot, &na2, &nb2);
+  if (na2 <= 0.0f || nb2 <= 0.0f) return 0.0f;
+  return dot / (std::sqrt(na2) * std::sqrt(nb2));
 }
 
 // Element-wise mean of `vectors` (each of length `dim`); empty input yields

@@ -1,6 +1,6 @@
 #include "lsh/hyperplane.h"
 
-#include "embedding/vector_ops.h"
+#include "simd/kernels.h"
 #include "util/rng.h"
 
 namespace thetis {
@@ -16,10 +16,13 @@ HyperplaneHasher::HyperplaneHasher(size_t num_projections, size_t dim,
 }
 
 std::vector<uint32_t> HyperplaneHasher::Signature(const float* v) const {
+  // The projection matrix is row-major and contiguous: one batched
+  // one-vs-many dot computes every projection in a single kernel call.
+  std::vector<float> dots(num_projections_);
+  simd::DotBatch(v, projections_.data(), dim_, num_projections_, dots.data());
   std::vector<uint32_t> sig(num_projections_);
   for (size_t p = 0; p < num_projections_; ++p) {
-    float dot = DotProduct(projections_.data() + p * dim_, v, dim_);
-    sig[p] = dot > 0.0f ? 1u : 0u;
+    sig[p] = dots[p] > 0.0f ? 1u : 0u;
   }
   return sig;
 }

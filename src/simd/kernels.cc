@@ -1,0 +1,232 @@
+#include "simd/kernels.h"
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+#include "simd/kernels_internal.h"
+
+namespace thetis::simd {
+
+// --- Scalar reference tier -------------------------------------------------
+
+namespace scalar {
+
+float Dot(const float* a, const float* b, size_t n) {
+  float acc = 0.0f;
+  for (size_t i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+void DotAndNorms2(const float* a, const float* b, size_t n, float* dot,
+                  float* na2, float* nb2) {
+  float d = 0.0f;
+  float sa = 0.0f;
+  float sb = 0.0f;
+  for (size_t i = 0; i < n; ++i) {
+    d += a[i] * b[i];
+    sa += a[i] * a[i];
+    sb += b[i] * b[i];
+  }
+  *dot = d;
+  *na2 = sa;
+  *nb2 = sb;
+}
+
+void DotBatch(const float* q, const float* rows, size_t dim, size_t count,
+              float* out) {
+  for (size_t k = 0; k < count; ++k) {
+    out[k] = Dot(q, rows + k * dim, dim);
+  }
+}
+
+void DotBatchGather(const float* q, const float* base, size_t dim,
+                    const uint32_t* ids, size_t count, float* out) {
+  for (size_t k = 0; k < count; ++k) {
+    out[k] = Dot(q, base + static_cast<size_t>(ids[k]) * dim, dim);
+  }
+}
+
+void Axpy(float a, const float* x, float* y, size_t n) {
+  for (size_t i = 0; i < n; ++i) y[i] += a * x[i];
+}
+
+void Add(float* acc, const float* x, size_t n) {
+  for (size_t i = 0; i < n; ++i) acc[i] += x[i];
+}
+
+void Scale(float* x, float s, size_t n) {
+  for (size_t i = 0; i < n; ++i) x[i] *= s;
+}
+
+size_t IntersectSortedU32(const uint32_t* a, size_t na, const uint32_t* b,
+                          size_t nb) {
+  size_t i = 0;
+  size_t j = 0;
+  size_t inter = 0;
+  while (i < na && j < nb) {
+    if (a[i] == b[j]) {
+      ++inter;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return inter;
+}
+
+}  // namespace scalar
+
+const Kernels* GetScalarKernels() {
+  static const Kernels table = {
+      scalar::Dot,          scalar::DotAndNorms2, scalar::DotBatch,
+      scalar::DotBatchGather, scalar::Axpy,       scalar::Add,
+      scalar::Scale,        scalar::IntersectSortedU32,
+  };
+  return &table;
+}
+
+// --- Dispatch --------------------------------------------------------------
+
+namespace {
+
+const Kernels* TableForTier(Tier tier) {
+  if (tier == Tier::kAvx2) {
+    if (const Kernels* t = GetAvx2Kernels()) return t;
+    tier = Tier::kSse2;
+  }
+  if (tier == Tier::kSse2) {
+    if (const Kernels* t = GetSse2Kernels()) return t;
+  }
+  return GetScalarKernels();
+}
+
+bool CpuSupports(Tier tier) {
+#if defined(__x86_64__) || defined(__i386__)
+  switch (tier) {
+    case Tier::kAvx2:
+      return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+    case Tier::kSse2:
+      return __builtin_cpu_supports("sse2");
+    case Tier::kScalar:
+      return true;
+  }
+  return false;
+#else
+  return tier == Tier::kScalar;
+#endif
+}
+
+Tier DetectBestTier() {
+  if (GetAvx2Kernels() != nullptr && CpuSupports(Tier::kAvx2)) {
+    return Tier::kAvx2;
+  }
+  if (GetSse2Kernels() != nullptr && CpuSupports(Tier::kSse2)) {
+    return Tier::kSse2;
+  }
+  return Tier::kScalar;
+}
+
+Tier InitialTier() {
+  Tier best = DetectBestTier();
+  const char* env = std::getenv("THETIS_SIMD");
+  if (env != nullptr) {
+    Tier wanted = best;
+    if (std::strcmp(env, "scalar") == 0) {
+      wanted = Tier::kScalar;
+    } else if (std::strcmp(env, "sse2") == 0) {
+      wanted = Tier::kSse2;
+    } else if (std::strcmp(env, "avx2") == 0) {
+      wanted = Tier::kAvx2;
+    }
+    if (static_cast<int>(wanted) < static_cast<int>(best)) best = wanted;
+  }
+  return best;
+}
+
+struct Dispatch {
+  std::atomic<const Kernels*> table;
+  std::atomic<int> tier;
+  Dispatch() {
+    Tier t = InitialTier();
+    tier.store(static_cast<int>(t), std::memory_order_relaxed);
+    table.store(TableForTier(t), std::memory_order_relaxed);
+  }
+};
+
+Dispatch& ActiveDispatch() {
+  static Dispatch dispatch;
+  return dispatch;
+}
+
+const Kernels& K() {
+  return *ActiveDispatch().table.load(std::memory_order_relaxed);
+}
+
+}  // namespace
+
+const char* TierName(Tier tier) {
+  switch (tier) {
+    case Tier::kAvx2:
+      return "avx2";
+    case Tier::kSse2:
+      return "sse2";
+    case Tier::kScalar:
+      return "scalar";
+  }
+  return "unknown";
+}
+
+Tier BestSupportedTier() {
+  static const Tier best = DetectBestTier();
+  return best;
+}
+
+Tier ActiveTier() {
+  return static_cast<Tier>(
+      ActiveDispatch().tier.load(std::memory_order_relaxed));
+}
+
+void SetTier(Tier tier) {
+  Tier best = BestSupportedTier();
+  if (static_cast<int>(tier) > static_cast<int>(best)) tier = best;
+  Dispatch& dispatch = ActiveDispatch();
+  dispatch.tier.store(static_cast<int>(tier), std::memory_order_relaxed);
+  dispatch.table.store(TableForTier(tier), std::memory_order_relaxed);
+}
+
+float Dot(const float* a, const float* b, size_t n) { return K().dot(a, b, n); }
+
+float L2Norm(const float* a, size_t n) { return std::sqrt(K().dot(a, a, n)); }
+
+void DotAndNorms2(const float* a, const float* b, size_t n, float* dot,
+                  float* na2, float* nb2) {
+  K().dot_and_norms2(a, b, n, dot, na2, nb2);
+}
+
+void DotBatch(const float* q, const float* rows, size_t dim, size_t count,
+              float* out) {
+  K().dot_batch(q, rows, dim, count, out);
+}
+
+void DotBatchGather(const float* q, const float* base, size_t dim,
+                    const uint32_t* ids, size_t count, float* out) {
+  K().dot_batch_gather(q, base, dim, ids, count, out);
+}
+
+void Axpy(float a, const float* x, float* y, size_t n) { K().axpy(a, x, y, n); }
+
+void Add(float* acc, const float* x, size_t n) { K().add(acc, x, n); }
+
+void Scale(float* x, float s, size_t n) { K().scale(x, s, n); }
+
+size_t IntersectSortedU32(const uint32_t* a, size_t na, const uint32_t* b,
+                          size_t nb) {
+  return K().intersect(a, na, b, nb);
+}
+
+}  // namespace thetis::simd

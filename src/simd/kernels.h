@@ -1,0 +1,104 @@
+#ifndef THETIS_SIMD_KERNELS_H_
+#define THETIS_SIMD_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace thetis::simd {
+
+// Runtime-dispatched batch kernels for the innermost scoring arithmetic:
+// dense float dot products (embedding cosine, hyperplane LSH, skip-gram)
+// and sorted-u32 set intersection (type Jaccard*). Three tiers:
+//
+//   kAvx2   AVX2 + FMA, 8 floats / 8 u32 lanes per step
+//   kSse2   SSE2, 4 lanes per step (baseline on x86-64)
+//   kScalar portable reference loops
+//
+// The active tier is chosen once at first use: the highest tier both
+// compiled in and supported by the running CPU, overridable with the
+// THETIS_SIMD environment variable ("scalar", "sse2", "avx2") and at
+// runtime with SetTier (tests use this for in-binary parity checks).
+// Building with -DTHETIS_DISABLE_SIMD=ON compiles only the scalar tier.
+//
+// Numeric policy: within one tier every kernel is deterministic, and batch
+// variants perform the exact same per-element arithmetic as their one-shot
+// counterparts (same accumulation order), so batched and unbatched scoring
+// are bit-identical. Across tiers, float results may differ by a few ULPs
+// (vectorized accumulation reorders additions; AVX2 contracts to FMA);
+// integer kernels (IntersectSortedU32) are exact in every tier. See
+// DESIGN.md "SIMD kernel layer" for the tolerance policy.
+enum class Tier { kScalar = 0, kSse2 = 1, kAvx2 = 2 };
+
+// Human-readable tier name ("scalar", "sse2", "avx2").
+const char* TierName(Tier tier);
+
+// Highest tier compiled into this binary and supported by this CPU.
+Tier BestSupportedTier();
+
+// The tier kernels currently dispatch to.
+Tier ActiveTier();
+
+// Forces dispatch to `tier` (clamped to BestSupportedTier). Not
+// synchronized with in-flight kernel calls: switch only in quiescent
+// states, e.g. between test cases.
+void SetTier(Tier tier);
+
+// --- Dense float kernels ---------------------------------------------------
+
+// a · b.
+float Dot(const float* a, const float* b, size_t n);
+
+// sqrt(a · a).
+float L2Norm(const float* a, size_t n);
+
+// Fused one-pass *dot = a·b, *na2 = a·a, *nb2 = b·b.
+void DotAndNorms2(const float* a, const float* b, size_t n, float* dot,
+                  float* na2, float* nb2);
+
+// One-vs-many over contiguous rows: out[k] = q · rows[k*dim .. k*dim+dim).
+void DotBatch(const float* q, const float* rows, size_t dim, size_t count,
+              float* out);
+
+// One-vs-many over gathered rows of a row-major arena:
+// out[k] = q · base[ids[k]*dim .. ids[k]*dim+dim).
+void DotBatchGather(const float* q, const float* base, size_t dim,
+                    const uint32_t* ids, size_t count, float* out);
+
+// y[i] += a * x[i].
+void Axpy(float a, const float* x, float* y, size_t n);
+
+// acc[i] += x[i].
+void Add(float* acc, const float* x, size_t n);
+
+// x[i] *= s.
+void Scale(float* x, float s, size_t n);
+
+// --- Sorted-set kernels ----------------------------------------------------
+
+// |a ∩ b| for strictly increasing u32 sequences (sets). The scalar tier
+// tolerates duplicates (classic merge semantics); the SIMD tiers require
+// genuine sets, which is what every caller (type/predicate/shingle sets)
+// passes.
+size_t IntersectSortedU32(const uint32_t* a, size_t na, const uint32_t* b,
+                          size_t nb);
+
+// Scalar reference implementations, bypassing dispatch. The parity suite
+// compares each tier against these.
+namespace scalar {
+float Dot(const float* a, const float* b, size_t n);
+void DotAndNorms2(const float* a, const float* b, size_t n, float* dot,
+                  float* na2, float* nb2);
+void DotBatch(const float* q, const float* rows, size_t dim, size_t count,
+              float* out);
+void DotBatchGather(const float* q, const float* base, size_t dim,
+                    const uint32_t* ids, size_t count, float* out);
+void Axpy(float a, const float* x, float* y, size_t n);
+void Add(float* acc, const float* x, size_t n);
+void Scale(float* x, float s, size_t n);
+size_t IntersectSortedU32(const uint32_t* a, size_t na, const uint32_t* b,
+                          size_t nb);
+}  // namespace scalar
+
+}  // namespace thetis::simd
+
+#endif  // THETIS_SIMD_KERNELS_H_

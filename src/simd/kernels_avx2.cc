@@ -1,0 +1,188 @@
+// AVX2 + FMA kernel tier. CMake compiles this translation unit with
+// -mavx2 -mfma and defines THETIS_BUILD_AVX2 when the target architecture
+// and compiler support it; otherwise the file compiles to an unavailable
+// stub. Callers must still check __builtin_cpu_supports at runtime (the
+// dispatcher does).
+
+#include "simd/kernels_internal.h"
+
+#if !defined(THETIS_DISABLE_SIMD) && defined(THETIS_BUILD_AVX2) && \
+    (defined(__x86_64__) || defined(__i386__))
+#define THETIS_AVX2_TIER 1
+#include <immintrin.h>
+#endif
+
+namespace thetis::simd {
+
+#if defined(THETIS_AVX2_TIER)
+
+namespace {
+
+inline float HorizontalSum256(__m256 v) {
+  __m128 lo = _mm256_castps256_ps128(v);
+  __m128 hi = _mm256_extractf128_ps(v, 1);
+  __m128 sum = _mm_add_ps(lo, hi);
+  __m128 shuf = _mm_shuffle_ps(sum, sum, _MM_SHUFFLE(1, 0, 3, 2));
+  sum = _mm_add_ps(sum, shuf);
+  shuf = _mm_shuffle_ps(sum, sum, _MM_SHUFFLE(2, 3, 0, 1));
+  sum = _mm_add_ps(sum, shuf);
+  return _mm_cvtss_f32(sum);
+}
+
+float DotAvx2(const float* a, const float* b, size_t n) {
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i),
+                           acc0);
+    acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i + 8),
+                           _mm256_loadu_ps(b + i + 8), acc1);
+  }
+  if (i + 8 <= n) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i),
+                           acc0);
+    i += 8;
+  }
+  float sum = HorizontalSum256(_mm256_add_ps(acc0, acc1));
+  for (; i < n; ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+void DotAndNorms2Avx2(const float* a, const float* b, size_t n, float* dot,
+                      float* na2, float* nb2) {
+  __m256 accd = _mm256_setzero_ps();
+  __m256 acca = _mm256_setzero_ps();
+  __m256 accb = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256 va = _mm256_loadu_ps(a + i);
+    __m256 vb = _mm256_loadu_ps(b + i);
+    accd = _mm256_fmadd_ps(va, vb, accd);
+    acca = _mm256_fmadd_ps(va, va, acca);
+    accb = _mm256_fmadd_ps(vb, vb, accb);
+  }
+  float d = HorizontalSum256(accd);
+  float sa = HorizontalSum256(acca);
+  float sb = HorizontalSum256(accb);
+  for (; i < n; ++i) {
+    d += a[i] * b[i];
+    sa += a[i] * a[i];
+    sb += b[i] * b[i];
+  }
+  *dot = d;
+  *na2 = sa;
+  *nb2 = sb;
+}
+
+void DotBatchAvx2(const float* q, const float* rows, size_t dim, size_t count,
+                  float* out) {
+  for (size_t k = 0; k < count; ++k) {
+    out[k] = DotAvx2(q, rows + k * dim, dim);
+  }
+}
+
+void DotBatchGatherAvx2(const float* q, const float* base, size_t dim,
+                        const uint32_t* ids, size_t count, float* out) {
+  for (size_t k = 0; k < count; ++k) {
+    const float* row = base + static_cast<size_t>(ids[k]) * dim;
+    if (k + 1 < count) {
+      _mm_prefetch(
+          reinterpret_cast<const char*>(base +
+                                        static_cast<size_t>(ids[k + 1]) * dim),
+          _MM_HINT_T0);
+    }
+    out[k] = DotAvx2(q, row, dim);
+  }
+}
+
+void AxpyAvx2(float a, const float* x, float* y, size_t n) {
+  __m256 va = _mm256_set1_ps(a);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256 vy = _mm256_loadu_ps(y + i);
+    vy = _mm256_fmadd_ps(va, _mm256_loadu_ps(x + i), vy);
+    _mm256_storeu_ps(y + i, vy);
+  }
+  for (; i < n; ++i) y[i] += a * x[i];
+}
+
+void AddAvx2(float* acc, const float* x, size_t n) {
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(
+        acc + i, _mm256_add_ps(_mm256_loadu_ps(acc + i),
+                               _mm256_loadu_ps(x + i)));
+  }
+  for (; i < n; ++i) acc[i] += x[i];
+}
+
+void ScaleAvx2(float* x, float s, size_t n) {
+  __m256 vs = _mm256_set1_ps(s);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(x + i, _mm256_mul_ps(_mm256_loadu_ps(x + i), vs));
+  }
+  for (; i < n; ++i) x[i] *= s;
+}
+
+// 8x8 block intersection: compare an 8-block of `a` against all eight
+// cyclic rotations of an 8-block of `b`. Requires strictly increasing
+// inputs (genuine sets).
+size_t IntersectAvx2(const uint32_t* a, size_t na, const uint32_t* b,
+                     size_t nb) {
+  size_t i = 0;
+  size_t j = 0;
+  size_t inter = 0;
+  while (i + 8 <= na && j + 8 <= nb) {
+    __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + j));
+    __m256i cmp = _mm256_cmpeq_epi32(va, vb);
+    __m256i rot = vb;
+    for (int r = 1; r < 8; ++r) {
+      rot = _mm256_permutevar8x32_epi32(
+          vb, _mm256_setr_epi32(r, (r + 1) & 7, (r + 2) & 7, (r + 3) & 7,
+                                (r + 4) & 7, (r + 5) & 7, (r + 6) & 7,
+                                (r + 7) & 7));
+      cmp = _mm256_or_si256(cmp, _mm256_cmpeq_epi32(va, rot));
+    }
+    inter += static_cast<size_t>(
+        __builtin_popcount(_mm256_movemask_ps(_mm256_castsi256_ps(cmp))));
+    uint32_t amax = a[i + 7];
+    uint32_t bmax = b[j + 7];
+    if (amax <= bmax) i += 8;
+    if (bmax <= amax) j += 8;
+  }
+  while (i < na && j < nb) {
+    if (a[i] == b[j]) {
+      ++inter;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return inter;
+}
+
+}  // namespace
+
+const Kernels* GetAvx2Kernels() {
+  static const Kernels table = {
+      DotAvx2,           DotAndNorms2Avx2, DotBatchAvx2, DotBatchGatherAvx2,
+      AxpyAvx2,          AddAvx2,          ScaleAvx2,    IntersectAvx2,
+  };
+  return &table;
+}
+
+#else  // !THETIS_AVX2_TIER
+
+const Kernels* GetAvx2Kernels() { return nullptr; }
+
+#endif
+
+}  // namespace thetis::simd

@@ -1,12 +1,17 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "benchgen/synthetic_kg.h"
 #include "embedding/embedding_store.h"
 #include "embedding/random_walks.h"
 #include "embedding/skipgram.h"
 #include "embedding/vector_ops.h"
+#include "util/rng.h"
 
 namespace thetis {
 namespace {
@@ -80,6 +85,98 @@ TEST(EmbeddingStoreTest, TextRoundTrip) {
 TEST(EmbeddingStoreTest, TruncatedTextIsError) {
   EXPECT_FALSE(EmbeddingStore::FromText("2 3\n1 2 3\n").ok());
   EXPECT_FALSE(EmbeddingStore::FromText("").ok());
+}
+
+TEST(EmbeddingStoreTest, BinaryRoundTrip) {
+  EmbeddingStore store(3, 5);
+  for (size_t e = 0; e < 3; ++e) {
+    for (size_t d = 0; d < 5; ++d) {
+      store.mutable_vector(static_cast<EntityId>(e))[d] =
+          static_cast<float>(e) * 1.25f - static_cast<float>(d) * 0.5f;
+    }
+  }
+  std::string path = testing::TempDir() + "/emb_roundtrip.bin";
+  ASSERT_TRUE(store.SaveBinary(path).ok());
+  auto loaded = EmbeddingStore::LoadBinary(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded.value().size(), 3u);
+  ASSERT_EQ(loaded.value().dim(), 5u);
+  for (size_t e = 0; e < 3; ++e) {
+    for (size_t d = 0; d < 5; ++d) {
+      // Binary round-trip is bit-exact, unlike the text format.
+      EXPECT_EQ(loaded.value().vector(static_cast<EntityId>(e))[d],
+                store.vector(static_cast<EntityId>(e))[d]);
+    }
+  }
+}
+
+TEST(EmbeddingStoreTest, BinaryLoadRejectsGarbage) {
+  EXPECT_FALSE(EmbeddingStore::LoadBinary("/nonexistent/emb.bin").ok());
+  std::string path = testing::TempDir() + "/emb_garbage.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "not an embedding file at all";
+  }
+  EXPECT_FALSE(EmbeddingStore::LoadBinary(path).ok());
+  // Valid magic but truncated payload.
+  EmbeddingStore store(4, 8);
+  ASSERT_TRUE(store.SaveBinary(path).ok());
+  std::error_code ec;
+  std::filesystem::resize_file(path, 24, ec);
+  ASSERT_FALSE(ec);
+  EXPECT_FALSE(EmbeddingStore::LoadBinary(path).ok());
+}
+
+TEST(EmbeddingStoreTest, NormCacheInvalidatedByMutableAccess) {
+  EmbeddingStore store(2, 2);
+  store.mutable_vector(0)[0] = 3.0f;
+  store.mutable_vector(0)[1] = 4.0f;
+  EXPECT_FLOAT_EQ(store.Norm(0), 5.0f);
+  // Writing through mutable_vector must invalidate the cached norm and the
+  // pre-normalized row (the documented cache contract).
+  store.mutable_vector(0)[0] = 0.0f;
+  store.mutable_vector(0)[1] = 2.0f;
+  EXPECT_FLOAT_EQ(store.Norm(0), 2.0f);
+  EXPECT_NEAR(store.NormalizedRow(0)[1], 1.0f, 1e-6);
+  // Zero rows normalize to zero, and cosine against them is zero.
+  EXPECT_FLOAT_EQ(store.Norm(1), 0.0f);
+  EXPECT_FLOAT_EQ(store.Cosine(0, 1), 0.0f);
+}
+
+TEST(EmbeddingStoreTest, CosineMatchesVectorOpsFormula) {
+  Rng rng(21);
+  EmbeddingStore store(6, 17);  // odd dim exercises remainder lanes
+  for (EntityId e = 0; e < 6; ++e) {
+    float* v = store.mutable_vector(e);
+    for (size_t d = 0; d < 17; ++d) {
+      v[d] = static_cast<float>(rng.NextGaussian());
+    }
+  }
+  for (EntityId a = 0; a < 6; ++a) {
+    for (EntityId b = 0; b < 6; ++b) {
+      EXPECT_NEAR(store.Cosine(a, b),
+                  CosineSimilarity(store.vector(a), store.vector(b), 17),
+                  1e-5)
+          << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST(EmbeddingStoreTest, CosineBatchBitIdenticalToCosine) {
+  Rng rng(22);
+  EmbeddingStore store(8, 9);
+  for (EntityId e = 0; e < 8; ++e) {
+    float* v = store.mutable_vector(e);
+    for (size_t d = 0; d < 9; ++d) {
+      v[d] = static_cast<float>(rng.NextGaussian());
+    }
+  }
+  std::vector<EntityId> targets = {7, 2, 2, 0, 5, 1, 6, 3, 4};
+  std::vector<float> out(targets.size());
+  store.CosineBatch(1, targets.data(), targets.size(), out.data());
+  for (size_t k = 0; k < targets.size(); ++k) {
+    EXPECT_EQ(out[k], store.Cosine(1, targets[k])) << "k=" << k;
+  }
 }
 
 // --- Random walks ----------------------------------------------------------------

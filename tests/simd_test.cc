@@ -1,0 +1,313 @@
+// Parity suite for the runtime-dispatched SIMD kernel layer (src/simd/).
+//
+// Two layers of guarantees are checked here:
+//
+//  * Kernel parity: every tier compiled into this binary and supported by
+//    the CPU must agree with the scalar reference (simd::scalar::*) across
+//    dims 1..300 — covering every remainder-lane count of the 4-wide and
+//    8-wide loops. Integer kernels must agree exactly; float kernels within
+//    the documented ULP tolerance (accumulation-order / FMA-contraction
+//    error, see DESIGN.md "SIMD kernel layer"). Batch variants must be
+//    bit-identical to their one-shot counterparts within a tier.
+//
+//  * Ranking parity: an end-to-end search over a small benchgen world must
+//    return the same top-k tables in the same order under the scalar tier
+//    and the best SIMD tier, with type-similarity scores bit-identical and
+//    embedding scores within tolerance.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+#include <vector>
+
+#include "benchgen/benchmark_factory.h"
+#include "core/search_engine.h"
+#include "embedding/embedding_store.h"
+#include "semantic/semantic_data_lake.h"
+#include "simd/kernels.h"
+#include "util/rng.h"
+
+namespace thetis {
+namespace {
+
+// Tolerance for one float accumulation of n products: scalar and vector
+// tiers sum in different orders (and AVX2 contracts to FMA), so the result
+// may drift by a few ULPs of the *magnitude* sum Σ|a_i b_i| — not of the
+// possibly-cancelled final value. 16 ULPs is far above anything the 8-lane
+// reassociation can produce at n <= 300 and far below any score gap that
+// could reorder a ranking.
+float DotTolerance(const float* a, const float* b, size_t n) {
+  float mag = 0.0f;
+  for (size_t i = 0; i < n; ++i) mag += std::fabs(a[i] * b[i]);
+  return 16.0f * std::numeric_limits<float>::epsilon() * (mag + 1.0f);
+}
+
+std::vector<simd::Tier> CompiledSupportedTiers() {
+  std::vector<simd::Tier> tiers = {simd::Tier::kScalar};
+  int best = static_cast<int>(simd::BestSupportedTier());
+  if (best >= static_cast<int>(simd::Tier::kSse2)) {
+    tiers.push_back(simd::Tier::kSse2);
+  }
+  if (best >= static_cast<int>(simd::Tier::kAvx2)) {
+    tiers.push_back(simd::Tier::kAvx2);
+  }
+  return tiers;
+}
+
+// Restores the dispatch tier on scope exit so a failing test cannot leak a
+// forced tier into later tests.
+class TierGuard {
+ public:
+  TierGuard() : saved_(simd::ActiveTier()) {}
+  ~TierGuard() { simd::SetTier(saved_); }
+
+ private:
+  simd::Tier saved_;
+};
+
+std::vector<float> RandomVec(Rng* rng, size_t n) {
+  std::vector<float> v(n);
+  for (float& x : v) x = static_cast<float>(rng->NextGaussian());
+  return v;
+}
+
+// Strictly increasing u32 set of `size` elements drawn sparsely or densely
+// depending on `stride_bound`.
+std::vector<uint32_t> RandomSet(Rng* rng, size_t size, uint32_t stride_bound) {
+  std::vector<uint32_t> s(size);
+  uint32_t cur = 0;
+  for (size_t i = 0; i < size; ++i) {
+    cur += 1 + rng->NextBounded(stride_bound);
+    s[i] = cur;
+  }
+  return s;
+}
+
+TEST(SimdKernelsTest, DisableKnobForcesScalar) {
+#ifdef THETIS_DISABLE_SIMD
+  EXPECT_EQ(simd::BestSupportedTier(), simd::Tier::kScalar);
+#else
+  // Nothing to assert portably: the best tier depends on the build flags
+  // and the CPU. At minimum the scalar floor must hold.
+  EXPECT_GE(static_cast<int>(simd::BestSupportedTier()),
+            static_cast<int>(simd::Tier::kScalar));
+#endif
+}
+
+TEST(SimdKernelsTest, SetTierClampsToSupported) {
+  TierGuard guard;
+  simd::SetTier(simd::Tier::kAvx2);
+  EXPECT_EQ(simd::ActiveTier(), simd::BestSupportedTier());
+  simd::SetTier(simd::Tier::kScalar);
+  EXPECT_EQ(simd::ActiveTier(), simd::Tier::kScalar);
+}
+
+TEST(SimdKernelsTest, DotParityAcrossDims) {
+  TierGuard guard;
+  Rng rng(11);
+  for (simd::Tier tier : CompiledSupportedTiers()) {
+    simd::SetTier(tier);
+    for (size_t n = 1; n <= 300; ++n) {
+      auto a = RandomVec(&rng, n);
+      auto b = RandomVec(&rng, n);
+      float ref = simd::scalar::Dot(a.data(), b.data(), n);
+      float got = simd::Dot(a.data(), b.data(), n);
+      ASSERT_NEAR(got, ref, DotTolerance(a.data(), b.data(), n))
+          << "tier=" << simd::TierName(tier) << " n=" << n;
+    }
+  }
+}
+
+TEST(SimdKernelsTest, DotAndNorms2ParityAcrossDims) {
+  TierGuard guard;
+  Rng rng(12);
+  for (simd::Tier tier : CompiledSupportedTiers()) {
+    simd::SetTier(tier);
+    for (size_t n = 1; n <= 300; ++n) {
+      auto a = RandomVec(&rng, n);
+      auto b = RandomVec(&rng, n);
+      float rdot, rna2, rnb2;
+      simd::scalar::DotAndNorms2(a.data(), b.data(), n, &rdot, &rna2, &rnb2);
+      float dot, na2, nb2;
+      simd::DotAndNorms2(a.data(), b.data(), n, &dot, &na2, &nb2);
+      float tol = DotTolerance(a.data(), b.data(), n);
+      ASSERT_NEAR(dot, rdot, tol) << simd::TierName(tier) << " n=" << n;
+      ASSERT_NEAR(na2, rna2, tol) << simd::TierName(tier) << " n=" << n;
+      ASSERT_NEAR(nb2, rnb2, tol) << simd::TierName(tier) << " n=" << n;
+    }
+  }
+}
+
+TEST(SimdKernelsTest, BatchVariantsBitIdenticalToOneShotWithinTier) {
+  TierGuard guard;
+  Rng rng(13);
+  constexpr size_t kCount = 9;  // exercises the gather/prefetch tail
+  for (simd::Tier tier : CompiledSupportedTiers()) {
+    simd::SetTier(tier);
+    for (size_t dim : {1u, 3u, 4u, 7u, 8u, 15u, 32u, 33u, 100u, 300u}) {
+      auto q = RandomVec(&rng, dim);
+      auto rows = RandomVec(&rng, dim * kCount);
+      std::vector<float> out(kCount);
+      simd::DotBatch(q.data(), rows.data(), dim, kCount, out.data());
+      for (size_t k = 0; k < kCount; ++k) {
+        // Bit-identical, not merely close: the batch kernel performs the
+        // same per-row arithmetic as the one-shot kernel by construction.
+        ASSERT_EQ(out[k], simd::Dot(q.data(), rows.data() + k * dim, dim))
+            << simd::TierName(tier) << " dim=" << dim << " k=" << k;
+      }
+
+      // Gather with out-of-order and duplicate ids.
+      std::vector<uint32_t> ids = {4, 0, 8, 4, 2, 7, 1, 8, 3};
+      std::vector<float> gout(ids.size());
+      simd::DotBatchGather(q.data(), rows.data(), dim, ids.data(), ids.size(),
+                           gout.data());
+      for (size_t k = 0; k < ids.size(); ++k) {
+        ASSERT_EQ(gout[k],
+                  simd::Dot(q.data(), rows.data() + ids[k] * dim, dim))
+            << simd::TierName(tier) << " dim=" << dim << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(SimdKernelsTest, ElementwiseKernelParityAcrossDims) {
+  TierGuard guard;
+  Rng rng(14);
+  for (simd::Tier tier : CompiledSupportedTiers()) {
+    simd::SetTier(tier);
+    for (size_t n = 1; n <= 300; ++n) {
+      auto x = RandomVec(&rng, n);
+      auto y = RandomVec(&rng, n);
+      float a = static_cast<float>(rng.NextGaussian());
+
+      std::vector<float> ry = y, gy = y;
+      simd::scalar::Axpy(a, x.data(), ry.data(), n);
+      simd::Axpy(a, x.data(), gy.data(), n);
+      for (size_t i = 0; i < n; ++i) {
+        // Elementwise: only FMA contraction can differ, bounded by a ULP
+        // of the product magnitude.
+        ASSERT_NEAR(gy[i], ry[i],
+                    4.0f * std::numeric_limits<float>::epsilon() *
+                        (std::fabs(a * x[i]) + std::fabs(y[i]) + 1.0f))
+            << simd::TierName(tier) << " n=" << n << " i=" << i;
+      }
+
+      ry = y;
+      gy = y;
+      simd::scalar::Add(ry.data(), x.data(), n);
+      simd::Add(gy.data(), x.data(), n);
+      for (size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(gy[i], ry[i]) << simd::TierName(tier) << " n=" << n;
+      }
+
+      std::vector<float> rx = x, gx = x;
+      simd::scalar::Scale(rx.data(), a, n);
+      simd::Scale(gx.data(), a, n);
+      for (size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(gx[i], rx[i]) << simd::TierName(tier) << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(SimdKernelsTest, IntersectExactAcrossTiersAndSizes) {
+  TierGuard guard;
+  Rng rng(15);
+  for (simd::Tier tier : CompiledSupportedTiers()) {
+    simd::SetTier(tier);
+    for (size_t na = 0; na <= 64; ++na) {
+      for (size_t nb : {0u, 1u, 3u, 4u, 5u, 7u, 8u, 9u, 31u, 64u, 300u}) {
+        // Dense strides force heavy overlap; sparse strides force near
+        // disjointness — both block-advance paths get exercised.
+        for (uint32_t stride : {1u, 2u, 16u}) {
+          auto a = RandomSet(&rng, na, stride);
+          auto b = RandomSet(&rng, nb, stride);
+          size_t ref =
+              simd::scalar::IntersectSortedU32(a.data(), na, b.data(), nb);
+          size_t got = simd::IntersectSortedU32(a.data(), na, b.data(), nb);
+          ASSERT_EQ(got, ref) << simd::TierName(tier) << " na=" << na
+                              << " nb=" << nb << " stride=" << stride;
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdKernelsTest, IntersectAdversarialPatterns) {
+  TierGuard guard;
+  // Identical sets, fully disjoint blocks, and single-element overlaps at
+  // block boundaries — the patterns block intersection gets wrong when the
+  // advance rule is off by one.
+  std::vector<uint32_t> iota(40);
+  for (uint32_t i = 0; i < 40; ++i) iota[i] = i;
+  std::vector<uint32_t> evens, odds, high;
+  for (uint32_t i = 0; i < 40; ++i) (i % 2 ? odds : evens).push_back(i);
+  for (uint32_t i = 0; i < 40; ++i) high.push_back(i + 39);  // overlap {39}
+  for (simd::Tier tier : CompiledSupportedTiers()) {
+    simd::SetTier(tier);
+    EXPECT_EQ(simd::IntersectSortedU32(iota.data(), 40, iota.data(), 40), 40u)
+        << simd::TierName(tier);
+    EXPECT_EQ(simd::IntersectSortedU32(evens.data(), evens.size(),
+                                       odds.data(), odds.size()),
+              0u)
+        << simd::TierName(tier);
+    EXPECT_EQ(simd::IntersectSortedU32(iota.data(), 40, high.data(), 40), 1u)
+        << simd::TierName(tier);
+    EXPECT_EQ(simd::IntersectSortedU32(iota.data(), 0, iota.data(), 40), 0u)
+        << simd::TierName(tier);
+  }
+}
+
+// --- End-to-end ranking parity ---------------------------------------------
+
+TEST(SimdRankingParityTest, ScalarAndBestTierReturnSameRanking) {
+  if (simd::BestSupportedTier() == simd::Tier::kScalar) {
+    GTEST_SKIP() << "only the scalar tier is available in this build";
+  }
+  TierGuard guard;
+  // Fixed inputs: the world (and the trained embeddings) are built once,
+  // under whatever tier is active; only the *scoring* tier is switched.
+  auto bench =
+      benchgen::MakeBenchmark(benchgen::PresetKind::kWt2015Like, 0.2, 77);
+  SemanticDataLake lake(&bench.lake.corpus, &bench.kg.kg);
+  auto queries = benchgen::MakeQueries(bench.kg, 4);
+  EmbeddingStore store = benchgen::TrainBenchmarkEmbeddings(bench.kg);
+
+  TypeJaccardSimilarity type_sim(&bench.kg.kg);
+  EmbeddingCosineSimilarity emb_sim(&store);
+  SearchOptions options;
+  options.top_k = 10;
+  SearchEngine type_engine(&lake, &type_sim, options);
+  SearchEngine emb_engine(&lake, &emb_sim, options);
+
+  for (const auto& gq : queries) {
+    simd::SetTier(simd::Tier::kScalar);
+    auto type_scalar = type_engine.Search(gq.query);
+    auto emb_scalar = emb_engine.Search(gq.query);
+    simd::SetTier(simd::BestSupportedTier());
+    auto type_simd = type_engine.Search(gq.query);
+    auto emb_simd = emb_engine.Search(gq.query);
+
+    // Type Jaccard is integer intersection + double division: every tier
+    // computes the exact same counts, so scores are bit-identical.
+    ASSERT_EQ(type_scalar.size(), type_simd.size());
+    for (size_t i = 0; i < type_scalar.size(); ++i) {
+      EXPECT_EQ(type_scalar[i].table, type_simd[i].table) << "rank " << i;
+      EXPECT_EQ(type_scalar[i].score, type_simd[i].score) << "rank " << i;
+    }
+
+    // Embedding cosine may drift by ULPs across tiers, but never enough to
+    // reorder the top-k.
+    ASSERT_EQ(emb_scalar.size(), emb_simd.size());
+    for (size_t i = 0; i < emb_scalar.size(); ++i) {
+      EXPECT_EQ(emb_scalar[i].table, emb_simd[i].table) << "rank " << i;
+      EXPECT_NEAR(emb_scalar[i].score, emb_simd[i].score, 1e-5)
+          << "rank " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace thetis
