@@ -130,6 +130,7 @@ void RegisterAll(bool five_tuple) {
 int main(int argc, char** argv) {
   thetis::bench::RegisterAll(/*five_tuple=*/false);
   thetis::bench::RegisterAll(/*five_tuple=*/true);
+  thetis::bench::ObsExportInit(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

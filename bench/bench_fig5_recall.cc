@@ -118,6 +118,7 @@ int main(int argc, char** argv) {
         ->Iterations(1)
         ->Unit(benchmark::kMillisecond);
   }
+  thetis::bench::ObsExportInit(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

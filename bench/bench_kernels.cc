@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "common.h"
 #include "simd/kernels.h"
 #include "util/rng.h"
 
@@ -114,6 +115,7 @@ void RegisterAll() {
 
 int main(int argc, char** argv) {
   thetis::bench::RegisterAll();
+  thetis::bench::ObsExportInit(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

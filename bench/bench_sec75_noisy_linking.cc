@@ -96,6 +96,7 @@ void RegisterAll() {
 
 int main(int argc, char** argv) {
   thetis::bench::RegisterAll();
+  thetis::bench::ObsExportInit(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -48,6 +48,7 @@ int main(int argc, char** argv) {
                                PresetKind::kSyntheticLike)
       ->Iterations(1)
       ->Unit(benchmark::kMillisecond);
+  thetis::bench::ObsExportInit(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

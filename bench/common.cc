@@ -1,9 +1,12 @@
 #include "common.h"
 
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <string>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "simd/kernels.h"
 
 namespace thetis::bench {
@@ -15,6 +18,54 @@ double BenchScale() {
     if (v > 0.0) return v;
   }
   return 0.5;
+}
+
+namespace {
+
+// atexit handlers take no arguments, so the sink paths live at file scope.
+std::string g_metrics_out;
+std::string g_trace_out;
+
+void WriteObsFiles() {
+  if (!g_metrics_out.empty() && !obs::WriteMetricsFile(g_metrics_out)) {
+    std::fprintf(stderr, "failed to write metrics to %s\n",
+                 g_metrics_out.c_str());
+  }
+  if (!g_trace_out.empty() && !obs::WriteChromeTraceFile(g_trace_out)) {
+    std::fprintf(stderr, "failed to write trace to %s\n", g_trace_out.c_str());
+  }
+}
+
+}  // namespace
+
+void ObsExportInit(int* argc, char** argv) {
+  auto take = [](const char* arg, const char* prefix, std::string* out) {
+    size_t len = std::strlen(prefix);
+    if (std::strncmp(arg, prefix, len) != 0) return false;
+    *out = arg + len;
+    return true;
+  };
+  int kept = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (take(argv[i], "--metrics-out=", &g_metrics_out) ||
+        take(argv[i], "--trace-out=", &g_trace_out)) {
+      continue;
+    }
+    argv[kept++] = argv[i];
+  }
+  *argc = kept;
+  if (const char* env = std::getenv("THETIS_METRICS_OUT");
+      env != nullptr && g_metrics_out.empty()) {
+    g_metrics_out = env;
+  }
+  if (const char* env = std::getenv("THETIS_TRACE_OUT");
+      env != nullptr && g_trace_out.empty()) {
+    g_trace_out = env;
+  }
+  if (!g_trace_out.empty()) obs::SetTracingEnabled(true);
+  if (!g_metrics_out.empty() || !g_trace_out.empty()) {
+    std::atexit(WriteObsFiles);
+  }
 }
 
 namespace {

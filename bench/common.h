@@ -31,6 +31,15 @@ using benchgen::RelevanceJudgments;
 // with the THETIS_BENCH_SCALE environment variable.
 double BenchScale();
 
+// Observability export for bench binaries. Strips --metrics-out=<path> and
+// --trace-out=<path> from argv (the THETIS_METRICS_OUT / THETIS_TRACE_OUT
+// environment variables work too), enables span tracing when a trace sink
+// was requested, and registers an atexit hook that writes the metrics dump
+// (Prometheus text, or JSON for .json paths) and the Chrome-trace JSON
+// when the binary exits. Call before benchmark::Initialize so google
+// benchmark never sees the flags.
+void ObsExportInit(int* argc, char** argv);
+
 struct World {
   benchgen::Benchmark bench;
   std::unique_ptr<SemanticDataLake> lake;

@@ -10,11 +10,16 @@
 //
 //   thetis_cli search <dir> [--sim types|embeddings] [--k N]
 //              [--lsh] [--no-cache] [--threads N]
+//              [--metrics-out F] [--trace-out F]
 //              <entity label> [<entity label> ...]
 //       Semantic table search for one entity tuple; labels must exist in
 //       the persisted KG. --no-cache disables the query-scoped scoring
 //       cache (for timing comparisons); --threads N routes the query
 //       through the batched QueryExecutor on an N-worker pool.
+//       --metrics-out writes the observability counters after the query
+//       (Prometheus text, or a JSON snapshot when F ends in .json);
+//       --trace-out enables per-stage span tracing and writes a Chrome
+//       trace-event JSON (open in chrome://tracing or Perfetto).
 //
 // Exit code 0 on success, 1 on user error, 2 on IO/internal error.
 
@@ -32,6 +37,8 @@
 #include "exec/query_executor.h"
 #include "kg/triple_io.h"
 #include "lsh/lsei.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "semantic/corpus_io.h"
 #include "semantic/semantic_data_lake.h"
 #include "util/stopwatch.h"
@@ -54,7 +61,8 @@ int Usage() {
                "wt2015|wt2019|gittables]\n"
                "  thetis_cli stats <dir>\n"
                "  thetis_cli search <dir> [--sim types|embeddings] [--k N] "
-               "[--lsh] [--no-cache] [--threads N] <label> [...]\n");
+               "[--lsh] [--no-cache] [--threads N] [--metrics-out F] "
+               "[--trace-out F] <label> [...]\n");
   return 1;
 }
 
@@ -163,6 +171,8 @@ int RunSearch(const std::vector<std::string>& args) {
   bool use_cache = true;
   size_t threads = 0;  // 0: direct engine call, no executor
   size_t k = 10;
+  std::string metrics_out;
+  std::string trace_out;
   std::vector<std::string> labels;
   for (size_t i = 1; i < args.size(); ++i) {
     if (args[i] == "--sim" && i + 1 < args.size()) {
@@ -182,11 +192,16 @@ int RunSearch(const std::vector<std::string>& args) {
     } else if (args[i] == "--threads" && i + 1 < args.size()) {
       threads = static_cast<size_t>(std::atoi(args[++i].c_str()));
       if (threads == 0) return Fail("--threads must be positive");
+    } else if (args[i] == "--metrics-out" && i + 1 < args.size()) {
+      metrics_out = args[++i];
+    } else if (args[i] == "--trace-out" && i + 1 < args.size()) {
+      trace_out = args[++i];
     } else {
       labels.push_back(args[i]);
     }
   }
   if (labels.empty()) return Fail("no query entity labels given");
+  if (!trace_out.empty()) obs::SetTracingEnabled(true);
 
   LoadedLake lake;
   if (int rc = LoadLake(dir, &lake); rc != 0) return rc;
@@ -273,6 +288,18 @@ int RunSearch(const std::vector<std::string>& args) {
   for (const SearchHit& hit : hits) {
     std::printf("  %8.4f  %s\n", hit.score,
                 lake.corpus.table(hit.table).name().c_str());
+  }
+  if (!metrics_out.empty()) {
+    if (!obs::WriteMetricsFile(metrics_out)) {
+      return Fail("cannot write metrics to " + metrics_out, 2);
+    }
+    std::printf("metrics written to %s\n", metrics_out.c_str());
+  }
+  if (!trace_out.empty()) {
+    if (!obs::WriteChromeTraceFile(trace_out)) {
+      return Fail("cannot write trace to " + trace_out, 2);
+    }
+    std::printf("trace written to %s\n", trace_out.c_str());
   }
   return 0;
 }

@@ -6,79 +6,123 @@ namespace thetis {
 
 namespace {
 
-// FNV-1a over the entity ids; collisions only cost an equality check.
-uint64_t HashEntityVector(const std::vector<EntityId>& v) {
-  uint64_t h = 0xcbf29ce484222325ull;
-  for (EntityId e : v) {
-    h ^= e;
-    h *= 0x100000001b3ull;
-  }
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr uint64_t kFnvPrime = 0x100000001b3ull;
+
+// FNV-1a over 64-bit elements; collisions only cost an equality check.
+uint64_t HashU64(uint64_t h, uint64_t v) {
+  h ^= v;
+  h *= kFnvPrime;
   return h;
 }
 
-// Flattens the per-column sorted entity multisets, kNoEntity-separated.
-// Column order matters: mappings index columns positionally. Row order
-// inside a column does not: the column-relevance matrix sums over cells.
-// The column count leads the signature: without it, a 1-column 3-row
-// table and a 2-column 1-row table can flatten to the same sequence.
-std::vector<EntityId> FlattenSignature(const Table& table) {
-  std::vector<EntityId> flat;
-  flat.reserve(table.num_rows() * table.num_columns() + table.num_columns() +
-               1);
-  flat.push_back(static_cast<EntityId>(table.num_columns()));
-  for (size_t c = 0; c < table.num_columns(); ++c) {
-    std::vector<EntityId> column = table.ColumnEntities(c);
-    std::sort(column.begin(), column.end());
-    flat.insert(flat.end(), column.begin(), column.end());
-    flat.push_back(kNoEntity);
+uint64_t HashU64Vector(const std::vector<uint64_t>& v) {
+  uint64_t h = kFnvOffset;
+  for (uint64_t x : v) h = HashU64(h, x);
+  return h;
+}
+
+// Column separator inside a flattened signature. Signature elements are
+// either class ids (< 2^32) or entity-level markers (bit 40 set with a
+// 32-bit entity id), so the all-ones word is free.
+constexpr uint64_t kColumnSeparator = ~0ull;
+// Entities outside the class vector (no class information, or similarities
+// without classes) are kept at entity granularity. The marker bit keeps
+// them disjoint from class ids.
+constexpr uint64_t kEntityLevel = 1ull << 40;
+
+// Flattens a table's class signature from its column-entity index: the
+// column count, then per column the (class-or-entity, count) pairs of its
+// distinct entities in first-occurrence order (the order the matrix fill
+// accumulates in — see TableSignatureIndex), kColumnSeparator-terminated.
+// The leading column count disambiguates e.g. a 1-column table from a
+// 2-column table whose flattened pair sequences coincide.
+void FlattenClassSignature(const ColumnEntityIndex& index,
+                           const std::vector<uint32_t>& classes,
+                           std::vector<uint64_t>* out) {
+  out->clear();
+  out->reserve(2 * index.distinct.size() + index.num_columns + 1);
+  out->push_back(static_cast<uint64_t>(index.num_columns));
+  for (size_t c = 0; c < index.num_columns; ++c) {
+    for (uint32_t s = index.offsets[c]; s < index.offsets[c + 1]; ++s) {
+      EntityId e = index.distinct[s];
+      uint64_t elem = e < classes.size()
+                          ? static_cast<uint64_t>(classes[e])
+                          : (kEntityLevel | static_cast<uint64_t>(e));
+      out->push_back(elem);
+      // Occurrence counts are integral by construction.
+      out->push_back(static_cast<uint64_t>(index.counts[s]));
+    }
+    out->push_back(kColumnSeparator);
   }
-  return flat;
 }
 
 struct FlatHash {
-  size_t operator()(const std::vector<EntityId>& v) const {
-    return static_cast<size_t>(HashEntityVector(v));
+  size_t operator()(const std::vector<uint64_t>& v) const {
+    return static_cast<size_t>(HashU64Vector(v));
   }
 };
 
 }  // namespace
 
-std::vector<uint32_t> ComputeTableSignatures(const Corpus& corpus) {
-  std::vector<uint32_t> signatures;
-  signatures.reserve(corpus.size());
-  std::unordered_map<std::vector<EntityId>, uint32_t, FlatHash> interned;
+TableSignatureIndex BuildTableSignatureIndex(
+    const Corpus& corpus, std::vector<uint32_t> entity_classes) {
+  TableSignatureIndex index;
+  index.entity_classes = std::move(entity_classes);
+  index.table_signatures.reserve(corpus.size());
+  std::unordered_map<std::vector<uint64_t>, uint32_t, FlatHash> interned;
+  ColumnEntityIndex column_index;
+  DedupScratch dedup;
+  std::vector<uint64_t> flat;
   for (TableId id = 0; id < corpus.size(); ++id) {
-    std::vector<EntityId> flat = FlattenSignature(corpus.table(id));
+    column_index.Build(corpus.table(id), dedup);
+    FlattenClassSignature(column_index, index.entity_classes, &flat);
     uint32_t next = static_cast<uint32_t>(interned.size());
-    auto [it, inserted] = interned.emplace(std::move(flat), next);
-    signatures.push_back(it->second);
+    auto [it, inserted] = interned.emplace(flat, next);
+    index.table_signatures.push_back(it->second);
   }
-  return signatures;
+  index.num_distinct = interned.size();
+  return index;
 }
 
-size_t QueryScopedCache::VectorHash::operator()(
-    const std::vector<EntityId>& v) const {
-  return static_cast<size_t>(HashEntityVector(v));
+size_t QueryScopedCache::FlatSignatureHash::operator()(
+    const std::vector<uint64_t>& v) const {
+  return static_cast<size_t>(HashU64Vector(v));
 }
 
-QueryScopedCache::QueryScopedCache(
-    const EntitySimilarity* base,
-    const std::vector<uint32_t>* precomputed_signatures)
-    : memo_(base), precomputed_signatures_(precomputed_signatures) {}
+size_t QueryScopedCache::MappingKeyHash::operator()(
+    const MappingKey& k) const {
+  uint64_t h = HashU64(kFnvOffset, k.tuple_and_sig);
+  for (uint64_t x : k.identity_fp) h = HashU64(h, x);
+  return static_cast<size_t>(h);
+}
 
-uint32_t QueryScopedCache::SignatureOf(const Table& table, TableId table_id) {
-  if (precomputed_signatures_ != nullptr &&
-      table_id < precomputed_signatures_->size()) {
-    return (*precomputed_signatures_)[table_id];
+QueryScopedCache::QueryScopedCache(const EntitySimilarity* base,
+                                   const TableSignatureIndex* signature_index)
+    : memo_(base), signature_index_(signature_index) {}
+
+uint32_t QueryScopedCache::SignatureOf(TableId table_id,
+                                       const ColumnEntityIndex& index) {
+  if (signature_index_ != nullptr &&
+      table_id < signature_index_->table_signatures.size()) {
+    return signature_index_->table_signatures[table_id];
   }
   auto cached = table_signatures_.find(table_id);
   if (cached != table_signatures_.end()) return cached->second;
 
-  // High bit keeps per-query ids disjoint from the precomputed dense ids
-  // (a late-ingested table never aliases a precomputed signature; the miss
-  // only costs a recompute).
+  // Per-query interning for tables the engine has not signed (late
+  // ingestion, or a cache constructed without an index). The high bit
+  // keeps these ids disjoint from the precomputed dense ids (a late table
+  // never aliases a precomputed signature; the miss only costs a
+  // recompute).
+  static const std::vector<uint32_t> kNoClasses;
+  const std::vector<uint32_t>& classes =
+      signature_index_ != nullptr ? signature_index_->entity_classes
+                                  : kNoClasses;
+  std::vector<uint64_t> flat;
+  FlattenClassSignature(index, classes, &flat);
   uint32_t id = 0x80000000u | static_cast<uint32_t>(signature_ids_.size());
-  auto [it, inserted] = signature_ids_.emplace(FlattenSignature(table), id);
+  auto [it, inserted] = signature_ids_.emplace(std::move(flat), id);
   table_signatures_.emplace(table_id, it->second);
   return it->second;
 }
@@ -92,11 +136,32 @@ const ColumnMapping& QueryScopedCache::MappingFor(
 }
 
 const ColumnMapping& QueryScopedCache::MappingFor(
-    size_t tuple_index, const std::vector<EntityId>& tuple, const Table& table,
-    TableId table_id, const ColumnEntityIndex& index) {
-  uint64_t key = (static_cast<uint64_t>(tuple_index) << 32) |
-                 static_cast<uint64_t>(SignatureOf(table, table_id));
-  auto it = mappings_.find(key);
+    size_t tuple_index, const std::vector<EntityId>& tuple,
+    const Table& /*table*/, TableId table_id, const ColumnEntityIndex& index) {
+  key_scratch_.tuple_and_sig =
+      (static_cast<uint64_t>(tuple_index) << 32) |
+      static_cast<uint64_t>(SignatureOf(table_id, index));
+
+  // Identity fingerprint: σ(e, e) = 1 escapes the class abstraction, so
+  // every (tuple position, distinct slot) holding a query entity verbatim
+  // is part of the key. Only needed when classes actually coarsen —
+  // entity-granular signatures already pin identity.
+  std::vector<uint64_t>& fp = key_scratch_.identity_fp;
+  fp.clear();
+  if (signature_index_ != nullptr &&
+      !signature_index_->entity_classes.empty()) {
+    for (size_t slot = 0; slot < index.distinct.size(); ++slot) {
+      EntityId d = index.distinct[slot];
+      for (size_t i = 0; i < tuple.size(); ++i) {
+        if (tuple[i] == d) {
+          fp.push_back((static_cast<uint64_t>(i) << 40) |
+                       static_cast<uint64_t>(slot));
+        }
+      }
+    }
+  }
+
+  auto it = mappings_.find(key_scratch_);
   if (it != mappings_.end()) {
     ++mapping_hits_;
     return it->second;
@@ -105,8 +170,8 @@ const ColumnMapping& QueryScopedCache::MappingFor(
   // Concrete memo type: σ probes inline inside the matrix loop. The matrix
   // scratch is reused across tables for the lifetime of the query.
   return mappings_
-      .emplace(key, MapQueryTupleToColumnsIndexed(tuple, index, memo_,
-                                                  mapping_scratch_))
+      .emplace(key_scratch_, MapQueryTupleToColumnsIndexed(tuple, index, memo_,
+                                                           mapping_scratch_))
       .first->second;
 }
 

@@ -13,47 +13,78 @@
 
 namespace thetis {
 
-// Content-interned column signatures for every table of `corpus`: two
-// tables get the same id iff their columns carry identical linked-entity
-// multisets, column for column. The engine computes this once at
-// construction and shares it with every QueryScopedCache, so the per-query
-// signature pass (sorting every column of every candidate table) is paid
-// once per engine instead of once per (query, worker). Tables ingested
-// after the engine was built fall back to per-query interning.
-std::vector<uint32_t> ComputeTableSignatures(const Corpus& corpus);
+// Content-interned column signatures for every table of a corpus, the key
+// space of the Hungarian-mapping cache.
+//
+// A table's signature is the per-column sequence of (σ-class, count) pairs
+// over the column's distinct entities in first-occurrence order, where
+// σ-class is the similarity's σ-equivalence class of the entity (see
+// EntitySimilarity::SigmaEquivalenceClasses; entities outside the class
+// vector — or all entities when the similarity provides no classes — are
+// kept at entity granularity). Two tables with equal signatures produce
+// identical column-relevance matrices for any query tuple that contains
+// none of their cell entities: each matrix cell sums count·σ(e, class) in
+// the same order, term for term. Queries that DO contain a cell entity are
+// handled by the cache's identity fingerprint (σ(e, e) = 1 escapes the
+// class abstraction), so cached mappings remain exact — bit-identical to
+// solving fresh — rather than approximate.
+//
+// First-occurrence order (not a sorted multiset) is deliberate: the matrix
+// fill accumulates floating-point terms in that order, so order-insensitive
+// matching could reuse a mapping whose total_score differs in the last bit.
+//
+// The engine computes this once at construction and shares it with every
+// QueryScopedCache, so the per-table signature pass is paid once per engine
+// instead of once per (query, worker). Tables ingested after the engine was
+// built fall back to per-query interning inside the cache.
+struct TableSignatureIndex {
+  // Per-entity σ-class, as returned by the similarity (empty = identity:
+  // every entity is its own class).
+  std::vector<uint32_t> entity_classes;
+  // TableId → interned signature id, dense over the corpus at build time.
+  std::vector<uint32_t> table_signatures;
+  // Number of distinct signatures (the mapping cache's reuse ceiling).
+  size_t num_distinct = 0;
+};
+
+TableSignatureIndex BuildTableSignatureIndex(
+    const Corpus& corpus, std::vector<uint32_t> entity_classes);
 
 // Query-scoped scoring cache: everything Algorithm 1 recomputes per table
 // that actually only depends on the query. Holds
 //
 //  * a SimilarityMemo over the engine's σ — each (query-entity, cell-entity)
 //    pair is scored once per query instead of once per (row, table);
-//  * a column-signature cache for the Hungarian mapping τ — two tables whose
-//    columns carry identical linked-entity multisets (column for column)
-//    produce identical column-relevance matrices, hence identical optimal
-//    assignments, so τ is solved once per distinct signature.
+//  * a column-signature cache for the Hungarian mapping τ — two tables with
+//    σ-equivalent column contents (see TableSignatureIndex) produce
+//    identical column-relevance matrices, hence identical optimal
+//    assignments, so τ is solved once per distinct (signature, identity
+//    fingerprint) pair.
 //
 // Both caches are exact, not approximate: signatures are compared by full
-// content (the hash only buckets), so cached scoring is bit-identical to
-// uncached scoring. Like SimilarityMemo, an instance serves one worker
-// thread for the lifetime of one query; the engine creates one per stripe.
+// content (hashes only bucket), and the identity fingerprint pins every
+// position where a query entity appears verbatim in the table, so cached
+// scoring is bit-identical to uncached scoring. Like SimilarityMemo, an
+// instance serves one worker thread for the lifetime of one query; the
+// engine creates one per stripe.
 class QueryScopedCache {
  public:
-  // `base` and `precomputed_signatures` are borrowed and must outlive the
-  // cache. `precomputed_signatures` (may be null) maps TableId → interned
-  // signature id as computed by ComputeTableSignatures; table ids beyond
-  // its size (tables ingested after the engine was built) are interned per
-  // query in a disjoint id space.
-  explicit QueryScopedCache(
-      const EntitySimilarity* base,
-      const std::vector<uint32_t>* precomputed_signatures = nullptr);
+  // `base` and `signature_index` are borrowed and must outlive the cache.
+  // `signature_index` (may be null) is the engine-precomputed signature
+  // table; tables beyond its range — or all tables when it is null — are
+  // interned per query in a disjoint id space (entity-granularity classes
+  // when null).
+  explicit QueryScopedCache(const EntitySimilarity* base,
+                            const TableSignatureIndex* signature_index =
+                                nullptr);
 
   // The memoized σ; score through this instead of the engine's raw σ.
   const SimilarityMemo& sim() const { return memo_; }
 
   // The Hungarian mapping of query tuple `tuple_index` (content `tuple`)
   // against `table` (whose prebuilt column-entity index is `index`),
-  // computed at most once per distinct column signature. The returned
-  // reference is stable until the cache is destroyed.
+  // computed at most once per distinct (signature, identity fingerprint).
+  // The returned reference is stable until the cache is destroyed.
   const ColumnMapping& MappingFor(size_t tuple_index,
                                   const std::vector<EntityId>& tuple,
                                   const Table& table, TableId table_id,
@@ -90,32 +121,47 @@ class QueryScopedCache {
   RowScratch& row_scratch() { return row_scratch_; }
 
  private:
-  struct VectorHash {
-    size_t operator()(const std::vector<EntityId>& v) const;
+  struct FlatSignatureHash {
+    size_t operator()(const std::vector<uint64_t>& v) const;
   };
 
-  // Interned id of the table's column-content signature (computed lazily,
-  // once per table per query).
-  uint32_t SignatureOf(const Table& table, TableId table_id);
+  // Cache key: (query tuple, table signature) plus the identity
+  // fingerprint — every (tuple position, distinct slot) where the table
+  // holds the query entity itself, since σ(e, e) = 1 is not determined by
+  // the entity's class. Tables that agree on all three produce the same
+  // column-relevance matrix bit for bit.
+  struct MappingKey {
+    uint64_t tuple_and_sig;  // tuple_index << 32 | signature id
+    std::vector<uint64_t> identity_fp;
+    bool operator==(const MappingKey& other) const = default;
+  };
+  struct MappingKeyHash {
+    size_t operator()(const MappingKey& k) const;
+  };
+
+  // Interned id of the table's column-content signature (engine-precomputed
+  // or per-query interned from the table's prebuilt column-entity index).
+  uint32_t SignatureOf(TableId table_id, const ColumnEntityIndex& index);
 
   SimilarityMemo memo_;
-  // Engine-precomputed TableId → signature id (null when unavailable).
-  const std::vector<uint32_t>* precomputed_signatures_;
-  // Per-query signature interning for tables the precomputed vector does
-  // not cover: the flattened per-column sorted entity lists
-  // (kNoEntity-separated) map to an id with the high bit set, disjoint
-  // from the precomputed dense ids; equality is on full content.
-  std::unordered_map<std::vector<EntityId>, uint32_t, VectorHash>
+  // Engine-precomputed signature index (null when unavailable).
+  const TableSignatureIndex* signature_index_;
+  // Per-query signature interning for tables the precomputed index does
+  // not cover: flattened class signatures map to an id with the high bit
+  // set, disjoint from the precomputed dense ids; equality is on full
+  // content.
+  std::unordered_map<std::vector<uint64_t>, uint32_t, FlatSignatureHash>
       signature_ids_;
   std::unordered_map<TableId, uint32_t> table_signatures_;
-  // (tuple_index << 32 | signature id) -> mapping. node-based map keeps
-  // references stable across inserts.
-  std::unordered_map<uint64_t, ColumnMapping> mappings_;
+  // Node-based map keeps ColumnMapping references stable across inserts.
+  std::unordered_map<MappingKey, ColumnMapping, MappingKeyHash> mappings_;
   size_t mapping_hits_ = 0;
   size_t mapping_misses_ = 0;
   // Scratch for the column-relevance matrix and Hungarian solver (capacity
-  // reused across tables) and the row-aggregation buffers above.
+  // reused across tables), the key fingerprint, and the row-aggregation
+  // buffers above.
   MappingScratch mapping_scratch_;
+  MappingKey key_scratch_;
   RowScratch row_scratch_;
 };
 

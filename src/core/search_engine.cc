@@ -5,6 +5,8 @@
 #include <unordered_set>
 
 #include "core/column_mapping.h"
+#include "obs/query_metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 #include "util/top_k.h"
@@ -41,7 +43,11 @@ SearchEngine::SearchEngine(const SemanticDataLake* lake,
     : lake_(lake), sim_(sim), options_(options) {
   THETIS_CHECK(lake != nullptr && sim != nullptr);
   if (options_.enable_cache) {
-    table_signatures_ = ComputeTableSignatures(lake->corpus());
+    obs::TraceSpan span("engine_build_signatures");
+    signature_index_ = BuildTableSignatureIndex(
+        lake->corpus(), sim->SigmaEquivalenceClasses());
+    obs::RecordEngineBuild(lake->corpus().size(),
+                           signature_index_.num_distinct);
   }
 }
 
@@ -244,36 +250,61 @@ void AddCacheStats(const QueryScopedCache& cache, SearchStats* stats) {
   stats->mapping_cache_misses += cache.mapping_misses();
 }
 
+// The single point where per-query counters enter the global metrics
+// registry: the SearchStats a caller receives and the registry increments
+// come from the same struct, so the two views cannot diverge. Called once
+// per query, by the terminal scoring loops only (the Search /
+// PrefilteredSearchEngine / QueryExecutor wrappers all funnel here).
+void FlushQueryStats(const SearchStats& stats) {
+  obs::RecordQuery(stats.tables_scored, stats.tables_nonzero,
+                   stats.candidate_count, stats.total_seconds,
+                   stats.mapping_seconds, stats.sim_cache_hits,
+                   stats.sim_cache_misses, stats.mapping_cache_hits,
+                   stats.mapping_cache_misses);
+}
+
 }  // namespace
 
 std::vector<SearchHit> SearchEngine::SearchCandidates(
     const Query& query, const std::vector<TableId>& candidates,
     SearchStats* stats) const {
+  obs::TraceSpan query_span("query");
   Stopwatch watch;
   double mapping_seconds = 0.0;
   std::unique_ptr<QueryScopedCache> cache;
   if (options_.enable_cache) {
-    cache = std::make_unique<QueryScopedCache>(sim_, &table_signatures_);
+    cache = std::make_unique<QueryScopedCache>(sim_, &signature_index_);
   }
   TopK<TableId> top(std::max<size_t>(1, options_.top_k));
   size_t nonzero = 0;
-  for (TableId id : candidates) {
-    double score =
-        ScoreTableImpl(query, id, &mapping_seconds, nullptr, cache.get());
-    if (score > 0.0) {
-      ++nonzero;
-      top.Push(id, score);
+  {
+    obs::TraceSpan scoring_span("scoring");
+    for (TableId id : candidates) {
+      double score =
+          ScoreTableImpl(query, id, &mapping_seconds, nullptr, cache.get());
+      if (score > 0.0) {
+        ++nonzero;
+        top.Push(id, score);
+      }
     }
+    // The Hungarian mapping runs interleaved inside the scoring loop;
+    // per-table spans would swamp the trace, so its accumulated time is
+    // emitted as one aggregated span instead.
+    obs::TraceAggregate("mapping", mapping_seconds);
   }
   std::vector<SearchHit> hits;
-  for (const auto& [id, score] : top.Extract()) {
-    hits.push_back(SearchHit{id, score});
+  {
+    obs::TraceSpan topk_span("topk");
+    for (const auto& [id, score] : top.Extract()) {
+      hits.push_back(SearchHit{id, score});
+    }
   }
-  if (stats != nullptr) {
-    FillCandidateStats(*lake_, candidates.size(), nonzero,
-                       watch.ElapsedSeconds(), mapping_seconds, stats);
-    if (cache != nullptr) AddCacheStats(*cache, stats);
-  }
+  SearchStats local;
+  FillCandidateStats(*lake_, candidates.size(), nonzero,
+                     watch.ElapsedSeconds(), mapping_seconds, &local);
+  if (cache != nullptr) AddCacheStats(*cache, &local);
+  FlushQueryStats(local);
+  if (stats != nullptr) *stats = local;
   return hits;
 }
 
@@ -281,6 +312,7 @@ std::vector<SearchHit> SearchEngine::SearchCandidatesParallel(
     const Query& query, const std::vector<TableId>& candidates,
     ThreadPool* pool, SearchStats* stats) const {
   THETIS_CHECK(pool != nullptr);
+  obs::TraceSpan query_span("query");
   Stopwatch watch;
   size_t workers = pool->num_threads();
   struct Local {
@@ -298,13 +330,14 @@ std::vector<SearchHit> SearchEngine::SearchCandidatesParallel(
     locals.emplace_back(std::max<size_t>(1, options_.top_k));
     if (options_.enable_cache) {
       locals.back().cache =
-          std::make_unique<QueryScopedCache>(sim_, &table_signatures_);
+          std::make_unique<QueryScopedCache>(sim_, &signature_index_);
     }
   }
   // Stripe candidates over slots; each ParallelFor index owns one stripe so
   // no synchronization is needed inside the scoring loop.
   size_t stripes = locals.size();
   pool->ParallelFor(stripes, [&](size_t stripe) {
+    obs::TraceSpan scoring_span("scoring");
     Local& local = locals[stripe];
     for (size_t i = stripe; i < candidates.size(); i += stripes) {
       double score = ScoreTableImpl(query, candidates[i],
@@ -315,30 +348,37 @@ std::vector<SearchHit> SearchEngine::SearchCandidatesParallel(
         local.top.Push(candidates[i], score);
       }
     }
+    // One aggregated mapping span per stripe (the per-table Hungarian runs
+    // are too hot for individual spans).
+    obs::TraceAggregate("mapping", local.mapping_seconds);
   });
   // Deterministic merge: the TopK tie-breaking is id-based, so pushing all
   // local results into one heap reproduces the serial ranking.
   TopK<TableId> merged(std::max<size_t>(1, options_.top_k));
   double mapping_seconds = 0.0;
   size_t nonzero = 0;
-  for (Local& local : locals) {
-    mapping_seconds += local.mapping_seconds;
-    nonzero += local.nonzero;
-    for (const auto& [id, score] : local.top.Extract()) {
-      merged.Push(id, score);
-    }
-  }
   std::vector<SearchHit> hits;
-  for (const auto& [id, score] : merged.Extract()) {
-    hits.push_back(SearchHit{id, score});
-  }
-  if (stats != nullptr) {
-    FillCandidateStats(*lake_, candidates.size(), nonzero,
-                       watch.ElapsedSeconds(), mapping_seconds, stats);
-    for (const Local& local : locals) {
-      if (local.cache != nullptr) AddCacheStats(*local.cache, stats);
+  {
+    obs::TraceSpan topk_span("topk");
+    for (Local& local : locals) {
+      mapping_seconds += local.mapping_seconds;
+      nonzero += local.nonzero;
+      for (const auto& [id, score] : local.top.Extract()) {
+        merged.Push(id, score);
+      }
+    }
+    for (const auto& [id, score] : merged.Extract()) {
+      hits.push_back(SearchHit{id, score});
     }
   }
+  SearchStats local_stats;
+  FillCandidateStats(*lake_, candidates.size(), nonzero,
+                     watch.ElapsedSeconds(), mapping_seconds, &local_stats);
+  for (const Local& local : locals) {
+    if (local.cache != nullptr) AddCacheStats(*local.cache, &local_stats);
+  }
+  FlushQueryStats(local_stats);
+  if (stats != nullptr) *stats = local_stats;
   return hits;
 }
 
@@ -371,6 +411,7 @@ PrefilteredSearchEngine::PrefilteredSearchEngine(const SearchEngine* engine,
 
 std::vector<SearchHit> PrefilteredSearchEngine::Search(
     const Query& query, SearchStats* stats) const {
+  obs::TraceSpan query_span("prefiltered_query");
   Stopwatch watch;
   std::vector<TableId> candidates =
       lsei_->CandidateTablesForQuery(query.tuples, votes_);

@@ -156,12 +156,11 @@ class SearchEngine {
   const SemanticDataLake* lake_;
   const EntitySimilarity* sim_;
   SearchOptions options_;
-  // Content-interned column signature per table, computed once at
-  // construction and shared by every query-scoped cache (the per-query
-  // signature pass used to dominate the cache's overhead). Tables ingested
-  // after construction are handled by the cache's per-query fallback.
-  // Empty when the engine was constructed with caching disabled.
-  std::vector<uint32_t> table_signatures_;
+  // σ-class column signature per table (see TableSignatureIndex), computed
+  // once at construction and shared by every query-scoped cache. Tables
+  // ingested after construction are handled by the cache's per-query
+  // fallback. Empty when the engine was constructed with caching disabled.
+  TableSignatureIndex signature_index_;
 };
 
 // Thetis with LSEI prefiltering (Section 6): runs the LSH lookup to shrink

@@ -1,6 +1,8 @@
 #include "core/similarity.h"
 
 #include <algorithm>
+#include <string_view>
+#include <unordered_map>
 
 #include "simd/kernels.h"
 #include "util/logging.h"
@@ -30,6 +32,28 @@ TypeJaccardSimilarity::TypeJaccardSimilarity(const KnowledgeGraph* kg,
     offsets_.push_back(static_cast<uint32_t>(pool_.size()));
   }
   pool_.shrink_to_fit();
+}
+
+std::vector<uint32_t> TypeJaccardSimilarity::SigmaEquivalenceClasses() const {
+  size_t n = NumEntities();
+  std::vector<uint32_t> classes(n);
+  // Intern type-set spans by content, viewed as raw bytes over the CSR
+  // pool (spans are sorted, so equal content ⟺ equal set). Ascending
+  // entity order makes the class ids deterministic.
+  std::unordered_map<std::string_view, uint32_t> interned;
+  interned.reserve(n);
+  static constexpr char kEmptyPool = '\0';
+  const char* base = pool_.empty()
+                         ? &kEmptyPool
+                         : reinterpret_cast<const char*>(pool_.data());
+  for (EntityId e = 0; e < n; ++e) {
+    std::string_view key(base + offsets_[e] * sizeof(TypeId),
+                         (offsets_[e + 1] - offsets_[e]) * sizeof(TypeId));
+    auto [it, inserted] =
+        interned.emplace(key, static_cast<uint32_t>(interned.size()));
+    classes[e] = it->second;
+  }
+  return classes;
 }
 
 double TypeJaccardSimilarity::Score(EntityId a, EntityId b) const {

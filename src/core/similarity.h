@@ -43,6 +43,16 @@ class EntitySimilarity {
   // dense precomputed score row once enough pairs have been served.
   virtual size_t NumEntities() const { return 0; }
 
+  // σ-equivalence classes: a vector `cls` of NumEntities() class ids such
+  // that cls[a] == cls[b] guarantees Score(a, x) is bit-identical to
+  // Score(b, x) for every x outside {a, b} — i.e. a and b are
+  // interchangeable as *third parties* (the identity pairs σ(a, a) = 1
+  // are exempt and must be handled by the caller). The mapping cache uses
+  // classes to recognize tables whose column contents are σ-equivalent
+  // even when the entities differ. An empty vector (the default) means "no
+  // information": every entity is its own class.
+  virtual std::vector<uint32_t> SigmaEquivalenceClasses() const { return {}; }
+
   // Short name used in benchmark output ("types", "embeddings").
   virtual std::string name() const = 0;
 };
@@ -67,6 +77,12 @@ class TypeJaccardSimilarity : public EntitySimilarity {
   void ScoreBatch(EntityId q, const EntityId* targets, size_t count,
                   double* out) const override;
   size_t NumEntities() const override { return offsets_.size() - 1; }
+  // Jaccard* of distinct entities depends only on the two expanded type
+  // sets, so entities with identical set content are interchangeable:
+  // classes intern the CSR spans. On realistic lakes many entities share a
+  // type set, which is what makes the mapping cache hit (entity-level
+  // column signatures essentially never repeat).
+  std::vector<uint32_t> SigmaEquivalenceClasses() const override;
   std::string name() const override { return "types"; }
 
   // Exposed for tests: the expanded, sorted type set of `e` (a view into

@@ -63,6 +63,12 @@ class SimilarityMemo final : public EntitySimilarity {
 
   std::string name() const override { return base_->name() + "+memo"; }
 
+  // Memoization never changes σ values, so the base's equivalence classes
+  // remain valid verbatim.
+  std::vector<uint32_t> SigmaEquivalenceClasses() const override {
+    return base_->SigmaEquivalenceClasses();
+  }
+
   const EntitySimilarity& base() const { return *base_; }
 
   // Cache effectiveness counters, feeding SearchStats.

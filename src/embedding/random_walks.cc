@@ -1,11 +1,14 @@
 #include "embedding/random_walks.h"
 
+#include "obs/query_metrics.h"
+#include "obs/trace.h"
 #include "util/rng.h"
 
 namespace thetis {
 
 std::vector<std::vector<WalkToken>> GenerateWalks(const KnowledgeGraph& kg,
                                                   const WalkOptions& options) {
+  obs::TraceSpan span("rdf2vec_walks");
   Rng rng(options.seed);
   std::vector<std::vector<WalkToken>> walks;
   walks.reserve(kg.num_entities() * options.walks_per_entity);
@@ -34,6 +37,9 @@ std::vector<std::vector<WalkToken>> GenerateWalks(const KnowledgeGraph& kg,
       walks.push_back(std::move(walk));
     }
   }
+  uint64_t tokens = 0;
+  for (const auto& w : walks) tokens += w.size();
+  obs::RecordEmbeddingWalks(walks.size(), tokens);
   return walks;
 }
 

@@ -4,9 +4,12 @@
 #include <cmath>
 
 #include "embedding/vector_ops.h"
+#include "obs/query_metrics.h"
+#include "obs/trace.h"
 #include "simd/kernels.h"
 #include "util/logging.h"
 #include "util/rng.h"
+#include "util/stopwatch.h"
 
 namespace thetis {
 
@@ -115,6 +118,8 @@ EmbeddingStore SkipGramTrainer::Train(
   std::vector<float> grad(dim);
 
   for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    obs::TraceSpan epoch_span("skipgram_epoch");
+    Stopwatch epoch_watch;
     for (const auto& walk : walks) {
       for (size_t pos = 0; pos < walk.size(); ++pos) {
         ++step;
@@ -159,6 +164,7 @@ EmbeddingStore SkipGramTrainer::Train(
         }
       }
     }
+    obs::RecordSkipgramEpoch(total_tokens, epoch_watch.ElapsedSeconds());
   }
   return input;
 }

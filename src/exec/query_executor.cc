@@ -1,5 +1,7 @@
 #include "exec/query_executor.h"
 
+#include "obs/query_metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
@@ -18,6 +20,7 @@ void QueryExecutor::EnablePrefilter(const Lsei* lsei, size_t votes) {
 }
 
 QueryResult QueryExecutor::Execute(const Query& query) const {
+  obs::TraceSpan span("exec_query");
   QueryResult result;
   if (lsei_ != nullptr) {
     Stopwatch watch;
@@ -34,6 +37,8 @@ QueryResult QueryExecutor::Execute(const Query& query) const {
 
 std::vector<QueryResult> QueryExecutor::ExecuteBatch(
     const std::vector<Query>& queries) const {
+  obs::TraceSpan span("exec_batch");
+  obs::RecordExecutorBatch(queries.size());
   std::vector<QueryResult> results(queries.size());
   // One index per query: whole queries never split across workers, so each
   // query's cache stays worker-private and per-query stats are exact.

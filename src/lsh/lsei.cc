@@ -5,7 +5,10 @@
 #include <unordered_set>
 
 #include "embedding/vector_ops.h"
+#include "obs/query_metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
+#include "util/stopwatch.h"
 
 namespace thetis {
 
@@ -194,18 +197,24 @@ std::vector<TableId> Lsei::ColumnModeCandidates(
 std::vector<TableId> Lsei::CandidateTablesForQuery(
     const std::vector<std::vector<EntityId>>& tuples, size_t votes) const {
   THETIS_CHECK(votes >= 1);
+  obs::TraceSpan span("lsei_prefilter");
+  Stopwatch watch;
+  std::vector<TableId> candidates;
   if (options_.column_aggregation) {
-    return ColumnModeCandidates(tuples, votes);
-  }
-  std::vector<EntityId> flat;
-  for (const auto& t : tuples) {
-    for (EntityId e : t) {
-      if (e != kNoEntity) flat.push_back(e);
+    candidates = ColumnModeCandidates(tuples, votes);
+  } else {
+    std::vector<EntityId> flat;
+    for (const auto& t : tuples) {
+      for (EntityId e : t) {
+        if (e != kNoEntity) flat.push_back(e);
+      }
     }
+    std::sort(flat.begin(), flat.end());
+    flat.erase(std::unique(flat.begin(), flat.end()), flat.end());
+    candidates = EntityModeCandidates(flat, votes);
   }
-  std::sort(flat.begin(), flat.end());
-  flat.erase(std::unique(flat.begin(), flat.end()), flat.end());
-  return EntityModeCandidates(flat, votes);
+  obs::RecordLseiLookup(candidates.size(), watch.ElapsedSeconds());
+  return candidates;
 }
 
 std::vector<TableId> Lsei::CandidateTablesForEntity(EntityId e,

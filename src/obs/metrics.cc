@@ -1,0 +1,254 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+namespace thetis::obs {
+
+size_t ThisThreadShard() {
+  static std::atomic<size_t> next{0};
+  thread_local size_t shard =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  return shard;
+}
+
+uint64_t Counter::Value() const {
+  uint64_t total = 0;
+  for (const Shard& s : shards_) total += s.v.load(std::memory_order_relaxed);
+  return total;
+}
+
+void Counter::Reset() {
+  for (Shard& s : shards_) s.v.store(0, std::memory_order_relaxed);
+}
+
+uint64_t Histogram::BucketLow(size_t b) {
+  if (b < 8) return b;
+  size_t rel = b - 8;
+  int w = static_cast<int>(rel / 4) + 4;
+  uint64_t sub = rel % 4;
+  return (1ull << (w - 1)) + sub * (1ull << (w - 3));
+}
+
+uint64_t Histogram::BucketHigh(size_t b) {
+  if (b < 8) return b + 1;
+  uint64_t low = BucketLow(b);
+  size_t rel = b - 8;
+  int w = static_cast<int>(rel / 4) + 4;
+  uint64_t width = 1ull << (w - 3);
+  // The topmost bucket's upper bound saturates instead of wrapping.
+  if (low > std::numeric_limits<uint64_t>::max() - width) {
+    return std::numeric_limits<uint64_t>::max();
+  }
+  return low + width;
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.buckets.assign(kBuckets, 0);
+  for (const Shard& s : shards_) {
+    for (size_t b = 0; b < kBuckets; ++b) {
+      snap.buckets[b] += s.buckets[b].load(std::memory_order_relaxed);
+    }
+    snap.sum += s.sum.load(std::memory_order_relaxed);
+  }
+  for (uint64_t c : snap.buckets) snap.count += c;
+  return snap;
+}
+
+void Histogram::Reset() {
+  for (Shard& s : shards_) {
+    for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
+    s.sum.store(0, std::memory_order_relaxed);
+  }
+}
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-quantile element (1-based), nearest-rank definition.
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count - 1)) + 1;
+  uint64_t cum = 0;
+  for (size_t b = 0; b < buckets.size(); ++b) {
+    if (buckets[b] == 0) continue;
+    if (cum + buckets[b] >= rank) {
+      // Linear interpolation inside the bucket: error ≤ the bucket width.
+      double frac = static_cast<double>(rank - cum) /
+                    static_cast<double>(buckets[b]);
+      double low = static_cast<double>(Histogram::BucketLow(b));
+      double high = static_cast<double>(Histogram::BucketHigh(b));
+      return low + frac * (high - low);
+    }
+    cum += buckets[b];
+  }
+  return static_cast<double>(Histogram::BucketHigh(buckets.size() - 1));
+}
+
+template <typename T>
+T& MetricsRegistry::GetOrCreate(std::string_view name, std::deque<T>& storage,
+                                std::vector<std::pair<std::string, T*>>& index) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [n, ptr] : index) {
+    if (n == name) return *ptr;
+  }
+  storage.emplace_back();
+  index.emplace_back(std::string(name), &storage.back());
+  return storage.back();
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  return GetOrCreate(name, counters_, counter_index_);
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  return GetOrCreate(name, gauges_, gauge_index_);
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  return GetOrCreate(name, histograms_, histogram_index_);
+}
+
+uint64_t MetricsRegistry::CounterValue(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [n, ptr] : counter_index_) {
+    if (n == name) return ptr->Value();
+  }
+  return 0;
+}
+
+int64_t MetricsRegistry::GaugeValue(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [n, ptr] : gauge_index_) {
+    if (n == name) return ptr->Value();
+  }
+  return 0;
+}
+
+HistogramSnapshot MetricsRegistry::HistogramValue(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [n, ptr] : histogram_index_) {
+    if (n == name) return ptr->Snapshot();
+  }
+  return {};
+}
+
+std::vector<std::string> MetricsRegistry::MetricNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  for (const auto& [n, ptr] : counter_index_) names.push_back(n);
+  for (const auto& [n, ptr] : gauge_index_) names.push_back(n);
+  for (const auto& [n, ptr] : histogram_index_) names.push_back(n);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [n, ptr] : counter_index_) ptr->Reset();
+  for (auto& [n, ptr] : gauge_index_) ptr->Reset();
+  for (auto& [n, ptr] : histogram_index_) ptr->Reset();
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+namespace {
+
+// Sorted copies of an index, so exports are byte-stable regardless of
+// registration order.
+template <typename T>
+std::vector<std::pair<std::string, T*>> Sorted(
+    const std::vector<std::pair<std::string, T*>>& index) {
+  auto sorted = index;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return sorted;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::PrometheusText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  for (const auto& [name, c] : Sorted(counter_index_)) {
+    out << "# TYPE " << name << " counter\n" << name << " " << c->Value()
+        << "\n";
+  }
+  for (const auto& [name, g] : Sorted(gauge_index_)) {
+    out << "# TYPE " << name << " gauge\n" << name << " " << g->Value()
+        << "\n";
+  }
+  for (const auto& [name, h] : Sorted(histogram_index_)) {
+    HistogramSnapshot snap = h->Snapshot();
+    out << "# TYPE " << name << " histogram\n";
+    uint64_t cum = 0;
+    for (size_t b = 0; b < snap.buckets.size(); ++b) {
+      if (snap.buckets[b] == 0) continue;
+      cum += snap.buckets[b];
+      out << name << "_bucket{le=\"" << Histogram::BucketHigh(b) << "\"} "
+          << cum << "\n";
+    }
+    out << name << "_bucket{le=\"+Inf\"} " << snap.count << "\n";
+    out << name << "_sum " << snap.sum << "\n";
+    out << name << "_count " << snap.count << "\n";
+  }
+  return out.str();
+}
+
+std::string MetricsRegistry::JsonText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : Sorted(counter_index_)) {
+    out << (first ? "" : ",") << "\"" << name << "\":" << c->Value();
+    first = false;
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : Sorted(gauge_index_)) {
+    out << (first ? "" : ",") << "\"" << name << "\":" << g->Value();
+    first = false;
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : Sorted(histogram_index_)) {
+    HistogramSnapshot snap = h->Snapshot();
+    out << (first ? "" : ",") << "\"" << name << "\":{\"count\":" << snap.count
+        << ",\"sum\":" << snap.sum;
+    // Quantiles as integer ns: bucket bounds are integers and the
+    // interpolation is truncated, keeping the dump free of
+    // locale/format-dependent float text.
+    out << ",\"p50\":" << static_cast<uint64_t>(snap.Quantile(0.50))
+        << ",\"p95\":" << static_cast<uint64_t>(snap.Quantile(0.95))
+        << ",\"p99\":" << static_cast<uint64_t>(snap.Quantile(0.99));
+    out << ",\"buckets\":[";
+    bool first_bucket = true;
+    for (size_t b = 0; b < snap.buckets.size(); ++b) {
+      if (snap.buckets[b] == 0) continue;
+      out << (first_bucket ? "" : ",") << "[" << Histogram::BucketLow(b) << ","
+          << snap.buckets[b] << "]";
+      first_bucket = false;
+    }
+    out << "]}";
+    first = false;
+  }
+  out << "}}";
+  return out.str();
+}
+
+bool WriteMetricsFile(const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  bool json = path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0;
+  out << (json ? MetricsRegistry::Global().JsonText()
+               : MetricsRegistry::Global().PrometheusText());
+  if (json) out << "\n";
+  return static_cast<bool>(out);
+}
+
+}  // namespace thetis::obs

@@ -1,0 +1,160 @@
+#ifndef THETIS_OBS_METRICS_H_
+#define THETIS_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace thetis::obs {
+
+// Number of cache-line-isolated shards per counter/histogram. Threads hash
+// to a shard, so under the default pool sizes (≤ a few dozen workers) two
+// hot threads rarely share a line; reads sum all shards.
+inline constexpr size_t kMetricShards = 16;
+
+// This thread's shard, assigned round-robin at first use. Stable for the
+// thread's lifetime, so a thread always hits the same cache line.
+size_t ThisThreadShard();
+
+// Monotone counter. Add is one relaxed fetch_add on a thread-local shard —
+// no contention between workers, no ordering constraints — which is what
+// keeps per-query instrumentation off the critical path. Value() sums the
+// shards; it is exact once writers are quiescent (the only time the test
+// suite and the exporters read it).
+class Counter {
+ public:
+  void Add(uint64_t delta) {
+    shards_[ThisThreadShard()].v.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void Increment() { Add(1); }
+  uint64_t Value() const;
+  void Reset();
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> v{0};
+  };
+  std::array<Shard, kMetricShards> shards_;
+};
+
+// Last-writer-wins instantaneous value (queue depths, sizes). A single
+// atomic: gauges are set at coarse points (batch start/end), not per item.
+class Gauge {
+ public:
+  void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) { v_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t Value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+// Read-side view of one histogram: per-bucket counts plus exact count/sum.
+// Quantile() interpolates inside the containing bucket, so its error is
+// bounded by the bucket width (≤ 25% relative, see Histogram::BucketOf).
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  std::vector<uint64_t> buckets;  // size Histogram::kBuckets
+
+  double Quantile(double q) const;
+};
+
+// Log-linear histogram over uint64 values (latencies in ns, counts).
+// Values 0..7 get exact buckets; beyond that each power of two is split
+// into 4 sub-buckets (two mantissa bits), so any recorded value lands in a
+// bucket whose width is at most 25% of its lower bound. Record is two
+// relaxed fetch_adds on this thread's shard.
+class Histogram {
+ public:
+  static constexpr size_t kBuckets = 8 + (64 - 3) * 4;
+
+  static size_t BucketOf(uint64_t v) {
+    if (v < 8) return static_cast<size_t>(v);
+    int w = std::bit_width(v);  // >= 4
+    size_t sub = static_cast<size_t>(v >> (w - 3)) & 3;
+    return 8 + static_cast<size_t>(w - 4) * 4 + sub;
+  }
+  // Inclusive lower / exclusive upper value bound of bucket `b`.
+  static uint64_t BucketLow(size_t b);
+  static uint64_t BucketHigh(size_t b);
+
+  void Record(uint64_t v) {
+    Shard& s = shards_[ThisThreadShard()];
+    s.buckets[BucketOf(v)].fetch_add(1, std::memory_order_relaxed);
+    s.sum.fetch_add(v, std::memory_order_relaxed);
+  }
+  HistogramSnapshot Snapshot() const;
+  void Reset();
+
+ private:
+  struct alignas(64) Shard {
+    std::array<std::atomic<uint64_t>, kBuckets> buckets{};
+    std::atomic<uint64_t> sum{0};
+  };
+  std::array<Shard, kMetricShards> shards_;
+};
+
+// Name → metric registry. Creation takes a mutex (once per metric name,
+// typically at static-init of the instrumentation surface); the returned
+// references are stable for the registry's lifetime (deque storage), so
+// hot paths hold handles and never touch the map again.
+//
+// Exports are deterministic: metrics are emitted in sorted name order and
+// all values are integers, so identical recorded operations produce
+// byte-identical dumps.
+class MetricsRegistry {
+ public:
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  // Prometheus text exposition: TYPE lines, cumulative non-empty buckets
+  // with le="..." labels plus _count/_sum for histograms.
+  std::string PrometheusText() const;
+  // One JSON object: {"counters":{..},"gauges":{..},"histograms":{..}}
+  // where each histogram carries count/sum/p50/p95/p99 and its non-empty
+  // [bucket_low, count] pairs.
+  std::string JsonText() const;
+
+  // Zeroes every registered metric (metrics stay registered). Test hook;
+  // callers must be quiescent.
+  void ResetAll();
+
+  // Snapshot accessors for tests: 0 / empty when the name is unknown.
+  uint64_t CounterValue(std::string_view name) const;
+  int64_t GaugeValue(std::string_view name) const;
+  HistogramSnapshot HistogramValue(std::string_view name) const;
+  std::vector<std::string> MetricNames() const;
+
+  // The process-wide registry every built-in instrumentation point uses.
+  static MetricsRegistry& Global();
+
+ private:
+  template <typename T>
+  T& GetOrCreate(std::string_view name, std::deque<T>& storage,
+                 std::vector<std::pair<std::string, T*>>& index);
+
+  mutable std::mutex mu_;
+  std::deque<Counter> counters_;
+  std::deque<Gauge> gauges_;
+  std::deque<Histogram> histograms_;
+  std::vector<std::pair<std::string, Counter*>> counter_index_;
+  std::vector<std::pair<std::string, Gauge*>> gauge_index_;
+  std::vector<std::pair<std::string, Histogram*>> histogram_index_;
+};
+
+// Writes PrometheusText() (or JsonText() when `path` ends in ".json") of
+// the global registry to `path`. Returns false on IO failure.
+bool WriteMetricsFile(const std::string& path);
+
+}  // namespace thetis::obs
+
+#endif  // THETIS_OBS_METRICS_H_

@@ -1,0 +1,172 @@
+#include "obs/query_metrics.h"
+
+#ifndef THETIS_DISABLE_OBS
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace thetis::obs {
+
+namespace {
+
+uint64_t ToNanos(double seconds) {
+  if (seconds <= 0.0) return 0;
+  return static_cast<uint64_t>(seconds * 1e9);
+}
+
+// Handles resolved once at first use; the per-call cost is the sharded
+// atomic adds only.
+struct QueryPathMetrics {
+  MetricsRegistry& r = MetricsRegistry::Global();
+  Counter& queries = r.counter("thetis_queries_total");
+  Counter& tables_scored = r.counter("thetis_tables_scored_total");
+  Counter& tables_nonzero = r.counter("thetis_tables_nonzero_total");
+  Counter& candidates = r.counter("thetis_candidates_total");
+  Counter& sim_hits = r.counter("thetis_sim_cache_hits_total");
+  Counter& sim_misses = r.counter("thetis_sim_cache_misses_total");
+  Counter& mapping_hits = r.counter("thetis_mapping_cache_hits_total");
+  Counter& mapping_misses = r.counter("thetis_mapping_cache_misses_total");
+  Histogram& query_latency = r.histogram("thetis_query_latency_ns");
+  Histogram& mapping_latency = r.histogram("thetis_mapping_latency_ns");
+  Histogram& query_candidates = r.histogram("thetis_query_candidates");
+
+  static QueryPathMetrics& Get() {
+    static QueryPathMetrics* m = new QueryPathMetrics();
+    return *m;
+  }
+};
+
+struct LseiMetrics {
+  MetricsRegistry& r = MetricsRegistry::Global();
+  Counter& lookups = r.counter("thetis_lsei_lookups_total");
+  Counter& candidates = r.counter("thetis_lsei_candidates_total");
+  Histogram& latency = r.histogram("thetis_lsei_latency_ns");
+
+  static LseiMetrics& Get() {
+    static LseiMetrics* m = new LseiMetrics();
+    return *m;
+  }
+};
+
+struct ExecMetrics {
+  MetricsRegistry& r = MetricsRegistry::Global();
+  Counter& batches = r.counter("thetis_executor_batches_total");
+  Counter& queries = r.counter("thetis_executor_queries_total");
+
+  static ExecMetrics& Get() {
+    static ExecMetrics* m = new ExecMetrics();
+    return *m;
+  }
+};
+
+struct PoolMetrics {
+  MetricsRegistry& r = MetricsRegistry::Global();
+  Counter& batches = r.counter("thetis_pool_batches_total");
+  Counter& items = r.counter("thetis_pool_items_total");
+  Gauge& queue_depth = r.gauge("thetis_pool_queue_depth");
+
+  static PoolMetrics& Get() {
+    static PoolMetrics* m = new PoolMetrics();
+    return *m;
+  }
+};
+
+struct EmbeddingMetrics {
+  MetricsRegistry& r = MetricsRegistry::Global();
+  Counter& walks = r.counter("thetis_embedding_walks_total");
+  Counter& walk_steps = r.counter("thetis_embedding_walk_steps_total");
+  Counter& epochs = r.counter("thetis_skipgram_epochs_total");
+  Counter& tokens = r.counter("thetis_skipgram_tokens_total");
+  Histogram& epoch_latency = r.histogram("thetis_skipgram_epoch_latency_ns");
+
+  static EmbeddingMetrics& Get() {
+    static EmbeddingMetrics* m = new EmbeddingMetrics();
+    return *m;
+  }
+};
+
+struct EngineMetrics {
+  MetricsRegistry& r = MetricsRegistry::Global();
+  Counter& builds = r.counter("thetis_engine_builds_total");
+  Counter& tables = r.counter("thetis_engine_tables_total");
+  Counter& distinct_signatures =
+      r.counter("thetis_engine_distinct_signatures_total");
+
+  static EngineMetrics& Get() {
+    static EngineMetrics* m = new EngineMetrics();
+    return *m;
+  }
+};
+
+}  // namespace
+
+void RecordQuery(uint64_t tables_scored, uint64_t tables_nonzero,
+                 uint64_t candidates, double total_seconds,
+                 double mapping_seconds, uint64_t sim_hits,
+                 uint64_t sim_misses, uint64_t mapping_hits,
+                 uint64_t mapping_misses) {
+  QueryPathMetrics& m = QueryPathMetrics::Get();
+  m.queries.Increment();
+  m.tables_scored.Add(tables_scored);
+  m.tables_nonzero.Add(tables_nonzero);
+  m.candidates.Add(candidates);
+  m.sim_hits.Add(sim_hits);
+  m.sim_misses.Add(sim_misses);
+  m.mapping_hits.Add(mapping_hits);
+  m.mapping_misses.Add(mapping_misses);
+  m.query_latency.Record(ToNanos(total_seconds));
+  m.mapping_latency.Record(ToNanos(mapping_seconds));
+  m.query_candidates.Record(candidates);
+}
+
+void RecordLseiLookup(uint64_t candidates, double seconds) {
+  LseiMetrics& m = LseiMetrics::Get();
+  m.lookups.Increment();
+  m.candidates.Add(candidates);
+  m.latency.Record(ToNanos(seconds));
+}
+
+void RecordExecutorBatch(uint64_t queries) {
+  ExecMetrics& m = ExecMetrics::Get();
+  m.batches.Increment();
+  m.queries.Add(queries);
+}
+
+void RecordPoolBatch(uint64_t items) {
+  PoolMetrics& m = PoolMetrics::Get();
+  m.batches.Increment();
+  m.items.Add(items);
+}
+
+void SetPoolQueueDepth(int64_t depth) {
+  PoolMetrics::Get().queue_depth.Set(depth);
+}
+
+void RecordEmbeddingWalks(uint64_t walks, uint64_t steps) {
+  EmbeddingMetrics& m = EmbeddingMetrics::Get();
+  m.walks.Add(walks);
+  m.walk_steps.Add(steps);
+}
+
+void RecordSkipgramEpoch(uint64_t tokens, double seconds) {
+  EmbeddingMetrics& m = EmbeddingMetrics::Get();
+  m.epochs.Increment();
+  m.tokens.Add(tokens);
+  m.epoch_latency.Record(ToNanos(seconds));
+}
+
+void RecordEngineBuild(uint64_t tables, uint64_t distinct_signatures) {
+  EngineMetrics& m = EngineMetrics::Get();
+  m.builds.Increment();
+  m.tables.Add(tables);
+  m.distinct_signatures.Add(distinct_signatures);
+}
+
+void TraceAggregate(const char* name, double seconds) {
+  if (!TracingEnabled()) return;
+  TraceCollector::Global().RecordAggregate(name, ToNanos(seconds));
+}
+
+}  // namespace thetis::obs
+
+#endif  // THETIS_DISABLE_OBS

@@ -1,0 +1,84 @@
+#ifndef THETIS_OBS_QUERY_METRICS_H_
+#define THETIS_OBS_QUERY_METRICS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+// The fixed instrumentation surface of the search pipeline: free functions
+// with pre-registered metric handles, so call sites never touch the
+// registry map. Under -DTHETIS_DISABLE_OBS every function is an inline
+// no-op and the instrumentation compiles out of the query path entirely
+// (the registry/collector classes themselves stay available so tooling and
+// tests still link).
+//
+// Metric names (all prefixed thetis_):
+//   queries_total, tables_scored_total, tables_nonzero_total,
+//   candidates_total, sim_cache_{hits,misses}_total,
+//   mapping_cache_{hits,misses}_total           — per-query flush of
+//     SearchStats, the single point where engine counters enter the
+//     registry (so SearchStats and the registry cannot diverge);
+//   query_latency_ns, mapping_latency_ns, query_candidates — histograms;
+//   lsei_lookups_total, lsei_candidates_total, lsei_latency_ns;
+//   executor_batches_total, executor_queries_total;
+//   pool_batches_total, pool_items_total, pool_queue_depth (gauge);
+//   embedding_walks_total, embedding_walk_steps_total,
+//   skipgram_epochs_total, skipgram_tokens_total, skipgram_epoch_latency_ns;
+//   engine_builds_total, engine_tables_total,
+//   engine_distinct_signatures_total.
+namespace thetis::obs {
+
+#ifndef THETIS_DISABLE_OBS
+
+// Flushes one query's SearchStats-equivalent counters. Called exactly once
+// per executed query, by the terminal scoring loop.
+void RecordQuery(uint64_t tables_scored, uint64_t tables_nonzero,
+                 uint64_t candidates, double total_seconds,
+                 double mapping_seconds, uint64_t sim_hits,
+                 uint64_t sim_misses, uint64_t mapping_hits,
+                 uint64_t mapping_misses);
+
+// One LSEI prefilter lookup producing `candidates` candidate tables.
+void RecordLseiLookup(uint64_t candidates, double seconds);
+
+// One QueryExecutor batch of `queries` queries.
+void RecordExecutorBatch(uint64_t queries);
+
+// One ThreadPool::ParallelFor batch of `items` items.
+void RecordPoolBatch(uint64_t items);
+// Items not yet claimed by any worker in the current pool batch.
+void SetPoolQueueDepth(int64_t depth);
+
+// Random-walk corpus generation: `walks` walks totalling `steps` tokens.
+void RecordEmbeddingWalks(uint64_t walks, uint64_t steps);
+// One skip-gram training epoch over `tokens` center tokens.
+void RecordSkipgramEpoch(uint64_t tokens, double seconds);
+
+// One SearchEngine construction over `tables` tables collapsing to
+// `distinct_signatures` distinct column signatures (the mapping cache's
+// upper bound on reuse).
+void RecordEngineBuild(uint64_t tables, uint64_t distinct_signatures);
+
+// Emits an aggregated pseudo-span of `seconds` ending now into the trace
+// (no-op when tracing is off). Used for durations accumulated across an
+// inner loop too hot for per-iteration spans, e.g. the total Hungarian
+// mapping time of one scoring stripe.
+void TraceAggregate(const char* name, double seconds);
+
+#else
+
+inline void RecordQuery(uint64_t, uint64_t, uint64_t, double, double,
+                        uint64_t, uint64_t, uint64_t, uint64_t) {}
+inline void RecordLseiLookup(uint64_t, double) {}
+inline void RecordExecutorBatch(uint64_t) {}
+inline void RecordPoolBatch(uint64_t) {}
+inline void SetPoolQueueDepth(int64_t) {}
+inline void RecordEmbeddingWalks(uint64_t, uint64_t) {}
+inline void RecordSkipgramEpoch(uint64_t, double) {}
+inline void RecordEngineBuild(uint64_t, uint64_t) {}
+inline void TraceAggregate(const char*, double) {}
+
+#endif  // THETIS_DISABLE_OBS
+
+}  // namespace thetis::obs
+
+#endif  // THETIS_OBS_QUERY_METRICS_H_

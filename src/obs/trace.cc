@@ -1,0 +1,186 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+namespace thetis::obs {
+
+namespace {
+std::atomic<bool> g_tracing_enabled{false};
+}  // namespace
+
+bool TracingEnabled() {
+  return g_tracing_enabled.load(std::memory_order_relaxed);
+}
+
+void SetTracingEnabled(bool enabled) {
+  g_tracing_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+TraceCollector& TraceCollector::Global() {
+  static TraceCollector* collector = new TraceCollector();
+  return *collector;
+}
+
+TraceCollector::ThreadBuffer& TraceCollector::BufferForThisThread() {
+  // The shared_ptr keeps the buffer alive in `buffers_` after the thread
+  // exits, so short-lived pool threads don't lose their spans.
+  thread_local std::shared_ptr<ThreadBuffer> buffer = [this] {
+    auto b = std::make_shared<ThreadBuffer>();
+    b->capacity = ring_capacity_.load(std::memory_order_relaxed);
+    b->ring.reserve(std::min<size_t>(b->capacity, 1024));
+    std::lock_guard<std::mutex> lock(mu_);
+    b->tid = static_cast<uint32_t>(buffers_.size());
+    buffers_.push_back(b);
+    return b;
+  }();
+  return *buffer;
+}
+
+void TraceCollector::Record(const char* name, uint64_t start_ns,
+                            uint64_t dur_ns) {
+  ThreadBuffer& b = BufferForThisThread();
+  std::lock_guard<std::mutex> lock(b.mu);
+  TraceEvent ev{name, start_ns, dur_ns, b.tid};
+  if (b.size < b.capacity) {
+    if (b.ring.size() < b.capacity && b.next == b.ring.size()) {
+      b.ring.push_back(ev);
+    } else {
+      b.ring[b.next] = ev;
+    }
+    ++b.size;
+  } else {
+    b.ring[b.next] = ev;
+    ++b.dropped;
+  }
+  b.next = (b.next + 1) % b.capacity;
+}
+
+void TraceCollector::RecordAggregate(const char* name, uint64_t dur_ns) {
+  uint64_t now = NowNanos();
+  Record(name, now - std::min(now, dur_ns), dur_ns);
+}
+
+std::vector<TraceEvent> TraceCollector::Snapshot() const {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    buffers = buffers_;
+  }
+  std::vector<TraceEvent> events;
+  for (const auto& b : buffers) {
+    std::lock_guard<std::mutex> lock(b->mu);
+    // Oldest-first: the ring holds `size` events ending just before `next`.
+    size_t start = (b->next + b->capacity - b->size) % b->capacity;
+    for (size_t i = 0; i < b->size; ++i) {
+      events.push_back(b->ring[(start + i) % b->capacity]);
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              if (a.tid != b.tid) return a.tid < b.tid;
+              return a.dur_ns > b.dur_ns;  // enclosing span first
+            });
+  return events;
+}
+
+uint64_t TraceCollector::DroppedEvents() const {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    buffers = buffers_;
+  }
+  uint64_t dropped = 0;
+  for (const auto& b : buffers) {
+    std::lock_guard<std::mutex> lock(b->mu);
+    dropped += b->dropped;
+  }
+  return dropped;
+}
+
+void TraceCollector::Clear() {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    buffers = buffers_;
+  }
+  for (const auto& b : buffers) {
+    std::lock_guard<std::mutex> lock(b->mu);
+    b->next = 0;
+    b->size = 0;
+    b->dropped = 0;
+    b->capacity = ring_capacity_.load(std::memory_order_relaxed);
+    b->ring.clear();
+  }
+}
+
+void TraceCollector::SetRingCapacity(size_t capacity) {
+  ring_capacity_.store(std::max<size_t>(1, capacity),
+                       std::memory_order_relaxed);
+}
+
+namespace {
+
+// Nanoseconds as a decimal microsecond literal ("12.034"): Chrome's `ts` /
+// `dur` unit is µs and fractional digits keep full ns resolution.
+void AppendMicros(std::ostringstream& out, uint64_t ns) {
+  uint64_t frac = ns % 1000;
+  out << ns / 1000 << '.' << static_cast<char>('0' + frac / 100)
+      << static_cast<char>('0' + frac / 10 % 10)
+      << static_cast<char>('0' + frac % 10);
+}
+
+// Span names are identifier-style literals, but escape defensively so the
+// output stays valid JSON for any name.
+void AppendEscaped(std::ostringstream& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    char c = *s;
+    if (c == '"' || c == '\\') {
+      out << '\\' << c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out << ' ';
+    } else {
+      out << c;
+    }
+  }
+}
+
+}  // namespace
+
+std::string TraceCollector::ChromeTraceJson() const {
+  std::vector<TraceEvent> events = Snapshot();
+  std::ostringstream out;
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& ev : events) {
+    out << (first ? "" : ",");
+    out << "{\"name\":\"";
+    AppendEscaped(out, ev.name);
+    out << "\",\"ph\":\"X\",\"pid\":1,\"tid\":" << ev.tid << ",\"ts\":";
+    AppendMicros(out, ev.start_ns);
+    out << ",\"dur\":";
+    AppendMicros(out, ev.dur_ns);
+    out << "}";
+    first = false;
+  }
+  out << "],\"displayTimeUnit\":\"ms\"}";
+  return out.str();
+}
+
+bool WriteChromeTraceFile(const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << TraceCollector::Global().ChromeTraceJson() << "\n";
+  return static_cast<bool>(out);
+}
+
+}  // namespace thetis::obs

@@ -1,0 +1,114 @@
+#ifndef THETIS_OBS_TRACE_H_
+#define THETIS_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace thetis::obs {
+
+// Tracing is opt-in at runtime: spans cost one relaxed atomic load when it
+// is off (the default). Enable it before the traced work and export with
+// TraceCollector::ChromeTraceJson / WriteChromeTraceFile afterwards.
+bool TracingEnabled();
+void SetTracingEnabled(bool enabled);
+
+// Monotonic nanoseconds (steady_clock), the time base of all spans.
+uint64_t NowNanos();
+
+// One completed span. `name` must be a string literal (or otherwise outlive
+// the collector) — spans are recorded on hot paths and never copy the name.
+struct TraceEvent {
+  const char* name;
+  uint64_t start_ns;
+  uint64_t dur_ns;
+  uint32_t tid;  // collector-assigned per-thread id, dense from 0
+};
+
+// Process-wide sink of completed spans. Each thread records into its own
+// fixed-capacity ring buffer guarded by its own mutex: the hot-path lock is
+// uncontended (only the exporter ever takes somebody else's), which keeps
+// recording cheap and the whole structure clean under TSan. Rings overwrite
+// oldest events when full and count what they dropped.
+class TraceCollector {
+ public:
+  static TraceCollector& Global();
+
+  // Records a completed span into this thread's ring.
+  void Record(const char* name, uint64_t start_ns, uint64_t dur_ns);
+  // Records an aggregated pseudo-span ending now (e.g. total Hungarian
+  // mapping time of one scoring stripe, accumulated across tables and
+  // emitted as a single event).
+  void RecordAggregate(const char* name, uint64_t dur_ns);
+
+  // All buffered events across threads, sorted by (start, tid). Quiescent
+  // writers give an exact snapshot.
+  std::vector<TraceEvent> Snapshot() const;
+  // Chrome trace-event JSON ("chrome://tracing" / Perfetto): one complete
+  // ("ph":"X") event per span, timestamps in microseconds.
+  std::string ChromeTraceJson() const;
+  // Events dropped to ring overwrite, summed over threads.
+  uint64_t DroppedEvents() const;
+
+  // Drops all buffered events (test hook; also resets nothing else).
+  void Clear();
+  // Ring capacity (events per thread) for rings created after the call.
+  // Default 65536 (~2 MiB per thread when full).
+  void SetRingCapacity(size_t capacity);
+
+ private:
+  struct ThreadBuffer {
+    std::mutex mu;
+    std::vector<TraceEvent> ring;
+    size_t capacity = 0;
+    size_t next = 0;      // write cursor (wraps)
+    size_t size = 0;      // events held, ≤ capacity
+    uint64_t dropped = 0;
+    uint32_t tid = 0;
+  };
+
+  ThreadBuffer& BufferForThisThread();
+
+  mutable std::mutex mu_;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+  std::atomic<size_t> ring_capacity_{65536};
+};
+
+// RAII stage span: records [construction, destruction) of the enclosing
+// scope into the global collector when tracing is enabled. Intended for
+// stage-level scopes (per query, per stripe, per epoch), not per-table
+// inner loops. Compiled to an empty object under THETIS_DISABLE_OBS.
+class TraceSpan {
+#ifndef THETIS_DISABLE_OBS
+ public:
+  explicit TraceSpan(const char* name)
+      : name_(TracingEnabled() ? name : nullptr),
+        start_ns_(name_ != nullptr ? NowNanos() : 0) {}
+  ~TraceSpan() {
+    if (name_ != nullptr) {
+      TraceCollector::Global().Record(name_, start_ns_, NowNanos() - start_ns_);
+    }
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_;
+  uint64_t start_ns_;
+#else
+ public:
+  explicit TraceSpan(const char*) {}
+#endif
+};
+
+// Writes ChromeTraceJson() of the global collector to `path`. Returns
+// false on IO failure.
+bool WriteChromeTraceFile(const std::string& path);
+
+}  // namespace thetis::obs
+
+#endif  // THETIS_OBS_TRACE_H_

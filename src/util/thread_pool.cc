@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/query_metrics.h"
+
 namespace thetis {
 
 ThreadPool::ThreadPool(size_t num_threads) {
@@ -34,6 +36,9 @@ void ThreadPool::RunChunks() {
       begin = batch_.next;
       end = std::min(batch_.n, begin + batch_.chunk);
       batch_.next = end;
+      // Unclaimed items of the current batch; sampled at chunk claims, so
+      // it tracks drain progress without touching the per-item loop.
+      obs::SetPoolQueueDepth(static_cast<int64_t>(batch_.n - batch_.next));
     }
     for (size_t i = begin; i < end; ++i) (*batch_.fn)(i);
   }
@@ -63,6 +68,7 @@ void ThreadPool::WorkerLoop() {
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   if (n == 0) return;
+  obs::RecordPoolBatch(n);
   if (threads_.empty()) {
     for (size_t i = 0; i < n; ++i) fn(i);
     return;

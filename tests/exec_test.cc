@@ -13,6 +13,7 @@
 #include "benchgen/benchmark_factory.h"
 #include "core/search_engine.h"
 #include "core/similarity.h"
+#include "obs/trace.h"
 #include "semantic/semantic_data_lake.h"
 #include "util/thread_pool.h"
 
@@ -180,6 +181,56 @@ TEST_P(TieBreakSweep, TopKCutsTieGroupsByAscendingId) {
 INSTANTIATE_TEST_SUITE_P(Cutoffs, TieBreakSweep,
                          ::testing::Values(1, 3, 7, 10, 14, 20));
 
+TEST(TieBreakTest, MappingCacheCollapsesClassEquivalentTables) {
+  // The σ-class signature regression test: tables whose columns hold
+  // DISTINCT entities with identical type sets must still share one mapping
+  // cache entry — for TypeJaccard, σ only depends on the type sets, so the
+  // Hungarian problems are bit-identical. (Entity-level signatures, the old
+  // scheme, never collapse these and score ~0% hits on realistic lakes.)
+  constexpr size_t kTables = 6;
+  KnowledgeGraph kg;
+  Taxonomy* tax = kg.mutable_taxonomy();
+  TypeId thing = tax->AddType("Thing").value();
+  TypeId person = tax->AddType("Person", thing).value();
+  TypeId club = tax->AddType("Club", thing).value();
+  Corpus corpus;
+  for (size_t i = 0; i < kTables; ++i) {
+    // Every table gets its own fresh entities; only the types repeat.
+    EntityId p = kg.AddEntity("player " + std::to_string(i)).value();
+    EntityId c = kg.AddEntity("club " + std::to_string(i)).value();
+    EXPECT_TRUE(kg.AddEntityType(p, person).ok());
+    EXPECT_TRUE(kg.AddEntityType(c, club).ok());
+    Table t("team sheet " + std::to_string(i), {"Player", "Team"});
+    EXPECT_TRUE(
+        t.AppendRow({Value::String("player " + std::to_string(i)),
+                     Value::String("club " + std::to_string(i))},
+                    {p, c})
+            .ok());
+    EXPECT_TRUE(corpus.AddTable(std::move(t)).ok());
+  }
+  // Query entities appear in no table, so the identity-pair fingerprint is
+  // empty everywhere and all kTables mapping keys coincide.
+  EntityId qp = kg.AddEntity("query player").value();
+  EntityId qc = kg.AddEntity("query club").value();
+  EXPECT_TRUE(kg.AddEntityType(qp, person).ok());
+  EXPECT_TRUE(kg.AddEntityType(qc, club).ok());
+
+  SemanticDataLake lake(&corpus, &kg);
+  TypeJaccardSimilarity sim(&kg);
+  SearchOptions opts;
+  opts.use_informativeness = false;
+  SearchEngine cached(&lake, &sim, opts);
+  SearchStats stats;
+  auto hits = cached.Search(Query{{{qp, qc}}}, &stats);
+  EXPECT_EQ(stats.mapping_cache_misses, 1u);
+  EXPECT_EQ(stats.mapping_cache_hits, kTables - 1);
+  // Reuse must not change a single score bit.
+  opts.enable_cache = false;
+  SearchEngine uncached(&lake, &sim, opts);
+  ExpectSameHits(uncached.Search(Query{{{qp, qc}}}), hits,
+                 "class-collapsed cached vs uncached");
+}
+
 TEST(TieBreakTest, MappingCacheCollapsesDuplicateTables) {
   // All kCopies exact tables share one column signature (and the related
   // copies another), so per tuple the Hungarian mapping is solved once per
@@ -324,6 +375,50 @@ TEST(QueryExecutorTest, EmptyBatchAndEmptyQuery) {
   auto results = executor.ExecuteBatch({Query{}});
   ASSERT_EQ(results.size(), 1u);
   EXPECT_TRUE(results[0].hits.empty());
+}
+
+// --- Instrumentation parity --------------------------------------------------------
+
+TEST(ObsParityTest, TracingOnAndOffBitIdenticalEverywhere) {
+  // Observability must be a pure observer: enabling span tracing cannot
+  // perturb a single ranking or score bit, in any executor configuration.
+  // (The compiled-out leg of the same contract runs in the CI job that
+  // builds with -DTHETIS_DISABLE_OBS and re-runs this whole suite.)
+  ExecutorFixture f(57, 4);
+  SearchOptions cached_opts;
+  cached_opts.enable_cache = true;
+  SearchOptions uncached_opts;
+  uncached_opts.enable_cache = false;
+  SearchEngine cached(&f.lake, &f.sim, cached_opts);
+  SearchEngine uncached(&f.lake, &f.sim, uncached_opts);
+  ThreadPool pool1(1);
+  ThreadPool pool8(8);
+
+  auto run_all = [&] {
+    std::vector<std::vector<SearchHit>> out;
+    for (const Query& q : f.queries) {
+      out.push_back(cached.Search(q));
+      out.push_back(uncached.Search(q));
+      out.push_back(cached.SearchParallel(q, &pool1));
+      out.push_back(cached.SearchParallel(q, &pool8));
+      out.push_back(uncached.SearchParallel(q, &pool8));
+    }
+    return out;
+  };
+
+  obs::SetTracingEnabled(false);
+  auto baseline = run_all();
+  obs::TraceCollector::Global().Clear();
+  obs::SetTracingEnabled(true);
+  auto traced = run_all();
+  obs::SetTracingEnabled(false);
+  obs::TraceCollector::Global().Clear();
+
+  ASSERT_EQ(baseline.size(), traced.size());
+  for (size_t i = 0; i < baseline.size(); ++i) {
+    ExpectSameHits(baseline[i], traced[i],
+                   "tracing parity run " + std::to_string(i));
+  }
 }
 
 TEST(QueryExecutorTest, SumBatchStatsAddsUp) {

@@ -1,0 +1,598 @@
+// Tests for the src/obs observability layer: sharded counter/histogram
+// exactness under the thread pool, log-linear bucket geometry and quantile
+// error bounds, deterministic Prometheus/JSON exports, trace-span nesting
+// and ring-overwrite behavior, and the engine-level contract that
+// SearchStats and the global MetricsRegistry are two views of the same
+// counts. The suite compiles (and passes) under -DTHETIS_DISABLE_OBS too:
+// the registry/collector stay linkable, only the instrumentation surface
+// no-ops, which the compiled-out tests assert directly.
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "benchgen/benchmark_factory.h"
+#include "core/search_engine.h"
+#include "core/similarity.h"
+#include "lsh/lsei.h"
+#include "obs/trace.h"
+#include "semantic/semantic_data_lake.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace thetis {
+namespace {
+
+using obs::Counter;
+using obs::Gauge;
+using obs::Histogram;
+using obs::HistogramSnapshot;
+using obs::MetricsRegistry;
+using obs::TraceCollector;
+using obs::TraceEvent;
+
+// --- Counter / gauge -------------------------------------------------------------
+
+TEST(CounterTest, ConcurrentAddsAreExact) {
+  Counter c;
+  ThreadPool pool(8);
+  constexpr size_t kN = 100000;
+  pool.ParallelFor(kN, [&](size_t i) { c.Add(i % 3 + 1); });
+  uint64_t want = 0;
+  for (size_t i = 0; i < kN; ++i) want += i % 3 + 1;
+  EXPECT_EQ(c.Value(), want);
+  c.Increment();
+  EXPECT_EQ(c.Value(), want + 1);
+}
+
+TEST(CounterTest, ResetZeroesAcrossShards) {
+  Counter c;
+  ThreadPool pool(8);
+  pool.ParallelFor(1000, [&](size_t) { c.Increment(); });
+  ASSERT_EQ(c.Value(), 1000u);
+  c.Reset();
+  EXPECT_EQ(c.Value(), 0u);
+}
+
+TEST(GaugeTest, SetAddReset) {
+  Gauge g;
+  EXPECT_EQ(g.Value(), 0);
+  g.Set(42);
+  EXPECT_EQ(g.Value(), 42);
+  g.Add(-50);
+  EXPECT_EQ(g.Value(), -8);
+  g.Reset();
+  EXPECT_EQ(g.Value(), 0);
+}
+
+// --- Histogram bucket geometry ----------------------------------------------------
+
+TEST(HistogramTest, BucketBoundsContainValueAndAreNarrow) {
+  constexpr uint64_t kMax = std::numeric_limits<uint64_t>::max();
+  std::vector<uint64_t> values;
+  for (uint64_t v = 0; v < 64; ++v) values.push_back(v);
+  for (int shift = 3; shift < 63; ++shift) {
+    uint64_t base = 1ull << shift;
+    values.push_back(base - 1);
+    values.push_back(base);
+    values.push_back(base + 1);
+    values.push_back(base + base / 3);
+  }
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) values.push_back(rng.NextU64());
+  values.push_back(kMax);
+
+  for (uint64_t v : values) {
+    size_t b = Histogram::BucketOf(v);
+    ASSERT_LT(b, Histogram::kBuckets) << "value " << v;
+    uint64_t lo = Histogram::BucketLow(b);
+    uint64_t hi = Histogram::BucketHigh(b);
+    EXPECT_LE(lo, v) << "value " << v;
+    if (hi != kMax) {
+      EXPECT_LT(v, hi) << "value " << v;
+      // Log-linear guarantee: every non-saturating bucket above the exact
+      // range is at most 25% of its lower bound wide.
+      if (v >= 8) EXPECT_LE(4 * (hi - lo), lo) << "value " << v;
+    }
+  }
+}
+
+TEST(HistogramTest, BucketBoundsTileTheAxis) {
+  // Consecutive buckets must share a boundary: no gaps, no overlaps.
+  for (size_t b = 0; b + 1 < Histogram::kBuckets; ++b) {
+    EXPECT_EQ(Histogram::BucketHigh(b), Histogram::BucketLow(b + 1))
+        << "bucket " << b;
+  }
+}
+
+TEST(HistogramTest, QuantilesTrackReferenceWithinBucketWidth) {
+  Histogram h;
+  std::vector<uint64_t> values;
+  Rng rng(99);
+  for (int i = 0; i < 2000; ++i) {
+    // Bimodal latency-like shape: a fast mode and a heavy slow tail.
+    uint64_t v = rng.NextBounded(10) < 7
+                     ? rng.NextBounded(500)
+                     : 100000 + rng.NextBounded(5000000);
+    values.push_back(v);
+    h.Record(v);
+  }
+  HistogramSnapshot snap = h.Snapshot();
+  ASSERT_EQ(snap.count, values.size());
+  std::sort(values.begin(), values.end());
+  for (double q : {0.0, 0.5, 0.9, 0.95, 0.99, 1.0}) {
+    // Same nearest-rank definition as HistogramSnapshot::Quantile: the
+    // estimate must land inside the bucket containing the true quantile.
+    uint64_t rank =
+        static_cast<uint64_t>(q * static_cast<double>(snap.count - 1)) + 1;
+    uint64_t ref = values[rank - 1];
+    size_t b = Histogram::BucketOf(ref);
+    double est = snap.Quantile(q);
+    EXPECT_GE(est, static_cast<double>(Histogram::BucketLow(b))) << "q " << q;
+    EXPECT_LE(est, static_cast<double>(Histogram::BucketHigh(b))) << "q " << q;
+  }
+}
+
+TEST(HistogramTest, ConcurrentRecordsExactCountAndSum) {
+  Histogram h;
+  ThreadPool pool(8);
+  constexpr size_t kN = 50000;
+  pool.ParallelFor(kN, [&](size_t i) { h.Record(i % 1000); });
+  HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, kN);
+  uint64_t want_sum = 0;
+  for (size_t i = 0; i < kN; ++i) want_sum += i % 1000;
+  EXPECT_EQ(snap.sum, want_sum);
+  h.Reset();
+  snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.sum, 0u);
+}
+
+TEST(HistogramTest, EmptySnapshotQuantileIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.Snapshot().Quantile(0.5), 0.0);
+}
+
+// --- Registry + exports -----------------------------------------------------------
+
+TEST(RegistryTest, HandlesAreStableAndNamed) {
+  MetricsRegistry reg;
+  Counter& c1 = reg.counter("test_c");
+  Counter& c2 = reg.counter("test_c");
+  EXPECT_EQ(&c1, &c2);
+  c1.Add(7);
+  EXPECT_EQ(reg.CounterValue("test_c"), 7u);
+  EXPECT_EQ(reg.CounterValue("absent"), 0u);
+  reg.gauge("test_g").Set(-3);
+  EXPECT_EQ(reg.GaugeValue("test_g"), -3);
+  reg.histogram("test_h").Record(12);
+  EXPECT_EQ(reg.HistogramValue("test_h").count, 1u);
+  EXPECT_EQ(reg.HistogramValue("absent").count, 0u);
+  std::vector<std::string> names = reg.MetricNames();
+  EXPECT_EQ(names, (std::vector<std::string>{"test_c", "test_g", "test_h"}));
+}
+
+TEST(RegistryTest, PrometheusTextDeterministicAndSorted) {
+  MetricsRegistry reg;
+  // Registration order deliberately unsorted; exports must not care.
+  reg.counter("zz_last").Add(2);
+  reg.counter("aa_first").Add(5);
+  reg.gauge("mm_mid").Set(9);
+  Histogram& h = reg.histogram("lat_ns");
+  h.Record(3);
+  h.Record(100);
+  h.Record(100);
+
+  std::string text = reg.PrometheusText();
+  EXPECT_EQ(text, reg.PrometheusText());  // byte-stable
+
+  EXPECT_NE(text.find("# TYPE aa_first counter\naa_first 5\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("zz_last 2\n"), std::string::npos);
+  EXPECT_LT(text.find("aa_first"), text.find("zz_last"));
+  EXPECT_NE(text.find("mm_mid 9\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE lat_ns histogram\n"), std::string::npos);
+  // Bucket counts are cumulative and end with the exact +Inf/count/sum.
+  size_t b3 = Histogram::BucketOf(3);
+  size_t b100 = Histogram::BucketOf(100);
+  std::ostringstream want3;
+  want3 << "lat_ns_bucket{le=\"" << Histogram::BucketHigh(b3) << "\"} 1\n";
+  std::ostringstream want100;
+  want100 << "lat_ns_bucket{le=\"" << Histogram::BucketHigh(b100) << "\"} 3\n";
+  EXPECT_NE(text.find(want3.str()), std::string::npos) << text;
+  EXPECT_NE(text.find(want100.str()), std::string::npos) << text;
+  EXPECT_NE(text.find("lat_ns_bucket{le=\"+Inf\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_ns_sum 203\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_ns_count 3\n"), std::string::npos);
+}
+
+TEST(RegistryTest, JsonTextCarriesValuesAndQuantiles) {
+  MetricsRegistry reg;
+  reg.counter("hits").Add(41);
+  reg.gauge("depth").Set(-7);
+  Histogram& h = reg.histogram("lat");
+  for (int i = 0; i < 100; ++i) h.Record(64);  // one bucket, exact quantiles
+
+  std::string json = reg.JsonText();
+  EXPECT_EQ(json, reg.JsonText());
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"counters\":{\"hits\":41}"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"gauges\":{\"depth\":-7}"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"count\":100"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"sum\":6400"), std::string::npos) << json;
+  // All mass in bucket [64, 80): every quantile interpolates inside it.
+  size_t b = Histogram::BucketOf(64);
+  std::ostringstream bucket;
+  bucket << "\"buckets\":[[" << Histogram::BucketLow(b) << ",100]]";
+  EXPECT_NE(json.find(bucket.str()), std::string::npos) << json;
+  HistogramSnapshot snap = reg.HistogramValue("lat");
+  for (double q : {0.5, 0.95, 0.99}) {
+    EXPECT_GE(snap.Quantile(q), static_cast<double>(Histogram::BucketLow(b)));
+    EXPECT_LE(snap.Quantile(q), static_cast<double>(Histogram::BucketHigh(b)));
+  }
+}
+
+TEST(RegistryTest, ResetAllZeroesButKeepsNames) {
+  MetricsRegistry reg;
+  reg.counter("c").Add(5);
+  reg.gauge("g").Set(5);
+  reg.histogram("h").Record(5);
+  reg.ResetAll();
+  EXPECT_EQ(reg.CounterValue("c"), 0u);
+  EXPECT_EQ(reg.GaugeValue("g"), 0);
+  EXPECT_EQ(reg.HistogramValue("h").count, 0u);
+  EXPECT_EQ(reg.MetricNames().size(), 3u);
+}
+
+TEST(RegistryTest, WriteMetricsFilePicksFormatByExtension) {
+  MetricsRegistry::Global().counter("obs_test_file_counter").Add(13);
+  std::filesystem::path dir = std::filesystem::temp_directory_path();
+  std::string prom_path = (dir / "obs_test_metrics.prom").string();
+  std::string json_path = (dir / "obs_test_metrics.json").string();
+
+  ASSERT_TRUE(obs::WriteMetricsFile(prom_path));
+  ASSERT_TRUE(obs::WriteMetricsFile(json_path));
+  auto slurp = [](const std::string& path) {
+    std::ifstream in(path);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+  };
+  std::string prom = slurp(prom_path);
+  std::string json = slurp(json_path);
+  EXPECT_NE(prom.find("# TYPE obs_test_file_counter counter"),
+            std::string::npos);
+  EXPECT_NE(prom.find("obs_test_file_counter 13"), std::string::npos);
+  EXPECT_EQ(json.find("# TYPE"), std::string::npos);
+  EXPECT_NE(json.find("\"obs_test_file_counter\":13"), std::string::npos);
+  EXPECT_FALSE(obs::WriteMetricsFile((dir / "no_such_dir" / "x.prom").string()));
+  std::filesystem::remove(prom_path);
+  std::filesystem::remove(json_path);
+}
+
+// --- Trace collector --------------------------------------------------------------
+
+// Every trace test owns the global collector for its duration: tracing is
+// forced off (so no engine span can sneak in), rings are cleared up front
+// and the default capacity restored at the end.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::SetTracingEnabled(false);
+    TraceCollector::Global().Clear();
+  }
+  void TearDown() override {
+    obs::SetTracingEnabled(false);
+    TraceCollector::Global().SetRingCapacity(65536);
+    TraceCollector::Global().Clear();
+  }
+};
+
+TEST_F(TraceTest, SnapshotSortsByStartTime) {
+  TraceCollector& c = TraceCollector::Global();
+  c.Record("late", 3000, 10);
+  c.Record("early", 1000, 10);
+  c.Record("mid", 2000, 10);
+  std::vector<TraceEvent> events = c.Snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_STREQ(events[0].name, "early");
+  EXPECT_STREQ(events[1].name, "mid");
+  EXPECT_STREQ(events[2].name, "late");
+  c.Clear();
+  EXPECT_TRUE(c.Snapshot().empty());
+}
+
+TEST_F(TraceTest, RingOverwriteKeepsNewestAndCountsDropped) {
+  TraceCollector& c = TraceCollector::Global();
+  c.SetRingCapacity(8);
+  c.Clear();  // re-reads capacity into this thread's ring
+  for (uint64_t i = 0; i < 20; ++i) c.Record("ring", 1000 + i, 1);
+  std::vector<TraceEvent> events = c.Snapshot();
+  ASSERT_EQ(events.size(), 8u);
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].start_ns, 1000 + 12 + i) << "position " << i;
+  }
+  EXPECT_EQ(c.DroppedEvents(), 12u);
+}
+
+TEST_F(TraceTest, ChromeJsonEmitsMicrosecondsWithNanoFraction) {
+  TraceCollector& c = TraceCollector::Global();
+  c.Record("stage_a", 12034, 1500);
+  c.Record("b\"c", 2000000, 7);
+  std::string json = c.ChromeTraceJson();
+  EXPECT_EQ(json.find("{\"traceEvents\":["), 0u);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\"}"), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"stage_a\",\"ph\":\"X\",\"pid\":1"),
+            std::string::npos)
+      << json;
+  // 12034 ns == 12.034 µs; 1500 ns == 1.500 µs; 7 ns == 0.007 µs.
+  EXPECT_NE(json.find("\"ts\":12.034,\"dur\":1.500"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"ts\":2000.000,\"dur\":0.007"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"name\":\"b\\\"c\""), std::string::npos) << json;
+
+  std::string path =
+      (std::filesystem::temp_directory_path() / "obs_test_trace.json").string();
+  ASSERT_TRUE(obs::WriteChromeTraceFile(path));
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, json);
+  std::filesystem::remove(path);
+}
+
+TEST_F(TraceTest, RecordAggregateEndsNow) {
+  TraceCollector& c = TraceCollector::Global();
+  uint64_t before = obs::NowNanos();
+  c.RecordAggregate("agg", 5000);
+  uint64_t after = obs::NowNanos();
+  std::vector<TraceEvent> events = c.Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].dur_ns, 5000u);
+  EXPECT_GE(events[0].start_ns + events[0].dur_ns, before);
+  EXPECT_LE(events[0].start_ns + events[0].dur_ns, after + 5000);
+}
+
+#ifndef THETIS_DISABLE_OBS
+
+TEST_F(TraceTest, SpansDisabledByDefaultRecordNothing) {
+  ASSERT_FALSE(obs::TracingEnabled());
+  {
+    obs::TraceSpan span("should_not_appear");
+  }
+  EXPECT_TRUE(TraceCollector::Global().Snapshot().empty());
+}
+
+TEST_F(TraceTest, NestedSpansNestAndOrder) {
+  obs::SetTracingEnabled(true);
+  {
+    obs::TraceSpan outer("outer_span");
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    {
+      obs::TraceSpan inner("inner_span");
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  obs::SetTracingEnabled(false);
+  std::vector<TraceEvent> events = TraceCollector::Global().Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  // Sorted by start: the enclosing span began first.
+  EXPECT_STREQ(events[0].name, "outer_span");
+  EXPECT_STREQ(events[1].name, "inner_span");
+  const TraceEvent& outer = events[0];
+  const TraceEvent& inner = events[1];
+  EXPECT_GE(inner.start_ns, outer.start_ns);
+  EXPECT_LE(inner.start_ns + inner.dur_ns, outer.start_ns + outer.dur_ns);
+  EXPECT_EQ(inner.tid, outer.tid);
+  std::string json = TraceCollector::Global().ChromeTraceJson();
+  EXPECT_NE(json.find("\"name\":\"outer_span\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"inner_span\""), std::string::npos);
+}
+
+#endif  // THETIS_DISABLE_OBS
+
+// --- Engine-level contracts -------------------------------------------------------
+
+struct EngineFixture {
+  benchgen::Benchmark bench;
+  SemanticDataLake lake;
+  TypeJaccardSimilarity sim;
+  std::vector<Query> queries;
+
+  explicit EngineFixture(uint64_t seed = 17, size_t num_queries = 5)
+      : bench(benchgen::MakeBenchmark(benchgen::PresetKind::kWt2015Like, 0.05,
+                                      seed)),
+        lake(&bench.lake.corpus, &bench.kg.kg),
+        sim(&bench.kg.kg) {
+    for (const auto& gq :
+         benchgen::MakeQueries(bench.kg, num_queries, seed + 1)) {
+      queries.push_back(gq.query);
+    }
+  }
+};
+
+#ifndef THETIS_DISABLE_OBS
+
+TEST(EngineObsTest, RegistryCountersMatchSearchStatsExactly) {
+  // SearchStats and the global registry are flushed from the same struct at
+  // the same point, so after a quiescent run they must agree field by field.
+  EngineFixture f;
+  SearchEngine engine(&f.lake, &f.sim);  // construct before ResetAll
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.ResetAll();
+
+  SearchStats total;
+  for (const Query& q : f.queries) {
+    SearchStats stats;
+    engine.Search(q, &stats);
+    total.tables_scored += stats.tables_scored;
+    total.tables_nonzero += stats.tables_nonzero;
+    total.candidate_count += stats.candidate_count;
+    total.sim_cache_hits += stats.sim_cache_hits;
+    total.sim_cache_misses += stats.sim_cache_misses;
+    total.mapping_cache_hits += stats.mapping_cache_hits;
+    total.mapping_cache_misses += stats.mapping_cache_misses;
+  }
+
+  EXPECT_EQ(reg.CounterValue("thetis_queries_total"), f.queries.size());
+  EXPECT_EQ(reg.CounterValue("thetis_tables_scored_total"),
+            total.tables_scored);
+  EXPECT_EQ(reg.CounterValue("thetis_tables_nonzero_total"),
+            total.tables_nonzero);
+  EXPECT_EQ(reg.CounterValue("thetis_candidates_total"),
+            total.candidate_count);
+  EXPECT_EQ(reg.CounterValue("thetis_sim_cache_hits_total"),
+            total.sim_cache_hits);
+  EXPECT_EQ(reg.CounterValue("thetis_sim_cache_misses_total"),
+            total.sim_cache_misses);
+  EXPECT_EQ(reg.CounterValue("thetis_mapping_cache_hits_total"),
+            total.mapping_cache_hits);
+  EXPECT_EQ(reg.CounterValue("thetis_mapping_cache_misses_total"),
+            total.mapping_cache_misses);
+  // One latency/candidate-count sample per query.
+  EXPECT_EQ(reg.HistogramValue("thetis_query_latency_ns").count,
+            f.queries.size());
+  EXPECT_EQ(reg.HistogramValue("thetis_mapping_latency_ns").count,
+            f.queries.size());
+  EXPECT_EQ(reg.HistogramValue("thetis_query_candidates").count,
+            f.queries.size());
+  // The fixture's lake has repeated entities, so the caches must be active.
+  EXPECT_GT(total.sim_cache_hits, 0u);
+}
+
+TEST(EngineObsTest, EngineBuildRegistersSignatureCollapse) {
+  EngineFixture f(23, 1);
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.ResetAll();
+  SearchEngine engine(&f.lake, &f.sim);
+  EXPECT_EQ(reg.CounterValue("thetis_engine_builds_total"), 1u);
+  EXPECT_EQ(reg.CounterValue("thetis_engine_tables_total"),
+            f.bench.lake.corpus.size());
+  uint64_t distinct =
+      reg.CounterValue("thetis_engine_distinct_signatures_total");
+  EXPECT_GT(distinct, 0u);
+  EXPECT_LE(distinct, f.bench.lake.corpus.size());
+}
+
+TEST(EngineObsTest, TraceContainsAllPipelineStages) {
+  // The acceptance-level check: one prefiltered search emits the full span
+  // hierarchy — LSEI prefilter, engine query, scoring, mapping, top-k.
+  EngineFixture f(31, 2);
+  SearchEngine engine(&f.lake, &f.sim);
+  LseiOptions lsh;
+  Lsei lsei(&f.lake, nullptr, lsh);
+  PrefilteredSearchEngine prefiltered(&engine, &lsei, /*votes=*/1);
+
+  TraceCollector::Global().Clear();
+  obs::SetTracingEnabled(true);
+  for (const Query& q : f.queries) prefiltered.Search(q);
+  obs::SetTracingEnabled(false);
+
+  std::string json = TraceCollector::Global().ChromeTraceJson();
+  for (const char* stage : {"prefiltered_query", "lsei_prefilter", "query",
+                            "scoring", "mapping", "topk"}) {
+    EXPECT_NE(json.find("\"name\":\"" + std::string(stage) + "\""),
+              std::string::npos)
+        << "missing stage span: " << stage;
+  }
+  // Span containment: each query's scoring stage lies inside its query span.
+  std::vector<TraceEvent> events = TraceCollector::Global().Snapshot();
+  auto find_first = [&](const char* name) {
+    return std::find_if(events.begin(), events.end(), [&](const TraceEvent& e) {
+      return std::string(e.name) == name;
+    });
+  };
+  auto query = find_first("query");
+  auto scoring = find_first("scoring");
+  ASSERT_NE(query, events.end());
+  ASSERT_NE(scoring, events.end());
+  EXPECT_GE(scoring->start_ns, query->start_ns);
+  EXPECT_LE(scoring->start_ns + scoring->dur_ns,
+            query->start_ns + query->dur_ns);
+  TraceCollector::Global().Clear();
+}
+
+#else  // THETIS_DISABLE_OBS
+
+TEST(EngineObsTest, CompiledOutInstrumentationLeavesRegistryEmpty) {
+  // Under -DTHETIS_DISABLE_OBS the instrumentation surface is inline no-ops:
+  // a full search must register nothing, and spans must record nothing even
+  // with tracing switched on.
+  EngineFixture f;
+  SearchEngine engine(&f.lake, &f.sim);
+  obs::SetTracingEnabled(true);
+  SearchStats stats;
+  auto hits = engine.Search(f.queries[0], &stats);
+  obs::SetTracingEnabled(false);
+
+  // SearchStats still works — it is computed locally, not via the registry.
+  EXPECT_FALSE(hits.empty());
+  EXPECT_GT(stats.tables_scored, 0u);
+
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  EXPECT_EQ(reg.CounterValue("thetis_queries_total"), 0u);
+  EXPECT_EQ(reg.CounterValue("thetis_tables_scored_total"), 0u);
+  EXPECT_EQ(reg.CounterValue("thetis_engine_builds_total"), 0u);
+  for (const std::string& name : reg.MetricNames()) {
+    EXPECT_EQ(name.rfind("thetis_", 0), std::string::npos)
+        << "engine metric registered despite THETIS_DISABLE_OBS: " << name;
+  }
+  {
+    obs::TraceSpan span("compiled_out");
+  }
+  EXPECT_TRUE(TraceCollector::Global().Snapshot().empty());
+}
+
+#endif  // THETIS_DISABLE_OBS
+
+TEST(EngineObsTest, InstrumentedSearchOverheadBounded) {
+  // Guard against instrumentation creeping into per-table loops: a fully
+  // traced search must stay within a generous constant factor of the
+  // tracing-off run in the same binary. The bound is deliberately loose
+  // (sanitizer builds and CI noise), but a per-table span regression costs
+  // well over an order of magnitude and will trip it.
+  EngineFixture f(41, 4);
+  SearchEngine engine(&f.lake, &f.sim);
+  auto run_all = [&] {
+    for (const Query& q : f.queries) engine.Search(q);
+  };
+  run_all();  // warm-up
+
+  auto time_once = [&] {
+    uint64_t start = obs::NowNanos();
+    run_all();
+    return obs::NowNanos() - start;
+  };
+  uint64_t base = std::numeric_limits<uint64_t>::max();
+  uint64_t traced = std::numeric_limits<uint64_t>::max();
+  for (int rep = 0; rep < 3; ++rep) {
+    obs::SetTracingEnabled(false);
+    base = std::min(base, time_once());
+    TraceCollector::Global().Clear();
+    obs::SetTracingEnabled(true);
+    traced = std::min(traced, time_once());
+    obs::SetTracingEnabled(false);
+  }
+  TraceCollector::Global().Clear();
+  EXPECT_LT(traced, base * 5 + 50'000'000ull)
+      << "traced " << traced << " ns vs base " << base << " ns";
+}
+
+}  // namespace
+}  // namespace thetis
