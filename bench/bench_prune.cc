@@ -1,0 +1,110 @@
+// Bound-and-prune ablation: brute-force search with the admissible
+// upper-bound pass on vs off, crossed with the query-scoped cache on vs
+// off, on 1- and 5-tuple queries. Pruning is exact (rankings are
+// bit-identical either way — asserted here per query), so the deliverable
+// is pure runtime shape plus how much of the corpus the bound pass skips.
+//
+// Expected shape (this repo): prune on is never slower than prune off once
+// the candidate list is large, with a nonzero prune_rate; the bound pass
+// itself (bound_ms_per_query) stays a small fraction of the query time.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common.h"
+#include "util/stopwatch.h"
+
+namespace thetis::bench {
+namespace {
+
+const World& TheWorld() {
+  return GetWorld(benchgen::PresetKind::kWt2015Like, BenchScale());
+}
+
+void PruneBench(benchmark::State& state, bool five_tuple, bool prune,
+                bool cached) {
+  const World& w = TheWorld();
+  SearchOptions options;
+  options.enable_prune = prune;
+  options.enable_cache = cached;
+  SearchEngine engine(w.lake.get(), w.type_sim.get(), options);
+  // Parity reference: pruning must not change a single hit or score bit.
+  SearchOptions ref_options;
+  ref_options.enable_prune = false;
+  ref_options.enable_cache = cached;
+  SearchEngine reference(w.lake.get(), w.type_sim.get(), ref_options);
+
+  const auto& queries = five_tuple ? w.queries5 : w.queries1;
+  // Parity check once, outside the timed region, so the prune rows measure
+  // only the pruned path.
+  if (prune) {
+    for (const auto& gq : queries) {
+      auto hits = engine.Search(gq.query);
+      auto want = reference.Search(gq.query);
+      bool same = want.size() == hits.size();
+      for (size_t i = 0; same && i < want.size(); ++i) {
+        same = want[i].table == hits[i].table &&
+               want[i].score == hits[i].score;
+      }
+      if (!same) {
+        std::fprintf(stderr, "prune parity violation\n");
+        std::abort();
+      }
+    }
+  }
+  for (auto _ : state) {
+    size_t pruned = 0;
+    size_t candidates = 0;
+    double bound_seconds = 0.0;
+    Stopwatch watch;
+    for (const auto& gq : queries) {
+      SearchStats stats;
+      auto hits = engine.Search(gq.query, &stats);
+      benchmark::DoNotOptimize(hits);
+      pruned += stats.tables_pruned;
+      candidates += stats.candidate_count;
+      bound_seconds += stats.bound_seconds;
+    }
+    double total = watch.ElapsedSeconds();
+    state.counters["ms_per_query"] =
+        1e3 * total / static_cast<double>(queries.size());
+    state.counters["bound_ms_per_query"] =
+        1e3 * bound_seconds / static_cast<double>(queries.size());
+    state.counters["prune_rate"] =
+        candidates == 0 ? 0.0
+                        : static_cast<double>(pruned) /
+                              static_cast<double>(candidates);
+  }
+}
+
+void RegisterAll() {
+  for (bool five : {false, true}) {
+    const char* q = five ? "5tuple" : "1tuple";
+    for (bool cached : {true, false}) {
+      const char* c = cached ? "cache" : "nocache";
+      for (bool prune : {true, false}) {
+        const char* p = prune ? "prune" : "noprune";
+        std::string name =
+            std::string("Prune/") + p + "_" + c + "/" + q;
+        benchmark::RegisterBenchmark(name.c_str(), PruneBench, five, prune,
+                                     cached)
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace thetis::bench
+
+int main(int argc, char** argv) {
+  thetis::bench::RegisterAll();
+  thetis::bench::ObsExportInit(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -25,6 +25,9 @@ namespace {
 // atexit handlers take no arguments, so the sink paths live at file scope.
 std::string g_metrics_out;
 std::string g_trace_out;
+// Rewritten --json-out flag; static so the argv slot stays valid through
+// benchmark::Initialize.
+std::string g_benchmark_out_flag;
 
 void WriteObsFiles() {
   if (!g_metrics_out.empty() && !obs::WriteMetricsFile(g_metrics_out)) {
@@ -49,6 +52,15 @@ void ObsExportInit(int* argc, char** argv) {
   for (int i = 1; i < *argc; ++i) {
     if (take(argv[i], "--metrics-out=", &g_metrics_out) ||
         take(argv[i], "--trace-out=", &g_trace_out)) {
+      continue;
+    }
+    // --json-out=F: machine-readable result export, rewritten in place to
+    // google benchmark's --benchmark_out (whose out_format already defaults
+    // to JSON) so every bench binary gets the flag without its own parsing.
+    std::string json_out;
+    if (take(argv[i], "--json-out=", &json_out)) {
+      g_benchmark_out_flag = "--benchmark_out=" + json_out;
+      argv[kept++] = g_benchmark_out_flag.data();
       continue;
     }
     argv[kept++] = argv[i];

@@ -36,8 +36,10 @@ double BenchScale();
 // environment variables work too), enables span tracing when a trace sink
 // was requested, and registers an atexit hook that writes the metrics dump
 // (Prometheus text, or JSON for .json paths) and the Chrome-trace JSON
-// when the binary exits. Call before benchmark::Initialize so google
-// benchmark never sees the flags.
+// when the binary exits. Also rewrites --json-out=<path> to google
+// benchmark's --benchmark_out (JSON format) so CI can collect the
+// benchmark results as artifacts. Call before benchmark::Initialize so
+// google benchmark never sees the obs flags.
 void ObsExportInit(int* argc, char** argv);
 
 struct World {

@@ -9,12 +9,13 @@
 //       Print corpus and KG statistics of a persisted lake.
 //
 //   thetis_cli search <dir> [--sim types|embeddings] [--k N]
-//              [--lsh] [--no-cache] [--threads N]
+//              [--lsh] [--no-cache] [--no-prune] [--threads N]
 //              [--metrics-out F] [--trace-out F]
 //              <entity label> [<entity label> ...]
 //       Semantic table search for one entity tuple; labels must exist in
 //       the persisted KG. --no-cache disables the query-scoped scoring
-//       cache (for timing comparisons); --threads N routes the query
+//       cache and --no-prune the bound-and-prune pass (both exact — for
+//       timing comparisons); --threads N routes the query
 //       through the batched QueryExecutor on an N-worker pool.
 //       --metrics-out writes the observability counters after the query
 //       (Prometheus text, or a JSON snapshot when F ends in .json);
@@ -61,8 +62,8 @@ int Usage() {
                "wt2015|wt2019|gittables]\n"
                "  thetis_cli stats <dir>\n"
                "  thetis_cli search <dir> [--sim types|embeddings] [--k N] "
-               "[--lsh] [--no-cache] [--threads N] [--metrics-out F] "
-               "[--trace-out F] <label> [...]\n");
+               "[--lsh] [--no-cache] [--no-prune] [--threads N] "
+               "[--metrics-out F] [--trace-out F] <label> [...]\n");
   return 1;
 }
 
@@ -169,6 +170,7 @@ int RunSearch(const std::vector<std::string>& args) {
   bool use_embeddings = false;
   bool use_lsh = false;
   bool use_cache = true;
+  bool use_prune = true;
   size_t threads = 0;  // 0: direct engine call, no executor
   size_t k = 10;
   std::string metrics_out;
@@ -189,6 +191,8 @@ int RunSearch(const std::vector<std::string>& args) {
       use_lsh = true;
     } else if (args[i] == "--no-cache") {
       use_cache = false;
+    } else if (args[i] == "--no-prune") {
+      use_prune = false;
     } else if (args[i] == "--threads" && i + 1 < args.size()) {
       threads = static_cast<size_t>(std::atoi(args[++i].c_str()));
       if (threads == 0) return Fail("--threads must be positive");
@@ -226,6 +230,7 @@ int RunSearch(const std::vector<std::string>& args) {
   SearchOptions options;
   options.top_k = k;
   options.enable_cache = use_cache;
+  options.enable_prune = use_prune;
   SearchEngine engine(&sem,
                       use_embeddings
                           ? static_cast<const EntitySimilarity*>(cosine.get())

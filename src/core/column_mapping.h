@@ -43,13 +43,78 @@ struct DedupScratch {
   uint32_t epoch = 0;
 };
 
+// Non-owning view of one table's dedup'd columns inside a (possibly
+// shared) CSR layout. `offsets` points at this table's num_columns + 1
+// offset entries; the offsets are ABSOLUTE positions into the backing
+// `distinct`/`counts` pools, so a view works equally over a standalone
+// per-table ColumnEntityIndex (offsets start at 0) and over a slice of
+// the corpus-wide arena (offsets start wherever the table's data lives).
+// A table's full distinct-entity union is the contiguous pool range
+// [DistinctBegin(), DistinctEnd()) — one batched σ pass covers it.
+struct ColumnIndexView {
+  const uint32_t* offsets = nullptr;   // num_columns + 1 entries
+  const EntityId* distinct = nullptr;  // pool base, NOT table base
+  const double* counts = nullptr;      // pool base, NOT table base
+  size_t num_columns = 0;
+
+  size_t ColumnSize(size_t c) const { return offsets[c + 1] - offsets[c]; }
+  const EntityId* ColumnDistinct(size_t c) const {
+    return distinct + offsets[c];
+  }
+  const double* ColumnCounts(size_t c) const { return counts + offsets[c]; }
+  uint32_t DistinctBegin() const { return offsets[0]; }
+  uint32_t DistinctEnd() const { return offsets[num_columns]; }
+  size_t DistinctCount() const { return DistinctEnd() - DistinctBegin(); }
+};
+
+// Appends one table's dedup'd columns to a CSR layout: pushes the leading
+// offset (current pool size) followed by one end offset per column, and
+// the column's distinct entities (first-occurrence order) with
+// multiplicities into the parallel pools. Shared by the per-table
+// ColumnEntityIndex::Build (pools start empty, offsets start at 0) and
+// the corpus-wide arena build (pools accumulate across tables), so both
+// produce bit-identical per-table content.
+inline void AppendTableColumns(const Table& table, DedupScratch& dedup,
+                               std::vector<uint32_t>* offsets,
+                               std::vector<EntityId>* distinct,
+                               std::vector<double>* counts) {
+  offsets->push_back(static_cast<uint32_t>(distinct->size()));
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    ++dedup.epoch;
+    if (dedup.epoch == 0) {  // epoch wrapped: invalidate all stamps
+      std::fill(dedup.stamp.begin(), dedup.stamp.end(), 0u);
+      dedup.epoch = 1;
+    }
+    uint32_t base = offsets->back();
+    for (size_t r = 0; r < table.num_rows(); ++r) {
+      EntityId e = table.link(r, c);
+      if (e == kNoEntity) continue;
+      if (e >= dedup.stamp.size()) {
+        dedup.stamp.resize(static_cast<size_t>(e) + 1, 0u);
+        dedup.slot.resize(static_cast<size_t>(e) + 1, 0u);
+      }
+      if (dedup.stamp[e] != dedup.epoch) {
+        dedup.stamp[e] = dedup.epoch;
+        dedup.slot[e] = static_cast<uint32_t>(distinct->size() - base);
+        distinct->push_back(e);
+        counts->push_back(1.0);
+      } else {
+        (*counts)[base + dedup.slot[e]] += 1.0;
+      }
+    }
+    offsets->push_back(static_cast<uint32_t>(distinct->size()));
+  }
+}
+
 // A table's linked columns collapsed to distinct entities with
 // multiplicities, CSR-flattened (offsets + parallel distinct/counts pools).
 // Built once per (query, table) and shared by the mapping matrix fill and
 // the per-row aggregation — both only need "which distinct entities does
 // column c hold, how often" since σ is pure; gathering and dedup'ing cells
 // once instead of once per tuple (and again per mapped entity) keeps the
-// non-σ overhead flat in the tuple count.
+// non-σ overhead flat in the tuple count. Tables covered by the engine's
+// CorpusColumnArena never build one of these at query time; this remains
+// the fallback for tables added to the corpus after engine construction.
 struct ColumnEntityIndex {
   std::vector<uint32_t> offsets;   // num_columns + 1
   std::vector<EntityId> distinct;  // first-occurrence order within a column
@@ -58,34 +123,15 @@ struct ColumnEntityIndex {
 
   void Build(const Table& table, DedupScratch& dedup) {
     num_columns = table.num_columns();
-    offsets.assign(1, 0u);
+    offsets.clear();
     distinct.clear();
     counts.clear();
-    for (size_t c = 0; c < num_columns; ++c) {
-      ++dedup.epoch;
-      if (dedup.epoch == 0) {  // epoch wrapped: invalidate all stamps
-        std::fill(dedup.stamp.begin(), dedup.stamp.end(), 0u);
-        dedup.epoch = 1;
-      }
-      uint32_t base = offsets.back();
-      for (size_t r = 0; r < table.num_rows(); ++r) {
-        EntityId e = table.link(r, c);
-        if (e == kNoEntity) continue;
-        if (e >= dedup.stamp.size()) {
-          dedup.stamp.resize(static_cast<size_t>(e) + 1, 0u);
-          dedup.slot.resize(static_cast<size_t>(e) + 1, 0u);
-        }
-        if (dedup.stamp[e] != dedup.epoch) {
-          dedup.stamp[e] = dedup.epoch;
-          dedup.slot[e] = static_cast<uint32_t>(distinct.size() - base);
-          distinct.push_back(e);
-          counts.push_back(1.0);
-        } else {
-          counts[base + dedup.slot[e]] += 1.0;
-        }
-      }
-      offsets.push_back(static_cast<uint32_t>(distinct.size()));
-    }
+    AppendTableColumns(table, dedup, &offsets, &distinct, &counts);
+  }
+
+  ColumnIndexView View() const {
+    return ColumnIndexView{offsets.data(), distinct.data(), counts.data(),
+                           num_columns};
   }
 
   size_t ColumnSize(size_t c) const { return offsets[c + 1] - offsets[c]; }
@@ -109,7 +155,7 @@ struct MappingScratch {
 // row aggregation) share one gather+dedup pass per table.
 template <typename Sim>
 ColumnMapping MapQueryTupleToColumnsIndexed(
-    const std::vector<EntityId>& query_tuple, const ColumnEntityIndex& index,
+    const std::vector<EntityId>& query_tuple, ColumnIndexView index,
     const Sim& sim, MappingScratch& scratch) {
   std::vector<std::vector<double>>& scores = scratch.scores;
   ColumnMapping mapping;
@@ -131,8 +177,8 @@ ColumnMapping MapQueryTupleToColumnsIndexed(
   for (size_t c = 0; c < n; ++c) {
     size_t count = index.ColumnSize(c);
     if (count == 0) continue;
-    const EntityId* distinct = index.distinct.data() + index.offsets[c];
-    const double* counts = index.counts.data() + index.offsets[c];
+    const EntityId* distinct = index.ColumnDistinct(c);
+    const double* counts = index.ColumnCounts(c);
     cell_scores.resize(count);
     for (size_t i = 0; i < k; ++i) {
       if (query_tuple[i] == kNoEntity) continue;
@@ -154,6 +200,14 @@ ColumnMapping MapQueryTupleToColumnsIndexed(
     }
   }
   return mapping;
+}
+
+template <typename Sim>
+ColumnMapping MapQueryTupleToColumnsIndexed(
+    const std::vector<EntityId>& query_tuple, const ColumnEntityIndex& index,
+    const Sim& sim, MappingScratch& scratch) {
+  return MapQueryTupleToColumnsIndexed(query_tuple, index.View(), sim,
+                                       scratch);
 }
 
 template <typename Sim>

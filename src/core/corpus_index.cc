@@ -1,0 +1,32 @@
+#include "core/corpus_index.h"
+
+#include <limits>
+
+#include "util/logging.h"
+
+namespace thetis {
+
+void CorpusColumnArena::Build(const Corpus& corpus) {
+  num_tables_ = corpus.size();
+  table_offsets_.clear();
+  col_offsets_.clear();
+  distinct_.clear();
+  counts_.clear();
+  table_offsets_.reserve(num_tables_ + 1);
+  table_offsets_.push_back(0);
+
+  DedupScratch dedup;
+  for (TableId id = 0; id < num_tables_; ++id) {
+    AppendTableColumns(corpus.table(id), dedup, &col_offsets_, &distinct_,
+                       &counts_);
+    table_offsets_.push_back(col_offsets_.size());
+    // Column offsets are uint32_t (shared with the per-table index); a
+    // corpus whose summed per-column distinct entities overflow that is
+    // beyond this layout's design envelope — fail loudly, not silently.
+    THETIS_CHECK(distinct_.size() <=
+                 std::numeric_limits<uint32_t>::max())
+        << "corpus column arena exceeds uint32 offset range";
+  }
+}
+
+}  // namespace thetis

@@ -1,0 +1,63 @@
+#ifndef THETIS_CORE_CORPUS_INDEX_H_
+#define THETIS_CORE_CORPUS_INDEX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/column_mapping.h"
+#include "table/corpus.h"
+#include "table/table.h"
+
+namespace thetis {
+
+// Corpus-wide flat column index: every table's dedup'd columns (distinct
+// entities + multiplicities, CSR layout) concatenated into one arena,
+// built once in the SearchEngine constructor and read-only afterwards.
+// Queries and workers share it via ColumnIndexView slices, eliminating
+// the per-(query × table × worker) ColumnEntityIndex::Build and its
+// dedup-table pass entirely. Per-table content is bit-identical to what
+// ColumnEntityIndex::Build produces (both run AppendTableColumns), so
+// cached/uncached and arena/fallback paths score identically.
+//
+// Layout: table t's column offsets are
+//   col_offsets_[table_offsets_[t] .. table_offsets_[t + 1])
+// (num_columns(t) + 1 entries), holding ABSOLUTE positions into the
+// shared distinct_/counts_ pools. A table's full distinct-entity union is
+// therefore one contiguous pool range — the bound pass scores it with a
+// single batched σ call per query entity.
+class CorpusColumnArena {
+ public:
+  CorpusColumnArena() = default;
+
+  // Indexes every table currently in the corpus. Not thread-safe; call
+  // once before the arena is shared.
+  void Build(const Corpus& corpus);
+
+  // Number of tables covered by the arena. Tables appended to the corpus
+  // after Build (ids >= num_tables()) are not covered; callers fall back
+  // to a per-query ColumnEntityIndex for those.
+  size_t num_tables() const { return num_tables_; }
+  bool Covers(TableId id) const { return id < num_tables_; }
+
+  ColumnIndexView ViewOf(TableId id) const {
+    const size_t begin = table_offsets_[id];
+    return ColumnIndexView{col_offsets_.data() + begin, distinct_.data(),
+                           counts_.data(),
+                           (table_offsets_[id + 1] - begin) - 1};
+  }
+
+  // Total pool size across all tables (Σ per-column distinct entities).
+  size_t distinct_size() const { return distinct_.size(); }
+
+ private:
+  size_t num_tables_ = 0;
+  std::vector<size_t> table_offsets_;  // num_tables + 1, into col_offsets_
+  std::vector<uint32_t> col_offsets_;  // absolute into distinct_/counts_
+  std::vector<EntityId> distinct_;
+  std::vector<double> counts_;
+};
+
+}  // namespace thetis
+
+#endif  // THETIS_CORE_CORPUS_INDEX_H_

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/corpus_index.h"
+
 namespace thetis {
 
 namespace {
@@ -37,11 +39,11 @@ constexpr uint64_t kEntityLevel = 1ull << 40;
 // accumulates in — see TableSignatureIndex), kColumnSeparator-terminated.
 // The leading column count disambiguates e.g. a 1-column table from a
 // 2-column table whose flattened pair sequences coincide.
-void FlattenClassSignature(const ColumnEntityIndex& index,
+void FlattenClassSignature(ColumnIndexView index,
                            const std::vector<uint32_t>& classes,
                            std::vector<uint64_t>* out) {
   out->clear();
-  out->reserve(2 * index.distinct.size() + index.num_columns + 1);
+  out->reserve(2 * index.DistinctCount() + index.num_columns + 1);
   out->push_back(static_cast<uint64_t>(index.num_columns));
   for (size_t c = 0; c < index.num_columns; ++c) {
     for (uint32_t s = index.offsets[c]; s < index.offsets[c + 1]; ++s) {
@@ -66,7 +68,8 @@ struct FlatHash {
 }  // namespace
 
 TableSignatureIndex BuildTableSignatureIndex(
-    const Corpus& corpus, std::vector<uint32_t> entity_classes) {
+    const Corpus& corpus, std::vector<uint32_t> entity_classes,
+    const CorpusColumnArena* arena) {
   TableSignatureIndex index;
   index.entity_classes = std::move(entity_classes);
   index.table_signatures.reserve(corpus.size());
@@ -75,8 +78,14 @@ TableSignatureIndex BuildTableSignatureIndex(
   DedupScratch dedup;
   std::vector<uint64_t> flat;
   for (TableId id = 0; id < corpus.size(); ++id) {
-    column_index.Build(corpus.table(id), dedup);
-    FlattenClassSignature(column_index, index.entity_classes, &flat);
+    ColumnIndexView view;
+    if (arena != nullptr && arena->Covers(id)) {
+      view = arena->ViewOf(id);
+    } else {
+      column_index.Build(corpus.table(id), dedup);
+      view = column_index.View();
+    }
+    FlattenClassSignature(view, index.entity_classes, &flat);
     uint32_t next = static_cast<uint32_t>(interned.size());
     auto [it, inserted] = interned.emplace(flat, next);
     index.table_signatures.push_back(it->second);
@@ -102,7 +111,7 @@ QueryScopedCache::QueryScopedCache(const EntitySimilarity* base,
     : memo_(base), signature_index_(signature_index) {}
 
 uint32_t QueryScopedCache::SignatureOf(TableId table_id,
-                                       const ColumnEntityIndex& index) {
+                                       ColumnIndexView index) {
   if (signature_index_ != nullptr &&
       table_id < signature_index_->table_signatures.size()) {
     return signature_index_->table_signatures[table_id];
@@ -137,7 +146,7 @@ const ColumnMapping& QueryScopedCache::MappingFor(
 
 const ColumnMapping& QueryScopedCache::MappingFor(
     size_t tuple_index, const std::vector<EntityId>& tuple,
-    const Table& /*table*/, TableId table_id, const ColumnEntityIndex& index) {
+    const Table& /*table*/, TableId table_id, ColumnIndexView index) {
   key_scratch_.tuple_and_sig =
       (static_cast<uint64_t>(tuple_index) << 32) |
       static_cast<uint64_t>(SignatureOf(table_id, index));
@@ -145,17 +154,21 @@ const ColumnMapping& QueryScopedCache::MappingFor(
   // Identity fingerprint: σ(e, e) = 1 escapes the class abstraction, so
   // every (tuple position, distinct slot) holding a query entity verbatim
   // is part of the key. Only needed when classes actually coarsen —
-  // entity-granular signatures already pin identity.
+  // entity-granular signatures already pin identity. Slots are recorded
+  // relative to the table's first distinct entity so that keys stay
+  // content-stable whether the view comes from the shared arena (absolute
+  // pool offsets) or a standalone per-table index.
   std::vector<uint64_t>& fp = key_scratch_.identity_fp;
   fp.clear();
   if (signature_index_ != nullptr &&
       !signature_index_->entity_classes.empty()) {
-    for (size_t slot = 0; slot < index.distinct.size(); ++slot) {
+    const uint32_t table_base = index.DistinctBegin();
+    for (uint32_t slot = table_base; slot < index.DistinctEnd(); ++slot) {
       EntityId d = index.distinct[slot];
       for (size_t i = 0; i < tuple.size(); ++i) {
         if (tuple[i] == d) {
           fp.push_back((static_cast<uint64_t>(i) << 40) |
-                       static_cast<uint64_t>(slot));
+                       static_cast<uint64_t>(slot - table_base));
         }
       }
     }

@@ -13,6 +13,8 @@
 
 namespace thetis {
 
+class CorpusColumnArena;
+
 // Content-interned column signatures for every table of a corpus, the key
 // space of the Hungarian-mapping cache.
 //
@@ -47,8 +49,12 @@ struct TableSignatureIndex {
   size_t num_distinct = 0;
 };
 
+// `arena` (may be null) is the engine's prebuilt corpus column arena;
+// when present, covered tables reuse its views instead of rebuilding a
+// per-table ColumnEntityIndex, making the signature pass a read-only walk.
 TableSignatureIndex BuildTableSignatureIndex(
-    const Corpus& corpus, std::vector<uint32_t> entity_classes);
+    const Corpus& corpus, std::vector<uint32_t> entity_classes,
+    const CorpusColumnArena* arena = nullptr);
 
 // Query-scoped scoring cache: everything Algorithm 1 recomputes per table
 // that actually only depends on the query. Holds
@@ -82,13 +88,20 @@ class QueryScopedCache {
   const SimilarityMemo& sim() const { return memo_; }
 
   // The Hungarian mapping of query tuple `tuple_index` (content `tuple`)
-  // against `table` (whose prebuilt column-entity index is `index`),
-  // computed at most once per distinct (signature, identity fingerprint).
-  // The returned reference is stable until the cache is destroyed.
+  // against `table` (whose prebuilt column-entity view is `index` — an
+  // arena slice or a per-table index's View()), computed at most once per
+  // distinct (signature, identity fingerprint). The returned reference is
+  // stable until the cache is destroyed.
   const ColumnMapping& MappingFor(size_t tuple_index,
                                   const std::vector<EntityId>& tuple,
                                   const Table& table, TableId table_id,
-                                  const ColumnEntityIndex& index);
+                                  ColumnIndexView index);
+  const ColumnMapping& MappingFor(size_t tuple_index,
+                                  const std::vector<EntityId>& tuple,
+                                  const Table& table, TableId table_id,
+                                  const ColumnEntityIndex& index) {
+    return MappingFor(tuple_index, tuple, table, table_id, index.View());
+  }
 
   // Convenience overload that builds the column-entity index internally;
   // the engine's hot path passes the prebuilt per-table index instead.
@@ -140,8 +153,8 @@ class QueryScopedCache {
   };
 
   // Interned id of the table's column-content signature (engine-precomputed
-  // or per-query interned from the table's prebuilt column-entity index).
-  uint32_t SignatureOf(TableId table_id, const ColumnEntityIndex& index);
+  // or per-query interned from the table's prebuilt column-entity view).
+  uint32_t SignatureOf(TableId table_id, ColumnIndexView index);
 
   SimilarityMemo memo_;
   // Engine-precomputed signature index (null when unavailable).

@@ -1,12 +1,16 @@
 #include "core/search_engine.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <limits>
 #include <memory>
-#include <unordered_set>
+#include <numeric>
 
 #include "core/column_mapping.h"
 #include "obs/query_metrics.h"
 #include "obs/trace.h"
+#include "simd/kernels.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 #include "util/top_k.h"
@@ -14,14 +18,16 @@
 namespace thetis {
 
 std::vector<EntityId> Query::DistinctEntities() const {
-  std::unordered_set<EntityId> seen;
+  std::vector<EntityId> out;
   for (const auto& t : tuples) {
     for (EntityId e : t) {
-      if (e != kNoEntity) seen.insert(e);
+      if (e != kNoEntity) out.push_back(e);
     }
   }
-  std::vector<EntityId> out(seen.begin(), seen.end());
+  // Queries are small (tens of entities): sort + unique beats hashing into
+  // a set and sorting afterwards, and allocates exactly once.
   std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;
 }
 
@@ -42,10 +48,18 @@ SearchEngine::SearchEngine(const SemanticDataLake* lake,
                            const EntitySimilarity* sim, SearchOptions options)
     : lake_(lake), sim_(sim), options_(options) {
   THETIS_CHECK(lake != nullptr && sim != nullptr);
+  {
+    // Corpus-wide column index + the identity candidate list, shared
+    // read-only by every query and worker from here on.
+    obs::TraceSpan span("engine_build_arena");
+    arena_.Build(lake->corpus());
+    all_tables_.resize(lake->corpus().size());
+    std::iota(all_tables_.begin(), all_tables_.end(), TableId{0});
+  }
   if (options_.enable_cache) {
     obs::TraceSpan span("engine_build_signatures");
     signature_index_ = BuildTableSignatureIndex(
-        lake->corpus(), sim->SigmaEquivalenceClasses());
+        lake->corpus(), sim->SigmaEquivalenceClasses(), &arena_);
     obs::RecordEngineBuild(lake->corpus().size(),
                            signature_index_.num_distinct);
   }
@@ -78,8 +92,7 @@ namespace {
 // Templated on the concrete similarity type so the cached path
 // (SimilarityMemo, a final class) devirtualizes the batch probe.
 template <typename Sim>
-void AggregateRows(const ColumnEntityIndex& index,
-                   const std::vector<EntityId>& tq,
+void AggregateRows(ColumnIndexView index, const std::vector<EntityId>& tq,
                    const ColumnMapping& mapping, const Sim& sim,
                    QueryScopedCache::RowScratch& scratch) {
   size_t m = tq.size();
@@ -92,10 +105,8 @@ void AggregateRows(const ColumnEntityIndex& index,
     if (c < 0 || tq[i] == kNoEntity) continue;
     size_t count = index.ColumnSize(static_cast<size_t>(c));
     if (count == 0) continue;
-    const EntityId* distinct =
-        index.distinct.data() + index.offsets[static_cast<size_t>(c)];
-    const double* counts =
-        index.counts.data() + index.offsets[static_cast<size_t>(c)];
+    const EntityId* distinct = index.ColumnDistinct(static_cast<size_t>(c));
+    const double* counts = index.ColumnCounts(static_cast<size_t>(c));
     cell_scores.resize(count);
     sim.ScoreBatch(tq[i], distinct, count, cell_scores.data());
     for (size_t d = 0; d < count; ++d) {
@@ -138,9 +149,17 @@ double SearchEngine::ScoreTableImpl(const Query& query, TableId table_id,
   QueryScopedCache::RowScratch& scratch =
       cache != nullptr ? cache->row_scratch() : ThreadScratch().rows;
 
-  // Gather and dedup the table's columns once; every tuple's mapping fill
-  // and row aggregation reads the same index.
-  scratch.index.Build(table, scratch.dedup);
+  // The table's dedup'd columns: a read-only slice of the corpus-wide
+  // arena for tables known at engine build, a freshly gathered per-table
+  // index only for late-ingested tables. Every tuple's mapping fill and
+  // row aggregation reads the same view.
+  ColumnIndexView view;
+  if (arena_.Covers(table_id)) {
+    view = arena_.ViewOf(table_id);
+  } else {
+    scratch.index.Build(table, scratch.dedup);
+    view = scratch.index.View();
+  }
 
   double tuple_score_sum = 0.0;
   size_t counted_tuples = 0;
@@ -159,9 +178,9 @@ double SearchEngine::ScoreTableImpl(const Query& query, TableId table_id,
     const ColumnMapping* mapping_ptr;
     if (cache != nullptr) {
       mapping_ptr = &cache->MappingFor(tuple_index, tq, table, table_id,
-                                       scratch.index);
+                                       view);
     } else {
-      local_mapping = MapQueryTupleToColumnsIndexed(tq, scratch.index, *sim_,
+      local_mapping = MapQueryTupleToColumnsIndexed(tq, view, *sim_,
                                                     ThreadScratch().mapping);
       mapping_ptr = &local_mapping;
     }
@@ -178,9 +197,9 @@ double SearchEngine::ScoreTableImpl(const Query& query, TableId table_id,
     sums.assign(m, 0.0);
     best_match.assign(m, kNoEntity);
     if (cache != nullptr) {
-      AggregateRows(scratch.index, tq, mapping, cache->sim(), scratch);
+      AggregateRows(view, tq, mapping, cache->sim(), scratch);
     } else {
-      AggregateRows(scratch.index, tq, mapping, *sim_, scratch);
+      AggregateRows(view, tq, mapping, *sim_, scratch);
     }
     if (options_.aggregation == RowAggregation::kAvg) {
       for (size_t i = 0; i < m; ++i) {
@@ -229,12 +248,15 @@ namespace {
 // Fills the prefilter-independent stats fields shared by the serial and
 // parallel candidate loops.
 void FillCandidateStats(const SemanticDataLake& lake, size_t num_candidates,
-                        size_t nonzero, double total_seconds,
-                        double mapping_seconds, SearchStats* stats) {
-  stats->tables_scored = num_candidates;
+                        size_t pruned, size_t nonzero, double total_seconds,
+                        double mapping_seconds, double bound_seconds,
+                        SearchStats* stats) {
+  stats->tables_scored = num_candidates - pruned;
   stats->tables_nonzero = nonzero;
+  stats->tables_pruned = pruned;
   stats->total_seconds = total_seconds;
   stats->mapping_seconds = mapping_seconds;
+  stats->bound_seconds = bound_seconds;
   stats->candidate_count = num_candidates;
   size_t corpus_size = lake.corpus().size();
   stats->search_space_reduction =
@@ -260,31 +282,271 @@ void FlushQueryStats(const SearchStats& stats) {
                    stats.candidate_count, stats.total_seconds,
                    stats.mapping_seconds, stats.sim_cache_hits,
                    stats.sim_cache_misses, stats.mapping_cache_hits,
-                   stats.mapping_cache_misses);
+                   stats.mapping_cache_misses, stats.tables_pruned,
+                   stats.bound_seconds);
+}
+
+// --- Admissible upper bound (bound-and-prune pass) -------------------------
+//
+// For each query entity e_i, one batched σ over a table's whole
+// distinct-entity union gives u_i = max_e σ(e_i, e). Under kMax the exact
+// aggregated coordinate is a max over the mapped column's entities — a
+// subset of the union — so agg_i <= u_i with the very same σ doubles (no
+// floating-point slack needed: max is exact). Under kAvg the coordinate is
+// (Σ_d count_d · σ_d) / num_rows over the mapped column, and Σ_d count_d
+// <= num_rows, so mathematically agg_i <= max_d σ_d <= u_i; a 1e-9
+// multiplicative slack (clamped to 1.0, which stays admissible because the
+// distance term vanishes there) absorbs the summation's rounding.
+// DistanceSimilarity is monotone in each coordinate, so evaluating it on
+// the u_i with the exact per-tuple weights bounds every tuple score, and
+// the tuple average bounds the table score; a final 1e-12 multiplicative
+// slack covers the non-monotonicity of the *evaluated* (rounded) distance
+// near equal inputs. When every u_i is zero the exact score is exactly 0
+// (no σ > 0 anywhere means no relevant mapping), so 0 is returned and the
+// caller may skip the table outright.
+
+// Query-side constants of the bound, built once per query.
+struct BoundContext {
+  // Sorted distinct query entities (the σ batch is run once per entry).
+  std::vector<EntityId> entities;
+  // Per non-empty tuple, per position: index into `entities`, or
+  // SIZE_MAX for kNoEntity positions (coordinate 0, weight 1).
+  std::vector<std::vector<size_t>> slots;
+  // Per non-empty tuple: the exact informativeness weights the scorer uses.
+  std::vector<std::vector<double>> weights;
+  size_t counted_tuples = 0;
+};
+
+constexpr size_t kNoSlot = static_cast<size_t>(-1);
+
+void BuildBoundContext(const Query& query, const SemanticDataLake& lake,
+                       const SearchOptions& options, BoundContext* ctx) {
+  ctx->entities = query.DistinctEntities();
+  ctx->slots.clear();
+  ctx->weights.clear();
+  ctx->counted_tuples = 0;
+  for (const auto& tq : query.tuples) {
+    if (tq.empty()) continue;
+    ++ctx->counted_tuples;
+    std::vector<size_t> slots(tq.size(), kNoSlot);
+    std::vector<double> weights(tq.size(), 1.0);
+    for (size_t i = 0; i < tq.size(); ++i) {
+      if (tq[i] == kNoEntity) continue;
+      slots[i] = static_cast<size_t>(
+          std::lower_bound(ctx->entities.begin(), ctx->entities.end(),
+                           tq[i]) -
+          ctx->entities.begin());
+      if (options.use_informativeness) {
+        weights[i] = lake.Informativeness(tq[i]);
+      }
+    }
+    ctx->slots.push_back(std::move(slots));
+    ctx->weights.push_back(std::move(weights));
+  }
+}
+
+// Per-worker buffers of the bound pass.
+struct BoundScratch {
+  std::vector<double> sigma;  // batched σ over one table's distinct union
+  std::vector<double> umax;   // per distinct query entity
+  std::vector<double> coords; // per tuple position, fed to the distance
+};
+
+template <typename Sim>
+double UpperBoundWithView(const BoundContext& ctx, size_t num_rows,
+                          ColumnIndexView view, const Sim& sim,
+                          RowAggregation aggregation, BoundScratch& scratch) {
+  if (ctx.counted_tuples == 0 || num_rows == 0) return 0.0;
+  size_t union_count = view.DistinctCount();
+  scratch.umax.assign(ctx.entities.size(), 0.0);
+  if (union_count > 0) {
+    scratch.sigma.resize(union_count);
+    // The table's distinct union is one contiguous arena slice: one
+    // batched σ per query entity covers every column at once.
+    const EntityId* distinct = view.distinct + view.DistinctBegin();
+    for (size_t q = 0; q < ctx.entities.size(); ++q) {
+      sim.ScoreBatch(ctx.entities[q], distinct, union_count,
+                     scratch.sigma.data());
+      scratch.umax[q] = simd::MaxF64(scratch.sigma.data(), union_count);
+    }
+  }
+  bool any_positive = false;
+  for (double u : scratch.umax) {
+    if (u > 0.0) {
+      any_positive = true;
+      break;
+    }
+  }
+  // No σ > 0 anywhere in the table ⇒ no relevant mapping ⇒ the exact
+  // score is exactly 0, not merely bounded by it.
+  if (!any_positive) return 0.0;
+
+  double sum = 0.0;
+  for (size_t t = 0; t < ctx.slots.size(); ++t) {
+    const std::vector<size_t>& slots = ctx.slots[t];
+    scratch.coords.resize(slots.size());
+    for (size_t i = 0; i < slots.size(); ++i) {
+      double u = slots[i] == kNoSlot ? 0.0 : scratch.umax[slots[i]];
+      if (aggregation == RowAggregation::kAvg) {
+        // Slack for the rounded column sum; clamping at 1.0 is admissible
+        // (the distance contribution of a coordinate is 0 there, <= any
+        // exact coordinate's contribution).
+        u = std::min(1.0, u * (1.0 + 1e-9));
+      }
+      scratch.coords[i] = u;
+    }
+    sum += DistanceSimilarity(scratch.coords, ctx.weights[t]);
+  }
+  // Final slack for the rounded distance evaluation itself. It also makes
+  // the bound of a table strictly exceed its exact score whenever that
+  // score is positive, so a candidate tied with the current threshold is
+  // never skipped on bound alone.
+  return (sum / static_cast<double>(ctx.counted_tuples)) * (1.0 + 1e-12);
+}
+
+// Hot-path bound: arena view when covered; tables ingested after engine
+// construction get +inf (always scored, never pruned — exactness over
+// speed for the dynamic-corpus edge case).
+template <typename Sim>
+double BoundForTable(const BoundContext& ctx, const Corpus& corpus,
+                     const CorpusColumnArena& arena, TableId id,
+                     const Sim& sim, RowAggregation aggregation,
+                     BoundScratch& scratch) {
+  if (!arena.Covers(id)) return std::numeric_limits<double>::infinity();
+  return UpperBoundWithView(ctx, corpus.table(id).num_rows(),
+                            arena.ViewOf(id), sim, aggregation, scratch);
+}
+
+// Candidate evaluation order of the prune loop: bound descending, table id
+// ascending on ties. With the id-ascending tie rule, once one candidate is
+// prunable against the current threshold every later one is too, so the
+// loop may stop instead of skipping one-by-one.
+void SortByBound(const std::vector<TableId>& candidates,
+                 const std::vector<double>& bounds,
+                 std::vector<uint32_t>* order) {
+  order->resize(candidates.size());
+  std::iota(order->begin(), order->end(), 0u);
+  std::sort(order->begin(), order->end(), [&](uint32_t a, uint32_t b) {
+    if (bounds[a] != bounds[b]) return bounds[a] > bounds[b];
+    return candidates[a] < candidates[b];
+  });
+}
+
+// Whether a candidate with this upper bound provably cannot enter `top`
+// (score-descending, id-ascending total order). On a bound exactly equal
+// to the threshold the id decides: TopK only admits an equal score when
+// the id is smaller than the current worst's.
+template <typename Top>
+bool ProvablyOutside(const Top& top, double bound, TableId id) {
+  if (!top.Full()) return false;
+  double threshold = top.MinScore();
+  return bound < threshold || (bound == threshold && id > top.MinId());
+}
+
+// Lock-free max for the parallel loop's shared score floor.
+void AtomicMaxDouble(std::atomic<double>* target, double value) {
+  double current = target->load(std::memory_order_relaxed);
+  while (value > current &&
+         !target->compare_exchange_weak(current, value,
+                                        std::memory_order_relaxed)) {
+  }
 }
 
 }  // namespace
 
+double SearchEngine::UpperBoundTable(const Query& query,
+                                     TableId table_id) const {
+  BoundContext ctx;
+  BuildBoundContext(query, *lake_, options_, &ctx);
+  BoundScratch scratch;
+  const Table& table = lake_->corpus().table(table_id);
+  if (arena_.Covers(table_id)) {
+    return UpperBoundWithView(ctx, table.num_rows(), arena_.ViewOf(table_id),
+                              *sim_, options_.aggregation, scratch);
+  }
+  ColumnEntityIndex index;
+  DedupScratch dedup;
+  index.Build(table, dedup);
+  return UpperBoundWithView(ctx, table.num_rows(), index.View(), *sim_,
+                            options_.aggregation, scratch);
+}
+
 std::vector<SearchHit> SearchEngine::SearchCandidates(
     const Query& query, const std::vector<TableId>& candidates,
     SearchStats* stats) const {
+  return SearchCandidatesImpl(query, candidates, stats, /*flush_stats=*/true);
+}
+
+std::vector<SearchHit> SearchEngine::SearchCandidatesImpl(
+    const Query& query, const std::vector<TableId>& candidates,
+    SearchStats* stats, bool flush_stats) const {
   obs::TraceSpan query_span("query");
   Stopwatch watch;
   double mapping_seconds = 0.0;
+  double bound_seconds = 0.0;
   std::unique_ptr<QueryScopedCache> cache;
   if (options_.enable_cache) {
     cache = std::make_unique<QueryScopedCache>(sim_, &signature_index_);
   }
   TopK<TableId> top(std::max<size_t>(1, options_.top_k));
   size_t nonzero = 0;
+  size_t pruned = 0;
+
+  const bool prune = options_.enable_prune && !candidates.empty();
+  std::vector<double> bounds;
+  std::vector<uint32_t> order;
+  if (prune) {
+    obs::TraceSpan bound_span("bound");
+    Stopwatch bound_watch;
+    BoundContext ctx;
+    BuildBoundContext(query, *lake_, options_, &ctx);
+    BoundScratch bound_scratch;
+    bounds.resize(candidates.size());
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      // σ probes go through the query's memo when caching is on, so the
+      // bound pass pre-warms exactly the pairs exact scoring reuses.
+      bounds[i] =
+          cache != nullptr
+              ? BoundForTable(ctx, lake_->corpus(), arena_, candidates[i],
+                              cache->sim(), options_.aggregation,
+                              bound_scratch)
+              : BoundForTable(ctx, lake_->corpus(), arena_, candidates[i],
+                              *sim_, options_.aggregation, bound_scratch);
+    }
+    SortByBound(candidates, bounds, &order);
+    bound_seconds = bound_watch.ElapsedSeconds();
+  }
+
   {
     obs::TraceSpan scoring_span("scoring");
-    for (TableId id : candidates) {
-      double score =
-          ScoreTableImpl(query, id, &mapping_seconds, nullptr, cache.get());
-      if (score > 0.0) {
-        ++nonzero;
-        top.Push(id, score);
+    if (!prune) {
+      for (TableId id : candidates) {
+        double score =
+            ScoreTableImpl(query, id, &mapping_seconds, nullptr, cache.get());
+        if (score > 0.0) {
+          ++nonzero;
+          top.Push(id, score);
+        }
+      }
+    } else {
+      for (size_t pos = 0; pos < order.size(); ++pos) {
+        size_t i = order[pos];
+        TableId id = candidates[i];
+        // Bound 0 means the exact score is exactly 0 (see the bound
+        // derivation) — and in bound-descending order everything after is
+        // 0 too. A bound provably outside the full top-k stops the loop
+        // the same way: later candidates have smaller bounds (or equal
+        // bounds and larger ids) against a threshold that can only rise.
+        if (bounds[i] <= 0.0 || ProvablyOutside(top, bounds[i], id)) {
+          pruned += order.size() - pos;
+          break;
+        }
+        double score =
+            ScoreTableImpl(query, id, &mapping_seconds, nullptr, cache.get());
+        if (score > 0.0) {
+          ++nonzero;
+          top.Push(id, score);
+        }
       }
     }
     // The Hungarian mapping runs interleaved inside the scoring loop;
@@ -300,10 +562,11 @@ std::vector<SearchHit> SearchEngine::SearchCandidates(
     }
   }
   SearchStats local;
-  FillCandidateStats(*lake_, candidates.size(), nonzero,
-                     watch.ElapsedSeconds(), mapping_seconds, &local);
+  FillCandidateStats(*lake_, candidates.size(), pruned, nonzero,
+                     watch.ElapsedSeconds(), mapping_seconds, bound_seconds,
+                     &local);
   if (cache != nullptr) AddCacheStats(*cache, &local);
-  FlushQueryStats(local);
+  if (flush_stats) FlushQueryStats(local);
   if (stats != nullptr) *stats = local;
   return hits;
 }
@@ -320,8 +583,11 @@ std::vector<SearchHit> SearchEngine::SearchCandidatesParallel(
     // Worker-private cache: lock-free because each stripe is scored by
     // exactly one ParallelFor index (null when caching is disabled).
     std::unique_ptr<QueryScopedCache> cache;
+    BoundScratch bound_scratch;
     double mapping_seconds = 0.0;
+    double bound_seconds = 0.0;
     size_t nonzero = 0;
+    size_t pruned = 0;
     explicit Local(size_t k) : top(k) {}
   };
   std::vector<Local> locals;
@@ -336,16 +602,78 @@ std::vector<SearchHit> SearchEngine::SearchCandidatesParallel(
   // Stripe candidates over slots; each ParallelFor index owns one stripe so
   // no synchronization is needed inside the scoring loop.
   size_t stripes = locals.size();
+
+  const bool prune = options_.enable_prune && !candidates.empty();
+  std::vector<double> bounds;
+  std::vector<uint32_t> order;
+  BoundContext ctx;
+  if (prune) {
+    BuildBoundContext(query, *lake_, options_, &ctx);
+    bounds.assign(candidates.size(), 0.0);
+    // Striped bound pass: disjoint indices, no synchronization needed.
+    pool->ParallelFor(stripes, [&](size_t stripe) {
+      obs::TraceSpan bound_span("bound");
+      Stopwatch bound_watch;
+      Local& local = locals[stripe];
+      for (size_t i = stripe; i < candidates.size(); i += stripes) {
+        bounds[i] = local.cache != nullptr
+                        ? BoundForTable(ctx, lake_->corpus(), arena_,
+                                        candidates[i], local.cache->sim(),
+                                        options_.aggregation,
+                                        local.bound_scratch)
+                        : BoundForTable(ctx, lake_->corpus(), arena_,
+                                        candidates[i], *sim_,
+                                        options_.aggregation,
+                                        local.bound_scratch);
+      }
+      local.bound_seconds += bound_watch.ElapsedSeconds();
+    });
+    SortByBound(candidates, bounds, &order);
+  }
+
+  // Shared score floor: the max over every stripe's local top-k threshold,
+  // published with relaxed atomics. Any value ever stored is a valid lower
+  // bound on that stripe's final threshold, so a stale read only prunes
+  // less — never wrongly. The strict < (no id tie rule — the floor carries
+  // no id) keeps the skip provably outside the merged top-k.
+  std::atomic<double> global_floor{0.0};
   pool->ParallelFor(stripes, [&](size_t stripe) {
     obs::TraceSpan scoring_span("scoring");
     Local& local = locals[stripe];
-    for (size_t i = stripe; i < candidates.size(); i += stripes) {
-      double score = ScoreTableImpl(query, candidates[i],
-                                    &local.mapping_seconds, nullptr,
-                                    local.cache.get());
-      if (score > 0.0) {
-        ++local.nonzero;
-        local.top.Push(candidates[i], score);
+    if (!prune) {
+      for (size_t i = stripe; i < candidates.size(); i += stripes) {
+        double score = ScoreTableImpl(query, candidates[i],
+                                      &local.mapping_seconds, nullptr,
+                                      local.cache.get());
+        if (score > 0.0) {
+          ++local.nonzero;
+          local.top.Push(candidates[i], score);
+        }
+      }
+    } else {
+      // Each stripe walks every stripes-th position of the global
+      // bound-descending order, so its own subsequence is bound-descending
+      // too and the stop-instead-of-skip argument holds per stripe.
+      for (size_t pos = stripe; pos < order.size(); pos += stripes) {
+        size_t i = order[pos];
+        TableId id = candidates[i];
+        bool stop = bounds[i] <= 0.0 ||
+                    bounds[i] < global_floor.load(std::memory_order_relaxed) ||
+                    ProvablyOutside(local.top, bounds[i], id);
+        if (stop) {
+          // Remaining positions of this stripe: pos, pos+stripes, ...
+          local.pruned += (order.size() - pos + stripes - 1) / stripes;
+          break;
+        }
+        double score = ScoreTableImpl(query, id, &local.mapping_seconds,
+                                      nullptr, local.cache.get());
+        if (score > 0.0) {
+          ++local.nonzero;
+          local.top.Push(id, score);
+          if (local.top.Full()) {
+            AtomicMaxDouble(&global_floor, local.top.MinScore());
+          }
+        }
       }
     }
     // One aggregated mapping span per stripe (the per-table Hungarian runs
@@ -356,13 +684,17 @@ std::vector<SearchHit> SearchEngine::SearchCandidatesParallel(
   // local results into one heap reproduces the serial ranking.
   TopK<TableId> merged(std::max<size_t>(1, options_.top_k));
   double mapping_seconds = 0.0;
+  double bound_seconds = 0.0;
   size_t nonzero = 0;
+  size_t pruned = 0;
   std::vector<SearchHit> hits;
   {
     obs::TraceSpan topk_span("topk");
     for (Local& local : locals) {
       mapping_seconds += local.mapping_seconds;
+      bound_seconds += local.bound_seconds;
       nonzero += local.nonzero;
+      pruned += local.pruned;
       for (const auto& [id, score] : local.top.Extract()) {
         merged.Push(id, score);
       }
@@ -372,8 +704,9 @@ std::vector<SearchHit> SearchEngine::SearchCandidatesParallel(
     }
   }
   SearchStats local_stats;
-  FillCandidateStats(*lake_, candidates.size(), nonzero,
-                     watch.ElapsedSeconds(), mapping_seconds, &local_stats);
+  FillCandidateStats(*lake_, candidates.size(), pruned, nonzero,
+                     watch.ElapsedSeconds(), mapping_seconds, bound_seconds,
+                     &local_stats);
   for (const Local& local : locals) {
     if (local.cache != nullptr) AddCacheStats(*local.cache, &local_stats);
   }
@@ -382,21 +715,28 @@ std::vector<SearchHit> SearchEngine::SearchCandidatesParallel(
   return hits;
 }
 
+const std::vector<TableId>& SearchEngine::AllTables(
+    std::vector<TableId>* storage) const {
+  if (all_tables_.size() == lake_->corpus().size()) return all_tables_;
+  // Tables were ingested after construction: fall back to a fresh list.
+  storage->resize(lake_->corpus().size());
+  std::iota(storage->begin(), storage->end(), TableId{0});
+  return *storage;
+}
+
 std::vector<SearchHit> SearchEngine::SearchParallel(const Query& query,
                                                     ThreadPool* pool,
                                                     SearchStats* stats) const {
-  std::vector<TableId> all(lake_->corpus().size());
-  for (TableId id = 0; id < all.size(); ++id) all[id] = id;
-  auto hits = SearchCandidatesParallel(query, all, pool, stats);
+  std::vector<TableId> storage;
+  auto hits = SearchCandidatesParallel(query, AllTables(&storage), pool, stats);
   if (stats != nullptr) stats->search_space_reduction = 0.0;
   return hits;
 }
 
 std::vector<SearchHit> SearchEngine::Search(const Query& query,
                                             SearchStats* stats) const {
-  std::vector<TableId> all(lake_->corpus().size());
-  for (TableId id = 0; id < all.size(); ++id) all[id] = id;
-  auto hits = SearchCandidates(query, all, stats);
+  std::vector<TableId> storage;
+  auto hits = SearchCandidates(query, AllTables(&storage), stats);
   if (stats != nullptr) stats->search_space_reduction = 0.0;
   return hits;
 }
@@ -415,11 +755,15 @@ std::vector<SearchHit> PrefilteredSearchEngine::Search(
   Stopwatch watch;
   std::vector<TableId> candidates =
       lsei_->CandidateTablesForQuery(query.tuples, votes_);
-  auto hits = engine_->SearchCandidates(query, candidates, stats);
-  if (stats != nullptr) {
-    // Include the LSH lookup in the total time.
-    stats->total_seconds = watch.ElapsedSeconds();
-  }
+  // Score with the flush deferred, correct total_seconds to include the
+  // LSEI lookup, then flush exactly once — the registry and the caller see
+  // the same (corrected) totals.
+  SearchStats local;
+  auto hits = engine_->SearchCandidatesImpl(query, candidates, &local,
+                                            /*flush_stats=*/false);
+  local.total_seconds = watch.ElapsedSeconds();
+  FlushQueryStats(local);
+  if (stats != nullptr) *stats = local;
   return hits;
 }
 

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "core/corpus_index.h"
 #include "core/query_cache.h"
 #include "core/semrel.h"
 #include "core/similarity.h"
@@ -41,6 +42,14 @@ struct SearchOptions {
   // bit-identical with it on or off — so this is on by default; turn it
   // off to measure the uncached baseline.
   bool enable_cache = true;
+  // Bound-and-prune: before exact scoring, compute an admissible upper
+  // bound per candidate (one batched σ over the table's distinct-entity
+  // union, no Hungarian mapping), score in bound-descending order, and
+  // stop once the bound falls below the running top-k threshold. Pruning
+  // is exact — the returned hits and scores are bit-identical with it on
+  // or off — so it is on by default; turn it off to measure the unpruned
+  // baseline.
+  bool enable_prune = true;
 };
 
 // One ranked result.
@@ -81,11 +90,19 @@ struct Explanation {
 // Per-query execution statistics, feeding Tables 3-4 and the §7.3
 // table-scoring analysis.
 struct SearchStats {
+  // Candidates actually scored exactly; tables_scored + tables_pruned ==
+  // candidate_count.
   size_t tables_scored = 0;
   size_t tables_nonzero = 0;
+  // Candidates skipped by the bound-and-prune pass (their upper bound
+  // proved they cannot enter the top-k). 0 when pruning is disabled.
+  size_t tables_pruned = 0;
   double total_seconds = 0.0;
   // Time spent inside the Hungarian column mapping μ/τ.
   double mapping_seconds = 0.0;
+  // Time spent computing the admissible upper bounds (0 when pruning is
+  // disabled).
+  double bound_seconds = 0.0;
   // Size of the candidate set when a prefilter ran (== corpus size
   // otherwise).
   size_t candidate_count = 0;
@@ -145,6 +162,17 @@ class SearchEngine {
   // search UIs and debugging relevance ("why is this table ranked here?").
   Explanation Explain(const Query& query, TableId table) const;
 
+  // Admissible upper bound on ScoreTable(query, table): for each query
+  // entity, max σ over the table's whole distinct-entity union bounds its
+  // aggregated coordinate under both kMax and kAvg, so the weighted
+  // distance similarity of those maxima (plus a small multiplicative
+  // slack absorbing floating-point reassociation under kAvg) bounds the
+  // exact score. Costs one batched σ pass per distinct query entity — no
+  // Hungarian mapping, no per-row work. UpperBoundTable(q, t) >=
+  // ScoreTable(q, t) always; the bound-and-prune search path relies on
+  // exactly this inequality.
+  double UpperBoundTable(const Query& query, TableId table) const;
+
  private:
   // Shared implementation of ScoreTable/Explain; `explanation` and `cache`
   // may be null. With a cache, σ scores and Hungarian mappings are memoized
@@ -153,14 +181,37 @@ class SearchEngine {
                         double* mapping_seconds, Explanation* explanation,
                         QueryScopedCache* cache) const;
 
+  // Shared serial implementation: SearchCandidates flushes the stats to
+  // the metrics registry itself; PrefilteredSearchEngine (a friend)
+  // disables the flush, corrects total_seconds to include the LSEI
+  // lookup, and flushes once from there — so the registry never sees a
+  // total that excludes prefilter time.
+  std::vector<SearchHit> SearchCandidatesImpl(
+      const Query& query, const std::vector<TableId>& candidates,
+      SearchStats* stats, bool flush_stats) const;
+
+  // The immutable 0..corpus-1 identity list backing Search/SearchParallel
+  // (no per-query O(corpus) allocation). Falls back to materializing a
+  // fresh list only when tables were ingested after construction.
+  const std::vector<TableId>& AllTables(std::vector<TableId>* storage) const;
+
   const SemanticDataLake* lake_;
   const EntitySimilarity* sim_;
   SearchOptions options_;
+  // Corpus-wide flat column index (distinct entities + multiplicities per
+  // column, per table), built once here and shared read-only by every
+  // query and worker; query-time ColumnEntityIndex builds only remain for
+  // tables ingested after construction.
+  CorpusColumnArena arena_;
+  // Identity candidate list for full-corpus searches, sized at build time.
+  std::vector<TableId> all_tables_;
   // σ-class column signature per table (see TableSignatureIndex), computed
   // once at construction and shared by every query-scoped cache. Tables
   // ingested after construction are handled by the cache's per-query
   // fallback. Empty when the engine was constructed with caching disabled.
   TableSignatureIndex signature_index_;
+
+  friend class PrefilteredSearchEngine;
 };
 
 // Thetis with LSEI prefiltering (Section 6): runs the LSH lookup to shrink

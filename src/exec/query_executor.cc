@@ -3,7 +3,6 @@
 #include "obs/query_metrics.h"
 #include "obs/trace.h"
 #include "util/logging.h"
-#include "util/stopwatch.h"
 
 namespace thetis {
 
@@ -23,12 +22,11 @@ QueryResult QueryExecutor::Execute(const Query& query) const {
   obs::TraceSpan span("exec_query");
   QueryResult result;
   if (lsei_ != nullptr) {
-    Stopwatch watch;
-    std::vector<TableId> candidates =
-        lsei_->CandidateTablesForQuery(query.tuples, votes_);
-    result.hits = engine_->SearchCandidates(query, candidates, &result.stats);
-    // Include the LSH lookup in the total, as PrefilteredSearchEngine does.
-    result.stats.total_seconds = watch.ElapsedSeconds();
+    // Delegate to the prefiltered engine: it defers the metrics flush until
+    // total_seconds includes the LSEI lookup, so the registry and the
+    // returned stats agree.
+    PrefilteredSearchEngine prefiltered(engine_, lsei_, votes_);
+    result.hits = prefiltered.Search(query, &result.stats);
   } else {
     result.hits = engine_->Search(query, &result.stats);
   }
@@ -52,8 +50,10 @@ SearchStats SumBatchStats(const std::vector<QueryResult>& results) {
   for (const QueryResult& r : results) {
     total.tables_scored += r.stats.tables_scored;
     total.tables_nonzero += r.stats.tables_nonzero;
+    total.tables_pruned += r.stats.tables_pruned;
     total.total_seconds += r.stats.total_seconds;
     total.mapping_seconds += r.stats.mapping_seconds;
+    total.bound_seconds += r.stats.bound_seconds;
     total.candidate_count += r.stats.candidate_count;
     total.search_space_reduction += r.stats.search_space_reduction;
     total.sim_cache_hits += r.stats.sim_cache_hits;

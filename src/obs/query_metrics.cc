@@ -21,6 +21,7 @@ struct QueryPathMetrics {
   Counter& queries = r.counter("thetis_queries_total");
   Counter& tables_scored = r.counter("thetis_tables_scored_total");
   Counter& tables_nonzero = r.counter("thetis_tables_nonzero_total");
+  Counter& tables_pruned = r.counter("thetis_tables_pruned_total");
   Counter& candidates = r.counter("thetis_candidates_total");
   Counter& sim_hits = r.counter("thetis_sim_cache_hits_total");
   Counter& sim_misses = r.counter("thetis_sim_cache_misses_total");
@@ -28,7 +29,9 @@ struct QueryPathMetrics {
   Counter& mapping_misses = r.counter("thetis_mapping_cache_misses_total");
   Histogram& query_latency = r.histogram("thetis_query_latency_ns");
   Histogram& mapping_latency = r.histogram("thetis_mapping_latency_ns");
+  Histogram& bound_latency = r.histogram("thetis_bound_latency_ns");
   Histogram& query_candidates = r.histogram("thetis_query_candidates");
+  Gauge& prune_rate = r.gauge("thetis_prune_rate");
 
   static QueryPathMetrics& Get() {
     static QueryPathMetrics* m = new QueryPathMetrics();
@@ -104,11 +107,13 @@ void RecordQuery(uint64_t tables_scored, uint64_t tables_nonzero,
                  uint64_t candidates, double total_seconds,
                  double mapping_seconds, uint64_t sim_hits,
                  uint64_t sim_misses, uint64_t mapping_hits,
-                 uint64_t mapping_misses) {
+                 uint64_t mapping_misses, uint64_t tables_pruned,
+                 double bound_seconds) {
   QueryPathMetrics& m = QueryPathMetrics::Get();
   m.queries.Increment();
   m.tables_scored.Add(tables_scored);
   m.tables_nonzero.Add(tables_nonzero);
+  m.tables_pruned.Add(tables_pruned);
   m.candidates.Add(candidates);
   m.sim_hits.Add(sim_hits);
   m.sim_misses.Add(sim_misses);
@@ -116,7 +121,14 @@ void RecordQuery(uint64_t tables_scored, uint64_t tables_nonzero,
   m.mapping_misses.Add(mapping_misses);
   m.query_latency.Record(ToNanos(total_seconds));
   m.mapping_latency.Record(ToNanos(mapping_seconds));
+  m.bound_latency.Record(ToNanos(bound_seconds));
   m.query_candidates.Record(candidates);
+  // Gauges are integral; the prune rate of the most recent query is kept
+  // in basis points (pruned/candidates * 10000).
+  if (candidates > 0) {
+    m.prune_rate.Set(static_cast<int64_t>(tables_pruned * 10000 /
+                                          candidates));
+  }
 }
 
 void RecordLseiLookup(uint64_t candidates, double seconds) {

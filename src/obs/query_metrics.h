@@ -13,11 +13,13 @@
 //
 // Metric names (all prefixed thetis_):
 //   queries_total, tables_scored_total, tables_nonzero_total,
-//   candidates_total, sim_cache_{hits,misses}_total,
+//   tables_pruned_total, candidates_total, sim_cache_{hits,misses}_total,
 //   mapping_cache_{hits,misses}_total           — per-query flush of
 //     SearchStats, the single point where engine counters enter the
 //     registry (so SearchStats and the registry cannot diverge);
-//   query_latency_ns, mapping_latency_ns, query_candidates — histograms;
+//   prune_rate (gauge) — pruned/candidates of the most recent query;
+//   query_latency_ns, mapping_latency_ns, bound_latency_ns,
+//   query_candidates — histograms;
 //   lsei_lookups_total, lsei_candidates_total, lsei_latency_ns;
 //   executor_batches_total, executor_queries_total;
 //   pool_batches_total, pool_items_total, pool_queue_depth (gauge);
@@ -35,7 +37,8 @@ void RecordQuery(uint64_t tables_scored, uint64_t tables_nonzero,
                  uint64_t candidates, double total_seconds,
                  double mapping_seconds, uint64_t sim_hits,
                  uint64_t sim_misses, uint64_t mapping_hits,
-                 uint64_t mapping_misses);
+                 uint64_t mapping_misses, uint64_t tables_pruned,
+                 double bound_seconds);
 
 // One LSEI prefilter lookup producing `candidates` candidate tables.
 void RecordLseiLookup(uint64_t candidates, double seconds);
@@ -67,7 +70,8 @@ void TraceAggregate(const char* name, double seconds);
 #else
 
 inline void RecordQuery(uint64_t, uint64_t, uint64_t, double, double,
-                        uint64_t, uint64_t, uint64_t, uint64_t) {}
+                        uint64_t, uint64_t, uint64_t, uint64_t, uint64_t,
+                        double) {}
 inline void RecordLseiLookup(uint64_t, double) {}
 inline void RecordExecutorBatch(uint64_t) {}
 inline void RecordPoolBatch(uint64_t) {}

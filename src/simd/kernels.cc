@@ -79,6 +79,14 @@ size_t IntersectSortedU32(const uint32_t* a, size_t na, const uint32_t* b,
   return inter;
 }
 
+double MaxF64(const double* x, size_t n) {
+  double m = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    if (x[i] > m) m = x[i];
+  }
+  return m;
+}
+
 }  // namespace scalar
 
 const Kernels* GetScalarKernels() {
@@ -86,6 +94,7 @@ const Kernels* GetScalarKernels() {
       scalar::Dot,          scalar::DotAndNorms2, scalar::DotBatch,
       scalar::DotBatchGather, scalar::Axpy,       scalar::Add,
       scalar::Scale,        scalar::IntersectSortedU32,
+      scalar::MaxF64,
   };
   return &table;
 }
@@ -228,5 +237,7 @@ size_t IntersectSortedU32(const uint32_t* a, size_t na, const uint32_t* b,
                           size_t nb) {
   return K().intersect(a, na, b, nb);
 }
+
+double MaxF64(const double* x, size_t n) { return K().max_f64(x, n); }
 
 }  // namespace thetis::simd

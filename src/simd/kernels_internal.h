@@ -20,6 +20,7 @@ struct Kernels {
   void (*add)(float*, const float*, size_t);
   void (*scale)(float*, float, size_t);
   size_t (*intersect)(const uint32_t*, size_t, const uint32_t*, size_t);
+  double (*max_f64)(const double*, size_t);
 };
 
 // nullptr when the tier is not compiled into this binary.

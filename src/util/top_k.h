@@ -39,6 +39,16 @@ class TopK {
     THETIS_CHECK(!heap_.empty());
     return heap_.top().first;
   }
+
+  // Id of the current worst kept item: among items scoring MinScore() this
+  // is the LARGEST id (the one Push evicts first). A new item with score ==
+  // MinScore() enters iff its id is smaller, so bound-and-prune loops can
+  // skip candidates whose upper bound equals the threshold when their id
+  // exceeds MinId() without changing the kept set.
+  Id MinId() const {
+    THETIS_CHECK(!heap_.empty());
+    return heap_.top().second;
+  }
   bool Full() const { return heap_.size() == k_; }
 
   // Destructively extracts results sorted by descending score (ties: id asc).

@@ -397,7 +397,9 @@ TEST(SearchEngineTest, StatsPopulated) {
   SearchEngine engine(&lake, &sim);
   SearchStats stats;
   engine.Search(Query{{{f.stetter, f.brewers}}}, &stats);
-  EXPECT_EQ(stats.tables_scored, f.corpus.size());
+  // With bound-and-prune on (the default), scored + pruned partitions the
+  // candidate set.
+  EXPECT_EQ(stats.tables_scored + stats.tables_pruned, f.corpus.size());
   EXPECT_GT(stats.tables_nonzero, 0u);
   EXPECT_GE(stats.total_seconds, 0.0);
   EXPECT_GE(stats.mapping_seconds, 0.0);

@@ -13,6 +13,7 @@
 #include "benchgen/benchmark_factory.h"
 #include "core/search_engine.h"
 #include "core/similarity.h"
+#include "embedding/embedding_store.h"
 #include "obs/trace.h"
 #include "semantic/semantic_data_lake.h"
 #include "util/thread_pool.h"
@@ -429,15 +430,123 @@ TEST(QueryExecutorTest, SumBatchStatsAddsUp) {
   auto results = executor.ExecuteBatch(f.queries);
   SearchStats total = SumBatchStats(results);
   size_t scored = 0;
+  size_t pruned = 0;
   size_t sim_hits = 0;
   for (const QueryResult& r : results) {
     scored += r.stats.tables_scored;
+    pruned += r.stats.tables_pruned;
     sim_hits += r.stats.sim_cache_hits;
   }
   EXPECT_EQ(total.tables_scored, scored);
+  EXPECT_EQ(total.tables_pruned, pruned);
   EXPECT_EQ(total.sim_cache_hits, sim_hits);
-  EXPECT_EQ(total.tables_scored,
+  // Bound-and-prune partitions every query's candidates into scored +
+  // pruned; summed over the batch that must cover the full cross product.
+  EXPECT_EQ(total.tables_scored + total.tables_pruned,
             f.queries.size() * f.bench.lake.corpus.size());
+}
+
+// --- Bound-and-prune parity: pruning must be invisible in the results -------------
+
+// Pruning is claimed exact: hits (ids AND score bits) must match the
+// unpruned engine on every execution path — serial, parallel, cached,
+// uncached, and LSEI-prefiltered — while the stats still account for every
+// candidate as either scored or pruned.
+class PruneParitySweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PruneParitySweep, PrunedMatchesUnprunedEverywhere) {
+  Benchmark bench = MakeBenchmark(PresetKind::kWt2015Like, 0.05, GetParam());
+  SemanticDataLake lake(&bench.lake.corpus, &bench.kg.kg);
+  TypeJaccardSimilarity sim(&bench.kg.kg);
+
+  // prune × cache grid; the prune-off/cache-off engine is the reference.
+  SearchOptions opts[4];
+  for (int i = 0; i < 4; ++i) {
+    opts[i].enable_prune = (i & 1) != 0;
+    opts[i].enable_cache = (i & 2) != 0;
+  }
+  SearchEngine baseline(&lake, &sim, opts[0]);
+  SearchEngine pruned(&lake, &sim, opts[1]);
+  SearchEngine cached(&lake, &sim, opts[2]);
+  SearchEngine pruned_cached(&lake, &sim, opts[3]);
+
+  LseiOptions lsh;
+  Lsei lsei(&lake, nullptr, lsh);
+  PrefilteredSearchEngine pre_baseline(&baseline, &lsei, /*votes=*/1);
+  PrefilteredSearchEngine pre_pruned(&pruned_cached, &lsei, /*votes=*/1);
+
+  ThreadPool pool1(1);
+  ThreadPool pool8(8);
+  size_t total_pruned = 0;
+  auto queries = benchgen::MakeQueries(bench.kg, 6, GetParam() * 11 + 3);
+  for (const auto& gq : queries) {
+    auto reference = baseline.Search(gq.query);
+    ASSERT_FALSE(reference.empty());
+
+    SearchStats stats;
+    ExpectSameHits(reference, pruned.Search(gq.query, &stats),
+                   "pruned serial");
+    EXPECT_EQ(stats.tables_scored + stats.tables_pruned,
+              stats.candidate_count);
+    total_pruned += stats.tables_pruned;
+    ExpectSameHits(reference, pruned_cached.Search(gq.query),
+                   "pruned cached serial");
+    for (ThreadPool* pool : {&pool1, &pool8}) {
+      std::string threads = std::to_string(pool->num_threads());
+      SearchStats pstats;
+      ExpectSameHits(reference,
+                     pruned.SearchParallel(gq.query, pool, &pstats),
+                     "pruned parallel x" + threads);
+      EXPECT_EQ(pstats.tables_scored + pstats.tables_pruned,
+                pstats.candidate_count);
+      ExpectSameHits(reference,
+                     pruned_cached.SearchParallel(gq.query, pool),
+                     "pruned cached parallel x" + threads);
+    }
+
+    auto pre_reference = pre_baseline.Search(gq.query);
+    ExpectSameHits(pre_reference, pre_pruned.Search(gq.query),
+                   "pruned prefiltered");
+  }
+  // The sweep must actually exercise the prune path, not just tolerate it.
+  EXPECT_GT(total_pruned, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PruneParitySweep,
+                         ::testing::Values(3, 57, 311));
+
+// --- Upper-bound admissibility ----------------------------------------------------
+
+// The inequality the whole prune pass rests on: UpperBoundTable >=
+// ScoreTable for every (query, table) pair, under both row aggregations and
+// both similarity backends.
+TEST(UpperBoundTest, BoundDominatesExactScoreEverywhere) {
+  Benchmark bench = MakeBenchmark(PresetKind::kWt2015Like, 0.03, 91);
+  SemanticDataLake lake(&bench.lake.corpus, &bench.kg.kg);
+  TypeJaccardSimilarity type_sim(&bench.kg.kg);
+  EmbeddingStore store = benchgen::TrainBenchmarkEmbeddings(bench.kg);
+  EmbeddingCosineSimilarity emb_sim(&store);
+  const EntitySimilarity* sims[] = {&type_sim, &emb_sim};
+
+  auto queries = benchgen::MakeQueries(bench.kg, 4, 92);
+  for (const EntitySimilarity* sim : sims) {
+    for (RowAggregation agg : {RowAggregation::kMax, RowAggregation::kAvg}) {
+      SearchOptions options;
+      options.aggregation = agg;
+      SearchEngine engine(&lake, sim, options);
+      for (const auto& gq : queries) {
+        for (TableId t = 0; t < bench.lake.corpus.size(); ++t) {
+          double bound = engine.UpperBoundTable(gq.query, t);
+          double exact = engine.ScoreTable(gq.query, t);
+          EXPECT_GE(bound, exact)
+              << "table " << t << " agg "
+              << (agg == RowAggregation::kMax ? "max" : "avg");
+          // A zero bound is an exactness claim, not just a bound.
+          if (bound == 0.0) EXPECT_EQ(exact, 0.0);
+        }
+      }
+    }
+  }
 }
 
 }  // namespace

@@ -443,6 +443,7 @@ TEST(EngineObsTest, RegistryCountersMatchSearchStatsExactly) {
     engine.Search(q, &stats);
     total.tables_scored += stats.tables_scored;
     total.tables_nonzero += stats.tables_nonzero;
+    total.tables_pruned += stats.tables_pruned;
     total.candidate_count += stats.candidate_count;
     total.sim_cache_hits += stats.sim_cache_hits;
     total.sim_cache_misses += stats.sim_cache_misses;
@@ -455,8 +456,12 @@ TEST(EngineObsTest, RegistryCountersMatchSearchStatsExactly) {
             total.tables_scored);
   EXPECT_EQ(reg.CounterValue("thetis_tables_nonzero_total"),
             total.tables_nonzero);
+  EXPECT_EQ(reg.CounterValue("thetis_tables_pruned_total"),
+            total.tables_pruned);
   EXPECT_EQ(reg.CounterValue("thetis_candidates_total"),
             total.candidate_count);
+  // Bound-and-prune partitions each query's candidates.
+  EXPECT_EQ(total.tables_scored + total.tables_pruned, total.candidate_count);
   EXPECT_EQ(reg.CounterValue("thetis_sim_cache_hits_total"),
             total.sim_cache_hits);
   EXPECT_EQ(reg.CounterValue("thetis_sim_cache_misses_total"),
@@ -469,6 +474,8 @@ TEST(EngineObsTest, RegistryCountersMatchSearchStatsExactly) {
   EXPECT_EQ(reg.HistogramValue("thetis_query_latency_ns").count,
             f.queries.size());
   EXPECT_EQ(reg.HistogramValue("thetis_mapping_latency_ns").count,
+            f.queries.size());
+  EXPECT_EQ(reg.HistogramValue("thetis_bound_latency_ns").count,
             f.queries.size());
   EXPECT_EQ(reg.HistogramValue("thetis_query_candidates").count,
             f.queries.size());
@@ -506,7 +513,7 @@ TEST(EngineObsTest, TraceContainsAllPipelineStages) {
 
   std::string json = TraceCollector::Global().ChromeTraceJson();
   for (const char* stage : {"prefiltered_query", "lsei_prefilter", "query",
-                            "scoring", "mapping", "topk"}) {
+                            "bound", "scoring", "mapping", "topk"}) {
     EXPECT_NE(json.find("\"name\":\"" + std::string(stage) + "\""),
               std::string::npos)
         << "missing stage span: " << stage;

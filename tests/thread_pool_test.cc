@@ -77,7 +77,8 @@ TEST(ParallelSearchTest, StatsPopulated) {
   auto queries = benchgen::MakeQueries(bench.kg, 1);
   SearchStats stats;
   engine.SearchParallel(queries[0].query, &pool, &stats);
-  EXPECT_EQ(stats.tables_scored, bench.lake.corpus.size());
+  EXPECT_EQ(stats.tables_scored + stats.tables_pruned,
+            bench.lake.corpus.size());
   EXPECT_GT(stats.tables_nonzero, 0u);
   EXPECT_GT(stats.mapping_seconds, 0.0);
 }

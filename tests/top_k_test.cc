@@ -173,5 +173,40 @@ TEST(TopKTest, NegativeAndZeroScoresSupported) {
   EXPECT_EQ(got[1].first, 3);
 }
 
+// --- MinId: the threshold id the bound-and-prune loop compares against ------------
+
+TEST(TopKTest, MinIdIsLargestIdAmongMinScoreItems) {
+  TopK<int> top(3);
+  top.Push(5, 0.9);
+  top.Push(7, 0.2);
+  top.Push(3, 0.2);
+  // Worst kept item: score 0.2; of ids {3, 7} the larger one is evicted
+  // first, so it is the one MinId reports.
+  EXPECT_DOUBLE_EQ(top.MinScore(), 0.2);
+  EXPECT_EQ(top.MinId(), 7);
+  // A threshold-tied push with a smaller id enters and evicts exactly
+  // MinId; one with a larger id is rejected.
+  top.Push(9, 0.2);
+  EXPECT_EQ(top.MinId(), 7);
+  top.Push(4, 0.2);
+  EXPECT_EQ(top.MinId(), 4);
+  auto got = Drain(&top);
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[1].first, 3);
+  EXPECT_EQ(got[2].first, 4);
+}
+
+TEST(TopKTest, MinIdTracksEvictions) {
+  TopK<int> top(2);
+  top.Push(10, 0.5);
+  top.Push(20, 0.5);
+  EXPECT_EQ(top.MinId(), 20);
+  top.Push(1, 0.8);  // evicts id 20
+  EXPECT_EQ(top.MinId(), 10);
+  top.Push(2, 0.9);  // evicts id 10; kept: {1: 0.8, 2: 0.9}
+  EXPECT_DOUBLE_EQ(top.MinScore(), 0.8);
+  EXPECT_EQ(top.MinId(), 1);
+}
+
 }  // namespace
 }  // namespace thetis
