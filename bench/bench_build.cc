@@ -1,0 +1,206 @@
+// Offline build throughput: how the four parallelized build stages —
+// random walks, SGNS training, the LSEI signature pass, and engine
+// construction (column arena + σ-class signature index) — scale with
+// thread count. Swept at 1/2/4/8 threads; the serial rows double as the
+// baseline for the speedup columns in EXPERIMENTS.md.
+//
+// Determinism contract per stage (asserted by tests/build_parallel_test,
+// not here): walks, LSEI, and engine construction are bit-identical at
+// every thread count; Hogwild SGNS is statistically equivalent only, and
+// the deterministic mode is benchmarked separately as the reproducible
+// reference.
+//
+// CI runs this at a small scale and gates on the engine row: the 4-thread
+// engine build must not be slower than the serial one (10% tolerance for
+// runner noise). Expected shape on a multi-core machine: near-linear walk
+// and SGNS scaling (token streams are independent), sublinear LSEI and
+// engine scaling (the ordered merge is serial).
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common.h"
+#include "embedding/random_walks.h"
+#include "embedding/skipgram.h"
+#include "util/stopwatch.h"
+
+namespace thetis::bench {
+namespace {
+
+const World& TheWorld() {
+  return GetWorld(benchgen::PresetKind::kWt2015Like, BenchScale());
+}
+
+constexpr size_t kThreadSweep[] = {1, 2, 4, 8};
+
+// Walk corpus shared by the walk/SGNS rows: small enough to train in
+// seconds at bench scale, large enough that sharding has work to split.
+WalkOptions BenchWalkOptions(size_t threads) {
+  WalkOptions walks;
+  walks.walks_per_entity = 8;
+  walks.depth = 4;
+  walks.seed = 21;
+  walks.num_threads = threads;
+  return walks;
+}
+
+size_t TokenCount(const std::vector<std::vector<WalkToken>>& walks) {
+  size_t total = 0;
+  for (const auto& w : walks) total += w.size();
+  return total;
+}
+
+void WalksBench(benchmark::State& state, size_t threads) {
+  const World& w = TheWorld();
+  const WalkOptions walks = BenchWalkOptions(threads);
+  for (auto _ : state) {
+    Stopwatch watch;
+    auto out = GenerateWalks(w.kg(), walks);
+    double seconds = watch.ElapsedSeconds();
+    benchmark::DoNotOptimize(out);
+    state.counters["seconds"] = seconds;
+    state.counters["tokens_per_sec"] =
+        static_cast<double>(TokenCount(out)) / seconds;
+  }
+}
+
+void SgnsBench(benchmark::State& state, size_t threads, bool hogwild) {
+  const World& w = TheWorld();
+  auto walks = GenerateWalks(w.kg(), BenchWalkOptions(1));
+  const size_t vocab = WalkVocabularySize(w.kg(), BenchWalkOptions(1));
+  SkipGramOptions sg;
+  sg.dim = 32;
+  sg.epochs = 3;
+  sg.seed = 22;
+  sg.num_threads = threads;
+  sg.parallel_mode =
+      hogwild ? SgnsParallelMode::kHogwild : SgnsParallelMode::kDeterministic;
+  SkipGramTrainer trainer(sg);
+  const double trained_tokens =
+      static_cast<double>(TokenCount(walks)) * static_cast<double>(sg.epochs);
+  for (auto _ : state) {
+    Stopwatch watch;
+    EmbeddingStore emb = trainer.Train(walks, vocab);
+    double seconds = watch.ElapsedSeconds();
+    benchmark::DoNotOptimize(emb);
+    state.counters["seconds"] = seconds;
+    state.counters["tokens_per_sec"] = trained_tokens / seconds;
+  }
+}
+
+void LseiBench(benchmark::State& state, size_t threads, bool column_agg) {
+  const World& w = TheWorld();
+  LseiOptions options;
+  options.mode = LseiMode::kTypes;
+  options.num_functions = 30;
+  options.band_size = 10;
+  options.column_aggregation = column_agg;
+  options.num_threads = threads;
+  for (auto _ : state) {
+    Stopwatch watch;
+    Lsei lsei(w.lake.get(), nullptr, options);
+    double seconds = watch.ElapsedSeconds();
+    benchmark::DoNotOptimize(lsei.NumBuckets());
+    state.counters["seconds"] = seconds;
+  }
+}
+
+void EngineBench(benchmark::State& state, size_t threads) {
+  const World& w = TheWorld();
+  SearchOptions options;
+  options.build_threads = threads;
+  // Construction is quick relative to scheduler noise, so each iteration
+  // reports the best of a few back-to-back builds.
+  constexpr int kReps = 5;
+  for (auto _ : state) {
+    double best = 0.0;
+    for (int rep = 0; rep < kReps; ++rep) {
+      Stopwatch watch;
+      SearchEngine engine(w.lake.get(), w.type_sim.get(), options);
+      double seconds = watch.ElapsedSeconds();
+      benchmark::DoNotOptimize(&engine);
+      if (rep == 0 || seconds < best) best = seconds;
+    }
+    state.counters["seconds"] = best;
+  }
+}
+
+// End-to-end offline pipeline at one thread count: walks -> SGNS
+// (Hogwild) -> LSEI -> engine. The number a data-lake operator actually
+// waits on.
+void PipelineBench(benchmark::State& state, size_t threads) {
+  const World& w = TheWorld();
+  for (auto _ : state) {
+    Stopwatch watch;
+    WalkOptions walks = BenchWalkOptions(threads);
+    SkipGramOptions sg;
+    sg.dim = 32;
+    sg.epochs = 3;
+    sg.seed = 22;
+    sg.num_threads = threads;
+    EmbeddingStore emb = TrainEntityEmbeddings(w.kg(), walks, sg);
+    LseiOptions lsh;
+    lsh.mode = LseiMode::kEmbeddings;
+    lsh.num_threads = threads;
+    Lsei lsei(w.lake.get(), &emb, lsh);
+    SearchOptions engine_options;
+    engine_options.build_threads = threads;
+    EmbeddingCosineSimilarity sim(&emb);
+    SearchEngine engine(w.lake.get(), &sim, engine_options);
+    double seconds = watch.ElapsedSeconds();
+    benchmark::DoNotOptimize(lsei.NumBuckets());
+    benchmark::DoNotOptimize(&engine);
+    state.counters["seconds"] = seconds;
+  }
+}
+
+void RegisterAll() {
+  for (size_t threads : kThreadSweep) {
+    std::string t = "/threads:" + std::to_string(threads);
+    benchmark::RegisterBenchmark(("Build/walks" + t).c_str(), WalksBench,
+                                 threads)
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark(("Build/sgns_hogwild" + t).c_str(), SgnsBench,
+                                 threads, /*hogwild=*/true)
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark(("Build/lsei_entity" + t).c_str(), LseiBench,
+                                 threads, /*column_agg=*/false)
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark(("Build/lsei_column" + t).c_str(), LseiBench,
+                                 threads, /*column_agg=*/true)
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark(("Build/engine" + t).c_str(), EngineBench,
+                                 threads)
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark(("Build/pipeline" + t).c_str(), PipelineBench,
+                                 threads)
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+  // The reproducible-artifact reference: kDeterministic ignores extra
+  // threads by design, so a single serial row is its whole story.
+  benchmark::RegisterBenchmark("Build/sgns_deterministic/threads:1", SgnsBench,
+                               /*threads=*/1, /*hogwild=*/false)
+      ->Iterations(1)
+      ->Unit(benchmark::kMillisecond);
+}
+
+}  // namespace
+}  // namespace thetis::bench
+
+int main(int argc, char** argv) {
+  thetis::bench::RegisterAll();
+  thetis::bench::ObsExportInit(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

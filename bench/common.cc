@@ -101,7 +101,7 @@ EmbeddingStore LoadOrTrainEmbeddings(benchgen::PresetKind kind, double scale,
   std::filesystem::create_directories(dir, ec);
   // The kernel tier is part of the key: training arithmetic (and thus the
   // resulting vectors) differs across tiers by design.
-  std::string key = std::string("emb_v1_") + benchgen::PresetName(kind) + "_" +
+  std::string key = std::string("emb_v2_") + benchgen::PresetName(kind) + "_" +
                     std::to_string(static_cast<int>(scale * 1000.0)) + "_" +
                     std::to_string(kg.kg.num_entities()) + "_" +
                     simd::TierName(simd::ActiveTier()) + ".bin";

@@ -10,13 +10,16 @@
 //
 //   thetis_cli search <dir> [--sim types|embeddings] [--k N]
 //              [--lsh] [--no-cache] [--no-prune] [--threads N]
-//              [--metrics-out F] [--trace-out F]
+//              [--build-threads N] [--metrics-out F] [--trace-out F]
 //              <entity label> [<entity label> ...]
 //       Semantic table search for one entity tuple; labels must exist in
 //       the persisted KG. --no-cache disables the query-scoped scoring
 //       cache and --no-prune the bound-and-prune pass (both exact — for
 //       timing comparisons); --threads N routes the query
-//       through the batched QueryExecutor on an N-worker pool.
+//       through the batched QueryExecutor on an N-worker pool;
+//       --build-threads N parallelizes the offline build (engine
+//       arena/signature construction and the LSEI signature pass) —
+//       built state is bit-identical for every N.
 //       --metrics-out writes the observability counters after the query
 //       (Prometheus text, or a JSON snapshot when F ends in .json);
 //       --trace-out enables per-stage span tracing and writes a Chrome
@@ -63,7 +66,8 @@ int Usage() {
                "  thetis_cli stats <dir>\n"
                "  thetis_cli search <dir> [--sim types|embeddings] [--k N] "
                "[--lsh] [--no-cache] [--no-prune] [--threads N] "
-               "[--metrics-out F] [--trace-out F] <label> [...]\n");
+               "[--build-threads N] [--metrics-out F] [--trace-out F] "
+               "<label> [...]\n");
   return 1;
 }
 
@@ -171,7 +175,8 @@ int RunSearch(const std::vector<std::string>& args) {
   bool use_lsh = false;
   bool use_cache = true;
   bool use_prune = true;
-  size_t threads = 0;  // 0: direct engine call, no executor
+  size_t threads = 0;        // 0: direct engine call, no executor
+  size_t build_threads = 1;  // offline build parallelism (1 = serial)
   size_t k = 10;
   std::string metrics_out;
   std::string trace_out;
@@ -196,6 +201,9 @@ int RunSearch(const std::vector<std::string>& args) {
     } else if (args[i] == "--threads" && i + 1 < args.size()) {
       threads = static_cast<size_t>(std::atoi(args[++i].c_str()));
       if (threads == 0) return Fail("--threads must be positive");
+    } else if (args[i] == "--build-threads" && i + 1 < args.size()) {
+      build_threads = static_cast<size_t>(std::atoi(args[++i].c_str()));
+      if (build_threads == 0) return Fail("--build-threads must be positive");
     } else if (args[i] == "--metrics-out" && i + 1 < args.size()) {
       metrics_out = args[++i];
     } else if (args[i] == "--trace-out" && i + 1 < args.size()) {
@@ -231,6 +239,7 @@ int RunSearch(const std::vector<std::string>& args) {
   options.top_k = k;
   options.enable_cache = use_cache;
   options.enable_prune = use_prune;
+  options.build_threads = build_threads;
   SearchEngine engine(&sem,
                       use_embeddings
                           ? static_cast<const EntitySimilarity*>(cosine.get())
@@ -243,6 +252,7 @@ int RunSearch(const std::vector<std::string>& args) {
     lsh.mode = use_embeddings ? LseiMode::kEmbeddings : LseiMode::kTypes;
     lsh.num_functions = 30;
     lsh.band_size = 10;
+    lsh.num_threads = build_threads;
     lsei = std::make_unique<Lsei>(&sem, lake.embeddings.get(), lsh);
   }
 

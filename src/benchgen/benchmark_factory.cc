@@ -96,6 +96,9 @@ EmbeddingStore TrainBenchmarkEmbeddings(const SyntheticKg& kg, uint64_t seed) {
   walks.walks_per_entity = 10;
   walks.depth = 4;
   walks.seed = seed;
+  // Hardware-parallel walk generation: bit-identical output for every
+  // thread count, so the fixture (and its disk cache) stay reproducible.
+  walks.num_threads = 0;
   SkipGramOptions sg;
   sg.dim = 32;
   sg.window = 3;

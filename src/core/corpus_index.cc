@@ -1,32 +1,80 @@
 #include "core/corpus_index.h"
 
+#include <cstring>
 #include <limits>
 
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace thetis {
 
-void CorpusColumnArena::Build(const Corpus& corpus) {
+void CorpusColumnArena::Build(const Corpus& corpus, ThreadPool* pool) {
   num_tables_ = corpus.size();
   table_offsets_.clear();
   col_offsets_.clear();
   distinct_.clear();
   counts_.clear();
-  table_offsets_.reserve(num_tables_ + 1);
-  table_offsets_.push_back(0);
 
-  DedupScratch dedup;
-  for (TableId id = 0; id < num_tables_; ++id) {
-    AppendTableColumns(corpus.table(id), dedup, &col_offsets_, &distinct_,
-                       &counts_);
-    table_offsets_.push_back(col_offsets_.size());
-    // Column offsets are uint32_t (shared with the per-table index); a
-    // corpus whose summed per-column distinct entities overflow that is
-    // beyond this layout's design envelope — fail loudly, not silently.
-    THETIS_CHECK(distinct_.size() <=
-                 std::numeric_limits<uint32_t>::max())
-        << "corpus column arena exceeds uint32 offset range";
+  if (pool == nullptr || pool->num_threads() <= 1) {
+    table_offsets_.reserve(num_tables_ + 1);
+    table_offsets_.push_back(0);
+    DedupScratch dedup;
+    for (TableId id = 0; id < num_tables_; ++id) {
+      AppendTableColumns(corpus.table(id), dedup, &col_offsets_, &distinct_,
+                         &counts_);
+      table_offsets_.push_back(col_offsets_.size());
+      // Column offsets are uint32_t (shared with the per-table index); a
+      // corpus whose summed per-column distinct entities overflow that is
+      // beyond this layout's design envelope — fail loudly, not silently.
+      THETIS_CHECK(distinct_.size() <=
+                   std::numeric_limits<uint32_t>::max())
+          << "corpus column arena exceeds uint32 offset range";
+    }
+    return;
   }
+
+  // Parallel build: gather each table's CSR fragment independently, then
+  // stitch them together at prefix-sum bases. Fragment content equals what
+  // the serial loop appends for that table (same AppendTableColumns call),
+  // and the copy-out places fragments in table-id order, so the final
+  // arena is bit-identical to a serial build.
+  std::vector<ColumnEntityIndex> fragments(num_tables_);
+  pool->ParallelFor(num_tables_, /*min_chunk=*/4, [&](size_t id) {
+    // One dedup table per worker thread; the epoch-stamp design makes its
+    // results independent of whatever tables the thread processed before.
+    thread_local DedupScratch dedup;
+    fragments[id].Build(corpus.table(id), dedup);
+  });
+
+  table_offsets_.resize(num_tables_ + 1);
+  std::vector<size_t> pool_base(num_tables_ + 1);
+  table_offsets_[0] = 0;
+  pool_base[0] = 0;
+  for (size_t id = 0; id < num_tables_; ++id) {
+    table_offsets_[id + 1] = table_offsets_[id] + fragments[id].offsets.size();
+    pool_base[id + 1] = pool_base[id] + fragments[id].distinct.size();
+  }
+  THETIS_CHECK(pool_base[num_tables_] <=
+               std::numeric_limits<uint32_t>::max())
+      << "corpus column arena exceeds uint32 offset range";
+
+  col_offsets_.resize(table_offsets_[num_tables_]);
+  distinct_.resize(pool_base[num_tables_]);
+  counts_.resize(pool_base[num_tables_]);
+  pool->ParallelFor(num_tables_, /*min_chunk=*/16, [&](size_t id) {
+    const ColumnEntityIndex& frag = fragments[id];
+    const uint32_t base = static_cast<uint32_t>(pool_base[id]);
+    uint32_t* col_out = col_offsets_.data() + table_offsets_[id];
+    for (size_t i = 0; i < frag.offsets.size(); ++i) {
+      col_out[i] = frag.offsets[i] + base;  // relative → absolute
+    }
+    if (!frag.distinct.empty()) {
+      std::memcpy(distinct_.data() + pool_base[id], frag.distinct.data(),
+                  frag.distinct.size() * sizeof(EntityId));
+      std::memcpy(counts_.data() + pool_base[id], frag.counts.data(),
+                  frag.counts.size() * sizeof(double));
+    }
+  });
 }
 
 }  // namespace thetis

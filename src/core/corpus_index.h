@@ -11,6 +11,8 @@
 
 namespace thetis {
 
+class ThreadPool;
+
 // Corpus-wide flat column index: every table's dedup'd columns (distinct
 // entities + multiplicities, CSR layout) concatenated into one arena,
 // built once in the SearchEngine constructor and read-only afterwards.
@@ -31,8 +33,12 @@ class CorpusColumnArena {
   CorpusColumnArena() = default;
 
   // Indexes every table currently in the corpus. Not thread-safe; call
-  // once before the arena is shared.
-  void Build(const Corpus& corpus);
+  // once before the arena is shared. With a pool (> 1 thread), per-table
+  // CSR fragments are gathered in parallel and concatenated by prefix sums
+  // — per-table content and final layout are bit-identical to the serial
+  // build, since both run AppendTableColumns per table and the
+  // concatenation order is table-id order either way.
+  void Build(const Corpus& corpus, ThreadPool* pool = nullptr);
 
   // Number of tables covered by the arena. Tables appended to the corpus
   // after Build (ids >= num_tables()) are not covered; callers fall back

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/corpus_index.h"
+#include "util/thread_pool.h"
 
 namespace thetis {
 
@@ -69,11 +70,38 @@ struct FlatHash {
 
 TableSignatureIndex BuildTableSignatureIndex(
     const Corpus& corpus, std::vector<uint32_t> entity_classes,
-    const CorpusColumnArena* arena) {
+    const CorpusColumnArena* arena, ThreadPool* pool) {
   TableSignatureIndex index;
   index.entity_classes = std::move(entity_classes);
   index.table_signatures.reserve(corpus.size());
   std::unordered_map<std::vector<uint64_t>, uint32_t, FlatHash> interned;
+
+  if (pool != nullptr && pool->num_threads() > 1) {
+    // Parallel flatten into pre-sized slots (a read-only walk over the
+    // arena for covered tables), then serial interning in table-id order —
+    // signature ids depend only on that order, never on thread count.
+    std::vector<std::vector<uint64_t>> flats(corpus.size());
+    pool->ParallelFor(corpus.size(), /*min_chunk=*/8, [&](size_t id) {
+      ColumnIndexView view;
+      thread_local ColumnEntityIndex column_index;
+      thread_local DedupScratch dedup;
+      if (arena != nullptr && arena->Covers(static_cast<TableId>(id))) {
+        view = arena->ViewOf(static_cast<TableId>(id));
+      } else {
+        column_index.Build(corpus.table(static_cast<TableId>(id)), dedup);
+        view = column_index.View();
+      }
+      FlattenClassSignature(view, index.entity_classes, &flats[id]);
+    });
+    for (TableId id = 0; id < corpus.size(); ++id) {
+      uint32_t next = static_cast<uint32_t>(interned.size());
+      auto [it, inserted] = interned.emplace(std::move(flats[id]), next);
+      index.table_signatures.push_back(it->second);
+    }
+    index.num_distinct = interned.size();
+    return index;
+  }
+
   ColumnEntityIndex column_index;
   DedupScratch dedup;
   std::vector<uint64_t> flat;

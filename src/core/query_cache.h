@@ -14,6 +14,7 @@
 namespace thetis {
 
 class CorpusColumnArena;
+class ThreadPool;
 
 // Content-interned column signatures for every table of a corpus, the key
 // space of the Hungarian-mapping cache.
@@ -52,9 +53,12 @@ struct TableSignatureIndex {
 // `arena` (may be null) is the engine's prebuilt corpus column arena;
 // when present, covered tables reuse its views instead of rebuilding a
 // per-table ColumnEntityIndex, making the signature pass a read-only walk.
+// With a `pool` (> 1 thread) the per-table flatten pass runs in parallel;
+// interning stays serial in table-id order, so signature ids and
+// num_distinct are bit-identical to a serial build.
 TableSignatureIndex BuildTableSignatureIndex(
     const Corpus& corpus, std::vector<uint32_t> entity_classes,
-    const CorpusColumnArena* arena = nullptr);
+    const CorpusColumnArena* arena = nullptr, ThreadPool* pool = nullptr);
 
 // Query-scoped scoring cache: everything Algorithm 1 recomputes per table
 // that actually only depends on the query. Holds

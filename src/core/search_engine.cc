@@ -48,20 +48,27 @@ SearchEngine::SearchEngine(const SemanticDataLake* lake,
                            const EntitySimilarity* sim, SearchOptions options)
     : lake_(lake), sim_(sim), options_(options) {
   THETIS_CHECK(lake != nullptr && sim != nullptr);
+  // Build-time pool, shared by both construction phases and torn down
+  // before the constructor returns; queries use their own pools.
+  ThreadPool build_pool(options_.build_threads);
   {
     // Corpus-wide column index + the identity candidate list, shared
     // read-only by every query and worker from here on.
     obs::TraceSpan span("engine_build_arena");
-    arena_.Build(lake->corpus());
+    Stopwatch phase_watch;
+    arena_.Build(lake->corpus(), &build_pool);
     all_tables_.resize(lake->corpus().size());
     std::iota(all_tables_.begin(), all_tables_.end(), TableId{0});
+    obs::RecordEngineBuildPhase("arena", phase_watch.ElapsedSeconds());
   }
   if (options_.enable_cache) {
     obs::TraceSpan span("engine_build_signatures");
+    Stopwatch phase_watch;
     signature_index_ = BuildTableSignatureIndex(
-        lake->corpus(), sim->SigmaEquivalenceClasses(), &arena_);
+        lake->corpus(), sim->SigmaEquivalenceClasses(), &arena_, &build_pool);
     obs::RecordEngineBuild(lake->corpus().size(),
                            signature_index_.num_distinct);
+    obs::RecordEngineBuildPhase("signatures", phase_watch.ElapsedSeconds());
   }
 }
 

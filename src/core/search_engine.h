@@ -50,6 +50,11 @@ struct SearchOptions {
   // or off — so it is on by default; turn it off to measure the unpruned
   // baseline.
   bool enable_prune = true;
+  // Threads for engine construction (1 = serial, 0 = hardware concurrency):
+  // the corpus column arena and the σ-class signature index are built by
+  // parallel per-table passes with deterministic merges, so the constructed
+  // engine is bit-identical for every value — this only changes build time.
+  size_t build_threads = 1;
 };
 
 // One ranked result.

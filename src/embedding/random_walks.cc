@@ -3,43 +3,70 @@
 #include "obs/query_metrics.h"
 #include "obs/trace.h"
 #include "util/rng.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace thetis {
+
+namespace {
+
+// Seed of walk (start, w): a SplitMix64 chain over the option seed and the
+// flat walk index. Every walk owns an independent PCG stream, which is
+// what makes the sharded generation bit-identical to the serial one — the
+// RNG consumed by one walk is a pure function of (seed, start, w), never
+// of which thread ran it or what ran before it.
+uint64_t WalkSeed(uint64_t seed, EntityId start, size_t w,
+                  size_t walks_per_entity) {
+  uint64_t flat = static_cast<uint64_t>(start) * walks_per_entity + w;
+  return MixHash64(MixHash64(seed) ^ flat);
+}
+
+void RunWalk(const KnowledgeGraph& kg, const WalkOptions& options,
+             EntityId start, size_t w, std::vector<WalkToken>* walk) {
+  Rng rng(WalkSeed(options.seed, start, w, options.walks_per_entity));
+  const WalkToken predicate_base = static_cast<WalkToken>(kg.num_entities());
+  walk->reserve(options.depth + 1);
+  EntityId current = start;
+  walk->push_back(current);
+  for (size_t step = 0; step < options.depth; ++step) {
+    const auto& out = kg.OutEdges(current);
+    const auto& in = kg.InEdges(current);
+    size_t degree = out.size() + (options.undirected ? in.size() : 0);
+    if (degree == 0) break;
+    size_t pick = rng.NextBounded(static_cast<uint32_t>(degree));
+    const Edge& edge = pick < out.size() ? out[pick] : in[pick - out.size()];
+    if (options.emit_predicates) {
+      walk->push_back(predicate_base + edge.predicate);
+    }
+    current = edge.dst;
+    walk->push_back(current);
+  }
+}
+
+}  // namespace
 
 std::vector<std::vector<WalkToken>> GenerateWalks(const KnowledgeGraph& kg,
                                                   const WalkOptions& options) {
   obs::TraceSpan span("rdf2vec_walks");
-  Rng rng(options.seed);
-  std::vector<std::vector<WalkToken>> walks;
-  walks.reserve(kg.num_entities() * options.walks_per_entity);
-  const WalkToken predicate_base =
-      static_cast<WalkToken>(kg.num_entities());
+  Stopwatch watch;
+  const size_t wpe = options.walks_per_entity;
+  std::vector<std::vector<WalkToken>> walks(kg.num_entities() * wpe);
 
-  for (EntityId start = 0; start < kg.num_entities(); ++start) {
-    for (size_t w = 0; w < options.walks_per_entity; ++w) {
-      std::vector<WalkToken> walk;
-      walk.reserve(options.depth + 1);
-      EntityId current = start;
-      walk.push_back(current);
-      for (size_t step = 0; step < options.depth; ++step) {
-        const auto& out = kg.OutEdges(current);
-        const auto& in = kg.InEdges(current);
-        size_t degree = out.size() + (options.undirected ? in.size() : 0);
-        if (degree == 0) break;
-        size_t pick = rng.NextBounded(static_cast<uint32_t>(degree));
-        const Edge& edge = pick < out.size() ? out[pick] : in[pick - out.size()];
-        if (options.emit_predicates) {
-          walk.push_back(predicate_base + edge.predicate);
-        }
-        current = edge.dst;
-        walk.push_back(current);
-      }
-      walks.push_back(std::move(walk));
+  // Shard start entities across the pool; each index owns the pre-sized
+  // slot range [start * wpe, (start + 1) * wpe), so workers never touch
+  // the same element and the output layout equals the serial loop's.
+  ThreadPool pool(options.num_threads);
+  pool.ParallelFor(kg.num_entities(), [&](size_t start) {
+    for (size_t w = 0; w < wpe; ++w) {
+      RunWalk(kg, options, static_cast<EntityId>(start), w,
+              &walks[start * wpe + w]);
     }
-  }
+  });
+
   uint64_t tokens = 0;
   for (const auto& w : walks) tokens += w.size();
   obs::RecordEmbeddingWalks(walks.size(), tokens);
+  obs::RecordWalkBuild(tokens, watch.ElapsedSeconds());
   return walks;
 }
 

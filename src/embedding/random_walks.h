@@ -25,11 +25,18 @@ struct WalkOptions {
   // Emit predicate tokens between node tokens (full RDF2Vec sequences).
   bool emit_predicates = false;
   uint64_t seed = 42;
+  // Worker threads sharding the start entities (1 = inline serial, 0 =
+  // hardware concurrency). Walk output is bit-identical for every thread
+  // count: each walk draws from its own RNG stream derived from
+  // (seed, start, walk index) and lands in a pre-sized slot.
+  size_t num_threads = 1;
 };
 
 // Generates uniform random walks over the KG, the first half of the RDF2Vec
 // pipeline [Ristoski & Paulheim 2016]. Each walk is a token sequence; walks
-// from isolated entities contain just the start token.
+// from isolated entities contain just the start token. Walk
+// (start, w) occupies slot start * walks_per_entity + w regardless of
+// options.num_threads.
 std::vector<std::vector<WalkToken>> GenerateWalks(const KnowledgeGraph& kg,
                                                   const WalkOptions& options);
 

@@ -1,7 +1,9 @@
 #include "embedding/skipgram.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstring>
 
 #include "embedding/vector_ops.h"
 #include "obs/query_metrics.h"
@@ -10,6 +12,26 @@
 #include "util/logging.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
+#include "util/thread_pool.h"
+
+// Benign-race annotation for the Hogwild update kernels (see DESIGN.md,
+// "Parallel offline build"). Hogwild training races by design: concurrent
+// unsynchronized float reads/writes to the shared syn0/syn1neg matrices.
+// Those races are confined to the three Hogwild* helpers below, which are
+// excluded from ThreadSanitizer instrumentation so the TSan CI leg can run
+// the Hogwild path and still catch every *unintended* race elsewhere
+// (sharding, LR schedule, scratch buffers, the pool itself).
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define THETIS_NO_SANITIZE_THREAD __attribute__((no_sanitize("thread")))
+#endif
+#endif
+#if !defined(THETIS_NO_SANITIZE_THREAD) && defined(__SANITIZE_THREAD__)
+#define THETIS_NO_SANITIZE_THREAD __attribute__((no_sanitize_thread))
+#endif
+#ifndef THETIS_NO_SANITIZE_THREAD
+#define THETIS_NO_SANITIZE_THREAD
+#endif
 
 namespace thetis {
 
@@ -72,6 +94,54 @@ class NegativeSampler {
   double total_ = 0.0;
 };
 
+// --- Hogwild kernels -------------------------------------------------------
+//
+// Plain scalar loops (auto-vectorized; dim is 32 in practice) rather than
+// the simd:: dispatch kernels: the no_sanitize attribute does not propagate
+// through the kernel function pointers, so the racy accesses must live in
+// these bodies for the TSan exclusion to cover them. Every racy load/store
+// of shared training state goes through exactly these three functions.
+
+THETIS_NO_SANITIZE_THREAD
+double HogwildDot(const float* a, const float* b, size_t n) {
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) acc += static_cast<double>(a[i]) * b[i];
+  return acc;
+}
+
+// grad += g * v_out; reads the shared output row into private scratch.
+THETIS_NO_SANITIZE_THREAD
+void HogwildAccumulate(float g, const float* v_out, float* grad, size_t n) {
+  for (size_t i = 0; i < n; ++i) grad[i] += g * v_out[i];
+}
+
+// y += g * x with y shared (syn0 or syn1neg row); the Hogwild write.
+THETIS_NO_SANITIZE_THREAD
+void HogwildUpdate(float g, const float* x, float* y, size_t n) {
+  for (size_t i = 0; i < n; ++i) y[i] += g * x[i];
+}
+
+// Token-count-balanced contiguous shard bounds: shard s covers walks
+// [bounds[s], bounds[s+1]). Contiguity preserves walk locality; balancing
+// by token count (not walk count) keeps threads busy even when walk
+// lengths are skewed by graph sinks.
+std::vector<size_t> ShardWalks(const std::vector<std::vector<WalkToken>>& walks,
+                               uint64_t total_tokens, size_t shards) {
+  std::vector<size_t> bounds(shards + 1, walks.size());
+  bounds[0] = 0;
+  size_t walk = 0;
+  uint64_t seen = 0;
+  for (size_t s = 1; s < shards; ++s) {
+    uint64_t target = total_tokens * s / shards;
+    while (walk < walks.size() && seen < target) {
+      seen += walks[walk].size();
+      ++walk;
+    }
+    bounds[s] = walk;
+  }
+  return bounds;
+}
+
 }  // namespace
 
 SkipGramTrainer::SkipGramTrainer(SkipGramOptions options)
@@ -114,56 +184,153 @@ EmbeddingStore SkipGramTrainer::Train(
 
   const uint64_t total_steps =
       std::max<uint64_t>(1, total_tokens * options_.epochs);
-  uint64_t step = 0;
-  std::vector<float> grad(dim);
+
+  ThreadPool pool(options_.num_threads);
+  const bool hogwild = options_.parallel_mode == SgnsParallelMode::kHogwild &&
+                       pool.num_threads() > 1 && total_tokens > 0;
+
+  if (!hogwild) {
+    // Deterministic reference loop: byte-for-byte the single-threaded
+    // trainer (same RNG consumption, same update order), whatever
+    // num_threads says.
+    uint64_t step = 0;
+    std::vector<float> grad(dim);
+    for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+      obs::TraceSpan epoch_span("skipgram_epoch");
+      Stopwatch epoch_watch;
+      for (const auto& walk : walks) {
+        for (size_t pos = 0; pos < walk.size(); ++pos) {
+          ++step;
+          double progress =
+              static_cast<double>(step) / static_cast<double>(total_steps);
+          double lr = options_.initial_learning_rate * (1.0 - progress);
+          if (lr < options_.min_learning_rate) lr = options_.min_learning_rate;
+
+          // Dynamic window, as in word2vec: uniform in [1, window].
+          size_t reduced =
+              1 + rng.NextBounded(static_cast<uint32_t>(options_.window));
+          size_t lo = pos >= reduced ? pos - reduced : 0;
+          size_t hi = std::min(walk.size() - 1, pos + reduced);
+          WalkToken center = walk[pos];
+          float* v_in = input.mutable_vector(center);
+
+          for (size_t ctx = lo; ctx <= hi; ++ctx) {
+            if (ctx == pos) continue;
+            WalkToken context = walk[ctx];
+            std::fill(grad.begin(), grad.end(), 0.0f);
+            // One positive plus `negatives` negative samples.
+            for (size_t n = 0; n <= options_.negatives; ++n) {
+              WalkToken target;
+              double label;
+              if (n == 0) {
+                target = context;
+                label = 1.0;
+              } else {
+                target = sampler.Sample(&rng);
+                if (target == context) continue;
+                label = 0.0;
+              }
+              float* v_out = output.data() + static_cast<size_t>(target) * dim;
+              double dot = DotProduct(v_in, v_out, dim);
+              double g = (label - sigmoid(dot)) * lr;
+              // Two fused-multiply-add kernels; grad must read v_out before
+              // the v_out update, as in the original interleaved loop.
+              simd::Axpy(static_cast<float>(g), v_out, grad.data(), dim);
+              simd::Axpy(static_cast<float>(g), v_in, v_out, dim);
+            }
+            simd::Add(v_in, grad.data(), dim);
+          }
+        }
+      }
+      obs::RecordSkipgramEpoch(total_tokens, epoch_watch.ElapsedSeconds());
+    }
+    return input;
+  }
+
+  // --- Hogwild path --------------------------------------------------------
+  //
+  // Contiguous token-balanced walk shards train concurrently; syn0/syn1neg
+  // updates are lock-free and unsynchronized (the benign races live in the
+  // Hogwild* kernels above). The learning rate follows one shared schedule:
+  // threads add their processed-token counts to an atomic global step in
+  // kLrBatch chunks (word2vec updates alpha every 10k words the same way)
+  // and recompute lr from the snapshot, so the decay tracks total corpus
+  // progress, not per-thread progress.
+  const size_t shards = pool.num_threads();
+  const std::vector<size_t> bounds = ShardWalks(walks, total_tokens, shards);
+  std::atomic<uint64_t> global_step{0};
+  constexpr uint64_t kLrBatch = 10000;
+  // All vocab rows were just written through mutable_vector, so every row
+  // is already marked stale; the raw-pointer writes below keep the store's
+  // cache contract intact (nothing reads the caches until after training).
+  float* syn0 = input.mutable_vector(0);
 
   for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
     obs::TraceSpan epoch_span("skipgram_epoch");
     Stopwatch epoch_watch;
-    for (const auto& walk : walks) {
-      for (size_t pos = 0; pos < walk.size(); ++pos) {
-        ++step;
-        double progress =
-            static_cast<double>(step) / static_cast<double>(total_steps);
-        double lr = options_.initial_learning_rate * (1.0 - progress);
+    pool.ParallelFor(shards, [&](size_t shard) {
+      // Per-thread RNG stream: independent of other shards, reseeded per
+      // epoch so epochs do not replay identical sample sequences.
+      Rng shard_rng(MixHash64(options_.seed +
+                              0x9E3779B97F4A7C15ULL * (epoch + 1)) ^
+                    MixHash64(shard + 1));
+      std::vector<float> grad(dim);  // per-thread scratch
+      uint64_t pending = 0;          // tokens not yet published to the LR clock
+      uint64_t lr_base = global_step.load(std::memory_order_relaxed);
+      double lr = options_.initial_learning_rate;
+      auto refresh_lr = [&] {
+        double progress = static_cast<double>(lr_base + pending) /
+                          static_cast<double>(total_steps);
+        lr = options_.initial_learning_rate * (1.0 - progress);
         if (lr < options_.min_learning_rate) lr = options_.min_learning_rate;
-
-        // Dynamic window, as in word2vec: uniform in [1, window].
-        size_t reduced =
-            1 + rng.NextBounded(static_cast<uint32_t>(options_.window));
-        size_t lo = pos >= reduced ? pos - reduced : 0;
-        size_t hi = std::min(walk.size() - 1, pos + reduced);
-        WalkToken center = walk[pos];
-        float* v_in = input.mutable_vector(center);
-
-        for (size_t ctx = lo; ctx <= hi; ++ctx) {
-          if (ctx == pos) continue;
-          WalkToken context = walk[ctx];
-          std::fill(grad.begin(), grad.end(), 0.0f);
-          // One positive plus `negatives` negative samples.
-          for (size_t n = 0; n <= options_.negatives; ++n) {
-            WalkToken target;
-            double label;
-            if (n == 0) {
-              target = context;
-              label = 1.0;
-            } else {
-              target = sampler.Sample(&rng);
-              if (target == context) continue;
-              label = 0.0;
-            }
-            float* v_out = output.data() + static_cast<size_t>(target) * dim;
-            double dot = DotProduct(v_in, v_out, dim);
-            double g = (label - sigmoid(dot)) * lr;
-            // Two fused-multiply-add kernels; grad must read v_out before
-            // the v_out update, as in the original interleaved loop.
-            simd::Axpy(static_cast<float>(g), v_out, grad.data(), dim);
-            simd::Axpy(static_cast<float>(g), v_in, v_out, dim);
+      };
+      refresh_lr();
+      for (size_t wi = bounds[shard]; wi < bounds[shard + 1]; ++wi) {
+        const auto& walk = walks[wi];
+        for (size_t pos = 0; pos < walk.size(); ++pos) {
+          if (++pending >= kLrBatch) {
+            lr_base = global_step.fetch_add(pending,
+                                            std::memory_order_relaxed) +
+                      pending;
+            pending = 0;
           }
-          simd::Add(v_in, grad.data(), dim);
+          refresh_lr();
+
+          size_t reduced =
+              1 + shard_rng.NextBounded(static_cast<uint32_t>(options_.window));
+          size_t lo = pos >= reduced ? pos - reduced : 0;
+          size_t hi = std::min(walk.size() - 1, pos + reduced);
+          WalkToken center = walk[pos];
+          float* v_in = syn0 + static_cast<size_t>(center) * dim;
+
+          for (size_t ctx = lo; ctx <= hi; ++ctx) {
+            if (ctx == pos) continue;
+            WalkToken context = walk[ctx];
+            std::fill(grad.begin(), grad.end(), 0.0f);
+            for (size_t n = 0; n <= options_.negatives; ++n) {
+              WalkToken target;
+              double label;
+              if (n == 0) {
+                target = context;
+                label = 1.0;
+              } else {
+                target = sampler.Sample(&shard_rng);
+                if (target == context) continue;
+                label = 0.0;
+              }
+              float* v_out = output.data() + static_cast<size_t>(target) * dim;
+              double dot = HogwildDot(v_in, v_out, dim);
+              double g = (label - sigmoid(dot)) * lr;
+              HogwildAccumulate(static_cast<float>(g), v_out, grad.data(),
+                                dim);
+              HogwildUpdate(static_cast<float>(g), v_in, v_out, dim);
+            }
+            HogwildUpdate(1.0f, grad.data(), v_in, dim);
+          }
         }
       }
-    }
+      global_step.fetch_add(pending, std::memory_order_relaxed);
+    });
     obs::RecordSkipgramEpoch(total_tokens, epoch_watch.ElapsedSeconds());
   }
   return input;
@@ -176,12 +343,17 @@ EmbeddingStore TrainEntityEmbeddings(const KnowledgeGraph& kg,
   size_t vocab = WalkVocabularySize(kg, walk_options);
   SkipGramTrainer trainer(sg_options);
   EmbeddingStore full = trainer.Train(walks, vocab);
-  // Keep only entity rows (predicates, if any, occupy the tail of the vocab).
+  // Keep only entity rows (predicates, if any, occupy the tail of the
+  // vocab). Entity ids are the leading rows of the vocab arena, so the
+  // whole copy is one contiguous memcpy. Marking every destination row
+  // mutable first keeps the store's norm caches coherent (NormalizeAll
+  // below would re-stamp them anyway; this does not rely on that).
   EmbeddingStore entities(kg.num_entities(), full.dim());
-  for (EntityId e = 0; e < kg.num_entities(); ++e) {
-    const float* src = full.vector(e);
-    float* dst = entities.mutable_vector(e);
-    for (size_t d = 0; d < full.dim(); ++d) dst[d] = src[d];
+  for (EntityId e = 0; e < kg.num_entities(); ++e) entities.mutable_vector(e);
+  if (kg.num_entities() > 0) {
+    std::memcpy(entities.mutable_vector(0), full.vector(0),
+                static_cast<size_t>(kg.num_entities()) * full.dim() *
+                    sizeof(float));
   }
   entities.NormalizeAll();
   return entities;

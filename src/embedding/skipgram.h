@@ -11,6 +11,21 @@
 
 namespace thetis {
 
+// How SGNS training is scheduled across threads.
+enum class SgnsParallelMode {
+  // word2vec-style lock-free parallel SGD [Recht et al. 2011 "Hogwild!"]:
+  // walk shards train concurrently with unsynchronized updates to the
+  // shared syn0/syn1neg matrices, per-thread RNG streams, and a shared
+  // atomic step counter driving the learning-rate schedule. Sparse
+  // gradients make the races statistically benign; the result is
+  // run-to-run nondeterministic but converges to the same quality.
+  kHogwild,
+  // The serial reference loop, bit-identical to the single-threaded
+  // trainer regardless of num_threads. Use for tests and reproducible
+  // artifacts.
+  kDeterministic,
+};
+
 struct SkipGramOptions {
   size_t dim = 32;
   size_t window = 3;
@@ -22,13 +37,21 @@ struct SkipGramOptions {
   // word2vec).
   double unigram_power = 0.75;
   uint64_t seed = 1234;
+  // Training threads (1 = serial, 0 = hardware concurrency). With
+  // num_threads <= 1 both parallel modes run the identical serial loop, so
+  // the default configuration reproduces the single-threaded trainer bit
+  // for bit.
+  size_t num_threads = 1;
+  SgnsParallelMode parallel_mode = SgnsParallelMode::kHogwild;
 };
 
 // Skip-gram with negative sampling (word2vec SGNS), trained on token
 // sequences. Combined with GenerateWalks this reproduces the RDF2Vec
 // pipeline the paper uses to embed DBpedia entities: entities co-occurring
 // on walks (i.e. with similar graph neighbourhoods) receive cosine-close
-// vectors. Single-threaded and deterministic under the seed.
+// vectors. Deterministic under the seed in kDeterministic mode (or with
+// num_threads <= 1); kHogwild with more threads trades bit-reproducibility
+// for near-linear scaling.
 class SkipGramTrainer {
  public:
   explicit SkipGramTrainer(SkipGramOptions options = {});

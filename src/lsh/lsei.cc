@@ -1,7 +1,6 @@
 #include "lsh/lsei.h"
 
 #include <algorithm>
-#include <unordered_map>
 #include <unordered_set>
 
 #include "embedding/vector_ops.h"
@@ -9,6 +8,7 @@
 #include "obs/trace.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace thetis {
 
@@ -61,54 +61,92 @@ std::vector<uint32_t> Lsei::EntitySignature(EntityId e) const {
   return hyperplane_.Signature(embeddings_->vector(e));
 }
 
+std::vector<uint32_t> Lsei::AggregateSignature(
+    const std::vector<EntityId>& entities) const {
+  if (options_.mode == LseiMode::kTypes) {
+    // Merge all entity type sets of the group into one set (§6.2).
+    std::unordered_set<TypeId> merged;
+    for (EntityId e : entities) {
+      for (TypeId ty : FilteredTypes(e)) merged.insert(ty);
+    }
+    std::vector<TypeId> types(merged.begin(), merged.end());
+    std::sort(types.begin(), types.end());
+    return min_hasher_.Signature(TypePairShingles(types));
+  }
+  // Average the group's entity vectors.
+  std::vector<const float*> vecs;
+  vecs.reserve(entities.size());
+  for (EntityId e : entities) vecs.push_back(embeddings_->vector(e));
+  std::vector<float> mean = MeanPool(vecs, embeddings_->dim());
+  return hyperplane_.Signature(mean.data());
+}
+
 size_t Lsei::BuildEntityIndex() {
-  size_t inserted = 0;
+  obs::TraceSpan span("lsei_build");
+  Stopwatch watch;
+  // Serial pass fixes the item order (lake enumeration order, first mention
+  // wins), so the index content never depends on thread count.
+  std::vector<EntityId> fresh;
+  const size_t base = indexed_entities_.size();
   for (EntityId e : lake_->MentionedEntities()) {
-    if (!indexed_entity_set_.insert(e).second) continue;
-    uint32_t item = static_cast<uint32_t>(indexed_entities_.size());
-    indexed_entities_.push_back(e);
-    index_.Insert(item, EntitySignature(e));
-    ++inserted;
+    uint32_t item = static_cast<uint32_t>(base + fresh.size());
+    if (!entity_item_.emplace(e, item).second) continue;
+    fresh.push_back(e);
+  }
+  indexed_entities_.insert(indexed_entities_.end(), fresh.begin(),
+                           fresh.end());
+
+  // Signature pass: embarrassingly parallel (per-entity shingling/hashing
+  // over read-only state) into pre-sized slots.
+  std::vector<std::vector<uint32_t>> sigs(fresh.size());
+  ThreadPool pool(options_.num_threads);
+  pool.ParallelFor(fresh.size(), /*min_chunk=*/64, [&](size_t i) {
+    sigs[i] = EntitySignature(fresh[i]);
+  });
+
+  // Ordered insertion: bucket chains end up exactly as a serial build's.
+  entity_signatures_.reserve(base + fresh.size());
+  for (size_t i = 0; i < fresh.size(); ++i) {
+    index_.Insert(static_cast<uint32_t>(base + i), sigs[i]);
+    entity_signatures_.push_back(std::move(sigs[i]));
   }
   indexed_tables_ = lake_->corpus().size();
-  return inserted;
+  obs::RecordLseiBuild(fresh.size(), watch.ElapsedSeconds());
+  return fresh.size();
 }
 
 size_t Lsei::BuildColumnIndex() {
-  size_t inserted = 0;
+  obs::TraceSpan span("lsei_build");
+  Stopwatch watch;
   const Corpus& corpus = lake_->corpus();
+  // Serial enumeration assigns item ids in (table, column) order; the
+  // per-column entity lists are materialized here so the signature pass
+  // below only touches immutable data.
+  const size_t base = indexed_columns_.size();
+  std::vector<std::vector<EntityId>> column_entities;
   for (TableId id = static_cast<TableId>(indexed_tables_); id < corpus.size();
        ++id) {
     const Table& t = corpus.table(id);
     for (size_t c = 0; c < t.num_columns(); ++c) {
       std::vector<EntityId> entities = t.ColumnEntities(c);
       if (entities.empty()) continue;
-      std::vector<uint32_t> sig;
-      if (options_.mode == LseiMode::kTypes) {
-        // Merge all entity type sets of the column into one set (§6.2).
-        std::unordered_set<TypeId> merged;
-        for (EntityId e : entities) {
-          for (TypeId ty : FilteredTypes(e)) merged.insert(ty);
-        }
-        std::vector<TypeId> types(merged.begin(), merged.end());
-        std::sort(types.begin(), types.end());
-        sig = min_hasher_.Signature(TypePairShingles(types));
-      } else {
-        // Average the column's entity vectors.
-        std::vector<const float*> vecs;
-        vecs.reserve(entities.size());
-        for (EntityId e : entities) vecs.push_back(embeddings_->vector(e));
-        std::vector<float> mean = MeanPool(vecs, embeddings_->dim());
-        sig = hyperplane_.Signature(mean.data());
-      }
-      uint32_t item = static_cast<uint32_t>(indexed_columns_.size());
       indexed_columns_.emplace_back(id, static_cast<uint32_t>(c));
-      index_.Insert(item, sig);
-      ++inserted;
+      column_entities.push_back(std::move(entities));
     }
   }
+
+  std::vector<std::vector<uint32_t>> sigs(column_entities.size());
+  ThreadPool pool(options_.num_threads);
+  pool.ParallelFor(column_entities.size(), /*min_chunk=*/8, [&](size_t i) {
+    sigs[i] = AggregateSignature(column_entities[i]);
+  });
+
+  for (size_t i = 0; i < sigs.size(); ++i) {
+    index_.Insert(static_cast<uint32_t>(base + i), sigs[i]);
+  }
   indexed_tables_ = corpus.size();
-  return inserted;
+  obs::RecordLseiBuild(sigs.size(), watch.ElapsedSeconds());
+  return sigs.size();
 }
 
 size_t Lsei::IngestNewContent() {
@@ -133,13 +171,25 @@ std::vector<TableId> Lsei::EntityModeCandidates(
     const std::vector<EntityId>& entities, size_t votes) const {
   std::vector<TableId> result;
   for (EntityId q : entities) {
+    // Reuse the build-time signature when q is itself indexed (the common
+    // case: a query entity mentioned anywhere in the lake); only entities
+    // the lake has never seen pay for shingling/projection here.
+    std::vector<uint32_t> computed;
+    const std::vector<uint32_t>* sig;
+    auto it = entity_item_.find(q);
+    if (it != entity_item_.end()) {
+      sig = &entity_signatures_[it->second];
+    } else {
+      computed = EntitySignature(q);
+      sig = &computed;
+    }
     // Merge all matching buckets into one SET of entities, then collect the
     // bag of their tables (Section 6.2): a table's vote count equals the
     // number of distinct colliding entities it mentions, so tables sharing
     // several similar entities with the query survive higher thresholds
     // while incidental single-entity matches are pruned.
     std::vector<TableId> bag;
-    for (uint32_t item : index_.Query(EntitySignature(q))) {
+    for (uint32_t item : index_.Query(*sig)) {
       EntityId hit = indexed_entities_[item];
       const auto& tables = lake_->TablesWithEntity(hit);
       bag.insert(bag.end(), tables.begin(), tables.end());
@@ -165,23 +215,7 @@ std::vector<TableId> Lsei::ColumnModeCandidates(
       if (c < t.size() && t[c] != kNoEntity) position_entities.push_back(t[c]);
     }
     if (position_entities.empty()) continue;
-    std::vector<uint32_t> sig;
-    if (options_.mode == LseiMode::kTypes) {
-      std::unordered_set<TypeId> merged;
-      for (EntityId e : position_entities) {
-        for (TypeId ty : FilteredTypes(e)) merged.insert(ty);
-      }
-      std::vector<TypeId> types(merged.begin(), merged.end());
-      std::sort(types.begin(), types.end());
-      sig = min_hasher_.Signature(TypePairShingles(types));
-    } else {
-      std::vector<const float*> vecs;
-      for (EntityId e : position_entities) {
-        vecs.push_back(embeddings_->vector(e));
-      }
-      std::vector<float> mean = MeanPool(vecs, embeddings_->dim());
-      sig = hyperplane_.Signature(mean.data());
-    }
+    std::vector<uint32_t> sig = AggregateSignature(position_entities);
     std::vector<TableId> bag;
     for (uint32_t item : index_.Query(sig)) {
       bag.push_back(indexed_columns_[item].first);

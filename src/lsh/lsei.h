@@ -3,8 +3,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
-#include <unordered_set>
 
 #include "embedding/embedding_store.h"
 #include "lsh/band_index.h"
@@ -37,6 +37,11 @@ struct LseiOptions {
   // likewise collapse the query per column position (Section 6.2).
   bool column_aggregation = false;
   uint64_t seed = 99;
+  // Threads for the build-time signature pass (1 = serial, 0 = hardware
+  // concurrency). Signatures are computed in parallel but inserted into the
+  // band index in item order, so the built index is bit-identical to a
+  // serial build for every thread count.
+  size_t num_threads = 1;
 };
 
 // The Locality-Sensitive Entity Index: prefilters the corpus before the
@@ -76,8 +81,14 @@ class Lsei {
   size_t NumBuckets() const { return index_.NumBuckets(); }
 
  private:
-  // Signature of one entity under the configured mode.
+  // Signature of one entity under the configured mode. Thread-safe: reads
+  // only immutable lake/embedding/hasher state.
   std::vector<uint32_t> EntitySignature(EntityId e) const;
+  // Aggregated signature of a group of entities: merged (filtered) type
+  // sets in kTypes mode, mean-pooled vectors in kEmbeddings mode (§6.2).
+  // Used for both indexed table columns and collapsed query positions.
+  std::vector<uint32_t> AggregateSignature(
+      const std::vector<EntityId>& entities) const;
   // Shingle set of an entity's (filtered) type set.
   std::vector<uint64_t> EntityShingles(EntityId e) const;
   // Type set with the frequent-type filter applied.
@@ -102,10 +113,16 @@ class Lsei {
   HyperplaneHasher hyperplane_;
   BandedIndex index_;
 
-  // Entity mode: item ids index into indexed_entities_; the set mirrors the
-  // vector for O(1) duplicate checks during incremental ingest.
+  // Entity mode: item ids index into indexed_entities_; entity_item_ maps
+  // an entity back to its item, serving both duplicate detection during
+  // incremental ingest and signature reuse at query time.
   std::vector<EntityId> indexed_entities_;
-  std::unordered_set<EntityId> indexed_entity_set_;
+  std::unordered_map<EntityId, uint32_t> entity_item_;
+  // Signature of indexed_entities_[i], kept so query-time lookups of
+  // already-indexed entities skip recomputing shingles/projections and
+  // reuse the build-time signature (the common case: most query entities
+  // are mentioned somewhere in the lake).
+  std::vector<std::vector<uint32_t>> entity_signatures_;
   // Column mode: item ids index into indexed_columns_ (table, column);
   // tables below indexed_tables_ are already inserted.
   std::vector<std::pair<TableId, uint32_t>> indexed_columns_;

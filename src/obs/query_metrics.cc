@@ -81,9 +81,24 @@ struct EmbeddingMetrics {
   Counter& epochs = r.counter("thetis_skipgram_epochs_total");
   Counter& tokens = r.counter("thetis_skipgram_tokens_total");
   Histogram& epoch_latency = r.histogram("thetis_skipgram_epoch_latency_ns");
+  Histogram& sgns_throughput = r.histogram("thetis_build_sgns_tokens_per_sec");
+  Counter& walk_build_tokens = r.counter("thetis_build_walk_tokens_total");
+  Histogram& walk_throughput = r.histogram("thetis_build_walk_tokens_per_sec");
 
   static EmbeddingMetrics& Get() {
     static EmbeddingMetrics* m = new EmbeddingMetrics();
+    return *m;
+  }
+};
+
+struct BuildMetrics {
+  MetricsRegistry& r = MetricsRegistry::Global();
+  Counter& lsei_inserts = r.counter("thetis_build_lsei_inserts_total");
+  Histogram& lsei_throughput =
+      r.histogram("thetis_build_lsei_inserts_per_sec");
+
+  static BuildMetrics& Get() {
+    static BuildMetrics* m = new BuildMetrics();
     return *m;
   }
 };
@@ -165,6 +180,36 @@ void RecordSkipgramEpoch(uint64_t tokens, double seconds) {
   m.epochs.Increment();
   m.tokens.Add(tokens);
   m.epoch_latency.Record(ToNanos(seconds));
+  if (seconds > 0.0) {
+    m.sgns_throughput.Record(
+        static_cast<uint64_t>(static_cast<double>(tokens) / seconds));
+  }
+}
+
+void RecordWalkBuild(uint64_t tokens, double seconds) {
+  EmbeddingMetrics& m = EmbeddingMetrics::Get();
+  m.walk_build_tokens.Add(tokens);
+  if (seconds > 0.0) {
+    m.walk_throughput.Record(
+        static_cast<uint64_t>(static_cast<double>(tokens) / seconds));
+  }
+}
+
+void RecordLseiBuild(uint64_t inserts, double seconds) {
+  BuildMetrics& m = BuildMetrics::Get();
+  m.lsei_inserts.Add(inserts);
+  if (seconds > 0.0) {
+    m.lsei_throughput.Record(
+        static_cast<uint64_t>(static_cast<double>(inserts) / seconds));
+  }
+}
+
+void RecordEngineBuildPhase(const char* phase, double seconds) {
+  // Built once per engine construction; the by-name lookup is acceptable
+  // here and keeps the phase set open-ended.
+  MetricsRegistry::Global()
+      .histogram(std::string("thetis_build_engine_") + phase + "_latency_ns")
+      .Record(ToNanos(seconds));
 }
 
 void RecordEngineBuild(uint64_t tables, uint64_t distinct_signatures) {

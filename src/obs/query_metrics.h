@@ -26,7 +26,13 @@
 //   embedding_walks_total, embedding_walk_steps_total,
 //   skipgram_epochs_total, skipgram_tokens_total, skipgram_epoch_latency_ns;
 //   engine_builds_total, engine_tables_total,
-//   engine_distinct_signatures_total.
+//   engine_distinct_signatures_total;
+//   build_walk_tokens_total, build_walk_tokens_per_sec,
+//   build_sgns_tokens_per_sec, build_lsei_inserts_total,
+//   build_lsei_inserts_per_sec, build_engine_<phase>_latency_ns
+//     — the offline-pipeline (build_*) family; throughput histograms take
+//     one sample per build/epoch, so their distribution is across builds,
+//     not across items.
 namespace thetis::obs {
 
 #ifndef THETIS_DISABLE_OBS
@@ -53,8 +59,19 @@ void SetPoolQueueDepth(int64_t depth);
 
 // Random-walk corpus generation: `walks` walks totalling `steps` tokens.
 void RecordEmbeddingWalks(uint64_t walks, uint64_t steps);
-// One skip-gram training epoch over `tokens` center tokens.
+// One skip-gram training epoch over `tokens` center tokens. Also feeds the
+// build_sgns_tokens_per_sec throughput histogram.
 void RecordSkipgramEpoch(uint64_t tokens, double seconds);
+
+// One complete GenerateWalks pass producing `tokens` walk tokens in
+// `seconds` wall time (tokens/s throughput histogram + token counter).
+void RecordWalkBuild(uint64_t tokens, double seconds);
+// One LSEI index build (entity or column mode) of `inserts` insertions.
+void RecordLseiBuild(uint64_t inserts, double seconds);
+// One engine-construction phase ("arena", "signatures", ...); latency lands
+// in thetis_build_engine_<phase>_latency_ns. Called once per build, so the
+// by-name registry lookup is off every hot path.
+void RecordEngineBuildPhase(const char* phase, double seconds);
 
 // One SearchEngine construction over `tables` tables collapsing to
 // `distinct_signatures` distinct column signatures (the mapping cache's
@@ -78,6 +95,9 @@ inline void RecordPoolBatch(uint64_t) {}
 inline void SetPoolQueueDepth(int64_t) {}
 inline void RecordEmbeddingWalks(uint64_t, uint64_t) {}
 inline void RecordSkipgramEpoch(uint64_t, double) {}
+inline void RecordWalkBuild(uint64_t, double) {}
+inline void RecordLseiBuild(uint64_t, double) {}
+inline void RecordEngineBuildPhase(const char*, double) {}
 inline void RecordEngineBuild(uint64_t, uint64_t) {}
 inline void TraceAggregate(const char*, double) {}
 

@@ -67,6 +67,11 @@ void ThreadPool::WorkerLoop() {
 }
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  ParallelFor(n, 1, fn);
+}
+
+void ThreadPool::ParallelFor(size_t n, size_t min_chunk,
+                             const std::function<void(size_t)>& fn) {
   if (n == 0) return;
   obs::RecordPoolBatch(n);
   if (threads_.empty()) {
@@ -77,7 +82,8 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
     std::lock_guard<std::mutex> lock(mutex_);
     batch_.n = n;
     batch_.next = 0;
-    batch_.chunk = std::max<size_t>(1, n / (threads_.size() * 8));
+    batch_.chunk = std::max<size_t>(std::max<size_t>(1, min_chunk),
+                                    n / (threads_.size() * 8));
     batch_.fn = &fn;
     ++batch_.generation;
   }

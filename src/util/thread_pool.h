@@ -30,6 +30,14 @@ class ThreadPool {
   // from different threads (each index is visited exactly once).
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
+  // Same, but chunks never shrink below `min_chunk` items. The offline
+  // build passes use this when per-item work is tiny (e.g. copying one
+  // table's column slice): larger chunks keep the claim-lock and
+  // queue-depth sampling off the critical path and give each worker long
+  // contiguous runs over the shared arenas.
+  void ParallelFor(size_t n, size_t min_chunk,
+                   const std::function<void(size_t)>& fn);
+
  private:
   struct Batch {
     size_t n = 0;
