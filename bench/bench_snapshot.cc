@@ -1,0 +1,194 @@
+// Engine-snapshot persistence (src/io): what saving costs, what the file
+// weighs, and how mmap-loading compares against rebuilding the same
+// artifacts from the lake. The rebuild row constructs exactly what the
+// snapshot restores — SearchEngine (column arena + σ-class signature
+// index) plus a types-mode LSEI — so load/rebuild is an honest
+// startup-time ratio, not a comparison against the full offline pipeline
+// (which also trains embeddings and would flatter the snapshot).
+//
+// This world is deliberately types-only: no embedding training, so the
+// binary runs in seconds at the CI scale and the measured rebuild is the
+// cheapest competitor the snapshot has to beat. CI runs this at scale 0.5
+// (~1000 tables) and gates on load being at least 10x faster than the
+// rebuild; on a real lake the gap is orders of magnitude wider because
+// the mmap cost stays flat while the rebuild grows with the corpus.
+//
+// Rows (each exports a "seconds" counter, best-of-reps where repeated):
+//   Snapshot/save          SaveEngineSnapshot, plus file_mib
+//   Snapshot/load          LoadedEngine::Load with full verification
+//   Snapshot/load_noverify structural checks only (checksums skipped)
+//   Snapshot/rebuild       SearchEngine + Lsei construction from the lake
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common.h"
+#include "io/engine_snapshot.h"
+#include "util/stopwatch.h"
+
+namespace thetis::bench {
+namespace {
+
+// Types-only fixture: corpus + KG + type similarity + engine + LSEI, no
+// embeddings. Built once per binary run.
+struct SnapshotWorld {
+  benchgen::Benchmark bench;
+  std::unique_ptr<SemanticDataLake> lake;
+  std::unique_ptr<TypeJaccardSimilarity> type_sim;
+  std::unique_ptr<SearchEngine> engine;
+  std::unique_ptr<Lsei> lsei;
+  std::vector<GeneratedQuery> queries;
+  std::string path;
+};
+
+const SnapshotWorld& TheWorld() {
+  static SnapshotWorld* world = [] {
+    auto* w = new SnapshotWorld();
+    std::fprintf(stderr, "[setup] building types-only world at scale %.3f\n",
+                 BenchScale());
+    w->bench =
+        benchgen::MakeBenchmark(benchgen::PresetKind::kWt2015Like, BenchScale());
+    w->lake = std::make_unique<SemanticDataLake>(&w->bench.lake.corpus,
+                                                 &w->bench.kg.kg);
+    w->type_sim = std::make_unique<TypeJaccardSimilarity>(&w->bench.kg.kg);
+    w->engine = std::make_unique<SearchEngine>(w->lake.get(), w->type_sim.get());
+    LseiOptions lsh;
+    w->lsei = std::make_unique<Lsei>(w->lake.get(), nullptr, lsh);
+    w->queries = benchgen::MakeQueries(w->bench.kg, 5);
+    w->path = (std::filesystem::temp_directory_path() /
+               "thetis_bench_engine.snap")
+                  .string();
+    EngineSnapshotParts parts;
+    parts.lake = w->lake.get();
+    parts.engine = w->engine.get();
+    parts.lsei = w->lsei.get();
+    Status saved = SaveEngineSnapshot(w->path, parts);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "snapshot save failed: %s\n",
+                   saved.ToString().c_str());
+      std::abort();
+    }
+    std::fprintf(stderr, "[setup] done (%zu tables, snapshot %ju bytes)\n",
+                 w->bench.lake.corpus.size(),
+                 static_cast<uintmax_t>(std::filesystem::file_size(w->path)));
+    return w;
+  }();
+  return *world;
+}
+
+// The snapshot's whole reason to exist: the restored engine must answer
+// queries bit-identically to the one it was saved from.
+void CheckParity(const SnapshotWorld& w, LoadedEngine& restored) {
+  for (const auto& gq : w.queries) {
+    auto want = w.engine->Search(gq.query);
+    auto got = restored.engine().Search(gq.query);
+    bool same = want.size() == got.size();
+    for (size_t i = 0; same && i < want.size(); ++i) {
+      same = want[i].table == got[i].table && want[i].score == got[i].score;
+    }
+    if (!same) {
+      std::fprintf(stderr, "snapshot parity violation\n");
+      std::abort();
+    }
+  }
+}
+
+void SaveBench(benchmark::State& state) {
+  const SnapshotWorld& w = TheWorld();
+  const std::string path = w.path + ".save";
+  EngineSnapshotParts parts;
+  parts.lake = w.lake.get();
+  parts.engine = w.engine.get();
+  parts.lsei = w.lsei.get();
+  for (auto _ : state) {
+    double best = 0.0;
+    for (int rep = 0; rep < 3; ++rep) {
+      Stopwatch watch;
+      Status saved = SaveEngineSnapshot(path, parts);
+      double seconds = watch.ElapsedSeconds();
+      if (!saved.ok()) std::abort();
+      if (rep == 0 || seconds < best) best = seconds;
+    }
+    state.counters["seconds"] = best;
+    state.counters["file_mib"] =
+        static_cast<double>(std::filesystem::file_size(path)) / (1 << 20);
+  }
+  std::filesystem::remove(path);
+}
+
+void LoadBench(benchmark::State& state, bool verify) {
+  const SnapshotWorld& w = TheWorld();
+  LoadedEngine::Options options;
+  options.verify = verify;
+  // Parity once, outside the timed region.
+  {
+    auto loaded = LoadedEngine::Load(w.path, w.lake.get(), options);
+    if (!loaded.ok()) std::abort();
+    CheckParity(w, *loaded.value());
+  }
+  for (auto _ : state) {
+    double best = 0.0;
+    for (int rep = 0; rep < 5; ++rep) {
+      Stopwatch watch;
+      auto loaded = LoadedEngine::Load(w.path, w.lake.get(), options);
+      double seconds = watch.ElapsedSeconds();
+      if (!loaded.ok()) std::abort();
+      benchmark::DoNotOptimize(loaded.value());
+      if (rep == 0 || seconds < best) best = seconds;
+    }
+    state.counters["seconds"] = best;
+    state.counters["mapped_mib"] =
+        static_cast<double>(std::filesystem::file_size(w.path)) / (1 << 20);
+  }
+}
+
+void RebuildBench(benchmark::State& state) {
+  const SnapshotWorld& w = TheWorld();
+  for (auto _ : state) {
+    double best = 0.0;
+    for (int rep = 0; rep < 3; ++rep) {
+      Stopwatch watch;
+      SearchEngine engine(w.lake.get(), w.type_sim.get());
+      LseiOptions lsh;
+      Lsei lsei(w.lake.get(), nullptr, lsh);
+      double seconds = watch.ElapsedSeconds();
+      benchmark::DoNotOptimize(engine);
+      benchmark::DoNotOptimize(lsei);
+      if (rep == 0 || seconds < best) best = seconds;
+    }
+    state.counters["seconds"] = best;
+  }
+}
+
+void RegisterAll() {
+  benchmark::RegisterBenchmark("Snapshot/save", SaveBench)
+      ->Iterations(1)
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark("Snapshot/load", LoadBench, /*verify=*/true)
+      ->Iterations(1)
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark("Snapshot/load_noverify", LoadBench,
+                               /*verify=*/false)
+      ->Iterations(1)
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark("Snapshot/rebuild", RebuildBench)
+      ->Iterations(1)
+      ->Unit(benchmark::kMillisecond);
+}
+
+}  // namespace
+}  // namespace thetis::bench
+
+int main(int argc, char** argv) {
+  thetis::bench::RegisterAll();
+  thetis::bench::ObsExportInit(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

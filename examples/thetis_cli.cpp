@@ -10,7 +10,8 @@
 //
 //   thetis_cli search <dir> [--sim types|embeddings] [--k N]
 //              [--lsh] [--no-cache] [--no-prune] [--threads N]
-//              [--build-threads N] [--metrics-out F] [--trace-out F]
+//              [--build-threads N] [--save-engine F] [--load-engine F]
+//              [--metrics-out F] [--trace-out F]
 //              <entity label> [<entity label> ...]
 //       Semantic table search for one entity tuple; labels must exist in
 //       the persisted KG. --no-cache disables the query-scoped scoring
@@ -24,6 +25,13 @@
 //       (Prometheus text, or a JSON snapshot when F ends in .json);
 //       --trace-out enables per-stage span tracing and writes a Chrome
 //       trace-event JSON (open in chrome://tracing or Perfetto).
+//       --save-engine writes the built engine (and LSEI, when --lsh is
+//       given) to one mmap-able snapshot file after construction;
+//       --load-engine restores it instead of rebuilding — startup becomes
+//       an mmap plus validation, rankings are bit-identical, and the
+//       snapshot's similarity/LSEI configuration overrides --sim/--lsh
+//       construction (the lake directory is still required: the snapshot
+//       holds derived artifacts, not the tables themselves).
 //
 // Exit code 0 on success, 1 on user error, 2 on IO/internal error.
 
@@ -39,6 +47,7 @@
 #include "core/similarity.h"
 #include "embedding/embedding_store.h"
 #include "exec/query_executor.h"
+#include "io/engine_snapshot.h"
 #include "kg/triple_io.h"
 #include "lsh/lsei.h"
 #include "obs/metrics.h"
@@ -66,7 +75,8 @@ int Usage() {
                "  thetis_cli stats <dir>\n"
                "  thetis_cli search <dir> [--sim types|embeddings] [--k N] "
                "[--lsh] [--no-cache] [--no-prune] [--threads N] "
-               "[--build-threads N] [--metrics-out F] [--trace-out F] "
+               "[--build-threads N] [--save-engine F] [--load-engine F] "
+               "[--metrics-out F] [--trace-out F] "
                "<label> [...]\n");
   return 1;
 }
@@ -180,6 +190,8 @@ int RunSearch(const std::vector<std::string>& args) {
   size_t k = 10;
   std::string metrics_out;
   std::string trace_out;
+  std::string save_engine;
+  std::string load_engine;
   std::vector<std::string> labels;
   for (size_t i = 1; i < args.size(); ++i) {
     if (args[i] == "--sim" && i + 1 < args.size()) {
@@ -204,6 +216,10 @@ int RunSearch(const std::vector<std::string>& args) {
     } else if (args[i] == "--build-threads" && i + 1 < args.size()) {
       build_threads = static_cast<size_t>(std::atoi(args[++i].c_str()));
       if (build_threads == 0) return Fail("--build-threads must be positive");
+    } else if (args[i] == "--save-engine" && i + 1 < args.size()) {
+      save_engine = args[++i];
+    } else if (args[i] == "--load-engine" && i + 1 < args.size()) {
+      load_engine = args[++i];
     } else if (args[i] == "--metrics-out" && i + 1 < args.size()) {
       metrics_out = args[++i];
     } else if (args[i] == "--trace-out" && i + 1 < args.size()) {
@@ -240,20 +256,64 @@ int RunSearch(const std::vector<std::string>& args) {
   options.enable_cache = use_cache;
   options.enable_prune = use_prune;
   options.build_threads = build_threads;
-  SearchEngine engine(&sem,
-                      use_embeddings
-                          ? static_cast<const EntitySimilarity*>(cosine.get())
-                          : &types,
-                      options);
 
-  std::unique_ptr<Lsei> lsei;
-  if (use_lsh) {
-    LseiOptions lsh;
-    lsh.mode = use_embeddings ? LseiMode::kEmbeddings : LseiMode::kTypes;
-    lsh.num_functions = 30;
-    lsh.band_size = 10;
-    lsh.num_threads = build_threads;
-    lsei = std::make_unique<Lsei>(&sem, lake.embeddings.get(), lsh);
+  // The engine either comes back from a snapshot (mmap + validation, no
+  // offline build) or is built from the lake; either way the query path
+  // below sees one `engine` and one optional `lsei`.
+  std::unique_ptr<LoadedEngine> loaded;
+  std::unique_ptr<SearchEngine> built_engine;
+  std::unique_ptr<Lsei> built_lsei;
+  const SearchEngine* engine = nullptr;
+  const Lsei* lsei = nullptr;
+  if (!load_engine.empty()) {
+    Stopwatch load_watch;
+    LoadedEngine::Options load_options;
+    load_options.search = options;
+    auto restored = LoadedEngine::Load(load_engine, &sem, load_options);
+    if (!restored.ok()) {
+      return Fail("loading engine snapshot: " + restored.status().ToString(),
+                  2);
+    }
+    loaded = std::move(restored).value();
+    engine = &loaded->engine();
+    lsei = loaded->lsei();
+    std::printf("engine restored from %s (%.1f MiB mapped, sim=%s%s) in "
+                "%.1f ms\n",
+                load_engine.c_str(),
+                static_cast<double>(loaded->mapped_bytes()) / (1024.0 * 1024.0),
+                loaded->similarity().name().c_str(),
+                lsei != nullptr ? ", +lsei" : "", load_watch.ElapsedMillis());
+    if (use_lsh && lsei == nullptr) {
+      return Fail("snapshot has no LSEI; re-save it with --lsh");
+    }
+    if (!use_lsh) lsei = nullptr;
+  } else {
+    built_engine = std::make_unique<SearchEngine>(
+        &sem,
+        use_embeddings ? static_cast<const EntitySimilarity*>(cosine.get())
+                       : &types,
+        options);
+    engine = built_engine.get();
+    if (use_lsh) {
+      LseiOptions lsh;
+      lsh.mode = use_embeddings ? LseiMode::kEmbeddings : LseiMode::kTypes;
+      lsh.num_functions = 30;
+      lsh.band_size = 10;
+      lsh.num_threads = build_threads;
+      built_lsei = std::make_unique<Lsei>(&sem, lake.embeddings.get(), lsh);
+      lsei = built_lsei.get();
+    }
+    if (!save_engine.empty()) {
+      EngineSnapshotParts parts;
+      parts.lake = &sem;
+      parts.engine = engine;
+      parts.lsei = lsei;
+      Status s = SaveEngineSnapshot(save_engine, parts);
+      if (!s.ok()) {
+        return Fail("saving engine snapshot: " + s.ToString(), 2);
+      }
+      std::printf("engine snapshot written to %s\n", save_engine.c_str());
+    }
   }
 
   Stopwatch watch;
@@ -261,16 +321,16 @@ int RunSearch(const std::vector<std::string>& args) {
   SearchStats stats;
   if (threads > 0) {
     ThreadPool pool(threads);
-    QueryExecutor executor(&engine, &pool);
-    if (lsei) executor.EnablePrefilter(lsei.get(), /*votes=*/3);
+    QueryExecutor executor(engine, &pool);
+    if (lsei != nullptr) executor.EnablePrefilter(lsei, /*votes=*/3);
     QueryResult result = executor.Execute(query);
     hits = std::move(result.hits);
     stats = result.stats;
-  } else if (lsei) {
-    PrefilteredSearchEngine fast(&engine, lsei.get(), /*votes=*/3);
+  } else if (lsei != nullptr) {
+    PrefilteredSearchEngine fast(engine, lsei, /*votes=*/3);
     hits = fast.Search(query, &stats);
   } else {
-    hits = engine.Search(query, &stats);
+    hits = engine->Search(query, &stats);
   }
   double ms = watch.ElapsedMillis();
 

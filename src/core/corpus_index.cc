@@ -10,26 +10,30 @@ namespace thetis {
 
 void CorpusColumnArena::Build(const Corpus& corpus, ThreadPool* pool) {
   num_tables_ = corpus.size();
-  table_offsets_.clear();
-  col_offsets_.clear();
-  distinct_.clear();
-  counts_.clear();
+  std::vector<uint64_t> table_offsets;
+  std::vector<uint32_t> col_offsets;
+  std::vector<EntityId> distinct;
+  std::vector<double> counts;
 
   if (pool == nullptr || pool->num_threads() <= 1) {
-    table_offsets_.reserve(num_tables_ + 1);
-    table_offsets_.push_back(0);
+    table_offsets.reserve(num_tables_ + 1);
+    table_offsets.push_back(0);
     DedupScratch dedup;
     for (TableId id = 0; id < num_tables_; ++id) {
-      AppendTableColumns(corpus.table(id), dedup, &col_offsets_, &distinct_,
-                         &counts_);
-      table_offsets_.push_back(col_offsets_.size());
+      AppendTableColumns(corpus.table(id), dedup, &col_offsets, &distinct,
+                         &counts);
+      table_offsets.push_back(col_offsets.size());
       // Column offsets are uint32_t (shared with the per-table index); a
       // corpus whose summed per-column distinct entities overflow that is
       // beyond this layout's design envelope — fail loudly, not silently.
-      THETIS_CHECK(distinct_.size() <=
+      THETIS_CHECK(distinct.size() <=
                    std::numeric_limits<uint32_t>::max())
           << "corpus column arena exceeds uint32 offset range";
     }
+    table_offsets_ = std::move(table_offsets);
+    col_offsets_ = std::move(col_offsets);
+    distinct_ = std::move(distinct);
+    counts_ = std::move(counts);
     return;
   }
 
@@ -46,35 +50,51 @@ void CorpusColumnArena::Build(const Corpus& corpus, ThreadPool* pool) {
     fragments[id].Build(corpus.table(id), dedup);
   });
 
-  table_offsets_.resize(num_tables_ + 1);
+  table_offsets.resize(num_tables_ + 1);
   std::vector<size_t> pool_base(num_tables_ + 1);
-  table_offsets_[0] = 0;
+  table_offsets[0] = 0;
   pool_base[0] = 0;
   for (size_t id = 0; id < num_tables_; ++id) {
-    table_offsets_[id + 1] = table_offsets_[id] + fragments[id].offsets.size();
+    table_offsets[id + 1] = table_offsets[id] + fragments[id].offsets.size();
     pool_base[id + 1] = pool_base[id] + fragments[id].distinct.size();
   }
   THETIS_CHECK(pool_base[num_tables_] <=
                std::numeric_limits<uint32_t>::max())
       << "corpus column arena exceeds uint32 offset range";
 
-  col_offsets_.resize(table_offsets_[num_tables_]);
-  distinct_.resize(pool_base[num_tables_]);
-  counts_.resize(pool_base[num_tables_]);
+  col_offsets.resize(table_offsets[num_tables_]);
+  distinct.resize(pool_base[num_tables_]);
+  counts.resize(pool_base[num_tables_]);
   pool->ParallelFor(num_tables_, /*min_chunk=*/16, [&](size_t id) {
     const ColumnEntityIndex& frag = fragments[id];
     const uint32_t base = static_cast<uint32_t>(pool_base[id]);
-    uint32_t* col_out = col_offsets_.data() + table_offsets_[id];
+    uint32_t* col_out = col_offsets.data() + table_offsets[id];
     for (size_t i = 0; i < frag.offsets.size(); ++i) {
       col_out[i] = frag.offsets[i] + base;  // relative → absolute
     }
     if (!frag.distinct.empty()) {
-      std::memcpy(distinct_.data() + pool_base[id], frag.distinct.data(),
+      std::memcpy(distinct.data() + pool_base[id], frag.distinct.data(),
                   frag.distinct.size() * sizeof(EntityId));
-      std::memcpy(counts_.data() + pool_base[id], frag.counts.data(),
+      std::memcpy(counts.data() + pool_base[id], frag.counts.data(),
                   frag.counts.size() * sizeof(double));
     }
   });
+  table_offsets_ = std::move(table_offsets);
+  col_offsets_ = std::move(col_offsets);
+  distinct_ = std::move(distinct);
+  counts_ = std::move(counts);
+}
+
+CorpusColumnArena CorpusColumnArena::FromSnapshotView(
+    std::span<const uint64_t> table_offsets, std::span<const uint32_t> col_offsets,
+    std::span<const EntityId> distinct, std::span<const double> counts) {
+  CorpusColumnArena arena;
+  arena.num_tables_ = table_offsets.empty() ? 0 : table_offsets.size() - 1;
+  arena.table_offsets_ = FlatArray<uint64_t>::View(table_offsets);
+  arena.col_offsets_ = FlatArray<uint32_t>::View(col_offsets);
+  arena.distinct_ = FlatArray<EntityId>::View(distinct);
+  arena.counts_ = FlatArray<double>::View(counts);
+  return arena;
 }
 
 }  // namespace thetis

@@ -3,11 +3,13 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/column_mapping.h"
 #include "table/corpus.h"
 #include "table/table.h"
+#include "util/flat_array.h"
 
 namespace thetis {
 
@@ -28,6 +30,11 @@ class ThreadPool;
 // shared distinct_/counts_ pools. A table's full distinct-entity union is
 // therefore one contiguous pool range — the bound pass scores it with a
 // single batched σ call per query entity.
+//
+// The four pools live in FlatArrays: a freshly built arena owns them, an
+// arena restored from an engine snapshot views the mmap'd sections
+// directly (see src/io) — same layout either way, so ViewOf is oblivious
+// to the storage mode.
 class CorpusColumnArena {
  public:
   CorpusColumnArena() = default;
@@ -39,6 +46,15 @@ class CorpusColumnArena {
   // build, since both run AppendTableColumns per table and the
   // concatenation order is table-id order either way.
   void Build(const Corpus& corpus, ThreadPool* pool = nullptr);
+
+  // Reassembles an arena over externally owned pool storage (an mmap'd
+  // snapshot). The backing memory must outlive the arena; no validation
+  // beyond shape is done here — the snapshot loader has already verified
+  // checksums and cross-section consistency.
+  static CorpusColumnArena FromSnapshotView(std::span<const uint64_t> table_offsets,
+                                            std::span<const uint32_t> col_offsets,
+                                            std::span<const EntityId> distinct,
+                                            std::span<const double> counts);
 
   // Number of tables covered by the arena. Tables appended to the corpus
   // after Build (ids >= num_tables()) are not covered; callers fall back
@@ -56,12 +72,20 @@ class CorpusColumnArena {
   // Total pool size across all tables (Σ per-column distinct entities).
   size_t distinct_size() const { return distinct_.size(); }
 
+  // Flat pools, exposed for the snapshot writer.
+  std::span<const uint64_t> table_offsets() const {
+    return table_offsets_.span();
+  }
+  std::span<const uint32_t> col_offsets() const { return col_offsets_.span(); }
+  std::span<const EntityId> distinct() const { return distinct_.span(); }
+  std::span<const double> counts() const { return counts_.span(); }
+
  private:
   size_t num_tables_ = 0;
-  std::vector<size_t> table_offsets_;  // num_tables + 1, into col_offsets_
-  std::vector<uint32_t> col_offsets_;  // absolute into distinct_/counts_
-  std::vector<EntityId> distinct_;
-  std::vector<double> counts_;
+  FlatArray<uint64_t> table_offsets_;  // num_tables + 1, into col_offsets_
+  FlatArray<uint32_t> col_offsets_;    // absolute into distinct_/counts_
+  FlatArray<EntityId> distinct_;
+  FlatArray<double> counts_;
 };
 
 }  // namespace thetis

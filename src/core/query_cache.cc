@@ -1,6 +1,7 @@
 #include "core/query_cache.h"
 
 #include <algorithm>
+#include <span>
 
 #include "core/corpus_index.h"
 #include "util/thread_pool.h"
@@ -41,7 +42,7 @@ constexpr uint64_t kEntityLevel = 1ull << 40;
 // The leading column count disambiguates e.g. a 1-column table from a
 // 2-column table whose flattened pair sequences coincide.
 void FlattenClassSignature(ColumnIndexView index,
-                           const std::vector<uint32_t>& classes,
+                           std::span<const uint32_t> classes,
                            std::vector<uint64_t>* out) {
   out->clear();
   out->reserve(2 * index.DistinctCount() + index.num_columns + 1);
@@ -73,7 +74,9 @@ TableSignatureIndex BuildTableSignatureIndex(
     const CorpusColumnArena* arena, ThreadPool* pool) {
   TableSignatureIndex index;
   index.entity_classes = std::move(entity_classes);
-  index.table_signatures.reserve(corpus.size());
+  const std::span<const uint32_t> classes = index.entity_classes.span();
+  std::vector<uint32_t> table_signatures;
+  table_signatures.reserve(corpus.size());
   std::unordered_map<std::vector<uint64_t>, uint32_t, FlatHash> interned;
 
   if (pool != nullptr && pool->num_threads() > 1) {
@@ -91,13 +94,14 @@ TableSignatureIndex BuildTableSignatureIndex(
         column_index.Build(corpus.table(static_cast<TableId>(id)), dedup);
         view = column_index.View();
       }
-      FlattenClassSignature(view, index.entity_classes, &flats[id]);
+      FlattenClassSignature(view, classes, &flats[id]);
     });
     for (TableId id = 0; id < corpus.size(); ++id) {
       uint32_t next = static_cast<uint32_t>(interned.size());
       auto [it, inserted] = interned.emplace(std::move(flats[id]), next);
-      index.table_signatures.push_back(it->second);
+      table_signatures.push_back(it->second);
     }
+    index.table_signatures = std::move(table_signatures);
     index.num_distinct = interned.size();
     return index;
   }
@@ -113,11 +117,12 @@ TableSignatureIndex BuildTableSignatureIndex(
       column_index.Build(corpus.table(id), dedup);
       view = column_index.View();
     }
-    FlattenClassSignature(view, index.entity_classes, &flat);
+    FlattenClassSignature(view, classes, &flat);
     uint32_t next = static_cast<uint32_t>(interned.size());
     auto [it, inserted] = interned.emplace(flat, next);
-    index.table_signatures.push_back(it->second);
+    table_signatures.push_back(it->second);
   }
+  index.table_signatures = std::move(table_signatures);
   index.num_distinct = interned.size();
   return index;
 }
@@ -152,10 +157,9 @@ uint32_t QueryScopedCache::SignatureOf(TableId table_id,
   // keeps these ids disjoint from the precomputed dense ids (a late table
   // never aliases a precomputed signature; the miss only costs a
   // recompute).
-  static const std::vector<uint32_t> kNoClasses;
-  const std::vector<uint32_t>& classes =
-      signature_index_ != nullptr ? signature_index_->entity_classes
-                                  : kNoClasses;
+  const std::span<const uint32_t> classes =
+      signature_index_ != nullptr ? signature_index_->entity_classes.span()
+                                  : std::span<const uint32_t>{};
   std::vector<uint64_t> flat;
   FlattenClassSignature(index, classes, &flat);
   uint32_t id = 0x80000000u | static_cast<uint32_t>(signature_ids_.size());

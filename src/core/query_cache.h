@@ -2,6 +2,7 @@
 #define THETIS_CORE_QUERY_CACHE_H_
 
 #include <cstdint>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -10,6 +11,7 @@
 #include "core/similarity_memo.h"
 #include "table/corpus.h"
 #include "table/table.h"
+#include "util/flat_array.h"
 
 namespace thetis {
 
@@ -42,10 +44,11 @@ class ThreadPool;
 // built fall back to per-query interning inside the cache.
 struct TableSignatureIndex {
   // Per-entity σ-class, as returned by the similarity (empty = identity:
-  // every entity is its own class).
-  std::vector<uint32_t> entity_classes;
+  // every entity is its own class). FlatArray: owned when built here,
+  // a view over the mapping when restored from an engine snapshot.
+  FlatArray<uint32_t> entity_classes;
   // TableId → interned signature id, dense over the corpus at build time.
-  std::vector<uint32_t> table_signatures;
+  FlatArray<uint32_t> table_signatures;
   // Number of distinct signatures (the mapping cache's reuse ceiling).
   size_t num_distinct = 0;
 };

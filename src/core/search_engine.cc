@@ -72,6 +72,23 @@ SearchEngine::SearchEngine(const SemanticDataLake* lake,
   }
 }
 
+SearchEngine::SearchEngine(const SemanticDataLake* lake,
+                           const EntitySimilarity* sim, SearchOptions options,
+                           Prebuilt prebuilt)
+    : lake_(lake),
+      sim_(sim),
+      options_(options),
+      arena_(std::move(prebuilt.arena)),
+      signature_index_(std::move(prebuilt.signature_index)) {
+  THETIS_CHECK(lake != nullptr && sim != nullptr);
+  // No build phases: the arena and σ-class signature index arrive ready
+  // (typically views over an mmap'd snapshot). Only the identity candidate
+  // list is materialized here — it is trivially derivable and not worth a
+  // snapshot section.
+  all_tables_.resize(lake->corpus().size());
+  std::iota(all_tables_.begin(), all_tables_.end(), TableId{0});
+}
+
 double SearchEngine::ScoreTable(const Query& query, TableId table_id,
                                 double* mapping_seconds) const {
   return ScoreTableImpl(query, table_id, mapping_seconds, nullptr, nullptr);

@@ -130,8 +130,30 @@ class SearchEngine {
   SearchEngine(const SemanticDataLake* lake, const EntitySimilarity* sim,
                SearchOptions options = {});
 
+  // Prebuilt construction artifacts, restored from an engine snapshot
+  // (src/io) instead of being rebuilt from the corpus.
+  struct Prebuilt {
+    CorpusColumnArena arena;
+    TableSignatureIndex signature_index;
+  };
+
+  // Adopts snapshot-restored artifacts, skipping the offline build
+  // entirely. The arena/signature index typically view mmap'd memory; the
+  // mapping must outlive the engine (the snapshot loader guarantees it).
+  SearchEngine(const SemanticDataLake* lake, const EntitySimilarity* sim,
+               SearchOptions options, Prebuilt prebuilt);
+
   const SearchOptions& options() const { return options_; }
   void set_options(const SearchOptions& options) { options_ = options; }
+
+  // Construction artifacts and borrowed collaborators, exposed for the
+  // snapshot writer.
+  const CorpusColumnArena& arena() const { return arena_; }
+  const TableSignatureIndex& signature_index() const {
+    return signature_index_;
+  }
+  const EntitySimilarity* similarity() const { return sim_; }
+  const SemanticDataLake* lake() const { return lake_; }
 
   // Brute-force search over the whole corpus.
   std::vector<SearchHit> Search(const Query& query,

@@ -24,14 +24,28 @@ TypeJaccardSimilarity::TypeJaccardSimilarity(const KnowledgeGraph* kg,
     : kg_(kg), cap_(cap) {
   THETIS_CHECK(kg != nullptr);
   size_t n = kg->num_entities();
-  offsets_.reserve(n + 1);
-  offsets_.push_back(0);
+  std::vector<uint32_t> offsets;
+  std::vector<TypeId> pool;
+  offsets.reserve(n + 1);
+  offsets.push_back(0);
   for (EntityId e = 0; e < n; ++e) {
     std::vector<TypeId> types = kg->TypeSet(e, include_ancestors);
-    pool_.insert(pool_.end(), types.begin(), types.end());
-    offsets_.push_back(static_cast<uint32_t>(pool_.size()));
+    pool.insert(pool.end(), types.begin(), types.end());
+    offsets.push_back(static_cast<uint32_t>(pool.size()));
   }
-  pool_.shrink_to_fit();
+  pool.shrink_to_fit();
+  offsets_ = std::move(offsets);
+  pool_ = std::move(pool);
+}
+
+TypeJaccardSimilarity TypeJaccardSimilarity::FromSnapshotView(
+    std::span<const uint32_t> offsets, std::span<const TypeId> pool,
+    double cap) {
+  TypeJaccardSimilarity sim;
+  sim.cap_ = cap;
+  sim.offsets_ = FlatArray<uint32_t>::View(offsets);
+  sim.pool_ = FlatArray<TypeId>::View(pool);
+  return sim;
 }
 
 std::vector<uint32_t> TypeJaccardSimilarity::SigmaEquivalenceClasses() const {

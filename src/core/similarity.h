@@ -7,6 +7,7 @@
 
 #include "embedding/embedding_store.h"
 #include "kg/knowledge_graph.h"
+#include "util/flat_array.h"
 
 namespace thetis {
 
@@ -73,6 +74,15 @@ class TypeJaccardSimilarity : public EntitySimilarity {
                                  bool include_ancestors = true,
                                  double cap = 0.95);
 
+  // Reassembles a similarity over an externally owned CSR arena (an
+  // mmap'd engine snapshot; see src/io) instead of re-expanding type sets
+  // from the graph. The backing memory must outlive the similarity. The
+  // graph is not needed: scoring reads only the CSR, which the snapshot
+  // captured post-expansion.
+  static TypeJaccardSimilarity FromSnapshotView(std::span<const uint32_t> offsets,
+                                                std::span<const TypeId> pool,
+                                                double cap);
+
   double Score(EntityId a, EntityId b) const override;
   void ScoreBatch(EntityId q, const EntityId* targets, size_t count,
                   double* out) const override;
@@ -91,12 +101,21 @@ class TypeJaccardSimilarity : public EntitySimilarity {
     return {pool_.data() + offsets_[e], offsets_[e + 1] - offsets_[e]};
   }
 
+  // CSR arena + cap, exposed for the snapshot writer.
+  std::span<const uint32_t> csr_offsets() const { return offsets_.span(); }
+  std::span<const TypeId> csr_pool() const { return pool_.span(); }
+  double cap() const { return cap_; }
+
  private:
-  const KnowledgeGraph* kg_;
-  double cap_;
+  TypeJaccardSimilarity() = default;
+
+  // Null when restored from a snapshot (only the constructor reads it).
+  const KnowledgeGraph* kg_ = nullptr;
+  double cap_ = 0.95;
   // CSR arena: entity e's types live in pool_[offsets_[e], offsets_[e+1]).
-  std::vector<uint32_t> offsets_;
-  std::vector<TypeId> pool_;
+  // Owned when built from the graph, views when restored from a snapshot.
+  FlatArray<uint32_t> offsets_;
+  FlatArray<TypeId> pool_;
 };
 
 // Cosine similarity of entity embedding vectors, clamped to [0, 1]
@@ -116,6 +135,9 @@ class EmbeddingCosineSimilarity : public EntitySimilarity {
   bool PrefersDirectBatch() const override { return true; }
   size_t NumEntities() const override { return store_->size(); }
   std::string name() const override { return "embeddings"; }
+
+  // The borrowed store, exposed for the snapshot writer.
+  const EmbeddingStore* store() const { return store_; }
 
  private:
   const EmbeddingStore* store_;

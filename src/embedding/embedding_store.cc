@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "embedding/vector_ops.h"
@@ -19,7 +20,36 @@ EmbeddingStore::EmbeddingStore(size_t num_entities, size_t dim)
       norms_(num_entities, 0.0f),
       stale_(num_entities, 0) {}
 
+EmbeddingStore EmbeddingStore::FromSnapshotView(const float* data,
+                                                const float* normalized,
+                                                const float* norms,
+                                                size_t count, size_t dim) {
+  EmbeddingStore store;
+  store.dim_ = dim;
+  store.view_ = true;
+  store.view_data_ = data;
+  store.view_normalized_ = normalized;
+  store.view_norms_ = norms;
+  store.view_count_ = count;
+  return store;
+}
+
+void EmbeddingStore::Materialize() {
+  if (!view_) return;
+  data_.assign(view_data_, view_data_ + view_count_ * dim_);
+  normalized_.assign(view_normalized_, view_normalized_ + view_count_ * dim_);
+  norms_.assign(view_norms_, view_norms_ + view_count_);
+  stale_.assign(view_count_, 0);
+  num_stale_ = 0;
+  view_ = false;
+  view_data_ = nullptr;
+  view_normalized_ = nullptr;
+  view_norms_ = nullptr;
+  view_count_ = 0;
+}
+
 float* EmbeddingStore::mutable_vector(EntityId e) {
+  Materialize();
   if (e < stale_.size() && stale_[e] == 0) {
     stale_[e] = 1;
     ++num_stale_;
@@ -46,39 +76,43 @@ void EmbeddingStore::Refresh() const {
 }
 
 void EmbeddingStore::EnsureCaches() const {
+  // A viewing store has no stale rows by construction (the snapshot holds
+  // the caches pre-built); num_stale_ stays 0 until materialized.
   if (num_stale_ != 0) Refresh();
 }
 
 float EmbeddingStore::Norm(EntityId e) const {
   THETIS_CHECK(e < size());
   EnsureCaches();
-  return norms_[e];
+  return NormsData()[e];
+}
+
+const float* EmbeddingStore::NormsData() const {
+  EnsureCaches();
+  return view_ ? view_norms_ : norms_.data();
 }
 
 const float* EmbeddingStore::NormalizedRow(EntityId e) const {
   THETIS_CHECK(e < size());
-  EnsureCaches();
-  return normalized_.data() + e * dim_;
+  return NormalizedData() + e * dim_;
 }
 
 const float* EmbeddingStore::NormalizedData() const {
   EnsureCaches();
-  return normalized_.data();
+  return view_ ? view_normalized_ : normalized_.data();
 }
 
 float EmbeddingStore::Cosine(EntityId a, EntityId b) const {
   THETIS_CHECK(a < size() && b < size());
-  EnsureCaches();
-  return simd::Dot(normalized_.data() + a * dim_, normalized_.data() + b * dim_,
-                   dim_);
+  const float* base = NormalizedData();
+  return simd::Dot(base + a * dim_, base + b * dim_, dim_);
 }
 
 void EmbeddingStore::CosineBatch(EntityId q, const EntityId* targets,
                                  size_t count, float* out) const {
   THETIS_CHECK(q < size());
-  EnsureCaches();
-  simd::DotBatchGather(normalized_.data() + q * dim_, normalized_.data(), dim_,
-                       targets, count, out);
+  const float* base = NormalizedData();
+  simd::DotBatchGather(base + q * dim_, base, dim_, targets, count, out);
 }
 
 void EmbeddingStore::NormalizeAll() {
@@ -147,6 +181,8 @@ namespace {
 
 constexpr char kBinaryMagic[4] = {'T', 'E', 'M', 'B'};
 constexpr uint32_t kBinaryVersion = 1;
+constexpr uint64_t kBinaryHeaderBytes =
+    sizeof(kBinaryMagic) + sizeof(uint32_t) + 2 * sizeof(uint64_t);
 
 }  // namespace
 
@@ -160,15 +196,22 @@ Status EmbeddingStore::SaveBinary(const std::string& path) const {
             sizeof(kBinaryVersion));
   out.write(reinterpret_cast<const char*>(&count), sizeof(count));
   out.write(reinterpret_cast<const char*>(&dim), sizeof(dim));
-  out.write(reinterpret_cast<const char*>(data_.data()),
-            static_cast<std::streamsize>(data_.size() * sizeof(float)));
+  out.write(reinterpret_cast<const char*>(RawData()),
+            static_cast<std::streamsize>(count * dim * sizeof(float)));
   if (!out) return Status::IoError("write to " + path + " failed");
   return Status::Ok();
 }
 
 Result<EmbeddingStore> EmbeddingStore::LoadBinary(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
   if (!in) return Status::IoError("cannot open " + path);
+  // The header counts are untrusted input: validate them against the
+  // actual file length, with explicit overflow checks, before sizing any
+  // allocation from them.
+  const std::streamoff file_end = in.tellg();
+  if (file_end < 0) return Status::IoError("cannot stat " + path);
+  const uint64_t file_length = static_cast<uint64_t>(file_end);
+  in.seekg(0);
   char magic[4];
   uint32_t version = 0;
   uint64_t count = 0;
@@ -177,22 +220,43 @@ Result<EmbeddingStore> EmbeddingStore::LoadBinary(const std::string& path) {
   in.read(reinterpret_cast<char*>(&version), sizeof(version));
   in.read(reinterpret_cast<char*>(&count), sizeof(count));
   in.read(reinterpret_cast<char*>(&dim), sizeof(dim));
-  if (!in || std::memcmp(magic, kBinaryMagic, sizeof(magic)) != 0) {
+  if (!in || file_length < kBinaryHeaderBytes ||
+      std::memcmp(magic, kBinaryMagic, sizeof(magic)) != 0) {
     return Status::InvalidArgument(path + " is not a binary embedding file");
   }
   if (version != kBinaryVersion) {
     return Status::InvalidArgument("unsupported embedding binary version " +
                                    std::to_string(version));
   }
-  if (dim > (1ull << 24) || count > (1ull << 40) / (dim == 0 ? 1 : dim)) {
-    return Status::InvalidArgument(path + " has an implausible header");
+  // count * dim * sizeof(float) must not overflow and must equal exactly
+  // the bytes remaining after the header; a header promising more (or
+  // fewer) rows than the file holds is malformed, not "best effort".
+  const uint64_t payload = file_length - kBinaryHeaderBytes;
+  if (dim == 0 || count == 0) {
+    if (payload != 0) {
+      return Status::InvalidArgument(path +
+                                     " declares an empty store but carries " +
+                                     std::to_string(payload) + " payload bytes");
+    }
+    return EmbeddingStore(count, dim);
+  }
+  if (count > std::numeric_limits<uint64_t>::max() / dim ||
+      count * dim > std::numeric_limits<uint64_t>::max() / sizeof(float)) {
+    return Status::InvalidArgument(path +
+                                   " header overflows: count=" +
+                                   std::to_string(count) + " dim=" +
+                                   std::to_string(dim));
+  }
+  const uint64_t expected = count * dim * sizeof(float);
+  if (payload != expected) {
+    return Status::InvalidArgument(
+        path + " payload is " + std::to_string(payload) + " bytes, header " +
+        "promises " + std::to_string(expected));
   }
   EmbeddingStore store(count, dim);
   in.read(reinterpret_cast<char*>(store.data_.data()),
-          static_cast<std::streamsize>(store.data_.size() * sizeof(float)));
-  if (!in || in.gcount() !=
-                 static_cast<std::streamsize>(store.data_.size() *
-                                              sizeof(float))) {
+          static_cast<std::streamsize>(expected));
+  if (!in || in.gcount() != static_cast<std::streamsize>(expected)) {
     return Status::InvalidArgument(path + " truncated embedding data");
   }
   // Rows were written straight into data_, bypassing mutable_vector: mark

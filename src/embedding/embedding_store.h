@@ -32,17 +32,37 @@ namespace thetis {
 // via NormalizeAll/FromText/LoadBinary, which leave the caches clean)
 // before sharing the store across query workers. All read-only use after
 // that point is thread-safe.
+//
+// Storage modes: a store built or loaded through the classic paths owns
+// its arenas; FromSnapshotView builds a store whose raw rows, normalized
+// rows and norms are views straight into an mmap'd engine snapshot (see
+// src/io) — no copy, no renormalization, caches permanently clean. The
+// first mutable_vector call on a viewing store materializes an owned copy
+// (copy-on-write), after which the cache contract above applies unchanged.
 class EmbeddingStore {
  public:
   EmbeddingStore() : dim_(0) {}
   EmbeddingStore(size_t num_entities, size_t dim);
 
-  size_t dim() const { return dim_; }
-  size_t size() const { return dim_ == 0 ? 0 : data_.size() / dim_; }
+  // View over externally owned arenas (pre-normalized snapshot sections).
+  // All three spans' backing memory must outlive the store; `normalized`
+  // and `data` are count*dim floats, `norms` count floats.
+  static EmbeddingStore FromSnapshotView(const float* data,
+                                         const float* normalized,
+                                         const float* norms, size_t count,
+                                         size_t dim);
 
-  const float* vector(EntityId e) const { return data_.data() + e * dim_; }
+  size_t dim() const { return dim_; }
+  size_t size() const {
+    if (view_) return view_count_;
+    return dim_ == 0 ? 0 : data_.size() / dim_;
+  }
+  bool is_view() const { return view_; }
+
+  const float* vector(EntityId e) const { return RawData() + e * dim_; }
   // Grants write access to row e and marks its cached norm + normalized row
-  // stale (see the cache contract above).
+  // stale (see the cache contract above). On a snapshot-viewing store this
+  // first materializes an owned copy of all three arenas.
   float* mutable_vector(EntityId e);
 
   // Cosine similarity between two entity vectors, in [-1, 1]; 0 when either
@@ -64,6 +84,14 @@ class EmbeddingStore {
   // Base of the normalized arena (row-major, size() x dim()); rebuilds any
   // stale rows first.
   const float* NormalizedData() const;
+
+  // Base of the raw row arena (row-major, size() x dim()) and the norm
+  // table; used by the snapshot writer. NormsData rebuilds stale rows
+  // first, like every cache read.
+  const float* RawData() const {
+    return view_ ? view_data_ : data_.data();
+  }
+  const float* NormsData() const;
 
   // Rebuilds all stale cache rows now. Idempotent; call after a batch of
   // mutable_vector writes and before concurrent reads.
@@ -89,6 +117,9 @@ class EmbeddingStore {
  private:
   // Recomputes norms_/normalized_ for every stale row.
   void Refresh() const;
+  // Copies viewed arenas into owned storage (no-op when already owned).
+  // The copied caches are valid, so no rows go stale.
+  void Materialize();
 
   size_t dim_;
   std::vector<float> data_;
@@ -97,6 +128,13 @@ class EmbeddingStore {
   mutable std::vector<float> norms_;
   mutable std::vector<uint8_t> stale_;
   mutable size_t num_stale_ = 0;
+  // Snapshot-view mode (see class comment). When view_ is set the vectors
+  // above are empty and all reads go through these pointers.
+  bool view_ = false;
+  const float* view_data_ = nullptr;
+  const float* view_normalized_ = nullptr;
+  const float* view_norms_ = nullptr;
+  size_t view_count_ = 0;
 };
 
 }  // namespace thetis

@@ -1,0 +1,466 @@
+#include "io/engine_snapshot.h"
+
+#include <algorithm>
+#include <cstring>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "io/snapshot_format.h"
+#include "io/snapshot_writer.h"
+#include "obs/query_metrics.h"
+#include "obs/trace.h"
+#include "util/stopwatch.h"
+
+namespace thetis {
+
+namespace {
+
+template <typename T>
+bool IsMonotone(std::span<const T> v) {
+  for (size_t i = 1; i < v.size(); ++i) {
+    if (v[i] < v[i - 1]) return false;
+  }
+  return true;
+}
+
+Status ShapeError(const std::string& what) {
+  return Status::InvalidArgument("engine snapshot is inconsistent: " + what);
+}
+
+Status LakeMismatch(const std::string& what) {
+  return Status::FailedPrecondition(
+      "engine snapshot was built over a different lake: " + what);
+}
+
+}  // namespace
+
+Status SaveEngineSnapshot(const std::string& path,
+                          const EngineSnapshotParts& parts) {
+  if (parts.lake == nullptr || parts.engine == nullptr) {
+    return Status::InvalidArgument(
+        "SaveEngineSnapshot needs a lake and an engine");
+  }
+  Stopwatch watch;
+  const SemanticDataLake& lake = *parts.lake;
+  const SearchEngine& engine = *parts.engine;
+
+  const auto* type_sim =
+      dynamic_cast<const TypeJaccardSimilarity*>(engine.similarity());
+  const auto* cosine_sim =
+      dynamic_cast<const EmbeddingCosineSimilarity*>(engine.similarity());
+  if (type_sim == nullptr && cosine_sim == nullptr) {
+    return Status::InvalidArgument(
+        "cannot snapshot an engine scoring through unsupported similarity '" +
+        engine.similarity()->name() + "'");
+  }
+  const EmbeddingStore* embeddings = parts.embeddings;
+  if (cosine_sim != nullptr) {
+    if (embeddings != nullptr && embeddings != cosine_sim->store()) {
+      return Status::InvalidArgument(
+          "parts.embeddings is not the store the engine's cosine similarity "
+          "scores through; the snapshot would not round-trip");
+    }
+    embeddings = cosine_sim->store();
+  }
+  if (parts.lsei != nullptr &&
+      parts.lsei->options().mode == LseiMode::kEmbeddings &&
+      embeddings == nullptr) {
+    return Status::InvalidArgument(
+        "an embeddings-mode LSEI needs parts.embeddings in the snapshot");
+  }
+
+  const CorpusColumnArena& arena = engine.arena();
+  const TableSignatureIndex& signatures = engine.signature_index();
+  const bool has_signatures = signatures.table_signatures.size() > 0;
+
+  SnapshotMeta meta;
+  std::memset(&meta, 0, sizeof(meta));
+  meta.corpus_tables = lake.corpus().size();
+  meta.kg_entities = lake.kg().num_entities();
+  meta.mentioned_entities = lake.MentionedEntities().size();
+  meta.sim_kind = type_sim != nullptr ? 0 : 1;
+  meta.has_embeddings = embeddings != nullptr ? 1 : 0;
+  meta.has_signature_index = has_signatures ? 1 : 0;
+  meta.has_lsei = parts.lsei != nullptr ? 1 : 0;
+  meta.type_cap = type_sim != nullptr ? type_sim->cap() : 0.0;
+  if (embeddings != nullptr) {
+    meta.embedding_count = embeddings->size();
+    meta.embedding_dim = embeddings->dim();
+  }
+  meta.arena_tables = arena.num_tables();
+  meta.signature_num_distinct = signatures.num_distinct;
+  if (parts.lsei != nullptr) {
+    const LseiOptions& lopts = parts.lsei->options();
+    meta.lsei_mode = lopts.mode == LseiMode::kEmbeddings ? 1 : 0;
+    meta.lsei_column_aggregation = lopts.column_aggregation ? 1 : 0;
+    meta.lsei_num_functions = lopts.num_functions;
+    meta.lsei_band_size = lopts.band_size;
+    meta.lsei_max_type_table_fraction = lopts.max_type_table_fraction;
+    meta.lsei_include_type_ancestors = lopts.include_type_ancestors ? 1 : 0;
+    meta.lsei_seed = lopts.seed;
+    meta.lsei_num_items = parts.lsei->num_items();
+    meta.lsei_indexed_tables = parts.lsei->indexed_tables();
+  }
+
+  SnapshotWriter writer(path);
+  THETIS_RETURN_NOT_OK(
+      writer.AppendSection(SectionKind::kMeta, &meta, sizeof(meta)));
+
+  if (embeddings != nullptr) {
+    embeddings->EnsureCaches();
+    const size_t floats = embeddings->size() * embeddings->dim();
+    THETIS_RETURN_NOT_OK(writer.AppendArray<float>(
+        SectionKind::kEmbeddingData, {embeddings->RawData(), floats}));
+    THETIS_RETURN_NOT_OK(writer.AppendArray<float>(
+        SectionKind::kEmbeddingNormalized,
+        {embeddings->NormalizedData(), floats}));
+    THETIS_RETURN_NOT_OK(writer.AppendArray<float>(
+        SectionKind::kEmbeddingNorms,
+        {embeddings->NormsData(), embeddings->size()}));
+  }
+  if (type_sim != nullptr) {
+    THETIS_RETURN_NOT_OK(writer.AppendArray<uint32_t>(
+        SectionKind::kTypeCsrOffsets, type_sim->csr_offsets()));
+    THETIS_RETURN_NOT_OK(writer.AppendArray<TypeId>(SectionKind::kTypeCsrPool,
+                                                    type_sim->csr_pool()));
+  }
+
+  THETIS_RETURN_NOT_OK(writer.AppendArray<uint64_t>(
+      SectionKind::kArenaTableOffsets, arena.table_offsets()));
+  THETIS_RETURN_NOT_OK(writer.AppendArray<uint32_t>(
+      SectionKind::kArenaColOffsets, arena.col_offsets()));
+  THETIS_RETURN_NOT_OK(writer.AppendArray<EntityId>(SectionKind::kArenaDistinct,
+                                                    arena.distinct()));
+  THETIS_RETURN_NOT_OK(
+      writer.AppendArray<double>(SectionKind::kArenaCounts, arena.counts()));
+
+  if (has_signatures) {
+    THETIS_RETURN_NOT_OK(writer.AppendArray<uint32_t>(
+        SectionKind::kSigEntityClasses, signatures.entity_classes.span()));
+    THETIS_RETURN_NOT_OK(writer.AppendArray<uint32_t>(
+        SectionKind::kSigTableSignatures, signatures.table_signatures.span()));
+  }
+
+  if (parts.lsei != nullptr) {
+    const Lsei& lsei = *parts.lsei;
+    const std::vector<uint64_t> entity_items = lsei.PackedEntityItems();
+    const BandedIndex::FrozenBands bands = lsei.band_index().Freeze();
+    THETIS_RETURN_NOT_OK(writer.AppendArray<EntityId>(
+        SectionKind::kLseiEntities, lsei.indexed_entities()));
+    THETIS_RETURN_NOT_OK(writer.AppendArray<uint64_t>(
+        SectionKind::kLseiEntityItems,
+        std::span<const uint64_t>(entity_items)));
+    THETIS_RETURN_NOT_OK(writer.AppendArray<uint32_t>(
+        SectionKind::kLseiSignatures, lsei.entity_signatures_flat()));
+    THETIS_RETURN_NOT_OK(writer.AppendArray<uint64_t>(
+        SectionKind::kLseiColumns, lsei.indexed_columns_packed()));
+    THETIS_RETURN_NOT_OK(writer.AppendArray<uint64_t>(
+        SectionKind::kLseiBandGroupOffsets,
+        std::span<const uint64_t>(bands.group_offsets)));
+    THETIS_RETURN_NOT_OK(writer.AppendArray<uint64_t>(
+        SectionKind::kLseiBandKeys, std::span<const uint64_t>(bands.keys)));
+    THETIS_RETURN_NOT_OK(writer.AppendArray<uint64_t>(
+        SectionKind::kLseiBandItemOffsets,
+        std::span<const uint64_t>(bands.item_offsets)));
+    THETIS_RETURN_NOT_OK(writer.AppendArray<uint32_t>(
+        SectionKind::kLseiBandItems, std::span<const uint32_t>(bands.items)));
+  }
+
+  THETIS_RETURN_NOT_OK(writer.AppendArray<EntityId>(
+      SectionKind::kMentionedEntities,
+      std::span<const EntityId>(lake.MentionedEntities())));
+
+  std::vector<uint64_t> name_offsets;
+  std::string name_bytes;
+  name_offsets.reserve(lake.corpus().size() + 1);
+  name_offsets.push_back(0);
+  for (size_t t = 0; t < lake.corpus().size(); ++t) {
+    name_bytes += lake.corpus().table(static_cast<TableId>(t)).name();
+    name_offsets.push_back(name_bytes.size());
+  }
+  THETIS_RETURN_NOT_OK(writer.AppendArray<uint64_t>(
+      SectionKind::kTableNameOffsets, std::span<const uint64_t>(name_offsets)));
+  THETIS_RETURN_NOT_OK(writer.AppendSection(
+      SectionKind::kTableNameBytes, name_bytes.data(), name_bytes.size()));
+
+  THETIS_RETURN_NOT_OK(writer.Finish());
+  obs::RecordSnapshotSave(writer.bytes_written(), watch.ElapsedSeconds());
+  return Status::Ok();
+}
+
+// Pulls a typed section span or returns its status. Local to Load; the
+// verbosity of 20 hand-rolled Result unwraps would bury the checks that
+// matter.
+#define THETIS_LOAD_ARRAY(var, T, kind)                \
+  auto var##_result = reader.Array<T>(kind);           \
+  if (!var##_result.ok()) return var##_result.status(); \
+  std::span<const T> var = var##_result.value()
+
+Result<std::unique_ptr<LoadedEngine>> LoadedEngine::Load(
+    const std::string& path, const SemanticDataLake* lake,
+    const Options& options) {
+  if (lake == nullptr) {
+    return Status::InvalidArgument("LoadedEngine::Load needs a lake");
+  }
+  obs::TraceSpan span("snapshot_load");
+  Stopwatch watch;
+
+  SnapshotReader::Options reader_options;
+  reader_options.verify_checksums = options.verify;
+  Result<SnapshotReader> opened = SnapshotReader::Open(path, reader_options);
+  if (!opened.ok()) return opened.status();
+
+  std::unique_ptr<LoadedEngine> loaded(new LoadedEngine());
+  loaded->reader_ =
+      std::make_unique<SnapshotReader>(std::move(opened).value());
+  const SnapshotReader& reader = *loaded->reader_;
+
+  Result<const SnapshotMeta*> meta_result = reader.Meta();
+  if (!meta_result.ok()) return meta_result.status();
+  const SnapshotMeta& meta = *meta_result.value();
+
+  // Lake fingerprint: the snapshot persists artifacts *derived from* the
+  // lake, so the live lake must be the one they were derived from.
+  if (meta.corpus_tables != lake->corpus().size()) {
+    return LakeMismatch("snapshot corpus has " +
+                        std::to_string(meta.corpus_tables) +
+                        " tables, live corpus has " +
+                        std::to_string(lake->corpus().size()));
+  }
+  if (meta.kg_entities != lake->kg().num_entities()) {
+    return LakeMismatch("snapshot KG has " +
+                        std::to_string(meta.kg_entities) +
+                        " entities, live KG has " +
+                        std::to_string(lake->kg().num_entities()));
+  }
+  const std::vector<EntityId>& mentioned = lake->MentionedEntities();
+  if (meta.mentioned_entities != mentioned.size()) {
+    return LakeMismatch("mentioned-entity counts differ");
+  }
+  {
+    THETIS_LOAD_ARRAY(snap_mentioned, EntityId,
+                      SectionKind::kMentionedEntities);
+    if (snap_mentioned.size() != mentioned.size() ||
+        (!mentioned.empty() &&
+         std::memcmp(snap_mentioned.data(), mentioned.data(),
+                     mentioned.size() * sizeof(EntityId)) != 0)) {
+      return LakeMismatch("mentioned-entity sets differ");
+    }
+  }
+  {
+    THETIS_LOAD_ARRAY(name_offsets, uint64_t, SectionKind::kTableNameOffsets);
+    auto bytes_result = reader.Section(SectionKind::kTableNameBytes);
+    if (!bytes_result.ok()) return bytes_result.status();
+    std::span<const uint8_t> name_bytes = bytes_result.value();
+    if (name_offsets.size() != meta.corpus_tables + 1 ||
+        name_offsets.front() != 0 ||
+        name_offsets.back() != name_bytes.size() ||
+        !IsMonotone(name_offsets)) {
+      return ShapeError("table-name offsets do not cover the name pool");
+    }
+    for (size_t t = 0; t < meta.corpus_tables; ++t) {
+      const std::string_view name(
+          reinterpret_cast<const char*>(name_bytes.data()) + name_offsets[t],
+          name_offsets[t + 1] - name_offsets[t]);
+      if (name != lake->corpus().table(static_cast<TableId>(t)).name()) {
+        return LakeMismatch("table " + std::to_string(t) + " is named '" +
+                            lake->corpus().table(static_cast<TableId>(t))
+                                .name() +
+                            "' in the live corpus but '" + std::string(name) +
+                            "' in the snapshot");
+      }
+    }
+  }
+
+  // Embeddings first: both similarity kinds and the LSEI may view them.
+  if (meta.has_embeddings != 0) {
+    THETIS_LOAD_ARRAY(emb_data, float, SectionKind::kEmbeddingData);
+    THETIS_LOAD_ARRAY(emb_normalized, float,
+                      SectionKind::kEmbeddingNormalized);
+    THETIS_LOAD_ARRAY(emb_norms, float, SectionKind::kEmbeddingNorms);
+    const uint64_t count = meta.embedding_count;
+    const uint64_t dim = meta.embedding_dim;
+    if ((count > 0 && dim == 0) ||
+        (dim > 0 && count > SIZE_MAX / dim)) {
+      return ShapeError("embedding count x dim overflows");
+    }
+    const size_t floats = static_cast<size_t>(count * dim);
+    if (emb_data.size() != floats || emb_normalized.size() != floats ||
+        emb_norms.size() != count) {
+      return ShapeError("embedding sections do not match count x dim");
+    }
+    loaded->embeddings_ =
+        std::make_unique<EmbeddingStore>(EmbeddingStore::FromSnapshotView(
+            emb_data.data(), emb_normalized.data(), emb_norms.data(),
+            static_cast<size_t>(count), static_cast<size_t>(dim)));
+  }
+
+  if (meta.sim_kind == 0) {
+    THETIS_LOAD_ARRAY(csr_offsets, uint32_t, SectionKind::kTypeCsrOffsets);
+    THETIS_LOAD_ARRAY(csr_pool, TypeId, SectionKind::kTypeCsrPool);
+    if (csr_offsets.size() != meta.kg_entities + 1 ||
+        csr_offsets.front() != 0 || csr_offsets.back() != csr_pool.size()) {
+      return ShapeError("type CSR offsets do not cover the pool");
+    }
+    if (options.verify && !IsMonotone(csr_offsets)) {
+      return ShapeError("type CSR offsets are not monotone");
+    }
+    loaded->type_sim_ = std::make_unique<TypeJaccardSimilarity>(
+        TypeJaccardSimilarity::FromSnapshotView(csr_offsets, csr_pool,
+                                                meta.type_cap));
+    loaded->sim_ = loaded->type_sim_.get();
+  } else if (meta.sim_kind == 1) {
+    if (loaded->embeddings_ == nullptr) {
+      return ShapeError(
+          "cosine similarity requires embedding sections, which are absent");
+    }
+    loaded->cosine_sim_ = std::make_unique<EmbeddingCosineSimilarity>(
+        loaded->embeddings_.get());
+    loaded->sim_ = loaded->cosine_sim_.get();
+  } else {
+    return ShapeError("unknown similarity kind " +
+                      std::to_string(meta.sim_kind));
+  }
+
+  SearchEngine::Prebuilt prebuilt;
+  {
+    THETIS_LOAD_ARRAY(table_offsets, uint64_t,
+                      SectionKind::kArenaTableOffsets);
+    THETIS_LOAD_ARRAY(col_offsets, uint32_t, SectionKind::kArenaColOffsets);
+    THETIS_LOAD_ARRAY(distinct, EntityId, SectionKind::kArenaDistinct);
+    THETIS_LOAD_ARRAY(counts, double, SectionKind::kArenaCounts);
+    if (meta.arena_tables > meta.corpus_tables ||
+        table_offsets.size() != meta.arena_tables + 1 ||
+        table_offsets.front() != 0 ||
+        table_offsets.back() != col_offsets.size() ||
+        distinct.size() != counts.size() ||
+        (!col_offsets.empty() && (col_offsets.front() != 0 ||
+                                  col_offsets.back() != distinct.size()))) {
+      return ShapeError("column-arena sections are mutually inconsistent");
+    }
+    if (options.verify &&
+        (!IsMonotone(table_offsets) || !IsMonotone(col_offsets))) {
+      return ShapeError("column-arena offsets are not monotone");
+    }
+    prebuilt.arena = CorpusColumnArena::FromSnapshotView(
+        table_offsets, col_offsets, distinct, counts);
+  }
+  if (meta.has_signature_index != 0) {
+    THETIS_LOAD_ARRAY(entity_classes, uint32_t,
+                      SectionKind::kSigEntityClasses);
+    THETIS_LOAD_ARRAY(table_signatures, uint32_t,
+                      SectionKind::kSigTableSignatures);
+    if ((entity_classes.size() != 0 &&
+         entity_classes.size() != meta.kg_entities) ||
+        table_signatures.size() != meta.arena_tables) {
+      return ShapeError("signature-index sections have the wrong shape");
+    }
+    prebuilt.signature_index.entity_classes =
+        FlatArray<uint32_t>::View(entity_classes);
+    prebuilt.signature_index.table_signatures =
+        FlatArray<uint32_t>::View(table_signatures);
+    prebuilt.signature_index.num_distinct = meta.signature_num_distinct;
+  }
+  loaded->engine_ = std::make_unique<SearchEngine>(
+      lake, loaded->sim_, options.search, std::move(prebuilt));
+
+  if (meta.has_lsei != 0) {
+    // Guard the aborting invariants of the Lsei/BandedIndex constructors:
+    // a corrupt meta must surface as a Status, never a process abort.
+    if (meta.lsei_num_functions == 0 || meta.lsei_band_size == 0 ||
+        meta.lsei_band_size > meta.lsei_num_functions) {
+      return ShapeError("LSEI band configuration is invalid");
+    }
+    if (meta.lsei_mode > 1 ||
+        (meta.lsei_mode == 1 && loaded->embeddings_ == nullptr)) {
+      return ShapeError("LSEI mode is invalid or missing its embeddings");
+    }
+    LseiOptions lsei_options;
+    lsei_options.mode =
+        meta.lsei_mode == 1 ? LseiMode::kEmbeddings : LseiMode::kTypes;
+    lsei_options.num_functions =
+        static_cast<size_t>(meta.lsei_num_functions);
+    lsei_options.band_size = static_cast<size_t>(meta.lsei_band_size);
+    lsei_options.max_type_table_fraction = meta.lsei_max_type_table_fraction;
+    lsei_options.include_type_ancestors =
+        meta.lsei_include_type_ancestors != 0;
+    lsei_options.column_aggregation = meta.lsei_column_aggregation != 0;
+    lsei_options.seed = meta.lsei_seed;
+
+    LseiSnapshotParts parts;
+    {
+      THETIS_LOAD_ARRAY(lsei_entities, EntityId, SectionKind::kLseiEntities);
+      THETIS_LOAD_ARRAY(lsei_entity_items, uint64_t,
+                        SectionKind::kLseiEntityItems);
+      THETIS_LOAD_ARRAY(lsei_signatures, uint32_t,
+                        SectionKind::kLseiSignatures);
+      THETIS_LOAD_ARRAY(lsei_columns, uint64_t, SectionKind::kLseiColumns);
+      THETIS_LOAD_ARRAY(band_group_offsets, uint64_t,
+                        SectionKind::kLseiBandGroupOffsets);
+      THETIS_LOAD_ARRAY(band_keys, uint64_t, SectionKind::kLseiBandKeys);
+      THETIS_LOAD_ARRAY(band_item_offsets, uint64_t,
+                        SectionKind::kLseiBandItemOffsets);
+      THETIS_LOAD_ARRAY(band_items, uint32_t, SectionKind::kLseiBandItems);
+
+      const uint64_t num_items = meta.lsei_num_items;
+      if (lsei_options.column_aggregation) {
+        if (lsei_columns.size() != num_items) {
+          return ShapeError("LSEI column list does not match its item count");
+        }
+      } else {
+        if (lsei_entities.size() != num_items ||
+            lsei_entity_items.size() != num_items ||
+            num_items > SIZE_MAX / lsei_options.num_functions ||
+            lsei_signatures.size() !=
+                num_items * lsei_options.num_functions) {
+          return ShapeError("LSEI entity sections do not match its item "
+                            "count x signature width");
+        }
+      }
+      const size_t num_bands = std::max<size_t>(
+          1, lsei_options.num_functions / lsei_options.band_size);
+      if (band_group_offsets.size() != num_bands + 1 ||
+          band_group_offsets.front() != 0 ||
+          band_group_offsets.back() != band_keys.size() ||
+          band_item_offsets.size() != band_keys.size() + 1 ||
+          band_item_offsets.front() != 0 ||
+          band_item_offsets.back() != band_items.size()) {
+        return ShapeError("LSEI band sections are mutually inconsistent");
+      }
+      if (options.verify) {
+        if (!IsMonotone(band_group_offsets) ||
+            !IsMonotone(band_item_offsets) ||
+            !IsMonotone(lsei_entity_items)) {
+          return ShapeError("LSEI band offsets are not monotone");
+        }
+        for (uint32_t item : band_items) {
+          if (item >= num_items) {
+            return ShapeError("LSEI band bucket references item " +
+                              std::to_string(item) + " of " +
+                              std::to_string(num_items));
+          }
+        }
+      }
+      parts.indexed_entities = lsei_entities;
+      parts.entity_items = lsei_entity_items;
+      parts.entity_signatures = lsei_signatures;
+      parts.indexed_columns = lsei_columns;
+      parts.indexed_tables = static_cast<size_t>(meta.lsei_indexed_tables);
+      parts.num_items = static_cast<size_t>(num_items);
+      parts.band_group_offsets = band_group_offsets;
+      parts.band_keys = band_keys;
+      parts.band_item_offsets = band_item_offsets;
+      parts.band_items = band_items;
+    }
+    loaded->lsei_ = std::make_unique<Lsei>(Lsei::FromSnapshot(
+        lake, loaded->embeddings_.get(), lsei_options, parts));
+  }
+
+  obs::RecordSnapshotLoad(reader.mapped_bytes(), watch.ElapsedSeconds());
+  return loaded;
+}
+
+#undef THETIS_LOAD_ARRAY
+
+}  // namespace thetis

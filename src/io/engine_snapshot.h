@@ -1,0 +1,98 @@
+#ifndef THETIS_IO_ENGINE_SNAPSHOT_H_
+#define THETIS_IO_ENGINE_SNAPSHOT_H_
+
+#include <memory>
+#include <string>
+
+#include "core/search_engine.h"
+#include "core/similarity.h"
+#include "embedding/embedding_store.h"
+#include "io/snapshot_reader.h"
+#include "lsh/lsei.h"
+#include "semantic/semantic_data_lake.h"
+#include "util/status.h"
+
+namespace thetis {
+
+// What goes into one engine snapshot. `lake` and `engine` are required;
+// `lsei` is optional. `embeddings` is optional and usually unnecessary —
+// when the engine scores through an EmbeddingCosineSimilarity its store is
+// picked up automatically; set it only to persist embeddings alongside a
+// types-mode engine (e.g. for an embeddings-mode LSEI).
+struct EngineSnapshotParts {
+  const SemanticDataLake* lake = nullptr;
+  const SearchEngine* engine = nullptr;
+  const EmbeddingStore* embeddings = nullptr;
+  const Lsei* lsei = nullptr;
+};
+
+// Writes every offline-build artifact of `parts` into one relocatable,
+// checksummed snapshot file (see snapshot_format.h for the layout). The
+// lake itself is not persisted — only a fingerprint of it, which Load
+// validates — so a snapshot is paired with the corpus/KG inputs it was
+// built over, not a replacement for them.
+Status SaveEngineSnapshot(const std::string& path,
+                          const EngineSnapshotParts& parts);
+
+// An engine restored from a snapshot: the mmap'd file plus every object
+// viewing it, with lifetimes tied together (the mapping outlives all
+// views). Load performs zero deserialization — the arena, signature index,
+// CSR similarity, embeddings and frozen LSEI all read the mapping in
+// place, so startup cost is the mmap plus validation, and concurrent
+// processes loading the same file share one page-cache copy.
+class LoadedEngine {
+ public:
+  struct Options {
+    // Query-time options of the restored engine. Cache/prune/parallel
+    // settings are query-time-only toggles: any combination returns
+    // bit-identical rankings to the engine the snapshot was saved from.
+    SearchOptions search;
+    // Forwarded to SnapshotReader: verify per-section checksums and run
+    // the deep structural scans (offset monotonicity, index bounds) at
+    // load. Turning this off skips the full-file passes — fastest start,
+    // lazy page-in — and is safe for snapshots from a trusted local
+    // build; structural header/bounds validation still always runs.
+    bool verify = true;
+  };
+
+  // Maps `path` and reassembles the engine over the mapping. The lake is
+  // the live one the snapshot's artifacts were derived from; a fingerprint
+  // mismatch (different table count, KG size, mentioned-entity set or
+  // table names) fails with FailedPrecondition. Corrupt or truncated
+  // files fail with InvalidArgument — never UB — at open time.
+  static Result<std::unique_ptr<LoadedEngine>> Load(
+      const std::string& path, const SemanticDataLake* lake,
+      const Options& options);
+  static Result<std::unique_ptr<LoadedEngine>> Load(
+      const std::string& path, const SemanticDataLake* lake) {
+    return Load(path, lake, Options());
+  }
+
+  const SearchEngine& engine() const { return *engine_; }
+  SearchEngine* mutable_engine() { return engine_.get(); }
+  const EntitySimilarity& similarity() const { return *sim_; }
+
+  // Null when the snapshot carried no embeddings / no LSEI.
+  const EmbeddingStore* embeddings() const { return embeddings_.get(); }
+  const Lsei* lsei() const { return lsei_.get(); }
+
+  uint64_t mapped_bytes() const { return reader_->mapped_bytes(); }
+  const SnapshotReader& reader() const { return *reader_; }
+
+ private:
+  LoadedEngine() = default;
+
+  // Declaration order is load order and reverse destruction order: the
+  // reader (owning the mapping) dies last, after everything viewing it.
+  std::unique_ptr<SnapshotReader> reader_;
+  std::unique_ptr<EmbeddingStore> embeddings_;
+  std::unique_ptr<TypeJaccardSimilarity> type_sim_;
+  std::unique_ptr<EmbeddingCosineSimilarity> cosine_sim_;
+  const EntitySimilarity* sim_ = nullptr;
+  std::unique_ptr<SearchEngine> engine_;
+  std::unique_ptr<Lsei> lsei_;
+};
+
+}  // namespace thetis
+
+#endif  // THETIS_IO_ENGINE_SNAPSHOT_H_

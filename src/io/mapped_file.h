@@ -1,0 +1,37 @@
+#ifndef THETIS_IO_MAPPED_FILE_H_
+#define THETIS_IO_MAPPED_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace thetis {
+
+// A read-only memory mapping of a whole file. Move-only; unmaps on
+// destruction. The mapping is MAP_SHARED read-only, so every process that
+// opens the same snapshot shares one physical copy through the page cache.
+class MappedFile {
+ public:
+  MappedFile() = default;
+  ~MappedFile();
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  // Maps `path` read-only. Empty files are valid (data() is null, size() 0).
+  static Result<MappedFile> Open(const std::string& path);
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+
+ private:
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace thetis
+
+#endif  // THETIS_IO_MAPPED_FILE_H_

@@ -1,0 +1,157 @@
+#ifndef THETIS_IO_SNAPSHOT_FORMAT_H_
+#define THETIS_IO_SNAPSHOT_FORMAT_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace thetis {
+
+// On-disk engine snapshot format (version 1).
+//
+// One relocatable, checksummed file holds every artifact the offline build
+// produces, as flat little-endian arrays:
+//
+//   [SnapshotHeader | section 0 | pad | section 1 | pad | ... | section table]
+//
+// Rules the reader relies on (and the corruption tests enforce):
+//
+//  * Every section starts at a kSectionAlignment boundary, so any
+//    fixed-width element type up to that alignment can be viewed in place
+//    straight out of the mapping — load is mmap + pointer math, zero
+//    deserialization, and multiple processes share one page-cache copy.
+//  * All offsets are file-relative (no absolute pointers), making the file
+//    relocatable: it can be mapped at any address, copied, or served over
+//    the network byte-for-byte.
+//  * The header carries the exact file length, the section-table location
+//    and the table's checksum; each SectionEntry carries its section's
+//    FNV-1a checksum. Truncation, byte flips and shuffled tables are all
+//    detected before any structure is handed out.
+//  * Unknown section kinds are skipped (bounds-checked but not
+//    interpreted), so older readers tolerate newer writers that append
+//    sections; magic/version/endianness mismatches are hard errors.
+struct SnapshotHeader {
+  uint64_t magic;           // kSnapshotMagic ("THETSNAP", little-endian)
+  uint32_t version;         // kSnapshotVersion
+  uint32_t endian;          // kEndianMarker as written by the producer
+  uint64_t section_count;   // entries in the section table
+  uint64_t file_length;     // total bytes, header through section table
+  uint64_t table_offset;    // byte offset of the section table
+  uint64_t table_checksum;  // FNV-1a over the raw section-table bytes
+  uint8_t reserved[16];     // zero; room for future header fields
+};
+static_assert(sizeof(SnapshotHeader) == 64, "snapshot header is 64 bytes");
+
+// What a section holds. Values are stable on-disk identifiers: never
+// renumber, only append.
+enum class SectionKind : uint32_t {
+  kMeta = 1,                  // one SnapshotMeta
+  kEmbeddingData = 2,         // float[count * dim], raw rows
+  kEmbeddingNormalized = 3,   // float[count * dim], unit-L2 rows
+  kEmbeddingNorms = 4,        // float[count]
+  kTypeCsrOffsets = 5,        // uint32[num_entities + 1]
+  kTypeCsrPool = 6,           // uint32 (TypeId) concatenated type sets
+  kArenaTableOffsets = 7,     // uint64[num_tables + 1]
+  kArenaColOffsets = 8,       // uint32, absolute into distinct/counts
+  kArenaDistinct = 9,         // uint32 (EntityId)
+  kArenaCounts = 10,          // double
+  kSigEntityClasses = 11,     // uint32[num_entities]
+  kSigTableSignatures = 12,   // uint32[num_tables]
+  kLseiEntities = 13,         // uint32 (EntityId), item -> entity
+  kLseiEntityItems = 14,      // uint64, sorted (entity << 32 | item)
+  kLseiSignatures = 15,       // uint32, row-major [num_items][num_functions]
+  kLseiColumns = 16,          // uint64, (table << 32 | column)
+  kLseiBandGroupOffsets = 17, // uint64[num_bands + 1]
+  kLseiBandKeys = 18,         // uint64, sorted within each group
+  kLseiBandItemOffsets = 19,  // uint64[num_keys + 1]
+  kLseiBandItems = 20,        // uint32
+  kMentionedEntities = 21,    // uint32 (EntityId), ascending (lake fingerprint)
+  kTableNameOffsets = 22,     // uint64[num_tables + 1] into kTableNameBytes
+  kTableNameBytes = 23,       // interned table-name pool (UTF-8, no NULs)
+};
+
+// One section-table entry; the table is a dense array of these at
+// SnapshotHeader::table_offset.
+struct SectionEntry {
+  uint32_t kind;      // SectionKind
+  uint32_t reserved;  // zero
+  uint64_t offset;    // file-relative, kSectionAlignment-aligned
+  uint64_t length;    // bytes, exact (padding is not included)
+  uint64_t checksum;  // FNV-1a over the section's `length` bytes
+};
+static_assert(sizeof(SectionEntry) == 32, "section entry is 32 bytes");
+
+// Fixed-shape metadata section: the saved engine's configuration plus the
+// lake fingerprint the loader validates against. Plain scalars only — the
+// variable-length state lives in its own sections.
+struct SnapshotMeta {
+  // Lake fingerprint (the lake itself is rebuilt from its own inputs; the
+  // snapshot only persists artifacts derived from it, so load refuses a
+  // lake that does not match the one the snapshot was built over).
+  uint64_t corpus_tables;
+  uint64_t kg_entities;
+  uint64_t mentioned_entities;
+  // Similarity: 0 = type Jaccard (CSR sections), 1 = embedding cosine
+  // (embedding sections).
+  uint32_t sim_kind;
+  uint32_t has_embeddings;
+  uint32_t has_signature_index;
+  uint32_t has_lsei;
+  double type_cap;
+  uint64_t embedding_count;
+  uint64_t embedding_dim;
+  uint64_t arena_tables;
+  uint64_t signature_num_distinct;
+  // LSEI configuration (enough to rebuild the hashers from the seed) and
+  // shape.
+  uint32_t lsei_mode;
+  uint32_t lsei_column_aggregation;
+  uint64_t lsei_num_functions;
+  uint64_t lsei_band_size;
+  double lsei_max_type_table_fraction;
+  uint32_t lsei_include_type_ancestors;
+  uint32_t meta_reserved;
+  uint64_t lsei_seed;
+  uint64_t lsei_num_items;
+  uint64_t lsei_indexed_tables;
+};
+static_assert(sizeof(SnapshotMeta) == 144, "snapshot meta is 144 bytes");
+
+inline constexpr uint64_t kSnapshotMagic = 0x50414E5354454854ull;  // THETSNAP
+inline constexpr uint32_t kSnapshotVersion = 1;
+// Written as the native-endian constant; a reader on the opposite
+// endianness sees the byte-swapped value and rejects the file.
+inline constexpr uint32_t kEndianMarker = 0x01020304u;
+// Section payloads start at multiples of this; covers every element type
+// the format uses (double/uint64 need 8) with headroom for SIMD loads.
+inline constexpr uint64_t kSectionAlignment = 64;
+// Sanity cap on section_count: version 1 defines ~23 kinds; a header
+// claiming orders of magnitude more is corrupt, not futuristic.
+inline constexpr uint64_t kMaxSections = 4096;
+
+// FNV-1a 64 widened to one multiply per 8-byte word (little-endian load,
+// byte-wise tail). Collisions only weaken corruption detection, never
+// correctness of loaded data — but the speed matters: verification at load
+// is one linear pass with this function, and the word-wise chain keeps
+// that pass an order of magnitude cheaper than rebuilding the engine.
+// Part of the on-disk format (checksums are stored): changing it requires
+// a kSnapshotVersion bump.
+inline uint64_t SnapshotChecksum(const void* data, size_t length) {
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  uint64_t h = 0xcbf29ce484222325ull;
+  size_t i = 0;
+  for (; i + 8 <= length; i += 8) {
+    uint64_t word;
+    __builtin_memcpy(&word, bytes + i, 8);
+    h ^= word;
+    h *= 0x100000001b3ull;
+  }
+  for (; i < length; ++i) {
+    h ^= bytes[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace thetis
+
+#endif  // THETIS_IO_SNAPSHOT_FORMAT_H_

@@ -1,0 +1,155 @@
+#include "io/snapshot_reader.h"
+
+#include <cstring>
+
+namespace thetis {
+
+namespace {
+
+uint32_t ByteSwap32(uint32_t v) {
+  return ((v & 0x000000ffu) << 24) | ((v & 0x0000ff00u) << 8) |
+         ((v & 0x00ff0000u) >> 8) | ((v & 0xff000000u) >> 24);
+}
+
+uint64_t ByteSwap64(uint64_t v) {
+  return (static_cast<uint64_t>(ByteSwap32(static_cast<uint32_t>(v))) << 32) |
+         ByteSwap32(static_cast<uint32_t>(v >> 32));
+}
+
+}  // namespace
+
+Result<SnapshotReader> SnapshotReader::Open(const std::string& path,
+                                            const Options& options) {
+  Result<MappedFile> mapped = MappedFile::Open(path);
+  if (!mapped.ok()) return mapped.status();
+  SnapshotReader reader;
+  reader.file_ = std::move(mapped).value();
+  const uint8_t* base = reader.file_.data();
+  const uint64_t size = reader.file_.size();
+
+  if (size < sizeof(SnapshotHeader)) {
+    return Status::InvalidArgument(
+        path + " is too small to be a thetis engine snapshot (" +
+        std::to_string(size) + " bytes)");
+  }
+  // The header is copied out (memcpy, not reinterpret) so validation never
+  // reads through a pointer whose alignment an adversarial file controls;
+  // mmap returns page-aligned memory, but staying copy-based here keeps
+  // the loader UB-free by inspection.
+  SnapshotHeader header;
+  std::memcpy(&header, base, sizeof(header));
+  if (header.magic != kSnapshotMagic) {
+    if (ByteSwap64(header.magic) == kSnapshotMagic) {
+      return Status::InvalidArgument(
+          path + " is a thetis engine snapshot with the wrong endianness "
+          "(byte-swapped magic); snapshots are not portable across byte "
+          "orders");
+    }
+    return Status::InvalidArgument(path +
+                                   " is not a thetis engine snapshot "
+                                   "(bad magic)");
+  }
+  if (header.endian != kEndianMarker) {
+    if (ByteSwap32(header.endian) == kEndianMarker) {
+      return Status::InvalidArgument(
+          path + " was written on a machine with the opposite endianness; "
+          "snapshots are not portable across byte orders");
+    }
+    return Status::InvalidArgument(path + " has a corrupt endianness marker");
+  }
+  if (header.version != kSnapshotVersion) {
+    return Status::InvalidArgument(
+        "unsupported engine snapshot version " +
+        std::to_string(header.version) + " in " + path + " (this build reads "
+        "version " + std::to_string(kSnapshotVersion) + ")");
+  }
+  if (header.file_length != size) {
+    return Status::InvalidArgument(
+        path + " is " + std::to_string(size) + " bytes but its header "
+        "declares " + std::to_string(header.file_length) +
+        " (truncated or padded)");
+  }
+  if (header.section_count > kMaxSections) {
+    return Status::InvalidArgument(
+        path + " declares an implausible section count " +
+        std::to_string(header.section_count));
+  }
+  // Section-table bounds, with explicit overflow guards: every arithmetic
+  // step is checked before it feeds the next.
+  const uint64_t table_bytes = header.section_count * sizeof(SectionEntry);
+  if (header.section_count > size / sizeof(SectionEntry) ||
+      header.table_offset > size || table_bytes > size - header.table_offset) {
+    return Status::InvalidArgument(path +
+                                   " section table is out of bounds");
+  }
+  const uint8_t* table = base + header.table_offset;
+  if (SnapshotChecksum(table, table_bytes) != header.table_checksum) {
+    return Status::InvalidArgument(path +
+                                   " section table failed its checksum "
+                                   "(corrupted or shuffled)");
+  }
+
+  reader.sections_.reserve(header.section_count);
+  for (uint64_t i = 0; i < header.section_count; ++i) {
+    SectionEntry entry;
+    std::memcpy(&entry, table + i * sizeof(SectionEntry), sizeof(entry));
+    if (entry.offset % kSectionAlignment != 0) {
+      return Status::InvalidArgument(
+          path + " section " + std::to_string(entry.kind) +
+          " is misaligned (offset " + std::to_string(entry.offset) + ")");
+    }
+    if (entry.offset > size || entry.length > size - entry.offset) {
+      return Status::InvalidArgument(
+          path + " section " + std::to_string(entry.kind) +
+          " exceeds the file bounds");
+    }
+    for (const SectionInfo& seen : reader.sections_) {
+      if (seen.kind == entry.kind) {
+        return Status::InvalidArgument(path + " carries duplicate section "
+                                       "kind " + std::to_string(entry.kind));
+      }
+    }
+    if (options.verify_checksums &&
+        SnapshotChecksum(base + entry.offset, entry.length) !=
+            entry.checksum) {
+      return Status::InvalidArgument(
+          path + " section " + std::to_string(entry.kind) +
+          " failed its checksum (corrupted)");
+    }
+    reader.sections_.push_back(SectionInfo{entry.kind, entry.offset,
+                                           entry.length, entry.checksum});
+  }
+  return reader;
+}
+
+bool SnapshotReader::Has(SectionKind kind) const {
+  for (const SectionInfo& section : sections_) {
+    if (section.kind == static_cast<uint32_t>(kind)) return true;
+  }
+  return false;
+}
+
+Result<std::span<const uint8_t>> SnapshotReader::Section(
+    SectionKind kind) const {
+  for (const SectionInfo& section : sections_) {
+    if (section.kind == static_cast<uint32_t>(kind)) {
+      return std::span<const uint8_t>(file_.data() + section.offset,
+                                      section.length);
+    }
+  }
+  return Status::NotFound("snapshot has no section of kind " +
+                          std::to_string(static_cast<uint32_t>(kind)));
+}
+
+Result<const SnapshotMeta*> SnapshotReader::Meta() const {
+  Result<std::span<const uint8_t>> raw = Section(SectionKind::kMeta);
+  if (!raw.ok()) return raw.status();
+  if (raw.value().size() != sizeof(SnapshotMeta)) {
+    return Status::InvalidArgument(
+        "snapshot meta section is " + std::to_string(raw.value().size()) +
+        " bytes, expected " + std::to_string(sizeof(SnapshotMeta)));
+  }
+  return reinterpret_cast<const SnapshotMeta*>(raw.value().data());
+}
+
+}  // namespace thetis

@@ -1,0 +1,95 @@
+#ifndef THETIS_IO_SNAPSHOT_READER_H_
+#define THETIS_IO_SNAPSHOT_READER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "io/mapped_file.h"
+#include "io/snapshot_format.h"
+#include "util/status.h"
+
+namespace thetis {
+
+// Opens an engine snapshot by mmap and serves sections as in-place spans
+// over the mapping — no copying, no deserialization. Open() front-loads
+// every structural check (magic, version, endianness, exact file length,
+// section-table bounds + checksum, per-section alignment/bounds/checksums),
+// so a reader that exists at all serves only validated spans: corrupted or
+// truncated input maps to a clean Status at open time, never to UB later.
+//
+// The reader owns the mapping; every span it hands out dies with it.
+class SnapshotReader {
+ public:
+  struct Options {
+    // Verify each section's FNV-1a checksum at open (one linear pass over
+    // the file). Turning this off skips only the content hashes — the
+    // structural validation (header, bounds, alignment, section-table
+    // checksum) always runs.
+    bool verify_checksums = true;
+  };
+
+  // Section-table view for diagnostics and the corruption tests.
+  struct SectionInfo {
+    uint32_t kind;
+    uint64_t offset;
+    uint64_t length;
+    uint64_t checksum;
+  };
+
+  static Result<SnapshotReader> Open(const std::string& path,
+                                     const Options& options);
+  static Result<SnapshotReader> Open(const std::string& path) {
+    return Open(path, Options());
+  }
+
+  SnapshotReader(SnapshotReader&&) = default;
+  SnapshotReader& operator=(SnapshotReader&&) = default;
+
+  // Whether the file carries this section (unknown kinds in the file are
+  // bounds-checked at open but never served).
+  bool Has(SectionKind kind) const;
+
+  // The section's raw bytes, in place over the mapping.
+  Result<std::span<const uint8_t>> Section(SectionKind kind) const;
+
+  // The section viewed as a flat array of T; the byte length must be an
+  // exact multiple of sizeof(T). Alignment holds by construction (sections
+  // are kSectionAlignment-aligned).
+  template <typename T>
+  Result<std::span<const T>> Array(SectionKind kind) const {
+    Result<std::span<const uint8_t>> raw = Section(kind);
+    if (!raw.ok()) return raw.status();
+    if (raw.value().size() % sizeof(T) != 0) {
+      return Status::InvalidArgument(
+          "snapshot section " +
+          std::to_string(static_cast<uint32_t>(kind)) + " length " +
+          std::to_string(raw.value().size()) +
+          " is not a multiple of its element size " +
+          std::to_string(sizeof(T)));
+    }
+    return std::span<const T>(reinterpret_cast<const T*>(raw.value().data()),
+                              raw.value().size() / sizeof(T));
+  }
+
+  // The fixed-shape metadata section.
+  Result<const SnapshotMeta*> Meta() const;
+
+  // All known sections, in file order.
+  const std::vector<SectionInfo>& sections() const { return sections_; }
+
+  // Total bytes mapped (the obs snapshot_bytes_mapped gauge).
+  uint64_t mapped_bytes() const { return file_.size(); }
+
+ private:
+  SnapshotReader() = default;
+
+  MappedFile file_;
+  std::vector<SectionInfo> sections_;
+};
+
+}  // namespace thetis
+
+#endif  // THETIS_IO_SNAPSHOT_READER_H_

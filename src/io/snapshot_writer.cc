@@ -1,0 +1,95 @@
+#include "io/snapshot_writer.h"
+
+#include <cstring>
+
+namespace thetis {
+
+SnapshotWriter::SnapshotWriter(const std::string& path)
+    : path_(path), out_(path, std::ios::binary | std::ios::trunc) {
+  // A zeroed header placeholder; Finish() seeks back and fills it in once
+  // the section table's location and checksum are known.
+  SnapshotHeader header;
+  std::memset(&header, 0, sizeof(header));
+  out_.write(reinterpret_cast<const char*>(&header), sizeof(header));
+  offset_ = sizeof(header);
+}
+
+Status SnapshotWriter::PadToAlignment() {
+  static constexpr char kZeros[kSectionAlignment] = {};
+  const uint64_t misalign = offset_ % kSectionAlignment;
+  if (misalign != 0) {
+    const uint64_t pad = kSectionAlignment - misalign;
+    out_.write(kZeros, static_cast<std::streamsize>(pad));
+    offset_ += pad;
+  }
+  return out_ ? Status::Ok()
+              : Status::IoError("write to " + path_ + " failed");
+}
+
+Status SnapshotWriter::AppendSection(SectionKind kind, const void* data,
+                                     size_t length) {
+  if (finished_) {
+    return Status::FailedPrecondition("snapshot writer already finished");
+  }
+  if (!out_) {
+    return Status::IoError("cannot open " + path_ + " for writing");
+  }
+  for (const SectionEntry& entry : entries_) {
+    if (entry.kind == static_cast<uint32_t>(kind)) {
+      return Status::InvalidArgument("duplicate snapshot section kind " +
+                                     std::to_string(entry.kind));
+    }
+  }
+  THETIS_RETURN_NOT_OK(PadToAlignment());
+  SectionEntry entry;
+  entry.kind = static_cast<uint32_t>(kind);
+  entry.reserved = 0;
+  entry.offset = offset_;
+  entry.length = length;
+  entry.checksum = SnapshotChecksum(data, length);
+  if (length > 0) {
+    out_.write(static_cast<const char*>(data),
+               static_cast<std::streamsize>(length));
+    offset_ += length;
+  }
+  if (!out_) return Status::IoError("write to " + path_ + " failed");
+  entries_.push_back(entry);
+  return Status::Ok();
+}
+
+Status SnapshotWriter::Finish() {
+  if (finished_) {
+    return Status::FailedPrecondition("snapshot writer already finished");
+  }
+  if (!out_) {
+    return Status::IoError("cannot open " + path_ + " for writing");
+  }
+  THETIS_RETURN_NOT_OK(PadToAlignment());
+
+  SnapshotHeader header;
+  std::memset(&header, 0, sizeof(header));
+  header.magic = kSnapshotMagic;
+  header.version = kSnapshotVersion;
+  header.endian = kEndianMarker;
+  header.section_count = entries_.size();
+  header.table_offset = offset_;
+  const size_t table_bytes = entries_.size() * sizeof(SectionEntry);
+  header.table_checksum = SnapshotChecksum(entries_.data(), table_bytes);
+  if (table_bytes > 0) {
+    out_.write(reinterpret_cast<const char*>(entries_.data()),
+               static_cast<std::streamsize>(table_bytes));
+    offset_ += table_bytes;
+  }
+  header.file_length = offset_;
+
+  out_.seekp(0);
+  out_.write(reinterpret_cast<const char*>(&header), sizeof(header));
+  out_.flush();
+  if (!out_) return Status::IoError("write to " + path_ + " failed");
+  out_.close();
+  bytes_written_ = offset_;
+  finished_ = true;
+  return Status::Ok();
+}
+
+}  // namespace thetis

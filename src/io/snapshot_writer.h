@@ -1,0 +1,57 @@
+#ifndef THETIS_IO_SNAPSHOT_WRITER_H_
+#define THETIS_IO_SNAPSHOT_WRITER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <fstream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "io/snapshot_format.h"
+#include "util/status.h"
+
+namespace thetis {
+
+// Streaming writer for the engine-snapshot format: appends sections one at
+// a time (checksumming and aligning as it goes), then Finish() emits the
+// section table and patches the header. Nothing is buffered beyond the
+// section-table entries, so writing a multi-gigabyte snapshot needs no
+// memory proportional to the data.
+//
+// The byte stream is a pure function of the appended (kind, bytes)
+// sequence — no timestamps, no map iteration order — which is what lets
+// the golden-file test pin the format byte for byte.
+class SnapshotWriter {
+ public:
+  explicit SnapshotWriter(const std::string& path);
+
+  // Appends one section. Kinds must be unique per file.
+  Status AppendSection(SectionKind kind, const void* data, size_t length);
+
+  template <typename T>
+  Status AppendArray(SectionKind kind, std::span<const T> values) {
+    return AppendSection(kind, values.data(), values.size() * sizeof(T));
+  }
+
+  // Writes the section table, patches the header (file length, table
+  // offset, table checksum) and closes the file. No appends after this.
+  Status Finish();
+
+  // Total bytes in the finished file (valid after Finish()).
+  uint64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  Status PadToAlignment();
+
+  std::string path_;
+  std::ofstream out_;
+  std::vector<SectionEntry> entries_;
+  uint64_t offset_ = 0;
+  uint64_t bytes_written_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace thetis
+
+#endif  // THETIS_IO_SNAPSHOT_WRITER_H_

@@ -12,7 +12,7 @@ BandedIndex::BandedIndex(size_t num_bands, size_t band_size)
   THETIS_CHECK(num_bands > 0 && band_size > 0);
 }
 
-uint64_t BandedIndex::BandKey(const std::vector<uint32_t>& signature,
+uint64_t BandedIndex::BandKey(std::span<const uint32_t> signature,
                               size_t band) const {
   THETIS_CHECK(signature.size() >= num_bands_ * band_size_)
       << "signature too short for banding";
@@ -23,28 +23,67 @@ uint64_t BandedIndex::BandKey(const std::vector<uint32_t>& signature,
   return h;
 }
 
-void BandedIndex::Insert(uint32_t item,
-                         const std::vector<uint32_t>& signature) {
+void BandedIndex::Thaw() {
+  if (!frozen_) return;
+  groups_.clear();
+  groups_.resize(num_bands_);
+  const uint64_t* group_offsets = group_offsets_.data();
+  const uint64_t* keys = keys_.data();
+  const uint64_t* item_offsets = item_offsets_.data();
+  const uint32_t* items = items_.data();
+  for (size_t b = 0; b < num_bands_; ++b) {
+    auto& group = groups_[b];
+    group.reserve(group_offsets[b + 1] - group_offsets[b]);
+    for (uint64_t k = group_offsets[b]; k < group_offsets[b + 1]; ++k) {
+      group.emplace(keys[k],
+                    std::vector<uint32_t>(items + item_offsets[k],
+                                          items + item_offsets[k + 1]));
+    }
+  }
+  frozen_ = false;
+  group_offsets_ = FlatArray<uint64_t>();
+  keys_ = FlatArray<uint64_t>();
+  item_offsets_ = FlatArray<uint64_t>();
+  items_ = FlatArray<uint32_t>();
+}
+
+void BandedIndex::Insert(uint32_t item, std::span<const uint32_t> signature) {
+  Thaw();
   for (size_t b = 0; b < num_bands_; ++b) {
     groups_[b][BandKey(signature, b)].push_back(item);
   }
   ++num_items_;
 }
 
+std::span<const uint32_t> BandedIndex::Bucket(size_t band,
+                                              uint64_t key) const {
+  if (!frozen_) {
+    auto it = groups_[band].find(key);
+    if (it == groups_[band].end()) return {};
+    return {it->second.data(), it->second.size()};
+  }
+  const uint64_t* keys = keys_.data();
+  const uint64_t* begin = keys + group_offsets_[band];
+  const uint64_t* end = keys + group_offsets_[band + 1];
+  const uint64_t* hit = std::lower_bound(begin, end, key);
+  if (hit == end || *hit != key) return {};
+  const size_t slot = static_cast<size_t>(hit - keys);
+  return {items_.data() + item_offsets_[slot],
+          static_cast<size_t>(item_offsets_[slot + 1] - item_offsets_[slot])};
+}
+
 std::vector<uint32_t> BandedIndex::QueryWithMultiplicity(
-    const std::vector<uint32_t>& signature) const {
+    std::span<const uint32_t> signature) const {
   std::vector<uint32_t> out;
   for (size_t b = 0; b < num_bands_; ++b) {
-    auto it = groups_[b].find(BandKey(signature, b));
-    if (it != groups_[b].end()) {
-      out.insert(out.end(), it->second.begin(), it->second.end());
-    }
+    std::span<const uint32_t> bucket = Bucket(b, BandKey(signature, b));
+    out.insert(out.end(), bucket.begin(), bucket.end());
   }
   return out;
 }
 
 std::vector<uint32_t> BandedIndex::Query(
-    const std::vector<uint32_t>& signature) const {
+    std::span<const uint32_t> signature) const {
   std::vector<uint32_t> out = QueryWithMultiplicity(signature);
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());
@@ -52,9 +91,59 @@ std::vector<uint32_t> BandedIndex::Query(
 }
 
 size_t BandedIndex::NumBuckets() const {
+  if (frozen_) return keys_.size();
   size_t total = 0;
   for (const auto& g : groups_) total += g.size();
   return total;
+}
+
+BandedIndex::FrozenBands BandedIndex::Freeze() const {
+  FrozenBands frozen;
+  frozen.group_offsets.reserve(num_bands_ + 1);
+  frozen.group_offsets.push_back(0);
+  if (frozen_) {
+    frozen.group_offsets.assign(group_offsets_.begin(), group_offsets_.end());
+    frozen.keys.assign(keys_.begin(), keys_.end());
+    frozen.item_offsets.assign(item_offsets_.begin(), item_offsets_.end());
+    frozen.items.assign(items_.begin(), items_.end());
+    return frozen;
+  }
+  frozen.item_offsets.push_back(0);
+  std::vector<uint64_t> group_keys;
+  for (size_t b = 0; b < num_bands_; ++b) {
+    // Sorting each group's keys fixes the layout independently of the hash
+    // maps' iteration order: two indexes with equal content freeze to
+    // byte-identical arrays (the writer's determinism contract).
+    group_keys.clear();
+    group_keys.reserve(groups_[b].size());
+    for (const auto& [key, bucket] : groups_[b]) group_keys.push_back(key);
+    std::sort(group_keys.begin(), group_keys.end());
+    for (uint64_t key : group_keys) {
+      const std::vector<uint32_t>& bucket = groups_[b].at(key);
+      frozen.keys.push_back(key);
+      frozen.items.insert(frozen.items.end(), bucket.begin(), bucket.end());
+      frozen.item_offsets.push_back(frozen.items.size());
+    }
+    frozen.group_offsets.push_back(frozen.keys.size());
+  }
+  return frozen;
+}
+
+BandedIndex BandedIndex::FromFrozen(size_t num_bands, size_t band_size,
+                                    size_t num_items,
+                                    std::span<const uint64_t> group_offsets,
+                                    std::span<const uint64_t> keys,
+                                    std::span<const uint64_t> item_offsets,
+                                    std::span<const uint32_t> items) {
+  BandedIndex index(num_bands, band_size);
+  index.num_items_ = num_items;
+  index.groups_.clear();
+  index.frozen_ = true;
+  index.group_offsets_ = FlatArray<uint64_t>::View(group_offsets);
+  index.keys_ = FlatArray<uint64_t>::View(keys);
+  index.item_offsets_ = FlatArray<uint64_t>::View(item_offsets);
+  index.items_ = FlatArray<uint32_t>::View(items);
+  return index;
 }
 
 }  // namespace thetis

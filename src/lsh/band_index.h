@@ -3,8 +3,11 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <unordered_map>
 #include <vector>
+
+#include "util/flat_array.h"
 
 namespace thetis {
 
@@ -12,39 +15,89 @@ namespace thetis {
 // `num_bands` bands of `band_size` elements; each band is hashed into that
 // band's own bucket group. An item lands in exactly one bucket per group,
 // and two items collide in a group iff their band slices are identical.
+//
+// Two storage modes share the query API:
+//
+//  * live (hash maps, one per band group) — the mode Insert builds;
+//  * frozen (flat CSR: per-group sorted key ranges + per-bucket item
+//    slices) — the relocatable mode an mmap'd engine snapshot restores,
+//    queried by binary search over each group's key range.
+//
+// Freeze() produces the flat form deterministically (keys sorted within
+// each group, per-bucket item order preserved), so a frozen index answers
+// every query with exactly the items a live one would. Insert on a frozen
+// index thaws back to hash maps first (copy-on-write).
 class BandedIndex {
  public:
   // signature length must be >= num_bands * band_size; trailing elements are
   // ignored (as when 32 functions are split into 3 bands of 10).
   BandedIndex(size_t num_bands, size_t band_size);
 
+  // The flat frozen form: bucket keys of group g are
+  // keys[group_offsets[g] .. group_offsets[g + 1]), sorted ascending;
+  // bucket keys[k]'s items are items[item_offsets[k] .. item_offsets[k+1])
+  // in insertion order (item_offsets is global over keys, length
+  // keys.size() + 1).
+  struct FrozenBands {
+    std::vector<uint64_t> group_offsets;
+    std::vector<uint64_t> keys;
+    std::vector<uint64_t> item_offsets;
+    std::vector<uint32_t> items;
+  };
+
+  // Deterministic flat serialization of the current content (works from
+  // either storage mode; does not change the index).
+  FrozenBands Freeze() const;
+
+  // Reassembles a frozen index over externally owned storage (an mmap'd
+  // snapshot section set). Backing memory must outlive the index; shape
+  // validation is the snapshot loader's job.
+  static BandedIndex FromFrozen(size_t num_bands, size_t band_size,
+                                size_t num_items,
+                                std::span<const uint64_t> group_offsets,
+                                std::span<const uint64_t> keys,
+                                std::span<const uint64_t> item_offsets,
+                                std::span<const uint32_t> items);
+
   size_t num_bands() const { return num_bands_; }
   size_t band_size() const { return band_size_; }
   size_t num_items() const { return num_items_; }
+  bool is_frozen() const { return frozen_; }
 
-  // Inserts an item with its signature.
-  void Insert(uint32_t item, const std::vector<uint32_t>& signature);
+  // Inserts an item with its signature; thaws a frozen index first.
+  void Insert(uint32_t item, std::span<const uint32_t> signature);
 
   // Items sharing at least one bucket with `signature`, including
   // multiplicity: an item colliding in k bands appears k times. Callers that
   // need the distinct set deduplicate.
   std::vector<uint32_t> QueryWithMultiplicity(
-      const std::vector<uint32_t>& signature) const;
+      std::span<const uint32_t> signature) const;
 
   // Distinct colliding items, sorted ascending.
-  std::vector<uint32_t> Query(const std::vector<uint32_t>& signature) const;
+  std::vector<uint32_t> Query(std::span<const uint32_t> signature) const;
 
   // Number of non-empty buckets across all groups (diagnostics).
   size_t NumBuckets() const;
 
  private:
-  uint64_t BandKey(const std::vector<uint32_t>& signature, size_t band) const;
+  uint64_t BandKey(std::span<const uint32_t> signature, size_t band) const;
+  // Items of the bucket `key` in group `band` (empty when absent), valid in
+  // both storage modes.
+  std::span<const uint32_t> Bucket(size_t band, uint64_t key) const;
+  // Rebuilds the hash maps from the frozen arrays (no-op when live).
+  void Thaw();
 
   size_t num_bands_;
   size_t band_size_;
   size_t num_items_ = 0;
-  // One bucket map per band group.
+  // Live mode: one bucket map per band group.
   std::vector<std::unordered_map<uint64_t, std::vector<uint32_t>>> groups_;
+  // Frozen mode (see FrozenBands for the layout).
+  bool frozen_ = false;
+  FlatArray<uint64_t> group_offsets_;
+  FlatArray<uint64_t> keys_;
+  FlatArray<uint64_t> item_offsets_;
+  FlatArray<uint32_t> items_;
 };
 
 }  // namespace thetis

@@ -13,7 +13,7 @@
 namespace thetis {
 
 Lsei::Lsei(const SemanticDataLake* lake, const EmbeddingStore* embeddings,
-           const LseiOptions& options)
+           const LseiOptions& options, SnapshotTag)
     : lake_(lake),
       embeddings_(embeddings),
       options_(options),
@@ -30,11 +30,73 @@ Lsei::Lsei(const SemanticDataLake* lake, const EmbeddingStore* embeddings,
     THETIS_CHECK(embeddings != nullptr)
         << "embeddings mode requires an EmbeddingStore";
   }
+}
+
+Lsei::Lsei(const SemanticDataLake* lake, const EmbeddingStore* embeddings,
+           const LseiOptions& options)
+    : Lsei(lake, embeddings, options, SnapshotTag{}) {
   if (options_.column_aggregation) {
     BuildColumnIndex();
   } else {
     BuildEntityIndex();
   }
+}
+
+Lsei Lsei::FromSnapshot(const SemanticDataLake* lake,
+                        const EmbeddingStore* embeddings,
+                        const LseiOptions& options,
+                        const LseiSnapshotParts& parts) {
+  Lsei lsei(lake, embeddings, options, SnapshotTag{});
+  lsei.indexed_entities_ = FlatArray<EntityId>::View(parts.indexed_entities);
+  lsei.frozen_entity_items_ = FlatArray<uint64_t>::View(parts.entity_items);
+  lsei.entity_signatures_ = FlatArray<uint32_t>::View(parts.entity_signatures);
+  lsei.indexed_columns_ = FlatArray<uint64_t>::View(parts.indexed_columns);
+  lsei.indexed_tables_ = parts.indexed_tables;
+  lsei.index_ = BandedIndex::FromFrozen(
+      std::max<size_t>(1, options.num_functions / options.band_size),
+      options.band_size, parts.num_items, parts.band_group_offsets,
+      parts.band_keys, parts.band_item_offsets, parts.band_items);
+  return lsei;
+}
+
+uint32_t Lsei::ItemOfEntity(EntityId e) const {
+  auto it = entity_item_.find(e);
+  if (it != entity_item_.end()) return it->second;
+  if (!frozen_entity_items_.empty()) {
+    const uint64_t probe = static_cast<uint64_t>(e) << 32;
+    const uint64_t* begin = frozen_entity_items_.begin();
+    const uint64_t* end = frozen_entity_items_.end();
+    const uint64_t* hit = std::lower_bound(begin, end, probe);
+    if (hit != end && (*hit >> 32) == e) {
+      return static_cast<uint32_t>(*hit & 0xffffffffu);
+    }
+  }
+  return kNoItem;
+}
+
+std::vector<uint64_t> Lsei::PackedEntityItems() const {
+  std::vector<uint64_t> packed;
+  if (!frozen_entity_items_.empty()) {
+    packed.assign(frozen_entity_items_.begin(), frozen_entity_items_.end());
+    // Entities ingested after the snapshot was loaded live in the map on
+    // top of the frozen pairs; merge them in.
+  }
+  packed.reserve(packed.size() + entity_item_.size());
+  for (const auto& [entity, item] : entity_item_) {
+    packed.push_back((static_cast<uint64_t>(entity) << 32) | item);
+  }
+  std::sort(packed.begin(), packed.end());
+  return packed;
+}
+
+void Lsei::ThawForIngest() {
+  if (frozen_entity_items_.empty()) return;
+  entity_item_.reserve(entity_item_.size() + frozen_entity_items_.size());
+  for (uint64_t packed : frozen_entity_items_) {
+    entity_item_.emplace(static_cast<EntityId>(packed >> 32),
+                         static_cast<uint32_t>(packed & 0xffffffffu));
+  }
+  frozen_entity_items_ = FlatArray<uint64_t>();
 }
 
 std::vector<TypeId> Lsei::FilteredTypes(EntityId e) const {
@@ -84,17 +146,21 @@ std::vector<uint32_t> Lsei::AggregateSignature(
 size_t Lsei::BuildEntityIndex() {
   obs::TraceSpan span("lsei_build");
   Stopwatch watch;
+  // Incremental ingest on a snapshot-restored index needs the live map for
+  // duplicate detection (and owned arrays to append to).
+  ThawForIngest();
+  std::vector<EntityId>& indexed_entities = indexed_entities_.mutable_owned();
+  std::vector<uint32_t>& signatures = entity_signatures_.mutable_owned();
   // Serial pass fixes the item order (lake enumeration order, first mention
   // wins), so the index content never depends on thread count.
   std::vector<EntityId> fresh;
-  const size_t base = indexed_entities_.size();
+  const size_t base = indexed_entities.size();
   for (EntityId e : lake_->MentionedEntities()) {
     uint32_t item = static_cast<uint32_t>(base + fresh.size());
     if (!entity_item_.emplace(e, item).second) continue;
     fresh.push_back(e);
   }
-  indexed_entities_.insert(indexed_entities_.end(), fresh.begin(),
-                           fresh.end());
+  indexed_entities.insert(indexed_entities.end(), fresh.begin(), fresh.end());
 
   // Signature pass: embarrassingly parallel (per-entity shingling/hashing
   // over read-only state) into pre-sized slots.
@@ -105,10 +171,12 @@ size_t Lsei::BuildEntityIndex() {
   });
 
   // Ordered insertion: bucket chains end up exactly as a serial build's.
-  entity_signatures_.reserve(base + fresh.size());
+  // Signatures are stored as fixed-width rows of the flat array.
+  signatures.reserve((base + fresh.size()) * options_.num_functions);
   for (size_t i = 0; i < fresh.size(); ++i) {
+    THETIS_CHECK(sigs[i].size() == options_.num_functions);
     index_.Insert(static_cast<uint32_t>(base + i), sigs[i]);
-    entity_signatures_.push_back(std::move(sigs[i]));
+    signatures.insert(signatures.end(), sigs[i].begin(), sigs[i].end());
   }
   indexed_tables_ = lake_->corpus().size();
   obs::RecordLseiBuild(fresh.size(), watch.ElapsedSeconds());
@@ -118,11 +186,13 @@ size_t Lsei::BuildEntityIndex() {
 size_t Lsei::BuildColumnIndex() {
   obs::TraceSpan span("lsei_build");
   Stopwatch watch;
+  ThawForIngest();
+  std::vector<uint64_t>& indexed_columns = indexed_columns_.mutable_owned();
   const Corpus& corpus = lake_->corpus();
   // Serial enumeration assigns item ids in (table, column) order; the
   // per-column entity lists are materialized here so the signature pass
   // below only touches immutable data.
-  const size_t base = indexed_columns_.size();
+  const size_t base = indexed_columns.size();
   std::vector<std::vector<EntityId>> column_entities;
   for (TableId id = static_cast<TableId>(indexed_tables_); id < corpus.size();
        ++id) {
@@ -130,7 +200,8 @@ size_t Lsei::BuildColumnIndex() {
     for (size_t c = 0; c < t.num_columns(); ++c) {
       std::vector<EntityId> entities = t.ColumnEntities(c);
       if (entities.empty()) continue;
-      indexed_columns_.emplace_back(id, static_cast<uint32_t>(c));
+      indexed_columns.push_back((static_cast<uint64_t>(id) << 32) |
+                                static_cast<uint64_t>(c));
       column_entities.push_back(std::move(entities));
     }
   }
@@ -175,13 +246,13 @@ std::vector<TableId> Lsei::EntityModeCandidates(
     // case: a query entity mentioned anywhere in the lake); only entities
     // the lake has never seen pay for shingling/projection here.
     std::vector<uint32_t> computed;
-    const std::vector<uint32_t>* sig;
-    auto it = entity_item_.find(q);
-    if (it != entity_item_.end()) {
-      sig = &entity_signatures_[it->second];
+    std::span<const uint32_t> sig;
+    const uint32_t item = ItemOfEntity(q);
+    if (item != kNoItem) {
+      sig = SignatureOfItem(item);
     } else {
       computed = EntitySignature(q);
-      sig = &computed;
+      sig = computed;
     }
     // Merge all matching buckets into one SET of entities, then collect the
     // bag of their tables (Section 6.2): a table's vote count equals the
@@ -189,8 +260,8 @@ std::vector<TableId> Lsei::EntityModeCandidates(
     // several similar entities with the query survive higher thresholds
     // while incidental single-entity matches are pruned.
     std::vector<TableId> bag;
-    for (uint32_t item : index_.Query(*sig)) {
-      EntityId hit = indexed_entities_[item];
+    for (uint32_t hit_item : index_.Query(sig)) {
+      EntityId hit = indexed_entities_[hit_item];
       const auto& tables = lake_->TablesWithEntity(hit);
       bag.insert(bag.end(), tables.begin(), tables.end());
     }
@@ -218,7 +289,7 @@ std::vector<TableId> Lsei::ColumnModeCandidates(
     std::vector<uint32_t> sig = AggregateSignature(position_entities);
     std::vector<TableId> bag;
     for (uint32_t item : index_.Query(sig)) {
-      bag.push_back(indexed_columns_[item].first);
+      bag.push_back(static_cast<TableId>(indexed_columns_[item] >> 32));
     }
     std::vector<TableId> kept = FilterByVotes(std::move(bag), votes);
     result.insert(result.end(), kept.begin(), kept.end());

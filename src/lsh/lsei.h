@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -11,6 +12,7 @@
 #include "lsh/hyperplane.h"
 #include "lsh/minhash.h"
 #include "semantic/semantic_data_lake.h"
+#include "util/flat_array.h"
 
 namespace thetis {
 
@@ -44,6 +46,28 @@ struct LseiOptions {
   size_t num_threads = 1;
 };
 
+// Flat sections restoring an Lsei from an engine snapshot; all spans view
+// the mmap'd file and must outlive the index (see src/io). The hashers are
+// NOT persisted — they are rebuilt deterministically from options.seed, so
+// query-time signatures of unseen entities match the saved engine's.
+struct LseiSnapshotParts {
+  // Entity mode: item i's entity, plus the sorted (entity << 32 | item)
+  // pairs replacing the entity → item hash map, plus all build-time
+  // signatures as one flat row-major array of width options.num_functions.
+  std::span<const EntityId> indexed_entities;
+  std::span<const uint64_t> entity_items;
+  std::span<const uint32_t> entity_signatures;
+  // Column mode: item i's (table << 32 | column).
+  std::span<const uint64_t> indexed_columns;
+  size_t indexed_tables = 0;
+  size_t num_items = 0;
+  // The frozen band index (see BandedIndex::FrozenBands).
+  std::span<const uint64_t> band_group_offsets;
+  std::span<const uint64_t> band_keys;
+  std::span<const uint64_t> band_item_offsets;
+  std::span<const uint32_t> band_items;
+};
+
 // The Locality-Sensitive Entity Index: prefilters the corpus before the
 // exact search algorithm runs, by looking up each query entity, merging the
 // bucket contents into a bag of tables and keeping tables with at least
@@ -54,6 +78,14 @@ class Lsei {
   // in kEmbeddings mode, ignored otherwise.
   Lsei(const SemanticDataLake* lake, const EmbeddingStore* embeddings,
        const LseiOptions& options);
+
+  // Restores an index from snapshot sections instead of running the
+  // offline build; answers every query exactly as the saved index did.
+  // IngestNewContent still works afterwards (copy-on-write thaw).
+  static Lsei FromSnapshot(const SemanticDataLake* lake,
+                           const EmbeddingStore* embeddings,
+                           const LseiOptions& options,
+                           const LseiSnapshotParts& parts);
 
   const LseiOptions& options() const { return options_; }
 
@@ -80,7 +112,31 @@ class Lsei {
   // Diagnostics: non-empty buckets across all groups.
   size_t NumBuckets() const { return index_.NumBuckets(); }
 
+  // Snapshot-writer surface: the flat build products in their canonical
+  // serialized shapes (PackedEntityItems materializes the sorted pairs
+  // from whichever representation is live).
+  std::span<const EntityId> indexed_entities() const {
+    return indexed_entities_.span();
+  }
+  std::span<const uint32_t> entity_signatures_flat() const {
+    return entity_signatures_.span();
+  }
+  std::span<const uint64_t> indexed_columns_packed() const {
+    return indexed_columns_.span();
+  }
+  std::vector<uint64_t> PackedEntityItems() const;
+  size_t indexed_tables() const { return indexed_tables_; }
+  size_t num_items() const { return index_.num_items(); }
+  const BandedIndex& band_index() const { return index_; }
+
  private:
+  // No item for this entity (uint32 item ids never reach this).
+  static constexpr uint32_t kNoItem = 0xffffffffu;
+
+  struct SnapshotTag {};
+  Lsei(const SemanticDataLake* lake, const EmbeddingStore* embeddings,
+       const LseiOptions& options, SnapshotTag);
+
   // Signature of one entity under the configured mode. Thread-safe: reads
   // only immutable lake/embedding/hasher state.
   std::vector<uint32_t> EntitySignature(EntityId e) const;
@@ -93,6 +149,20 @@ class Lsei {
   std::vector<uint64_t> EntityShingles(EntityId e) const;
   // Type set with the frequent-type filter applied.
   std::vector<TypeId> FilteredTypes(EntityId e) const;
+
+  // Item id of an already-indexed entity (kNoItem when unseen), across
+  // both representations: the live hash map, then the snapshot's sorted
+  // pairs by binary search.
+  uint32_t ItemOfEntity(EntityId e) const;
+  // Build-time signature of item i: row i of the flat signature array.
+  std::span<const uint32_t> SignatureOfItem(uint32_t item) const {
+    return entity_signatures_.span().subspan(
+        static_cast<size_t>(item) * options_.num_functions,
+        options_.num_functions);
+  }
+  // Migrates the snapshot's sorted entity → item pairs into the live hash
+  // map so incremental ingest can dedup against them (no-op when live).
+  void ThawForIngest();
 
   // Votes semantics over a bag of tables.
   static std::vector<TableId> FilterByVotes(std::vector<TableId> bag,
@@ -115,17 +185,22 @@ class Lsei {
 
   // Entity mode: item ids index into indexed_entities_; entity_item_ maps
   // an entity back to its item, serving both duplicate detection during
-  // incremental ingest and signature reuse at query time.
-  std::vector<EntityId> indexed_entities_;
+  // incremental ingest and signature reuse at query time. A
+  // snapshot-restored index carries the map as frozen_entity_items_
+  // (sorted (entity << 32 | item) pairs, binary-searched) instead.
+  FlatArray<EntityId> indexed_entities_;
   std::unordered_map<EntityId, uint32_t> entity_item_;
-  // Signature of indexed_entities_[i], kept so query-time lookups of
+  FlatArray<uint64_t> frozen_entity_items_;
+  // Signature of indexed_entities_[i] as row i of a flat row-major array
+  // of width options_.num_functions, kept so query-time lookups of
   // already-indexed entities skip recomputing shingles/projections and
   // reuse the build-time signature (the common case: most query entities
   // are mentioned somewhere in the lake).
-  std::vector<std::vector<uint32_t>> entity_signatures_;
-  // Column mode: item ids index into indexed_columns_ (table, column);
-  // tables below indexed_tables_ are already inserted.
-  std::vector<std::pair<TableId, uint32_t>> indexed_columns_;
+  FlatArray<uint32_t> entity_signatures_;
+  // Column mode: item i is column (indexed_columns_[i] >> 32,
+  // indexed_columns_[i] & 0xffffffff); tables below indexed_tables_ are
+  // already inserted.
+  FlatArray<uint64_t> indexed_columns_;
   size_t indexed_tables_ = 0;
 };
 

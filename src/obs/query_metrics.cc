@@ -116,6 +116,21 @@ struct EngineMetrics {
   }
 };
 
+struct SnapshotMetrics {
+  MetricsRegistry& r = MetricsRegistry::Global();
+  Counter& saves = r.counter("thetis_snapshot_saves_total");
+  Counter& loads = r.counter("thetis_snapshot_loads_total");
+  Counter& bytes_written = r.counter("thetis_snapshot_bytes_written");
+  Gauge& bytes_mapped = r.gauge("thetis_snapshot_bytes_mapped");
+  Histogram& save_latency = r.histogram("thetis_snapshot_save_ns");
+  Histogram& load_latency = r.histogram("thetis_snapshot_load_ns");
+
+  static SnapshotMetrics& Get() {
+    static SnapshotMetrics* m = new SnapshotMetrics();
+    return *m;
+  }
+};
+
 }  // namespace
 
 void RecordQuery(uint64_t tables_scored, uint64_t tables_nonzero,
@@ -217,6 +232,20 @@ void RecordEngineBuild(uint64_t tables, uint64_t distinct_signatures) {
   m.builds.Increment();
   m.tables.Add(tables);
   m.distinct_signatures.Add(distinct_signatures);
+}
+
+void RecordSnapshotSave(uint64_t bytes, double seconds) {
+  SnapshotMetrics& m = SnapshotMetrics::Get();
+  m.saves.Increment();
+  m.bytes_written.Add(bytes);
+  m.save_latency.Record(ToNanos(seconds));
+}
+
+void RecordSnapshotLoad(uint64_t bytes, double seconds) {
+  SnapshotMetrics& m = SnapshotMetrics::Get();
+  m.loads.Increment();
+  m.bytes_mapped.Set(static_cast<int64_t>(bytes));
+  m.load_latency.Record(ToNanos(seconds));
 }
 
 void TraceAggregate(const char* name, double seconds) {

@@ -32,7 +32,10 @@
 //   build_lsei_inserts_per_sec, build_engine_<phase>_latency_ns
 //     — the offline-pipeline (build_*) family; throughput histograms take
 //     one sample per build/epoch, so their distribution is across builds,
-//     not across items.
+//     not across items;
+//   snapshot_saves_total, snapshot_loads_total, snapshot_bytes_written,
+//   snapshot_bytes_mapped (gauge), snapshot_save_ns, snapshot_load_ns
+//     — the engine-snapshot persistence layer (src/io).
 namespace thetis::obs {
 
 #ifndef THETIS_DISABLE_OBS
@@ -78,6 +81,11 @@ void RecordEngineBuildPhase(const char* phase, double seconds);
 // upper bound on reuse).
 void RecordEngineBuild(uint64_t tables, uint64_t distinct_signatures);
 
+// One engine snapshot written (`bytes` on disk) / mmap-loaded (`bytes`
+// mapped; also sets the snapshot_bytes_mapped gauge).
+void RecordSnapshotSave(uint64_t bytes, double seconds);
+void RecordSnapshotLoad(uint64_t bytes, double seconds);
+
 // Emits an aggregated pseudo-span of `seconds` ending now into the trace
 // (no-op when tracing is off). Used for durations accumulated across an
 // inner loop too hot for per-iteration spans, e.g. the total Hungarian
@@ -99,6 +107,8 @@ inline void RecordWalkBuild(uint64_t, double) {}
 inline void RecordLseiBuild(uint64_t, double) {}
 inline void RecordEngineBuildPhase(const char*, double) {}
 inline void RecordEngineBuild(uint64_t, uint64_t) {}
+inline void RecordSnapshotSave(uint64_t, double) {}
+inline void RecordSnapshotLoad(uint64_t, double) {}
 inline void TraceAggregate(const char*, double) {}
 
 #endif  // THETIS_DISABLE_OBS

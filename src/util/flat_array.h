@@ -1,0 +1,81 @@
+#ifndef THETIS_UTIL_FLAT_ARRAY_H_
+#define THETIS_UTIL_FLAT_ARRAY_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace thetis {
+
+// A read-mostly flat array that either owns its storage (a std::vector) or
+// views storage owned by someone else (an mmap'd engine snapshot — see
+// src/io). The index structures on the query hot path (corpus column
+// arena, σ-class signature index, type CSR, frozen LSH buckets) hold their
+// pools in FlatArrays so a snapshot-loaded engine reads straight out of the
+// page cache with zero deserialization, while a freshly built engine keeps
+// the exact vectors it built.
+//
+// View lifetime is the caller's problem: the backing mapping must outlive
+// the FlatArray (the snapshot loader owns both, in that order). Mutation
+// requires ownership: mutable_owned() materializes a private copy of a
+// viewed array first (copy-on-write), which is what lets post-snapshot
+// ingest paths keep working.
+template <typename T>
+class FlatArray {
+ public:
+  FlatArray() = default;
+  // Owning: adopts the vector (implicit, so `array_ = std::move(vec)` reads
+  // naturally at build sites).
+  FlatArray(std::vector<T> owned)  // NOLINT(runtime/explicit)
+      : owned_(std::move(owned)) {}
+
+  // Non-owning view over externally owned storage.
+  static FlatArray View(const T* data, size_t size) {
+    FlatArray a;
+    a.view_data_ = data;
+    a.view_size_ = size;
+    a.is_view_ = true;
+    return a;
+  }
+  static FlatArray View(std::span<const T> s) { return View(s.data(), s.size()); }
+
+  bool is_view() const { return is_view_; }
+  const T* data() const { return is_view_ ? view_data_ : owned_.data(); }
+  size_t size() const { return is_view_ ? view_size_ : owned_.size(); }
+  bool empty() const { return size() == 0; }
+  const T& operator[](size_t i) const { return data()[i]; }
+  const T& back() const { return data()[size() - 1]; }
+  const T* begin() const { return data(); }
+  const T* end() const { return data() + size(); }
+  std::span<const T> span() const { return {data(), size()}; }
+
+  // Element-wise content equality, independent of storage mode (an owned
+  // array equals a view over identical bytes).
+  friend bool operator==(const FlatArray& a, const FlatArray& b) {
+    return std::equal(a.begin(), a.end(), b.begin(), b.end());
+  }
+
+  // Write access; materializes an owned copy first when viewing. Later
+  // reads through data()/size() reflect any mutation of the returned
+  // vector (accessors always re-derive from owned_ once owned).
+  std::vector<T>& mutable_owned() {
+    if (is_view_) {
+      owned_.assign(view_data_, view_data_ + view_size_);
+      view_data_ = nullptr;
+      view_size_ = 0;
+      is_view_ = false;
+    }
+    return owned_;
+  }
+
+ private:
+  std::vector<T> owned_;
+  const T* view_data_ = nullptr;
+  size_t view_size_ = 0;
+  bool is_view_ = false;
+};
+
+}  // namespace thetis
+
+#endif  // THETIS_UTIL_FLAT_ARRAY_H_

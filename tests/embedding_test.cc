@@ -127,6 +127,76 @@ TEST(EmbeddingStoreTest, BinaryLoadRejectsGarbage) {
   EXPECT_FALSE(EmbeddingStore::LoadBinary(path).ok());
 }
 
+namespace {
+
+// Writes a TEMB binary file with an arbitrary header and payload size, for
+// the malformed-input tests below.
+void WriteBinaryFile(const std::string& path, const char magic[4],
+                     uint32_t version, uint64_t count, uint64_t dim,
+                     size_t payload_bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(magic, 4);
+  out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  out.write(reinterpret_cast<const char*>(&dim), sizeof(dim));
+  const std::string payload(payload_bytes, '\x42');
+  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+}
+
+}  // namespace
+
+TEST(EmbeddingStoreTest, BinaryLoadValidatesHeaderAgainstFileLength) {
+  const std::string path = testing::TempDir() + "/emb_malformed.bin";
+  const char magic[4] = {'T', 'E', 'M', 'B'};
+
+  // Header declares more rows than the payload holds.
+  WriteBinaryFile(path, magic, 1, /*count=*/8, /*dim=*/4,
+                  /*payload_bytes=*/7 * 4 * sizeof(float));
+  auto shorted = EmbeddingStore::LoadBinary(path);
+  EXPECT_FALSE(shorted.ok());
+  EXPECT_EQ(shorted.status().code(), StatusCode::kInvalidArgument);
+
+  // Trailing bytes beyond count x dim are an error, not silently ignored.
+  WriteBinaryFile(path, magic, 1, /*count=*/2, /*dim=*/4,
+                  /*payload_bytes=*/2 * 4 * sizeof(float) + 1);
+  EXPECT_FALSE(EmbeddingStore::LoadBinary(path).ok());
+
+  // An empty store must have an exactly-empty payload.
+  WriteBinaryFile(path, magic, 1, /*count=*/0, /*dim=*/0,
+                  /*payload_bytes=*/3);
+  EXPECT_FALSE(EmbeddingStore::LoadBinary(path).ok());
+  WriteBinaryFile(path, magic, 1, /*count=*/0, /*dim=*/0,
+                  /*payload_bytes=*/0);
+  auto empty = EmbeddingStore::LoadBinary(path);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(empty.value().size(), 0u);
+
+  // Unsupported version.
+  WriteBinaryFile(path, magic, 7, /*count=*/0, /*dim=*/0, 0);
+  EXPECT_FALSE(EmbeddingStore::LoadBinary(path).ok());
+
+  // Truncated mid-header.
+  std::error_code ec;
+  WriteBinaryFile(path, magic, 1, 1, 1, sizeof(float));
+  std::filesystem::resize_file(path, 10, ec);
+  ASSERT_FALSE(ec);
+  EXPECT_FALSE(EmbeddingStore::LoadBinary(path).ok());
+}
+
+TEST(EmbeddingStoreTest, BinaryLoadRejectsOverflowingCounts) {
+  const std::string path = testing::TempDir() + "/emb_overflow.bin";
+  const char magic[4] = {'T', 'E', 'M', 'B'};
+  // count * dim (and count * dim * sizeof(float)) overflow size_t; the
+  // header checks must catch this before any multiplication is trusted.
+  const uint64_t huge = UINT64_C(0x4000000000000001);
+  WriteBinaryFile(path, magic, 1, /*count=*/huge, /*dim=*/8, /*payload=*/32);
+  auto loaded = EmbeddingStore::LoadBinary(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  WriteBinaryFile(path, magic, 1, /*count=*/8, /*dim=*/huge, /*payload=*/32);
+  EXPECT_FALSE(EmbeddingStore::LoadBinary(path).ok());
+}
+
 TEST(EmbeddingStoreTest, NormCacheInvalidatedByMutableAccess) {
   EmbeddingStore store(2, 2);
   store.mutable_vector(0)[0] = 3.0f;

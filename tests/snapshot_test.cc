@@ -1,0 +1,586 @@
+// Engine-snapshot persistence (src/io): round-trip ranking parity,
+// corruption robustness, and on-disk format pinning.
+//
+// Three families of guarantees:
+//
+//  * Parity — an engine restored from a snapshot answers every query
+//    bit-identically to the engine it was saved from, across the
+//    cache/prune/parallel query variants and through the LSEI prefilter.
+//    (Those toggles are exact by contract, so everything is compared
+//    against one baseline ranking.)
+//  * Robustness — no corrupted, truncated, tampered or mismatched file may
+//    crash the loader: every case must come back as a clean Status. These
+//    tests byte-flip every section, truncate at and inside every boundary,
+//    shuffle the section table, forge kinds/offsets/checksums, and replay
+//    the load against the wrong lake. The whole binary runs under
+//    ASan/UBSan in CI, so "no crash" includes "no silent UB".
+//  * Format pinning — the writer's byte stream is a pure function of the
+//    appended sections, pinned by a checked-in golden fixture built from a
+//    hand-constructed integer-only micro-lake (no floating-point pipeline
+//    output, so the bytes are stable across toolchains). Regenerate with
+//    THETIS_REGEN_GOLDEN=1 after a deliberate format change — which must
+//    also bump kSnapshotVersion.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "benchgen/benchmark_factory.h"
+#include "core/search_engine.h"
+#include "core/similarity.h"
+#include "io/engine_snapshot.h"
+#include "io/snapshot_format.h"
+#include "io/snapshot_reader.h"
+#include "io/snapshot_writer.h"
+#include "lsh/lsei.h"
+#include "semantic/semantic_data_lake.h"
+#include "util/thread_pool.h"
+
+namespace thetis {
+namespace {
+
+using benchgen::Benchmark;
+using benchgen::GeneratedQuery;
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void WriteAll(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+SnapshotHeader HeaderOf(const std::string& bytes) {
+  SnapshotHeader header;
+  std::memcpy(&header, bytes.data(), sizeof(header));
+  return header;
+}
+
+void PatchHeader(std::string* bytes, const SnapshotHeader& header) {
+  std::memcpy(bytes->data(), &header, sizeof(header));
+}
+
+// Tampers with section-table entry `index` and then REPAIRS the table
+// checksum, so the per-entry validation (not the table hash) must catch it.
+void PatchEntry(std::string* bytes, size_t index,
+                const std::function<void(SectionEntry*)>& mutate) {
+  SnapshotHeader header = HeaderOf(*bytes);
+  ASSERT_LT(index, header.section_count);
+  char* slot = bytes->data() + header.table_offset + index * sizeof(SectionEntry);
+  SectionEntry entry;
+  std::memcpy(&entry, slot, sizeof(entry));
+  mutate(&entry);
+  std::memcpy(slot, &entry, sizeof(entry));
+  header.table_checksum =
+      SnapshotChecksum(bytes->data() + header.table_offset,
+                       header.section_count * sizeof(SectionEntry));
+  PatchHeader(bytes, header);
+}
+
+// One shared world: a small benchmark lake, a types-mode engine + LSEI
+// built over it, and one saved snapshot. Tests read; none mutates.
+class SnapshotTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    bench_ = new Benchmark(
+        benchgen::MakeBenchmark(benchgen::PresetKind::kWt2015Like, 0.15, 33));
+    lake_ = new SemanticDataLake(&bench_->lake.corpus, &bench_->kg.kg);
+    types_ = new TypeJaccardSimilarity(&bench_->kg.kg);
+    engine_ = new SearchEngine(lake_, types_);
+    LseiOptions lsh;
+    lsh.num_functions = 30;
+    lsh.band_size = 10;
+    lsei_ = new Lsei(lake_, nullptr, lsh);
+    queries_ = new std::vector<GeneratedQuery>(
+        benchgen::MakeQueries(bench_->kg, 6));
+    path_ = new std::string(testing::TempDir() + "/engine_parity.snap");
+    EngineSnapshotParts parts;
+    parts.lake = lake_;
+    parts.engine = engine_;
+    parts.lsei = lsei_;
+    Status saved = SaveEngineSnapshot(*path_, parts);
+    ASSERT_TRUE(saved.ok()) << saved.ToString();
+  }
+  static void TearDownTestSuite() {
+    delete path_;
+    delete queries_;
+    delete lsei_;
+    delete engine_;
+    delete types_;
+    delete lake_;
+    delete bench_;
+  }
+
+  // Writes `bytes` to a scratch file and attempts a full engine load.
+  static Status TryLoad(const std::string& bytes) {
+    const std::string scratch = testing::TempDir() + "/tampered.snap";
+    WriteAll(scratch, bytes);
+    auto loaded = LoadedEngine::Load(scratch, lake_);
+    return loaded.ok() ? Status::Ok() : loaded.status();
+  }
+
+  static void ExpectHitsEqual(const std::vector<SearchHit>& expected,
+                              const std::vector<SearchHit>& actual) {
+    ASSERT_EQ(expected.size(), actual.size());
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(expected[i].table, actual[i].table) << "rank " << i;
+      // Bit-identical, not approximately equal: the snapshot restores the
+      // same arrays the build produced.
+      EXPECT_EQ(expected[i].score, actual[i].score) << "rank " << i;
+    }
+  }
+
+  static Benchmark* bench_;
+  static SemanticDataLake* lake_;
+  static TypeJaccardSimilarity* types_;
+  static SearchEngine* engine_;
+  static Lsei* lsei_;
+  static std::vector<GeneratedQuery>* queries_;
+  static std::string* path_;
+};
+
+Benchmark* SnapshotTest::bench_ = nullptr;
+SemanticDataLake* SnapshotTest::lake_ = nullptr;
+TypeJaccardSimilarity* SnapshotTest::types_ = nullptr;
+SearchEngine* SnapshotTest::engine_ = nullptr;
+Lsei* SnapshotTest::lsei_ = nullptr;
+std::vector<GeneratedQuery>* SnapshotTest::queries_ = nullptr;
+std::string* SnapshotTest::path_ = nullptr;
+
+TEST_F(SnapshotTest, RoundTripSearchParityAcrossQueryVariants) {
+  auto loaded = LoadedEngine::Load(*path_, lake_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  LoadedEngine& restored = *loaded.value();
+  EXPECT_EQ(restored.similarity().name(), "types");
+  EXPECT_GT(restored.mapped_bytes(), sizeof(SnapshotHeader));
+
+  ThreadPool pool(4);
+  for (const GeneratedQuery& q : *queries_) {
+    const std::vector<SearchHit> baseline = engine_->Search(q.query);
+
+    // Default options (cache + prune on, as saved).
+    ExpectHitsEqual(baseline, restored.engine().Search(q.query));
+    // Parallel scoring over the restored arena.
+    ExpectHitsEqual(baseline,
+                    restored.engine().SearchParallel(q.query, &pool));
+
+    // Cache and prune off: both are exact toggles, so the restored engine
+    // must still reproduce the baseline bit for bit.
+    SearchOptions variant = engine_->options();
+    variant.enable_cache = false;
+    restored.mutable_engine()->set_options(variant);
+    ExpectHitsEqual(baseline, restored.engine().Search(q.query));
+    variant.enable_cache = true;
+    variant.enable_prune = false;
+    restored.mutable_engine()->set_options(variant);
+    ExpectHitsEqual(baseline, restored.engine().Search(q.query));
+    restored.mutable_engine()->set_options(engine_->options());
+  }
+}
+
+TEST_F(SnapshotTest, RoundTripExplainParity) {
+  auto loaded = LoadedEngine::Load(*path_, lake_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  for (const GeneratedQuery& q : *queries_) {
+    const std::vector<SearchHit> hits = engine_->Search(q.query);
+    if (hits.empty()) continue;
+    const Explanation expected = engine_->Explain(q.query, hits[0].table);
+    const Explanation actual =
+        loaded.value()->engine().Explain(q.query, hits[0].table);
+    EXPECT_EQ(expected.score, actual.score);
+    ASSERT_EQ(expected.tuples.size(), actual.tuples.size());
+    for (size_t t = 0; t < expected.tuples.size(); ++t) {
+      EXPECT_EQ(expected.tuples[t].score, actual.tuples[t].score);
+      ASSERT_EQ(expected.tuples[t].entities.size(),
+                actual.tuples[t].entities.size());
+      for (size_t e = 0; e < expected.tuples[t].entities.size(); ++e) {
+        const EntityExplanation& want = expected.tuples[t].entities[e];
+        const EntityExplanation& got = actual.tuples[t].entities[e];
+        EXPECT_EQ(want.entity, got.entity);
+        EXPECT_EQ(want.column, got.column);
+        EXPECT_EQ(want.coordinate, got.coordinate);
+        EXPECT_EQ(want.weight, got.weight);
+        EXPECT_EQ(want.best_match, got.best_match);
+      }
+    }
+  }
+}
+
+TEST_F(SnapshotTest, RoundTripLseiParity) {
+  auto loaded = LoadedEngine::Load(*path_, lake_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_NE(loaded.value()->lsei(), nullptr);
+  const Lsei& restored = *loaded.value()->lsei();
+  EXPECT_EQ(restored.num_items(), lsei_->num_items());
+  EXPECT_EQ(restored.NumBuckets(), lsei_->NumBuckets());
+  for (const GeneratedQuery& q : *queries_) {
+    EXPECT_EQ(lsei_->CandidateTablesForQuery(q.query.tuples, 2),
+              restored.CandidateTablesForQuery(q.query.tuples, 2));
+    // Through the prefiltered engine: end-to-end hit parity.
+    PrefilteredSearchEngine built_fast(engine_, lsei_, /*votes=*/2);
+    PrefilteredSearchEngine restored_fast(&loaded.value()->engine(),
+                                          &restored, /*votes=*/2);
+    ExpectHitsEqual(built_fast.Search(q.query), restored_fast.Search(q.query));
+  }
+}
+
+TEST_F(SnapshotTest, SaveIsDeterministic) {
+  const std::string again = testing::TempDir() + "/engine_again.snap";
+  EngineSnapshotParts parts;
+  parts.lake = lake_;
+  parts.engine = engine_;
+  parts.lsei = lsei_;
+  ASSERT_TRUE(SaveEngineSnapshot(again, parts).ok());
+  EXPECT_EQ(ReadAll(*path_), ReadAll(again))
+      << "snapshot bytes must be a pure function of the engine state";
+}
+
+TEST_F(SnapshotTest, LoadWithoutChecksumVerificationStillMatches) {
+  LoadedEngine::Options options;
+  options.verify = false;
+  auto loaded = LoadedEngine::Load(*path_, lake_, options);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const GeneratedQuery& q = queries_->front();
+  ExpectHitsEqual(engine_->Search(q.query),
+                  loaded.value()->engine().Search(q.query));
+}
+
+TEST_F(SnapshotTest, LoadRejectsDifferentLake) {
+  Benchmark other =
+      benchgen::MakeBenchmark(benchgen::PresetKind::kWt2015Like, 0.1, 99);
+  SemanticDataLake other_lake(&other.lake.corpus, &other.kg.kg);
+  auto loaded = LoadedEngine::Load(*path_, &other_lake);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(loaded.status().ToString().find("different lake"),
+            std::string::npos)
+      << loaded.status().ToString();
+}
+
+TEST_F(SnapshotTest, ByteFlipInEverySectionIsRejected) {
+  const std::string clean = ReadAll(*path_);
+  auto reader = SnapshotReader::Open(*path_);
+  ASSERT_TRUE(reader.ok());
+  for (const SnapshotReader::SectionInfo& section :
+       reader.value().sections()) {
+    if (section.length == 0) continue;
+    std::string tampered = clean;
+    tampered[section.offset + section.length / 2] ^= 0x01;
+    Status status = TryLoad(tampered);
+    ASSERT_FALSE(status.ok())
+        << "flip in section kind " << section.kind << " went undetected";
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  }
+  // A flip inside the section table itself.
+  const SnapshotHeader header = HeaderOf(clean);
+  std::string tampered = clean;
+  tampered[header.table_offset + sizeof(SectionEntry) / 2] ^= 0x01;
+  EXPECT_FALSE(TryLoad(tampered).ok());
+}
+
+TEST_F(SnapshotTest, TruncationAtAndInsideEveryBoundaryIsRejected) {
+  const std::string clean = ReadAll(*path_);
+  auto reader = SnapshotReader::Open(*path_);
+  ASSERT_TRUE(reader.ok());
+  std::vector<size_t> cuts = {0, 1, sizeof(SnapshotHeader) - 1,
+                              sizeof(SnapshotHeader), clean.size() - 1};
+  for (const SnapshotReader::SectionInfo& section :
+       reader.value().sections()) {
+    cuts.push_back(section.offset);
+    cuts.push_back(section.offset + section.length / 2);
+  }
+  for (size_t cut : cuts) {
+    ASSERT_LT(cut, clean.size());
+    Status status = TryLoad(clean.substr(0, cut));
+    EXPECT_FALSE(status.ok()) << "truncation to " << cut << " bytes loaded";
+  }
+}
+
+TEST_F(SnapshotTest, ShuffledSectionTableIsRejected) {
+  std::string tampered = ReadAll(*path_);
+  const SnapshotHeader header = HeaderOf(tampered);
+  ASSERT_GE(header.section_count, 2u);
+  char* table = tampered.data() + header.table_offset;
+  // Swap the first two entries without repairing the table checksum.
+  SectionEntry a, b;
+  std::memcpy(&a, table, sizeof(a));
+  std::memcpy(&b, table + sizeof(a), sizeof(b));
+  std::memcpy(table, &b, sizeof(b));
+  std::memcpy(table + sizeof(a), &a, sizeof(a));
+  Status status = TryLoad(tampered);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("corrupted or shuffled"),
+            std::string::npos)
+      << status.ToString();
+}
+
+TEST_F(SnapshotTest, ZeroedChecksumsAreRejected) {
+  const std::string clean = ReadAll(*path_);
+  {
+    // Zero the header's table checksum.
+    std::string tampered = clean;
+    SnapshotHeader header = HeaderOf(tampered);
+    header.table_checksum = 0;
+    PatchHeader(&tampered, header);
+    EXPECT_FALSE(TryLoad(tampered).ok());
+  }
+  {
+    // Zero one section's checksum inside the table (table hash catches it).
+    std::string tampered = clean;
+    const SnapshotHeader header = HeaderOf(tampered);
+    SectionEntry entry;
+    std::memcpy(&entry, tampered.data() + header.table_offset, sizeof(entry));
+    entry.checksum = 0;
+    std::memcpy(tampered.data() + header.table_offset, &entry, sizeof(entry));
+    EXPECT_FALSE(TryLoad(tampered).ok());
+  }
+  {
+    // Same, but with the table checksum repaired: now the per-section
+    // verification must catch the forged hash.
+    std::string tampered = clean;
+    PatchEntry(&tampered, 0, [](SectionEntry* e) { e->checksum = 0; });
+    Status status = TryLoad(tampered);
+    ASSERT_FALSE(status.ok());
+    EXPECT_NE(status.ToString().find("failed its checksum"),
+              std::string::npos)
+        << status.ToString();
+  }
+}
+
+TEST_F(SnapshotTest, ForgedSectionEntriesAreRejected) {
+  const std::string clean = ReadAll(*path_);
+  {
+    // Duplicate kind (consistency checksums repaired).
+    std::string tampered = clean;
+    SectionEntry first;
+    std::memcpy(&first, tampered.data() + HeaderOf(tampered).table_offset,
+                sizeof(first));
+    PatchEntry(&tampered, 1,
+               [&first](SectionEntry* e) { e->kind = first.kind; });
+    Status status = TryLoad(tampered);
+    ASSERT_FALSE(status.ok());
+    EXPECT_NE(status.ToString().find("duplicate"), std::string::npos)
+        << status.ToString();
+  }
+  {
+    // Misaligned offset.
+    std::string tampered = clean;
+    PatchEntry(&tampered, 0, [](SectionEntry* e) { e->offset += 1; });
+    Status status = TryLoad(tampered);
+    ASSERT_FALSE(status.ok());
+    EXPECT_NE(status.ToString().find("misaligned"), std::string::npos)
+        << status.ToString();
+  }
+  {
+    // Out-of-bounds length (aligned, so the bounds check must catch it).
+    std::string tampered = clean;
+    PatchEntry(&tampered, 0,
+               [&clean](SectionEntry* e) { e->length = clean.size() * 2; });
+    Status status = TryLoad(tampered);
+    ASSERT_FALSE(status.ok());
+    EXPECT_NE(status.ToString().find("bounds"), std::string::npos)
+        << status.ToString();
+  }
+  {
+    // Implausible section count.
+    std::string tampered = clean;
+    SnapshotHeader header = HeaderOf(tampered);
+    header.section_count = kMaxSections + 1;
+    PatchHeader(&tampered, header);
+    EXPECT_FALSE(TryLoad(tampered).ok());
+  }
+}
+
+TEST_F(SnapshotTest, BadMagicVersionAndEndiannessAreDescriptiveErrors) {
+  const std::string clean = ReadAll(*path_);
+  {
+    std::string tampered = clean;
+    SnapshotHeader header = HeaderOf(tampered);
+    header.magic = 0x1122334455667788ull;
+    PatchHeader(&tampered, header);
+    Status status = TryLoad(tampered);
+    ASSERT_FALSE(status.ok());
+    EXPECT_NE(status.ToString().find("bad magic"), std::string::npos)
+        << status.ToString();
+  }
+  {
+    // Byte-swapped magic: the file came from the other endianness.
+    std::string tampered = clean;
+    for (size_t i = 0; i < 4; ++i) std::swap(tampered[i], tampered[7 - i]);
+    Status status = TryLoad(tampered);
+    ASSERT_FALSE(status.ok());
+    EXPECT_NE(status.ToString().find("endianness"), std::string::npos)
+        << status.ToString();
+  }
+  {
+    // Byte-swapped endian marker with an intact magic.
+    std::string tampered = clean;
+    SnapshotHeader header = HeaderOf(tampered);
+    header.endian = 0x04030201u;
+    PatchHeader(&tampered, header);
+    Status status = TryLoad(tampered);
+    ASSERT_FALSE(status.ok());
+    EXPECT_NE(status.ToString().find("endianness"), std::string::npos)
+        << status.ToString();
+  }
+  {
+    // A future format version must be refused, naming both versions.
+    std::string tampered = clean;
+    SnapshotHeader header = HeaderOf(tampered);
+    header.version = kSnapshotVersion + 41;
+    PatchHeader(&tampered, header);
+    Status status = TryLoad(tampered);
+    ASSERT_FALSE(status.ok());
+    EXPECT_NE(status.ToString().find("unsupported engine snapshot version"),
+              std::string::npos)
+        << status.ToString();
+    EXPECT_NE(status.ToString().find(std::to_string(kSnapshotVersion + 41)),
+              std::string::npos)
+        << status.ToString();
+  }
+}
+
+TEST_F(SnapshotTest, ReaderToleratesUnknownSectionKinds) {
+  // Forward compatibility: a newer writer may append kinds this build does
+  // not know. They are bounds-checked and skipped, not fatal.
+  const std::string path = testing::TempDir() + "/unknown_kind.snap";
+  SnapshotWriter writer(path);
+  const uint32_t payload[4] = {1, 2, 3, 4};
+  ASSERT_TRUE(writer
+                  .AppendSection(static_cast<SectionKind>(999), payload,
+                                 sizeof(payload))
+                  .ok());
+  const uint64_t known[2] = {7, 8};
+  ASSERT_TRUE(writer
+                  .AppendArray<uint64_t>(SectionKind::kArenaTableOffsets,
+                                         std::span<const uint64_t>(known))
+                  .ok());
+  ASSERT_TRUE(writer.Finish().ok());
+  auto reader = SnapshotReader::Open(path);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  auto array = reader.value().Array<uint64_t>(SectionKind::kArenaTableOffsets);
+  ASSERT_TRUE(array.ok());
+  ASSERT_EQ(array.value().size(), 2u);
+  EXPECT_EQ(array.value()[0], 7u);
+}
+
+// --- Golden-file format pinning -------------------------------------------
+
+// A hand-built, integer-only micro-lake: every byte of its snapshot is a
+// deterministic function of this code (type ids, entity ids, table names,
+// MinHash over integers), with no floating-point pipeline output that
+// could drift across toolchains. Embeddings are deliberately absent.
+struct MicroLake {
+  KnowledgeGraph kg;
+  Corpus corpus;
+
+  MicroLake() {
+    TypeId thing = kg.mutable_taxonomy()->AddType("thing").value();
+    TypeId person = kg.mutable_taxonomy()->AddType("person", thing).value();
+    TypeId city = kg.mutable_taxonomy()->AddType("city", thing).value();
+    TypeId club = kg.mutable_taxonomy()->AddType("club", thing).value();
+    const TypeId kinds[8] = {person, person, person, city,
+                             city,   club,   club,   person};
+    for (int i = 0; i < 8; ++i) {
+      EntityId e = kg.AddEntity("entity_" + std::to_string(i)).value();
+      EXPECT_TRUE(kg.AddEntityType(e, kinds[i]).ok());
+    }
+    AddTable("people", {{0, 1}, {2, 7}});
+    AddTable("places", {{3, 4}, {4, 3}});
+    AddTable("mixed", {{0, 5}, {3, 6}, {7, 5}});
+  }
+
+  void AddTable(const std::string& name,
+                const std::vector<std::vector<EntityId>>& rows) {
+    Table table(name, {"a", "b"});
+    for (const std::vector<EntityId>& row : rows) {
+      std::vector<Value> cells;
+      for (EntityId e : row) {
+        cells.push_back(Value::Number(static_cast<double>(e)));
+      }
+      EXPECT_TRUE(table.AppendRow(std::move(cells),
+                                  std::vector<EntityId>(row)).ok());
+    }
+    EXPECT_TRUE(corpus.AddTable(std::move(table)).ok());
+  }
+};
+
+std::string GoldenPath() {
+  return std::string(THETIS_SOURCE_DIR) +
+         "/tests/golden/engine_snapshot_v1.snap";
+}
+
+std::string BuildMicroSnapshot(const MicroLake& micro,
+                               const SemanticDataLake& lake,
+                               const std::string& path) {
+  TypeJaccardSimilarity types(&micro.kg);
+  SearchEngine engine(&lake, &types);
+  LseiOptions lsh;
+  lsh.num_functions = 6;
+  lsh.band_size = 3;
+  Lsei lsei(&lake, nullptr, lsh);
+  EngineSnapshotParts parts;
+  parts.lake = &lake;
+  parts.engine = &engine;
+  parts.lsei = &lsei;
+  EXPECT_TRUE(SaveEngineSnapshot(path, parts).ok());
+  return ReadAll(path);
+}
+
+TEST(GoldenSnapshotTest, WriterMatchesCheckedInFixtureByteForByte) {
+  MicroLake micro;
+  SemanticDataLake lake(&micro.corpus, &micro.kg);
+  const std::string scratch = testing::TempDir() + "/golden_candidate.snap";
+  const std::string bytes = BuildMicroSnapshot(micro, lake, scratch);
+  if (std::getenv("THETIS_REGEN_GOLDEN") != nullptr) {
+    WriteAll(GoldenPath(), bytes);
+    GTEST_SKIP() << "regenerated " << GoldenPath();
+  }
+  const std::string golden = ReadAll(GoldenPath());
+  ASSERT_EQ(golden.size(), bytes.size())
+      << "snapshot format changed size; if intentional, bump "
+         "kSnapshotVersion and regenerate with THETIS_REGEN_GOLDEN=1";
+  EXPECT_TRUE(golden == bytes)
+      << "snapshot bytes diverged from the checked-in fixture; if "
+         "intentional, bump kSnapshotVersion and regenerate with "
+         "THETIS_REGEN_GOLDEN=1";
+}
+
+TEST(GoldenSnapshotTest, CheckedInFixtureLoadsAndAnswersQueries) {
+  MicroLake micro;
+  SemanticDataLake lake(&micro.corpus, &micro.kg);
+  auto loaded = LoadedEngine::Load(GoldenPath(), &lake);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_NE(loaded.value()->lsei(), nullptr);
+
+  TypeJaccardSimilarity types(&micro.kg);
+  SearchEngine built(&lake, &types);
+  Query query;
+  query.tuples.push_back({0, 1});
+  const std::vector<SearchHit> expected = built.Search(query);
+  const std::vector<SearchHit> actual = loaded.value()->engine().Search(query);
+  ASSERT_EQ(expected.size(), actual.size());
+  ASSERT_FALSE(actual.empty());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(expected[i].table, actual[i].table);
+    EXPECT_EQ(expected[i].score, actual[i].score);
+  }
+  // Pin the semantics, not just the parity: the all-person query must rank
+  // the all-person table first.
+  EXPECT_EQ(micro.corpus.table(actual[0].table).name(), "people");
+}
+
+}  // namespace
+}  // namespace thetis
