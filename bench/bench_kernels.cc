@@ -10,6 +10,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -69,6 +71,105 @@ void BenchDotBatchGather(benchmark::State& state, simd::Tier tier) {
   state.SetItemsProcessed(state.iterations() * kBatch * dim);
 }
 
+std::vector<int8_t> RandomCodes(Rng* rng, size_t n) {
+  std::vector<int8_t> v(n);
+  for (int8_t& x : v) {
+    x = static_cast<int8_t>(static_cast<int>(rng->NextBounded(255)) - 127);
+  }
+  return v;
+}
+
+void BenchDotI8(benchmark::State& state, simd::Tier tier) {
+  simd::SetTier(tier);
+  const size_t dim = static_cast<size_t>(state.range(0));
+  Rng rng(4);
+  auto a = RandomCodes(&rng, dim);
+  auto b = RandomCodes(&rng, dim);
+  for (auto _ : state) {
+    int32_t d = simd::DotI8(a.data(), b.data(), dim);
+    benchmark::DoNotOptimize(d);
+  }
+  state.SetItemsProcessed(state.iterations() * dim);
+}
+
+void BenchDotBatchGatherI8(benchmark::State& state, simd::Tier tier) {
+  simd::SetTier(tier);
+  const size_t dim = static_cast<size_t>(state.range(0));
+  constexpr size_t kRows = 4096;
+  constexpr size_t kBatch = 64;
+  Rng rng(5);
+  auto q = RandomCodes(&rng, dim);
+  auto base = RandomCodes(&rng, dim * kRows);
+  std::vector<uint32_t> ids(kBatch);
+  for (auto& id : ids) id = rng.NextBounded(kRows);
+  std::vector<int32_t> out(kBatch);
+  for (auto _ : state) {
+    simd::DotBatchGatherI8(q.data(), base.data(), dim, ids.data(), kBatch,
+                           out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch * dim);
+}
+
+void BenchBitsetIntersect(benchmark::State& state, simd::Tier tier) {
+  simd::SetTier(tier);
+  const size_t words = static_cast<size_t>(state.range(0));
+  constexpr size_t kRows = 4096;
+  constexpr size_t kBatch = 64;
+  Rng rng(6);
+  std::vector<uint64_t> base(kRows * words);
+  for (uint64_t& w : base) {
+    w = (static_cast<uint64_t>(rng.NextBounded(UINT32_MAX)) << 32) |
+        rng.NextBounded(UINT32_MAX);
+  }
+  std::vector<uint32_t> ids(kBatch);
+  for (auto& id : ids) id = rng.NextBounded(kRows);
+  std::vector<uint32_t> out(kBatch);
+  for (auto _ : state) {
+    simd::BitsetIntersectBatch(base.data(), base.data(), words, ids.data(),
+                               kBatch, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch * words);
+}
+
+// Not a throughput bench: reports the quantization-error distribution of
+// symmetric int8 over unit-L2 Gaussian rows — the E_r that feeds the bound
+// slack. Counters are in 1e-6 units (ppm of the [-1, 1] range).
+void BenchQuantError(benchmark::State& state) {
+  const size_t dim = static_cast<size_t>(state.range(0));
+  constexpr size_t kRows = 2048;
+  Rng rng(7);
+  double max_err = 0.0;
+  double sum_err = 0.0;
+  for (size_t r = 0; r < kRows; ++r) {
+    auto v = RandomVec(&rng, dim);
+    double norm = 0.0;
+    for (float x : v) norm += static_cast<double>(x) * x;
+    norm = std::sqrt(norm);
+    if (norm == 0.0) continue;
+    float amax = 0.0f;
+    for (float& x : v) {
+      x = static_cast<float>(x / norm);
+      amax = std::max(amax, std::abs(x));
+    }
+    const double s = static_cast<double>(amax) / 127.0;
+    double row_err = 0.0;
+    for (float x : v) {
+      double c = std::lround(static_cast<double>(x) / s);
+      c = std::min(127.0, std::max(-127.0, c));
+      row_err = std::max(row_err, std::abs(static_cast<double>(x) - c * s));
+    }
+    max_err = std::max(max_err, row_err);
+    sum_err += row_err;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(max_err);
+  }
+  state.counters["max_row_err_ppm"] = max_err * 1e6;
+  state.counters["mean_row_err_ppm"] = sum_err / kRows * 1e6;
+}
+
 void BenchIntersect(benchmark::State& state, simd::Tier tier) {
   simd::SetTier(tier);
   const size_t size = static_cast<size_t>(state.range(0));
@@ -107,7 +208,23 @@ void RegisterAll() {
         ->Arg(8)
         ->Arg(64)
         ->Arg(1024);
+    benchmark::RegisterBenchmark(("dot_i8" + suffix).c_str(), BenchDotI8,
+                                 tier)
+        ->Arg(32)
+        ->Arg(128)
+        ->Arg(300);
+    benchmark::RegisterBenchmark(("dot_batch_gather_i8" + suffix).c_str(),
+                                 BenchDotBatchGatherI8, tier)
+        ->Arg(32)
+        ->Arg(128);
+    benchmark::RegisterBenchmark(("bitset_intersect" + suffix).c_str(),
+                                 BenchBitsetIntersect, tier)
+        ->Arg(1)
+        ->Arg(4);
   }
+  benchmark::RegisterBenchmark("quant_error", BenchQuantError)
+      ->Arg(32)
+      ->Arg(300);
 }
 
 }  // namespace

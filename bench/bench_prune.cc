@@ -80,6 +80,70 @@ void PruneBench(benchmark::State& state, bool five_tuple, bool prune,
   }
 }
 
+// Bound-backend ablation: the same pruned search with the upper bounds
+// computed by the exact fp32 sigma vs the compressed backend the
+// similarity carries (int8 quantized embeddings for cosine, packed type
+// bitsets for Jaccard). Every backend is admissible, so the rankings are
+// bit-identical (asserted against the fp32-bound engine); the rows differ
+// only in bound_ms_per_query and, for int8, slightly in prune_rate (the
+// quantization slack loosens the bound a hair).
+void BoundBackendBench(benchmark::State& state, bool embeddings,
+                       SearchOptions::BoundBackend backend) {
+  const World& w = TheWorld();
+  const EntitySimilarity* sim =
+      embeddings ? static_cast<const EntitySimilarity*>(w.emb_sim.get())
+                 : w.type_sim.get();
+  SearchOptions options;
+  options.enable_prune = true;
+  options.bound_backend = backend;
+  SearchEngine engine(w.lake.get(), sim, options);
+  SearchOptions ref_options;
+  ref_options.enable_prune = true;
+  ref_options.bound_backend = SearchOptions::BoundBackend::kFp32;
+  SearchEngine reference(w.lake.get(), sim, ref_options);
+
+  const auto& queries = w.queries5;
+  for (const auto& gq : queries) {
+    auto hits = engine.Search(gq.query);
+    auto want = reference.Search(gq.query);
+    bool same = want.size() == hits.size();
+    for (size_t i = 0; same && i < want.size(); ++i) {
+      same =
+          want[i].table == hits[i].table && want[i].score == hits[i].score;
+    }
+    if (!same) {
+      std::fprintf(stderr, "bound-backend parity violation\n");
+      std::abort();
+    }
+  }
+  const char* resolved = "fp32";
+  for (auto _ : state) {
+    size_t pruned = 0;
+    size_t candidates = 0;
+    double bound_seconds = 0.0;
+    Stopwatch watch;
+    for (const auto& gq : queries) {
+      SearchStats stats;
+      auto hits = engine.Search(gq.query, &stats);
+      benchmark::DoNotOptimize(hits);
+      pruned += stats.tables_pruned;
+      candidates += stats.candidate_count;
+      bound_seconds += stats.bound_seconds;
+      resolved = stats.bound_backend;
+    }
+    double total = watch.ElapsedSeconds();
+    state.counters["ms_per_query"] =
+        1e3 * total / static_cast<double>(queries.size());
+    state.counters["bound_ms_per_query"] =
+        1e3 * bound_seconds / static_cast<double>(queries.size());
+    state.counters["prune_rate"] =
+        candidates == 0 ? 0.0
+                        : static_cast<double>(pruned) /
+                              static_cast<double>(candidates);
+  }
+  state.SetLabel(resolved);
+}
+
 void RegisterAll() {
   for (bool five : {false, true}) {
     const char* q = five ? "5tuple" : "1tuple";
@@ -95,6 +159,26 @@ void RegisterAll() {
             ->Unit(benchmark::kMillisecond);
       }
     }
+  }
+  struct BackendRow {
+    const char* name;
+    bool embeddings;
+    SearchOptions::BoundBackend backend;
+  };
+  for (const BackendRow& row : {
+           BackendRow{"BoundBackend/types_fp32", false,
+                      SearchOptions::BoundBackend::kFp32},
+           BackendRow{"BoundBackend/types_bitset", false,
+                      SearchOptions::BoundBackend::kBitset},
+           BackendRow{"BoundBackend/embeddings_fp32", true,
+                      SearchOptions::BoundBackend::kFp32},
+           BackendRow{"BoundBackend/embeddings_int8", true,
+                      SearchOptions::BoundBackend::kInt8},
+       }) {
+    benchmark::RegisterBenchmark(row.name, BoundBackendBench, row.embeddings,
+                                 row.backend)
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
   }
 }
 

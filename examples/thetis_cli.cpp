@@ -9,14 +9,23 @@
 //       Print corpus and KG statistics of a persisted lake.
 //
 //   thetis_cli search <dir> [--sim types|embeddings] [--k N]
-//              [--lsh] [--no-cache] [--no-prune] [--threads N]
+//              [--lsh] [--no-cache] [--no-prune]
+//              [--bound-backend fp32|int8|bitset|auto] [--threads N]
 //              [--build-threads N] [--save-engine F] [--load-engine F]
 //              [--metrics-out F] [--trace-out F]
 //              <entity label> [<entity label> ...]
 //       Semantic table search for one entity tuple; labels must exist in
 //       the persisted KG. --no-cache disables the query-scoped scoring
 //       cache and --no-prune the bound-and-prune pass (both exact — for
-//       timing comparisons); --threads N routes the query
+//       timing comparisons); --bound-backend picks how the prune pass
+//       computes its admissible upper bounds: the exact fp32 sigma, the
+//       int8 quantized embedding arena, the packed type bitsets, or auto
+//       (default: the compressed backend when the scoring cache is off,
+//       else fp32, whose memoized probes pre-warm the rerank).
+//       Every backend is admissible, so rankings are bit-identical; a
+//       backend the similarity cannot serve falls back to fp32. The
+//       resolved choice is printed and the per-backend arena bytes land
+//       in --metrics-out. --threads N routes the query
 //       through the batched QueryExecutor on an N-worker pool;
 //       --build-threads N parallelizes the offline build (engine
 //       arena/signature construction and the LSEI signature pass) —
@@ -74,7 +83,8 @@ int Usage() {
                "wt2015|wt2019|gittables]\n"
                "  thetis_cli stats <dir>\n"
                "  thetis_cli search <dir> [--sim types|embeddings] [--k N] "
-               "[--lsh] [--no-cache] [--no-prune] [--threads N] "
+               "[--lsh] [--no-cache] [--no-prune] "
+               "[--bound-backend fp32|int8|bitset|auto] [--threads N] "
                "[--build-threads N] [--save-engine F] [--load-engine F] "
                "[--metrics-out F] [--trace-out F] "
                "<label> [...]\n");
@@ -185,6 +195,7 @@ int RunSearch(const std::vector<std::string>& args) {
   bool use_lsh = false;
   bool use_cache = true;
   bool use_prune = true;
+  SearchOptions::BoundBackend bound_backend = SearchOptions::BoundBackend::kAuto;
   size_t threads = 0;        // 0: direct engine call, no executor
   size_t build_threads = 1;  // offline build parallelism (1 = serial)
   size_t k = 10;
@@ -210,6 +221,19 @@ int RunSearch(const std::vector<std::string>& args) {
       use_cache = false;
     } else if (args[i] == "--no-prune") {
       use_prune = false;
+    } else if (args[i] == "--bound-backend" && i + 1 < args.size()) {
+      const std::string& b = args[++i];
+      if (b == "fp32") {
+        bound_backend = SearchOptions::BoundBackend::kFp32;
+      } else if (b == "int8") {
+        bound_backend = SearchOptions::BoundBackend::kInt8;
+      } else if (b == "bitset") {
+        bound_backend = SearchOptions::BoundBackend::kBitset;
+      } else if (b == "auto") {
+        bound_backend = SearchOptions::BoundBackend::kAuto;
+      } else {
+        return Fail("unknown bound backend '" + b + "'");
+      }
     } else if (args[i] == "--threads" && i + 1 < args.size()) {
       threads = static_cast<size_t>(std::atoi(args[++i].c_str()));
       if (threads == 0) return Fail("--threads must be positive");
@@ -255,6 +279,7 @@ int RunSearch(const std::vector<std::string>& args) {
   options.top_k = k;
   options.enable_cache = use_cache;
   options.enable_prune = use_prune;
+  options.bound_backend = bound_backend;
   options.build_threads = build_threads;
 
   // The engine either comes back from a snapshot (mmap + validation, no
@@ -343,6 +368,11 @@ int RunSearch(const std::vector<std::string>& args) {
                          "% pruned by LSH")
                             .c_str()
                       : "");
+  if (use_prune) {
+    std::printf("prune: %zu of %zu candidates bounded away (backend %s)\n",
+                stats.tables_pruned, stats.candidate_count,
+                stats.bound_backend);
+  }
   if (use_cache) {
     size_t sim_lookups = stats.sim_cache_hits + stats.sim_cache_misses;
     size_t map_lookups =

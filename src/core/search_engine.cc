@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <cstring>
 #include <limits>
 #include <memory>
 #include <numeric>
@@ -428,6 +429,43 @@ double UpperBoundWithView(const BoundContext& ctx, size_t num_rows,
   return (sum / static_cast<double>(ctx.counted_tuples)) * (1.0 + 1e-12);
 }
 
+// Adapter presenting a similarity's UpperBoundBatch as ScoreBatch, so the
+// templated bound helpers below run the compressed backend through the
+// same code path as the exact σ. Deliberately bypasses the query's
+// SimilarityMemo: bound values are upper bounds, not σ, and must never
+// enter the cache the exact rerank reads from.
+struct CompressedBoundSim {
+  const EntitySimilarity* sim;
+  void ScoreBatch(EntityId q, const EntityId* targets, size_t count,
+                  double* out) const {
+    sim->UpperBoundBatch(q, targets, count, out);
+  }
+};
+
+// Resolves SearchOptions::bound_backend against the similarity's
+// compressed backend. kAuto is cache-aware: with the memo ON, fp32 bound
+// probes are memoized across tables and pre-warm exactly the pairs the
+// exact rerank reads, which measures faster end-to-end than any compressed
+// bound (see EXPERIMENTS.md); with the memo OFF there is nothing to
+// amortize, so the cheaper compressed probe wins and kAuto takes it. An
+// explicit request the similarity cannot serve falls back to fp32.
+const char* ResolveBoundBackend(const SearchOptions& options,
+                                const EntitySimilarity& sim) {
+  const char* compressed = sim.CompressedBoundBackend();
+  switch (options.bound_backend) {
+    case SearchOptions::BoundBackend::kFp32:
+      return "fp32";
+    case SearchOptions::BoundBackend::kAuto:
+      return (!options.enable_cache && compressed[0] != '\0') ? compressed
+                                                              : "fp32";
+    case SearchOptions::BoundBackend::kInt8:
+      return std::strcmp(compressed, "int8") == 0 ? "int8" : "fp32";
+    case SearchOptions::BoundBackend::kBitset:
+      return std::strcmp(compressed, "bitset") == 0 ? "bitset" : "fp32";
+  }
+  return "fp32";
+}
+
 // Hot-path bound: arena view when covered; tables ingested after engine
 // construction get +inf (always scored, never pruned — exactness over
 // speed for the dynamic-corpus edge case).
@@ -484,14 +522,22 @@ double SearchEngine::UpperBoundTable(const Query& query,
   BuildBoundContext(query, *lake_, options_, &ctx);
   BoundScratch scratch;
   const Table& table = lake_->corpus().table(table_id);
-  if (arena_.Covers(table_id)) {
-    return UpperBoundWithView(ctx, table.num_rows(), arena_.ViewOf(table_id),
-                              *sim_, options_.aggregation, scratch);
-  }
+  const bool compressed = ResolveBoundBackend(options_, *sim_)[0] != 'f';
+  ColumnIndexView view;
   ColumnEntityIndex index;
   DedupScratch dedup;
-  index.Build(table, dedup);
-  return UpperBoundWithView(ctx, table.num_rows(), index.View(), *sim_,
+  if (arena_.Covers(table_id)) {
+    view = arena_.ViewOf(table_id);
+  } else {
+    index.Build(table, dedup);
+    view = index.View();
+  }
+  if (compressed) {
+    return UpperBoundWithView(ctx, table.num_rows(), view,
+                              CompressedBoundSim{sim_}, options_.aggregation,
+                              scratch);
+  }
+  return UpperBoundWithView(ctx, table.num_rows(), view, *sim_,
                             options_.aggregation, scratch);
 }
 
@@ -519,6 +565,7 @@ std::vector<SearchHit> SearchEngine::SearchCandidatesImpl(
   const bool prune = options_.enable_prune && !candidates.empty();
   std::vector<double> bounds;
   std::vector<uint32_t> order;
+  const char* bound_backend = "fp32";
   if (prune) {
     obs::TraceSpan bound_span("bound");
     Stopwatch bound_watch;
@@ -526,19 +573,33 @@ std::vector<SearchHit> SearchEngine::SearchCandidatesImpl(
     BuildBoundContext(query, *lake_, options_, &ctx);
     BoundScratch bound_scratch;
     bounds.resize(candidates.size());
-    for (size_t i = 0; i < candidates.size(); ++i) {
-      // σ probes go through the query's memo when caching is on, so the
-      // bound pass pre-warms exactly the pairs exact scoring reuses.
-      bounds[i] =
-          cache != nullptr
-              ? BoundForTable(ctx, lake_->corpus(), arena_, candidates[i],
-                              cache->sim(), options_.aggregation,
-                              bound_scratch)
-              : BoundForTable(ctx, lake_->corpus(), arena_, candidates[i],
-                              *sim_, options_.aggregation, bound_scratch);
+    bound_backend = ResolveBoundBackend(options_, *sim_);
+    if (bound_backend[0] != 'f') {
+      // Compressed backend: bound values are upper bounds, not σ, so they
+      // bypass the memo entirely — exact scoring later probes a cold cache
+      // for exactly the survivors' pairs, nothing else.
+      CompressedBoundSim bound_sim{sim_};
+      for (size_t i = 0; i < candidates.size(); ++i) {
+        bounds[i] = BoundForTable(ctx, lake_->corpus(), arena_,
+                                  candidates[i], bound_sim,
+                                  options_.aggregation, bound_scratch);
+      }
+    } else {
+      for (size_t i = 0; i < candidates.size(); ++i) {
+        // σ probes go through the query's memo when caching is on, so the
+        // bound pass pre-warms exactly the pairs exact scoring reuses.
+        bounds[i] =
+            cache != nullptr
+                ? BoundForTable(ctx, lake_->corpus(), arena_, candidates[i],
+                                cache->sim(), options_.aggregation,
+                                bound_scratch)
+                : BoundForTable(ctx, lake_->corpus(), arena_, candidates[i],
+                                *sim_, options_.aggregation, bound_scratch);
+      }
     }
     SortByBound(candidates, bounds, &order);
     bound_seconds = bound_watch.ElapsedSeconds();
+    obs::RecordBoundBackend(bound_backend);
   }
 
   {
@@ -589,6 +650,7 @@ std::vector<SearchHit> SearchEngine::SearchCandidatesImpl(
   FillCandidateStats(*lake_, candidates.size(), pruned, nonzero,
                      watch.ElapsedSeconds(), mapping_seconds, bound_seconds,
                      &local);
+  local.bound_backend = bound_backend;
   if (cache != nullptr) AddCacheStats(*cache, &local);
   if (flush_stats) FlushQueryStats(local);
   if (stats != nullptr) *stats = local;
@@ -631,28 +693,43 @@ std::vector<SearchHit> SearchEngine::SearchCandidatesParallel(
   std::vector<double> bounds;
   std::vector<uint32_t> order;
   BoundContext ctx;
+  const char* bound_backend = "fp32";
   if (prune) {
     BuildBoundContext(query, *lake_, options_, &ctx);
     bounds.assign(candidates.size(), 0.0);
+    bound_backend = ResolveBoundBackend(options_, *sim_);
+    const bool compressed = bound_backend[0] != 'f';
     // Striped bound pass: disjoint indices, no synchronization needed.
     pool->ParallelFor(stripes, [&](size_t stripe) {
       obs::TraceSpan bound_span("bound");
       Stopwatch bound_watch;
       Local& local = locals[stripe];
-      for (size_t i = stripe; i < candidates.size(); i += stripes) {
-        bounds[i] = local.cache != nullptr
-                        ? BoundForTable(ctx, lake_->corpus(), arena_,
-                                        candidates[i], local.cache->sim(),
-                                        options_.aggregation,
-                                        local.bound_scratch)
-                        : BoundForTable(ctx, lake_->corpus(), arena_,
-                                        candidates[i], *sim_,
-                                        options_.aggregation,
-                                        local.bound_scratch);
+      if (compressed) {
+        // See the serial loop: compressed bounds bypass the worker memos.
+        CompressedBoundSim bound_sim{sim_};
+        for (size_t i = stripe; i < candidates.size(); i += stripes) {
+          bounds[i] = BoundForTable(ctx, lake_->corpus(), arena_,
+                                    candidates[i], bound_sim,
+                                    options_.aggregation,
+                                    local.bound_scratch);
+        }
+      } else {
+        for (size_t i = stripe; i < candidates.size(); i += stripes) {
+          bounds[i] = local.cache != nullptr
+                          ? BoundForTable(ctx, lake_->corpus(), arena_,
+                                          candidates[i], local.cache->sim(),
+                                          options_.aggregation,
+                                          local.bound_scratch)
+                          : BoundForTable(ctx, lake_->corpus(), arena_,
+                                          candidates[i], *sim_,
+                                          options_.aggregation,
+                                          local.bound_scratch);
+        }
       }
       local.bound_seconds += bound_watch.ElapsedSeconds();
     });
     SortByBound(candidates, bounds, &order);
+    obs::RecordBoundBackend(bound_backend);
   }
 
   // Shared score floor: the max over every stripe's local top-k threshold,
@@ -731,6 +808,7 @@ std::vector<SearchHit> SearchEngine::SearchCandidatesParallel(
   FillCandidateStats(*lake_, candidates.size(), pruned, nonzero,
                      watch.ElapsedSeconds(), mapping_seconds, bound_seconds,
                      &local_stats);
+  local_stats.bound_backend = bound_backend;
   for (const Local& local : locals) {
     if (local.cache != nullptr) AddCacheStats(*local.cache, &local_stats);
   }

@@ -50,6 +50,19 @@ struct SearchOptions {
   // or off — so it is on by default; turn it off to measure the unpruned
   // baseline.
   bool enable_prune = true;
+  // Which backend computes the admissible upper bound of the prune pass.
+  // kAuto (the default) is cache-aware: when the memo is enabled, fp32
+  // bound probes are memoized across tables and pre-warm exactly the σ
+  // pairs the exact rerank reads, which beats any compressed bound
+  // end-to-end, so kAuto keeps fp32; with the memo off it takes the
+  // similarity's compressed backend when it has one — int8 quantized
+  // embeddings for cosine, packed type bitsets for small-vocabulary
+  // Jaccard. An explicit request the similarity cannot serve falls back
+  // to fp32. Every backend is admissible, so the returned hits and scores
+  // are bit-identical for every setting; only the bound pass's cost
+  // changes. The resolved choice is reported in SearchStats::bound_backend.
+  enum class BoundBackend { kAuto, kFp32, kInt8, kBitset };
+  BoundBackend bound_backend = BoundBackend::kAuto;
   // Threads for engine construction (1 = serial, 0 = hardware concurrency):
   // the corpus column arena and the σ-class signature index are built by
   // parallel per-table passes with deterministic merges, so the constructed
@@ -120,6 +133,11 @@ struct SearchStats {
   // Hungarian mappings reused via the column-signature cache / solved fresh:
   size_t mapping_cache_hits = 0;
   size_t mapping_cache_misses = 0;
+  // Resolved bound backend of this query ("fp32", "int8", "bitset"); the
+  // kAuto/fallback resolution happens per query against the similarity's
+  // compressed backend, so this is the authoritative record of which code
+  // path computed the bounds.
+  const char* bound_backend = "fp32";
 };
 
 // The exact semantic table search engine of Algorithm 1. Scores every

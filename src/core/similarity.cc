@@ -4,6 +4,7 @@
 #include <string_view>
 #include <unordered_map>
 
+#include "obs/query_metrics.h"
 #include "simd/kernels.h"
 #include "util/logging.h"
 
@@ -36,6 +37,86 @@ TypeJaccardSimilarity::TypeJaccardSimilarity(const KnowledgeGraph* kg,
   pool.shrink_to_fit();
   offsets_ = std::move(offsets);
   pool_ = std::move(pool);
+  BuildBitsetIndex();
+}
+
+void TypeJaccardSimilarity::BuildBitsetIndex() {
+  if (has_bitset()) return;
+  // Dense remap: sorted distinct TypeIds -> ascending bit positions. Only
+  // vocabularies that fit 256 bits (4 words) get a bitset backend.
+  std::vector<TypeId> vocab(pool_.data(), pool_.data() + pool_.size());
+  std::sort(vocab.begin(), vocab.end());
+  vocab.erase(std::unique(vocab.begin(), vocab.end()), vocab.end());
+  if (vocab.size() > 256) return;
+  size_t words = vocab.empty() ? 1 : (vocab.size() + 63) / 64;
+  size_t n = NumEntities();
+  std::vector<uint64_t> bits(n * words, 0);
+  std::vector<uint32_t> sizes(n);
+  for (EntityId e = 0; e < n; ++e) {
+    uint64_t* row = bits.data() + static_cast<size_t>(e) * words;
+    uint32_t begin = offsets_[e];
+    uint32_t end = offsets_[e + 1];
+    sizes[e] = end - begin;
+    for (uint32_t i = begin; i < end; ++i) {
+      size_t bit = static_cast<size_t>(
+          std::lower_bound(vocab.begin(), vocab.end(), pool_[i]) -
+          vocab.begin());
+      row[bit / 64] |= uint64_t{1} << (bit % 64);
+    }
+  }
+  bitset_words_ = words;
+  bitset_bits_ = std::move(bits);
+  bitset_sizes_ = std::move(sizes);
+  obs::RecordTypeBitsetArenaBytes(bitset_arena_bytes());
+}
+
+void TypeJaccardSimilarity::AttachBitsetView(std::span<const uint64_t> bits,
+                                             std::span<const uint32_t> sizes,
+                                             size_t words) {
+  THETIS_CHECK(words >= 1 && words <= 4);
+  THETIS_CHECK(bits.size() == NumEntities() * words);
+  THETIS_CHECK(sizes.size() == NumEntities());
+  bitset_words_ = words;
+  bitset_bits_ = FlatArray<uint64_t>::View(bits);
+  bitset_sizes_ = FlatArray<uint32_t>::View(sizes);
+  obs::RecordTypeBitsetArenaBytes(bitset_arena_bytes());
+}
+
+void TypeJaccardSimilarity::UpperBoundBatch(EntityId q,
+                                            const EntityId* targets,
+                                            size_t count, double* out) const {
+  if (!has_bitset()) {
+    ScoreBatch(q, targets, count, out);
+    return;
+  }
+  // Exact σ via popcount over packed bitsets: the same integer
+  // intersection and union as ScoreBatch, hence the same double.
+  thread_local std::vector<uint32_t> inters;
+  if (inters.size() < count) inters.resize(count);
+  const uint64_t* bits = bitset_bits_.data();
+  const uint32_t* sizes = bitset_sizes_.data();
+  simd::BitsetIntersectBatch(bits + static_cast<size_t>(q) * bitset_words_,
+                             bits, bitset_words_, targets, count,
+                             inters.data());
+  size_t lq = sizes[q];
+  for (size_t k = 0; k < count; ++k) {
+    EntityId t = targets[k];
+    if (t == q) {
+      out[k] = 1.0;
+      continue;
+    }
+    size_t lt = sizes[t];
+    if (lq == 0 && lt == 0) {
+      out[k] = 0.0;
+      continue;
+    }
+    size_t inter = inters[k];
+    size_t uni = lq + lt - inter;
+    double j = uni == 0
+                   ? 0.0
+                   : static_cast<double>(inter) / static_cast<double>(uni);
+    out[k] = std::min(cap_, j);
+  }
 }
 
 TypeJaccardSimilarity TypeJaccardSimilarity::FromSnapshotView(
@@ -113,6 +194,23 @@ EmbeddingCosineSimilarity::EmbeddingCosineSimilarity(
     const EmbeddingStore* store)
     : store_(store) {
   THETIS_CHECK(store != nullptr);
+  quant_ = QuantizedEmbeddingStore::FromStore(*store);
+  obs::RecordQuantArenaBytes(quant_.arena_bytes());
+}
+
+void EmbeddingCosineSimilarity::AttachQuantizedStore(
+    QuantizedEmbeddingStore quant) {
+  THETIS_CHECK(quant.size() == store_->size());
+  THETIS_CHECK(quant.dim() == store_->dim());
+  quant_ = std::move(quant);
+  obs::RecordQuantArenaBytes(quant_.arena_bytes());
+}
+
+void EmbeddingCosineSimilarity::UpperBoundBatch(EntityId q,
+                                                const EntityId* targets,
+                                                size_t count,
+                                                double* out) const {
+  quant_.CosineUpperBoundBatch(q, targets, count, out);
 }
 
 double EmbeddingCosineSimilarity::Score(EntityId a, EntityId b) const {

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "embedding/embedding_store.h"
+#include "embedding/quantized_store.h"
 #include "kg/knowledge_graph.h"
 #include "util/flat_array.h"
 
@@ -31,6 +32,24 @@ class EntitySimilarity {
                           double* out) const {
     for (size_t k = 0; k < count; ++k) out[k] = Score(q, targets[k]);
   }
+
+  // Batched admissible upper bound: out[k] >= Score(q, targets[k]) for
+  // every k, out[k] == 1 for identity pairs, and out[k] == 0 only when the
+  // exact score is provably 0 (the bound pass early-outs on zero bounds).
+  // Values need not be tight — the engine reranks survivors with the exact
+  // score — but must be deterministic. The default forwards to ScoreBatch
+  // (the exact score is trivially its own admissible bound); similarities
+  // with a compressed backend override it with the cheap bound.
+  virtual void UpperBoundBatch(EntityId q, const EntityId* targets,
+                               size_t count, double* out) const {
+    ScoreBatch(q, targets, count, out);
+  }
+
+  // Name of the compressed backend UpperBoundBatch dispatches to ("int8",
+  // "bitset"), or "" when UpperBoundBatch is just the exact score. The
+  // engine's bound-backend resolution ("auto" picks the compressed bound
+  // when one exists) and SearchStats reporting key off this.
+  virtual const char* CompressedBoundBackend() const { return ""; }
 
   // True when batched scoring through this similarity is cheaper than a
   // memo probe per pair (e.g. one AVX2 dot over pre-normalized rows).
@@ -86,6 +105,15 @@ class TypeJaccardSimilarity : public EntitySimilarity {
   double Score(EntityId a, EntityId b) const override;
   void ScoreBatch(EntityId q, const EntityId* targets, size_t count,
                   double* out) const override;
+  // With a bitset index attached the "bound" is the exact σ computed via
+  // popcount over packed type bitsets — same integer intersection, same
+  // division, bit-identical double — so it is trivially admissible and
+  // the bound pass prunes exactly as hard as with fp32 Jaccard.
+  void UpperBoundBatch(EntityId q, const EntityId* targets, size_t count,
+                       double* out) const override;
+  const char* CompressedBoundBackend() const override {
+    return has_bitset() ? "bitset" : "";
+  }
   size_t NumEntities() const override { return offsets_.size() - 1; }
   // Jaccard* of distinct entities depends only on the two expanded type
   // sets, so entities with identical set content are interchangeable:
@@ -106,6 +134,34 @@ class TypeJaccardSimilarity : public EntitySimilarity {
   std::span<const TypeId> csr_pool() const { return pool_.span(); }
   double cap() const { return cap_; }
 
+  // --- Bitset bound backend (vocabularies of <= 256 distinct types) -------
+  //
+  // Dense remap of the distinct TypeIds (ascending id -> ascending bit
+  // position) into fixed-width bitsets of `bitset_words()` u64 words per
+  // entity, plus a per-entity set-size array. popcount(AND) reproduces the
+  // sorted-set intersection exactly, making the bitset σ bit-identical to
+  // Score. Built automatically by the graph constructor when the expanded
+  // vocabulary fits; absent otherwise.
+  bool has_bitset() const { return bitset_words_ != 0; }
+  size_t bitset_words() const { return bitset_words_; }
+  std::span<const uint64_t> bitset_bits() const { return bitset_bits_.span(); }
+  std::span<const uint32_t> bitset_sizes() const {
+    return bitset_sizes_.span();
+  }
+  size_t bitset_arena_bytes() const {
+    return bitset_bits_.size() * sizeof(uint64_t) +
+           bitset_sizes_.size() * sizeof(uint32_t);
+  }
+  // Packs the CSR pool into bitsets now (no-op when already present or the
+  // vocabulary exceeds 256 distinct types). Snapshot load calls this when
+  // the file predates the bitset sections.
+  void BuildBitsetIndex();
+  // Attaches snapshot-section views instead of packing; spans must outlive
+  // the similarity. `words` is in [1, 4], bits is NumEntities()*words,
+  // sizes is NumEntities().
+  void AttachBitsetView(std::span<const uint64_t> bits,
+                        std::span<const uint32_t> sizes, size_t words);
+
  private:
   TypeJaccardSimilarity() = default;
 
@@ -116,6 +172,10 @@ class TypeJaccardSimilarity : public EntitySimilarity {
   // Owned when built from the graph, views when restored from a snapshot.
   FlatArray<uint32_t> offsets_;
   FlatArray<TypeId> pool_;
+  // Bitset backend (see has_bitset above); 0 words == absent.
+  size_t bitset_words_ = 0;
+  FlatArray<uint64_t> bitset_bits_;
+  FlatArray<uint32_t> bitset_sizes_;
 };
 
 // Cosine similarity of entity embedding vectors, clamped to [0, 1]
@@ -131,6 +191,12 @@ class EmbeddingCosineSimilarity : public EntitySimilarity {
   double Score(EntityId a, EntityId b) const override;
   void ScoreBatch(EntityId q, const EntityId* targets, size_t count,
                   double* out) const override;
+  // Int8 bound: quantized dot plus the analytic quantization-error slack
+  // (see QuantizedEmbeddingStore) upper-bounds the exact clamped cosine,
+  // so the bound pass prunes exactly and only survivors pay fp32 rerank.
+  void UpperBoundBatch(EntityId q, const EntityId* targets, size_t count,
+                       double* out) const override;
+  const char* CompressedBoundBackend() const override { return "int8"; }
   // A dim-length dot over pre-normalized rows beats a hash probe per pair.
   bool PrefersDirectBatch() const override { return true; }
   size_t NumEntities() const override { return store_->size(); }
@@ -139,8 +205,16 @@ class EmbeddingCosineSimilarity : public EntitySimilarity {
   // The borrowed store, exposed for the snapshot writer.
   const EmbeddingStore* store() const { return store_; }
 
+  // The int8 bound backend: built from the store at construction, or
+  // replaced with a snapshot-section view by AttachQuantizedStore. The
+  // quantized arena mirrors the store at the time it was (re)built —
+  // mutate the store only before constructing the similarity.
+  const QuantizedEmbeddingStore& quantized() const { return quant_; }
+  void AttachQuantizedStore(QuantizedEmbeddingStore quant);
+
  private:
   const EmbeddingStore* store_;
+  QuantizedEmbeddingStore quant_;
 };
 
 // Jaccard similarity of two sorted id vectors (shared helper; 0 when both

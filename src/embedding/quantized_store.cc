@@ -1,0 +1,126 @@
+#include "embedding/quantized_store.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "embedding/embedding_store.h"
+#include "simd/kernels.h"
+
+namespace thetis {
+
+namespace {
+
+// Safety margins of the admissible bound (see the class comment and
+// DESIGN.md "Quantized bound backends" for the derivation):
+//
+//  * kNormSlack covers ||row||_2 of the fp32-normalized arena exceeding
+//    1.0 by float rounding (it is 1.0 to within ~1e-7; 1e-4 is orders of
+//    magnitude of headroom).
+//  * Gamma(n) dominates the fp32 exact path's accumulation error — at
+//    most ~n * 2^-24 * ||a|| * ||b|| with FMA reordering, i.e. < 1e-7*n —
+//    plus the double rounding of the bound arithmetic itself (~1e-15).
+inline constexpr double kNormSlack = 1.0001;
+inline double Gamma(size_t n) {
+  return 3e-7 * static_cast<double>(n) + 1e-6;
+}
+
+}  // namespace
+
+QuantizedEmbeddingStore QuantizedEmbeddingStore::FromStore(
+    const EmbeddingStore& store) {
+  QuantizedEmbeddingStore q;
+  q.count_ = store.size();
+  q.dim_ = store.dim();
+  q.codes_.resize(q.count_ * q.dim_);
+  q.scales_.resize(q.count_);
+  q.errors_.resize(q.count_);
+  const float* base = store.NormalizedData();
+  for (size_t r = 0; r < q.count_; ++r) {
+    const float* row = base + r * q.dim_;
+    int8_t* codes = q.codes_.data() + r * q.dim_;
+    float amax = 0.0f;
+    for (size_t i = 0; i < q.dim_; ++i) {
+      float a = std::fabs(row[i]);
+      if (a > amax) amax = a;
+    }
+    if (amax == 0.0f) {
+      for (size_t i = 0; i < q.dim_; ++i) codes[i] = 0;
+      q.scales_[r] = 0.0f;
+      q.errors_[r] = 0.0f;
+      continue;
+    }
+    float scale = static_cast<float>(static_cast<double>(amax) / 127.0);
+    double max_err = 0.0;
+    for (size_t i = 0; i < q.dim_; ++i) {
+      long c = std::lround(static_cast<double>(row[i]) /
+                           static_cast<double>(scale));
+      if (c > 127) c = 127;
+      if (c < -127) c = -127;
+      codes[i] = static_cast<int8_t>(c);
+      // Exact in double: an 8-bit code times a float has at most 32
+      // significant bits.
+      double err = std::fabs(static_cast<double>(row[i]) -
+                             static_cast<double>(c) *
+                                 static_cast<double>(scale));
+      if (err > max_err) max_err = err;
+    }
+    q.scales_[r] = scale;
+    // Round up to float with a relative margin that dominates the
+    // double->float rounding, so the stored error never understates.
+    q.errors_[r] = static_cast<float>(max_err * (1.0 + 1e-6));
+  }
+  return q;
+}
+
+QuantizedEmbeddingStore QuantizedEmbeddingStore::FromSnapshotView(
+    const int8_t* codes, const float* scales, const float* errors,
+    size_t count, size_t dim) {
+  QuantizedEmbeddingStore q;
+  q.count_ = count;
+  q.dim_ = dim;
+  q.view_ = true;
+  q.view_codes_ = codes;
+  q.view_scales_ = scales;
+  q.view_errors_ = errors;
+  return q;
+}
+
+void QuantizedEmbeddingStore::CosineUpperBoundBatch(EntityId q,
+                                                    const EntityId* targets,
+                                                    size_t count,
+                                                    double* out) const {
+  const int8_t* code_base = codes();
+  const float* scale_arr = scales();
+  const float* error_arr = errors();
+  const int8_t* qcodes = code_base + static_cast<size_t>(q) * dim_;
+  const double sq = scale_arr[q];
+  const double eq = error_arr[q];
+  long abs_sum = 0;
+  for (size_t i = 0; i < dim_; ++i) {
+    abs_sum += std::abs(static_cast<long>(qcodes[i]));
+  }
+  const double n = static_cast<double>(dim_);
+  const double c0 =
+      eq * std::sqrt(n) * kNormSlack + Gamma(dim_);
+  const double c1 = sq * static_cast<double>(abs_sum) + 2.0 * n * eq;
+
+  thread_local std::vector<int32_t> idots;
+  if (idots.size() < count) idots.resize(count);
+  simd::DotBatchGatherI8(qcodes, code_base, dim_, targets, count,
+                         idots.data());
+  for (size_t k = 0; k < count; ++k) {
+    if (targets[k] == q) {
+      out[k] = 1.0;
+      continue;
+    }
+    size_t t = targets[k];
+    double ub = sq * static_cast<double>(scale_arr[t]) *
+                    static_cast<double>(idots[k]) +
+                c0 + c1 * static_cast<double>(error_arr[t]);
+    if (ub < 0.0) ub = 0.0;
+    if (ub > 1.0) ub = 1.0;
+    out[k] = ub;
+  }
+}
+
+}  // namespace thetis

@@ -124,6 +124,26 @@ Status SaveEngineSnapshot(const std::string& path,
         SectionKind::kTypeCsrOffsets, type_sim->csr_offsets()));
     THETIS_RETURN_NOT_OK(writer.AppendArray<TypeId>(SectionKind::kTypeCsrPool,
                                                     type_sim->csr_pool()));
+    if (type_sim->has_bitset()) {
+      THETIS_RETURN_NOT_OK(writer.AppendArray<uint64_t>(
+          SectionKind::kTypeBitsetBits, type_sim->bitset_bits()));
+      THETIS_RETURN_NOT_OK(writer.AppendArray<uint32_t>(
+          SectionKind::kTypeBitsetSizes, type_sim->bitset_sizes()));
+    }
+  }
+  if (cosine_sim != nullptr) {
+    // The quantized bound arena mirrors the embedding store; persisting it
+    // makes the int8 bound pass mmap-zero-copy on load, exactly like the
+    // fp32 arenas above. Both are optional: a reader without them
+    // requantizes from kEmbeddingNormalized.
+    const QuantizedEmbeddingStore& quant = cosine_sim->quantized();
+    const size_t qcount = quant.size();
+    THETIS_RETURN_NOT_OK(writer.AppendArray<int8_t>(
+        SectionKind::kQuantCodes, {quant.codes(), qcount * quant.dim()}));
+    THETIS_RETURN_NOT_OK(writer.AppendArray<float>(
+        SectionKind::kQuantScales, {quant.scales(), qcount}));
+    THETIS_RETURN_NOT_OK(writer.AppendArray<float>(
+        SectionKind::kQuantErrors, {quant.errors(), qcount}));
   }
 
   THETIS_RETURN_NOT_OK(writer.AppendArray<uint64_t>(
@@ -309,6 +329,34 @@ Result<std::unique_ptr<LoadedEngine>> LoadedEngine::Load(
     loaded->type_sim_ = std::make_unique<TypeJaccardSimilarity>(
         TypeJaccardSimilarity::FromSnapshotView(csr_offsets, csr_pool,
                                                 meta.type_cap));
+    // Bitset bound backend: view the persisted arena when the snapshot has
+    // one (version 2), otherwise repack from the CSR just loaded. Every
+    // shape is validated before the similarity sees the spans — a section
+    // pair that disagrees with the entity count is corruption, not a
+    // different configuration.
+    if (reader.Has(SectionKind::kTypeBitsetBits) ||
+        reader.Has(SectionKind::kTypeBitsetSizes)) {
+      THETIS_LOAD_ARRAY(bitset_bits, uint64_t, SectionKind::kTypeBitsetBits);
+      THETIS_LOAD_ARRAY(bitset_sizes, uint32_t,
+                        SectionKind::kTypeBitsetSizes);
+      const size_t n = static_cast<size_t>(meta.kg_entities);
+      if (n == 0) {
+        loaded->type_sim_->BuildBitsetIndex();
+      } else {
+        if (bitset_sizes.size() != n || bitset_bits.size() % n != 0) {
+          return ShapeError(
+              "type-bitset sections do not match the entity count");
+        }
+        const size_t words = bitset_bits.size() / n;
+        if (words < 1 || words > 4) {
+          return ShapeError("type-bitset width " + std::to_string(words) +
+                            " words is outside the supported 1..4");
+        }
+        loaded->type_sim_->AttachBitsetView(bitset_bits, bitset_sizes, words);
+      }
+    } else {
+      loaded->type_sim_->BuildBitsetIndex();
+    }
     loaded->sim_ = loaded->type_sim_.get();
   } else if (meta.sim_kind == 1) {
     if (loaded->embeddings_ == nullptr) {
@@ -317,6 +365,31 @@ Result<std::unique_ptr<LoadedEngine>> LoadedEngine::Load(
     }
     loaded->cosine_sim_ = std::make_unique<EmbeddingCosineSimilarity>(
         loaded->embeddings_.get());
+    // Int8 bound backend: the constructor above already requantized from
+    // the mmap'd normalized rows; when the snapshot carries the quantized
+    // arena (version 2) we swap in a zero-copy view of it instead. The
+    // count x dim product was overflow-checked with the embedding sections.
+    if (reader.Has(SectionKind::kQuantCodes) ||
+        reader.Has(SectionKind::kQuantScales) ||
+        reader.Has(SectionKind::kQuantErrors)) {
+      THETIS_LOAD_ARRAY(quant_codes, int8_t, SectionKind::kQuantCodes);
+      THETIS_LOAD_ARRAY(quant_scales, float, SectionKind::kQuantScales);
+      THETIS_LOAD_ARRAY(quant_errors, float, SectionKind::kQuantErrors);
+      const size_t count = static_cast<size_t>(meta.embedding_count);
+      const size_t dim = static_cast<size_t>(meta.embedding_dim);
+      if (quant_codes.size() != count * dim) {
+        return ShapeError("quantized-code section does not match count x "
+                          "dim");
+      }
+      if (quant_scales.size() != count || quant_errors.size() != count) {
+        return ShapeError(
+            "quantized scale/error arrays do not match the embedding count");
+      }
+      loaded->cosine_sim_->AttachQuantizedStore(
+          QuantizedEmbeddingStore::FromSnapshotView(
+              quant_codes.data(), quant_scales.data(), quant_errors.data(),
+              count, dim));
+    }
     loaded->sim_ = loaded->cosine_sim_.get();
   } else {
     return ShapeError("unknown similarity kind " +

@@ -6,7 +6,7 @@
 
 namespace thetis {
 
-// On-disk engine snapshot format (version 1).
+// On-disk engine snapshot format (version 2).
 //
 // One relocatable, checksummed file holds every artifact the offline build
 // produces, as flat little-endian arrays:
@@ -67,6 +67,14 @@ enum class SectionKind : uint32_t {
   kMentionedEntities = 21,    // uint32 (EntityId), ascending (lake fingerprint)
   kTableNameOffsets = 22,     // uint64[num_tables + 1] into kTableNameBytes
   kTableNameBytes = 23,       // interned table-name pool (UTF-8, no NULs)
+  // Version 2: compressed bound-backend arenas. All five are optional —
+  // a reader missing them rebuilds the backends from the sections above,
+  // so version-1 files load unchanged.
+  kQuantCodes = 24,           // int8[count * dim], symmetric per-row codes
+  kQuantScales = 25,          // float[count], per-row scale s_r
+  kQuantErrors = 26,          // float[count], per-row max dequant error E_r
+  kTypeBitsetBits = 27,       // uint64[num_entities * words], packed type sets
+  kTypeBitsetSizes = 28,      // uint32[num_entities], type-set cardinalities
 };
 
 // One section-table entry; the table is a dense array of these at
@@ -117,14 +125,16 @@ struct SnapshotMeta {
 static_assert(sizeof(SnapshotMeta) == 144, "snapshot meta is 144 bytes");
 
 inline constexpr uint64_t kSnapshotMagic = 0x50414E5354454854ull;  // THETSNAP
-inline constexpr uint32_t kSnapshotVersion = 1;
+// Version 2 appends the optional compressed bound-backend sections
+// (kQuantCodes..kTypeBitsetSizes); readers accept [1, kSnapshotVersion].
+inline constexpr uint32_t kSnapshotVersion = 2;
 // Written as the native-endian constant; a reader on the opposite
 // endianness sees the byte-swapped value and rejects the file.
 inline constexpr uint32_t kEndianMarker = 0x01020304u;
 // Section payloads start at multiples of this; covers every element type
 // the format uses (double/uint64 need 8) with headroom for SIMD loads.
 inline constexpr uint64_t kSectionAlignment = 64;
-// Sanity cap on section_count: version 1 defines ~23 kinds; a header
+// Sanity cap on section_count: version 2 defines ~28 kinds; a header
 // claiming orders of magnitude more is corrupt, not futuristic.
 inline constexpr uint64_t kMaxSections = 4096;
 

@@ -57,11 +57,13 @@ Result<SnapshotReader> SnapshotReader::Open(const std::string& path,
     }
     return Status::InvalidArgument(path + " has a corrupt endianness marker");
   }
-  if (header.version != kSnapshotVersion) {
+  // Older versions stay loadable: every section added since version 1 is
+  // optional, and the loader rebuilds whatever a version-1 file lacks.
+  if (header.version < 1 || header.version > kSnapshotVersion) {
     return Status::InvalidArgument(
         "unsupported engine snapshot version " +
         std::to_string(header.version) + " in " + path + " (this build reads "
-        "version " + std::to_string(kSnapshotVersion) + ")");
+        "versions 1 through " + std::to_string(kSnapshotVersion) + ")");
   }
   if (header.file_length != size) {
     return Status::InvalidArgument(

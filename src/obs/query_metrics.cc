@@ -116,6 +116,20 @@ struct EngineMetrics {
   }
 };
 
+struct BoundBackendMetrics {
+  MetricsRegistry& r = MetricsRegistry::Global();
+  Counter& fp32 = r.counter("thetis_bound_backend_fp32_total");
+  Counter& int8 = r.counter("thetis_bound_backend_int8_total");
+  Counter& bitset = r.counter("thetis_bound_backend_bitset_total");
+  Gauge& quant_arena = r.gauge("thetis_quant_embedding_arena_bytes");
+  Gauge& bitset_arena = r.gauge("thetis_type_bitset_arena_bytes");
+
+  static BoundBackendMetrics& Get() {
+    static BoundBackendMetrics* m = new BoundBackendMetrics();
+    return *m;
+  }
+};
+
 struct SnapshotMetrics {
   MetricsRegistry& r = MetricsRegistry::Global();
   Counter& saves = r.counter("thetis_snapshot_saves_total");
@@ -246,6 +260,25 @@ void RecordSnapshotLoad(uint64_t bytes, double seconds) {
   m.loads.Increment();
   m.bytes_mapped.Set(static_cast<int64_t>(bytes));
   m.load_latency.Record(ToNanos(seconds));
+}
+
+void RecordBoundBackend(const char* backend) {
+  BoundBackendMetrics& m = BoundBackendMetrics::Get();
+  if (backend[0] == 'i') {
+    m.int8.Increment();
+  } else if (backend[0] == 'b') {
+    m.bitset.Increment();
+  } else {
+    m.fp32.Increment();
+  }
+}
+
+void RecordQuantArenaBytes(uint64_t bytes) {
+  BoundBackendMetrics::Get().quant_arena.Set(static_cast<int64_t>(bytes));
+}
+
+void RecordTypeBitsetArenaBytes(uint64_t bytes) {
+  BoundBackendMetrics::Get().bitset_arena.Set(static_cast<int64_t>(bytes));
 }
 
 void TraceAggregate(const char* name, double seconds) {

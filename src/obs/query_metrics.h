@@ -35,7 +35,12 @@
 //     not across items;
 //   snapshot_saves_total, snapshot_loads_total, snapshot_bytes_written,
 //   snapshot_bytes_mapped (gauge), snapshot_save_ns, snapshot_load_ns
-//     — the engine-snapshot persistence layer (src/io).
+//     — the engine-snapshot persistence layer (src/io);
+//   bound_backend_{fp32,int8,bitset}_total — queries whose bound-and-prune
+//     pass resolved to each backend;
+//   quant_embedding_arena_bytes, type_bitset_arena_bytes (gauges)
+//     — compressed bound-backend arena sizes, set when a backend is built
+//     or attached from a snapshot.
 namespace thetis::obs {
 
 #ifndef THETIS_DISABLE_OBS
@@ -86,6 +91,15 @@ void RecordEngineBuild(uint64_t tables, uint64_t distinct_signatures);
 void RecordSnapshotSave(uint64_t bytes, double seconds);
 void RecordSnapshotLoad(uint64_t bytes, double seconds);
 
+// One query's bound-and-prune pass resolved to `backend` ("fp32", "int8"
+// or "bitset"). Called once per pruned query.
+void RecordBoundBackend(const char* backend);
+
+// Compressed bound-backend arena sizes (gauges): the int8 quantized
+// embedding arena and the packed type-bitset arena.
+void RecordQuantArenaBytes(uint64_t bytes);
+void RecordTypeBitsetArenaBytes(uint64_t bytes);
+
 // Emits an aggregated pseudo-span of `seconds` ending now into the trace
 // (no-op when tracing is off). Used for durations accumulated across an
 // inner loop too hot for per-iteration spans, e.g. the total Hungarian
@@ -109,6 +123,9 @@ inline void RecordEngineBuildPhase(const char*, double) {}
 inline void RecordEngineBuild(uint64_t, uint64_t) {}
 inline void RecordSnapshotSave(uint64_t, double) {}
 inline void RecordSnapshotLoad(uint64_t, double) {}
+inline void RecordBoundBackend(const char*) {}
+inline void RecordQuantArenaBytes(uint64_t) {}
+inline void RecordTypeBitsetArenaBytes(uint64_t) {}
 inline void TraceAggregate(const char*, double) {}
 
 #endif  // THETIS_DISABLE_OBS

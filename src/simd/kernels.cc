@@ -87,6 +87,41 @@ double MaxF64(const double* x, size_t n) {
   return m;
 }
 
+int32_t DotI8(const int8_t* a, const int8_t* b, size_t n) {
+  int32_t acc = 0;
+  for (size_t i = 0; i < n; ++i) {
+    acc += static_cast<int32_t>(a[i]) * static_cast<int32_t>(b[i]);
+  }
+  return acc;
+}
+
+void DotBatchI8(const int8_t* q, const int8_t* rows, size_t dim, size_t count,
+                int32_t* out) {
+  for (size_t k = 0; k < count; ++k) {
+    out[k] = DotI8(q, rows + k * dim, dim);
+  }
+}
+
+void DotBatchGatherI8(const int8_t* q, const int8_t* base, size_t dim,
+                      const uint32_t* ids, size_t count, int32_t* out) {
+  for (size_t k = 0; k < count; ++k) {
+    out[k] = DotI8(q, base + static_cast<size_t>(ids[k]) * dim, dim);
+  }
+}
+
+void BitsetIntersectBatch(const uint64_t* q, const uint64_t* base,
+                          size_t words, const uint32_t* ids, size_t count,
+                          uint32_t* out) {
+  for (size_t k = 0; k < count; ++k) {
+    const uint64_t* row = base + static_cast<size_t>(ids[k]) * words;
+    uint32_t inter = 0;
+    for (size_t w = 0; w < words; ++w) {
+      inter += static_cast<uint32_t>(__builtin_popcountll(q[w] & row[w]));
+    }
+    out[k] = inter;
+  }
+}
+
 }  // namespace scalar
 
 const Kernels* GetScalarKernels() {
@@ -94,7 +129,8 @@ const Kernels* GetScalarKernels() {
       scalar::Dot,          scalar::DotAndNorms2, scalar::DotBatch,
       scalar::DotBatchGather, scalar::Axpy,       scalar::Add,
       scalar::Scale,        scalar::IntersectSortedU32,
-      scalar::MaxF64,
+      scalar::MaxF64,       scalar::DotI8,        scalar::DotBatchI8,
+      scalar::DotBatchGatherI8, scalar::BitsetIntersectBatch,
   };
   return &table;
 }
@@ -239,5 +275,25 @@ size_t IntersectSortedU32(const uint32_t* a, size_t na, const uint32_t* b,
 }
 
 double MaxF64(const double* x, size_t n) { return K().max_f64(x, n); }
+
+int32_t DotI8(const int8_t* a, const int8_t* b, size_t n) {
+  return K().dot_i8(a, b, n);
+}
+
+void DotBatchI8(const int8_t* q, const int8_t* rows, size_t dim, size_t count,
+                int32_t* out) {
+  K().dot_batch_i8(q, rows, dim, count, out);
+}
+
+void DotBatchGatherI8(const int8_t* q, const int8_t* base, size_t dim,
+                      const uint32_t* ids, size_t count, int32_t* out) {
+  K().dot_batch_gather_i8(q, base, dim, ids, count, out);
+}
+
+void BitsetIntersectBatch(const uint64_t* q, const uint64_t* base,
+                          size_t words, const uint32_t* ids, size_t count,
+                          uint32_t* out) {
+  K().bitset_inter_batch(q, base, words, ids, count, out);
+}
 
 }  // namespace thetis::simd

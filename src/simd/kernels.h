@@ -73,6 +73,36 @@ void Add(float* acc, const float* x, size_t n);
 // x[i] *= s.
 void Scale(float* x, float s, size_t n);
 
+// --- Quantized int8 kernels ------------------------------------------------
+//
+// Exact int32 dot products over int8 code vectors (symmetric per-row
+// quantization, codes in [-127, 127]). All arithmetic is integer, so like
+// IntersectSortedU32 these are bit-identical across every tier — the
+// quantized bound pass relies on this for cross-tier ranking parity. The
+// AVX2 tier's maddubs path requires |a[i]| <= 127 (no -128), which the
+// quantizer guarantees.
+
+// Σ a[i] * b[i] as exact int32 (|codes| <= 127 keeps any realistic dim
+// far from overflow: 300 * 127^2 < 2^23).
+int32_t DotI8(const int8_t* a, const int8_t* b, size_t n);
+
+// One-vs-many over contiguous int8 rows.
+void DotBatchI8(const int8_t* q, const int8_t* rows, size_t dim, size_t count,
+                int32_t* out);
+
+// One-vs-many over gathered int8 rows of a row-major arena.
+void DotBatchGatherI8(const int8_t* q, const int8_t* base, size_t dim,
+                      const uint32_t* ids, size_t count, int32_t* out);
+
+// --- Bitset kernels --------------------------------------------------------
+
+// Batched popcount intersection over fixed-width bitsets:
+// out[k] = popcount(q & base[ids[k]*words .. +words)). Integer-exact in
+// every tier; `words` is the per-entity bitset width in 64-bit words.
+void BitsetIntersectBatch(const uint64_t* q, const uint64_t* base,
+                          size_t words, const uint32_t* ids, size_t count,
+                          uint32_t* out);
+
 // --- Sorted-set kernels ----------------------------------------------------
 
 // |a ∩ b| for strictly increasing u32 sequences (sets). The scalar tier
@@ -106,6 +136,14 @@ void Scale(float* x, float s, size_t n);
 size_t IntersectSortedU32(const uint32_t* a, size_t na, const uint32_t* b,
                           size_t nb);
 double MaxF64(const double* x, size_t n);
+int32_t DotI8(const int8_t* a, const int8_t* b, size_t n);
+void DotBatchI8(const int8_t* q, const int8_t* rows, size_t dim, size_t count,
+                int32_t* out);
+void DotBatchGatherI8(const int8_t* q, const int8_t* base, size_t dim,
+                      const uint32_t* ids, size_t count, int32_t* out);
+void BitsetIntersectBatch(const uint64_t* q, const uint64_t* base,
+                          size_t words, const uint32_t* ids, size_t count,
+                          uint32_t* out);
 }  // namespace scalar
 
 }  // namespace thetis::simd

@@ -188,13 +188,79 @@ double MaxF64Avx2(const double* x, size_t n) {
   return m;
 }
 
+// Exact int8 dot via the maddubs/sign trick: maddubs wants an unsigned
+// left operand, so feed it |a| and transfer a's sign onto b with
+// _mm256_sign_epi8 — |a[i]| * sign(a[i])*b[i] == a[i]*b[i]. The int16
+// pair sums cannot saturate with codes in [-127, 127] (2 * 127^2 =
+// 32258 < 32767); _mm256_madd_epi16 against ones then widens exactly to
+// int32. Pure integer arithmetic — bit-identical to the scalar tier.
+int32_t DotI8Avx2(const int8_t* a, const int8_t* b, size_t n) {
+  const __m256i ones = _mm256_set1_epi16(1);
+  __m256i acc = _mm256_setzero_si256();
+  size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    __m256i prods =
+        _mm256_maddubs_epi16(_mm256_abs_epi8(va), _mm256_sign_epi8(vb, va));
+    acc = _mm256_add_epi32(acc, _mm256_madd_epi16(prods, ones));
+  }
+  __m128i lo = _mm256_castsi256_si128(acc);
+  __m128i hi = _mm256_extracti128_si256(acc, 1);
+  __m128i sum4 = _mm_add_epi32(lo, hi);
+  sum4 = _mm_add_epi32(sum4, _mm_shuffle_epi32(sum4, _MM_SHUFFLE(1, 0, 3, 2)));
+  sum4 = _mm_add_epi32(sum4, _mm_shuffle_epi32(sum4, _MM_SHUFFLE(2, 3, 0, 1)));
+  int32_t sum = _mm_cvtsi128_si32(sum4);
+  for (; i < n; ++i) {
+    sum += static_cast<int32_t>(a[i]) * static_cast<int32_t>(b[i]);
+  }
+  return sum;
+}
+
+void DotBatchI8Avx2(const int8_t* q, const int8_t* rows, size_t dim,
+                    size_t count, int32_t* out) {
+  for (size_t k = 0; k < count; ++k) {
+    out[k] = DotI8Avx2(q, rows + k * dim, dim);
+  }
+}
+
+void DotBatchGatherI8Avx2(const int8_t* q, const int8_t* base, size_t dim,
+                          const uint32_t* ids, size_t count, int32_t* out) {
+  for (size_t k = 0; k < count; ++k) {
+    const int8_t* row = base + static_cast<size_t>(ids[k]) * dim;
+    if (k + 1 < count) {
+      _mm_prefetch(
+          reinterpret_cast<const char*>(
+              base + static_cast<size_t>(ids[k + 1]) * dim),
+          _MM_HINT_T0);
+    }
+    out[k] = DotI8Avx2(q, row, dim);
+  }
+}
+
+// Bitsets are at most 4 words (vocab <= 256); scalar popcount over the
+// AND wins over any vector dance at that width, and stays integer-exact.
+void BitsetIntersectBatchAvx2(const uint64_t* q, const uint64_t* base,
+                              size_t words, const uint32_t* ids, size_t count,
+                              uint32_t* out) {
+  for (size_t k = 0; k < count; ++k) {
+    const uint64_t* row = base + static_cast<size_t>(ids[k]) * words;
+    uint32_t inter = 0;
+    for (size_t w = 0; w < words; ++w) {
+      inter += static_cast<uint32_t>(__builtin_popcountll(q[w] & row[w]));
+    }
+    out[k] = inter;
+  }
+}
+
 }  // namespace
 
 const Kernels* GetAvx2Kernels() {
   static const Kernels table = {
       DotAvx2,           DotAndNorms2Avx2, DotBatchAvx2, DotBatchGatherAvx2,
       AxpyAvx2,          AddAvx2,          ScaleAvx2,    IntersectAvx2,
-      MaxF64Avx2,
+      MaxF64Avx2,        DotI8Avx2,        DotBatchI8Avx2,
+      DotBatchGatherI8Avx2, BitsetIntersectBatchAvx2,
   };
   return &table;
 }

@@ -21,6 +21,13 @@ struct Kernels {
   void (*scale)(float*, float, size_t);
   size_t (*intersect)(const uint32_t*, size_t, const uint32_t*, size_t);
   double (*max_f64)(const double*, size_t);
+  int32_t (*dot_i8)(const int8_t*, const int8_t*, size_t);
+  void (*dot_batch_i8)(const int8_t*, const int8_t*, size_t, size_t,
+                       int32_t*);
+  void (*dot_batch_gather_i8)(const int8_t*, const int8_t*, size_t,
+                              const uint32_t*, size_t, int32_t*);
+  void (*bitset_inter_batch)(const uint64_t*, const uint64_t*, size_t,
+                             const uint32_t*, size_t, uint32_t*);
 };
 
 // nullptr when the tier is not compiled into this binary.

@@ -171,13 +171,72 @@ double MaxF64Sse2(const double* x, size_t n) {
   return m;
 }
 
+// Exact int8 dot: sign-extend each 16-byte block to two int16 vectors
+// (unpack with itself + arithmetic shift right keeps the sign), then
+// _mm_madd_epi16 multiplies and pairwise-adds into int32 lanes. Pure
+// integer arithmetic, so the result is bit-identical to the scalar tier.
+int32_t DotI8Sse2(const int8_t* a, const int8_t* b, size_t n) {
+  __m128i acc = _mm_setzero_si128();
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    __m128i va = _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    __m128i vb = _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i));
+    __m128i a_lo = _mm_srai_epi16(_mm_unpacklo_epi8(va, va), 8);
+    __m128i a_hi = _mm_srai_epi16(_mm_unpackhi_epi8(va, va), 8);
+    __m128i b_lo = _mm_srai_epi16(_mm_unpacklo_epi8(vb, vb), 8);
+    __m128i b_hi = _mm_srai_epi16(_mm_unpackhi_epi8(vb, vb), 8);
+    acc = _mm_add_epi32(acc, _mm_madd_epi16(a_lo, b_lo));
+    acc = _mm_add_epi32(acc, _mm_madd_epi16(a_hi, b_hi));
+  }
+  __m128i hi64 = _mm_shuffle_epi32(acc, _MM_SHUFFLE(1, 0, 3, 2));
+  acc = _mm_add_epi32(acc, hi64);
+  __m128i hi32 = _mm_shuffle_epi32(acc, _MM_SHUFFLE(2, 3, 0, 1));
+  acc = _mm_add_epi32(acc, hi32);
+  int32_t sum = _mm_cvtsi128_si32(acc);
+  for (; i < n; ++i) {
+    sum += static_cast<int32_t>(a[i]) * static_cast<int32_t>(b[i]);
+  }
+  return sum;
+}
+
+void DotBatchI8Sse2(const int8_t* q, const int8_t* rows, size_t dim,
+                    size_t count, int32_t* out) {
+  for (size_t k = 0; k < count; ++k) {
+    out[k] = DotI8Sse2(q, rows + k * dim, dim);
+  }
+}
+
+void DotBatchGatherI8Sse2(const int8_t* q, const int8_t* base, size_t dim,
+                          const uint32_t* ids, size_t count, int32_t* out) {
+  for (size_t k = 0; k < count; ++k) {
+    out[k] = DotI8Sse2(q, base + static_cast<size_t>(ids[k]) * dim, dim);
+  }
+}
+
+// Bitsets are at most a handful of 64-bit words (vocab <= 256 -> words
+// <= 4); scalar popcount over the AND is already optimal, and integer
+// exactness across tiers is free.
+void BitsetIntersectBatchSse2(const uint64_t* q, const uint64_t* base,
+                              size_t words, const uint32_t* ids, size_t count,
+                              uint32_t* out) {
+  for (size_t k = 0; k < count; ++k) {
+    const uint64_t* row = base + static_cast<size_t>(ids[k]) * words;
+    uint32_t inter = 0;
+    for (size_t w = 0; w < words; ++w) {
+      inter += static_cast<uint32_t>(__builtin_popcountll(q[w] & row[w]));
+    }
+    out[k] = inter;
+  }
+}
+
 }  // namespace
 
 const Kernels* GetSse2Kernels() {
   static const Kernels table = {
       DotSse2,           DotAndNorms2Sse2, DotBatchSse2, DotBatchGatherSse2,
       AxpySse2,          AddSse2,          ScaleSse2,    IntersectSse2,
-      MaxF64Sse2,
+      MaxF64Sse2,        DotI8Sse2,        DotBatchI8Sse2,
+      DotBatchGatherI8Sse2, BitsetIntersectBatchSse2,
   };
   return &table;
 }

@@ -7,7 +7,9 @@
 #include <vector>
 
 #include "benchgen/synthetic_kg.h"
+#include "core/similarity.h"
 #include "embedding/embedding_store.h"
+#include "embedding/quantized_store.h"
 #include "embedding/random_walks.h"
 #include "embedding/skipgram.h"
 #include "embedding/vector_ops.h"
@@ -250,6 +252,122 @@ TEST(EmbeddingStoreTest, CosineBatchBitIdenticalToCosine) {
 }
 
 // --- Random walks ----------------------------------------------------------------
+
+// --- quantized_store -----------------------------------------------------------
+
+// Random store with Gaussian rows plus deliberate edge rows: an all-zero
+// row (scale 0 by contract) and a one-hot row (exactly representable).
+EmbeddingStore RandomStore(size_t count, size_t dim, uint64_t seed) {
+  EmbeddingStore store(count, dim);
+  Rng rng(seed);
+  for (size_t e = 1; e < count; ++e) {
+    for (size_t d = 0; d < dim; ++d) {
+      store.mutable_vector(static_cast<EntityId>(e))[d] =
+          static_cast<float>(rng.NextGaussian());
+    }
+  }
+  if (count > 2) {
+    float* onehot = store.mutable_vector(2);
+    for (size_t d = 0; d < dim; ++d) onehot[d] = 0.0f;
+    onehot[0] = 2.5f;
+  }
+  return store;
+}
+
+TEST(QuantizedStoreTest, CodesScalesAndErrorsSatisfyTheContract) {
+  EmbeddingStore store = RandomStore(17, 32, 21);
+  QuantizedEmbeddingStore quant = QuantizedEmbeddingStore::FromStore(store);
+  ASSERT_EQ(quant.size(), store.size());
+  ASSERT_EQ(quant.dim(), store.dim());
+  const float* normalized = store.NormalizedData();
+  const size_t dim = store.dim();
+  for (size_t r = 0; r < quant.size(); ++r) {
+    const int8_t* codes = quant.codes() + r * dim;
+    const double s = quant.scales()[r];
+    ASSERT_GE(s, 0.0) << "row " << r;
+    double max_err = 0.0;
+    for (size_t d = 0; d < dim; ++d) {
+      ASSERT_GE(codes[d], -127) << "row " << r;
+      ASSERT_LE(codes[d], 127) << "row " << r;
+      const double v = normalized[r * dim + d];
+      max_err = std::max(max_err, std::abs(v - codes[d] * s));
+    }
+    // The stored per-row error must never understate the actual
+    // dequantization error — that is what makes the bound admissible.
+    ASSERT_GE(static_cast<double>(quant.errors()[r]), max_err) << "row " << r;
+  }
+  // The all-zero row quantizes to scale 0, zero codes, zero error.
+  EXPECT_EQ(quant.scales()[0], 0.0f);
+  EXPECT_EQ(quant.errors()[0], 0.0f);
+  for (size_t d = 0; d < dim; ++d) {
+    EXPECT_EQ(quant.codes()[d], 0) << "component " << d;
+  }
+  // 1 byte/component + 8 bytes/row: 3.2x smaller than fp32 at dim 32.
+  EXPECT_EQ(quant.arena_bytes(), quant.size() * (dim + 8));
+  EXPECT_GE(static_cast<double>(quant.size() * dim * sizeof(float)) /
+                static_cast<double>(quant.arena_bytes()),
+            3.0);
+}
+
+TEST(QuantizedStoreTest, UpperBoundDominatesExactSigmaPairwise) {
+  for (uint64_t seed : {22u, 23u, 24u}) {
+    for (size_t dim : {3u, 32u, 100u}) {
+      EmbeddingStore store = RandomStore(23, dim, seed);
+      EmbeddingCosineSimilarity sim(&store);
+      const QuantizedEmbeddingStore& quant = sim.quantized();
+      std::vector<EntityId> targets(store.size());
+      for (size_t t = 0; t < targets.size(); ++t) {
+        targets[t] = static_cast<EntityId>(t);
+      }
+      std::vector<double> exact(targets.size());
+      std::vector<double> bound(targets.size());
+      for (size_t q = 0; q < store.size(); ++q) {
+        sim.ScoreBatch(static_cast<EntityId>(q), targets.data(),
+                       targets.size(), exact.data());
+        quant.CosineUpperBoundBatch(static_cast<EntityId>(q), targets.data(),
+                                    targets.size(), bound.data());
+        for (size_t t = 0; t < targets.size(); ++t) {
+          ASSERT_GE(bound[t], exact[t])
+              << "seed=" << seed << " dim=" << dim << " q=" << q
+              << " t=" << t;
+          ASSERT_LE(bound[t], 1.0) << "q=" << q << " t=" << t;
+          ASSERT_GE(bound[t], 0.0) << "q=" << q << " t=" << t;
+          if (bound[t] == 0.0) {
+            // A zero bound must be a *proof* of a zero score.
+            ASSERT_EQ(exact[t], 0.0) << "q=" << q << " t=" << t;
+          }
+        }
+        ASSERT_EQ(bound[q], 1.0) << "identity pair, q=" << q;
+      }
+    }
+  }
+}
+
+TEST(QuantizedStoreTest, SnapshotViewIsBitIdenticalToOwned) {
+  EmbeddingStore store = RandomStore(11, 32, 25);
+  QuantizedEmbeddingStore owned = QuantizedEmbeddingStore::FromStore(store);
+  QuantizedEmbeddingStore view = QuantizedEmbeddingStore::FromSnapshotView(
+      owned.codes(), owned.scales(), owned.errors(), owned.size(),
+      owned.dim());
+  EXPECT_TRUE(view.is_view());
+  EXPECT_FALSE(owned.is_view());
+  EXPECT_EQ(view.arena_bytes(), owned.arena_bytes());
+  std::vector<EntityId> targets(owned.size());
+  for (size_t t = 0; t < targets.size(); ++t) {
+    targets[t] = static_cast<EntityId>(t);
+  }
+  std::vector<double> a(targets.size());
+  std::vector<double> b(targets.size());
+  for (size_t q = 0; q < owned.size(); ++q) {
+    owned.CosineUpperBoundBatch(static_cast<EntityId>(q), targets.data(),
+                                targets.size(), a.data());
+    view.CosineUpperBoundBatch(static_cast<EntityId>(q), targets.data(),
+                               targets.size(), b.data());
+    for (size_t t = 0; t < targets.size(); ++t) {
+      ASSERT_EQ(a[t], b[t]) << "q=" << q << " t=" << t;
+    }
+  }
+}
 
 benchgen::SyntheticKg SmallKg() {
   benchgen::SyntheticKgOptions options;

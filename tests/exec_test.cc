@@ -549,5 +549,126 @@ TEST(UpperBoundTest, BoundDominatesExactScoreEverywhere) {
   }
 }
 
+// --- Compressed bound backends ----------------------------------------------------
+
+// Same admissibility contract as above, but swept across every
+// bound-backend setting: the int8 quantized bound (code dot + analytic
+// slack) and the packed-bitset bound must dominate the exact score on
+// every pair, under both aggregations, and a zero bound must still be a
+// proof of a zero score (the slack term gamma > 0 guarantees the
+// quantized bound never produces a false zero).
+TEST(UpperBoundTest, CompressedBoundsDominateExactScoreEverywhere) {
+  Benchmark bench = MakeBenchmark(PresetKind::kWt2015Like, 0.03, 93);
+  SemanticDataLake lake(&bench.lake.corpus, &bench.kg.kg);
+  TypeJaccardSimilarity type_sim(&bench.kg.kg);
+  EmbeddingStore store = benchgen::TrainBenchmarkEmbeddings(bench.kg);
+  EmbeddingCosineSimilarity emb_sim(&store);
+  const EntitySimilarity* sims[] = {&type_sim, &emb_sim};
+
+  auto queries = benchgen::MakeQueries(bench.kg, 3, 94);
+  for (const EntitySimilarity* sim : sims) {
+    for (RowAggregation agg : {RowAggregation::kMax, RowAggregation::kAvg}) {
+      for (SearchOptions::BoundBackend backend :
+           {SearchOptions::BoundBackend::kFp32,
+            SearchOptions::BoundBackend::kAuto,
+            SearchOptions::BoundBackend::kInt8,
+            SearchOptions::BoundBackend::kBitset}) {
+        SearchOptions options;
+        options.aggregation = agg;
+        options.bound_backend = backend;
+        SearchEngine engine(&lake, sim, options);
+        for (const auto& gq : queries) {
+          for (TableId t = 0; t < bench.lake.corpus.size(); ++t) {
+            double bound = engine.UpperBoundTable(gq.query, t);
+            double exact = engine.ScoreTable(gq.query, t);
+            EXPECT_GE(bound, exact)
+                << sim->name() << " table " << t << " backend "
+                << static_cast<int>(backend) << " agg "
+                << (agg == RowAggregation::kMax ? "max" : "avg");
+            if (bound == 0.0) EXPECT_EQ(exact, 0.0);
+          }
+        }
+      }
+    }
+  }
+}
+
+// Ranking parity of the compressed bound backends: every backend setting —
+// including explicit requests the similarity cannot serve, which fall back
+// to fp32 — must return hit lists bit-identical to the fp32-bound engine,
+// across cache on/off and serial/parallel execution, and the stats must
+// report the backend that actually ran.
+class BoundBackendParitySweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BoundBackendParitySweep, CompressedBoundRankingsMatchFp32Everywhere) {
+  Benchmark bench = MakeBenchmark(PresetKind::kWt2015Like, 0.05, GetParam());
+  SemanticDataLake lake(&bench.lake.corpus, &bench.kg.kg);
+  TypeJaccardSimilarity type_sim(&bench.kg.kg);
+  EmbeddingStore store = benchgen::TrainBenchmarkEmbeddings(bench.kg);
+  EmbeddingCosineSimilarity emb_sim(&store);
+  // Small synthetic vocabularies pack into bitsets; if this lake's did
+  // not, kAuto/kBitset legs resolve (correctly) to fp32.
+  const char* type_compressed = type_sim.has_bitset() ? "bitset" : "fp32";
+
+  struct Leg {
+    const EntitySimilarity* sim;
+    SearchOptions::BoundBackend backend;
+    const char* resolved;
+    // kAuto only takes the compressed backend when the memo is off (with
+    // it on, fp32 probes amortize across tables and pre-warm the rerank),
+    // so its expected resolution is cache-dependent.
+    const char* resolved_cached;
+  };
+  const Leg legs[] = {
+      {&type_sim, SearchOptions::BoundBackend::kBitset, type_compressed,
+       type_compressed},
+      {&type_sim, SearchOptions::BoundBackend::kAuto, type_compressed,
+       "fp32"},
+      {&type_sim, SearchOptions::BoundBackend::kInt8, "fp32", "fp32"},
+      {&emb_sim, SearchOptions::BoundBackend::kInt8, "int8", "int8"},
+      {&emb_sim, SearchOptions::BoundBackend::kAuto, "int8", "fp32"},
+      {&emb_sim, SearchOptions::BoundBackend::kBitset, "fp32", "fp32"},
+  };
+
+  ThreadPool pool1(1);
+  ThreadPool pool8(8);
+  auto queries = benchgen::MakeQueries(bench.kg, 4, GetParam() * 5 + 2);
+  for (const Leg& leg : legs) {
+    SearchOptions ref_opts;
+    ref_opts.bound_backend = SearchOptions::BoundBackend::kFp32;
+    SearchEngine reference(&lake, leg.sim, ref_opts);
+    for (bool cache : {false, true}) {
+      SearchOptions opts;
+      opts.bound_backend = leg.backend;
+      opts.enable_cache = cache;
+      SearchEngine engine(&lake, leg.sim, opts);
+      const char* resolved = cache ? leg.resolved_cached : leg.resolved;
+      const std::string label = leg.sim->name() + "/" + resolved +
+                                (cache ? "/cache" : "/nocache");
+      for (const auto& gq : queries) {
+        auto want = reference.Search(gq.query);
+        ASSERT_FALSE(want.empty());
+        SearchStats stats;
+        ExpectSameHits(want, engine.Search(gq.query, &stats),
+                       label + " serial");
+        EXPECT_STREQ(stats.bound_backend, resolved) << label;
+        EXPECT_EQ(stats.tables_scored + stats.tables_pruned,
+                  stats.candidate_count)
+            << label;
+        for (ThreadPool* pool : {&pool1, &pool8}) {
+          SearchStats pstats;
+          ExpectSameHits(
+              want, engine.SearchParallel(gq.query, pool, &pstats),
+              label + " parallel x" + std::to_string(pool->num_threads()));
+          EXPECT_STREQ(pstats.bound_backend, resolved) << label;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BoundBackendParitySweep,
+                         ::testing::Values(5, 77, 402));
+
 }  // namespace
 }  // namespace thetis

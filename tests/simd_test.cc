@@ -260,6 +260,119 @@ TEST(SimdKernelsTest, IntersectAdversarialPatterns) {
   }
 }
 
+// --- Quantized int8 / bitset kernels ---------------------------------------
+
+std::vector<int8_t> RandomCodes(Rng* rng, size_t n) {
+  std::vector<int8_t> v(n);
+  for (int8_t& x : v) {
+    // Full admissible code range [-127, 127]; -128 is excluded by the
+    // quantizer and by the AVX2 maddubs contract.
+    x = static_cast<int8_t>(static_cast<int>(rng->NextBounded(255)) - 127);
+  }
+  return v;
+}
+
+TEST(SimdKernelsTest, DotI8ExactAcrossTiersAndDims) {
+  TierGuard guard;
+  Rng rng(16);
+  for (simd::Tier tier : CompiledSupportedTiers()) {
+    simd::SetTier(tier);
+    for (size_t n = 1; n <= 300; ++n) {
+      auto a = RandomCodes(&rng, n);
+      auto b = RandomCodes(&rng, n);
+      int32_t ref = simd::scalar::DotI8(a.data(), b.data(), n);
+      int32_t got = simd::DotI8(a.data(), b.data(), n);
+      // Integer arithmetic: exact equality, not a tolerance — the bound
+      // pass's bit-identical-rankings contract rests on this.
+      ASSERT_EQ(got, ref) << "tier=" << simd::TierName(tier) << " n=" << n;
+    }
+  }
+}
+
+TEST(SimdKernelsTest, DotI8SaturationExtremes) {
+  TierGuard guard;
+  // All-(-127) x all-(+127) rows at the widths that stress the 16-bit
+  // intermediate products: 2 * 127 * 127 = 32258 < 32767, so maddubs must
+  // not saturate; any tier that does returns a wrong (clamped) sum.
+  for (size_t n : {1u, 31u, 32u, 33u, 64u, 255u, 300u}) {
+    std::vector<int8_t> lo(n, static_cast<int8_t>(-127));
+    std::vector<int8_t> hi(n, static_cast<int8_t>(127));
+    const int32_t want = -127 * 127 * static_cast<int32_t>(n);
+    for (simd::Tier tier : CompiledSupportedTiers()) {
+      simd::SetTier(tier);
+      EXPECT_EQ(simd::DotI8(lo.data(), hi.data(), n), want)
+          << simd::TierName(tier) << " n=" << n;
+      EXPECT_EQ(simd::DotI8(hi.data(), hi.data(), n), -want)
+          << simd::TierName(tier) << " n=" << n;
+    }
+  }
+}
+
+TEST(SimdKernelsTest, DotBatchI8VariantsBitIdenticalToOneShot) {
+  TierGuard guard;
+  Rng rng(17);
+  constexpr size_t kCount = 9;
+  for (simd::Tier tier : CompiledSupportedTiers()) {
+    simd::SetTier(tier);
+    for (size_t dim : {1u, 3u, 15u, 16u, 17u, 32u, 33u, 100u, 300u}) {
+      auto q = RandomCodes(&rng, dim);
+      auto rows = RandomCodes(&rng, dim * kCount);
+      std::vector<int32_t> out(kCount);
+      simd::DotBatchI8(q.data(), rows.data(), dim, kCount, out.data());
+      for (size_t k = 0; k < kCount; ++k) {
+        ASSERT_EQ(out[k], simd::DotI8(q.data(), rows.data() + k * dim, dim))
+            << simd::TierName(tier) << " dim=" << dim << " k=" << k;
+      }
+
+      std::vector<uint32_t> ids = {4, 0, 8, 4, 2, 7, 1, 8, 3};
+      std::vector<int32_t> gout(ids.size());
+      simd::DotBatchGatherI8(q.data(), rows.data(), dim, ids.data(),
+                             ids.size(), gout.data());
+      for (size_t k = 0; k < ids.size(); ++k) {
+        ASSERT_EQ(gout[k],
+                  simd::DotI8(q.data(), rows.data() + ids[k] * dim, dim))
+            << simd::TierName(tier) << " dim=" << dim << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(SimdKernelsTest, BitsetIntersectExactAcrossTiers) {
+  TierGuard guard;
+  Rng rng(18);
+  constexpr size_t kRows = 64;
+  for (size_t words = 1; words <= 4; ++words) {
+    std::vector<uint64_t> base(kRows * words);
+    for (uint64_t& w : base) {
+      w = (static_cast<uint64_t>(rng.NextBounded(UINT32_MAX)) << 32) |
+          rng.NextBounded(UINT32_MAX);
+    }
+    std::vector<uint32_t> ids = {0, 63, 5, 5, 17, 40, 1, 62};
+    std::vector<uint32_t> ref(ids.size());
+    simd::scalar::BitsetIntersectBatch(base.data(), base.data(), words,
+                                       ids.data(), ids.size(), ref.data());
+    // Reference of the reference: per-word popcount by hand.
+    for (size_t k = 0; k < ids.size(); ++k) {
+      uint32_t want = 0;
+      for (size_t w = 0; w < words; ++w) {
+        uint64_t inter = base[w] & base[ids[k] * words + w];
+        for (; inter != 0; inter &= inter - 1) ++want;
+      }
+      ASSERT_EQ(ref[k], want) << "words=" << words << " k=" << k;
+    }
+    for (simd::Tier tier : CompiledSupportedTiers()) {
+      simd::SetTier(tier);
+      std::vector<uint32_t> got(ids.size());
+      simd::BitsetIntersectBatch(base.data(), base.data(), words, ids.data(),
+                                 ids.size(), got.data());
+      for (size_t k = 0; k < ids.size(); ++k) {
+        ASSERT_EQ(got[k], ref[k])
+            << simd::TierName(tier) << " words=" << words << " k=" << k;
+      }
+    }
+  }
+}
+
 // --- End-to-end ranking parity ---------------------------------------------
 
 TEST(SimdRankingParityTest, ScalarAndBestTierReturnSameRanking) {

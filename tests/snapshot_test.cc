@@ -27,6 +27,7 @@
 #include <cstring>
 #include <fstream>
 #include <functional>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -34,6 +35,8 @@
 #include "benchgen/benchmark_factory.h"
 #include "core/search_engine.h"
 #include "core/similarity.h"
+#include "embedding/embedding_store.h"
+#include "embedding/quantized_store.h"
 #include "io/engine_snapshot.h"
 #include "io/snapshot_format.h"
 #include "io/snapshot_reader.h"
@@ -87,6 +90,33 @@ void PatchEntry(std::string* bytes, size_t index,
       SnapshotChecksum(bytes->data() + header.table_offset,
                        header.section_count * sizeof(SectionEntry));
   PatchHeader(bytes, header);
+}
+
+// Index of `kind` in the section table, or section_count when absent.
+size_t FindSection(const std::string& bytes, SectionKind kind) {
+  const SnapshotHeader header = HeaderOf(bytes);
+  for (size_t i = 0; i < header.section_count; ++i) {
+    SectionEntry entry;
+    std::memcpy(&entry,
+                bytes.data() + header.table_offset + i * sizeof(entry),
+                sizeof(entry));
+    if (entry.kind == static_cast<uint32_t>(kind)) return i;
+  }
+  return header.section_count;
+}
+
+// Shrinks section `kind` to `new_length` bytes, repairing BOTH checksums
+// (the section's own and the table's), so only the loader's shape
+// validation — not the integrity machinery — can reject the result.
+void ShrinkSection(std::string* bytes, SectionKind kind, uint64_t new_length) {
+  const size_t index = FindSection(*bytes, kind);
+  ASSERT_LT(index, HeaderOf(*bytes).section_count)
+      << "section kind " << static_cast<uint32_t>(kind) << " not present";
+  PatchEntry(bytes, index, [bytes, new_length](SectionEntry* e) {
+    ASSERT_LT(new_length, e->length);
+    e->length = new_length;
+    e->checksum = SnapshotChecksum(bytes->data() + e->offset, new_length);
+  });
 }
 
 // One shared world: a small benchmark lake, a types-mode engine + LSEI
@@ -519,6 +549,14 @@ struct MicroLake {
 
 std::string GoldenPath() {
   return std::string(THETIS_SOURCE_DIR) +
+         "/tests/golden/engine_snapshot_v2.snap";
+}
+
+// The untouched version-1 fixture, written before the compressed
+// bound-backend sections (kQuantCodes..kTypeBitsetSizes) existed. Those
+// sections are optional, so this file must keep loading forever.
+std::string GoldenV1Path() {
+  return std::string(THETIS_SOURCE_DIR) +
          "/tests/golden/engine_snapshot_v1.snap";
 }
 
@@ -564,6 +602,12 @@ TEST(GoldenSnapshotTest, CheckedInFixtureLoadsAndAnswersQueries) {
   auto loaded = LoadedEngine::Load(GoldenPath(), &lake);
   ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
   ASSERT_NE(loaded.value()->lsei(), nullptr);
+  // The v2 fixture carries type-bitset sections (4-type vocabulary), and
+  // the loader must wire them up rather than rebuild.
+  const auto* restored_types = dynamic_cast<const TypeJaccardSimilarity*>(
+      &loaded.value()->similarity());
+  ASSERT_NE(restored_types, nullptr);
+  EXPECT_TRUE(restored_types->has_bitset());
 
   TypeJaccardSimilarity types(&micro.kg);
   SearchEngine built(&lake, &types);
@@ -580,6 +624,231 @@ TEST(GoldenSnapshotTest, CheckedInFixtureLoadsAndAnswersQueries) {
   // Pin the semantics, not just the parity: the all-person query must rank
   // the all-person table first.
   EXPECT_EQ(micro.corpus.table(actual[0].table).name(), "people");
+}
+
+TEST(GoldenSnapshotTest, LegacyVersion1FixtureStillLoads) {
+  // Backward compatibility: the v1 fixture predates the compressed
+  // bound-backend sections. The loader must accept the old version,
+  // rebuild the missing backends in memory, and answer bit-identically
+  // to a freshly built engine.
+  MicroLake micro;
+  SemanticDataLake lake(&micro.corpus, &micro.kg);
+  auto loaded = LoadedEngine::Load(GoldenV1Path(), &lake);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const auto* restored_types = dynamic_cast<const TypeJaccardSimilarity*>(
+      &loaded.value()->similarity());
+  ASSERT_NE(restored_types, nullptr);
+  EXPECT_TRUE(restored_types->has_bitset())
+      << "absent bitset sections must be rebuilt, not left empty";
+
+  TypeJaccardSimilarity types(&micro.kg);
+  SearchEngine built(&lake, &types);
+  Query query;
+  query.tuples.push_back({0, 1});
+  const std::vector<SearchHit> expected = built.Search(query);
+  const std::vector<SearchHit> actual = loaded.value()->engine().Search(query);
+  ASSERT_EQ(expected.size(), actual.size());
+  ASSERT_FALSE(actual.empty());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(expected[i].table, actual[i].table);
+    EXPECT_EQ(expected[i].score, actual[i].score);
+  }
+}
+
+TEST(GoldenSnapshotTest, MalformedTypeBitsetSectionsAreRejected) {
+  // Shape validation of the v2 bitset sections: internally consistent
+  // files (all checksums pass) whose sections disagree with the entity
+  // count must come back as clean errors, not out-of-bounds views.
+  MicroLake micro;
+  SemanticDataLake lake(&micro.corpus, &micro.kg);
+  const std::string scratch = testing::TempDir() + "/bitset_tamper.snap";
+  const std::string clean = BuildMicroSnapshot(micro, lake, scratch);
+  ASSERT_LT(FindSection(clean, SectionKind::kTypeBitsetBits),
+            HeaderOf(clean).section_count)
+      << "micro snapshot should carry bitset sections (4-type vocabulary)";
+
+  const auto try_load = [&](const std::string& bytes) {
+    const std::string path = testing::TempDir() + "/bitset_tampered.snap";
+    WriteAll(path, bytes);
+    auto loaded = LoadedEngine::Load(path, &lake);
+    return loaded.ok() ? Status::Ok() : loaded.status();
+  };
+
+  {
+    // Sizes array shorter than the entity count (8 entities).
+    std::string tampered = clean;
+    ShrinkSection(&tampered, SectionKind::kTypeBitsetSizes,
+                  7 * sizeof(uint32_t));
+    Status status = try_load(tampered);
+    ASSERT_FALSE(status.ok());
+    EXPECT_NE(status.ToString().find("type-bitset"), std::string::npos)
+        << status.ToString();
+  }
+  {
+    // Bit words no longer a multiple of the entity count.
+    std::string tampered = clean;
+    ShrinkSection(&tampered, SectionKind::kTypeBitsetBits,
+                  7 * sizeof(uint64_t));
+    Status status = try_load(tampered);
+    ASSERT_FALSE(status.ok());
+    EXPECT_NE(status.ToString().find("type-bitset"), std::string::npos)
+        << status.ToString();
+  }
+  {
+    // One of the paired sections missing entirely (kind forged to an
+    // unknown value the reader skips): a half-present pair must be
+    // refused rather than mixing viewed and rebuilt state.
+    std::string tampered = clean;
+    PatchEntry(&tampered, FindSection(tampered, SectionKind::kTypeBitsetSizes),
+               [](SectionEntry* e) { e->kind = 912; });
+    EXPECT_FALSE(try_load(tampered).ok());
+  }
+}
+
+// --- Quantized-arena sections (cosine mode) -------------------------------
+
+// Deterministic embeddings over the micro-lake's 8 entities: row 0 stays
+// all-zero (exercising the zero-scale row through save/load), the rest are
+// small integers normalized by the store.
+EmbeddingStore MicroEmbeddings() {
+  EmbeddingStore store(8, 6);
+  for (size_t e = 1; e < 8; ++e) {
+    for (size_t d = 0; d < 6; ++d) {
+      store.mutable_vector(static_cast<EntityId>(e))[d] =
+          static_cast<float>(static_cast<int>((e * 7 + d * 3) % 11) - 5);
+    }
+  }
+  store.NormalizeAll();
+  return store;
+}
+
+// A cosine-mode engine over the micro-lake, saved once per test: the
+// shared SnapshotTest fixture is types-mode, so the kQuant* sections only
+// exist here.
+class QuantSnapshotTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    micro_ = std::make_unique<MicroLake>();
+    lake_ = std::make_unique<SemanticDataLake>(&micro_->corpus, &micro_->kg);
+    store_ = std::make_unique<EmbeddingStore>(MicroEmbeddings());
+    sim_ = std::make_unique<EmbeddingCosineSimilarity>(store_.get());
+    engine_ = std::make_unique<SearchEngine>(lake_.get(), sim_.get());
+    path_ = testing::TempDir() + "/quant.snap";
+    EngineSnapshotParts parts;
+    parts.lake = lake_.get();
+    parts.engine = engine_.get();
+    Status saved = SaveEngineSnapshot(path_, parts);
+    ASSERT_TRUE(saved.ok()) << saved.ToString();
+    clean_ = ReadAll(path_);
+    ASSERT_LT(FindSection(clean_, SectionKind::kQuantCodes),
+              HeaderOf(clean_).section_count)
+        << "cosine-mode snapshot should carry quantized sections";
+  }
+
+  Status TryLoadBytes(const std::string& bytes) {
+    const std::string scratch = testing::TempDir() + "/quant_tampered.snap";
+    WriteAll(scratch, bytes);
+    auto loaded = LoadedEngine::Load(scratch, lake_.get());
+    return loaded.ok() ? Status::Ok() : loaded.status();
+  }
+
+  std::unique_ptr<MicroLake> micro_;
+  std::unique_ptr<SemanticDataLake> lake_;
+  std::unique_ptr<EmbeddingStore> store_;
+  std::unique_ptr<EmbeddingCosineSimilarity> sim_;
+  std::unique_ptr<SearchEngine> engine_;
+  std::string path_;
+  std::string clean_;
+};
+
+TEST_F(QuantSnapshotTest, RoundTripViewsQuantizedArenaAndMatchesOwned) {
+  auto loaded = LoadedEngine::Load(path_, lake_.get());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const auto* cosine = dynamic_cast<const EmbeddingCosineSimilarity*>(
+      &loaded.value()->similarity());
+  ASSERT_NE(cosine, nullptr);
+  const QuantizedEmbeddingStore& restored = cosine->quantized();
+  const QuantizedEmbeddingStore& built = sim_->quantized();
+  EXPECT_TRUE(restored.is_view())
+      << "load must view the mmap'd arena, not requantize";
+  ASSERT_EQ(restored.size(), built.size());
+  ASSERT_EQ(restored.dim(), built.dim());
+  EXPECT_EQ(std::memcmp(restored.codes(), built.codes(),
+                        built.size() * built.dim()),
+            0);
+  EXPECT_EQ(std::memcmp(restored.scales(), built.scales(),
+                        built.size() * sizeof(float)),
+            0);
+  EXPECT_EQ(std::memcmp(restored.errors(), built.errors(),
+                        built.size() * sizeof(float)),
+            0);
+
+  // Int8-bounded pruning over the restored (viewing) engine answers
+  // bit-identically to the built (owning) one.
+  SearchOptions options = engine_->options();
+  options.enable_prune = true;
+  options.bound_backend = SearchOptions::BoundBackend::kInt8;
+  loaded.value()->mutable_engine()->set_options(options);
+  Query query;
+  query.tuples.push_back({1, 2});
+  const std::vector<SearchHit> expected = engine_->Search(query);
+  SearchStats stats;
+  const std::vector<SearchHit> actual =
+      loaded.value()->engine().Search(query, &stats);
+  EXPECT_STREQ(stats.bound_backend, "int8");
+  ASSERT_EQ(expected.size(), actual.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(expected[i].table, actual[i].table);
+    EXPECT_EQ(expected[i].score, actual[i].score);
+  }
+}
+
+TEST_F(QuantSnapshotTest, MalformedQuantSectionsAreRejected) {
+  {
+    // Scale array shorter than the embedding count (8 rows).
+    std::string tampered = clean_;
+    ShrinkSection(&tampered, SectionKind::kQuantScales, 7 * sizeof(float));
+    Status status = TryLoadBytes(tampered);
+    ASSERT_FALSE(status.ok());
+    EXPECT_NE(status.ToString().find("quantized"), std::string::npos)
+        << status.ToString();
+  }
+  {
+    // Codes arena no longer count x dim (one row's worth short).
+    std::string tampered = clean_;
+    ShrinkSection(&tampered, SectionKind::kQuantCodes, 7 * 6);
+    Status status = TryLoadBytes(tampered);
+    ASSERT_FALSE(status.ok());
+    EXPECT_NE(status.ToString().find("count x dim"), std::string::npos)
+        << status.ToString();
+  }
+  {
+    // Error array missing entirely (kind forged to an unknown value): a
+    // partial codes/scales/errors trio must be refused outright.
+    std::string tampered = clean_;
+    PatchEntry(&tampered, FindSection(tampered, SectionKind::kQuantErrors),
+               [](SectionEntry* e) { e->kind = 913; });
+    EXPECT_FALSE(TryLoadBytes(tampered).ok());
+  }
+  {
+    // A byte flip inside the codes arena is caught by the checksum.
+    std::string tampered = clean_;
+    auto reader = SnapshotReader::Open(path_);
+    ASSERT_TRUE(reader.ok());
+    bool flipped = false;
+    for (const SnapshotReader::SectionInfo& section :
+         reader.value().sections()) {
+      if (section.kind != static_cast<uint32_t>(SectionKind::kQuantCodes)) {
+        continue;
+      }
+      tampered[section.offset + section.length / 2] ^= 0x01;
+      flipped = true;
+    }
+    ASSERT_TRUE(flipped);
+    Status status = TryLoadBytes(tampered);
+    ASSERT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  }
 }
 
 }  // namespace
