@@ -1,0 +1,120 @@
+// Sharded scatter-gather search vs the classic unsharded engine, on the
+// same thread pool. Sharding is exact (rankings bit-identical — asserted
+// per query outside the timed region), so the deliverable is pure runtime
+// shape plus how often the globally shared score floor lets one shard's
+// admissions kill another shard's candidates.
+//
+// Expected shape (this repo): the 4-shard parallel rows are not slower
+// than the unsharded parallel baseline (shards give each worker one
+// contiguous arena range and one shard-local signature cache), and
+// floor_hits_per_query is nonzero — cross-shard floor sharing does real
+// pruning work, not just bookkeeping. CI gates both (BENCH_shard.json).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
+
+namespace thetis::bench {
+namespace {
+
+const World& TheWorld() {
+  return GetWorld(benchgen::PresetKind::kWt2015Like, BenchScale());
+}
+
+void ShardBench(benchmark::State& state, size_t shards, size_t threads,
+                bool five_tuple) {
+  const World& w = TheWorld();
+  SearchOptions options;
+  options.num_shards = shards;
+  options.build_threads = 4;
+  SearchEngine engine(w.lake.get(), w.type_sim.get(), options);
+  SearchOptions ref_options;
+  SearchEngine reference(w.lake.get(), w.type_sim.get(), ref_options);
+  ThreadPool pool(threads);
+
+  const auto& queries = five_tuple ? w.queries5 : w.queries1;
+  // Parity check once, outside the timed region: sharding must not change
+  // a single hit or score bit, serial or parallel.
+  for (const auto& gq : queries) {
+    auto want = reference.Search(gq.query);
+    for (const auto& hits : {engine.Search(gq.query),
+                             engine.SearchParallel(gq.query, &pool)}) {
+      bool same = want.size() == hits.size();
+      for (size_t i = 0; same && i < want.size(); ++i) {
+        same = want[i].table == hits[i].table &&
+               want[i].score == hits[i].score;
+      }
+      if (!same) {
+        std::fprintf(stderr, "shard parity violation (%zu shards)\n", shards);
+        std::abort();
+      }
+    }
+  }
+  for (auto _ : state) {
+    size_t pruned = 0;
+    size_t candidates = 0;
+    size_t floor_hits = 0;
+    size_t floor_publishes = 0;
+    Stopwatch watch;
+    for (const auto& gq : queries) {
+      SearchStats stats;
+      auto hits = threads > 1 ? engine.SearchParallel(gq.query, &pool, &stats)
+                              : engine.Search(gq.query, &stats);
+      benchmark::DoNotOptimize(hits);
+      pruned += stats.tables_pruned;
+      candidates += stats.candidate_count;
+      floor_hits += stats.floor_hits;
+      floor_publishes += stats.floor_publishes;
+    }
+    double total = watch.ElapsedSeconds();
+    double n = static_cast<double>(queries.size());
+    state.counters["ms_per_query"] = 1e3 * total / n;
+    state.counters["prune_rate"] =
+        candidates == 0 ? 0.0
+                        : static_cast<double>(pruned) /
+                              static_cast<double>(candidates);
+    state.counters["floor_hits_per_query"] =
+        static_cast<double>(floor_hits) / n;
+    state.counters["floor_publishes_per_query"] =
+        static_cast<double>(floor_publishes) / n;
+  }
+}
+
+void RegisterAll() {
+  // The CI gate compares Shard/shards4/threads4 against the
+  // Shard/shards1/threads4 baseline, and requires nonzero
+  // floor_hits_per_query on the sharded rows.
+  struct Row {
+    size_t shards;
+    size_t threads;
+  };
+  for (const Row& row : {Row{1, 1}, Row{4, 1}, Row{1, 4}, Row{4, 4},
+                         Row{8, 4}}) {
+    for (bool five : {false, true}) {
+      std::string name = "Shard/shards" + std::to_string(row.shards) +
+                         "/threads" + std::to_string(row.threads) + "/" +
+                         (five ? "5tuple" : "1tuple");
+      benchmark::RegisterBenchmark(name.c_str(), ShardBench, row.shards,
+                                   row.threads, five)
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace thetis::bench
+
+int main(int argc, char** argv) {
+  thetis::bench::RegisterAll();
+  thetis::bench::ObsExportInit(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

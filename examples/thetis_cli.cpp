@@ -11,7 +11,8 @@
 //   thetis_cli search <dir> [--sim types|embeddings] [--k N]
 //              [--lsh] [--no-cache] [--no-prune]
 //              [--bound-backend fp32|int8|bitset|auto] [--threads N]
-//              [--build-threads N] [--save-engine F] [--load-engine F]
+//              [--build-threads N] [--shards N]
+//              [--save-engine F] [--load-engine F]
 //              [--metrics-out F] [--trace-out F]
 //              <entity label> [<entity label> ...]
 //       Semantic table search for one entity tuple; labels must exist in
@@ -30,6 +31,10 @@
 //       --build-threads N parallelizes the offline build (engine
 //       arena/signature construction and the LSEI signature pass) —
 //       built state is bit-identical for every N.
+//       --shards N partitions the engine into N contiguous table-range
+//       shards searched scatter-gather with a shared score floor;
+//       rankings are bit-identical to --shards 1 for every N and the
+//       shard layout persists through --save-engine/--load-engine.
 //       --metrics-out writes the observability counters after the query
 //       (Prometheus text, or a JSON snapshot when F ends in .json);
 //       --trace-out enables per-stage span tracing and writes a Chrome
@@ -85,7 +90,8 @@ int Usage() {
                "  thetis_cli search <dir> [--sim types|embeddings] [--k N] "
                "[--lsh] [--no-cache] [--no-prune] "
                "[--bound-backend fp32|int8|bitset|auto] [--threads N] "
-               "[--build-threads N] [--save-engine F] [--load-engine F] "
+               "[--build-threads N] [--shards N] "
+               "[--save-engine F] [--load-engine F] "
                "[--metrics-out F] [--trace-out F] "
                "<label> [...]\n");
   return 1;
@@ -198,6 +204,7 @@ int RunSearch(const std::vector<std::string>& args) {
   SearchOptions::BoundBackend bound_backend = SearchOptions::BoundBackend::kAuto;
   size_t threads = 0;        // 0: direct engine call, no executor
   size_t build_threads = 1;  // offline build parallelism (1 = serial)
+  size_t shards = 1;         // engine partition count (1 = unsharded)
   size_t k = 10;
   std::string metrics_out;
   std::string trace_out;
@@ -240,6 +247,9 @@ int RunSearch(const std::vector<std::string>& args) {
     } else if (args[i] == "--build-threads" && i + 1 < args.size()) {
       build_threads = static_cast<size_t>(std::atoi(args[++i].c_str()));
       if (build_threads == 0) return Fail("--build-threads must be positive");
+    } else if (args[i] == "--shards" && i + 1 < args.size()) {
+      shards = static_cast<size_t>(std::atoi(args[++i].c_str()));
+      if (shards == 0) return Fail("--shards must be positive");
     } else if (args[i] == "--save-engine" && i + 1 < args.size()) {
       save_engine = args[++i];
     } else if (args[i] == "--load-engine" && i + 1 < args.size()) {
@@ -281,6 +291,7 @@ int RunSearch(const std::vector<std::string>& args) {
   options.enable_prune = use_prune;
   options.bound_backend = bound_backend;
   options.build_threads = build_threads;
+  options.num_shards = shards;
 
   // The engine either comes back from a snapshot (mmap + validation, no
   // offline build) or is built from the lake; either way the query path
@@ -372,6 +383,11 @@ int RunSearch(const std::vector<std::string>& args) {
     std::printf("prune: %zu of %zu candidates bounded away (backend %s)\n",
                 stats.tables_pruned, stats.candidate_count,
                 stats.bound_backend);
+  }
+  if (stats.num_shards > 1) {
+    std::printf("shards: %zu searched scatter-gather (%zu floor publishes, "
+                "%zu floor-only stops)\n",
+                stats.num_shards, stats.floor_publishes, stats.floor_hits);
   }
   if (use_cache) {
     size_t sim_lookups = stats.sim_cache_hits + stats.sim_cache_misses;

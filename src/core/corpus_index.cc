@@ -85,6 +85,31 @@ void CorpusColumnArena::Build(const Corpus& corpus, ThreadPool* pool) {
   counts_ = std::move(counts);
 }
 
+void CorpusColumnArena::BuildRange(const Corpus& corpus, TableId begin,
+                                   TableId end) {
+  THETIS_CHECK(begin <= end && end <= corpus.size())
+      << "arena shard range is out of bounds";
+  num_tables_ = end - begin;
+  std::vector<uint64_t> table_offsets;
+  std::vector<uint32_t> col_offsets;
+  std::vector<EntityId> distinct;
+  std::vector<double> counts;
+  table_offsets.reserve(num_tables_ + 1);
+  table_offsets.push_back(0);
+  DedupScratch dedup;
+  for (TableId id = begin; id < end; ++id) {
+    AppendTableColumns(corpus.table(id), dedup, &col_offsets, &distinct,
+                       &counts);
+    table_offsets.push_back(col_offsets.size());
+    THETIS_CHECK(distinct.size() <= std::numeric_limits<uint32_t>::max())
+        << "corpus column arena exceeds uint32 offset range";
+  }
+  table_offsets_ = std::move(table_offsets);
+  col_offsets_ = std::move(col_offsets);
+  distinct_ = std::move(distinct);
+  counts_ = std::move(counts);
+}
+
 CorpusColumnArena CorpusColumnArena::FromSnapshotView(
     std::span<const uint64_t> table_offsets, std::span<const uint32_t> col_offsets,
     std::span<const EntityId> distinct, std::span<const double> counts) {

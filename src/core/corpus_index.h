@@ -47,6 +47,17 @@ class CorpusColumnArena {
   // concatenation order is table-id order either way.
   void Build(const Corpus& corpus, ThreadPool* pool = nullptr);
 
+  // Indexes the contiguous table range [begin, end) with SHARD-LOCAL ids:
+  // the arena's table 0 is corpus table `begin`, and its pools hold only
+  // that range's columns. This is the per-shard build of the sharded
+  // engine; callers translate global ids by subtracting `begin`.
+  // Serial by design — shard builds are already parallel across shards.
+  // Appending the same range serially is what the whole-corpus serial
+  // Build does, so a shard arena's content equals the corresponding slice
+  // of the unsharded arena (modulo the offset rebasing the snapshot
+  // writer undoes on save).
+  void BuildRange(const Corpus& corpus, TableId begin, TableId end);
+
   // Reassembles an arena over externally owned pool storage (an mmap'd
   // snapshot). The backing memory must outlive the arena; no validation
   // beyond shape is done here — the snapshot loader has already verified

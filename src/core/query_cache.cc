@@ -127,6 +127,31 @@ TableSignatureIndex BuildTableSignatureIndex(
   return index;
 }
 
+TableSignatureIndex BuildTableSignatureIndexRange(
+    const Corpus& corpus, std::span<const uint32_t> entity_classes,
+    const CorpusColumnArena& shard_arena, TableId begin, TableId end) {
+  TableSignatureIndex index;
+  index.entity_classes =
+      FlatArray<uint32_t>::View(entity_classes.data(), entity_classes.size());
+  index.table_base = begin;
+  std::vector<uint32_t> table_signatures;
+  table_signatures.reserve(end - begin);
+  std::unordered_map<std::vector<uint64_t>, uint32_t, FlatHash> interned;
+  std::vector<uint64_t> flat;
+  for (TableId id = begin; id < end; ++id) {
+    // The shard arena is local: corpus table `id` is its table `id - begin`
+    // and is always covered (BuildRange indexed exactly this range).
+    FlattenClassSignature(shard_arena.ViewOf(id - begin), entity_classes,
+                          &flat);
+    uint32_t next = static_cast<uint32_t>(interned.size());
+    auto [it, inserted] = interned.emplace(flat, next);
+    table_signatures.push_back(it->second);
+  }
+  index.table_signatures = std::move(table_signatures);
+  index.num_distinct = interned.size();
+  return index;
+}
+
 size_t QueryScopedCache::FlatSignatureHash::operator()(
     const std::vector<uint64_t>& v) const {
   return static_cast<size_t>(HashU64Vector(v));
@@ -145,9 +170,9 @@ QueryScopedCache::QueryScopedCache(const EntitySimilarity* base,
 
 uint32_t QueryScopedCache::SignatureOf(TableId table_id,
                                        ColumnIndexView index) {
-  if (signature_index_ != nullptr &&
-      table_id < signature_index_->table_signatures.size()) {
-    return signature_index_->table_signatures[table_id];
+  if (signature_index_ != nullptr && signature_index_->CoversTable(table_id)) {
+    return signature_index_
+        ->table_signatures[table_id - signature_index_->table_base];
   }
   auto cached = table_signatures_.find(table_id);
   if (cached != table_signatures_.end()) return cached->second;

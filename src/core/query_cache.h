@@ -47,10 +47,20 @@ struct TableSignatureIndex {
   // every entity is its own class). FlatArray: owned when built here,
   // a view over the mapping when restored from an engine snapshot.
   FlatArray<uint32_t> entity_classes;
-  // TableId → interned signature id, dense over the corpus at build time.
+  // (TableId - table_base) → interned signature id, dense over the covered
+  // range at build time.
   FlatArray<uint32_t> table_signatures;
   // Number of distinct signatures (the mapping cache's reuse ceiling).
   size_t num_distinct = 0;
+  // First table id the index covers: 0 for a whole-corpus index, the
+  // shard's range start for a per-shard index. Signature ids are interned
+  // per index, so two shards' id spaces are unrelated — each shard's
+  // QueryScopedCache sees exactly one index and never mixes them.
+  TableId table_base = 0;
+
+  bool CoversTable(TableId id) const {
+    return id >= table_base && id - table_base < table_signatures.size();
+  }
 };
 
 // `arena` (may be null) is the engine's prebuilt corpus column arena;
@@ -62,6 +72,16 @@ struct TableSignatureIndex {
 TableSignatureIndex BuildTableSignatureIndex(
     const Corpus& corpus, std::vector<uint32_t> entity_classes,
     const CorpusColumnArena* arena = nullptr, ThreadPool* pool = nullptr);
+
+// Per-shard variant: signs the contiguous table range [begin, end) against
+// a SHARD-LOCAL arena (its table 0 is corpus table `begin` — see
+// CorpusColumnArena::BuildRange). `entity_classes` is borrowed (all shards
+// share one σ-class vector, owned by the engine or an mmap'd snapshot) and
+// must outlive the index. Interning is serial in table-id order within the
+// shard, so ids and num_distinct are pure functions of the range content.
+TableSignatureIndex BuildTableSignatureIndexRange(
+    const Corpus& corpus, std::span<const uint32_t> entity_classes,
+    const CorpusColumnArena& shard_arena, TableId begin, TableId end);
 
 // Query-scoped scoring cache: everything Algorithm 1 recomputes per table
 // that actually only depends on the query. Holds

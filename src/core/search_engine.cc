@@ -6,9 +6,11 @@
 #include <cstring>
 #include <limits>
 #include <memory>
+#include <mutex>
 #include <numeric>
 
 #include "core/column_mapping.h"
+#include "core/shard_plan.h"
 #include "obs/query_metrics.h"
 #include "obs/trace.h"
 #include "simd/kernels.h"
@@ -49,28 +51,74 @@ SearchEngine::SearchEngine(const SemanticDataLake* lake,
                            const EntitySimilarity* sim, SearchOptions options)
     : lake_(lake), sim_(sim), options_(options) {
   THETIS_CHECK(lake != nullptr && sim != nullptr);
-  // Build-time pool, shared by both construction phases and torn down
+  const Corpus& corpus = lake->corpus();
+  // Build-time pool, shared by every construction phase and torn down
   // before the constructor returns; queries use their own pools.
   ThreadPool build_pool(options_.build_threads);
-  {
-    // Corpus-wide column index + the identity candidate list, shared
-    // read-only by every query and worker from here on.
-    obs::TraceSpan span("engine_build_arena");
+  const size_t requested = std::max<size_t>(1, options_.num_shards);
+  if (requested <= 1) {
+    // The classic unsharded engine, kept on its exact historical build
+    // path (parallel whole-corpus arena + whole-corpus signature index):
+    // shard 0 IS the old arena_/signature_index_ pair.
+    shards_.resize(1);
+    EngineShard& shard = shards_.front();
+    shard.begin = 0;
+    shard.end = static_cast<TableId>(corpus.size());
+    {
+      obs::TraceSpan span("engine_build_arena");
+      Stopwatch phase_watch;
+      shard.arena.Build(corpus, &build_pool);
+      obs::RecordEngineBuildPhase("arena", phase_watch.ElapsedSeconds());
+    }
+    if (options_.enable_cache) {
+      obs::TraceSpan span("engine_build_signatures");
+      Stopwatch phase_watch;
+      shard.signatures = BuildTableSignatureIndex(
+          corpus, sim->SigmaEquivalenceClasses(), &shard.arena, &build_pool);
+      obs::RecordEngineBuild(corpus.size(), shard.signatures.num_distinct);
+      obs::RecordEngineBuildPhase("signatures", phase_watch.ElapsedSeconds());
+    }
+    shard_bounds_ = {0, shard.end};
+  } else {
+    // Sharded build: plan contiguous weight-balanced ranges, then build
+    // each shard's arena + signature index independently. Shards are the
+    // unit of parallelism here (BuildRange/BuildTableSignatureIndexRange
+    // are serial within a shard), and each shard's content is a pure
+    // function of its table range — bit-identical for every thread count.
+    obs::TraceSpan span("engine_build_shards");
     Stopwatch phase_watch;
-    arena_.Build(lake->corpus(), &build_pool);
-    all_tables_.resize(lake->corpus().size());
-    std::iota(all_tables_.begin(), all_tables_.end(), TableId{0});
-    obs::RecordEngineBuildPhase("arena", phase_watch.ElapsedSeconds());
+    ShardPlan plan = PlanShards(corpus, requested);
+    if (options_.enable_cache) {
+      // One σ-class vector, computed once and viewed by every shard's
+      // signature index.
+      shard_entity_classes_ =
+          FlatArray<uint32_t>(sim->SigmaEquivalenceClasses());
+    }
+    shards_.resize(plan.NumShards());
+    build_pool.ParallelFor(plan.NumShards(), /*min_chunk=*/1, [&](size_t s) {
+      EngineShard& shard = shards_[s];
+      shard.begin = plan.bounds[s];
+      shard.end = plan.bounds[s + 1];
+      shard.arena.BuildRange(corpus, shard.begin, shard.end);
+      if (options_.enable_cache) {
+        shard.signatures = BuildTableSignatureIndexRange(
+            corpus, shard_entity_classes_.span(), shard.arena, shard.begin,
+            shard.end);
+      }
+    });
+    shard_bounds_ = plan.bounds;
+    if (options_.enable_cache) {
+      size_t num_distinct = 0;
+      for (const EngineShard& shard : shards_) {
+        num_distinct += shard.signatures.num_distinct;
+      }
+      obs::RecordEngineBuild(corpus.size(), num_distinct);
+    }
+    obs::RecordShardPlan(plan.NumShards(), ShardImbalance(corpus, plan));
+    obs::RecordEngineBuildPhase("shards", phase_watch.ElapsedSeconds());
   }
-  if (options_.enable_cache) {
-    obs::TraceSpan span("engine_build_signatures");
-    Stopwatch phase_watch;
-    signature_index_ = BuildTableSignatureIndex(
-        lake->corpus(), sim->SigmaEquivalenceClasses(), &arena_, &build_pool);
-    obs::RecordEngineBuild(lake->corpus().size(),
-                           signature_index_.num_distinct);
-    obs::RecordEngineBuildPhase("signatures", phase_watch.ElapsedSeconds());
-  }
+  all_tables_.resize(corpus.size());
+  std::iota(all_tables_.begin(), all_tables_.end(), TableId{0});
 }
 
 SearchEngine::SearchEngine(const SemanticDataLake* lake,
@@ -79,15 +127,44 @@ SearchEngine::SearchEngine(const SemanticDataLake* lake,
     : lake_(lake),
       sim_(sim),
       options_(options),
-      arena_(std::move(prebuilt.arena)),
-      signature_index_(std::move(prebuilt.signature_index)) {
+      shards_(std::move(prebuilt.shards)) {
   THETIS_CHECK(lake != nullptr && sim != nullptr);
-  // No build phases: the arena and σ-class signature index arrive ready
-  // (typically views over an mmap'd snapshot). Only the identity candidate
-  // list is materialized here — it is trivially derivable and not worth a
-  // snapshot section.
+  // No build phases: the shard arenas and σ-class signature indexes arrive
+  // ready (typically views over an mmap'd snapshot). Only the shard bounds
+  // and the identity candidate list are materialized here — both trivially
+  // derivable and not worth snapshot sections.
+  THETIS_CHECK(!shards_.empty()) << "prebuilt engine needs at least one shard";
+  THETIS_CHECK(shards_.front().begin == 0)
+      << "prebuilt shards must start at table 0";
+  shard_bounds_.reserve(shards_.size() + 1);
+  shard_bounds_.push_back(0);
+  for (const EngineShard& shard : shards_) {
+    THETIS_CHECK(shard.begin == shard_bounds_.back() &&
+                 shard.end >= shard.begin)
+        << "prebuilt shards must tile the corpus contiguously";
+    shard_bounds_.push_back(shard.end);
+  }
   all_tables_.resize(lake->corpus().size());
   std::iota(all_tables_.begin(), all_tables_.end(), TableId{0});
+}
+
+size_t SearchEngine::ShardOf(TableId id) const {
+  if (shards_.size() == 1) return 0;
+  // Shard s covers [shard_bounds_[s], shard_bounds_[s + 1]); the number of
+  // interior boundaries <= id is its index. Ids at or past the last bound
+  // (late-ingested tables) land on the last shard, whose fallback path
+  // handles them.
+  auto begin = shard_bounds_.begin() + 1;
+  auto end = shard_bounds_.end() - 1;
+  return static_cast<size_t>(std::upper_bound(begin, end, id) - begin);
+}
+
+bool SearchEngine::ArenaViewOf(TableId id, ColumnIndexView* view) const {
+  const EngineShard& shard = shards_[ShardOf(id)];
+  const TableId local = id - shard.begin;
+  if (!shard.arena.Covers(local)) return false;
+  *view = shard.arena.ViewOf(local);
+  return true;
 }
 
 double SearchEngine::ScoreTable(const Query& query, TableId table_id,
@@ -174,14 +251,12 @@ double SearchEngine::ScoreTableImpl(const Query& query, TableId table_id,
   QueryScopedCache::RowScratch& scratch =
       cache != nullptr ? cache->row_scratch() : ThreadScratch().rows;
 
-  // The table's dedup'd columns: a read-only slice of the corpus-wide
-  // arena for tables known at engine build, a freshly gathered per-table
-  // index only for late-ingested tables. Every tuple's mapping fill and
-  // row aggregation reads the same view.
+  // The table's dedup'd columns: a read-only slice of its shard's arena
+  // for tables known at engine build, a freshly gathered per-table index
+  // only for late-ingested tables. Every tuple's mapping fill and row
+  // aggregation reads the same view.
   ColumnIndexView view;
-  if (arena_.Covers(table_id)) {
-    view = arena_.ViewOf(table_id);
-  } else {
+  if (!ArenaViewOf(table_id, &view)) {
     scratch.index.Build(table, scratch.dedup);
     view = scratch.index.View();
   }
@@ -309,6 +384,10 @@ void FlushQueryStats(const SearchStats& stats) {
                    stats.sim_cache_misses, stats.mapping_cache_hits,
                    stats.mapping_cache_misses, stats.tables_pruned,
                    stats.bound_seconds);
+  if (stats.num_shards > 1) {
+    obs::RecordShardSearch(stats.num_shards, stats.floor_hits,
+                           stats.floor_publishes);
+  }
 }
 
 // --- Admissible upper bound (bound-and-prune pass) -------------------------
@@ -466,17 +545,19 @@ const char* ResolveBoundBackend(const SearchOptions& options,
   return "fp32";
 }
 
-// Hot-path bound: arena view when covered; tables ingested after engine
-// construction get +inf (always scored, never pruned — exactness over
-// speed for the dynamic-corpus edge case).
+// Hot-path bound: shard-arena view when covered; tables ingested after
+// engine construction get +inf (always scored, never pruned — exactness
+// over speed for the dynamic-corpus edge case).
 template <typename Sim>
-double BoundForTable(const BoundContext& ctx, const Corpus& corpus,
-                     const CorpusColumnArena& arena, TableId id,
-                     const Sim& sim, RowAggregation aggregation,
-                     BoundScratch& scratch) {
-  if (!arena.Covers(id)) return std::numeric_limits<double>::infinity();
-  return UpperBoundWithView(ctx, corpus.table(id).num_rows(),
-                            arena.ViewOf(id), sim, aggregation, scratch);
+double BoundForTable(const BoundContext& ctx, const SearchEngine& engine,
+                     const Corpus& corpus, TableId id, const Sim& sim,
+                     RowAggregation aggregation, BoundScratch& scratch) {
+  ColumnIndexView view;
+  if (!engine.ArenaViewOf(id, &view)) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return UpperBoundWithView(ctx, corpus.table(id).num_rows(), view, sim,
+                            aggregation, scratch);
 }
 
 // Candidate evaluation order of the prune loop: bound descending, table id
@@ -505,15 +586,6 @@ bool ProvablyOutside(const Top& top, double bound, TableId id) {
   return bound < threshold || (bound == threshold && id > top.MinId());
 }
 
-// Lock-free max for the parallel loop's shared score floor.
-void AtomicMaxDouble(std::atomic<double>* target, double value) {
-  double current = target->load(std::memory_order_relaxed);
-  while (value > current &&
-         !target->compare_exchange_weak(current, value,
-                                        std::memory_order_relaxed)) {
-  }
-}
-
 }  // namespace
 
 double SearchEngine::UpperBoundTable(const Query& query,
@@ -526,9 +598,7 @@ double SearchEngine::UpperBoundTable(const Query& query,
   ColumnIndexView view;
   ColumnEntityIndex index;
   DedupScratch dedup;
-  if (arena_.Covers(table_id)) {
-    view = arena_.ViewOf(table_id);
-  } else {
+  if (!ArenaViewOf(table_id, &view)) {
     index.Build(table, dedup);
     view = index.View();
   }
@@ -550,13 +620,18 @@ std::vector<SearchHit> SearchEngine::SearchCandidates(
 std::vector<SearchHit> SearchEngine::SearchCandidatesImpl(
     const Query& query, const std::vector<TableId>& candidates,
     SearchStats* stats, bool flush_stats) const {
+  if (shards_.size() > 1) {
+    return SearchShards(query, candidates, /*pool=*/nullptr, stats,
+                        flush_stats);
+  }
   obs::TraceSpan query_span("query");
   Stopwatch watch;
   double mapping_seconds = 0.0;
   double bound_seconds = 0.0;
   std::unique_ptr<QueryScopedCache> cache;
   if (options_.enable_cache) {
-    cache = std::make_unique<QueryScopedCache>(sim_, &signature_index_);
+    cache = std::make_unique<QueryScopedCache>(sim_,
+                                               &shards_.front().signatures);
   }
   TopK<TableId> top(std::max<size_t>(1, options_.top_k));
   size_t nonzero = 0;
@@ -580,9 +655,9 @@ std::vector<SearchHit> SearchEngine::SearchCandidatesImpl(
       // for exactly the survivors' pairs, nothing else.
       CompressedBoundSim bound_sim{sim_};
       for (size_t i = 0; i < candidates.size(); ++i) {
-        bounds[i] = BoundForTable(ctx, lake_->corpus(), arena_,
-                                  candidates[i], bound_sim,
-                                  options_.aggregation, bound_scratch);
+        bounds[i] = BoundForTable(ctx, *this, lake_->corpus(), candidates[i],
+                                  bound_sim, options_.aggregation,
+                                  bound_scratch);
       }
     } else {
       for (size_t i = 0; i < candidates.size(); ++i) {
@@ -590,10 +665,10 @@ std::vector<SearchHit> SearchEngine::SearchCandidatesImpl(
         // bound pass pre-warms exactly the pairs exact scoring reuses.
         bounds[i] =
             cache != nullptr
-                ? BoundForTable(ctx, lake_->corpus(), arena_, candidates[i],
+                ? BoundForTable(ctx, *this, lake_->corpus(), candidates[i],
                                 cache->sim(), options_.aggregation,
                                 bound_scratch)
-                : BoundForTable(ctx, lake_->corpus(), arena_, candidates[i],
+                : BoundForTable(ctx, *this, lake_->corpus(), candidates[i],
                                 *sim_, options_.aggregation, bound_scratch);
       }
     }
@@ -661,6 +736,9 @@ std::vector<SearchHit> SearchEngine::SearchCandidatesParallel(
     const Query& query, const std::vector<TableId>& candidates,
     ThreadPool* pool, SearchStats* stats) const {
   THETIS_CHECK(pool != nullptr);
+  if (shards_.size() > 1) {
+    return SearchShards(query, candidates, pool, stats, /*flush_stats=*/true);
+  }
   obs::TraceSpan query_span("query");
   Stopwatch watch;
   size_t workers = pool->num_threads();
@@ -674,6 +752,7 @@ std::vector<SearchHit> SearchEngine::SearchCandidatesParallel(
     double bound_seconds = 0.0;
     size_t nonzero = 0;
     size_t pruned = 0;
+    size_t floor_hits = 0;
     explicit Local(size_t k) : top(k) {}
   };
   std::vector<Local> locals;
@@ -681,8 +760,8 @@ std::vector<SearchHit> SearchEngine::SearchCandidatesParallel(
   for (size_t i = 0; i <= workers; ++i) {
     locals.emplace_back(std::max<size_t>(1, options_.top_k));
     if (options_.enable_cache) {
-      locals.back().cache =
-          std::make_unique<QueryScopedCache>(sim_, &signature_index_);
+      locals.back().cache = std::make_unique<QueryScopedCache>(
+          sim_, &shards_.front().signatures);
     }
   }
   // Stripe candidates over slots; each ParallelFor index owns one stripe so
@@ -708,7 +787,7 @@ std::vector<SearchHit> SearchEngine::SearchCandidatesParallel(
         // See the serial loop: compressed bounds bypass the worker memos.
         CompressedBoundSim bound_sim{sim_};
         for (size_t i = stripe; i < candidates.size(); i += stripes) {
-          bounds[i] = BoundForTable(ctx, lake_->corpus(), arena_,
+          bounds[i] = BoundForTable(ctx, *this, lake_->corpus(),
                                     candidates[i], bound_sim,
                                     options_.aggregation,
                                     local.bound_scratch);
@@ -716,11 +795,11 @@ std::vector<SearchHit> SearchEngine::SearchCandidatesParallel(
       } else {
         for (size_t i = stripe; i < candidates.size(); i += stripes) {
           bounds[i] = local.cache != nullptr
-                          ? BoundForTable(ctx, lake_->corpus(), arena_,
+                          ? BoundForTable(ctx, *this, lake_->corpus(),
                                           candidates[i], local.cache->sim(),
                                           options_.aggregation,
                                           local.bound_scratch)
-                          : BoundForTable(ctx, lake_->corpus(), arena_,
+                          : BoundForTable(ctx, *this, lake_->corpus(),
                                           candidates[i], *sim_,
                                           options_.aggregation,
                                           local.bound_scratch);
@@ -732,12 +811,21 @@ std::vector<SearchHit> SearchEngine::SearchCandidatesParallel(
     obs::RecordBoundBackend(bound_backend);
   }
 
-  // Shared score floor: the max over every stripe's local top-k threshold,
-  // published with relaxed atomics. Any value ever stored is a valid lower
-  // bound on that stripe's final threshold, so a stale read only prunes
-  // less — never wrongly. The strict < (no id tie rule — the floor carries
-  // no id) keeps the skip provably outside the merged top-k.
-  std::atomic<double> global_floor{0.0};
+  // Shared score floor: the max over every stripe's local top-k threshold
+  // AND the eagerly merged global heap's threshold (see below). Any value
+  // ever published is the MinScore of a full k-heap of exactly scored
+  // tables, so a stale read only prunes less — never wrongly. The strict <
+  // (no id tie rule — the floor carries no id) keeps the skip provably
+  // outside the merged top-k; see SharedScoreFloor.
+  SharedScoreFloor floor(options_.floor_observer, options_.floor_observer_ctx);
+  // Eagerly merged global top-k: stripes fold their local heaps in as soon
+  // as they finish, so the merged threshold — at least as tight as any
+  // single stripe's — reaches the floor while other stripes still run.
+  // (Before this existed, the floor only ever carried single-stripe
+  // thresholds, and a stripe that admitted k weak tables early could not
+  // benefit from the stronger cross-stripe truth.)
+  TopK<TableId> merged(std::max<size_t>(1, options_.top_k));
+  std::mutex merge_mu;
   pool->ParallelFor(stripes, [&](size_t stripe) {
     obs::TraceSpan scoring_span("scoring");
     Local& local = locals[stripe];
@@ -758,12 +846,16 @@ std::vector<SearchHit> SearchEngine::SearchCandidatesParallel(
       for (size_t pos = stripe; pos < order.size(); pos += stripes) {
         size_t i = order[pos];
         TableId id = candidates[i];
-        bool stop = bounds[i] <= 0.0 ||
-                    bounds[i] < global_floor.load(std::memory_order_relaxed) ||
-                    ProvablyOutside(local.top, bounds[i], id);
-        if (stop) {
-          // Remaining positions of this stripe: pos, pos+stripes, ...
-          local.pruned += (order.size() - pos + stripes - 1) / stripes;
+        // Remaining positions of this stripe: pos, pos+stripes, ...
+        const size_t remaining = (order.size() - pos + stripes - 1) / stripes;
+        bool zero = bounds[i] <= 0.0;
+        bool local_out = ProvablyOutside(local.top, bounds[i], id);
+        bool floor_out = bounds[i] < floor.Load();
+        if (zero || local_out || floor_out) {
+          local.pruned += remaining;
+          // Credit the shared floor only when it alone caused the stop —
+          // that is the cross-stripe (cross-shard) win the counter tracks.
+          if (floor_out && !zero && !local_out) local.floor_hits += remaining;
           break;
         }
         double score = ScoreTableImpl(query, id, &local.mapping_seconds,
@@ -771,23 +863,30 @@ std::vector<SearchHit> SearchEngine::SearchCandidatesParallel(
         if (score > 0.0) {
           ++local.nonzero;
           local.top.Push(id, score);
-          if (local.top.Full()) {
-            AtomicMaxDouble(&global_floor, local.top.MinScore());
-          }
+          // Publish on every admission into a full heap, not just on heap
+          // turnover: MinScore is non-decreasing from here on, and each
+          // raise lets the other stripes stop earlier.
+          if (local.top.Full()) floor.Update(local.top.MinScore());
         }
       }
     }
     // One aggregated mapping span per stripe (the per-table Hungarian runs
     // are too hot for individual spans).
     obs::TraceAggregate("mapping", local.mapping_seconds);
+    // Eager merge on stripe completion. The merged heap's admission set is
+    // order-independent under the (score desc, id asc) total order, so the
+    // final ranking is identical no matter which stripe merges first.
+    std::lock_guard<std::mutex> lock(merge_mu);
+    for (const auto& [id, score] : local.top.Extract()) {
+      merged.Push(id, score);
+    }
+    if (prune && merged.Full()) floor.Update(merged.MinScore());
   });
-  // Deterministic merge: the TopK tie-breaking is id-based, so pushing all
-  // local results into one heap reproduces the serial ranking.
-  TopK<TableId> merged(std::max<size_t>(1, options_.top_k));
   double mapping_seconds = 0.0;
   double bound_seconds = 0.0;
   size_t nonzero = 0;
   size_t pruned = 0;
+  size_t floor_hits = 0;
   std::vector<SearchHit> hits;
   {
     obs::TraceSpan topk_span("topk");
@@ -796,9 +895,7 @@ std::vector<SearchHit> SearchEngine::SearchCandidatesParallel(
       bound_seconds += local.bound_seconds;
       nonzero += local.nonzero;
       pruned += local.pruned;
-      for (const auto& [id, score] : local.top.Extract()) {
-        merged.Push(id, score);
-      }
+      floor_hits += local.floor_hits;
     }
     for (const auto& [id, score] : merged.Extract()) {
       hits.push_back(SearchHit{id, score});
@@ -809,10 +906,199 @@ std::vector<SearchHit> SearchEngine::SearchCandidatesParallel(
                      watch.ElapsedSeconds(), mapping_seconds, bound_seconds,
                      &local_stats);
   local_stats.bound_backend = bound_backend;
+  local_stats.floor_hits = floor_hits;
+  local_stats.floor_publishes = floor.publishes();
   for (const Local& local : locals) {
     if (local.cache != nullptr) AddCacheStats(*local.cache, &local_stats);
   }
   FlushQueryStats(local_stats);
+  if (stats != nullptr) *stats = local_stats;
+  return hits;
+}
+
+std::vector<SearchHit> SearchEngine::SearchShards(
+    const Query& query, const std::vector<TableId>& candidates,
+    ThreadPool* pool, SearchStats* stats, bool flush_stats) const {
+  obs::TraceSpan query_span("query");
+  Stopwatch watch;
+  const size_t num_shards = shards_.size();
+  const size_t top_k = std::max<size_t>(1, options_.top_k);
+
+  // Scatter: bucket candidates by shard. Bucket order preserves the
+  // caller's candidate order within a shard; the bound sort (or, unpruned,
+  // the id-independent TopK admission) makes results independent of it.
+  std::vector<std::vector<TableId>> buckets(num_shards);
+  for (TableId id : candidates) buckets[ShardOf(id)].push_back(id);
+
+  const bool prune = options_.enable_prune && !candidates.empty();
+  BoundContext ctx;
+  const char* bound_backend = "fp32";
+  if (prune) {
+    BuildBoundContext(query, *lake_, options_, &ctx);
+    bound_backend = ResolveBoundBackend(options_, *sim_);
+  }
+
+  // The shared score floor every shard prunes against and publishes to;
+  // see SharedScoreFloor for the exactness contract.
+  SharedScoreFloor floor(options_.floor_observer, options_.floor_observer_ctx);
+
+  struct ShardLocal {
+    TopK<TableId> top;
+    // Shard-private cache over the shard's own signature index (shard
+    // signature id spaces are disjoint; a cache never sees two shards).
+    std::unique_ptr<QueryScopedCache> cache;
+    BoundScratch bound_scratch;
+    std::vector<double> bounds;
+    std::vector<uint32_t> order;
+    double mapping_seconds = 0.0;
+    double bound_seconds = 0.0;
+    size_t nonzero = 0;
+    size_t pruned = 0;
+    size_t floor_hits = 0;
+    explicit ShardLocal(size_t k) : top(k) {}
+  };
+  std::vector<ShardLocal> locals;
+  locals.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    locals.emplace_back(top_k);
+    if (options_.enable_cache) {
+      locals.back().cache = std::make_unique<QueryScopedCache>(
+          sim_, &shards_[s].signatures);
+    }
+  }
+
+  // Gather: shard heaps fold into one merged heap as soon as each shard
+  // finishes. The TopK admission set is order-independent under the
+  // (score desc, id asc) total order, so the merged ranking is identical
+  // no matter which shard finishes first — and the merged threshold is
+  // republished immediately to tighten the floor for shards still running.
+  TopK<TableId> merged(top_k);
+  std::mutex merge_mu;
+
+  auto run_shard = [&](size_t s) {
+    ShardLocal& local = locals[s];
+    const std::vector<TableId>& cands = buckets[s];
+    if (prune && !cands.empty()) {
+      obs::TraceSpan bound_span("bound");
+      Stopwatch bound_watch;
+      local.bounds.resize(cands.size());
+      if (bound_backend[0] != 'f') {
+        CompressedBoundSim bound_sim{sim_};
+        for (size_t i = 0; i < cands.size(); ++i) {
+          local.bounds[i] =
+              BoundForTable(ctx, *this, lake_->corpus(), cands[i], bound_sim,
+                            options_.aggregation, local.bound_scratch);
+        }
+      } else {
+        for (size_t i = 0; i < cands.size(); ++i) {
+          local.bounds[i] =
+              local.cache != nullptr
+                  ? BoundForTable(ctx, *this, lake_->corpus(), cands[i],
+                                  local.cache->sim(), options_.aggregation,
+                                  local.bound_scratch)
+                  : BoundForTable(ctx, *this, lake_->corpus(), cands[i],
+                                  *sim_, options_.aggregation,
+                                  local.bound_scratch);
+        }
+      }
+      SortByBound(cands, local.bounds, &local.order);
+      local.bound_seconds = bound_watch.ElapsedSeconds();
+    }
+    {
+      obs::TraceSpan scoring_span("scoring");
+      if (!prune) {
+        for (TableId id : cands) {
+          double score = ScoreTableImpl(query, id, &local.mapping_seconds,
+                                        nullptr, local.cache.get());
+          if (score > 0.0) {
+            ++local.nonzero;
+            local.top.Push(id, score);
+          }
+        }
+      } else {
+        // Per-shard bound-descending prune loop: the stop-instead-of-skip
+        // argument holds within the shard, and the shared floor folds in
+        // what the other shards have already proven.
+        for (size_t pos = 0; pos < local.order.size(); ++pos) {
+          size_t i = local.order[pos];
+          TableId id = cands[i];
+          const size_t remaining = local.order.size() - pos;
+          bool zero = local.bounds[i] <= 0.0;
+          bool local_out = ProvablyOutside(local.top, local.bounds[i], id);
+          bool floor_out = local.bounds[i] < floor.Load();
+          if (zero || local_out || floor_out) {
+            local.pruned += remaining;
+            // floor_hits counts stops only the cross-shard floor caused.
+            if (floor_out && !zero && !local_out) {
+              local.floor_hits += remaining;
+            }
+            break;
+          }
+          double score = ScoreTableImpl(query, id, &local.mapping_seconds,
+                                        nullptr, local.cache.get());
+          if (score > 0.0) {
+            ++local.nonzero;
+            local.top.Push(id, score);
+            // Admission-time publish: every raise lets other shards stop
+            // earlier.
+            if (local.top.Full()) floor.Update(local.top.MinScore());
+          }
+        }
+      }
+      obs::TraceAggregate("mapping", local.mapping_seconds);
+    }
+    std::lock_guard<std::mutex> lock(merge_mu);
+    for (const auto& [id, score] : local.top.Extract()) {
+      merged.Push(id, score);
+    }
+    if (prune && merged.Full()) floor.Update(merged.MinScore());
+  };
+
+  if (pool != nullptr && pool->num_threads() > 1) {
+    pool->ParallelFor(num_shards, /*min_chunk=*/1, run_shard);
+  } else {
+    // Serial scatter-gather: shards run in index order, so floor
+    // publications form one monotone sequence (the shard-invariance tests
+    // assert exactly this).
+    for (size_t s = 0; s < num_shards; ++s) run_shard(s);
+  }
+  if (prune) obs::RecordBoundBackend(bound_backend);
+
+  std::vector<SearchHit> hits;
+  SearchStats local_stats;
+  double mapping_seconds = 0.0;
+  double bound_seconds = 0.0;
+  size_t nonzero = 0;
+  size_t pruned = 0;
+  size_t floor_hits = 0;
+  {
+    obs::TraceSpan topk_span("topk");
+    for (size_t s = 0; s < num_shards; ++s) {
+      ShardLocal& local = locals[s];
+      mapping_seconds += local.mapping_seconds;
+      bound_seconds += local.bound_seconds;
+      nonzero += local.nonzero;
+      pruned += local.pruned;
+      floor_hits += local.floor_hits;
+      double shard_prune_rate =
+          buckets[s].empty() ? 0.0
+                             : static_cast<double>(local.pruned) /
+                                   static_cast<double>(buckets[s].size());
+      obs::RecordShardLoop(s, shard_prune_rate, local.bound_seconds);
+      if (local.cache != nullptr) AddCacheStats(*local.cache, &local_stats);
+    }
+    for (const auto& [id, score] : merged.Extract()) {
+      hits.push_back(SearchHit{id, score});
+    }
+  }
+  FillCandidateStats(*lake_, candidates.size(), pruned, nonzero,
+                     watch.ElapsedSeconds(), mapping_seconds, bound_seconds,
+                     &local_stats);
+  local_stats.bound_backend = bound_backend;
+  local_stats.num_shards = num_shards;
+  local_stats.floor_hits = floor_hits;
+  local_stats.floor_publishes = floor.publishes();
+  if (flush_stats) FlushQueryStats(local_stats);
   if (stats != nullptr) *stats = local_stats;
   return hits;
 }

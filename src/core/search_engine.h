@@ -7,6 +7,7 @@
 
 #include "core/corpus_index.h"
 #include "core/query_cache.h"
+#include "core/score_floor.h"
 #include "core/semrel.h"
 #include "core/similarity.h"
 #include "lsh/lsei.h"
@@ -68,6 +69,20 @@ struct SearchOptions {
   // parallel per-table passes with deterministic merges, so the constructed
   // engine is bit-identical for every value — this only changes build time.
   size_t build_threads = 1;
+  // Number of contiguous table-range shards the corpus column arena and
+  // signature index are partitioned into (0 or 1 = the classic unsharded
+  // engine). Shards are planned by per-table weight (see PlanShards), built
+  // independently (in parallel when build_threads > 1), and searched
+  // scatter-gather: per-shard bound-and-prune against a globally shared
+  // score floor, shard-local top-k heaps merged under the deterministic
+  // id tie rule. Rankings are bit-identical for every shard count — see
+  // DESIGN.md "Sharded scatter-gather" for the exactness argument.
+  size_t num_shards = 1;
+  // Test hook: observes every successful raise of the shared score floor
+  // (possibly concurrently — see SharedScoreFloor::Observer). Null in
+  // production.
+  SharedScoreFloor::Observer floor_observer = nullptr;
+  void* floor_observer_ctx = nullptr;
 };
 
 // One ranked result.
@@ -138,6 +153,28 @@ struct SearchStats {
   // compressed backend, so this is the authoritative record of which code
   // path computed the bounds.
   const char* bound_backend = "fp32";
+  // Shards the engine searched (1 for the classic unsharded engine).
+  size_t num_shards = 1;
+  // Candidates pruned specifically because their bound fell below the
+  // globally shared score floor — i.e. another shard's (or stripe's)
+  // admissions killed them before their own local top-k could. A subset of
+  // tables_pruned; 0 for serial unsharded search (no cross-worker floor).
+  size_t floor_hits = 0;
+  // Successful raises of the shared score floor this query.
+  size_t floor_publishes = 0;
+};
+
+// One contiguous table-range shard of the engine's search structures: a
+// shard-local corpus column arena over [begin, end) plus its σ-class
+// signature index (empty when caching is disabled). Shard 0 of a 1-shard
+// engine is exactly the classic whole-corpus arena/index.
+struct EngineShard {
+  TableId begin = 0;
+  TableId end = 0;
+  // Shard-local ids: arena table t is corpus table begin + t.
+  CorpusColumnArena arena;
+  // signatures.table_base == begin; signature ids are interned per shard.
+  TableSignatureIndex signatures;
 };
 
 // The exact semantic table search engine of Algorithm 1. Scores every
@@ -149,10 +186,11 @@ class SearchEngine {
                SearchOptions options = {});
 
   // Prebuilt construction artifacts, restored from an engine snapshot
-  // (src/io) instead of being rebuilt from the corpus.
+  // (src/io) instead of being rebuilt from the corpus. One shard for a
+  // classic snapshot, several for a sharded one; shard ranges must tile
+  // [0, corpus) contiguously.
   struct Prebuilt {
-    CorpusColumnArena arena;
-    TableSignatureIndex signature_index;
+    std::vector<EngineShard> shards;
   };
 
   // Adopts snapshot-restored artifacts, skipping the offline build
@@ -165,13 +203,26 @@ class SearchEngine {
   void set_options(const SearchOptions& options) { options_ = options; }
 
   // Construction artifacts and borrowed collaborators, exposed for the
-  // snapshot writer.
-  const CorpusColumnArena& arena() const { return arena_; }
+  // snapshot writer. arena()/signature_index() are the single-shard
+  // accessors kept for that writer and for tests; shards() is the general
+  // form.
+  const CorpusColumnArena& arena() const { return shards_.front().arena; }
   const TableSignatureIndex& signature_index() const {
-    return signature_index_;
+    return shards_.front().signatures;
   }
+  const std::vector<EngineShard>& shards() const { return shards_; }
   const EntitySimilarity* similarity() const { return sim_; }
   const SemanticDataLake* lake() const { return lake_; }
+
+  // Locates `id`'s prebuilt column view across shards: false when no shard
+  // covers it (late-ingested table — callers fall back to a per-query
+  // ColumnEntityIndex). O(1) for a single shard, O(log shards) otherwise.
+  bool ArenaViewOf(TableId id, ColumnIndexView* view) const;
+
+  // The shard whose range contains `id` (tables past the last shard's end
+  // map to the last shard — they are late ingests handled by its fallback
+  // path). Index into shards().
+  size_t ShardOf(TableId id) const;
 
   // Brute-force search over the whole corpus.
   std::vector<SearchHit> Search(const Query& query,
@@ -235,6 +286,17 @@ class SearchEngine {
       const Query& query, const std::vector<TableId>& candidates,
       SearchStats* stats, bool flush_stats) const;
 
+  // Scatter-gather over shards_ (the multi-shard search path, serial when
+  // `pool` is null): buckets candidates by shard, runs bound-and-prune per
+  // shard with a shard-local top-k against the globally shared score
+  // floor, and merges shard heaps eagerly under the deterministic tie
+  // rule. Rankings are bit-identical to the unsharded engine — see
+  // DESIGN.md "Sharded scatter-gather".
+  std::vector<SearchHit> SearchShards(const Query& query,
+                                      const std::vector<TableId>& candidates,
+                                      ThreadPool* pool, SearchStats* stats,
+                                      bool flush_stats) const;
+
   // The immutable 0..corpus-1 identity list backing Search/SearchParallel
   // (no per-query O(corpus) allocation). Falls back to materializing a
   // fresh list only when tables were ingested after construction.
@@ -243,18 +305,24 @@ class SearchEngine {
   const SemanticDataLake* lake_;
   const EntitySimilarity* sim_;
   SearchOptions options_;
-  // Corpus-wide flat column index (distinct entities + multiplicities per
-  // column, per table), built once here and shared read-only by every
-  // query and worker; query-time ColumnEntityIndex builds only remain for
-  // tables ingested after construction.
-  CorpusColumnArena arena_;
+  // The engine's search structures, partitioned into contiguous
+  // table-range shards (exactly one for the classic engine): per shard a
+  // flat column index (distinct entities + multiplicities per column, per
+  // table) and a σ-class signature index (empty when caching is disabled),
+  // built once here and shared read-only by every query and worker;
+  // query-time ColumnEntityIndex builds only remain for tables ingested
+  // after construction. Never empty.
+  std::vector<EngineShard> shards_;
+  // shards_.size() + 1 cumulative table bounds (shards_[s] covers
+  // [shard_bounds_[s], shard_bounds_[s + 1])); ShardOf binary-searches it.
+  std::vector<TableId> shard_bounds_;
+  // One σ-class vector shared by every shard's signature index (computed
+  // once; each shard's TableSignatureIndex views it). Empty for a 1-shard
+  // engine (whose index owns its own copy, as before) and for snapshot
+  // restores (which view the mapping).
+  FlatArray<uint32_t> shard_entity_classes_;
   // Identity candidate list for full-corpus searches, sized at build time.
   std::vector<TableId> all_tables_;
-  // σ-class column signature per table (see TableSignatureIndex), computed
-  // once at construction and shared by every query-scoped cache. Tables
-  // ingested after construction are handled by the cache's per-query
-  // fallback. Empty when the engine was constructed with caching disabled.
-  TableSignatureIndex signature_index_;
 
   friend class PrefilteredSearchEngine;
 };

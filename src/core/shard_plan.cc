@@ -1,0 +1,83 @@
+#include "core/shard_plan.h"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "util/logging.h"
+
+namespace thetis {
+
+namespace {
+
+// Per-table weight proxy: the cell count dominates both the shard's arena
+// footprint and its scoring cost; +1 keeps empty tables from being free.
+uint64_t TableWeight(const Table& table) {
+  return static_cast<uint64_t>(table.num_rows()) *
+             static_cast<uint64_t>(table.num_columns()) +
+         1;
+}
+
+std::vector<uint64_t> WeightPrefix(const Corpus& corpus) {
+  std::vector<uint64_t> prefix(corpus.size() + 1, 0);
+  for (size_t t = 0; t < corpus.size(); ++t) {
+    prefix[t + 1] = prefix[t] + TableWeight(corpus.table(static_cast<TableId>(t)));
+  }
+  return prefix;
+}
+
+}  // namespace
+
+ShardPlan PlanShards(const Corpus& corpus, size_t num_shards) {
+  const size_t n = corpus.size();
+  const size_t shards = std::max<size_t>(1, num_shards);
+  ShardPlan plan;
+  plan.bounds.resize(shards + 1);
+  plan.bounds.front() = 0;
+  plan.bounds.back() = static_cast<TableId>(n);
+  if (shards == 1) return plan;
+
+  const std::vector<uint64_t> prefix = WeightPrefix(corpus);
+  const uint64_t total = prefix.back();
+  for (size_t s = 1; s < shards; ++s) {
+    // Cut at the first boundary whose prefix weight reaches s/shards of the
+    // total: prefix[t] * shards >= total * s, in 128-bit to dodge overflow.
+    // Integer arithmetic keeps the plan bit-stable across platforms.
+    const unsigned __int128 target =
+        static_cast<unsigned __int128>(total) * s;
+    size_t lo = plan.bounds[s - 1];
+    size_t hi = n;
+    while (lo < hi) {
+      const size_t mid = lo + (hi - lo) / 2;
+      const unsigned __int128 got =
+          static_cast<unsigned __int128>(prefix[mid]) * shards;
+      if (got >= target) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    plan.bounds[s] = static_cast<TableId>(lo);
+  }
+  for (size_t s = 0; s < shards; ++s) {
+    THETIS_CHECK(plan.bounds[s] <= plan.bounds[s + 1])
+        << "shard plan boundaries are not monotone";
+  }
+  return plan;
+}
+
+double ShardImbalance(const Corpus& corpus, const ShardPlan& plan) {
+  const size_t shards = plan.NumShards();
+  if (shards <= 1 || corpus.size() == 0) return 1.0;
+  const std::vector<uint64_t> prefix = WeightPrefix(corpus);
+  const uint64_t total = prefix.back();
+  if (total == 0) return 1.0;
+  uint64_t max_weight = 0;
+  for (size_t s = 0; s < shards; ++s) {
+    max_weight = std::max(
+        max_weight, prefix[plan.bounds[s + 1]] - prefix[plan.bounds[s]]);
+  }
+  const double ideal = static_cast<double>(total) / static_cast<double>(shards);
+  return static_cast<double>(max_weight) / ideal;
+}
+
+}  // namespace thetis

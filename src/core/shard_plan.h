@@ -1,0 +1,46 @@
+#ifndef THETIS_CORE_SHARD_PLAN_H_
+#define THETIS_CORE_SHARD_PLAN_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "table/corpus.h"
+#include "table/table.h"
+
+namespace thetis {
+
+// A contiguous-range partition of a corpus into shards: shard s covers
+// table ids [bounds[s], bounds[s + 1]). Contiguity is load-bearing twice
+// over — each shard's slice of the corpus column arena stays one contiguous
+// pool range (so the snapshot persists shards as plain section
+// concatenation and the loader re-slices them with subspans), and a table's
+// shard is a single binary search over the boundary vector.
+struct ShardPlan {
+  // num_shards + 1 ascending boundaries; bounds.front() == 0 and
+  // bounds.back() == corpus size. Shards may be empty (repeated boundary)
+  // when the requested shard count exceeds the table count.
+  std::vector<TableId> bounds;
+
+  size_t NumShards() const { return bounds.empty() ? 0 : bounds.size() - 1; }
+  bool Empty(size_t shard) const {
+    return bounds[shard] == bounds[shard + 1];
+  }
+};
+
+// Deterministic weight-balanced partition: per-table weight is its cell
+// count plus one (cells dominate both arena size and scoring cost; the +1
+// keeps degenerate zero-cell tables from collapsing into one shard), and
+// shard s ends at the first table whose weight prefix reaches s/N of the
+// total. Pure function of (corpus shapes, num_shards) — no RNG, no thread
+// count — so a plan computed at build time, at save time and at load time
+// is identical. num_shards == 0 is treated as 1.
+ShardPlan PlanShards(const Corpus& corpus, size_t num_shards);
+
+// Balance statistic of a plan: max shard weight over ideal (total/N) shard
+// weight, >= 1.0; exactly 1.0 when perfectly balanced, 1.0 for empty or
+// single-shard plans. Feeds the thetis_shard_imbalance_bp gauge.
+double ShardImbalance(const Corpus& corpus, const ShardPlan& plan);
+
+}  // namespace thetis
+
+#endif  // THETIS_CORE_SHARD_PLAN_H_

@@ -1,5 +1,7 @@
 #include "exec/query_executor.h"
 
+#include <algorithm>
+
 #include "obs/query_metrics.h"
 #include "obs/trace.h"
 #include "util/logging.h"
@@ -60,6 +62,11 @@ SearchStats SumBatchStats(const std::vector<QueryResult>& results) {
     total.sim_cache_misses += r.stats.sim_cache_misses;
     total.mapping_cache_hits += r.stats.mapping_cache_hits;
     total.mapping_cache_misses += r.stats.mapping_cache_misses;
+    total.floor_hits += r.stats.floor_hits;
+    total.floor_publishes += r.stats.floor_publishes;
+    // Engine-wide configuration, not additive: every query in a batch runs
+    // on the same engine, so the max is simply "the" shard count.
+    total.num_shards = std::max(total.num_shards, r.stats.num_shards);
   }
   if (!results.empty()) {
     total.search_space_reduction /= static_cast<double>(results.size());

@@ -70,9 +70,15 @@ Status SaveEngineSnapshot(const std::string& path,
         "an embeddings-mode LSEI needs parts.embeddings in the snapshot");
   }
 
-  const CorpusColumnArena& arena = engine.arena();
-  const TableSignatureIndex& signatures = engine.signature_index();
-  const bool has_signatures = signatures.table_signatures.size() > 0;
+  const std::vector<EngineShard>& shards = engine.shards();
+  uint64_t arena_tables = 0;
+  uint64_t signature_num_distinct = 0;
+  bool has_signatures = false;
+  for (const EngineShard& shard : shards) {
+    arena_tables += shard.arena.num_tables();
+    signature_num_distinct += shard.signatures.num_distinct;
+    if (shard.signatures.table_signatures.size() > 0) has_signatures = true;
+  }
 
   SnapshotMeta meta;
   std::memset(&meta, 0, sizeof(meta));
@@ -88,8 +94,9 @@ Status SaveEngineSnapshot(const std::string& path,
     meta.embedding_count = embeddings->size();
     meta.embedding_dim = embeddings->dim();
   }
-  meta.arena_tables = arena.num_tables();
-  meta.signature_num_distinct = signatures.num_distinct;
+  meta.arena_tables = arena_tables;
+  meta.signature_num_distinct = signature_num_distinct;
+  meta.num_shards = static_cast<uint32_t>(shards.size());
   if (parts.lsei != nullptr) {
     const LseiOptions& lopts = parts.lsei->options();
     meta.lsei_mode = lopts.mode == LseiMode::kEmbeddings ? 1 : 0;
@@ -146,20 +153,119 @@ Status SaveEngineSnapshot(const std::string& path,
         SectionKind::kQuantErrors, {quant.errors(), qcount}));
   }
 
-  THETIS_RETURN_NOT_OK(writer.AppendArray<uint64_t>(
-      SectionKind::kArenaTableOffsets, arena.table_offsets()));
-  THETIS_RETURN_NOT_OK(writer.AppendArray<uint32_t>(
-      SectionKind::kArenaColOffsets, arena.col_offsets()));
-  THETIS_RETURN_NOT_OK(writer.AppendArray<EntityId>(SectionKind::kArenaDistinct,
-                                                    arena.distinct()));
-  THETIS_RETURN_NOT_OK(
-      writer.AppendArray<double>(SectionKind::kArenaCounts, arena.counts()));
+  if (shards.size() == 1) {
+    // The classic single-shard layout: the arena sections are the shard's
+    // pools verbatim.
+    const CorpusColumnArena& arena = shards.front().arena;
+    THETIS_RETURN_NOT_OK(writer.AppendArray<uint64_t>(
+        SectionKind::kArenaTableOffsets, arena.table_offsets()));
+    THETIS_RETURN_NOT_OK(writer.AppendArray<uint32_t>(
+        SectionKind::kArenaColOffsets, arena.col_offsets()));
+    THETIS_RETURN_NOT_OK(writer.AppendArray<EntityId>(
+        SectionKind::kArenaDistinct, arena.distinct()));
+    THETIS_RETURN_NOT_OK(
+        writer.AppendArray<double>(SectionKind::kArenaCounts, arena.counts()));
+  } else {
+    // Sharded save: emit ONE global arena, the shard arenas concatenated in
+    // shard order with offsets rebased to the global layout — byte-identical
+    // to what an unsharded engine over the same corpus writes, so a v3 file
+    // can be loaded at any shard count (the shard sections below are just a
+    // pre-sliced view of it). The rebasing is uniform for both shard-arena
+    // storage modes: a BuildRange-built shard (local offsets from 0 over
+    // local pools) and a snapshot-window shard (absolute offsets into the
+    // full pools) both turn into global offsets by subtracting the shard's
+    // own first offset and adding the running concatenation base.
+    std::vector<uint64_t> global_table_offsets;
+    std::vector<uint32_t> global_col_offsets;
+    std::vector<SnapshotWriter::SectionPart> distinct_parts;
+    std::vector<SnapshotWriter::SectionPart> counts_parts;
+    global_table_offsets.reserve(static_cast<size_t>(arena_tables) + 1);
+    global_table_offsets.push_back(0);
+    uint64_t col_base = 0;
+    uint64_t pool_base = 0;
+    for (const EngineShard& shard : shards) {
+      const std::span<const uint64_t> to = shard.arena.table_offsets();
+      const std::span<const uint32_t> co = shard.arena.col_offsets();
+      const uint64_t col_begin = to.front();
+      const std::span<const uint32_t> col_slice =
+          co.subspan(static_cast<size_t>(col_begin),
+                     static_cast<size_t>(to.back() - col_begin));
+      for (size_t t = 1; t < to.size(); ++t) {
+        global_table_offsets.push_back(to[t] - col_begin + col_base);
+      }
+      uint64_t pool_begin = 0;
+      uint64_t pool_end = 0;
+      if (!col_slice.empty()) {
+        pool_begin = col_slice.front();
+        pool_end = col_slice.back();
+        for (uint32_t v : col_slice) {
+          global_col_offsets.push_back(
+              static_cast<uint32_t>(v - pool_begin + pool_base));
+        }
+      }
+      const std::span<const EntityId> distinct =
+          shard.arena.distinct().subspan(
+              static_cast<size_t>(pool_begin),
+              static_cast<size_t>(pool_end - pool_begin));
+      const std::span<const double> counts = shard.arena.counts().subspan(
+          static_cast<size_t>(pool_begin),
+          static_cast<size_t>(pool_end - pool_begin));
+      distinct_parts.push_back(SnapshotWriter::Part(distinct));
+      counts_parts.push_back(SnapshotWriter::Part(counts));
+      col_base += col_slice.size();
+      pool_base += pool_end - pool_begin;
+    }
+    THETIS_RETURN_NOT_OK(writer.AppendArray<uint64_t>(
+        SectionKind::kArenaTableOffsets,
+        std::span<const uint64_t>(global_table_offsets)));
+    THETIS_RETURN_NOT_OK(writer.AppendArray<uint32_t>(
+        SectionKind::kArenaColOffsets,
+        std::span<const uint32_t>(global_col_offsets)));
+    THETIS_RETURN_NOT_OK(writer.AppendSectionParts(
+        SectionKind::kArenaDistinct, distinct_parts));
+    THETIS_RETURN_NOT_OK(
+        writer.AppendSectionParts(SectionKind::kArenaCounts, counts_parts));
+  }
 
   if (has_signatures) {
+    // All shards view one σ-class vector; shard 0's copy is authoritative.
     THETIS_RETURN_NOT_OK(writer.AppendArray<uint32_t>(
-        SectionKind::kSigEntityClasses, signatures.entity_classes.span()));
-    THETIS_RETURN_NOT_OK(writer.AppendArray<uint32_t>(
-        SectionKind::kSigTableSignatures, signatures.table_signatures.span()));
+        SectionKind::kSigEntityClasses,
+        shards.front().signatures.entity_classes.span()));
+    // Concatenated SHARD-RELATIVE signature ids (each shard interns its
+    // own id space); for one shard this is the classic global section.
+    std::vector<SnapshotWriter::SectionPart> sig_parts;
+    sig_parts.reserve(shards.size());
+    for (const EngineShard& shard : shards) {
+      sig_parts.push_back(
+          SnapshotWriter::Part(shard.signatures.table_signatures.span()));
+    }
+    THETIS_RETURN_NOT_OK(writer.AppendSectionParts(
+        SectionKind::kSigTableSignatures, sig_parts));
+  }
+
+  if (shards.size() > 1) {
+    // The shard partition itself: cumulative table bounds plus each
+    // shard's distinct-signature count, enough for the loader to cut the
+    // global sections above back into per-shard windows without
+    // re-planning (and for corruption checks to cross-validate).
+    std::vector<uint64_t> shard_bounds;
+    shard_bounds.reserve(shards.size() + 1);
+    shard_bounds.push_back(0);
+    std::vector<uint64_t> shard_sig_distinct;
+    shard_sig_distinct.reserve(shards.size());
+    for (const EngineShard& shard : shards) {
+      shard_bounds.push_back(shard.end);
+      shard_sig_distinct.push_back(shard.signatures.num_distinct);
+    }
+    THETIS_RETURN_NOT_OK(writer.AppendArray<uint64_t>(
+        SectionKind::kShardTableBounds,
+        std::span<const uint64_t>(shard_bounds)));
+    if (has_signatures) {
+      THETIS_RETURN_NOT_OK(writer.AppendArray<uint64_t>(
+          SectionKind::kShardSigNumDistinct,
+          std::span<const uint64_t>(shard_sig_distinct)));
+    }
   }
 
   if (parts.lsei != nullptr) {
@@ -416,24 +522,95 @@ Result<std::unique_ptr<LoadedEngine>> LoadedEngine::Load(
         (!IsMonotone(table_offsets) || !IsMonotone(col_offsets))) {
       return ShapeError("column-arena offsets are not monotone");
     }
-    prebuilt.arena = CorpusColumnArena::FromSnapshotView(
-        table_offsets, col_offsets, distinct, counts);
-  }
-  if (meta.has_signature_index != 0) {
-    THETIS_LOAD_ARRAY(entity_classes, uint32_t,
-                      SectionKind::kSigEntityClasses);
-    THETIS_LOAD_ARRAY(table_signatures, uint32_t,
-                      SectionKind::kSigTableSignatures);
-    if ((entity_classes.size() != 0 &&
-         entity_classes.size() != meta.kg_entities) ||
-        table_signatures.size() != meta.arena_tables) {
-      return ShapeError("signature-index sections have the wrong shape");
+
+    // Shard partition: version <= 2 files (num_shards still the zeroed
+    // reserved field) and single-shard v3 files reconstruct the classic
+    // whole-corpus engine; a multi-shard file carries its explicit bounds.
+    const uint64_t num_shards =
+        meta.num_shards > 1 ? meta.num_shards : uint64_t{1};
+    if (num_shards > kMaxSnapshotShards) {
+      return ShapeError("snapshot claims " + std::to_string(num_shards) +
+                        " shards (cap " +
+                        std::to_string(kMaxSnapshotShards) + ")");
     }
-    prebuilt.signature_index.entity_classes =
-        FlatArray<uint32_t>::View(entity_classes);
-    prebuilt.signature_index.table_signatures =
-        FlatArray<uint32_t>::View(table_signatures);
-    prebuilt.signature_index.num_distinct = meta.signature_num_distinct;
+    if (num_shards <= 1 && reader.Has(SectionKind::kShardTableBounds)) {
+      // Shard-relative signature ids are only correct under the shard
+      // partition they were written with; a forged single-shard count over
+      // sharded sections must not flatten them into one id space.
+      return ShapeError(
+          "shard sections present but the meta claims a single shard");
+    }
+    std::vector<uint64_t> shard_bounds;
+    if (num_shards > 1) {
+      THETIS_LOAD_ARRAY(bounds, uint64_t, SectionKind::kShardTableBounds);
+      if (bounds.size() != num_shards + 1 || bounds.front() != 0 ||
+          bounds.back() != meta.arena_tables || !IsMonotone(bounds)) {
+        return ShapeError(
+            "shard table bounds do not partition the arena tables");
+      }
+      shard_bounds.assign(bounds.begin(), bounds.end());
+    } else {
+      shard_bounds = {0, meta.arena_tables};
+    }
+
+    std::span<const uint32_t> entity_classes;
+    std::span<const uint32_t> table_signatures;
+    std::vector<uint64_t> shard_sig_distinct;
+    if (meta.has_signature_index != 0) {
+      THETIS_LOAD_ARRAY(classes, uint32_t, SectionKind::kSigEntityClasses);
+      THETIS_LOAD_ARRAY(signatures, uint32_t,
+                        SectionKind::kSigTableSignatures);
+      if ((classes.size() != 0 && classes.size() != meta.kg_entities) ||
+          signatures.size() != meta.arena_tables) {
+        return ShapeError("signature-index sections have the wrong shape");
+      }
+      entity_classes = classes;
+      table_signatures = signatures;
+      if (num_shards > 1) {
+        // Per-shard distinct-signature counts; their sum must reproduce
+        // the meta total (a forged count is corruption, not flexibility).
+        THETIS_LOAD_ARRAY(sig_distinct, uint64_t,
+                          SectionKind::kShardSigNumDistinct);
+        if (sig_distinct.size() != num_shards) {
+          return ShapeError(
+              "per-shard signature counts do not match the shard count");
+        }
+        uint64_t total = 0;
+        for (uint64_t d : sig_distinct) total += d;
+        if (total != meta.signature_num_distinct) {
+          return ShapeError(
+              "per-shard signature counts do not sum to the meta total");
+        }
+        shard_sig_distinct.assign(sig_distinct.begin(), sig_distinct.end());
+      } else {
+        shard_sig_distinct = {meta.signature_num_distinct};
+      }
+    }
+
+    // Cut the global sections into per-shard windows — zero-copy: every
+    // shard arena views the same mmap'd pools through its slice of the
+    // table-offset array (offsets are absolute, so windowing needs no
+    // rewriting), and every shard signature index views its slice of the
+    // shard-relative signature ids.
+    prebuilt.shards.resize(static_cast<size_t>(num_shards));
+    for (size_t s = 0; s < num_shards; ++s) {
+      EngineShard& shard = prebuilt.shards[s];
+      shard.begin = static_cast<TableId>(shard_bounds[s]);
+      shard.end = static_cast<TableId>(shard_bounds[s + 1]);
+      const size_t shard_tables = shard.end - shard.begin;
+      shard.arena = CorpusColumnArena::FromSnapshotView(
+          table_offsets.subspan(shard.begin, shard_tables + 1), col_offsets,
+          distinct, counts);
+      if (meta.has_signature_index != 0) {
+        shard.signatures.entity_classes =
+            FlatArray<uint32_t>::View(entity_classes);
+        shard.signatures.table_signatures = FlatArray<uint32_t>::View(
+            table_signatures.subspan(shard.begin, shard_tables));
+        shard.signatures.num_distinct =
+            static_cast<size_t>(shard_sig_distinct[s]);
+        shard.signatures.table_base = shard.begin;
+      }
+    }
   }
   loaded->engine_ = std::make_unique<SearchEngine>(
       lake, loaded->sim_, options.search, std::move(prebuilt));

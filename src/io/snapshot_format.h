@@ -6,7 +6,7 @@
 
 namespace thetis {
 
-// On-disk engine snapshot format (version 2).
+// On-disk engine snapshot format (version 3).
 //
 // One relocatable, checksummed file holds every artifact the offline build
 // produces, as flat little-endian arrays:
@@ -75,6 +75,15 @@ enum class SectionKind : uint32_t {
   kQuantErrors = 26,          // float[count], per-row max dequant error E_r
   kTypeBitsetBits = 27,       // uint64[num_entities * words], packed type sets
   kTypeBitsetSizes = 28,      // uint32[num_entities], type-set cardinalities
+  // Version 3: sharded engines. Written only when SnapshotMeta::num_shards
+  // > 1; the arena/signature sections then hold every shard's data
+  // concatenated in shard order, with arena offsets rebased to the global
+  // (unsharded) layout — byte-identical to what an unsharded engine over
+  // the same corpus writes — and kSigTableSignatures holding shard-relative
+  // signature ids. These two sections let the loader cut the concatenation
+  // back into per-shard windows without re-planning.
+  kShardTableBounds = 29,     // uint64[num_shards + 1], cumulative table ids
+  kShardSigNumDistinct = 30,  // uint64[num_shards], per-shard distinct sigs
 };
 
 // One section-table entry; the table is a dense array of these at
@@ -117,7 +126,10 @@ struct SnapshotMeta {
   uint64_t lsei_band_size;
   double lsei_max_type_table_fraction;
   uint32_t lsei_include_type_ancestors;
-  uint32_t meta_reserved;
+  // Shards the engine was saved with. Occupies what was a zeroed reserved
+  // slot through version 2, so 0 (a v1/v2 file) and 1 both mean "one
+  // shard" and older files load unchanged.
+  uint32_t num_shards;
   uint64_t lsei_seed;
   uint64_t lsei_num_items;
   uint64_t lsei_indexed_tables;
@@ -126,17 +138,24 @@ static_assert(sizeof(SnapshotMeta) == 144, "snapshot meta is 144 bytes");
 
 inline constexpr uint64_t kSnapshotMagic = 0x50414E5354454854ull;  // THETSNAP
 // Version 2 appends the optional compressed bound-backend sections
-// (kQuantCodes..kTypeBitsetSizes); readers accept [1, kSnapshotVersion].
-inline constexpr uint32_t kSnapshotVersion = 2;
+// (kQuantCodes..kTypeBitsetSizes); version 3 appends the optional shard
+// sections (kShardTableBounds, kShardSigNumDistinct) and gives meaning to
+// the formerly reserved SnapshotMeta::num_shards field. Readers accept
+// [1, kSnapshotVersion].
+inline constexpr uint32_t kSnapshotVersion = 3;
 // Written as the native-endian constant; a reader on the opposite
 // endianness sees the byte-swapped value and rejects the file.
 inline constexpr uint32_t kEndianMarker = 0x01020304u;
 // Section payloads start at multiples of this; covers every element type
 // the format uses (double/uint64 need 8) with headroom for SIMD loads.
 inline constexpr uint64_t kSectionAlignment = 64;
-// Sanity cap on section_count: version 2 defines ~28 kinds; a header
+// Sanity cap on section_count: version 3 defines ~30 kinds; a header
 // claiming orders of magnitude more is corrupt, not futuristic.
 inline constexpr uint64_t kMaxSections = 4096;
+// Sanity cap on SnapshotMeta::num_shards: shards are planned per memory
+// channel or NUMA node, not per table; a meta claiming more shards than
+// this is corrupt (the loader also cross-checks against kShardTableBounds).
+inline constexpr uint64_t kMaxSnapshotShards = 65536;
 
 // FNV-1a 64 widened to one multiply per 8-byte word (little-endian load,
 // byte-wise tail). Collisions only weaken corruption detection, never

@@ -26,8 +26,60 @@ Status SnapshotWriter::PadToAlignment() {
               : Status::IoError("write to " + path_ + " failed");
 }
 
+namespace {
+
+// Incremental twin of SnapshotChecksum: bytes are folded into 8-byte words
+// as they complete ACROSS part boundaries (a short carry buffers the tail
+// of each Update), so the final digest equals the one-shot checksum over
+// the concatenated payload — the word framing must not restart per part.
+class IncrementalChecksum {
+ public:
+  void Update(const void* data, size_t length) {
+    const unsigned char* bytes = static_cast<const unsigned char*>(data);
+    size_t i = 0;
+    if (carry_len_ > 0) {
+      while (carry_len_ < 8 && i < length) carry_[carry_len_++] = bytes[i++];
+      if (carry_len_ < 8) return;  // still a partial word
+      HashWord(carry_);
+      carry_len_ = 0;
+    }
+    for (; i + 8 <= length; i += 8) HashWord(bytes + i);
+    for (; i < length; ++i) carry_[carry_len_++] = bytes[i];
+  }
+
+  // Byte-wise tail, exactly as SnapshotChecksum ends.
+  uint64_t Finish() {
+    for (size_t i = 0; i < carry_len_; ++i) {
+      h_ ^= carry_[i];
+      h_ *= 0x100000001b3ull;
+    }
+    carry_len_ = 0;
+    return h_;
+  }
+
+ private:
+  void HashWord(const unsigned char* p) {
+    uint64_t word;
+    __builtin_memcpy(&word, p, 8);
+    h_ ^= word;
+    h_ *= 0x100000001b3ull;
+  }
+
+  uint64_t h_ = 0xcbf29ce484222325ull;
+  unsigned char carry_[8];
+  size_t carry_len_ = 0;
+};
+
+}  // namespace
+
 Status SnapshotWriter::AppendSection(SectionKind kind, const void* data,
                                      size_t length) {
+  SectionPart part{data, length};
+  return AppendSectionParts(kind, std::span<const SectionPart>(&part, 1));
+}
+
+Status SnapshotWriter::AppendSectionParts(SectionKind kind,
+                                          std::span<const SectionPart> parts) {
   if (finished_) {
     return Status::FailedPrecondition("snapshot writer already finished");
   }
@@ -45,13 +97,18 @@ Status SnapshotWriter::AppendSection(SectionKind kind, const void* data,
   entry.kind = static_cast<uint32_t>(kind);
   entry.reserved = 0;
   entry.offset = offset_;
-  entry.length = length;
-  entry.checksum = SnapshotChecksum(data, length);
-  if (length > 0) {
-    out_.write(static_cast<const char*>(data),
-               static_cast<std::streamsize>(length));
-    offset_ += length;
+  IncrementalChecksum checksum;
+  uint64_t length = 0;
+  for (const SectionPart& part : parts) {
+    if (part.length == 0) continue;
+    checksum.Update(part.data, part.length);
+    out_.write(static_cast<const char*>(part.data),
+               static_cast<std::streamsize>(part.length));
+    length += part.length;
   }
+  offset_ += length;
+  entry.length = length;
+  entry.checksum = checksum.Finish();
   if (!out_) return Status::IoError("write to " + path_ + " failed");
   entries_.push_back(entry);
   return Status::Ok();

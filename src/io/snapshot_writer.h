@@ -34,6 +34,26 @@ class SnapshotWriter {
     return AppendSection(kind, values.data(), values.size() * sizeof(T));
   }
 
+  // One piece of a multi-part section payload.
+  struct SectionPart {
+    const void* data;
+    size_t length;
+  };
+
+  // Appends one section whose payload is the in-order concatenation of
+  // `parts`, streamed straight to the file with an incrementally computed
+  // checksum — the emitted bytes and SectionEntry are identical to a
+  // single AppendSection over a materialized concatenation, without the
+  // intermediate buffer. This is how the sharded save writes one global
+  // arena section from per-shard slices.
+  Status AppendSectionParts(SectionKind kind,
+                            std::span<const SectionPart> parts);
+
+  template <typename T>
+  static SectionPart Part(std::span<const T> values) {
+    return SectionPart{values.data(), values.size() * sizeof(T)};
+  }
+
   // Writes the section table, patches the header (file length, table
   // offset, table checksum) and closes the file. No appends after this.
   Status Finish();

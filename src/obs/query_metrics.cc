@@ -130,6 +130,35 @@ struct BoundBackendMetrics {
   }
 };
 
+// Per-shard export slots are pre-registered for a small fixed number of
+// shards; typical deployments shard by memory channel or NUMA node, not by
+// the hundreds. Shards past the cap stay in the query-level totals only.
+constexpr uint64_t kMaxShardSlots = 8;
+
+struct ShardMetrics {
+  MetricsRegistry& r = MetricsRegistry::Global();
+  Gauge& shards = r.gauge("thetis_shards");
+  Gauge& imbalance_bp = r.gauge("thetis_shard_imbalance_bp");
+  Counter& sharded_queries = r.counter("thetis_sharded_queries_total");
+  Counter& floor_hits = r.counter("thetis_shard_floor_hits_total");
+  Counter& floor_publishes = r.counter("thetis_shard_floor_publishes_total");
+  Gauge* prune_rate_bp[kMaxShardSlots];
+  Histogram* bound_latency[kMaxShardSlots];
+
+  ShardMetrics() {
+    for (uint64_t s = 0; s < kMaxShardSlots; ++s) {
+      std::string i = std::to_string(s);
+      prune_rate_bp[s] = &r.gauge("thetis_shard" + i + "_prune_rate_bp");
+      bound_latency[s] = &r.histogram("thetis_shard" + i + "_bound_latency_ns");
+    }
+  }
+
+  static ShardMetrics& Get() {
+    static ShardMetrics* m = new ShardMetrics();
+    return *m;
+  }
+};
+
 struct SnapshotMetrics {
   MetricsRegistry& r = MetricsRegistry::Global();
   Counter& saves = r.counter("thetis_snapshot_saves_total");
@@ -279,6 +308,29 @@ void RecordQuantArenaBytes(uint64_t bytes) {
 
 void RecordTypeBitsetArenaBytes(uint64_t bytes) {
   BoundBackendMetrics::Get().bitset_arena.Set(static_cast<int64_t>(bytes));
+}
+
+void RecordShardPlan(uint64_t num_shards, double imbalance) {
+  ShardMetrics& m = ShardMetrics::Get();
+  m.shards.Set(static_cast<int64_t>(num_shards));
+  // Gauges are integral; imbalance (>= 1.0) is kept in basis points.
+  m.imbalance_bp.Set(static_cast<int64_t>(imbalance * 10000.0));
+}
+
+void RecordShardSearch(uint64_t num_shards, uint64_t floor_hits,
+                       uint64_t floor_publishes) {
+  ShardMetrics& m = ShardMetrics::Get();
+  m.sharded_queries.Increment();
+  m.floor_hits.Add(floor_hits);
+  m.floor_publishes.Add(floor_publishes);
+  m.shards.Set(static_cast<int64_t>(num_shards));
+}
+
+void RecordShardLoop(uint64_t shard, double prune_rate, double bound_seconds) {
+  if (shard >= kMaxShardSlots) return;
+  ShardMetrics& m = ShardMetrics::Get();
+  m.prune_rate_bp[shard]->Set(static_cast<int64_t>(prune_rate * 10000.0));
+  m.bound_latency[shard]->Record(ToNanos(bound_seconds));
 }
 
 void TraceAggregate(const char* name, double seconds) {

@@ -40,7 +40,18 @@
 //     pass resolved to each backend;
 //   quant_embedding_arena_bytes, type_bitset_arena_bytes (gauges)
 //     — compressed bound-backend arena sizes, set when a backend is built
-//     or attached from a snapshot.
+//     or attached from a snapshot;
+//   shards (gauge), shard_imbalance_bp (gauge) — the sharded engine's
+//     shard count and plan imbalance (max/ideal shard weight, basis
+//     points), set once per sharded build;
+//   sharded_queries_total, shard_floor_hits_total,
+//   shard_floor_publishes_total — scatter-gather search volume and
+//     shared-score-floor effectiveness (candidates pruned specifically by
+//     the cross-shard floor / successful floor raises);
+//   shard<i>_prune_rate_bp (gauge), shard<i>_bound_latency_ns (histogram)
+//     — per-shard prune rate and bound-pass latency for the first
+//     kMaxShardSlots shards (higher shard indices are not exported — the
+//     totals above still include them).
 namespace thetis::obs {
 
 #ifndef THETIS_DISABLE_OBS
@@ -100,6 +111,24 @@ void RecordBoundBackend(const char* backend);
 void RecordQuantArenaBytes(uint64_t bytes);
 void RecordTypeBitsetArenaBytes(uint64_t bytes);
 
+// One sharded engine build: shard count and plan imbalance (max shard
+// weight over ideal, >= 1.0; exported in basis points). Called once per
+// multi-shard construction.
+void RecordShardPlan(uint64_t num_shards, double imbalance);
+
+// One scatter-gather query over `num_shards` shards: `floor_hits`
+// candidates were pruned specifically by the cross-shard score floor and
+// the floor was successfully raised `floor_publishes` times. Called once
+// per sharded query, from the same flush point as RecordQuery.
+void RecordShardSearch(uint64_t num_shards, uint64_t floor_hits,
+                       uint64_t floor_publishes);
+
+// One shard's prune loop within a scatter-gather query: its prune rate
+// (pruned/bucket, in [0, 1]) and bound-pass seconds. Exported through
+// pre-registered per-shard handles for shard < kMaxShardSlots; higher
+// indices are dropped here (the query-level totals still cover them).
+void RecordShardLoop(uint64_t shard, double prune_rate, double bound_seconds);
+
 // Emits an aggregated pseudo-span of `seconds` ending now into the trace
 // (no-op when tracing is off). Used for durations accumulated across an
 // inner loop too hot for per-iteration spans, e.g. the total Hungarian
@@ -126,6 +155,9 @@ inline void RecordSnapshotLoad(uint64_t, double) {}
 inline void RecordBoundBackend(const char*) {}
 inline void RecordQuantArenaBytes(uint64_t) {}
 inline void RecordTypeBitsetArenaBytes(uint64_t) {}
+inline void RecordShardPlan(uint64_t, double) {}
+inline void RecordShardSearch(uint64_t, uint64_t, uint64_t) {}
+inline void RecordShardLoop(uint64_t, double, double) {}
 inline void TraceAggregate(const char*, double) {}
 
 #endif  // THETIS_DISABLE_OBS

@@ -1,0 +1,385 @@
+// Shard-invariance of the scatter-gather search path.
+//
+// The contract under test (DESIGN.md, "Sharded scatter-gather"): partition
+// the engine into any number of contiguous table-range shards, search them
+// independently against a globally shared score floor, merge the
+// shard-local heaps — and the returned hit list is bit-identical to the
+// classic unsharded engine, for every combination of shard count, bound
+// backend, query cache setting and thread count. Sharding is an execution
+// layout, never a semantics knob.
+//
+// The suite also pins the supporting machinery: the deterministic
+// weight-balanced shard plan, table-to-shard routing, the SharedScoreFloor
+// CAS-max (stressed concurrently — this binary runs under TSan in CI, so
+// the stress test doubles as a data-race check), the regression that the
+// floor now tightens from *merged* admissions (not just whole-stripe heap
+// turnover), and a guarded sub-quadratic scale-shape check on resampled
+// corpora.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "benchgen/benchmark_factory.h"
+#include "benchgen/synthetic_lake.h"
+#include "core/score_floor.h"
+#include "core/search_engine.h"
+#include "core/shard_plan.h"
+#include "semantic/semantic_data_lake.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
+
+namespace thetis {
+namespace {
+
+using benchgen::Benchmark;
+using benchgen::GeneratedQuery;
+using benchgen::MakeBenchmark;
+using benchgen::PresetKind;
+
+void ExpectSameHits(const std::vector<SearchHit>& expected,
+                    const std::vector<SearchHit>& actual,
+                    const std::string& label) {
+  ASSERT_EQ(expected.size(), actual.size()) << label;
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(expected[i].table, actual[i].table)
+        << label << " position " << i;
+    EXPECT_EQ(expected[i].score, actual[i].score)
+        << label << " position " << i;
+  }
+}
+
+// One shared small world; every test reads it, none mutates it.
+class ShardTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    bench_ = new Benchmark(MakeBenchmark(PresetKind::kWt2015Like, 0.05, 71));
+    lake_ = new SemanticDataLake(&bench_->lake.corpus, &bench_->kg.kg);
+    embeddings_ =
+        new EmbeddingStore(benchgen::TrainBenchmarkEmbeddings(bench_->kg));
+    type_sim_ = new TypeJaccardSimilarity(&bench_->kg.kg);
+    emb_sim_ = new EmbeddingCosineSimilarity(embeddings_);
+    queries_ = new std::vector<GeneratedQuery>(
+        benchgen::MakeQueries(bench_->kg, 5, 72));
+  }
+  static void TearDownTestSuite() {
+    delete queries_;
+    delete emb_sim_;
+    delete type_sim_;
+    delete embeddings_;
+    delete lake_;
+    delete bench_;
+  }
+
+  static Benchmark* bench_;
+  static SemanticDataLake* lake_;
+  static EmbeddingStore* embeddings_;
+  static TypeJaccardSimilarity* type_sim_;
+  static EmbeddingCosineSimilarity* emb_sim_;
+  static std::vector<GeneratedQuery>* queries_;
+};
+
+Benchmark* ShardTest::bench_ = nullptr;
+SemanticDataLake* ShardTest::lake_ = nullptr;
+EmbeddingStore* ShardTest::embeddings_ = nullptr;
+TypeJaccardSimilarity* ShardTest::type_sim_ = nullptr;
+EmbeddingCosineSimilarity* ShardTest::emb_sim_ = nullptr;
+std::vector<GeneratedQuery>* ShardTest::queries_ = nullptr;
+
+// --- Shard planning ---------------------------------------------------------------
+
+TEST_F(ShardTest, PlanTilesTheCorpusForEveryShardCount) {
+  const Corpus& corpus = bench_->lake.corpus;
+  for (size_t shards : {size_t{1}, size_t{2}, size_t{3}, size_t{7},
+                        size_t{16}, corpus.size() + 5}) {
+    ShardPlan plan = PlanShards(corpus, shards);
+    ASSERT_EQ(plan.NumShards(), shards);
+    EXPECT_EQ(plan.bounds.front(), 0u);
+    EXPECT_EQ(plan.bounds.back(), corpus.size());
+    EXPECT_TRUE(std::is_sorted(plan.bounds.begin(), plan.bounds.end()));
+    EXPECT_GE(ShardImbalance(corpus, plan), 1.0);
+    // Pure function of (corpus, shards): replanning is bit-identical.
+    EXPECT_EQ(plan.bounds, PlanShards(corpus, shards).bounds);
+  }
+  // 0 is treated as 1 (the unsharded engine).
+  EXPECT_EQ(PlanShards(corpus, 0).NumShards(), 1u);
+}
+
+TEST_F(ShardTest, ShardOfRoutesEveryTableToItsCoveringRange) {
+  SearchOptions options;
+  options.num_shards = 7;
+  SearchEngine sharded(lake_, type_sim_, options);
+  SearchEngine unsharded(lake_, type_sim_, SearchOptions{});
+  ASSERT_EQ(sharded.shards().size(), 7u);
+  for (TableId id = 0; id < bench_->lake.corpus.size(); ++id) {
+    size_t s = sharded.ShardOf(id);
+    const EngineShard& shard = sharded.shards()[s];
+    EXPECT_GE(id, shard.begin);
+    EXPECT_LT(id, shard.end);
+    // The shard-local column view is the unsharded view, re-based.
+    ColumnIndexView sharded_view;
+    ASSERT_TRUE(sharded.ArenaViewOf(id, &sharded_view));
+    ColumnIndexView flat_view;
+    ASSERT_TRUE(unsharded.ArenaViewOf(id, &flat_view));
+    ASSERT_EQ(sharded_view.num_columns, flat_view.num_columns);
+    ASSERT_EQ(sharded_view.DistinctCount(), flat_view.DistinctCount());
+  }
+}
+
+// --- Ranking parity ---------------------------------------------------------------
+
+// The tentpole assertion: hit lists from the sharded engine are
+// bit-identical to the unsharded engine across shard count x bound backend
+// x cache x execution mode. Each leg pins the (similarity, backend) pair so
+// the compressed backends genuinely run (an unservable request falls back
+// to fp32, which would vacuously pass).
+TEST_F(ShardTest, ShardedRankingsBitIdenticalToUnshardedEverywhere) {
+  struct Leg {
+    const EntitySimilarity* sim;
+    SearchOptions::BoundBackend backend;
+    const char* name;
+  };
+  const Leg legs[] = {
+      {type_sim_, SearchOptions::BoundBackend::kFp32, "types/fp32"},
+      {type_sim_, SearchOptions::BoundBackend::kBitset, "types/bitset"},
+      {emb_sim_, SearchOptions::BoundBackend::kInt8, "embeddings/int8"},
+  };
+  ThreadPool pool1(1);
+  ThreadPool pool8(8);
+  for (const Leg& leg : legs) {
+    for (bool cache : {true, false}) {
+      SearchOptions ref_opts;
+      ref_opts.bound_backend = leg.backend;
+      ref_opts.enable_cache = cache;
+      SearchEngine reference(lake_, leg.sim, ref_opts);
+      for (size_t shards : {2u, 3u, 7u, 16u}) {
+        SearchOptions opts = ref_opts;
+        opts.num_shards = shards;
+        SearchEngine engine(lake_, leg.sim, opts);
+        ASSERT_EQ(engine.shards().size(), shards);
+        const std::string label = std::string(leg.name) +
+                                  (cache ? "/cache" : "/nocache") +
+                                  "/shards" + std::to_string(shards);
+        for (const auto& gq : *queries_) {
+          auto want = reference.Search(gq.query);
+          ASSERT_FALSE(want.empty()) << label;
+          SearchStats stats;
+          ExpectSameHits(want, engine.Search(gq.query, &stats),
+                         label + " serial");
+          EXPECT_EQ(stats.num_shards, shards) << label;
+          EXPECT_EQ(stats.tables_scored + stats.tables_pruned,
+                    stats.candidate_count)
+              << label;
+          for (ThreadPool* pool : {&pool1, &pool8}) {
+            SearchStats pstats;
+            ExpectSameHits(want, engine.SearchParallel(gq.query, pool, &pstats),
+                           label + " pool" +
+                               std::to_string(pool->num_threads()));
+            EXPECT_EQ(pstats.num_shards, shards) << label;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST_F(ShardTest, CandidateSubsetsBucketAcrossShardsExactly) {
+  // A candidate list touching every shard unevenly (every 3rd table) must
+  // rank identically however the engine is partitioned.
+  std::vector<TableId> candidates;
+  for (TableId id = 0; id < bench_->lake.corpus.size(); id += 3) {
+    candidates.push_back(id);
+  }
+  SearchEngine reference(lake_, type_sim_, SearchOptions{});
+  ThreadPool pool(4);
+  for (size_t shards : {2u, 7u}) {
+    SearchOptions opts;
+    opts.num_shards = shards;
+    SearchEngine engine(lake_, type_sim_, opts);
+    const std::string label = "candidates/shards" + std::to_string(shards);
+    for (const auto& gq : *queries_) {
+      auto want = reference.SearchCandidates(gq.query, candidates);
+      SearchStats stats;
+      ExpectSameHits(want, engine.SearchCandidates(gq.query, candidates,
+                                                   &stats),
+                     label);
+      EXPECT_EQ(stats.candidate_count, candidates.size()) << label;
+      ExpectSameHits(want, engine.SearchCandidatesParallel(gq.query,
+                                                           candidates, &pool),
+                     label + " parallel");
+    }
+  }
+}
+
+// Degenerate layouts: a corpus smaller than the shard count leaves empty
+// shards (repeated plan boundaries) and one-table shards. Both must search
+// exactly, serially and on a pool.
+TEST_F(ShardTest, DegenerateShardLayoutsStayExact) {
+  Corpus tiny;
+  for (TableId id = 0; id < 5; ++id) {
+    ASSERT_TRUE(tiny.AddTable(bench_->lake.corpus.table(id)).ok());
+  }
+  SemanticDataLake tiny_lake(&tiny, &bench_->kg.kg);
+  ASSERT_EQ(tiny.size(), 5u);
+  SearchEngine reference(&tiny_lake, type_sim_, SearchOptions{});
+  ThreadPool pool(4);
+  for (size_t shards : {2u, 5u, 16u, 64u}) {
+    SearchOptions opts;
+    opts.num_shards = shards;
+    SearchEngine engine(&tiny_lake, type_sim_, opts);
+    ASSERT_EQ(engine.shards().size(), shards);
+    if (shards > 5) {
+      size_t empty = 0;
+      for (const EngineShard& shard : engine.shards()) {
+        if (shard.begin == shard.end) ++empty;
+      }
+      EXPECT_GE(empty, shards - 5) << shards;
+    }
+    for (const auto& gq : *queries_) {
+      auto want = reference.Search(gq.query);
+      ExpectSameHits(want, engine.Search(gq.query),
+                     "tiny/shards" + std::to_string(shards));
+      ExpectSameHits(want, engine.SearchParallel(gq.query, &pool),
+                     "tiny/shards" + std::to_string(shards) + " parallel");
+    }
+  }
+}
+
+// --- Shared score floor -----------------------------------------------------------
+
+// CAS-max under contention: the floor converges to the max of every value
+// any thread published, the publish counter counts exactly the successful
+// raises, and the observer fires once per successful raise. Runs under
+// TSan in CI — any report here is a real race in SharedScoreFloor.
+TEST(SharedScoreFloorTest, ConcurrentUpdatesConvergeToTheMax) {
+  static std::atomic<size_t> observed{0};
+  observed.store(0);
+  SharedScoreFloor floor(
+      [](double, void* ctx) {
+        static_cast<std::atomic<size_t>*>(ctx)->fetch_add(1);
+      },
+      &observed);
+  constexpr size_t kThreads = 8;
+  constexpr size_t kUpdates = 20000;
+  double expected_max = 0.0;
+  for (size_t t = 0; t < kThreads; ++t) {
+    for (size_t i = 0; i < kUpdates; ++i) {
+      expected_max = std::max(
+          expected_max,
+          static_cast<double>((t * 1009 + i * 7919) % 1000003) / 1e6);
+    }
+  }
+  std::vector<std::thread> workers;
+  for (size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&floor, t] {
+      for (size_t i = 0; i < kUpdates; ++i) {
+        floor.Update(static_cast<double>((t * 1009 + i * 7919) % 1000003) /
+                     1e6);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(floor.Load(), expected_max);
+  EXPECT_GE(floor.publishes(), 1u);
+  EXPECT_LE(floor.publishes(), kThreads * kUpdates);
+  EXPECT_EQ(observed.load(), floor.publishes());
+}
+
+TEST(SharedScoreFloorTest, StaleAndEqualUpdatesDoNotPublish) {
+  SharedScoreFloor floor;
+  EXPECT_EQ(floor.Load(), 0.0);
+  EXPECT_TRUE(floor.Update(0.5));
+  EXPECT_FALSE(floor.Update(0.5));   // equal: no raise
+  EXPECT_FALSE(floor.Update(0.25));  // stale: no raise
+  EXPECT_TRUE(floor.Update(0.75));
+  EXPECT_EQ(floor.Load(), 0.75);
+  EXPECT_EQ(floor.publishes(), 2u);
+}
+
+// Regression for the PR 4 latent issue: the floor used to rise only when a
+// whole stripe's heap turned over, so early admissions never tightened it.
+// Now every admission into a full local heap and every eager heap merge
+// publishes. On the serial sharded path the publish sequence is observed
+// in execution order, so it must be strictly increasing, and later shards
+// must see (and stop on) floors raised by earlier shards' admissions.
+TEST_F(ShardTest, FloorTightensMonotonicallyFromAdmissions) {
+  SearchOptions opts;
+  opts.num_shards = 16;
+  opts.top_k = 3;
+  std::vector<double> published;
+  opts.floor_observer = [](double value, void* ctx) {
+    static_cast<std::vector<double>*>(ctx)->push_back(value);
+  };
+  opts.floor_observer_ctx = &published;
+  SearchEngine engine(lake_, type_sim_, opts);
+  size_t total_publishes = 0;
+  size_t total_floor_hits = 0;
+  for (const auto& gq : *queries_) {
+    published.clear();
+    SearchStats stats;
+    auto hits = engine.Search(gq.query, &stats);
+    ASSERT_EQ(hits.size(), 3u);
+    EXPECT_EQ(published.size(), stats.floor_publishes);
+    for (size_t i = 1; i < published.size(); ++i) {
+      EXPECT_GT(published[i], published[i - 1]) << "publish " << i;
+    }
+    if (!published.empty()) {
+      // Exactness contract: the final floor never exceeds the true k-th
+      // score (otherwise it could have pruned a genuine winner).
+      EXPECT_LE(published.back(), hits.back().score);
+    }
+    EXPECT_LE(stats.floor_hits, stats.tables_pruned);
+    total_publishes += stats.floor_publishes;
+    total_floor_hits += stats.floor_hits;
+  }
+  // Across the query sweep the floor must both move and matter: at least
+  // one query publishes, and at least one candidate is pruned *because* of
+  // a floor another shard raised.
+  EXPECT_GT(total_publishes, 0u);
+  EXPECT_GT(total_floor_hits, 0u);
+}
+
+// --- Scale shape ------------------------------------------------------------------
+
+// Query time on resampled corpora of 1k/4k/16k tables must grow clearly
+// sub-quadratically in corpus size. The guard is deliberately loose (16x
+// tables may cost at most ~60x time, vs 256x for quadratic) so scheduler
+// noise cannot flake it, while a regression to quadratic scoring still
+// trips it. Set THETIS_SEC74_FULL_TABLES for the paper-scale run in
+// bench_sec74_scaling; this test is the fast tripwire.
+TEST_F(ShardTest, QueryTimeScalesSubQuadraticallyAcrossResampledCorpora) {
+  constexpr size_t kSizes[] = {1000, 4000, 16000};
+  double seconds[3] = {0, 0, 0};
+  for (size_t i = 0; i < 3; ++i) {
+    benchgen::SyntheticLake scaled =
+        benchgen::ResampleToSize(bench_->lake, kSizes[i], 74 + i);
+    SemanticDataLake scaled_lake(&scaled.corpus, &bench_->kg.kg);
+    SearchOptions opts;
+    opts.num_shards = 4;
+    opts.build_threads = 4;
+    SearchEngine engine(&scaled_lake, type_sim_, opts);
+    // Best of 3 sweeps: the minimum is the least noisy location statistic
+    // for a timing lower-bounded by the actual work.
+    double best = 1e300;
+    for (int rep = 0; rep < 3; ++rep) {
+      Stopwatch watch;
+      for (const auto& gq : *queries_) {
+        auto hits = engine.Search(gq.query);
+        ASSERT_FALSE(hits.empty());
+      }
+      best = std::min(best, watch.ElapsedSeconds());
+    }
+    seconds[i] = best;
+  }
+  const double ratio = seconds[2] / std::max(seconds[0], 1e-9);
+  // 16x the tables: linear predicts ~16x, quadratic ~256x.
+  EXPECT_LT(ratio, 60.0) << "1k=" << seconds[0] << "s 4k=" << seconds[1]
+                         << "s 16k=" << seconds[2] << "s";
+}
+
+}  // namespace
+}  // namespace thetis

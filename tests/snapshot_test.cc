@@ -22,6 +22,7 @@
 //    also bump kSnapshotVersion.
 #include <gtest/gtest.h>
 
+#include <cstddef>
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
@@ -103,6 +104,34 @@ size_t FindSection(const std::string& bytes, SectionKind kind) {
     if (entry.kind == static_cast<uint32_t>(kind)) return i;
   }
   return header.section_count;
+}
+
+// The section-table entry of `kind`; asserts presence.
+SectionEntry EntryOf(const std::string& bytes, SectionKind kind) {
+  const SnapshotHeader header = HeaderOf(bytes);
+  const size_t index = FindSection(bytes, kind);
+  EXPECT_LT(index, header.section_count)
+      << "section kind " << static_cast<uint32_t>(kind) << " not present";
+  SectionEntry entry;
+  std::memcpy(&entry,
+              bytes.data() + header.table_offset + index * sizeof(entry),
+              sizeof(entry));
+  return entry;
+}
+
+// Mutates the payload of section `kind` in place and REPAIRS both
+// checksums, so only the loader's semantic validation — not the integrity
+// machinery — can reject the result.
+void PatchSectionPayload(std::string* bytes, SectionKind kind,
+                         const std::function<void(char*)>& mutate) {
+  const size_t index = FindSection(*bytes, kind);
+  ASSERT_LT(index, HeaderOf(*bytes).section_count)
+      << "section kind " << static_cast<uint32_t>(kind) << " not present";
+  const SectionEntry entry = EntryOf(*bytes, kind);
+  mutate(bytes->data() + entry.offset);
+  PatchEntry(bytes, index, [bytes](SectionEntry* e) {
+    e->checksum = SnapshotChecksum(bytes->data() + e->offset, e->length);
+  });
 }
 
 // Shrinks section `kind` to `new_length` bytes, repairing BOTH checksums
@@ -547,7 +576,19 @@ struct MicroLake {
   }
 };
 
+// The version-3 fixture is saved SHARDED (2 shards over the 3-table
+// micro-lake), so it pins the shard sections, the rebased arena
+// concatenation and the shard-relative signature ids — the whole sharded
+// on-disk surface — byte for byte.
 std::string GoldenPath() {
+  return std::string(THETIS_SOURCE_DIR) +
+         "/tests/golden/engine_snapshot_v3.snap";
+}
+
+// The untouched version-2 fixture, written before the shard sections
+// existed (its SnapshotMeta::num_shards slot is still the zeroed reserved
+// field). It must keep loading forever, as a single-shard engine.
+std::string GoldenV2Path() {
   return std::string(THETIS_SOURCE_DIR) +
          "/tests/golden/engine_snapshot_v2.snap";
 }
@@ -562,9 +603,12 @@ std::string GoldenV1Path() {
 
 std::string BuildMicroSnapshot(const MicroLake& micro,
                                const SemanticDataLake& lake,
-                               const std::string& path) {
+                               const std::string& path,
+                               size_t num_shards = 1) {
   TypeJaccardSimilarity types(&micro.kg);
-  SearchEngine engine(&lake, &types);
+  SearchOptions options;
+  options.num_shards = num_shards;
+  SearchEngine engine(&lake, &types, options);
   LseiOptions lsh;
   lsh.num_functions = 6;
   lsh.band_size = 3;
@@ -581,7 +625,8 @@ TEST(GoldenSnapshotTest, WriterMatchesCheckedInFixtureByteForByte) {
   MicroLake micro;
   SemanticDataLake lake(&micro.corpus, &micro.kg);
   const std::string scratch = testing::TempDir() + "/golden_candidate.snap";
-  const std::string bytes = BuildMicroSnapshot(micro, lake, scratch);
+  const std::string bytes =
+      BuildMicroSnapshot(micro, lake, scratch, /*num_shards=*/2);
   if (std::getenv("THETIS_REGEN_GOLDEN") != nullptr) {
     WriteAll(GoldenPath(), bytes);
     GTEST_SKIP() << "regenerated " << GoldenPath();
@@ -602,7 +647,10 @@ TEST(GoldenSnapshotTest, CheckedInFixtureLoadsAndAnswersQueries) {
   auto loaded = LoadedEngine::Load(GoldenPath(), &lake);
   ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
   ASSERT_NE(loaded.value()->lsei(), nullptr);
-  // The v2 fixture carries type-bitset sections (4-type vocabulary), and
+  // The v3 fixture is a 2-shard save; the loader must cut the mapped
+  // sections back into both shard windows.
+  EXPECT_EQ(loaded.value()->engine().shards().size(), 2u);
+  // The fixture carries type-bitset sections (4-type vocabulary), and
   // the loader must wire them up rather than rebuild.
   const auto* restored_types = dynamic_cast<const TypeJaccardSimilarity*>(
       &loaded.value()->similarity());
@@ -653,6 +701,201 @@ TEST(GoldenSnapshotTest, LegacyVersion1FixtureStillLoads) {
     EXPECT_EQ(expected[i].table, actual[i].table);
     EXPECT_EQ(expected[i].score, actual[i].score);
   }
+}
+
+TEST(GoldenSnapshotTest, LegacyVersion2FixtureStillLoads) {
+  // Backward compatibility across the sharding change: the v2 fixture's
+  // num_shards slot is the zeroed reserved field and it has no shard
+  // sections, so it must restore as a classic single-shard engine and
+  // answer bit-identically to a freshly built one.
+  MicroLake micro;
+  SemanticDataLake lake(&micro.corpus, &micro.kg);
+  auto loaded = LoadedEngine::Load(GoldenV2Path(), &lake);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value()->engine().shards().size(), 1u);
+
+  TypeJaccardSimilarity types(&micro.kg);
+  SearchEngine built(&lake, &types);
+  Query query;
+  query.tuples.push_back({0, 1});
+  const std::vector<SearchHit> expected = built.Search(query);
+  const std::vector<SearchHit> actual = loaded.value()->engine().Search(query);
+  ASSERT_EQ(expected.size(), actual.size());
+  ASSERT_FALSE(actual.empty());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(expected[i].table, actual[i].table);
+    EXPECT_EQ(expected[i].score, actual[i].score);
+  }
+}
+
+// --- Sharded snapshots (version 3) -----------------------------------------
+
+// A sharded save's arena and signature-class sections must be byte-for-byte
+// what the unsharded engine over the same corpus writes: the per-shard
+// slices are rebased back into the global layout on the way out, so the
+// shard count never forks the core on-disk data (compared via the stored
+// per-section FNV checksums plus lengths).
+TEST(GoldenSnapshotTest, ShardedSaveRebasesArenaSectionsToUnshardedBytes) {
+  MicroLake micro;
+  SemanticDataLake lake(&micro.corpus, &micro.kg);
+  const std::string flat_path = testing::TempDir() + "/shard_flat.snap";
+  const std::string sharded_path = testing::TempDir() + "/shard_two.snap";
+  const std::string flat = BuildMicroSnapshot(micro, lake, flat_path, 1);
+  const std::string sharded = BuildMicroSnapshot(micro, lake, sharded_path, 2);
+  for (SectionKind kind :
+       {SectionKind::kArenaTableOffsets, SectionKind::kArenaColOffsets,
+        SectionKind::kArenaDistinct, SectionKind::kArenaCounts,
+        SectionKind::kSigEntityClasses}) {
+    const SectionEntry a = EntryOf(flat, kind);
+    const SectionEntry b = EntryOf(sharded, kind);
+    EXPECT_EQ(a.length, b.length) << static_cast<uint32_t>(kind);
+    EXPECT_EQ(a.checksum, b.checksum) << static_cast<uint32_t>(kind);
+  }
+  // The shard sections exist only in the sharded file.
+  EXPECT_EQ(FindSection(flat, SectionKind::kShardTableBounds),
+            HeaderOf(flat).section_count);
+  EXPECT_LT(FindSection(sharded, SectionKind::kShardTableBounds),
+            HeaderOf(sharded).section_count);
+  EXPECT_EQ(HeaderOf(flat).version, kSnapshotVersion);
+}
+
+// Round trip through a sharded snapshot on the full benchmark lake: the
+// restored engine must keep the shard layout and answer bit-identically to
+// BOTH the engine it was saved from and the unsharded baseline.
+TEST_F(SnapshotTest, ShardedRoundTripKeepsLayoutAndRankings) {
+  SearchOptions options;
+  options.num_shards = 3;
+  SearchEngine sharded(lake_, types_, options);
+  const std::string path = testing::TempDir() + "/sharded_parity.snap";
+  EngineSnapshotParts parts;
+  parts.lake = lake_;
+  parts.engine = &sharded;
+  Status saved = SaveEngineSnapshot(path, parts);
+  ASSERT_TRUE(saved.ok()) << saved.ToString();
+
+  auto loaded = LoadedEngine::Load(path, lake_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const SearchEngine& restored = loaded.value()->engine();
+  ASSERT_EQ(restored.shards().size(), 3u);
+  for (size_t s = 0; s < 3; ++s) {
+    EXPECT_EQ(restored.shards()[s].begin, sharded.shards()[s].begin) << s;
+    EXPECT_EQ(restored.shards()[s].end, sharded.shards()[s].end) << s;
+  }
+  ThreadPool pool(4);
+  for (const GeneratedQuery& q : *queries_) {
+    const std::vector<SearchHit> expected = engine_->Search(q.query);
+    ExpectHitsEqual(expected, sharded.Search(q.query));
+    SearchStats stats;
+    ExpectHitsEqual(expected, restored.Search(q.query, &stats));
+    EXPECT_EQ(stats.num_shards, 3u);
+    ExpectHitsEqual(expected, restored.SearchParallel(q.query, &pool));
+  }
+}
+
+// Shape validation of the v3 shard sections: internally consistent files
+// (every checksum repaired after tampering) whose shard metadata lies must
+// come back as clean, descriptive errors — never a misassembled engine.
+TEST(GoldenSnapshotTest, MalformedShardSectionsAreRejected) {
+  MicroLake micro;
+  SemanticDataLake lake(&micro.corpus, &micro.kg);
+  const std::string scratch = testing::TempDir() + "/shard_tamper.snap";
+  const std::string clean = BuildMicroSnapshot(micro, lake, scratch, 2);
+  ASSERT_LT(FindSection(clean, SectionKind::kShardTableBounds),
+            HeaderOf(clean).section_count);
+
+  const auto try_load = [&](const std::string& bytes) {
+    const std::string path = testing::TempDir() + "/shard_tampered.snap";
+    WriteAll(path, bytes);
+    auto loaded = LoadedEngine::Load(path, &lake);
+    return loaded.ok() ? Status::Ok() : loaded.status();
+  };
+  const auto expect_shard_error = [&](const std::string& bytes,
+                                      const std::string& label) {
+    Status status = try_load(bytes);
+    ASSERT_FALSE(status.ok()) << label;
+    EXPECT_NE(status.ToString().find("shard"), std::string::npos)
+        << label << ": " << status.ToString();
+  };
+
+  {
+    // Bounds truncated to one fewer boundary than the shard count needs.
+    std::string tampered = clean;
+    ShrinkSection(&tampered, SectionKind::kShardTableBounds,
+                  2 * sizeof(uint64_t));
+    expect_shard_error(tampered, "truncated bounds");
+  }
+  {
+    // Bounds truncated to nothing.
+    std::string tampered = clean;
+    ShrinkSection(&tampered, SectionKind::kShardTableBounds, 0);
+    expect_shard_error(tampered, "empty bounds");
+  }
+  {
+    // Last boundary no longer equals the arena table count.
+    std::string tampered = clean;
+    PatchSectionPayload(&tampered, SectionKind::kShardTableBounds,
+                        [](char* payload) {
+                          uint64_t forged = 99;
+                          std::memcpy(payload + 2 * sizeof(uint64_t), &forged,
+                                      sizeof(forged));
+                        });
+    expect_shard_error(tampered, "forged last bound");
+  }
+  {
+    // Non-monotone interior boundary.
+    std::string tampered = clean;
+    PatchSectionPayload(&tampered, SectionKind::kShardTableBounds,
+                        [](char* payload) {
+                          uint64_t forged = ~uint64_t{0};
+                          std::memcpy(payload + sizeof(uint64_t), &forged,
+                                      sizeof(forged));
+                        });
+    expect_shard_error(tampered, "non-monotone bounds");
+  }
+  {
+    // Per-shard signature counts that no longer sum to the meta total.
+    std::string tampered = clean;
+    PatchSectionPayload(&tampered, SectionKind::kShardSigNumDistinct,
+                        [](char* payload) {
+                          uint64_t forged = 1000;
+                          std::memcpy(payload, &forged, sizeof(forged));
+                        });
+    expect_shard_error(tampered, "forged signature counts");
+  }
+  {
+    // Meta shard count forged to disagree with the bounds section.
+    std::string tampered = clean;
+    PatchSectionPayload(&tampered, SectionKind::kMeta, [](char* payload) {
+      uint32_t forged = 3;
+      std::memcpy(payload + offsetof(SnapshotMeta, num_shards), &forged,
+                  sizeof(forged));
+    });
+    expect_shard_error(tampered, "forged shard count");
+  }
+  {
+    // Meta shard count past the sanity cap.
+    std::string tampered = clean;
+    PatchSectionPayload(&tampered, SectionKind::kMeta, [](char* payload) {
+      uint32_t forged = 1u << 30;
+      std::memcpy(payload + offsetof(SnapshotMeta, num_shards), &forged,
+                  sizeof(forged));
+    });
+    expect_shard_error(tampered, "absurd shard count");
+  }
+  {
+    // Meta forged back to a single shard while the (shard-relative) shard
+    // sections are still present: flattening would corrupt signature ids,
+    // so the loader must refuse.
+    std::string tampered = clean;
+    PatchSectionPayload(&tampered, SectionKind::kMeta, [](char* payload) {
+      uint32_t forged = 0;
+      std::memcpy(payload + offsetof(SnapshotMeta, num_shards), &forged,
+                  sizeof(forged));
+    });
+    expect_shard_error(tampered, "flattened shard count");
+  }
+  // The clean file still loads after all that tampering of copies.
+  EXPECT_TRUE(try_load(clean).ok());
 }
 
 TEST(GoldenSnapshotTest, MalformedTypeBitsetSectionsAreRejected) {
