@@ -13,7 +13,9 @@
 
 #include "benchgen/synthetic_lake.h"
 #include "common.h"
+#include "exec/query_executor.h"
 #include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace thetis::bench {
 namespace {
@@ -94,8 +96,40 @@ void ScalingBench(benchmark::State& state, size_t growth_index,
   }
 }
 
+// Fused-batch row: the whole query set as ONE fused group (no prefilter —
+// fused bounds cover the full corpus), re-verifying that the table-major
+// bound pass keeps runtime linear in corpus size. The fused pass is one
+// arena walk per corpus, so ms_per_query should grow with the same slope
+// as the per-query rows.
+void ScalingFusedBench(benchmark::State& state, size_t growth_index) {
+  const World& base =
+      GetWorld(benchgen::PresetKind::kWt2015Like, BenchScale());
+  const ScaledWorld& scaled = GetScaled(growth_index, /*full_tables=*/false);
+  SearchEngine engine(scaled.sem.get(), base.type_sim.get());
+  ThreadPool pool(1);
+  QueryExecutor executor(&engine, &pool);
+  std::vector<Query> queries;
+  for (const auto& gq : base.queries1) queries.push_back(gq.query);
+  executor.set_batch_size(queries.size());
+
+  for (auto _ : state) {
+    Stopwatch watch;
+    auto results = executor.ExecuteBatch(queries);
+    benchmark::DoNotOptimize(results);
+    double n = static_cast<double>(queries.size());
+    state.counters["ms_per_query"] = 1e3 * watch.ElapsedSeconds() / n;
+    state.counters["corpus_tables"] =
+        static_cast<double>(scaled.lake.corpus.size());
+  }
+}
+
 void RegisterAll() {
   for (size_t g = 0; g < 3; ++g) {
+    std::string fused_name = std::string("Sec74Scaling/fused/growth") +
+                             std::to_string(g) + "/1tuple";
+    benchmark::RegisterBenchmark(fused_name.c_str(), ScalingFusedBench, g)
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
     for (bool five : {false, true}) {
       for (bool emb : {false, true}) {
         std::string name = std::string("Sec74Scaling/") +

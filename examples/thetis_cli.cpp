@@ -12,6 +12,7 @@
 //              [--lsh] [--no-cache] [--no-prune]
 //              [--bound-backend fp32|int8|bitset|auto] [--threads N]
 //              [--build-threads N] [--shards N]
+//              [--batch-size N] [--no-batch-fuse]
 //              [--save-engine F] [--load-engine F]
 //              [--metrics-out F] [--trace-out F]
 //              <entity label> [<entity label> ...]
@@ -35,6 +36,12 @@
 //       shards searched scatter-gather with a shared score floor;
 //       rankings are bit-identical to --shards 1 for every N and the
 //       shard layout persists through --save-engine/--load-engine.
+//       --batch-size N (with --threads) groups queries into fused batches
+//       of N: one table-major bound pass and one shared sigma memo serve
+//       the whole group (rankings bit-identical to N=1); --no-batch-fuse
+//       is the escape hatch back to the legacy per-query path. The
+//       resolved execution mode is printed alongside the backend/shard
+//       lines.
 //       --metrics-out writes the observability counters after the query
 //       (Prometheus text, or a JSON snapshot when F ends in .json);
 //       --trace-out enables per-stage span tracing and writes a Chrome
@@ -91,6 +98,7 @@ int Usage() {
                "[--lsh] [--no-cache] [--no-prune] "
                "[--bound-backend fp32|int8|bitset|auto] [--threads N] "
                "[--build-threads N] [--shards N] "
+               "[--batch-size N] [--no-batch-fuse] "
                "[--save-engine F] [--load-engine F] "
                "[--metrics-out F] [--trace-out F] "
                "<label> [...]\n");
@@ -205,6 +213,8 @@ int RunSearch(const std::vector<std::string>& args) {
   size_t threads = 0;        // 0: direct engine call, no executor
   size_t build_threads = 1;  // offline build parallelism (1 = serial)
   size_t shards = 1;         // engine partition count (1 = unsharded)
+  size_t batch_size = 1;     // fused-batch group size (1 = legacy path)
+  bool batch_fuse = true;    // --no-batch-fuse escape hatch
   size_t k = 10;
   std::string metrics_out;
   std::string trace_out;
@@ -250,6 +260,11 @@ int RunSearch(const std::vector<std::string>& args) {
     } else if (args[i] == "--shards" && i + 1 < args.size()) {
       shards = static_cast<size_t>(std::atoi(args[++i].c_str()));
       if (shards == 0) return Fail("--shards must be positive");
+    } else if (args[i] == "--batch-size" && i + 1 < args.size()) {
+      batch_size = static_cast<size_t>(std::atoi(args[++i].c_str()));
+      if (batch_size == 0) return Fail("--batch-size must be positive");
+    } else if (args[i] == "--no-batch-fuse") {
+      batch_fuse = false;
     } else if (args[i] == "--save-engine" && i + 1 < args.size()) {
       save_engine = args[++i];
     } else if (args[i] == "--load-engine" && i + 1 < args.size()) {
@@ -355,13 +370,28 @@ int RunSearch(const std::vector<std::string>& args) {
   Stopwatch watch;
   std::vector<SearchHit> hits;
   SearchStats stats;
+  std::string exec_mode = "per-query (direct engine)";
   if (threads > 0) {
     ThreadPool pool(threads);
     QueryExecutor executor(engine, &pool);
     if (lsei != nullptr) executor.EnablePrefilter(lsei, /*votes=*/3);
-    QueryResult result = executor.Execute(query);
-    hits = std::move(result.hits);
-    stats = result.stats;
+    executor.set_batch_size(batch_size);
+    executor.set_batch_fuse(batch_fuse);
+    exec_mode = std::string(executor.resolved_mode()) + " (batch-size " +
+                std::to_string(executor.batch_size()) + ", " +
+                std::to_string(threads) + " threads)";
+    if (batch_size > 1) {
+      // The fused plumbing runs even for a single query (a batch of one):
+      // the CLI is the smoke test for exactly the path a server would use.
+      std::vector<Query> batch{query};
+      std::vector<QueryResult> results = executor.ExecuteBatch(batch);
+      hits = std::move(results[0].hits);
+      stats = results[0].stats;
+    } else {
+      QueryResult result = executor.Execute(query);
+      hits = std::move(result.hits);
+      stats = result.stats;
+    }
   } else if (lsei != nullptr) {
     PrefilteredSearchEngine fast(engine, lsei, /*votes=*/3);
     hits = fast.Search(query, &stats);
@@ -389,6 +419,7 @@ int RunSearch(const std::vector<std::string>& args) {
                 "%zu floor-only stops)\n",
                 stats.num_shards, stats.floor_publishes, stats.floor_hits);
   }
+  std::printf("exec: %s\n", exec_mode.c_str());
   if (use_cache) {
     size_t sim_lookups = stats.sim_cache_hits + stats.sim_cache_misses;
     size_t map_lookups =

@@ -166,7 +166,13 @@ size_t QueryScopedCache::MappingKeyHash::operator()(
 
 QueryScopedCache::QueryScopedCache(const EntitySimilarity* base,
                                    const TableSignatureIndex* signature_index)
-    : memo_(base), signature_index_(signature_index) {}
+    : owned_memo_(std::make_unique<SimilarityMemo>(base)),
+      memo_(owned_memo_.get()),
+      signature_index_(signature_index) {}
+
+QueryScopedCache::QueryScopedCache(SimilarityMemo* shared_memo,
+                                   const TableSignatureIndex* signature_index)
+    : memo_(shared_memo), signature_index_(signature_index) {}
 
 uint32_t QueryScopedCache::SignatureOf(TableId table_id,
                                        ColumnIndexView index) {
@@ -240,8 +246,8 @@ const ColumnMapping& QueryScopedCache::MappingFor(
   // Concrete memo type: σ probes inline inside the matrix loop. The matrix
   // scratch is reused across tables for the lifetime of the query.
   return mappings_
-      .emplace(key_scratch_, MapQueryTupleToColumnsIndexed(tuple, index, memo_,
-                                                           mapping_scratch_))
+      .emplace(key_scratch_, MapQueryTupleToColumnsIndexed(
+                                 tuple, index, *memo_, mapping_scratch_))
       .first->second;
 }
 

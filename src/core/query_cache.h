@@ -2,6 +2,7 @@
 #define THETIS_CORE_QUERY_CACHE_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -111,8 +112,18 @@ class QueryScopedCache {
                             const TableSignatureIndex* signature_index =
                                 nullptr);
 
+  // Wraps an externally owned σ memo instead of creating one: the
+  // batch-fused path shares ONE memo across every query of a batch (σ
+  // pairs the queries have in common are probed once per batch, not once
+  // per query), while the Hungarian mapping cache stays per-instance —
+  // its keys embed the query's tuple indexes, so it can never be shared
+  // across queries. `shared_memo` is borrowed and must outlive the cache;
+  // like the cache itself it serves one thread at a time.
+  QueryScopedCache(SimilarityMemo* shared_memo,
+                   const TableSignatureIndex* signature_index);
+
   // The memoized σ; score through this instead of the engine's raw σ.
-  const SimilarityMemo& sim() const { return memo_; }
+  const SimilarityMemo& sim() const { return *memo_; }
 
   // The Hungarian mapping of query tuple `tuple_index` (content `tuple`)
   // against `table` (whose prebuilt column-entity view is `index` — an
@@ -136,8 +147,15 @@ class QueryScopedCache {
                                   const std::vector<EntityId>& tuple,
                                   const Table& table, TableId table_id);
 
-  size_t sim_hits() const { return memo_.hits(); }
-  size_t sim_misses() const { return memo_.misses(); }
+  // σ memo counters, zero when the memo is shared (a batch-scoped memo's
+  // traffic is attributed once at batch scope — summing the cumulative
+  // counters per query would multiply-count it).
+  size_t sim_hits() const {
+    return owned_memo_ != nullptr ? memo_->hits() : 0;
+  }
+  size_t sim_misses() const {
+    return owned_memo_ != nullptr ? memo_->misses() : 0;
+  }
   size_t mapping_hits() const { return mapping_hits_; }
   size_t mapping_misses() const { return mapping_misses_; }
 
@@ -183,7 +201,10 @@ class QueryScopedCache {
   // or per-query interned from the table's prebuilt column-entity view).
   uint32_t SignatureOf(TableId table_id, ColumnIndexView index);
 
-  SimilarityMemo memo_;
+  // Owned for the classic per-query cache, null when wrapping a shared
+  // (batch-scoped) memo; memo_ points at whichever exists.
+  std::unique_ptr<SimilarityMemo> owned_memo_;
+  SimilarityMemo* memo_;
   // Engine-precomputed signature index (null when unavailable).
   const TableSignatureIndex* signature_index_;
   // Per-query signature interning for tables the precomputed index does

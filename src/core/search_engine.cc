@@ -456,6 +456,51 @@ struct BoundScratch {
   std::vector<double> coords; // per tuple position, fed to the distance
 };
 
+// Assembly step of the bound, from the per-entity maxima u_i to the final
+// scalar. Factored out of UpperBoundWithView so the batch-fused table-major
+// pass — which computes the umax of a whole batch's entity UNION against a
+// slice and then gathers each query's subset — runs the exact same
+// arithmetic on the exact same doubles: a fused bound and a per-query bound
+// of the same (query, table) pair are bit-identical by construction.
+double AssembleBoundFromUmax(const BoundContext& ctx, size_t num_rows,
+                             const double* umax, size_t num_entities,
+                             RowAggregation aggregation,
+                             std::vector<double>& coords) {
+  if (ctx.counted_tuples == 0 || num_rows == 0) return 0.0;
+  bool any_positive = false;
+  for (size_t q = 0; q < num_entities; ++q) {
+    if (umax[q] > 0.0) {
+      any_positive = true;
+      break;
+    }
+  }
+  // No σ > 0 anywhere in the table ⇒ no relevant mapping ⇒ the exact
+  // score is exactly 0, not merely bounded by it.
+  if (!any_positive) return 0.0;
+
+  double sum = 0.0;
+  for (size_t t = 0; t < ctx.slots.size(); ++t) {
+    const std::vector<size_t>& slots = ctx.slots[t];
+    coords.resize(slots.size());
+    for (size_t i = 0; i < slots.size(); ++i) {
+      double u = slots[i] == kNoSlot ? 0.0 : umax[slots[i]];
+      if (aggregation == RowAggregation::kAvg) {
+        // Slack for the rounded column sum; clamping at 1.0 is admissible
+        // (the distance contribution of a coordinate is 0 there, <= any
+        // exact coordinate's contribution).
+        u = std::min(1.0, u * (1.0 + 1e-9));
+      }
+      coords[i] = u;
+    }
+    sum += DistanceSimilarity(coords, ctx.weights[t]);
+  }
+  // Final slack for the rounded distance evaluation itself. It also makes
+  // the bound of a table strictly exceed its exact score whenever that
+  // score is positive, so a candidate tied with the current threshold is
+  // never skipped on bound alone.
+  return (sum / static_cast<double>(ctx.counted_tuples)) * (1.0 + 1e-12);
+}
+
 template <typename Sim>
 double UpperBoundWithView(const BoundContext& ctx, size_t num_rows,
                           ColumnIndexView view, const Sim& sim,
@@ -474,38 +519,9 @@ double UpperBoundWithView(const BoundContext& ctx, size_t num_rows,
       scratch.umax[q] = simd::MaxF64(scratch.sigma.data(), union_count);
     }
   }
-  bool any_positive = false;
-  for (double u : scratch.umax) {
-    if (u > 0.0) {
-      any_positive = true;
-      break;
-    }
-  }
-  // No σ > 0 anywhere in the table ⇒ no relevant mapping ⇒ the exact
-  // score is exactly 0, not merely bounded by it.
-  if (!any_positive) return 0.0;
-
-  double sum = 0.0;
-  for (size_t t = 0; t < ctx.slots.size(); ++t) {
-    const std::vector<size_t>& slots = ctx.slots[t];
-    scratch.coords.resize(slots.size());
-    for (size_t i = 0; i < slots.size(); ++i) {
-      double u = slots[i] == kNoSlot ? 0.0 : scratch.umax[slots[i]];
-      if (aggregation == RowAggregation::kAvg) {
-        // Slack for the rounded column sum; clamping at 1.0 is admissible
-        // (the distance contribution of a coordinate is 0 there, <= any
-        // exact coordinate's contribution).
-        u = std::min(1.0, u * (1.0 + 1e-9));
-      }
-      scratch.coords[i] = u;
-    }
-    sum += DistanceSimilarity(scratch.coords, ctx.weights[t]);
-  }
-  // Final slack for the rounded distance evaluation itself. It also makes
-  // the bound of a table strictly exceed its exact score whenever that
-  // score is positive, so a candidate tied with the current threshold is
-  // never skipped on bound alone.
-  return (sum / static_cast<double>(ctx.counted_tuples)) * (1.0 + 1e-12);
+  return AssembleBoundFromUmax(ctx, num_rows, scratch.umax.data(),
+                               scratch.umax.size(), aggregation,
+                               scratch.coords);
 }
 
 // Adapter presenting a similarity's UpperBoundBatch as ScoreBatch, so the
@@ -588,6 +604,24 @@ bool ProvablyOutside(const Top& top, double bound, TableId id) {
 
 }  // namespace
 
+// What SearchBatchFused hands each query of the batch: everything the
+// serial rerank would otherwise compute in its own bound pass, already
+// computed table-major across the whole batch. The rerank keeps its sort,
+// prune loop, floors, and stats; only the bound SOURCE changes.
+struct FusedQueryInput {
+  // Dense per-TableId admissible bounds (+inf for tables the fused pass
+  // did not cover, i.e. late ingests — always scored, never pruned, same
+  // as the per-query path). Non-null whenever pruning is enabled.
+  const std::vector<double>* bounds_by_table = nullptr;
+  // Backend that computed the fused bounds, reported per query.
+  const char* bound_backend = "fp32";
+  // Batch-scoped σ memo shared by every query of the batch (null when
+  // caching is disabled). Unsynchronized — the batch runs serially.
+  SimilarityMemo* memo = nullptr;
+  // SearchStats::bound_fused_reuses to report for this query.
+  size_t reuses = 0;
+};
+
 double SearchEngine::UpperBoundTable(const Query& query,
                                      TableId table_id) const {
   BoundContext ctx;
@@ -619,10 +653,11 @@ std::vector<SearchHit> SearchEngine::SearchCandidates(
 
 std::vector<SearchHit> SearchEngine::SearchCandidatesImpl(
     const Query& query, const std::vector<TableId>& candidates,
-    SearchStats* stats, bool flush_stats) const {
+    SearchStats* stats, bool flush_stats,
+    const FusedQueryInput* fused) const {
   if (shards_.size() > 1) {
     return SearchShards(query, candidates, /*pool=*/nullptr, stats,
-                        flush_stats);
+                        flush_stats, fused);
   }
   obs::TraceSpan query_span("query");
   Stopwatch watch;
@@ -630,8 +665,13 @@ std::vector<SearchHit> SearchEngine::SearchCandidatesImpl(
   double bound_seconds = 0.0;
   std::unique_ptr<QueryScopedCache> cache;
   if (options_.enable_cache) {
-    cache = std::make_unique<QueryScopedCache>(sim_,
-                                               &shards_.front().signatures);
+    // Fused batches share one σ memo across queries; the mapping cache
+    // stays query-scoped either way.
+    cache = fused != nullptr && fused->memo != nullptr
+                ? std::make_unique<QueryScopedCache>(
+                      fused->memo, &shards_.front().signatures)
+                : std::make_unique<QueryScopedCache>(
+                      sim_, &shards_.front().signatures);
   }
   TopK<TableId> top(std::max<size_t>(1, options_.top_k));
   size_t nonzero = 0;
@@ -641,7 +681,22 @@ std::vector<SearchHit> SearchEngine::SearchCandidatesImpl(
   std::vector<double> bounds;
   std::vector<uint32_t> order;
   const char* bound_backend = "fp32";
-  if (prune) {
+  if (prune && fused != nullptr) {
+    // Bounds arrive precomputed from the batch's fused table-major pass;
+    // only the per-query sort remains here. Their cost was attributed to
+    // the batch, so bound_seconds stays 0 for this query.
+    obs::TraceSpan bound_span("bound");
+    const std::vector<double>& fb = *fused->bounds_by_table;
+    bounds.resize(candidates.size());
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      bounds[i] = candidates[i] < fb.size()
+                      ? fb[candidates[i]]
+                      : std::numeric_limits<double>::infinity();
+    }
+    bound_backend = fused->bound_backend;
+    SortByBound(candidates, bounds, &order);
+    obs::RecordBoundBackend(bound_backend);
+  } else if (prune) {
     obs::TraceSpan bound_span("bound");
     Stopwatch bound_watch;
     BoundContext ctx;
@@ -726,6 +781,7 @@ std::vector<SearchHit> SearchEngine::SearchCandidatesImpl(
                      watch.ElapsedSeconds(), mapping_seconds, bound_seconds,
                      &local);
   local.bound_backend = bound_backend;
+  if (fused != nullptr) local.bound_fused_reuses = fused->reuses;
   if (cache != nullptr) AddCacheStats(*cache, &local);
   if (flush_stats) FlushQueryStats(local);
   if (stats != nullptr) *stats = local;
@@ -918,7 +974,8 @@ std::vector<SearchHit> SearchEngine::SearchCandidatesParallel(
 
 std::vector<SearchHit> SearchEngine::SearchShards(
     const Query& query, const std::vector<TableId>& candidates,
-    ThreadPool* pool, SearchStats* stats, bool flush_stats) const {
+    ThreadPool* pool, SearchStats* stats, bool flush_stats,
+    const FusedQueryInput* fused) const {
   obs::TraceSpan query_span("query");
   Stopwatch watch;
   const size_t num_shards = shards_.size();
@@ -934,8 +991,13 @@ std::vector<SearchHit> SearchEngine::SearchShards(
   BoundContext ctx;
   const char* bound_backend = "fp32";
   if (prune) {
-    BuildBoundContext(query, *lake_, options_, &ctx);
-    bound_backend = ResolveBoundBackend(options_, *sim_);
+    if (fused != nullptr) {
+      // Fused batch: bounds precomputed table-major, no per-query context.
+      bound_backend = fused->bound_backend;
+    } else {
+      BuildBoundContext(query, *lake_, options_, &ctx);
+      bound_backend = ResolveBoundBackend(options_, *sim_);
+    }
   }
 
   // The shared score floor every shard prunes against and publishes to;
@@ -962,8 +1024,15 @@ std::vector<SearchHit> SearchEngine::SearchShards(
   for (size_t s = 0; s < num_shards; ++s) {
     locals.emplace_back(top_k);
     if (options_.enable_cache) {
-      locals.back().cache = std::make_unique<QueryScopedCache>(
-          sim_, &shards_[s].signatures);
+      // Fused batches share one σ memo across shards AND queries (the
+      // batch runs serially, so the unsynchronized memo is safe); the
+      // mapping cache stays shard- and query-scoped as before.
+      locals.back().cache =
+          fused != nullptr && fused->memo != nullptr
+              ? std::make_unique<QueryScopedCache>(fused->memo,
+                                                   &shards_[s].signatures)
+              : std::make_unique<QueryScopedCache>(sim_,
+                                                   &shards_[s].signatures);
     }
   }
 
@@ -978,7 +1047,20 @@ std::vector<SearchHit> SearchEngine::SearchShards(
   auto run_shard = [&](size_t s) {
     ShardLocal& local = locals[s];
     const std::vector<TableId>& cands = buckets[s];
-    if (prune && !cands.empty()) {
+    if (prune && !cands.empty() && fused != nullptr) {
+      // Gather this shard's slice of the batch-precomputed dense bounds;
+      // only the per-shard sort remains (bound_seconds stays 0 — the
+      // batch owns the bound cost).
+      obs::TraceSpan bound_span("bound");
+      const std::vector<double>& fb = *fused->bounds_by_table;
+      local.bounds.resize(cands.size());
+      for (size_t i = 0; i < cands.size(); ++i) {
+        local.bounds[i] = cands[i] < fb.size()
+                              ? fb[cands[i]]
+                              : std::numeric_limits<double>::infinity();
+      }
+      SortByBound(cands, local.bounds, &local.order);
+    } else if (prune && !cands.empty()) {
       obs::TraceSpan bound_span("bound");
       Stopwatch bound_watch;
       local.bounds.resize(cands.size());
@@ -1098,6 +1180,7 @@ std::vector<SearchHit> SearchEngine::SearchShards(
   local_stats.num_shards = num_shards;
   local_stats.floor_hits = floor_hits;
   local_stats.floor_publishes = floor.publishes();
+  if (fused != nullptr) local_stats.bound_fused_reuses = fused->reuses;
   if (flush_stats) FlushQueryStats(local_stats);
   if (stats != nullptr) *stats = local_stats;
   return hits;
@@ -1127,6 +1210,181 @@ std::vector<SearchHit> SearchEngine::Search(const Query& query,
   auto hits = SearchCandidates(query, AllTables(&storage), stats);
   if (stats != nullptr) stats->search_space_reduction = 0.0;
   return hits;
+}
+
+std::vector<std::vector<SearchHit>> SearchEngine::SearchBatchFused(
+    std::span<const Query> queries, std::vector<SearchStats>* stats) const {
+  std::vector<std::vector<SearchHit>> all_hits(queries.size());
+  if (stats != nullptr) stats->assign(queries.size(), SearchStats{});
+  if (queries.empty()) return all_hits;
+  obs::TraceSpan batch_span("fused_batch");
+
+  const Corpus& corpus = lake_->corpus();
+  std::vector<TableId> storage;
+  const std::vector<TableId>& candidates = AllTables(&storage);
+  const bool prune = options_.enable_prune && !candidates.empty();
+
+  // One σ memo for the whole batch: the rerank of query q probes pairs the
+  // bound pass (or an earlier query's rerank) already scored. Serial use
+  // only — the memo is unsynchronized, which is why the batch itself never
+  // parallelizes internally.
+  std::unique_ptr<SimilarityMemo> shared_memo;
+  if (options_.enable_cache) {
+    shared_memo = std::make_unique<SimilarityMemo>(sim_);
+  }
+
+  // Phase A: per-query bound contexts, the batch's sorted distinct entity
+  // UNION, and per-query maps from context slot to union slot. The first
+  // query referencing an entity "owns" it; later queries count it as
+  // shared — the σ work the fusion saves them.
+  std::vector<BoundContext> ctxs(queries.size());
+  std::vector<EntityId> union_entities;
+  std::vector<std::vector<size_t>> slot_of(queries.size());
+  std::vector<size_t> shared_entities(queries.size(), 0);
+  const char* bound_backend = "fp32";
+  std::vector<std::vector<double>> bounds_by_table(queries.size());
+  size_t probed_tables = 0;
+  double fused_bound_seconds = 0.0;
+
+  if (prune) {
+    bound_backend = ResolveBoundBackend(options_, *sim_);
+    for (size_t q = 0; q < queries.size(); ++q) {
+      BuildBoundContext(queries[q], *lake_, options_, &ctxs[q]);
+      union_entities.insert(union_entities.end(), ctxs[q].entities.begin(),
+                            ctxs[q].entities.end());
+    }
+    std::sort(union_entities.begin(), union_entities.end());
+    union_entities.erase(
+        std::unique(union_entities.begin(), union_entities.end()),
+        union_entities.end());
+    std::vector<uint32_t> owner(union_entities.size(),
+                                std::numeric_limits<uint32_t>::max());
+    for (size_t q = 0; q < queries.size(); ++q) {
+      slot_of[q].resize(ctxs[q].entities.size());
+      for (size_t i = 0; i < ctxs[q].entities.size(); ++i) {
+        size_t u = static_cast<size_t>(
+            std::lower_bound(union_entities.begin(), union_entities.end(),
+                             ctxs[q].entities[i]) -
+            union_entities.begin());
+        slot_of[q][i] = u;
+        if (owner[u] == std::numeric_limits<uint32_t>::max()) {
+          owner[u] = static_cast<uint32_t>(q);
+        } else {
+          ++shared_entities[q];
+        }
+      }
+    }
+
+    // Phase B: the fused table-major bound pass. One walk over each
+    // shard's arena; every table's distinct-entity slice is gathered ONCE
+    // and scored against the whole union, then each query's bound is
+    // assembled from its subset of the per-entity maxima. Tables no shard
+    // covers (late ingests) keep +inf — always scored, never pruned,
+    // exactly like the per-query path.
+    obs::TraceSpan bound_span("fused_bound");
+    Stopwatch bound_watch;
+    for (size_t q = 0; q < queries.size(); ++q) {
+      bounds_by_table[q].assign(corpus.size(),
+                                std::numeric_limits<double>::infinity());
+    }
+    const size_t nu = union_entities.size();
+    const bool compressed = bound_backend[0] != 'f';
+    std::vector<double> sigma;
+    std::vector<double> union_umax(nu, 0.0);
+    std::vector<double> q_umax;
+    std::vector<double> coords;
+    for (const EngineShard& shard : shards_) {
+      for (TableId id = shard.begin;
+           id < shard.end && id < corpus.size(); ++id) {
+        const TableId local = id - shard.begin;
+        if (!shard.arena.Covers(local)) continue;
+        ColumnIndexView view = shard.arena.ViewOf(local);
+        const size_t num_rows = corpus.table(id).num_rows();
+        const size_t union_count = view.DistinctCount();
+        std::fill(union_umax.begin(), union_umax.end(), 0.0);
+        if (union_count > 0 && nu > 0) {
+          const EntityId* distinct = view.distinct + view.DistinctBegin();
+          if (compressed) {
+            // Compressed bounds bypass the memo (they are bounds, not σ);
+            // one multi-query kernel pass covers the whole union.
+            sigma.resize(nu * union_count);
+            sim_->UpperBoundBatchMulti(union_entities.data(), nu, distinct,
+                                       union_count, sigma.data());
+            for (size_t u = 0; u < nu; ++u) {
+              union_umax[u] =
+                  simd::MaxF64(sigma.data() + u * union_count, union_count);
+            }
+          } else if (shared_memo != nullptr) {
+            // Memoized fp32: probe through the batch memo so the pass
+            // pre-warms exactly the σ pairs every rerank of the batch
+            // reads — the cross-query reuse the fusion exists for.
+            sigma.resize(union_count);
+            for (size_t u = 0; u < nu; ++u) {
+              shared_memo->ScoreBatch(union_entities[u], distinct,
+                                      union_count, sigma.data());
+              union_umax[u] = simd::MaxF64(sigma.data(), union_count);
+            }
+          } else {
+            sigma.resize(nu * union_count);
+            sim_->ScoreBatchMulti(union_entities.data(), nu, distinct,
+                                  union_count, sigma.data());
+            for (size_t u = 0; u < nu; ++u) {
+              union_umax[u] =
+                  simd::MaxF64(sigma.data() + u * union_count, union_count);
+            }
+          }
+        }
+        // Per-query assembly from the shared maxima: a umax depends only
+        // on (entity, slice), so gathering q's subset reproduces the
+        // per-query pass's doubles bit for bit.
+        for (size_t q = 0; q < queries.size(); ++q) {
+          q_umax.resize(ctxs[q].entities.size());
+          for (size_t i = 0; i < slot_of[q].size(); ++i) {
+            q_umax[i] = union_umax[slot_of[q][i]];
+          }
+          bounds_by_table[q][id] =
+              AssembleBoundFromUmax(ctxs[q], num_rows, q_umax.data(),
+                                    q_umax.size(), options_.aggregation,
+                                    coords);
+        }
+        ++probed_tables;
+      }
+    }
+    fused_bound_seconds = bound_watch.ElapsedSeconds();
+  }
+
+  size_t total_reuses = 0;
+  for (size_t q = 0; q < queries.size(); ++q) {
+    total_reuses += shared_entities[q] * probed_tables;
+  }
+  obs::RecordFusedBatch(queries.size(), probed_tables, fused_bound_seconds,
+                        total_reuses);
+
+  // Phase C: per-query exact rerank over the precomputed bounds. The
+  // flush is deferred so the shared memo's per-query traffic (measured as
+  // deltas around the query) lands in the stats the registry sees.
+  for (size_t q = 0; q < queries.size(); ++q) {
+    FusedQueryInput input;
+    input.bounds_by_table = prune ? &bounds_by_table[q] : nullptr;
+    input.bound_backend = bound_backend;
+    input.memo = shared_memo.get();
+    input.reuses = shared_entities[q] * probed_tables;
+    const size_t memo_hits0 =
+        shared_memo != nullptr ? shared_memo->hits() : 0;
+    const size_t memo_misses0 =
+        shared_memo != nullptr ? shared_memo->misses() : 0;
+    SearchStats local;
+    all_hits[q] = SearchCandidatesImpl(queries[q], candidates, &local,
+                                       /*flush_stats=*/false, &input);
+    local.search_space_reduction = 0.0;
+    if (shared_memo != nullptr) {
+      local.sim_cache_hits = shared_memo->hits() - memo_hits0;
+      local.sim_cache_misses = shared_memo->misses() - memo_misses0;
+    }
+    FlushQueryStats(local);
+    if (stats != nullptr) (*stats)[q] = local;
+  }
+  return all_hits;
 }
 
 PrefilteredSearchEngine::PrefilteredSearchEngine(const SearchEngine* engine,

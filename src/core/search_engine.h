@@ -2,6 +2,7 @@
 #define THETIS_CORE_SEARCH_ENGINE_H_
 
 #include <cstddef>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -91,6 +92,10 @@ struct SearchHit {
   double score;
 };
 
+// Per-query injection of the batch-fused bound pass (defined in the .cc;
+// see SearchEngine::SearchBatchFused).
+struct FusedQueryInput;
+
 // Why one query entity contributed what it did to a table's score.
 struct EntityExplanation {
   EntityId entity = kNoEntity;
@@ -162,6 +167,14 @@ struct SearchStats {
   size_t floor_hits = 0;
   // Successful raises of the shared score floor this query.
   size_t floor_publishes = 0;
+  // Batch-fused execution only: bound computations this query did NOT pay
+  // for because the fused table-major pass had already scored the entity
+  // against the table slice for an earlier query of the batch (shared
+  // entities × probed tables). 0 for per-query execution. The batch's
+  // actual bound cost is attributed once, to the batch (bound_seconds is 0
+  // for every query of a fused batch); this counter records the reuse that
+  // made that attribution fair.
+  size_t bound_fused_reuses = 0;
 };
 
 // One contiguous table-range shard of the engine's search structures: a
@@ -243,6 +256,29 @@ class SearchEngine {
       const Query& query, const std::vector<TableId>& candidates,
       ThreadPool* pool, SearchStats* stats = nullptr) const;
 
+  // Batch-fused full-corpus search: one table-major pass over each shard's
+  // arena gathers every table's distinct-entity slice ONCE and computes
+  // admissible upper bounds for ALL queries of the batch against it (the σ
+  // work of entities shared by several queries is paid once — see
+  // SearchStats::bound_fused_reuses), then each query runs the existing
+  // exact bound-descending rerank against its own top-k and the shared
+  // score floor, with a batch-scoped σ memo shared across queries when
+  // caching is enabled. Rankings and every deterministic stats field are
+  // bit-identical to calling Search(queries[q]) per query, for every shard
+  // count, bound backend, and cache setting — the fused pass only changes
+  // WHEN bounds are computed, never their values (per-(entity, slice)
+  // maxima are independent of the rest of the batch, and the multi-query
+  // kernels are bit-identical per pair to the one-query kernels). Exactly
+  // this contract is what the batch-fusion parity sweep asserts.
+  //
+  // Serial within the batch (the shared memo is single-threaded);
+  // QueryExecutor parallelizes ACROSS batches. Per-query bound_seconds is
+  // 0 in fused mode: the batch's bound cost is recorded once, against the
+  // batch (obs fused_bound span / RecordFusedBatch).
+  std::vector<std::vector<SearchHit>> SearchBatchFused(
+      std::span<const Query> queries,
+      std::vector<SearchStats>* stats = nullptr) const;
+
   // SemRel(Q, T) for a single table: per-tuple Hungarian column mapping,
   // per-row σ scores, row aggregation, weighted distance similarity,
   // averaged over query tuples (Algorithm 1 lines 3-15). Returns 0 when no
@@ -282,9 +318,14 @@ class SearchEngine {
   // disables the flush, corrects total_seconds to include the LSEI
   // lookup, and flushes once from there — so the registry never sees a
   // total that excludes prefilter time.
+  // `fused` (null for per-query execution) injects the batch-fused bound
+  // pass: precomputed dense bounds, the batch-scoped σ memo, and the
+  // resolved backend — the serial rerank below then skips its own bound
+  // computation but keeps sort, prune loop, and floors unchanged.
   std::vector<SearchHit> SearchCandidatesImpl(
       const Query& query, const std::vector<TableId>& candidates,
-      SearchStats* stats, bool flush_stats) const;
+      SearchStats* stats, bool flush_stats,
+      const FusedQueryInput* fused = nullptr) const;
 
   // Scatter-gather over shards_ (the multi-shard search path, serial when
   // `pool` is null): buckets candidates by shard, runs bound-and-prune per
@@ -295,7 +336,9 @@ class SearchEngine {
   std::vector<SearchHit> SearchShards(const Query& query,
                                       const std::vector<TableId>& candidates,
                                       ThreadPool* pool, SearchStats* stats,
-                                      bool flush_stats) const;
+                                      bool flush_stats,
+                                      const FusedQueryInput* fused =
+                                          nullptr) const;
 
   // The immutable 0..corpus-1 identity list backing Search/SearchParallel
   // (no per-query O(corpus) allocation). Falls back to materializing a

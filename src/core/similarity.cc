@@ -119,6 +119,51 @@ void TypeJaccardSimilarity::UpperBoundBatch(EntityId q,
   }
 }
 
+void TypeJaccardSimilarity::UpperBoundBatchMulti(const EntityId* qs,
+                                                 size_t nq,
+                                                 const EntityId* targets,
+                                                 size_t count,
+                                                 double* out) const {
+  if (!has_bitset()) {
+    // No multi kernel without the packed backend; the per-query fallback
+    // is already bit-identical by the base-class contract.
+    EntitySimilarity::UpperBoundBatchMulti(qs, nq, targets, count, out);
+    return;
+  }
+  thread_local std::vector<uint32_t> inters;
+  if (inters.size() < nq * count) inters.resize(nq * count);
+  const uint64_t* bits = bitset_bits_.data();
+  const uint32_t* sizes = bitset_sizes_.data();
+  simd::BitsetIntersectBatchMulti(bits, qs, nq, bits, bitset_words_, targets,
+                                  count, inters.data());
+  // Same per-pair integer intersection, union and division as the
+  // one-query UpperBoundBatch, so every double matches bit for bit.
+  for (size_t j = 0; j < nq; ++j) {
+    EntityId q = qs[j];
+    size_t lq = sizes[q];
+    const uint32_t* row = inters.data() + j * count;
+    double* orow = out + j * count;
+    for (size_t k = 0; k < count; ++k) {
+      EntityId t = targets[k];
+      if (t == q) {
+        orow[k] = 1.0;
+        continue;
+      }
+      size_t lt = sizes[t];
+      if (lq == 0 && lt == 0) {
+        orow[k] = 0.0;
+        continue;
+      }
+      size_t inter = row[k];
+      size_t uni = lq + lt - inter;
+      double j2 = uni == 0
+                      ? 0.0
+                      : static_cast<double>(inter) / static_cast<double>(uni);
+      orow[k] = std::min(cap_, j2);
+    }
+  }
+}
+
 TypeJaccardSimilarity TypeJaccardSimilarity::FromSnapshotView(
     std::span<const uint32_t> offsets, std::span<const TypeId> pool,
     double cap) {
@@ -236,6 +281,42 @@ void EmbeddingCosineSimilarity::ScoreBatch(EntityId q, const EntityId* targets,
     float c = dots[k];
     out[k] = c < 0.0f ? 0.0 : (c > 1.0f ? 1.0 : static_cast<double>(c));
   }
+}
+
+void EmbeddingCosineSimilarity::ScoreBatchMulti(const EntityId* qs, size_t nq,
+                                                const EntityId* targets,
+                                                size_t count,
+                                                double* out) const {
+  // One dual-gather kernel streams each normalized target row against the
+  // whole query batch; every (query, target) dot runs the same one-shot
+  // kernel as CosineBatch, and the clamp below matches ScoreBatch, so each
+  // output row is bit-identical to the one-query path.
+  thread_local std::vector<float> dots;
+  if (dots.size() < nq * count) dots.resize(nq * count);
+  simd::DotBatchGatherMulti(store_->NormalizedData(), qs, nq,
+                            store_->NormalizedData(), store_->dim(), targets,
+                            count, dots.data());
+  for (size_t j = 0; j < nq; ++j) {
+    EntityId q = qs[j];
+    const float* row = dots.data() + j * count;
+    double* orow = out + j * count;
+    for (size_t k = 0; k < count; ++k) {
+      if (targets[k] == q) {
+        orow[k] = 1.0;
+        continue;
+      }
+      float c = row[k];
+      orow[k] = c < 0.0f ? 0.0 : (c > 1.0f ? 1.0 : static_cast<double>(c));
+    }
+  }
+}
+
+void EmbeddingCosineSimilarity::UpperBoundBatchMulti(const EntityId* qs,
+                                                     size_t nq,
+                                                     const EntityId* targets,
+                                                     size_t count,
+                                                     double* out) const {
+  quant_.CosineUpperBoundBatchMulti(qs, nq, targets, count, out);
 }
 
 }  // namespace thetis

@@ -33,6 +33,21 @@ class EntitySimilarity {
     for (size_t k = 0; k < count; ++k) out[k] = Score(q, targets[k]);
   }
 
+  // Multi-query batched σ for the batch-fused bound pass: out[j*count + k]
+  // = Score(qs[j], targets[k]). Each (query, target) pair must be
+  // bit-identical to the one-query ScoreBatch — the fused arena pass
+  // reuses one gathered target slice across the whole query batch and
+  // still promises rankings identical to per-query execution. The default
+  // loops ScoreBatch per query (trivially identical); similarities with a
+  // dual-gather kernel override it.
+  virtual void ScoreBatchMulti(const EntityId* qs, size_t nq,
+                               const EntityId* targets, size_t count,
+                               double* out) const {
+    for (size_t j = 0; j < nq; ++j) {
+      ScoreBatch(qs[j], targets, count, out + j * count);
+    }
+  }
+
   // Batched admissible upper bound: out[k] >= Score(q, targets[k]) for
   // every k, out[k] == 1 for identity pairs, and out[k] == 0 only when the
   // exact score is provably 0 (the bound pass early-outs on zero bounds).
@@ -43,6 +58,17 @@ class EntitySimilarity {
   virtual void UpperBoundBatch(EntityId q, const EntityId* targets,
                                size_t count, double* out) const {
     ScoreBatch(q, targets, count, out);
+  }
+
+  // Multi-query variant of UpperBoundBatch with the same layout contract
+  // as ScoreBatchMulti: out[j*count + k] bit-identical to the one-query
+  // bound of (qs[j], targets[k]).
+  virtual void UpperBoundBatchMulti(const EntityId* qs, size_t nq,
+                                    const EntityId* targets, size_t count,
+                                    double* out) const {
+    for (size_t j = 0; j < nq; ++j) {
+      UpperBoundBatch(qs[j], targets, count, out + j * count);
+    }
   }
 
   // Name of the compressed backend UpperBoundBatch dispatches to ("int8",
@@ -111,6 +137,11 @@ class TypeJaccardSimilarity : public EntitySimilarity {
   // the bound pass prunes exactly as hard as with fp32 Jaccard.
   void UpperBoundBatch(EntityId q, const EntityId* targets, size_t count,
                        double* out) const override;
+  // Fused batch bound: one multi-query popcount kernel per gathered target
+  // slice; per-pair arithmetic identical to UpperBoundBatch.
+  void UpperBoundBatchMulti(const EntityId* qs, size_t nq,
+                            const EntityId* targets, size_t count,
+                            double* out) const override;
   const char* CompressedBoundBackend() const override {
     return has_bitset() ? "bitset" : "";
   }
@@ -191,11 +222,19 @@ class EmbeddingCosineSimilarity : public EntitySimilarity {
   double Score(EntityId a, EntityId b) const override;
   void ScoreBatch(EntityId q, const EntityId* targets, size_t count,
                   double* out) const override;
+  // Fused batch σ: one dual-gather kernel call per gathered target slice
+  // streams each target row against every query row; per-pair clamping
+  // identical to ScoreBatch.
+  void ScoreBatchMulti(const EntityId* qs, size_t nq, const EntityId* targets,
+                       size_t count, double* out) const override;
   // Int8 bound: quantized dot plus the analytic quantization-error slack
   // (see QuantizedEmbeddingStore) upper-bounds the exact clamped cosine,
   // so the bound pass prunes exactly and only survivors pay fp32 rerank.
   void UpperBoundBatch(EntityId q, const EntityId* targets, size_t count,
                        double* out) const override;
+  void UpperBoundBatchMulti(const EntityId* qs, size_t nq,
+                            const EntityId* targets, size_t count,
+                            double* out) const override;
   const char* CompressedBoundBackend() const override { return "int8"; }
   // A dim-length dot over pre-normalized rows beats a hash probe per pair.
   bool PrefersDirectBatch() const override { return true; }

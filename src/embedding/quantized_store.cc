@@ -123,4 +123,48 @@ void QuantizedEmbeddingStore::CosineUpperBoundBatch(EntityId q,
   }
 }
 
+void QuantizedEmbeddingStore::CosineUpperBoundBatchMulti(
+    const EntityId* qs, size_t nq, const EntityId* targets, size_t count,
+    double* out) const {
+  const int8_t* code_base = codes();
+  const float* scale_arr = scales();
+  const float* error_arr = errors();
+  const double n = static_cast<double>(dim_);
+
+  thread_local std::vector<int32_t> idots;
+  if (idots.size() < nq * count) idots.resize(nq * count);
+  simd::DotBatchGatherMultiI8(code_base, qs, nq, code_base, dim_, targets,
+                              count, idots.data());
+  // Per-query constants and per-pair assembly exactly as in the one-query
+  // CosineUpperBoundBatch: same abs-sum, same c0/c1, same fused
+  // multiply-add and clamps, so every double matches bit for bit.
+  for (size_t j = 0; j < nq; ++j) {
+    EntityId q = qs[j];
+    const int8_t* qcodes = code_base + static_cast<size_t>(q) * dim_;
+    const double sq = scale_arr[q];
+    const double eq = error_arr[q];
+    long abs_sum = 0;
+    for (size_t i = 0; i < dim_; ++i) {
+      abs_sum += std::abs(static_cast<long>(qcodes[i]));
+    }
+    const double c0 = eq * std::sqrt(n) * kNormSlack + Gamma(dim_);
+    const double c1 = sq * static_cast<double>(abs_sum) + 2.0 * n * eq;
+    const int32_t* irow = idots.data() + j * count;
+    double* orow = out + j * count;
+    for (size_t k = 0; k < count; ++k) {
+      if (targets[k] == q) {
+        orow[k] = 1.0;
+        continue;
+      }
+      size_t t = targets[k];
+      double ub = sq * static_cast<double>(scale_arr[t]) *
+                      static_cast<double>(irow[k]) +
+                  c0 + c1 * static_cast<double>(error_arr[t]);
+      if (ub < 0.0) ub = 0.0;
+      if (ub > 1.0) ub = 1.0;
+      orow[k] = ub;
+    }
+  }
+}
+
 }  // namespace thetis

@@ -82,6 +82,15 @@ class QuantizedEmbeddingStore {
   void CosineUpperBoundBatch(EntityId q, const EntityId* targets,
                              size_t count, double* out) const;
 
+  // Multi-query variant for the batch-fused bound pass: out[j*count + k]
+  // is the bound of (qs[j], targets[k]), bit-identical to the one-query
+  // call (same per-query constants, same integer dot, same fused
+  // multiply-add per pair). One dual-gather kernel streams each gathered
+  // code row against every query row.
+  void CosineUpperBoundBatchMulti(const EntityId* qs, size_t nq,
+                                  const EntityId* targets, size_t count,
+                                  double* out) const;
+
  private:
   size_t count_ = 0;
   size_t dim_ = 0;

@@ -40,6 +40,27 @@ std::vector<QueryResult> QueryExecutor::ExecuteBatch(
   obs::TraceSpan span("exec_batch");
   obs::RecordExecutorBatch(queries.size());
   std::vector<QueryResult> results(queries.size());
+  if (batch_size_ > 1 && fuse_ && lsei_ == nullptr) {
+    // Fused path: consecutive groups of batch_size_ queries, one
+    // SearchBatchFused call per group. A group is strictly serial inside
+    // (its shared σ memo is unsynchronized), so the parallelism unit is
+    // the group; per-query stats come back exact, with the group's bound
+    // cost attributed to the batch rather than double-counted per query.
+    const size_t num_groups = (queries.size() + batch_size_ - 1) / batch_size_;
+    pool_->ParallelFor(num_groups, [&](size_t g) {
+      const size_t begin = g * batch_size_;
+      const size_t end = std::min(begin + batch_size_, queries.size());
+      std::vector<SearchStats> stats;
+      auto hits = engine_->SearchBatchFused(
+          std::span<const Query>(queries.data() + begin, end - begin),
+          &stats);
+      for (size_t i = begin; i < end; ++i) {
+        results[i].hits = std::move(hits[i - begin]);
+        results[i].stats = stats[i - begin];
+      }
+    });
+    return results;
+  }
   // One index per query: whole queries never split across workers, so each
   // query's cache stays worker-private and per-query stats are exact.
   pool_->ParallelFor(queries.size(),
@@ -64,6 +85,7 @@ SearchStats SumBatchStats(const std::vector<QueryResult>& results) {
     total.mapping_cache_misses += r.stats.mapping_cache_misses;
     total.floor_hits += r.stats.floor_hits;
     total.floor_publishes += r.stats.floor_publishes;
+    total.bound_fused_reuses += r.stats.bound_fused_reuses;
     // Engine-wide configuration, not additive: every query in a batch runs
     // on the same engine, so the max is simply "the" shard count.
     total.num_shards = std::max(total.num_shards, r.stats.num_shards);

@@ -35,6 +35,34 @@ class QueryExecutor {
   void DisablePrefilter() { lsei_ = nullptr; }
   bool prefilter_enabled() const { return lsei_ != nullptr; }
 
+  // Batch-fused execution: ExecuteBatch cuts the input into consecutive
+  // groups of `batch_size` queries and runs each group through ONE
+  // SearchEngine::SearchBatchFused call (one table-major bound pass + one
+  // shared σ memo per group), parallelizing ACROSS groups. 1 (the default)
+  // keeps the legacy one-query-per-worker path. Fusion only restructures
+  // WHEN bounds are computed — rankings and deterministic stats are
+  // bit-identical to batch_size 1 (the parity sweep asserts this).
+  void set_batch_size(size_t batch_size) {
+    batch_size_ = batch_size == 0 ? 1 : batch_size;
+  }
+  size_t batch_size() const { return batch_size_; }
+
+  // Escape hatch: with fusion off, any batch_size runs the legacy
+  // per-query path (useful to isolate a suspected fusion issue in
+  // production without changing batch plumbing).
+  void set_batch_fuse(bool fuse) { fuse_ = fuse; }
+  bool batch_fuse() const { return fuse_; }
+
+  // The execution mode ExecuteBatch will actually use, for operator-facing
+  // prints: "fused(batch=N)" when the fused path is active, "per-query"
+  // otherwise. The prefilter forces per-query execution — fused bounds are
+  // computed over the full corpus, while prefiltered queries each score a
+  // different candidate subset, so there is nothing to fuse.
+  const char* resolved_mode() const {
+    return batch_size_ > 1 && fuse_ && lsei_ == nullptr ? "fused"
+                                                        : "per-query";
+  }
+
   // Executes all queries over the pool; results are index-aligned with the
   // input. Identical to calling Execute on each query in order.
   std::vector<QueryResult> ExecuteBatch(
@@ -48,6 +76,8 @@ class QueryExecutor {
   ThreadPool* pool_;
   const Lsei* lsei_ = nullptr;
   size_t votes_ = 1;
+  size_t batch_size_ = 1;
+  bool fuse_ = true;
 };
 
 // Element-wise sums of the per-query stats of a batch (timing fields are

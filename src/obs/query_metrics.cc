@@ -159,6 +159,21 @@ struct ShardMetrics {
   }
 };
 
+struct FusedMetrics {
+  MetricsRegistry& r = MetricsRegistry::Global();
+  Counter& batches = r.counter("thetis_fused_batches_total");
+  Counter& queries = r.counter("thetis_fused_queries_total");
+  Counter& tables = r.counter("thetis_fused_tables_total");
+  Counter& reuses = r.counter("thetis_bound_fused_reuses_total");
+  Histogram& bound_latency = r.histogram("thetis_fused_bound_latency_ns");
+  Gauge& occupancy = r.gauge("thetis_fused_batch_occupancy");
+
+  static FusedMetrics& Get() {
+    static FusedMetrics* m = new FusedMetrics();
+    return *m;
+  }
+};
+
 struct SnapshotMetrics {
   MetricsRegistry& r = MetricsRegistry::Global();
   Counter& saves = r.counter("thetis_snapshot_saves_total");
@@ -324,6 +339,17 @@ void RecordShardSearch(uint64_t num_shards, uint64_t floor_hits,
   m.floor_hits.Add(floor_hits);
   m.floor_publishes.Add(floor_publishes);
   m.shards.Set(static_cast<int64_t>(num_shards));
+}
+
+void RecordFusedBatch(uint64_t queries, uint64_t tables,
+                      double bound_seconds, uint64_t reuses) {
+  FusedMetrics& m = FusedMetrics::Get();
+  m.batches.Increment();
+  m.queries.Add(queries);
+  m.tables.Add(tables);
+  m.reuses.Add(reuses);
+  m.bound_latency.Record(ToNanos(bound_seconds));
+  m.occupancy.Set(static_cast<int64_t>(queries));
 }
 
 void RecordShardLoop(uint64_t shard, double prune_rate, double bound_seconds) {

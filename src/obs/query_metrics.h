@@ -51,7 +51,15 @@
 //   shard<i>_prune_rate_bp (gauge), shard<i>_bound_latency_ns (histogram)
 //     — per-shard prune rate and bound-pass latency for the first
 //     kMaxShardSlots shards (higher shard indices are not exported — the
-//     totals above still include them).
+//     totals above still include them);
+//   fused_batches_total, fused_queries_total, fused_tables_total,
+//   bound_fused_reuses_total, fused_bound_latency_ns (histogram),
+//   fused_batch_occupancy (gauge)
+//     — batch-fused execution: batches run, queries they carried, tables
+//     the fused pass probed, bound computations saved by cross-query
+//     entity sharing, the fused table-major bound pass's latency (the
+//     per-batch cost every query of the batch shares), and the most
+//     recent batch's query count.
 namespace thetis::obs {
 
 #ifndef THETIS_DISABLE_OBS
@@ -123,6 +131,17 @@ void RecordShardPlan(uint64_t num_shards, double imbalance);
 void RecordShardSearch(uint64_t num_shards, uint64_t floor_hits,
                        uint64_t floor_publishes);
 
+// One batch-fused execution over `queries` queries probing `tables`
+// covered tables: the fused table-major pass spent `bound_seconds`
+// computing every (query, table) bound in one arena walk, and `reuses`
+// bound computations were served by an earlier query's entity σ instead
+// of being recomputed. Called once per fused batch, from
+// SearchEngine::SearchBatchFused (per-query counters still flow through
+// RecordQuery as usual — with bound_seconds 0, since the batch owns the
+// bound cost recorded here).
+void RecordFusedBatch(uint64_t queries, uint64_t tables,
+                      double bound_seconds, uint64_t reuses);
+
 // One shard's prune loop within a scatter-gather query: its prune rate
 // (pruned/bucket, in [0, 1]) and bound-pass seconds. Exported through
 // pre-registered per-shard handles for shard < kMaxShardSlots; higher
@@ -157,6 +176,7 @@ inline void RecordQuantArenaBytes(uint64_t) {}
 inline void RecordTypeBitsetArenaBytes(uint64_t) {}
 inline void RecordShardPlan(uint64_t, double) {}
 inline void RecordShardSearch(uint64_t, uint64_t, uint64_t) {}
+inline void RecordFusedBatch(uint64_t, uint64_t, double, uint64_t) {}
 inline void RecordShardLoop(uint64_t, double, double) {}
 inline void TraceAggregate(const char*, double) {}
 

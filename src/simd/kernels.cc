@@ -122,6 +122,51 @@ void BitsetIntersectBatch(const uint64_t* q, const uint64_t* base,
   }
 }
 
+// Multi-query dual-gather kernels: the target row is the outer loop so one
+// gathered row serves the whole query batch before the next row is
+// touched; each (query, row) pair goes through the one-shot kernel, so
+// every output matches the single-query gather kernels bit for bit.
+void DotBatchGatherMulti(const float* qbase, const uint32_t* qids, size_t nq,
+                         const float* base, size_t dim, const uint32_t* ids,
+                         size_t count, float* out) {
+  for (size_t k = 0; k < count; ++k) {
+    const float* row = base + static_cast<size_t>(ids[k]) * dim;
+    for (size_t j = 0; j < nq; ++j) {
+      out[j * count + k] =
+          Dot(qbase + static_cast<size_t>(qids[j]) * dim, row, dim);
+    }
+  }
+}
+
+void DotBatchGatherMultiI8(const int8_t* qbase, const uint32_t* qids,
+                           size_t nq, const int8_t* base, size_t dim,
+                           const uint32_t* ids, size_t count, int32_t* out) {
+  for (size_t k = 0; k < count; ++k) {
+    const int8_t* row = base + static_cast<size_t>(ids[k]) * dim;
+    for (size_t j = 0; j < nq; ++j) {
+      out[j * count + k] =
+          DotI8(qbase + static_cast<size_t>(qids[j]) * dim, row, dim);
+    }
+  }
+}
+
+void BitsetIntersectBatchMulti(const uint64_t* qbase, const uint32_t* qids,
+                               size_t nq, const uint64_t* base, size_t words,
+                               const uint32_t* ids, size_t count,
+                               uint32_t* out) {
+  for (size_t k = 0; k < count; ++k) {
+    const uint64_t* row = base + static_cast<size_t>(ids[k]) * words;
+    for (size_t j = 0; j < nq; ++j) {
+      const uint64_t* q = qbase + static_cast<size_t>(qids[j]) * words;
+      uint32_t inter = 0;
+      for (size_t w = 0; w < words; ++w) {
+        inter += static_cast<uint32_t>(__builtin_popcountll(q[w] & row[w]));
+      }
+      out[j * count + k] = inter;
+    }
+  }
+}
+
 }  // namespace scalar
 
 const Kernels* GetScalarKernels() {
@@ -131,6 +176,8 @@ const Kernels* GetScalarKernels() {
       scalar::Scale,        scalar::IntersectSortedU32,
       scalar::MaxF64,       scalar::DotI8,        scalar::DotBatchI8,
       scalar::DotBatchGatherI8, scalar::BitsetIntersectBatch,
+      scalar::DotBatchGatherMulti, scalar::DotBatchGatherMultiI8,
+      scalar::BitsetIntersectBatchMulti,
   };
   return &table;
 }
@@ -294,6 +341,25 @@ void BitsetIntersectBatch(const uint64_t* q, const uint64_t* base,
                           size_t words, const uint32_t* ids, size_t count,
                           uint32_t* out) {
   K().bitset_inter_batch(q, base, words, ids, count, out);
+}
+
+void DotBatchGatherMulti(const float* qbase, const uint32_t* qids, size_t nq,
+                         const float* base, size_t dim, const uint32_t* ids,
+                         size_t count, float* out) {
+  K().dot_batch_gather_multi(qbase, qids, nq, base, dim, ids, count, out);
+}
+
+void DotBatchGatherMultiI8(const int8_t* qbase, const uint32_t* qids,
+                           size_t nq, const int8_t* base, size_t dim,
+                           const uint32_t* ids, size_t count, int32_t* out) {
+  K().dot_batch_gather_multi_i8(qbase, qids, nq, base, dim, ids, count, out);
+}
+
+void BitsetIntersectBatchMulti(const uint64_t* qbase, const uint32_t* qids,
+                               size_t nq, const uint64_t* base, size_t words,
+                               const uint32_t* ids, size_t count,
+                               uint32_t* out) {
+  K().bitset_inter_batch_multi(qbase, qids, nq, base, words, ids, count, out);
 }
 
 }  // namespace thetis::simd

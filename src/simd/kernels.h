@@ -64,6 +64,18 @@ void DotBatch(const float* q, const float* rows, size_t dim, size_t count,
 void DotBatchGather(const float* q, const float* base, size_t dim,
                     const uint32_t* ids, size_t count, float* out);
 
+// Many-vs-many over gathered rows (batch-fused bound pass): for each of
+// the `nq` query rows qbase[qids[j]*dim ..) and each of the `count` target
+// rows base[ids[k]*dim ..),
+//   out[j*count + k] = q_j · t_k.
+// The target row is the outer loop so one gathered row is streamed against
+// every query before the next is touched — the whole point of fusing a
+// batch into one arena pass. Each (j, k) pair runs the tier's one-shot dot
+// kernel, so every output is bit-identical to DotBatchGather row by row.
+void DotBatchGatherMulti(const float* qbase, const uint32_t* qids, size_t nq,
+                         const float* base, size_t dim, const uint32_t* ids,
+                         size_t count, float* out);
+
 // y[i] += a * x[i].
 void Axpy(float a, const float* x, float* y, size_t n);
 
@@ -94,6 +106,13 @@ void DotBatchI8(const int8_t* q, const int8_t* rows, size_t dim, size_t count,
 void DotBatchGatherI8(const int8_t* q, const int8_t* base, size_t dim,
                       const uint32_t* ids, size_t count, int32_t* out);
 
+// Many-vs-many int8 dual-gather variant of DotBatchGatherMulti:
+// out[j*count + k] = codes(qids[j]) · codes(ids[k]), exact int32 in every
+// tier (integer arithmetic, like all int8 kernels).
+void DotBatchGatherMultiI8(const int8_t* qbase, const uint32_t* qids,
+                           size_t nq, const int8_t* base, size_t dim,
+                           const uint32_t* ids, size_t count, int32_t* out);
+
 // --- Bitset kernels --------------------------------------------------------
 
 // Batched popcount intersection over fixed-width bitsets:
@@ -102,6 +121,14 @@ void DotBatchGatherI8(const int8_t* q, const int8_t* base, size_t dim,
 void BitsetIntersectBatch(const uint64_t* q, const uint64_t* base,
                           size_t words, const uint32_t* ids, size_t count,
                           uint32_t* out);
+
+// Many-vs-many bitset variant (batch-fused type-Jaccard bounds):
+// out[j*count + k] = popcount(qbase[qids[j]*words ..] & base[ids[k]*words
+// ..]). Integer-exact in every tier; target rows are the outer loop.
+void BitsetIntersectBatchMulti(const uint64_t* qbase, const uint32_t* qids,
+                               size_t nq, const uint64_t* base, size_t words,
+                               const uint32_t* ids, size_t count,
+                               uint32_t* out);
 
 // --- Sorted-set kernels ----------------------------------------------------
 
@@ -144,6 +171,16 @@ void DotBatchGatherI8(const int8_t* q, const int8_t* base, size_t dim,
 void BitsetIntersectBatch(const uint64_t* q, const uint64_t* base,
                           size_t words, const uint32_t* ids, size_t count,
                           uint32_t* out);
+void DotBatchGatherMulti(const float* qbase, const uint32_t* qids, size_t nq,
+                         const float* base, size_t dim, const uint32_t* ids,
+                         size_t count, float* out);
+void DotBatchGatherMultiI8(const int8_t* qbase, const uint32_t* qids,
+                           size_t nq, const int8_t* base, size_t dim,
+                           const uint32_t* ids, size_t count, int32_t* out);
+void BitsetIntersectBatchMulti(const uint64_t* qbase, const uint32_t* qids,
+                               size_t nq, const uint64_t* base, size_t words,
+                               const uint32_t* ids, size_t count,
+                               uint32_t* out);
 }  // namespace scalar
 
 }  // namespace thetis::simd

@@ -253,6 +253,65 @@ void BitsetIntersectBatchAvx2(const uint64_t* q, const uint64_t* base,
   }
 }
 
+// Multi-query dual-gather kernels: the target row is the outer loop (one
+// gathered + prefetched row streams against the whole query batch), the
+// inner loop delegates each (query, row) pair to the tier's one-shot
+// kernel — bit-identical per pair to the single-query gather kernels.
+void DotBatchGatherMultiAvx2(const float* qbase, const uint32_t* qids,
+                             size_t nq, const float* base, size_t dim,
+                             const uint32_t* ids, size_t count, float* out) {
+  for (size_t k = 0; k < count; ++k) {
+    const float* row = base + static_cast<size_t>(ids[k]) * dim;
+    if (k + 1 < count) {
+      _mm_prefetch(
+          reinterpret_cast<const char*>(base +
+                                        static_cast<size_t>(ids[k + 1]) * dim),
+          _MM_HINT_T0);
+    }
+    for (size_t j = 0; j < nq; ++j) {
+      out[j * count + k] =
+          DotAvx2(qbase + static_cast<size_t>(qids[j]) * dim, row, dim);
+    }
+  }
+}
+
+void DotBatchGatherMultiI8Avx2(const int8_t* qbase, const uint32_t* qids,
+                               size_t nq, const int8_t* base, size_t dim,
+                               const uint32_t* ids, size_t count,
+                               int32_t* out) {
+  for (size_t k = 0; k < count; ++k) {
+    const int8_t* row = base + static_cast<size_t>(ids[k]) * dim;
+    if (k + 1 < count) {
+      _mm_prefetch(
+          reinterpret_cast<const char*>(
+              base + static_cast<size_t>(ids[k + 1]) * dim),
+          _MM_HINT_T0);
+    }
+    for (size_t j = 0; j < nq; ++j) {
+      out[j * count + k] =
+          DotI8Avx2(qbase + static_cast<size_t>(qids[j]) * dim, row, dim);
+    }
+  }
+}
+
+void BitsetIntersectBatchMultiAvx2(const uint64_t* qbase,
+                                   const uint32_t* qids, size_t nq,
+                                   const uint64_t* base, size_t words,
+                                   const uint32_t* ids, size_t count,
+                                   uint32_t* out) {
+  for (size_t k = 0; k < count; ++k) {
+    const uint64_t* row = base + static_cast<size_t>(ids[k]) * words;
+    for (size_t j = 0; j < nq; ++j) {
+      const uint64_t* q = qbase + static_cast<size_t>(qids[j]) * words;
+      uint32_t inter = 0;
+      for (size_t w = 0; w < words; ++w) {
+        inter += static_cast<uint32_t>(__builtin_popcountll(q[w] & row[w]));
+      }
+      out[j * count + k] = inter;
+    }
+  }
+}
+
 }  // namespace
 
 const Kernels* GetAvx2Kernels() {
@@ -261,6 +320,8 @@ const Kernels* GetAvx2Kernels() {
       AxpyAvx2,          AddAvx2,          ScaleAvx2,    IntersectAvx2,
       MaxF64Avx2,        DotI8Avx2,        DotBatchI8Avx2,
       DotBatchGatherI8Avx2, BitsetIntersectBatchAvx2,
+      DotBatchGatherMultiAvx2, DotBatchGatherMultiI8Avx2,
+      BitsetIntersectBatchMultiAvx2,
   };
   return &table;
 }

@@ -28,6 +28,15 @@ struct Kernels {
                               const uint32_t*, size_t, int32_t*);
   void (*bitset_inter_batch)(const uint64_t*, const uint64_t*, size_t,
                              const uint32_t*, size_t, uint32_t*);
+  void (*dot_batch_gather_multi)(const float*, const uint32_t*, size_t,
+                                 const float*, size_t, const uint32_t*,
+                                 size_t, float*);
+  void (*dot_batch_gather_multi_i8)(const int8_t*, const uint32_t*, size_t,
+                                    const int8_t*, size_t, const uint32_t*,
+                                    size_t, int32_t*);
+  void (*bitset_inter_batch_multi)(const uint64_t*, const uint32_t*, size_t,
+                                   const uint64_t*, size_t, const uint32_t*,
+                                   size_t, uint32_t*);
 };
 
 // nullptr when the tier is not compiled into this binary.

@@ -229,6 +229,53 @@ void BitsetIntersectBatchSse2(const uint64_t* q, const uint64_t* base,
   }
 }
 
+// Multi-query dual-gather kernels: outer loop over target rows (each
+// gathered row streams against the whole query batch), inner loop over
+// queries through the tier's one-shot kernel — bit-identical per pair to
+// the single-query gather kernels above.
+void DotBatchGatherMultiSse2(const float* qbase, const uint32_t* qids,
+                             size_t nq, const float* base, size_t dim,
+                             const uint32_t* ids, size_t count, float* out) {
+  for (size_t k = 0; k < count; ++k) {
+    const float* row = base + static_cast<size_t>(ids[k]) * dim;
+    for (size_t j = 0; j < nq; ++j) {
+      out[j * count + k] =
+          DotSse2(qbase + static_cast<size_t>(qids[j]) * dim, row, dim);
+    }
+  }
+}
+
+void DotBatchGatherMultiI8Sse2(const int8_t* qbase, const uint32_t* qids,
+                               size_t nq, const int8_t* base, size_t dim,
+                               const uint32_t* ids, size_t count,
+                               int32_t* out) {
+  for (size_t k = 0; k < count; ++k) {
+    const int8_t* row = base + static_cast<size_t>(ids[k]) * dim;
+    for (size_t j = 0; j < nq; ++j) {
+      out[j * count + k] =
+          DotI8Sse2(qbase + static_cast<size_t>(qids[j]) * dim, row, dim);
+    }
+  }
+}
+
+void BitsetIntersectBatchMultiSse2(const uint64_t* qbase,
+                                   const uint32_t* qids, size_t nq,
+                                   const uint64_t* base, size_t words,
+                                   const uint32_t* ids, size_t count,
+                                   uint32_t* out) {
+  for (size_t k = 0; k < count; ++k) {
+    const uint64_t* row = base + static_cast<size_t>(ids[k]) * words;
+    for (size_t j = 0; j < nq; ++j) {
+      const uint64_t* q = qbase + static_cast<size_t>(qids[j]) * words;
+      uint32_t inter = 0;
+      for (size_t w = 0; w < words; ++w) {
+        inter += static_cast<uint32_t>(__builtin_popcountll(q[w] & row[w]));
+      }
+      out[j * count + k] = inter;
+    }
+  }
+}
+
 }  // namespace
 
 const Kernels* GetSse2Kernels() {
@@ -237,6 +284,8 @@ const Kernels* GetSse2Kernels() {
       AxpySse2,          AddSse2,          ScaleSse2,    IntersectSse2,
       MaxF64Sse2,        DotI8Sse2,        DotBatchI8Sse2,
       DotBatchGatherI8Sse2, BitsetIntersectBatchSse2,
+      DotBatchGatherMultiSse2, DotBatchGatherMultiI8Sse2,
+      BitsetIntersectBatchMultiSse2,
   };
   return &table;
 }

@@ -670,5 +670,148 @@ TEST_P(BoundBackendParitySweep, CompressedBoundRankingsMatchFp32Everywhere) {
 INSTANTIATE_TEST_SUITE_P(Seeds, BoundBackendParitySweep,
                          ::testing::Values(5, 77, 402));
 
+// --- Batch-fused execution parity --------------------------------------------------
+
+// The batch-fusion contract: restructuring the bound pass from query-major
+// to table-major (one arena walk per shard, each table's distinct-entity
+// slice gathered once and scored against the batch's entity union via the
+// multi-query kernels, one shared σ memo per group) must be invisible in
+// the results. Rankings AND every deterministic stat field must be
+// bit-identical to per-query execution, for every batch size × shard count
+// × bound backend × cache setting × pool width.
+class BatchFusionParitySweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(BatchFusionParitySweep, FusedMatchesPerQueryEverywhere) {
+  const size_t num_shards = GetParam();
+  Benchmark bench = MakeBenchmark(PresetKind::kWt2015Like, 0.05, 404);
+  SemanticDataLake lake(&bench.lake.corpus, &bench.kg.kg);
+  TypeJaccardSimilarity type_sim(&bench.kg.kg);
+  EmbeddingStore store = benchgen::TrainBenchmarkEmbeddings(bench.kg);
+  EmbeddingCosineSimilarity emb_sim(&store);
+
+  std::vector<Query> queries;
+  for (const auto& gq : benchgen::MakeQueries(bench.kg, 8, 405)) {
+    queries.push_back(gq.query);
+  }
+  // A repeated query guarantees cross-query entity overlap: any fused
+  // group containing both copies must report σ reuse.
+  queries.push_back(queries.front());
+
+  struct Leg {
+    const EntitySimilarity* sim;
+    SearchOptions::BoundBackend backend;
+  };
+  const Leg legs[] = {
+      {&type_sim, SearchOptions::BoundBackend::kFp32},
+      {&type_sim, SearchOptions::BoundBackend::kBitset},
+      {&emb_sim, SearchOptions::BoundBackend::kInt8},
+  };
+
+  ThreadPool pool1(1);
+  ThreadPool pool8(8);
+  for (const Leg& leg : legs) {
+    for (bool cache : {false, true}) {
+      SearchOptions opts;
+      opts.num_shards = num_shards;
+      opts.bound_backend = leg.backend;
+      opts.enable_cache = cache;
+      SearchEngine engine(&lake, leg.sim, opts);
+      std::vector<std::vector<SearchHit>> want(queries.size());
+      std::vector<SearchStats> want_stats(queries.size());
+      for (size_t i = 0; i < queries.size(); ++i) {
+        want[i] = engine.Search(queries[i], &want_stats[i]);
+        ASSERT_FALSE(want[i].empty());
+      }
+      for (size_t batch : {size_t{1}, size_t{2}, size_t{8}, size_t{32}}) {
+        for (ThreadPool* pool : {&pool1, &pool8}) {
+          const std::string label =
+              leg.sim->name() + (cache ? "/cache" : "/nocache") + "/batch" +
+              std::to_string(batch) + "/x" +
+              std::to_string(pool->num_threads());
+          QueryExecutor executor(&engine, pool);
+          executor.set_batch_size(batch);
+          EXPECT_STREQ(executor.resolved_mode(),
+                       batch > 1 ? "fused" : "per-query")
+              << label;
+          auto results = executor.ExecuteBatch(queries);
+          ASSERT_EQ(results.size(), queries.size()) << label;
+          size_t total_reuses = 0;
+          for (size_t i = 0; i < queries.size(); ++i) {
+            const std::string qlabel = label + " query " + std::to_string(i);
+            ExpectSameHits(want[i], results[i].hits, qlabel);
+            const SearchStats& got = results[i].stats;
+            const SearchStats& ref = want_stats[i];
+            EXPECT_EQ(got.tables_scored, ref.tables_scored) << qlabel;
+            EXPECT_EQ(got.tables_nonzero, ref.tables_nonzero) << qlabel;
+            EXPECT_EQ(got.tables_pruned, ref.tables_pruned) << qlabel;
+            EXPECT_EQ(got.candidate_count, ref.candidate_count) << qlabel;
+            EXPECT_EQ(got.num_shards, ref.num_shards) << qlabel;
+            EXPECT_STREQ(got.bound_backend, ref.bound_backend) << qlabel;
+            EXPECT_EQ(got.mapping_cache_hits, ref.mapping_cache_hits)
+                << qlabel;
+            EXPECT_EQ(got.mapping_cache_misses, ref.mapping_cache_misses)
+                << qlabel;
+            EXPECT_EQ(got.floor_hits, ref.floor_hits) << qlabel;
+            EXPECT_EQ(got.floor_publishes, ref.floor_publishes) << qlabel;
+            // The group owns the bound pass's cost: fused queries must not
+            // double-count it per query.
+            if (batch > 1) EXPECT_EQ(got.bound_seconds, 0.0) << qlabel;
+            total_reuses += got.bound_fused_reuses;
+          }
+          if (batch >= queries.size()) {
+            // One group holds the repeated query and its original.
+            EXPECT_GT(total_reuses, 0u) << label;
+          } else if (batch == 1) {
+            EXPECT_EQ(total_reuses, 0u) << label;
+          }
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shards, BatchFusionParitySweep,
+                         ::testing::Values(1, 4, 16));
+
+TEST(QueryExecutorTest, BatchFuseEscapeHatchRunsPerQuery) {
+  ExecutorFixture f(42, 4);
+  SearchEngine engine(&f.lake, &f.sim);
+  ThreadPool pool(2);
+  QueryExecutor executor(&engine, &pool);
+  executor.set_batch_size(8);
+  EXPECT_STREQ(executor.resolved_mode(), "fused");
+  executor.set_batch_fuse(false);
+  EXPECT_STREQ(executor.resolved_mode(), "per-query");
+  auto results = executor.ExecuteBatch(f.queries);
+  ASSERT_EQ(results.size(), f.queries.size());
+  for (size_t i = 0; i < f.queries.size(); ++i) {
+    ExpectSameHits(engine.Search(f.queries[i]), results[i].hits,
+                   "unfused query " + std::to_string(i));
+    EXPECT_EQ(results[i].stats.bound_fused_reuses, 0u);
+  }
+}
+
+TEST(QueryExecutorTest, PrefilterForcesPerQueryMode) {
+  // Fused bounds are computed over the full corpus; prefiltered queries
+  // each score a different candidate subset, so there is nothing to fuse —
+  // the executor must silently fall back and still match the prefiltered
+  // reference.
+  ExecutorFixture f(42, 4);
+  SearchEngine engine(&f.lake, &f.sim);
+  LseiOptions lsh;
+  Lsei lsei(&f.lake, nullptr, lsh);
+  PrefilteredSearchEngine reference(&engine, &lsei, /*votes=*/1);
+  ThreadPool pool(2);
+  QueryExecutor executor(&engine, &pool);
+  executor.set_batch_size(8);
+  executor.EnablePrefilter(&lsei, /*votes=*/1);
+  EXPECT_STREQ(executor.resolved_mode(), "per-query");
+  auto results = executor.ExecuteBatch(f.queries);
+  for (size_t i = 0; i < f.queries.size(); ++i) {
+    ExpectSameHits(reference.Search(f.queries[i]), results[i].hits,
+                   "prefiltered fallback query " + std::to_string(i));
+  }
+}
+
 }  // namespace
 }  // namespace thetis

@@ -373,6 +373,95 @@ TEST(SimdKernelsTest, BitsetIntersectExactAcrossTiers) {
   }
 }
 
+// --- Multi-query (batch-fused) kernels -------------------------------------
+
+// The fused bound pass's contract: every (query, row) pair of a multi-query
+// kernel is bit-identical to the tier's one-shot kernel on the same row —
+// within every tier, for float dots, int8 dots, and bitset intersections.
+// The batch-fusion ranking-parity sweep in exec_test rests on exactly this.
+TEST(SimdKernelsTest, MultiQueryKernelsBitIdenticalToOneShotWithinTier) {
+  TierGuard guard;
+  Rng rng(19);
+  constexpr size_t kQueryRows = 6;
+  const std::vector<uint32_t> qids = {3, 0, 5, 3};  // out of order, duplicate
+  const std::vector<uint32_t> ids = {4, 0, 8, 4, 2, 7, 1, 8, 3};
+  for (simd::Tier tier : CompiledSupportedTiers()) {
+    simd::SetTier(tier);
+    for (size_t dim : {1u, 3u, 7u, 8u, 15u, 16u, 32u, 33u, 100u, 300u}) {
+      auto qrows = RandomVec(&rng, dim * kQueryRows);
+      auto rows = RandomVec(&rng, dim * 9);
+      std::vector<float> out(qids.size() * ids.size());
+      simd::DotBatchGatherMulti(qrows.data(), qids.data(), qids.size(),
+                                rows.data(), dim, ids.data(), ids.size(),
+                                out.data());
+      for (size_t j = 0; j < qids.size(); ++j) {
+        for (size_t k = 0; k < ids.size(); ++k) {
+          ASSERT_EQ(out[j * ids.size() + k],
+                    simd::Dot(qrows.data() + qids[j] * dim,
+                              rows.data() + ids[k] * dim, dim))
+              << simd::TierName(tier) << " dim=" << dim << " j=" << j
+              << " k=" << k;
+        }
+      }
+
+      auto qcodes = RandomCodes(&rng, dim * kQueryRows);
+      auto codes = RandomCodes(&rng, dim * 9);
+      std::vector<int32_t> iout(qids.size() * ids.size());
+      simd::DotBatchGatherMultiI8(qcodes.data(), qids.data(), qids.size(),
+                                  codes.data(), dim, ids.data(), ids.size(),
+                                  iout.data());
+      for (size_t j = 0; j < qids.size(); ++j) {
+        for (size_t k = 0; k < ids.size(); ++k) {
+          ASSERT_EQ(iout[j * ids.size() + k],
+                    simd::DotI8(qcodes.data() + qids[j] * dim,
+                                codes.data() + ids[k] * dim, dim))
+              << simd::TierName(tier) << " dim=" << dim << " j=" << j
+              << " k=" << k;
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdKernelsTest, BitsetIntersectMultiExactAcrossTiers) {
+  TierGuard guard;
+  Rng rng(20);
+  constexpr size_t kRows = 64;
+  const std::vector<uint32_t> qids = {7, 0, 63, 7};
+  const std::vector<uint32_t> ids = {0, 63, 5, 5, 17, 40, 1, 62};
+  for (size_t words = 1; words <= 4; ++words) {
+    std::vector<uint64_t> base(kRows * words);
+    for (uint64_t& w : base) {
+      w = (static_cast<uint64_t>(rng.NextBounded(UINT32_MAX)) << 32) |
+          rng.NextBounded(UINT32_MAX);
+    }
+    // Hand popcount reference: integer arithmetic, exact in every tier.
+    std::vector<uint32_t> want(qids.size() * ids.size());
+    for (size_t j = 0; j < qids.size(); ++j) {
+      for (size_t k = 0; k < ids.size(); ++k) {
+        uint32_t count = 0;
+        for (size_t w = 0; w < words; ++w) {
+          uint64_t inter =
+              base[qids[j] * words + w] & base[ids[k] * words + w];
+          for (; inter != 0; inter &= inter - 1) ++count;
+        }
+        want[j * ids.size() + k] = count;
+      }
+    }
+    for (simd::Tier tier : CompiledSupportedTiers()) {
+      simd::SetTier(tier);
+      std::vector<uint32_t> got(qids.size() * ids.size());
+      simd::BitsetIntersectBatchMulti(base.data(), qids.data(), qids.size(),
+                                      base.data(), words, ids.data(),
+                                      ids.size(), got.data());
+      for (size_t i = 0; i < got.size(); ++i) {
+        ASSERT_EQ(got[i], want[i])
+            << simd::TierName(tier) << " words=" << words << " i=" << i;
+      }
+    }
+  }
+}
+
 // --- End-to-end ranking parity ---------------------------------------------
 
 TEST(SimdRankingParityTest, ScalarAndBestTierReturnSameRanking) {
