@@ -1,0 +1,391 @@
+// Sustained-throughput harness for the concurrent serving runtime: does
+// the epoch-pinned read path hold its latency distribution under open-loop
+// load, and does live ingest hot-swap epochs without stalling readers or
+// perturbing rankings?
+//
+// Three legs:
+//   Serve/closed_loop/clientsN  — N client threads submitting back-to-back
+//       (each waits for its response before sending the next): the
+//       capacity ceiling, reported as qps + p50/p95/p99 ms.
+//   Serve/open_loop/poisson     — open-loop Poisson arrivals at ~30% of a
+//       calibrated unloaded capacity (open loop does not slow down when
+//       the server does, so the latency tail is honest). The SLO the CI
+//       gate enforces is derived from the same calibration: p99 must stay
+//       under 25x the unloaded mean (floor 5 ms) — generous for a healthy
+//       runtime, failed immediately if readers ever block on anything.
+//   Serve/ingest_under_load     — the same Poisson load while the main
+//       thread live-ingests table batches (three hot-swaps). Every
+//       response is checked bit-identical against an offline engine built
+//       over its epoch's exact corpus content (parity_failures must be 0:
+//       a served ranking is exact for the epoch it pinned, no matter when
+//       the swap landed). A sampler thread concurrently measures
+//       PinCurrent latency; pin_p99_ns is the "readers never stall on the
+//       writer" gate.
+//
+// Counters consumed by the CI perf-smoke gate (BENCH_serve.json):
+//   open loop:        p99_ms <= slo_ms
+//   ingest leg:       hot_swaps >= 1, parity_failures == 0,
+//                     pin_p99_ns bounded
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <mutex>
+#include <random>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "benchgen/benchmark_factory.h"
+#include "common.h"
+#include "core/search_engine.h"
+#include "core/similarity.h"
+#include "serve/serve_runtime.h"
+#include "util/logging.h"
+
+namespace thetis::bench {
+namespace {
+
+using benchgen::Benchmark;
+using benchgen::GeneratedQuery;
+using benchgen::MakeBenchmark;
+using benchgen::MakeQueries;
+using benchgen::PresetKind;
+
+constexpr uint64_t kSeed = 42;
+constexpr size_t kNumBatches = 3;    // ingest batches (== hot-swaps)
+constexpr size_t kBatchTables = 8;   // tables per ingest batch
+constexpr size_t kNumQueries = 16;   // query pool, cycled by every leg
+
+// The benchmark world split into an initial corpus plus ingest batches, so
+// the exact corpus content of every serving epoch is reproducible offline
+// (epoch e of a pure-ingest run is base + batches[0..e)).
+struct ServeWorld {
+  Benchmark bench;
+  TypeJaccardSimilarity sim;
+  Corpus base;
+  std::vector<std::vector<Table>> batches;
+  std::vector<GeneratedQuery> queries;
+
+  explicit ServeWorld(double scale)
+      : bench(MakeBenchmark(PresetKind::kWt2015Like, scale, kSeed)),
+        sim(&bench.kg.kg) {
+    const Corpus& full = bench.lake.corpus;
+    const size_t reserved = kNumBatches * kBatchTables;
+    THETIS_CHECK(full.size() > reserved);
+    const size_t base_count = full.size() - reserved;
+    for (TableId id = 0; id < base_count; ++id) base.AddTable(full.table(id));
+    size_t next = base_count;
+    for (size_t b = 0; b < kNumBatches; ++b) {
+      std::vector<Table> batch;
+      for (size_t t = 0; t < kBatchTables; ++t) {
+        batch.push_back(full.table(next++));
+      }
+      batches.push_back(std::move(batch));
+    }
+    queries = MakeQueries(bench.kg, kNumQueries, kSeed * 7 + 3);
+  }
+
+  Corpus CorpusAt(size_t ingests) const {
+    Corpus corpus;
+    for (TableId id = 0; id < base.size(); ++id) {
+      corpus.AddTable(base.table(id));
+    }
+    for (size_t b = 0; b < ingests; ++b) {
+      for (const Table& table : batches[b]) corpus.AddTable(table);
+    }
+    return corpus;
+  }
+
+  // hits[query] against a fresh offline engine over `corpus` — what a
+  // serving epoch of that content must reproduce bit-for-bit.
+  std::vector<std::vector<SearchHit>> Reference(
+      const Corpus& corpus, const SearchOptions& options) const {
+    SemanticDataLake lake(&corpus, &bench.kg.kg);
+    SearchEngine engine(&lake, &sim, options);
+    std::vector<std::vector<SearchHit>> hits;
+    hits.reserve(queries.size());
+    for (const GeneratedQuery& gq : queries) {
+      hits.push_back(engine.Search(gq.query));
+    }
+    return hits;
+  }
+};
+
+const ServeWorld& TheWorld() {
+  static const ServeWorld* world = new ServeWorld(BenchScale());
+  return *world;
+}
+
+ServeOptions MakeServeOptions() {
+  ServeOptions options;
+  options.num_workers = 2;
+  options.queue_capacity = 1024;
+  options.batch_size = 8;
+  options.linger_micros = 100;
+  options.search.top_k = 10;
+  return options;
+}
+
+double Percentile(std::vector<double> sorted_ascending_or_not, double p) {
+  if (sorted_ascending_or_not.empty()) return 0.0;
+  std::sort(sorted_ascending_or_not.begin(), sorted_ascending_or_not.end());
+  const size_t n = sorted_ascending_or_not.size();
+  size_t idx = static_cast<size_t>(p * static_cast<double>(n - 1) + 0.5);
+  if (idx >= n) idx = n - 1;
+  return sorted_ascending_or_not[idx];
+}
+
+struct LoadResult {
+  std::vector<double> latencies_seconds;  // completed (OK) queries
+  size_t ok = 0;
+  size_t shed = 0;
+  size_t parity_failures = 0;
+  double wall_seconds = 0.0;
+};
+
+// Fires Poisson arrivals at `rate_qps` for `duration_seconds`, cycling the
+// query pool. When `expected` is non-null, each ranking is compared
+// bit-for-bit against (*expected)[response.epoch_id][query_index].
+LoadResult OpenLoopLoad(
+    ServeRuntime* runtime, const ServeWorld& world, double rate_qps,
+    double duration_seconds,
+    const std::vector<std::vector<std::vector<SearchHit>>>* expected) {
+  LoadResult result;
+  std::mt19937_64 rng(kSeed);
+  std::exponential_distribution<double> gap(rate_qps);
+  std::vector<std::pair<size_t, std::future<ServeResponse>>> inflight;
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto end = t0 + std::chrono::duration_cast<
+                            std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double>(duration_seconds));
+  auto next_arrival = t0;
+  size_t q = 0;
+  while (next_arrival < end) {
+    std::this_thread::sleep_until(next_arrival);
+    const size_t idx = q++ % world.queries.size();
+    inflight.emplace_back(idx, runtime->Submit(world.queries[idx].query));
+    next_arrival += std::chrono::duration_cast<
+        std::chrono::steady_clock::duration>(
+        std::chrono::duration<double>(gap(rng)));
+  }
+  for (auto& [idx, future] : inflight) {
+    ServeResponse response = future.get();
+    if (!response.status.ok()) {
+      ++result.shed;
+      continue;
+    }
+    ++result.ok;
+    result.latencies_seconds.push_back(response.latency_seconds);
+    if (expected != nullptr) {
+      THETIS_CHECK(response.epoch_id < expected->size());
+      const std::vector<SearchHit>& want = (*expected)[response.epoch_id][idx];
+      bool same = want.size() == response.hits.size();
+      for (size_t i = 0; same && i < want.size(); ++i) {
+        same = want[i].table == response.hits[i].table &&
+               want[i].score == response.hits[i].score;
+      }
+      if (!same) ++result.parity_failures;
+    }
+  }
+  result.wall_seconds = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+  return result;
+}
+
+// Unloaded mean service latency: one client, back-to-back, small sample.
+// Both open-loop legs derive their arrival rate and SLO from this, so the
+// bench self-scales to the machine and THETIS_BENCH_SCALE.
+double CalibrateMeanSeconds(ServeRuntime* runtime, const ServeWorld& world) {
+  constexpr size_t kProbe = 48;
+  // Warmup (allocator, caches, first-touch).
+  for (size_t i = 0; i < 8; ++i) {
+    runtime->Submit(world.queries[i % world.queries.size()].query).get();
+  }
+  double total = 0.0;
+  for (size_t i = 0; i < kProbe; ++i) {
+    ServeResponse response =
+        runtime->Submit(world.queries[i % world.queries.size()].query).get();
+    total += response.latency_seconds;
+  }
+  return total / static_cast<double>(kProbe);
+}
+
+void ReportLatencies(benchmark::State& state, const LoadResult& result) {
+  state.counters["qps"] =
+      result.wall_seconds > 0.0
+          ? static_cast<double>(result.ok) / result.wall_seconds
+          : 0.0;
+  state.counters["ok"] = static_cast<double>(result.ok);
+  state.counters["shed"] = static_cast<double>(result.shed);
+  state.counters["p50_ms"] = 1e3 * Percentile(result.latencies_seconds, 0.50);
+  state.counters["p95_ms"] = 1e3 * Percentile(result.latencies_seconds, 0.95);
+  state.counters["p99_ms"] = 1e3 * Percentile(result.latencies_seconds, 0.99);
+}
+
+void ClosedLoopBench(benchmark::State& state, size_t clients) {
+  const ServeWorld& world = TheWorld();
+  for (auto _ : state) {
+    ServeRuntime runtime(world.CorpusAt(0), &world.bench.kg.kg, &world.sim,
+                         MakeServeOptions());
+    CalibrateMeanSeconds(&runtime, world);  // warmup only here
+    constexpr size_t kPerClient = 150;
+    std::mutex mu;
+    std::vector<double> latencies;
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    for (size_t c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        std::vector<double> mine;
+        mine.reserve(kPerClient);
+        for (size_t i = 0; i < kPerClient; ++i) {
+          const size_t idx = (c * kPerClient + i) % world.queries.size();
+          ServeResponse response =
+              runtime.Submit(world.queries[idx].query).get();
+          if (response.status.ok()) {
+            mine.push_back(response.latency_seconds);
+          }
+        }
+        std::lock_guard<std::mutex> lock(mu);
+        latencies.insert(latencies.end(), mine.begin(), mine.end());
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    const double wall = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+    LoadResult result;
+    result.ok = latencies.size();
+    result.latencies_seconds = std::move(latencies);
+    result.wall_seconds = wall;
+    ReportLatencies(state, result);
+    runtime.Stop();
+  }
+}
+
+void OpenLoopBench(benchmark::State& state) {
+  const ServeWorld& world = TheWorld();
+  for (auto _ : state) {
+    ServeRuntime runtime(world.CorpusAt(0), &world.bench.kg.kg, &world.sim,
+                         MakeServeOptions());
+    const double mean = CalibrateMeanSeconds(&runtime, world);
+    // ~30% utilization of one worker's unloaded capacity: light enough
+    // that a healthy runtime never queues deeply, heavy enough that a
+    // reader stall (a lock on the hot path, a swap blocking pins) blows
+    // the p99 straight through the SLO.
+    const double rate = std::clamp(0.3 / mean, 50.0, 2000.0);
+    const double slo_ms = std::max(5.0, 25.0 * mean * 1e3);
+    LoadResult result =
+        OpenLoopLoad(&runtime, world, rate, /*duration_seconds=*/1.5,
+                     /*expected=*/nullptr);
+    ReportLatencies(state, result);
+    state.counters["rate_qps"] = rate;
+    state.counters["slo_ms"] = slo_ms;
+    state.counters["unloaded_mean_ms"] = mean * 1e3;
+    runtime.Stop();
+  }
+}
+
+void IngestUnderLoadBench(benchmark::State& state) {
+  const ServeWorld& world = TheWorld();
+  // Offline references for every epoch this run can publish: epoch e is
+  // base + batches[0..e). Built once, outside the timed region.
+  static const std::vector<std::vector<std::vector<SearchHit>>>* expected =
+      [] {
+        auto* refs = new std::vector<std::vector<std::vector<SearchHit>>>();
+        SearchOptions options = MakeServeOptions().search;
+        for (size_t e = 0; e <= kNumBatches; ++e) {
+          refs->push_back(TheWorld().Reference(TheWorld().CorpusAt(e),
+                                               options));
+        }
+        return refs;
+      }();
+  for (auto _ : state) {
+    ServeRuntime runtime(world.CorpusAt(0), &world.bench.kg.kg, &world.sim,
+                         MakeServeOptions());
+    const double mean = CalibrateMeanSeconds(&runtime, world);
+    const double rate = std::clamp(0.3 / mean, 50.0, 2000.0);
+    const double duration = 2.0;
+
+    // Pin-latency sampler: PinCurrent cost as seen by a reader while the
+    // writer builds and swaps epochs. Two atomic ops on an uncontended
+    // cache line — if a swap ever blocked pins, the tail would show it.
+    std::atomic<bool> sampling{true};
+    std::vector<double> pin_ns;
+    std::thread sampler([&] {
+      while (sampling.load(std::memory_order_acquire)) {
+        const auto t0 = std::chrono::steady_clock::now();
+        {
+          EpochRegistry::Pin pin = runtime.PinCurrent();
+          benchmark::DoNotOptimize(pin.get());
+        }
+        const auto t1 = std::chrono::steady_clock::now();
+        pin_ns.push_back(
+            std::chrono::duration<double, std::nano>(t1 - t0).count());
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      }
+    });
+
+    // Writer: spread the ingests across the load window.
+    std::thread writer([&] {
+      for (size_t b = 0; b < kNumBatches; ++b) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(
+            duration / static_cast<double>(kNumBatches + 1)));
+        auto batch = world.batches[b];  // copy; IngestTables consumes
+        auto epoch = runtime.IngestTables(std::move(batch));
+        THETIS_CHECK(epoch.ok());
+      }
+    });
+
+    LoadResult result =
+        OpenLoopLoad(&runtime, world, rate, duration, expected);
+    writer.join();
+    sampling.store(false, std::memory_order_release);
+    sampler.join();
+    runtime.Stop();
+
+    ReportLatencies(state, result);
+    state.counters["rate_qps"] = rate;
+    state.counters["slo_ms"] = std::max(5.0, 25.0 * mean * 1e3);
+    state.counters["hot_swaps"] = static_cast<double>(runtime.hot_swaps());
+    state.counters["parity_failures"] =
+        static_cast<double>(result.parity_failures);
+    state.counters["pin_p50_ns"] = Percentile(pin_ns, 0.50);
+    state.counters["pin_p99_ns"] = Percentile(pin_ns, 0.99);
+  }
+}
+
+void RegisterAll() {
+  for (size_t clients : {1, 4}) {
+    std::string name =
+        "Serve/closed_loop/clients" + std::to_string(clients);
+    benchmark::RegisterBenchmark(name.c_str(), ClosedLoopBench, clients)
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond)
+        ->UseRealTime();
+  }
+  benchmark::RegisterBenchmark("Serve/open_loop/poisson", OpenLoopBench)
+      ->Iterations(1)
+      ->Unit(benchmark::kMillisecond)
+      ->UseRealTime();
+  benchmark::RegisterBenchmark("Serve/ingest_under_load",
+                               IngestUnderLoadBench)
+      ->Iterations(1)
+      ->Unit(benchmark::kMillisecond)
+      ->UseRealTime();
+}
+
+}  // namespace
+}  // namespace thetis::bench
+
+int main(int argc, char** argv) {
+  thetis::bench::RegisterAll();
+  thetis::bench::ObsExportInit(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstring>
 #include <limits>
@@ -388,6 +389,76 @@ void FlushQueryStats(const SearchStats& stats) {
     obs::RecordShardSearch(stats.num_shards, stats.floor_hits,
                            stats.floor_publishes);
   }
+  if (stats.deadline_exceeded != 0) obs::RecordQueryDeadline();
+}
+
+// Deadline budget of one query (or one fused batch), shared by every
+// worker/stripe working on it. The first check that observes the clock
+// past the deadline latches `expired`; subsequent checks fail fast on the
+// flag without touching the clock, so an expiry seen by one stripe stops
+// the others at their next check. With no budget armed, Expired() is a
+// single predictable branch — the pre-deadline engine, unchanged.
+//
+// Expiry is always all-or-nothing for the caller: the terminal loops
+// abandon their heaps and return NO hits, never a partial ranking (see
+// SearchOptions::deadline_seconds).
+struct DeadlineState {
+  std::chrono::steady_clock::time_point deadline{};
+  std::atomic<bool> expired{false};
+  bool enabled = false;
+
+  void Arm(double budget_seconds) {
+    enabled = budget_seconds > 0.0;
+    if (enabled) {
+      deadline = std::chrono::steady_clock::now() +
+                 std::chrono::duration_cast<
+                     std::chrono::steady_clock::duration>(
+                     std::chrono::duration<double>(budget_seconds));
+    }
+  }
+
+  // Checks the clock (or the latched flag); called per scored candidate
+  // and every kDeadlineStride-th bound probe.
+  bool Expired() {
+    if (!enabled) return false;
+    if (expired.load(std::memory_order_relaxed)) return true;
+    if (std::chrono::steady_clock::now() >= deadline) {
+      expired.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+  // Whether a check already latched expiry. Deliberately does NOT consult
+  // the clock: a query whose loops ran to completion returns its (full,
+  // exact) ranking even if the final bookkeeping drifts past the deadline.
+  bool Hit() const {
+    return enabled && expired.load(std::memory_order_relaxed);
+  }
+};
+
+// Bound probes are ~100x cheaper than exact scoring, so the deadline is
+// checked once per stride of them rather than per probe.
+constexpr size_t kDeadlineStride = 64;
+
+// Candidate filter of the tombstone path: drops deleted tables before the
+// bound pass. Returns the list to search (the original when nothing is
+// tombstoned — the common case costs one null check) and counts the drops.
+const std::vector<TableId>& FilterTombstoned(
+    const std::vector<TableId>& candidates, const TableTombstones* tombs,
+    std::vector<TableId>* storage, size_t* dropped) {
+  *dropped = 0;
+  if (tombs == nullptr || tombs->empty()) return candidates;
+  storage->clear();
+  storage->reserve(candidates.size());
+  for (TableId id : candidates) {
+    if (tombs->Contains(id)) {
+      ++*dropped;
+    } else {
+      storage->push_back(id);
+    }
+  }
+  return *storage;
 }
 
 // --- Admissible upper bound (bound-and-prune pass) -------------------------
@@ -568,6 +639,11 @@ template <typename Sim>
 double BoundForTable(const BoundContext& ctx, const SearchEngine& engine,
                      const Corpus& corpus, TableId id, const Sim& sim,
                      RowAggregation aggregation, BoundScratch& scratch) {
+  // Tombstoned tables bound to 0: the candidate filter already removed
+  // them from the search paths, but the bound itself must agree for
+  // callers probing tables directly (UpperBoundTable).
+  const TableTombstones* tombs = engine.options().tombstones.get();
+  if (tombs != nullptr && tombs->Contains(id)) return 0.0;
   ColumnIndexView view;
   if (!engine.ArenaViewOf(id, &view)) {
     return std::numeric_limits<double>::infinity();
@@ -624,6 +700,10 @@ struct FusedQueryInput {
 
 double SearchEngine::UpperBoundTable(const Query& query,
                                      TableId table_id) const {
+  if (options_.tombstones != nullptr &&
+      options_.tombstones->Contains(table_id)) {
+    return 0.0;
+  }
   BoundContext ctx;
   BuildBoundContext(query, *lake_, options_, &ctx);
   BoundScratch scratch;
@@ -661,6 +741,12 @@ std::vector<SearchHit> SearchEngine::SearchCandidatesImpl(
   }
   obs::TraceSpan query_span("query");
   Stopwatch watch;
+  std::vector<TableId> live_storage;
+  size_t tombstoned = 0;
+  const std::vector<TableId>& cands = FilterTombstoned(
+      candidates, options_.tombstones.get(), &live_storage, &tombstoned);
+  DeadlineState dl;
+  dl.Arm(options_.deadline_seconds);
   double mapping_seconds = 0.0;
   double bound_seconds = 0.0;
   std::unique_ptr<QueryScopedCache> cache;
@@ -677,7 +763,7 @@ std::vector<SearchHit> SearchEngine::SearchCandidatesImpl(
   size_t nonzero = 0;
   size_t pruned = 0;
 
-  const bool prune = options_.enable_prune && !candidates.empty();
+  const bool prune = options_.enable_prune && !cands.empty();
   std::vector<double> bounds;
   std::vector<uint32_t> order;
   const char* bound_backend = "fp32";
@@ -687,14 +773,14 @@ std::vector<SearchHit> SearchEngine::SearchCandidatesImpl(
     // the batch, so bound_seconds stays 0 for this query.
     obs::TraceSpan bound_span("bound");
     const std::vector<double>& fb = *fused->bounds_by_table;
-    bounds.resize(candidates.size());
-    for (size_t i = 0; i < candidates.size(); ++i) {
-      bounds[i] = candidates[i] < fb.size()
-                      ? fb[candidates[i]]
+    bounds.resize(cands.size());
+    for (size_t i = 0; i < cands.size(); ++i) {
+      bounds[i] = cands[i] < fb.size()
+                      ? fb[cands[i]]
                       : std::numeric_limits<double>::infinity();
     }
     bound_backend = fused->bound_backend;
-    SortByBound(candidates, bounds, &order);
+    SortByBound(cands, bounds, &order);
     obs::RecordBoundBackend(bound_backend);
   } else if (prune) {
     obs::TraceSpan bound_span("bound");
@@ -702,40 +788,43 @@ std::vector<SearchHit> SearchEngine::SearchCandidatesImpl(
     BoundContext ctx;
     BuildBoundContext(query, *lake_, options_, &ctx);
     BoundScratch bound_scratch;
-    bounds.resize(candidates.size());
+    bounds.resize(cands.size());
     bound_backend = ResolveBoundBackend(options_, *sim_);
     if (bound_backend[0] != 'f') {
       // Compressed backend: bound values are upper bounds, not σ, so they
       // bypass the memo entirely — exact scoring later probes a cold cache
       // for exactly the survivors' pairs, nothing else.
       CompressedBoundSim bound_sim{sim_};
-      for (size_t i = 0; i < candidates.size(); ++i) {
-        bounds[i] = BoundForTable(ctx, *this, lake_->corpus(), candidates[i],
+      for (size_t i = 0; i < cands.size(); ++i) {
+        if ((i % kDeadlineStride) == 0 && dl.Expired()) break;
+        bounds[i] = BoundForTable(ctx, *this, lake_->corpus(), cands[i],
                                   bound_sim, options_.aggregation,
                                   bound_scratch);
       }
     } else {
-      for (size_t i = 0; i < candidates.size(); ++i) {
+      for (size_t i = 0; i < cands.size(); ++i) {
+        if ((i % kDeadlineStride) == 0 && dl.Expired()) break;
         // σ probes go through the query's memo when caching is on, so the
         // bound pass pre-warms exactly the pairs exact scoring reuses.
         bounds[i] =
             cache != nullptr
-                ? BoundForTable(ctx, *this, lake_->corpus(), candidates[i],
+                ? BoundForTable(ctx, *this, lake_->corpus(), cands[i],
                                 cache->sim(), options_.aggregation,
                                 bound_scratch)
-                : BoundForTable(ctx, *this, lake_->corpus(), candidates[i],
+                : BoundForTable(ctx, *this, lake_->corpus(), cands[i],
                                 *sim_, options_.aggregation, bound_scratch);
       }
     }
-    SortByBound(candidates, bounds, &order);
+    SortByBound(cands, bounds, &order);
     bound_seconds = bound_watch.ElapsedSeconds();
     obs::RecordBoundBackend(bound_backend);
   }
 
-  {
+  if (!dl.Hit()) {
     obs::TraceSpan scoring_span("scoring");
     if (!prune) {
-      for (TableId id : candidates) {
+      for (TableId id : cands) {
+        if (dl.Expired()) break;
         double score =
             ScoreTableImpl(query, id, &mapping_seconds, nullptr, cache.get());
         if (score > 0.0) {
@@ -745,8 +834,9 @@ std::vector<SearchHit> SearchEngine::SearchCandidatesImpl(
       }
     } else {
       for (size_t pos = 0; pos < order.size(); ++pos) {
+        if (dl.Expired()) break;
         size_t i = order[pos];
-        TableId id = candidates[i];
+        TableId id = cands[i];
         // Bound 0 means the exact score is exactly 0 (see the bound
         // derivation) — and in bound-descending order everything after is
         // 0 too. A bound provably outside the full top-k stops the loop
@@ -770,17 +860,19 @@ std::vector<SearchHit> SearchEngine::SearchCandidatesImpl(
     obs::TraceAggregate("mapping", mapping_seconds);
   }
   std::vector<SearchHit> hits;
-  {
+  if (!dl.Hit()) {
     obs::TraceSpan topk_span("topk");
     for (const auto& [id, score] : top.Extract()) {
       hits.push_back(SearchHit{id, score});
     }
   }
   SearchStats local;
-  FillCandidateStats(*lake_, candidates.size(), pruned, nonzero,
+  FillCandidateStats(*lake_, cands.size(), pruned, nonzero,
                      watch.ElapsedSeconds(), mapping_seconds, bound_seconds,
                      &local);
   local.bound_backend = bound_backend;
+  local.tables_tombstoned = tombstoned;
+  if (dl.Hit()) local.deadline_exceeded = 1;
   if (fused != nullptr) local.bound_fused_reuses = fused->reuses;
   if (cache != nullptr) AddCacheStats(*cache, &local);
   if (flush_stats) FlushQueryStats(local);
@@ -797,6 +889,12 @@ std::vector<SearchHit> SearchEngine::SearchCandidatesParallel(
   }
   obs::TraceSpan query_span("query");
   Stopwatch watch;
+  std::vector<TableId> live_storage;
+  size_t tombstoned = 0;
+  const std::vector<TableId>& cands = FilterTombstoned(
+      candidates, options_.tombstones.get(), &live_storage, &tombstoned);
+  DeadlineState dl;
+  dl.Arm(options_.deadline_seconds);
   size_t workers = pool->num_threads();
   struct Local {
     TopK<TableId> top;
@@ -824,14 +922,14 @@ std::vector<SearchHit> SearchEngine::SearchCandidatesParallel(
   // no synchronization is needed inside the scoring loop.
   size_t stripes = locals.size();
 
-  const bool prune = options_.enable_prune && !candidates.empty();
+  const bool prune = options_.enable_prune && !cands.empty();
   std::vector<double> bounds;
   std::vector<uint32_t> order;
   BoundContext ctx;
   const char* bound_backend = "fp32";
   if (prune) {
     BuildBoundContext(query, *lake_, options_, &ctx);
-    bounds.assign(candidates.size(), 0.0);
+    bounds.assign(cands.size(), 0.0);
     bound_backend = ResolveBoundBackend(options_, *sim_);
     const bool compressed = bound_backend[0] != 'f';
     // Striped bound pass: disjoint indices, no synchronization needed.
@@ -839,31 +937,34 @@ std::vector<SearchHit> SearchEngine::SearchCandidatesParallel(
       obs::TraceSpan bound_span("bound");
       Stopwatch bound_watch;
       Local& local = locals[stripe];
+      size_t steps = 0;
       if (compressed) {
         // See the serial loop: compressed bounds bypass the worker memos.
         CompressedBoundSim bound_sim{sim_};
-        for (size_t i = stripe; i < candidates.size(); i += stripes) {
+        for (size_t i = stripe; i < cands.size(); i += stripes) {
+          if ((steps++ % kDeadlineStride) == 0 && dl.Expired()) break;
           bounds[i] = BoundForTable(ctx, *this, lake_->corpus(),
-                                    candidates[i], bound_sim,
+                                    cands[i], bound_sim,
                                     options_.aggregation,
                                     local.bound_scratch);
         }
       } else {
-        for (size_t i = stripe; i < candidates.size(); i += stripes) {
+        for (size_t i = stripe; i < cands.size(); i += stripes) {
+          if ((steps++ % kDeadlineStride) == 0 && dl.Expired()) break;
           bounds[i] = local.cache != nullptr
                           ? BoundForTable(ctx, *this, lake_->corpus(),
-                                          candidates[i], local.cache->sim(),
+                                          cands[i], local.cache->sim(),
                                           options_.aggregation,
                                           local.bound_scratch)
                           : BoundForTable(ctx, *this, lake_->corpus(),
-                                          candidates[i], *sim_,
+                                          cands[i], *sim_,
                                           options_.aggregation,
                                           local.bound_scratch);
         }
       }
       local.bound_seconds += bound_watch.ElapsedSeconds();
     });
-    SortByBound(candidates, bounds, &order);
+    SortByBound(cands, bounds, &order);
     obs::RecordBoundBackend(bound_backend);
   }
 
@@ -885,14 +986,16 @@ std::vector<SearchHit> SearchEngine::SearchCandidatesParallel(
   pool->ParallelFor(stripes, [&](size_t stripe) {
     obs::TraceSpan scoring_span("scoring");
     Local& local = locals[stripe];
+    if (dl.Hit()) return;
     if (!prune) {
-      for (size_t i = stripe; i < candidates.size(); i += stripes) {
-        double score = ScoreTableImpl(query, candidates[i],
+      for (size_t i = stripe; i < cands.size(); i += stripes) {
+        if (dl.Expired()) break;
+        double score = ScoreTableImpl(query, cands[i],
                                       &local.mapping_seconds, nullptr,
                                       local.cache.get());
         if (score > 0.0) {
           ++local.nonzero;
-          local.top.Push(candidates[i], score);
+          local.top.Push(cands[i], score);
         }
       }
     } else {
@@ -900,8 +1003,9 @@ std::vector<SearchHit> SearchEngine::SearchCandidatesParallel(
       // bound-descending order, so its own subsequence is bound-descending
       // too and the stop-instead-of-skip argument holds per stripe.
       for (size_t pos = stripe; pos < order.size(); pos += stripes) {
+        if (dl.Expired()) break;
         size_t i = order[pos];
-        TableId id = candidates[i];
+        TableId id = cands[i];
         // Remaining positions of this stripe: pos, pos+stripes, ...
         const size_t remaining = (order.size() - pos + stripes - 1) / stripes;
         bool zero = bounds[i] <= 0.0;
@@ -953,15 +1057,19 @@ std::vector<SearchHit> SearchEngine::SearchCandidatesParallel(
       pruned += local.pruned;
       floor_hits += local.floor_hits;
     }
-    for (const auto& [id, score] : merged.Extract()) {
-      hits.push_back(SearchHit{id, score});
+    if (!dl.Hit()) {
+      for (const auto& [id, score] : merged.Extract()) {
+        hits.push_back(SearchHit{id, score});
+      }
     }
   }
   SearchStats local_stats;
-  FillCandidateStats(*lake_, candidates.size(), pruned, nonzero,
+  FillCandidateStats(*lake_, cands.size(), pruned, nonzero,
                      watch.ElapsedSeconds(), mapping_seconds, bound_seconds,
                      &local_stats);
   local_stats.bound_backend = bound_backend;
+  local_stats.tables_tombstoned = tombstoned;
+  if (dl.Hit()) local_stats.deadline_exceeded = 1;
   local_stats.floor_hits = floor_hits;
   local_stats.floor_publishes = floor.publishes();
   for (const Local& local : locals) {
@@ -981,13 +1089,28 @@ std::vector<SearchHit> SearchEngine::SearchShards(
   const size_t num_shards = shards_.size();
   const size_t top_k = std::max<size_t>(1, options_.top_k);
 
-  // Scatter: bucket candidates by shard. Bucket order preserves the
+  // Scatter: bucket candidates by shard, dropping tombstoned tables on the
+  // way (they are neither bounded nor scored). Bucket order preserves the
   // caller's candidate order within a shard; the bound sort (or, unpruned,
   // the id-independent TopK admission) makes results independent of it.
+  const TableTombstones* tombs =
+      options_.tombstones != nullptr && !options_.tombstones->empty()
+          ? options_.tombstones.get()
+          : nullptr;
+  size_t tombstoned = 0;
   std::vector<std::vector<TableId>> buckets(num_shards);
-  for (TableId id : candidates) buckets[ShardOf(id)].push_back(id);
+  for (TableId id : candidates) {
+    if (tombs != nullptr && tombs->Contains(id)) {
+      ++tombstoned;
+      continue;
+    }
+    buckets[ShardOf(id)].push_back(id);
+  }
+  const size_t live_count = candidates.size() - tombstoned;
+  DeadlineState dl;
+  dl.Arm(options_.deadline_seconds);
 
-  const bool prune = options_.enable_prune && !candidates.empty();
+  const bool prune = options_.enable_prune && live_count > 0;
   BoundContext ctx;
   const char* bound_backend = "fp32";
   if (prune) {
@@ -1067,12 +1190,14 @@ std::vector<SearchHit> SearchEngine::SearchShards(
       if (bound_backend[0] != 'f') {
         CompressedBoundSim bound_sim{sim_};
         for (size_t i = 0; i < cands.size(); ++i) {
+          if ((i % kDeadlineStride) == 0 && dl.Expired()) break;
           local.bounds[i] =
               BoundForTable(ctx, *this, lake_->corpus(), cands[i], bound_sim,
                             options_.aggregation, local.bound_scratch);
         }
       } else {
         for (size_t i = 0; i < cands.size(); ++i) {
+          if ((i % kDeadlineStride) == 0 && dl.Expired()) break;
           local.bounds[i] =
               local.cache != nullptr
                   ? BoundForTable(ctx, *this, lake_->corpus(), cands[i],
@@ -1086,10 +1211,11 @@ std::vector<SearchHit> SearchEngine::SearchShards(
       SortByBound(cands, local.bounds, &local.order);
       local.bound_seconds = bound_watch.ElapsedSeconds();
     }
-    {
+    if (!dl.Hit()) {
       obs::TraceSpan scoring_span("scoring");
       if (!prune) {
         for (TableId id : cands) {
+          if (dl.Expired()) break;
           double score = ScoreTableImpl(query, id, &local.mapping_seconds,
                                         nullptr, local.cache.get());
           if (score > 0.0) {
@@ -1102,6 +1228,7 @@ std::vector<SearchHit> SearchEngine::SearchShards(
         // argument holds within the shard, and the shared floor folds in
         // what the other shards have already proven.
         for (size_t pos = 0; pos < local.order.size(); ++pos) {
+          if (dl.Expired()) break;
           size_t i = local.order[pos];
           TableId id = cands[i];
           const size_t remaining = local.order.size() - pos;
@@ -1169,14 +1296,18 @@ std::vector<SearchHit> SearchEngine::SearchShards(
       obs::RecordShardLoop(s, shard_prune_rate, local.bound_seconds);
       if (local.cache != nullptr) AddCacheStats(*local.cache, &local_stats);
     }
-    for (const auto& [id, score] : merged.Extract()) {
-      hits.push_back(SearchHit{id, score});
+    if (!dl.Hit()) {
+      for (const auto& [id, score] : merged.Extract()) {
+        hits.push_back(SearchHit{id, score});
+      }
     }
   }
-  FillCandidateStats(*lake_, candidates.size(), pruned, nonzero,
+  FillCandidateStats(*lake_, live_count, pruned, nonzero,
                      watch.ElapsedSeconds(), mapping_seconds, bound_seconds,
                      &local_stats);
   local_stats.bound_backend = bound_backend;
+  local_stats.tables_tombstoned = tombstoned;
+  if (dl.Hit()) local_stats.deadline_exceeded = 1;
   local_stats.num_shards = num_shards;
   local_stats.floor_hits = floor_hits;
   local_stats.floor_publishes = floor.publishes();
@@ -1223,6 +1354,12 @@ std::vector<std::vector<SearchHit>> SearchEngine::SearchBatchFused(
   std::vector<TableId> storage;
   const std::vector<TableId>& candidates = AllTables(&storage);
   const bool prune = options_.enable_prune && !candidates.empty();
+
+  // Batch budget for the fused bound pass (phase B): that pass serves the
+  // whole batch at once, so its expiry fails every query of the batch
+  // cleanly. The per-query reranks of phase C arm their own budgets.
+  DeadlineState batch_dl;
+  batch_dl.Arm(options_.deadline_seconds);
 
   // One σ memo for the whole batch: the rerank of query q probes pairs the
   // bound pass (or an earlier query's rerank) already scored. Serial use
@@ -1293,9 +1430,25 @@ std::vector<std::vector<SearchHit>> SearchEngine::SearchBatchFused(
     std::vector<double> union_umax(nu, 0.0);
     std::vector<double> q_umax;
     std::vector<double> coords;
+    const TableTombstones* tombs =
+        options_.tombstones != nullptr && !options_.tombstones->empty()
+            ? options_.tombstones.get()
+            : nullptr;
     for (const EngineShard& shard : shards_) {
+      if (batch_dl.Hit()) break;
       for (TableId id = shard.begin;
            id < shard.end && id < corpus.size(); ++id) {
+        if ((probed_tables % kDeadlineStride) == 0 && batch_dl.Expired()) {
+          break;
+        }
+        if (tombs != nullptr && tombs->Contains(id)) {
+          // Deleted: bound 0 for every query (the terminal reranks filter
+          // the id out anyway; skipping here saves the σ pass).
+          for (size_t q = 0; q < queries.size(); ++q) {
+            bounds_by_table[q][id] = 0.0;
+          }
+          continue;
+        }
         const TableId local = id - shard.begin;
         if (!shard.arena.Covers(local)) continue;
         ColumnIndexView view = shard.arena.ViewOf(local);
@@ -1359,6 +1512,21 @@ std::vector<std::vector<SearchHit>> SearchEngine::SearchBatchFused(
   }
   obs::RecordFusedBatch(queries.size(), probed_tables, fused_bound_seconds,
                         total_reuses);
+
+  if (batch_dl.Hit()) {
+    // The batch budget expired inside the fused bound pass: every query of
+    // the batch fails all-or-nothing (there are no partial rankings to
+    // hand out, and the bounds computed so far are discarded).
+    for (size_t q = 0; q < queries.size(); ++q) {
+      SearchStats local;
+      local.candidate_count = candidates.size();
+      local.bound_backend = bound_backend;
+      local.deadline_exceeded = 1;
+      FlushQueryStats(local);
+      if (stats != nullptr) (*stats)[q] = local;
+    }
+    return all_hits;
+  }
 
   // Phase C: per-query exact rerank over the precomputed bounds. The
   // flush is deferred so the shared memo's per-query traffic (measured as

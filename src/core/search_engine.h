@@ -6,11 +6,14 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "core/corpus_index.h"
 #include "core/query_cache.h"
 #include "core/score_floor.h"
 #include "core/semrel.h"
 #include "core/similarity.h"
+#include "core/tombstones.h"
 #include "lsh/lsei.h"
 #include "semantic/semantic_data_lake.h"
 #include "util/thread_pool.h"
@@ -79,6 +82,22 @@ struct SearchOptions {
   // id tie rule. Rankings are bit-identical for every shard count — see
   // DESIGN.md "Sharded scatter-gather" for the exactness argument.
   size_t num_shards = 1;
+  // Per-query execution deadline in seconds, measured from query entry
+  // (Search/SearchCandidates/SearchBatchFused). The default 0.0 means
+  // "none": no clock is consulted and behavior is exactly the pre-deadline
+  // engine. With a positive budget the bound pass and the scoring loop
+  // check a shared expiry flag at stripe granularity; on expiry the query
+  // aborts all-or-nothing — it returns NO hits and sets
+  // SearchStats::deadline_exceeded — so a ranking, when returned, is
+  // always the complete exact top-k, never a partial one.
+  double deadline_seconds = 0.0;
+  // Deleted tables (null or empty = none). Tombstoned tables are removed
+  // from the candidate list before the bound pass and their upper bound is
+  // pinned to 0, so deletes take effect immediately without rebuilding the
+  // engine's arenas; the serving runtime folds tombstones into the next
+  // ingest epoch (compaction). Shared so that re-skinning an epoch with an
+  // extended set is a pointer swap.
+  std::shared_ptr<const TableTombstones> tombstones;
   // Test hook: observes every successful raise of the shared score floor
   // (possibly concurrently — see SharedScoreFloor::Observer). Null in
   // production.
@@ -175,6 +194,19 @@ struct SearchStats {
   // for every query of a fused batch); this counter records the reuse that
   // made that attribution fair.
   size_t bound_fused_reuses = 0;
+  // Candidates dropped up front because SearchOptions::tombstones marks
+  // them deleted (they are neither scored nor pruned and never appear in
+  // the ranking).
+  size_t tables_tombstoned = 0;
+  // 1 when the query hit its SearchOptions::deadline_seconds budget and
+  // aborted (hits are empty in that case; the serving layer maps this to
+  // Status::DeadlineExceeded). 0 otherwise.
+  size_t deadline_exceeded = 0;
+  // 1 when the serving layer shed this query before execution (admission
+  // queue full or budget already expired at dequeue). Always 0 for stats
+  // produced by the engine itself; the field lives here so serve-side
+  // accounting flows through SumBatchStats like every other counter.
+  size_t shed = 0;
 };
 
 // One contiguous table-range shard of the engine's search structures: a

@@ -1,0 +1,51 @@
+#ifndef THETIS_CORE_TOMBSTONES_H_
+#define THETIS_CORE_TOMBSTONES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "table/value.h"
+
+namespace thetis {
+
+// A set of deleted TableIds, consulted by candidate generation and the
+// bound pass so deletes take effect without rebuilding the epoch's arenas.
+// Stored as a word bitset: Contains() on the hot path is one shift and a
+// mask, and copying the set when a delete re-skins an epoch is a single
+// vector copy (one word per 64 tables).
+//
+// Instances are immutable once published inside a SearchOptions; the
+// serving runtime builds a fresh TableTombstones (copy + Add) per delete
+// and hands it to the successor epoch via shared_ptr.
+class TableTombstones {
+ public:
+  TableTombstones() = default;
+
+  void Add(TableId id) {
+    const size_t word = id >> 6;
+    if (word >= words_.size()) words_.resize(word + 1, 0);
+    const uint64_t bit = uint64_t{1} << (id & 63);
+    if ((words_[word] & bit) == 0) {
+      words_[word] |= bit;
+      ++count_;
+    }
+  }
+
+  bool Contains(TableId id) const {
+    const size_t word = id >> 6;
+    if (word >= words_.size()) return false;
+    return (words_[word] >> (id & 63)) & 1;
+  }
+
+  size_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+ private:
+  std::vector<uint64_t> words_;
+  size_t count_ = 0;
+};
+
+}  // namespace thetis
+
+#endif  // THETIS_CORE_TOMBSTONES_H_

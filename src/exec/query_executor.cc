@@ -20,6 +20,16 @@ void QueryExecutor::EnablePrefilter(const Lsei* lsei, size_t votes) {
   votes_ = votes;
 }
 
+Status StatusFromStats(const SearchStats& stats) {
+  if (stats.shed != 0) {
+    return Status::ResourceExhausted("query shed by admission control");
+  }
+  if (stats.deadline_exceeded != 0) {
+    return Status::DeadlineExceeded("query exceeded its deadline budget");
+  }
+  return Status::Ok();
+}
+
 QueryResult QueryExecutor::Execute(const Query& query) const {
   obs::TraceSpan span("exec_query");
   QueryResult result;
@@ -32,6 +42,7 @@ QueryResult QueryExecutor::Execute(const Query& query) const {
   } else {
     result.hits = engine_->Search(query, &result.stats);
   }
+  result.status = StatusFromStats(result.stats);
   return result;
 }
 
@@ -57,6 +68,7 @@ std::vector<QueryResult> QueryExecutor::ExecuteBatch(
       for (size_t i = begin; i < end; ++i) {
         results[i].hits = std::move(hits[i - begin]);
         results[i].stats = stats[i - begin];
+        results[i].status = StatusFromStats(results[i].stats);
       }
     });
     return results;
@@ -86,6 +98,9 @@ SearchStats SumBatchStats(const std::vector<QueryResult>& results) {
     total.floor_hits += r.stats.floor_hits;
     total.floor_publishes += r.stats.floor_publishes;
     total.bound_fused_reuses += r.stats.bound_fused_reuses;
+    total.tables_tombstoned += r.stats.tables_tombstoned;
+    total.deadline_exceeded += r.stats.deadline_exceeded;
+    total.shed += r.stats.shed;
     // Engine-wide configuration, not additive: every query in a batch runs
     // on the same engine, so the max is simply "the" shard count.
     total.num_shards = std::max(total.num_shards, r.stats.num_shards);

@@ -6,15 +6,24 @@
 
 #include "core/search_engine.h"
 #include "lsh/lsei.h"
+#include "util/status.h"
 #include "util/thread_pool.h"
 
 namespace thetis {
 
-// One query's outcome within a batch.
+// One query's outcome within a batch. `status` is OK for a completed exact
+// ranking; DeadlineExceeded when the engine aborted on its deadline budget
+// (hits empty — never partial); the serving layer additionally produces
+// ResourceExhausted for shed queries. Derived from stats by the executor,
+// so engine paths stay Status-free.
 struct QueryResult {
   std::vector<SearchHit> hits;
   SearchStats stats;
+  Status status;
 };
+
+// Maps one query's SearchStats to its Status (see QueryResult::status).
+Status StatusFromStats(const SearchStats& stats);
 
 // Batched query execution — the serving-side counterpart to the per-query
 // SearchEngine API. A production deployment answers many queries against

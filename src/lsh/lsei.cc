@@ -333,4 +333,14 @@ double Lsei::ReductionRatio(size_t num_candidates) const {
   return 1.0 - static_cast<double>(num_candidates) / static_cast<double>(n);
 }
 
+Lsei Lsei::CloneRebound(const SemanticDataLake* lake) const {
+  THETIS_CHECK(lake != nullptr);
+  // Member-wise copy (hashers, band index, flat arrays, and the entity →
+  // item map are all value types; snapshot-restored views stay views, so
+  // the backing mapping must outlive the clone too), then rebind the lake.
+  Lsei copy(*this);
+  copy.lake_ = lake;
+  return copy;
+}
+
 }  // namespace thetis

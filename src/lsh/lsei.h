@@ -106,6 +106,14 @@ class Lsei {
   // items inserted.
   size_t IngestNewContent();
 
+  // Deep copy bound to another (content-identical) lake: every index
+  // structure, hasher, and option is copied verbatim; only the borrowed
+  // lake pointer changes. The serving runtime uses this to hand each
+  // published epoch its own Lsei over the epoch's own immutable lake while
+  // the writer keeps ingesting into the master copy. `lake` must outlive
+  // the returned index.
+  Lsei CloneRebound(const SemanticDataLake* lake) const;
+
   // Fraction of the corpus removed by a candidate set of the given size.
   double ReductionRatio(size_t num_candidates) const;
 

@@ -174,6 +174,24 @@ struct FusedMetrics {
   }
 };
 
+struct ServeMetrics {
+  MetricsRegistry& r = MetricsRegistry::Global();
+  Counter& deadline = r.counter("thetis_queries_deadline_total");
+  Counter& shed = r.counter("thetis_queries_shed_total");
+  Counter& swaps = r.counter("thetis_epoch_swaps_total");
+  Counter& retired = r.counter("thetis_epoch_retired_total");
+  Gauge& live = r.gauge("thetis_epochs_live");
+  Counter& pin_retries = r.counter("thetis_epoch_pin_retries_total");
+  Counter& requests = r.counter("thetis_serve_requests_total");
+  Histogram& latency = r.histogram("thetis_serve_latency_ns");
+  Gauge& batch_occupancy = r.gauge("thetis_serve_batch_occupancy");
+
+  static ServeMetrics& Get() {
+    static ServeMetrics* m = new ServeMetrics();
+    return *m;
+  }
+};
+
 struct SnapshotMetrics {
   MetricsRegistry& r = MetricsRegistry::Global();
   Counter& saves = r.counter("thetis_snapshot_saves_total");
@@ -357,6 +375,34 @@ void RecordShardLoop(uint64_t shard, double prune_rate, double bound_seconds) {
   ShardMetrics& m = ShardMetrics::Get();
   m.prune_rate_bp[shard]->Set(static_cast<int64_t>(prune_rate * 10000.0));
   m.bound_latency[shard]->Record(ToNanos(bound_seconds));
+}
+
+void RecordQueryDeadline() { ServeMetrics::Get().deadline.Increment(); }
+
+void RecordQueryShed() { ServeMetrics::Get().shed.Increment(); }
+
+void RecordEpochPublish(int64_t live) {
+  ServeMetrics& m = ServeMetrics::Get();
+  m.swaps.Increment();
+  m.live.Set(live);
+}
+
+void RecordEpochRetire(int64_t live) {
+  ServeMetrics& m = ServeMetrics::Get();
+  m.retired.Increment();
+  m.live.Set(live);
+}
+
+void RecordEpochPinRetry() { ServeMetrics::Get().pin_retries.Increment(); }
+
+void RecordServeRequest(double seconds) {
+  ServeMetrics& m = ServeMetrics::Get();
+  m.requests.Increment();
+  m.latency.Record(ToNanos(seconds));
+}
+
+void RecordServeBatch(uint64_t queries) {
+  ServeMetrics::Get().batch_occupancy.Set(static_cast<int64_t>(queries));
 }
 
 void TraceAggregate(const char* name, double seconds) {

@@ -59,7 +59,24 @@
 //     the fused pass probed, bound computations saved by cross-query
 //     entity sharing, the fused table-major bound pass's latency (the
 //     per-batch cost every query of the batch shares), and the most
-//     recent batch's query count.
+//     recent batch's query count;
+//   queries_deadline_total — queries that hit their deadline budget and
+//     aborted all-or-nothing (SearchStats::deadline_exceeded);
+//   queries_shed_total — queries the serving layer refused before
+//     execution (admission queue full, or budget already expired at
+//     dequeue);
+//   epoch_swaps_total, epoch_retired_total, epochs_live (gauge)
+//     — serving-runtime epoch registry: successful hot-swap publishes,
+//     epochs destroyed after their pin count drained, and epochs currently
+//     installed or awaiting retirement;
+//   epoch_pin_retries_total — reader pin attempts that lost the race with
+//     a concurrent publish and retried (the registry's only "contention",
+//     bounded by publish frequency, not by load);
+//   serve_requests_total, serve_latency_ns (histogram),
+//   serve_batch_occupancy (gauge)
+//     — serving request loop: completed requests, end-to-end latency from
+//     submit to response (queue wait + execution), and the most recent
+//     worker batch's query count.
 namespace thetis::obs {
 
 #ifndef THETIS_DISABLE_OBS
@@ -148,6 +165,30 @@ void RecordFusedBatch(uint64_t queries, uint64_t tables,
 // indices are dropped here (the query-level totals still cover them).
 void RecordShardLoop(uint64_t shard, double prune_rate, double bound_seconds);
 
+// One query aborted all-or-nothing by its deadline budget. Called from the
+// same single flush point as RecordQuery.
+void RecordQueryDeadline();
+
+// One query shed by the serving layer before execution.
+void RecordQueryShed();
+
+// One successful epoch hot-swap publish; `live` is the number of epochs
+// installed or awaiting retirement after the publish.
+void RecordEpochPublish(int64_t live);
+
+// One epoch destroyed after its reader pin count drained.
+void RecordEpochRetire(int64_t live);
+
+// One reader pin attempt that raced a publish and retried.
+void RecordEpochPinRetry();
+
+// One completed serving request (any status): end-to-end seconds from
+// submit to response.
+void RecordServeRequest(double seconds);
+
+// One worker batch dispatched to the engine carrying `queries` queries.
+void RecordServeBatch(uint64_t queries);
+
 // Emits an aggregated pseudo-span of `seconds` ending now into the trace
 // (no-op when tracing is off). Used for durations accumulated across an
 // inner loop too hot for per-iteration spans, e.g. the total Hungarian
@@ -178,6 +219,13 @@ inline void RecordShardPlan(uint64_t, double) {}
 inline void RecordShardSearch(uint64_t, uint64_t, uint64_t) {}
 inline void RecordFusedBatch(uint64_t, uint64_t, double, uint64_t) {}
 inline void RecordShardLoop(uint64_t, double, double) {}
+inline void RecordQueryDeadline() {}
+inline void RecordQueryShed() {}
+inline void RecordEpochPublish(int64_t) {}
+inline void RecordEpochRetire(int64_t) {}
+inline void RecordEpochPinRetry() {}
+inline void RecordServeRequest(double) {}
+inline void RecordServeBatch(uint64_t) {}
 inline void TraceAggregate(const char*, double) {}
 
 #endif  // THETIS_DISABLE_OBS

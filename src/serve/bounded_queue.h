@@ -1,0 +1,117 @@
+#ifndef THETIS_SERVE_BOUNDED_QUEUE_H_
+#define THETIS_SERVE_BOUNDED_QUEUE_H_
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <memory>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace thetis {
+
+// Bounded lock-free MPMC ring (Vyukov's array queue). The serving runtime
+// uses one per worker: many client threads push (Submit), one worker pops —
+// but the algorithm is symmetric, so draining from another thread at
+// shutdown is also safe.
+//
+// Each cell carries a sequence number that encodes, relative to the ring
+// positions, whether the cell is empty (seq == enqueue position), full
+// (seq == dequeue position + 1) or still being written/read by another
+// thread (anything else, in which case the lagging side retries against the
+// refreshed position). Producers and consumers therefore synchronize only
+// through one CAS on their own position counter plus one release store per
+// cell — no mutex anywhere, and a full queue fails fast (TryPush returns
+// false) instead of blocking, which is exactly the admission-control
+// behavior the serving layer wants: back-pressure surfaces as a shed, never
+// as a stalled client thread.
+//
+// T must be movable. Capacity is rounded up to a power of two.
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity)
+      : capacity_(std::bit_ceil(capacity < 2 ? size_t{2} : capacity)),
+        mask_(capacity_ - 1),
+        cells_(std::make_unique<Cell[]>(capacity_)) {
+    for (size_t i = 0; i < capacity_; ++i) {
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  size_t capacity() const { return capacity_; }
+
+  // False when the queue is full (never blocks). On false, `item` is left
+  // untouched so the caller can shed it or try another queue.
+  bool TryPush(T&& item) {
+    Cell* cell;
+    size_t pos = enqueue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const size_t seq = cell->seq.load(std::memory_order_acquire);
+      const intptr_t dif =
+          static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos);
+      if (dif == 0) {
+        if (enqueue_pos_.compare_exchange_weak(pos, pos + 1,
+                                               std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (dif < 0) {
+        return false;  // the cell one lap back is still occupied: full
+      } else {
+        pos = enqueue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+    cell->value = std::move(item);
+    cell->seq.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  // False when the queue is empty (never blocks).
+  bool TryPop(T* out) {
+    THETIS_CHECK(out != nullptr);
+    Cell* cell;
+    size_t pos = dequeue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const size_t seq = cell->seq.load(std::memory_order_acquire);
+      const intptr_t dif =
+          static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos + 1);
+      if (dif == 0) {
+        if (dequeue_pos_.compare_exchange_weak(pos, pos + 1,
+                                               std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (dif < 0) {
+        return false;  // producers have not reached this cell yet: empty
+      } else {
+        pos = dequeue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+    *out = std::move(cell->value);
+    cell->seq.store(pos + capacity_, std::memory_order_release);
+    return true;
+  }
+
+ private:
+  struct Cell {
+    std::atomic<size_t> seq;
+    T value;
+  };
+
+  const size_t capacity_;
+  const size_t mask_;
+  std::unique_ptr<Cell[]> cells_;
+  // Producers and consumers bump independent counters; keep them on
+  // separate cache lines so pushes never invalidate the pop counter's line.
+  alignas(64) std::atomic<size_t> enqueue_pos_{0};
+  alignas(64) std::atomic<size_t> dequeue_pos_{0};
+};
+
+}  // namespace thetis
+
+#endif  // THETIS_SERVE_BOUNDED_QUEUE_H_

@@ -1,0 +1,110 @@
+#include "serve/epoch_registry.h"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "obs/query_metrics.h"
+#include "util/logging.h"
+
+namespace thetis {
+
+void EpochRegistry::Pin::Release() {
+  if (registry_ == nullptr) return;
+  registry_->slots_[slot_].pins[shard_].count.fetch_sub(
+      1, std::memory_order_release);
+  registry_ = nullptr;
+  epoch_ = nullptr;
+}
+
+EpochRegistry::Pin EpochRegistry::PinCurrent() {
+  const uint32_t shard = static_cast<uint32_t>(obs::ThisThreadShard());
+  for (;;) {
+    const uint32_t s = current_.load(std::memory_order_acquire);
+    slots_[s].pins[shard].count.fetch_add(1, std::memory_order_seq_cst);
+    if (current_.load(std::memory_order_seq_cst) == s) {
+      // Validated: slot s was current after our increment became visible,
+      // so no drain of s can miss the pin (see the protocol note in the
+      // header). Only now is the epoch pointer safe to read.
+      const EngineEpoch* epoch = slots_[s].epoch.get();
+      if (epoch == nullptr) {
+        // Nothing published yet. Undo and hand back an empty pin.
+        slots_[s].pins[shard].count.fetch_sub(1, std::memory_order_release);
+        return Pin();
+      }
+      Pin pin;
+      pin.registry_ = this;
+      pin.epoch_ = epoch;
+      pin.slot_ = s;
+      pin.shard_ = shard;
+      return pin;
+    }
+    // Lost the race with a publish: the increment landed on a slot that is
+    // no longer current. It was never validated, so no epoch pointer was
+    // read; undo and retry against the new current. This can only delay a
+    // retirement of the old slot, never corrupt one.
+    slots_[s].pins[shard].count.fetch_sub(1, std::memory_order_release);
+    obs::RecordEpochPinRetry();
+  }
+}
+
+uint64_t EpochRegistry::SlotPins(const Slot& slot) const {
+  uint64_t pins = 0;
+  for (const PinShard& shard : slot.pins) {
+    pins += shard.count.load(std::memory_order_seq_cst);
+  }
+  return pins;
+}
+
+size_t EpochRegistry::TryRetire() {
+  size_t retired = 0;
+  const uint32_t cur = current_.load(std::memory_order_relaxed);
+  for (uint32_t i = 0; i < kSlots; ++i) {
+    if (i == cur || slots_[i].epoch == nullptr) continue;
+    if (SlotPins(slots_[i]) == 0) {
+      // Every validated pin of this slot has released (release fetch_sub
+      // happens-before our seq_cst load), so destruction cannot race any
+      // reader's use of the epoch.
+      slots_[i].epoch.reset();
+      ++retired;
+      obs::RecordEpochRetire(static_cast<int64_t>(live_epochs()));
+    }
+  }
+  return retired;
+}
+
+void EpochRegistry::Publish(std::shared_ptr<const EngineEpoch> epoch) {
+  THETIS_CHECK(epoch != nullptr);
+  for (;;) {
+    TryRetire();
+    const uint32_t cur = current_.load(std::memory_order_relaxed);
+    for (uint32_t i = 0; i < kSlots; ++i) {
+      // Never reuse the current slot, even when it is empty (before the
+      // first publish): readers read the CURRENT slot's epoch pointer, so
+      // only non-current slots are writable.
+      if (i == cur || slots_[i].epoch != nullptr) continue;
+      slots_[i].epoch = std::move(epoch);
+      // The store that makes the new world visible; seq_cst so it is
+      // totally ordered against reader pins and retire drains.
+      current_.store(i, std::memory_order_seq_cst);
+      obs::RecordEpochPublish(static_cast<int64_t>(live_epochs()));
+      // The predecessor often has no pins by now (short queries); retiring
+      // here keeps steady-state live epochs at ~1 without a sweeper.
+      TryRetire();
+      return;
+    }
+    // All non-current slots hold still-pinned epochs. Only the writer
+    // waits; readers keep draining, which is what frees a slot.
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+}
+
+size_t EpochRegistry::live_epochs() const {
+  size_t live = 0;
+  for (const Slot& slot : slots_) {
+    if (slot.epoch != nullptr) ++live;
+  }
+  return live;
+}
+
+}  // namespace thetis

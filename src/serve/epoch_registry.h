@@ -1,0 +1,211 @@
+#ifndef THETIS_SERVE_EPOCH_REGISTRY_H_
+#define THETIS_SERVE_EPOCH_REGISTRY_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "core/search_engine.h"
+#include "core/tombstones.h"
+#include "io/engine_snapshot.h"
+#include "lsh/lsei.h"
+#include "obs/metrics.h"
+#include "semantic/semantic_data_lake.h"
+#include "table/corpus.h"
+
+namespace thetis {
+
+// One immutable, self-consistent world a query can execute against: a
+// corpus frozen at some ingest point, the lake/engine/LSEI built over it,
+// and the tombstone set in force. Epochs are published to readers through
+// the EpochRegistry below and destroyed only after every reader pin has
+// drained, so a query sees exactly one epoch from candidate generation to
+// ranking — never a half-swapped mixture.
+//
+// Three construction flavors share this struct:
+//  * full-build epochs own the whole world (corpus clone, lake, engine,
+//    LSEI) — the writer pays the rebuild, readers never see it;
+//  * snapshot cold-start epochs borrow engine/LSEI from a LoadedEngine
+//    (the mmap'd artifact) and keep it alive through `loaded`;
+//  * delete re-skins borrow everything heavy from `base` (arena and
+//    signature storage via views, the lake and LSEI by pointer) and own
+//    only a thin SearchEngine whose options carry the extended tombstone
+//    set — publishing a delete is a metadata swap, not a rebuild.
+//
+// Member order is destruction order in reverse: the owned engine dies
+// first (it views the lake/arena), then the LSEI, lake, corpus, and only
+// then the borrowed keep-alives (`base`, `loaded`) that back any views.
+struct EngineEpoch {
+  uint64_t id = 0;
+
+  // Keep-alives for borrowed storage; destroyed last (declared first).
+  std::shared_ptr<const LoadedEngine> loaded;
+  std::shared_ptr<const EngineEpoch> base;
+
+  // Owned world (null members when borrowed from `loaded` or `base`).
+  std::unique_ptr<const Corpus> corpus;
+  std::unique_ptr<const SemanticDataLake> lake;
+  std::unique_ptr<const Lsei> lsei_owned;
+  std::unique_ptr<const SearchEngine> engine_owned;
+
+  // Access pointers, valid regardless of flavor. `lsei` may be null (no
+  // prefilter index in this deployment).
+  const SearchEngine* engine = nullptr;
+  const Lsei* lsei = nullptr;
+
+  // The tombstone set this epoch's engine enforces (null = none). Shared
+  // with the engine's SearchOptions; kept here so a successor delete
+  // re-skin can extend it with one copy.
+  std::shared_ptr<const TableTombstones> tombstones;
+
+  // Test hook: runs at the START of destruction, before any member is
+  // torn down, so retire-order tests can observe exactly when the
+  // registry let go of the epoch.
+  std::function<void()> on_destroy;
+
+  EngineEpoch() = default;
+  EngineEpoch(const EngineEpoch&) = delete;
+  EngineEpoch& operator=(const EngineEpoch&) = delete;
+  ~EngineEpoch() {
+    if (on_destroy) on_destroy();
+  }
+};
+
+// RCU-style publication point between ONE writer (the ingest path) and any
+// number of reader threads (the serving workers). The contract:
+//
+//  * readers call PinCurrent() once per request (or per worker batch) and
+//    hold the returned Pin for the whole execution — the epoch it yields
+//    cannot be destroyed while the Pin lives;
+//  * the single writer calls Publish() with a successor epoch; readers
+//    that pinned before the publish keep the old world, readers that pin
+//    after get the new one, and nobody blocks on anybody;
+//  * retired epochs are destroyed (by the writer, inside Publish/TryRetire)
+//    once their pin count drains to zero.
+//
+// The reader hot path is two atomic RMW/loads on cache-line-private
+// counters — no mutex, no shared CAS loop under steady state. See
+// DESIGN.md "Serving runtime" for the full memory-order argument; the
+// short version:
+//
+//  pin:     s = current.load(acquire)
+//           pins[s][my_shard].fetch_add(1, seq_cst)      (A)
+//           if current.load(seq_cst) != s: undo, retry   (B)
+//           epoch = slots[s].epoch.get()   // only after (B) validated
+//  publish: slots[free].epoch = e          // plain write, slot is free
+//           current.store(free, seq_cst)                 (C)
+//  retire:  for each non-current slot: sum pins (seq_cst loads)  (D)
+//           if zero: destroy
+//
+// A validated pin is always visible to the drain: (A) precedes (B) in the
+// seq_cst total order, (B) reading s as current means (B) precedes the
+// publish (C) that moved current off s, and (C) precedes any drain (D) of
+// slot s — so (A) < (C) < (D) and (D) observes the increment. The epoch
+// pointer is read only AFTER validation, so a reader that lost the race
+// (current moved between its two loads) never dereferences anything — it
+// just undoes the transient increment, which can only delay a retirement,
+// never make one unsafe. Slot reuse (ABA) is equally harmless: a pin that
+// validates against a reused slot has pinned whatever epoch is CURRENTLY
+// installed there, which is exactly the epoch it will read. Unpin is a
+// release fetch_sub and the drain loads are seq_cst (≥ acquire), giving
+// the happens-before edge that makes the destruction race-free (TSan
+// verifies this in the retire-order stress test).
+//
+// kSlots bounds how many epochs can be in flight (current + retiring).
+// Publish spins (writer-side only, 50µs naps) when all slots are occupied
+// by still-pinned epochs — readers are never involved in that wait.
+class EpochRegistry {
+ public:
+  static constexpr size_t kSlots = 4;
+  static constexpr size_t kPinShards = obs::kMetricShards;
+
+  // RAII reader pin. Movable, not copyable; releasing (or destroying) it
+  // decrements the slot's pin count. A default-constructed or released
+  // Pin is empty (get() == nullptr).
+  class Pin {
+   public:
+    Pin() = default;
+    Pin(Pin&& other) noexcept { *this = std::move(other); }
+    Pin& operator=(Pin&& other) noexcept {
+      if (this != &other) {
+        Release();
+        registry_ = other.registry_;
+        epoch_ = other.epoch_;
+        slot_ = other.slot_;
+        shard_ = other.shard_;
+        other.registry_ = nullptr;
+        other.epoch_ = nullptr;
+      }
+      return *this;
+    }
+    Pin(const Pin&) = delete;
+    Pin& operator=(const Pin&) = delete;
+    ~Pin() { Release(); }
+
+    const EngineEpoch* get() const { return epoch_; }
+    const EngineEpoch* operator->() const { return epoch_; }
+    const EngineEpoch& operator*() const { return *epoch_; }
+    explicit operator bool() const { return epoch_ != nullptr; }
+
+    void Release();
+
+   private:
+    friend class EpochRegistry;
+    EpochRegistry* registry_ = nullptr;
+    const EngineEpoch* epoch_ = nullptr;
+    uint32_t slot_ = 0;
+    uint32_t shard_ = 0;
+  };
+
+  EpochRegistry() = default;
+  EpochRegistry(const EpochRegistry&) = delete;
+  EpochRegistry& operator=(const EpochRegistry&) = delete;
+  // The owner must guarantee no Pin outlives the registry and the writer
+  // has stopped; remaining epochs are destroyed unconditionally.
+  ~EpochRegistry() = default;
+
+  // Reader side: pins the current epoch. Wait-free except when racing a
+  // concurrent publish, in which case it retries (bounded by publish
+  // frequency, not by load). Returns an empty Pin only before the first
+  // Publish.
+  Pin PinCurrent();
+
+  // Writer side (single writer): installs `epoch` as current, retiring
+  // drained predecessors opportunistically. Blocks (writer only) while all
+  // non-current slots hold still-pinned epochs.
+  void Publish(std::shared_ptr<const EngineEpoch> epoch);
+
+  // Writer side: destroys every non-current epoch whose pin count has
+  // drained. Returns the number destroyed. Publish calls this itself; it
+  // is public so the runtime can sweep between publishes and tests can
+  // force retirement points.
+  size_t TryRetire();
+
+  // Epochs currently installed or awaiting retirement. Writer-side /
+  // quiescent use only (reads the slots without synchronization).
+  size_t live_epochs() const;
+
+ private:
+  struct alignas(64) PinShard {
+    std::atomic<uint64_t> count{0};
+  };
+  struct Slot {
+    // Written only by the writer, and only while the slot is free (no
+    // validated pins, not current); read by readers only after their pin
+    // validated — see the protocol note above.
+    std::shared_ptr<const EngineEpoch> epoch;
+    std::array<PinShard, kPinShards> pins;
+  };
+
+  uint64_t SlotPins(const Slot& slot) const;
+
+  std::array<Slot, kSlots> slots_;
+  std::atomic<uint32_t> current_{0};
+};
+
+}  // namespace thetis
+
+#endif  // THETIS_SERVE_EPOCH_REGISTRY_H_

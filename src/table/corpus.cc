@@ -18,6 +18,13 @@ Result<TableId> Corpus::AddTable(Table table) {
   return it->second;
 }
 
+Corpus Corpus::Clone() const {
+  Corpus copy;
+  copy.tables_ = tables_;
+  copy.by_name_ = by_name_;
+  return copy;
+}
+
 Result<TableId> Corpus::FindByName(const std::string& name) const {
   auto it = by_name_.find(name);
   if (it == by_name_.end()) {

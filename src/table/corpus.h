@@ -36,6 +36,11 @@ class Corpus {
   // Adds a table; its name must be unique within the corpus.
   Result<TableId> AddTable(Table table);
 
+  // Deep copy with identical TableIds. Copies are deliberate (the serving
+  // runtime clones the writer's master corpus once per published epoch), so
+  // this is a named operation rather than a copy constructor.
+  Corpus Clone() const;
+
   size_t size() const { return tables_.size(); }
   const Table& table(TableId id) const { return tables_[id]; }
   Table* mutable_table(TableId id) { return &tables_[id]; }

@@ -18,6 +18,8 @@ enum class StatusCode {
   kIoError,
   kFailedPrecondition,
   kInternal,
+  kResourceExhausted,
+  kDeadlineExceeded,
 };
 
 // Human-readable name of a status code, e.g. "InvalidArgument".
@@ -54,6 +56,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }
